@@ -1,0 +1,60 @@
+// Ablation (Section 3, Eq. 5): why the amplitude control DAC must be
+// exponential.  Run the same regulation loop with the paper's PWL
+// exponential law, a linear law with the same full scale, and an exact
+// exponential, across the tank quality range.  The figure of merit is the
+// worst relative amplitude step at the operating code (the linear law
+// explodes at the low codes high-quality tanks regulate at) and the
+// settling behaviour.
+#include <iostream>
+#include <memory>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "dac/dac_variants.h"
+#include "system/envelope_simulator.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+int main() {
+  std::cout << "=== Ablation: PWL-exponential vs linear vs ideal-exponential control ===\n\n";
+
+  TablePrinter table({"control law", "Q", "settled code", "amplitude [V]",
+                      "step at code", "settling ticks", "steady ripple [V]"});
+
+  for (const double q : {10.0, 40.0, 160.0}) {
+    for (const auto kind : {dac::ControlLawKind::PwlExponential, dac::ControlLawKind::Linear,
+                            dac::ControlLawKind::IdealExponential}) {
+      EnvelopeSimConfig cfg;
+      cfg.tank = tank::design_tank(4.0_MHz, q, 3.3_uH);
+      cfg.regulation.tick_period = 0.25e-3;
+      EnvelopeSimulator sim(cfg);
+      std::shared_ptr<const dac::AmplitudeControlLaw> law = dac::make_control_law(kind);
+      sim.driver().use_control_law(law);
+      const EnvelopeRunResult r = sim.run(60e-3);
+
+      const int code = r.final_code;
+      double step_at_code = 0.0;
+      if (code >= 1 && code < 127 && law->current(code) > 0.0) {
+        step_at_code =
+            (law->current(code + 1) - law->current(code)) / law->current(code);
+      }
+      const int settle = r.settling_tick(2.7 * 0.9, 2.7 * 1.1);
+      table.add_values(law->name(), format_significant(q, 3), code,
+                       format_significant(r.settled_amplitude(), 3),
+                       percent_format(step_at_code),
+                       settle >= 0 ? std::to_string(settle) : "never",
+                       format_significant(r.steady_ripple(), 3));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  - the linear law's relative step at low codes exceeds the regulation\n"
+            << "    window, so high-Q tanks limit-cycle or settle off-target;\n"
+            << "  - the PWL exponential tracks the ideal exponential closely (Fig. 3)\n"
+            << "    while remaining implementable as switched binary mirror branches.\n";
+  return 0;
+}

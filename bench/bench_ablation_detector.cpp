@@ -1,0 +1,60 @@
+// Ablation: detector filter time constant (the RC low-pass after the full
+// wave rectifier, Fig. 8).  Too fast and the 2*f0 rectification ripple
+// reaches the window comparator, chattering the loop near the window
+// edges; too slow and the amplitude reading lags faults (longer detection
+// latency).  The paper's design point sits comfortably between the
+// oscillation period (~250 ns) and the 1 ms regulation tick.
+#include <cmath>
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/oscillator_system.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+int main() {
+  std::cout << "=== Ablation: detector filter time constant (Fig. 8 RC) ===\n\n";
+
+  TablePrinter table({"filter tau", "vs T0 (250 ns)", "settled code", "amplitude [V]",
+                      "VDC1 ripple (est)", "steady code changes"});
+
+  for (const double tau : {0.25e-6, 1e-6, 5e-6, 20e-6, 100e-6}) {
+    OscillatorSystemConfig cfg;
+    cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+    cfg.regulation.tick_period = 0.25e-3;
+    cfg.detector.filter_tau = tau;
+    cfg.safety.low_amplitude.filter_tau = tau;
+    cfg.waveform_decimation = 0;
+    OscillatorSystem sys(cfg);
+    const SimulationResult r = sys.run(30e-3);
+
+    // First-order estimate of the 2f0 rectification ripple on VDC1:
+    // a full-wave rectified sine's dominant ripple component (2/3 of the
+    // mean, at 2 f0) attenuated by the RC pole.
+    const double f0 = tank::RlcTank(cfg.tank).resonance_frequency();
+    const double mean_vdc1 = r.ticks.back().vdc1;
+    const double ripple =
+        mean_vdc1 * (2.0 / 3.0) / std::sqrt(1.0 + std::pow(2.0 * f0 * kTwoPi * tau, 2.0));
+
+    int changes = 0;
+    for (std::size_t i = r.ticks.size() - 40; i < r.ticks.size(); ++i) {
+      if (r.ticks[i].code != r.ticks[i - 1].code) ++changes;
+    }
+    table.add_values(si_format(tau, "s"),
+                     "x" + format_significant(tau / 0.25e-6, 4), r.ticks.back().code,
+                     format_significant(r.settled_amplitude(), 3), si_format(ripple, "V"),
+                     changes);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  - taus of a few oscillation periods leave volts of ripple on VDC1:\n"
+            << "    the comparator verdict depends on sampling phase (chatter risk);\n"
+            << "  - by tau ~ 20 us (the design point) the ripple is millivolts while\n"
+            << "    the reading still settles ~10x faster than the regulation tick.\n";
+  return 0;
+}

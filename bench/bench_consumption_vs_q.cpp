@@ -1,0 +1,58 @@
+// Section 9 of the paper: "Current consumption of the driver depends on
+// the quality of the used LC resonance network and varies from 250 uA to
+// 30 mA."  Sweep the tank quality across the operable range and report
+// the settled regulation code and supply current (envelope engine).
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "spice/sweep.h"
+#include "system/envelope_simulator.h"
+#include "waveform/svg_plot.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+int main() {
+  std::cout << "=== Section 9: supply current vs tank quality (two decades of Q) ===\n\n";
+
+  TablePrinter table({"Q", "Rp [ohm]", "Gm0 [mS]", "settled code", "amplitude [V]",
+                      "supply current"});
+  SvgSeries consumption;
+  consumption.label = "supply current [mA]";
+
+  double i_min = 1e9;
+  double i_max = 0.0;
+  for (const double q : spice::logspace(5.0, 320.0, 10)) {
+    EnvelopeSimConfig cfg;
+    cfg.tank = tank::design_tank(4.0_MHz, q, 3.3_uH);
+    cfg.regulation.tick_period = 0.25e-3;
+    EnvelopeSimulator sim(cfg);
+    const EnvelopeRunResult r = sim.run(40e-3);
+    const tank::RlcTank tk(cfg.tank);
+
+    const double supply = r.ticks.back().supply_current;
+    consumption.points.emplace_back(q, supply * 1e3);
+    i_min = std::min(i_min, supply);
+    i_max = std::max(i_max, supply);
+    table.add_values(format_significant(q, 3),
+                     format_significant(tk.parallel_resistance(), 4),
+                     format_significant(tk.critical_gm() * 1e3, 3), r.final_code,
+                     format_significant(r.settled_amplitude(), 3), si_format(supply, "A"));
+  }
+  table.print(std::cout);
+
+  write_svg_plot("artifacts/consumption_vs_q.svg", {consumption},
+                 {.title = "Supply current vs tank quality (Section 9)",
+                  .x_label = "Q", .y_label = "I [mA]", .log_y = true, .markers = true});
+  std::cout << "\n(figure: artifacts/consumption_vs_q.svg)\n";
+
+  std::cout << "\nShape checks vs the paper:\n"
+            << "  consumption span: " << si_format(i_min, "A") << " .. " << si_format(i_max, "A")
+            << " (paper: 250 uA .. 30 mA over the application range)\n"
+            << "  high-quality tanks regulate at low codes -> the exponential DAC's\n"
+            << "  fine low-end steps are what keeps their consumption minimal.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Cross-validation of the macro-model against transistor-level physics:
+// a real cross-coupled NMOS pair (square-law devices, trapezoidal MNA
+// transient) on the paper's tank, swept over the tail current.  The
+// measured amplitude must track the describing-function law the whole
+// reproduction rests on (Eq. 4 with the square-wave shape factor), and
+// the frequency must stay at the tank resonance (Eq. 1 territory).
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "spice/circuit.h"
+#include "spice/transient_solver.h"
+#include "tank/rlc_tank.h"
+#include "waveform/measurements.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::spice;
+
+int main() {
+  std::cout << "=== Cross-validation: transistor-level pair vs Eq. 4 ===\n\n";
+
+  const tank::TankConfig tk = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  const tank::RlcTank model(tk);
+  std::cout << "tank: f0 = " << si_format(model.resonance_frequency(), "Hz")
+            << ", Rp = " << si_format(model.parallel_resistance(), "Ohm") << "\n\n";
+
+  TablePrinter table({"I_tail", "f measured [MHz]", "A measured [V]",
+                      "A theory (4/pi)(I/2)Rp [V]", "ratio"});
+
+  for (const double itail : {0.5e-3, 1.0e-3, 2.0e-3, 4.0e-3}) {
+    Circuit c;
+    c.voltage_source("Vdd", "vdd", "0", 5.0);
+    c.inductor("L1", "vdd", "m1", tk.inductance / 2.0, itail / 2.0);
+    c.resistor("Rs1", "m1", "lc1", tk.series_resistance / 2.0);
+    c.inductor("L2", "vdd", "m2", tk.inductance / 2.0, itail / 2.0);
+    c.resistor("Rs2", "m2", "lc2", tk.series_resistance / 2.0);
+    c.capacitor("C1", "lc1", "0", tk.capacitance1, 5.1);
+    c.capacitor("C2", "lc2", "0", tk.capacitance2, 4.9);
+    c.mosfet("M1", "lc1", "lc2", "tail", "0", nmos_035um(200.0));
+    c.mosfet("M2", "lc2", "lc1", "tail", "0", nmos_035um(200.0));
+    c.current_source("Itail", "tail", "0", itail);
+
+    TransientOptions opt;
+    opt.t_stop = 60e-6;
+    opt.dt = 2e-9;
+    opt.integration = Integration::Trapezoidal;
+    opt.start_from_dc = false;
+    const TransientResult r = run_transient(c, opt, {"lc1", "lc2"});
+
+    Trace vd("vd");
+    const Trace& v1 = r.trace("lc1");
+    const Trace& v2 = r.trace("lc2");
+    for (std::size_t i = 0; i < v1.size(); ++i) {
+      vd.append(v1.time(i) + 1e-15, v1.value(i) - v2.value(i));
+    }
+    const Trace tail_window = vd.window(40e-6, 60e-6);
+    const double f = estimate_frequency(tail_window).value_or(0.0);
+    const double a = peak_amplitude(tail_window);
+    const double theory = kDriverShapeFactorSquare * (itail / 2.0) * model.parallel_resistance();
+    table.add_values(si_format(itail, "A"), format_significant(f / 1e6, 4),
+                     format_significant(a, 4), format_significant(theory, 4),
+                     format_significant(a / theory, 3));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  - amplitude scales LINEARLY with the tail current (the premise of\n"
+            << "    the paper's current-limitation amplitude control, Eqs. 4-5);\n"
+            << "  - the measured/theory ratio is ~1.0: the square-law pair switches\n"
+            << "    sharply, so the square-wave shape factor 4/pi applies almost\n"
+            << "    exactly -- the paper's k is this factor for its softer limiter;\n"
+            << "  - frequency stays at the tank resonance regardless of drive.\n";
+  return 0;
+}

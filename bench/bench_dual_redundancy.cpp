@@ -1,0 +1,98 @@
+// Section 8 / Fig. 9 of the paper: the redundant dual system.  One chip
+// loses its supply mid-run; its pins then load its tank with the I-V
+// characteristic EXTRACTED FROM THE TRANSISTOR-LEVEL TESTBENCH (the same
+// netlists that regenerate Fig. 17).  With the Fig. 11 bulk-switched
+// stage the survivor keeps regulating; with the standard Fig. 10a stage
+// the dead chip's junction clamps drag it down.
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "driver/output_stage.h"
+#include "system/dual_system.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+namespace {
+
+struct Outcome {
+  double live_before = 0.0;
+  double live_after = 0.0;
+  double dead_after = 0.0;
+  int live_code_after = 0;
+};
+
+Outcome run_scenario(const PwlTable& dead_iv) {
+  DualSystemConfig cfg;
+  cfg.tanks.tank1 = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.tanks.tank2 = cfg.tanks.tank1;
+  cfg.tanks.coupling = 0.15;
+  cfg.regulation.tick_period = 0.2e-3;
+
+  DualSystem sys(cfg);
+  sys.schedule_supply_loss(16e-3, dead_iv);
+  const DualRunResult r = sys.run(24e-3);
+
+  Outcome out;
+  out.live_before = r.mean_envelope1(14e-3, 16e-3);
+  out.live_after = r.mean_envelope1(21e-3, 24e-3);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < r.envelope2.size(); ++i) {
+    if (r.envelope2.time(i) > 21e-3) {
+      acc += r.envelope2.value(i);
+      ++n;
+    }
+  }
+  out.dead_after = n ? acc / n : 0.0;
+  out.live_code_after = r.codes1.back();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Isolated non-converged sweep points are dropped by extraction; keep
+  // the table output clean.
+  set_log_level(LogLevel::Error);
+  std::cout << "=== Section 8 / Fig. 9: dual redundant system, supply loss on chip 2 ===\n\n";
+  std::cout << "extracting dead-chip I-V characteristics from the spice testbench...\n";
+
+  driver::UnsuppliedDriverTestbench fig11_tb(driver::OutputStageTopology::BulkSwitched);
+  driver::UnsuppliedDriverTestbench fig10a_tb(driver::OutputStageTopology::StandardCmos);
+  const PwlTable iv11 = fig11_tb.extract_iv(-3.0, 3.0, 41);
+  const PwlTable iv10a = fig10a_tb.extract_iv(-3.0, 3.0, 41);
+  std::cout << "  Fig.11  I(+2.7 V) = " << si_format(iv11(2.7), "A") << ", I(-2.7 V) = "
+            << si_format(iv11(-2.7), "A") << "\n"
+            << "  Fig.10a I(+2.7 V) = " << si_format(iv10a(2.7), "A") << ", I(-2.7 V) = "
+            << si_format(iv10a(-2.7), "A") << "\n\n";
+
+  const Outcome o11 = run_scenario(iv11);
+  const Outcome o10a = run_scenario(iv10a);
+
+  TablePrinter table({"dead-chip output stage", "live amp before [V]", "live amp after [V]",
+                      "change", "live code after", "dead tank swing [V]"});
+  table.add_values("fig11-bulk-switched", format_significant(o11.live_before, 4),
+                   format_significant(o11.live_after, 4),
+                   percent_format((o11.live_after - o11.live_before) /
+                                  std::max(o11.live_before, 1e-12)),
+                   o11.live_code_after, format_significant(o11.dead_after, 4));
+  table.add_values("fig10a-standard-cmos", format_significant(o10a.live_before, 4),
+                   format_significant(o10a.live_after, 4),
+                   percent_format((o10a.live_after - o10a.live_before) /
+                                  std::max(o10a.live_before, 1e-12)),
+                   o10a.live_code_after, format_significant(o10a.dead_after, 4));
+  table.print(std::cout);
+
+  std::cout << "\nShape checks vs the paper:\n"
+            << "  Fig.11: the live system 'stays working' -- amplitude change within the\n"
+            << "  regulation window, no extra drive current needed.\n"
+            << "  Fig.10a: the dead chip clamps its tank swing to the junction drops,\n"
+            << "  which reflects through the coil coupling into the live system\n"
+            << "  (lower amplitude and/or higher regulation code).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// EMC view (paper abstract: "low EMC emissions"): harmonic spectrum of
+// the coil current versus the driver current.  The driver clips (Fig. 2),
+// but the tank only draws the fundamental -- the radiating coil current
+// is nearly sinusoidal, and the higher the Q the cleaner it gets.
+#include <cmath>
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/oscillator_system.h"
+#include "waveform/measurements.h"
+#include "waveform/spectrum.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+namespace {
+
+// Reconstruct the driver output current i(LC1) from the recorded pin
+// voltages using the driver model at the settled code.
+Trace driver_current_trace(const SimulationResult& r, driver::OscillatorDriver& drv) {
+  Trace i("i_driver");
+  for (std::size_t k = 0; k < r.v_lc1.size(); ++k) {
+    const driver::NodeCurrents out = drv.output(r.v_lc1.value(k), r.v_lc2.value(k));
+    i.append(r.v_lc1.time(k), out.into_lc1);
+  }
+  return i;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== EMC: harmonic content of coil vs driver current ===\n\n";
+
+  TablePrinter table({"Q", "signal", "fundamental", "H2 [dBc]", "H3 [dBc]", "H5 [dBc]",
+                      "THD"});
+  for (const double q : {10.0, 40.0}) {
+    OscillatorSystemConfig cfg;
+    cfg.tank = tank::design_tank(4.0_MHz, q, 3.3_uH);
+    cfg.regulation.tick_period = 0.25e-3;
+    cfg.waveform_decimation = 1;
+    OscillatorSystem sys(cfg);
+    const SimulationResult r = sys.run(20e-3);
+
+    // Steady-state window only.  Use the MEASURED oscillation frequency as
+    // the fundamental: over thousands of cycles even a 0.02% detuning from
+    // the design f0 would decorrelate the Fourier projection.
+    const Trace vd = r.differential.window(r.differential.end_time() - 0.5e-3,
+                                           r.differential.end_time());
+    const double f0 = estimate_frequency(vd).value_or(
+        tank::RlcTank(cfg.tank).resonance_frequency());
+    driver::OscillatorDriver drv(cfg.driver);
+    drv.set_code(r.final_code);
+    SimulationResult tail;
+    tail.v_lc1 = r.v_lc1.window(vd.start_time(), vd.end_time());
+    tail.v_lc2 = r.v_lc2.window(vd.start_time(), vd.end_time());
+    const Trace i_drv = driver_current_trace(tail, drv);
+
+    for (const auto& [name, trace] : {std::pair<const char*, const Trace*>{"coil voltage", &vd},
+                                      {"driver current", &i_drv}}) {
+      const auto spec = harmonic_spectrum(*trace, f0, 9);
+      const double thd = std::sqrt(harmonic_power_ratio(spec));
+      auto dbc = [&](int h) {
+        for (const auto& line : spec) {
+          if (line.harmonic == h) return line.dbc;
+        }
+        return -400.0;
+      };
+      table.add_values(format_significant(q, 3), name,
+                       si_format(spec[0].amplitude, name[0] == 'c' ? "V" : "A"),
+                       format_significant(dbc(2), 3), format_significant(dbc(3), 3),
+                       format_significant(dbc(5), 3), percent_format(thd));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  - the coil (tank) waveform is far cleaner than the driver current:\n"
+            << "    the resonator filters the clipping harmonics, which is the paper's\n"
+            << "    low-EMC-emissions mechanism;\n"
+            << "  - higher Q -> stronger filtering -> lower coil THD.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 2 of the paper: the static V-I characteristic of the
+// current-limited driver stage -- linear transconductance with hard
+// clipping at +-Im (plus the smooth tanh variant for comparison).
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "driver/gm_stage.h"
+
+using namespace lcosc;
+using namespace lcosc::driver;
+
+int main() {
+  std::cout << "=== Fig. 2: driver output current vs input voltage (static) ===\n\n";
+
+  const double gm = 5e-3;
+  const double im = 2e-3;
+  GmStage hard({.gm = gm, .current_limit = im, .shape = LimitShape::Hard});
+  GmStage smooth({.gm = gm, .current_limit = im, .shape = LimitShape::Tanh});
+
+  std::cout << "gm = " << si_format(gm, "S") << ", Im = " << si_format(im, "A")
+            << ", saturation at v = " << si_format(hard.saturation_voltage(), "V") << "\n\n";
+
+  TablePrinter table({"v [V]", "i hard [mA]", "i tanh [mA]"});
+  for (double v = -1.2; v <= 1.2001; v += 0.1) {
+    table.add_values(format_significant(v, 3),
+                     format_significant(hard.output_current(v) * 1e3, 4),
+                     format_significant(smooth.output_current(v) * 1e3, 4));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDescribing-function view (input sine amplitude A):\n";
+  TablePrinter df({"A [V]", "N(A)/gm", "fundamental/Im (k of Eq. 3)"});
+  for (const double a : {0.1, 0.4, 0.5, 0.8, 1.2, 2.0, 5.0, 20.0}) {
+    df.add_values(format_significant(a, 3),
+                  format_significant(hard.describing_gain(a) / gm, 4),
+                  format_significant(hard.shape_factor(a), 4));
+  }
+  df.print(std::cout);
+
+  std::cout << "\nShape check: k passes ~0.9 (the paper's quoted value) at moderate\n"
+               "overdrive and saturates at 4/pi = 1.273 deep in limiting.\n";
+  return 0;
+}

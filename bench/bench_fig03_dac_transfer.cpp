@@ -1,0 +1,68 @@
+// Fig. 3 of the paper: multiplication factor M(n) of the 7-bit
+// PWL-approximated exponential DAC (linear and log scale columns), with
+// the per-segment step annotations 1,1,2,4,8,16,32,64.
+#include <cmath>
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "dac/control_code.h"
+#include "dac/exponential_dac.h"
+#include "waveform/svg_plot.h"
+
+using namespace lcosc;
+using namespace lcosc::dac;
+
+int main() {
+  std::cout << "=== Fig. 3: current multiplication factor M(n), 7-bit PWL exponential DAC ===\n\n";
+
+  const PwlExponentialDac dac;
+
+  std::cout << "Segment map (step value annotations of Fig. 3):\n";
+  TablePrinter segments({"segment", "codes", "step", "M range"});
+  for (int seg = 0; seg < kDacSegmentCount; ++seg) {
+    segments.add_values(seg,
+                        std::to_string(seg * 16) + ".." + std::to_string(seg * 16 + 15),
+                        segment_step(seg),
+                        std::to_string(segment_range_min(seg)) + ".." +
+                            std::to_string(segment_range_max(seg)));
+  }
+  segments.print(std::cout);
+
+  std::cout << "\nTransfer (every 4th code; full resolution in the CSV-style dump of\n"
+               "bench_fig13 which adds mismatch):\n";
+  TablePrinter table({"code", "M(n) (lin)", "log10 M(n)"});
+  for (int code = 0; code <= 127; code += 4) {
+    const int m = dac.multiplication(code);
+    table.add_values(code, m, m > 0 ? format_significant(std::log10(m), 4) : "-inf");
+  }
+  table.add_values(127, dac.multiplication(127),
+                   format_significant(std::log10(dac.multiplication(127)), 4));
+  table.print(std::cout);
+
+  // Emit the figure as SVG next to the ASCII table.
+  {
+    SvgSeries lin;
+    lin.label = "M(n)";
+    for (int code = 0; code <= 127; ++code) {
+      lin.points.emplace_back(code, dac.multiplication(code));
+    }
+    write_svg_plot("artifacts/fig03_dac_transfer.svg", {lin},
+                   {.title = "Fig. 3: current multiplication factor (lin scale)",
+                    .x_label = "code", .y_label = "M(n)", .markers = true});
+    write_svg_plot("artifacts/fig03_dac_transfer_log.svg", {lin},
+                   {.title = "Fig. 3: current multiplication factor (log scale)",
+                    .x_label = "code", .y_label = "M(n)", .log_y = true});
+    std::cout << "\n(figures: artifacts/fig03_dac_transfer{,_log}.svg)\n";
+  }
+
+  std::cout << "\nShape checks vs the paper:\n"
+            << "  full scale M(127)          = " << dac.multiplication(127) << " (paper: 1984)\n"
+            << "  equivalent linear bits     = " << kDacEquivalentLinearBits << " (paper: 11)\n"
+            << "  fitted per-code growth     = " << percent_format(dac.fitted_growth_ratio())
+            << " per code\n"
+            << "  worst deviation from exp   = "
+            << percent_format(dac.max_exponential_deviation()) << " (codes >= 16)\n"
+            << "  monotonic (ideal)          = " << (dac.is_monotonic() ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 4 of the paper: relative voltage step as a function of the current
+// limitation code.  For codes above 16 the step stays inside
+// [3.23%, 6.25%]; below 16 it grows toward 100% (which is why the losses
+// keep the operating code above 16, Section 3).
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "dac/exponential_dac.h"
+#include "waveform/svg_plot.h"
+
+using namespace lcosc;
+using namespace lcosc::dac;
+
+int main() {
+  std::cout << "=== Fig. 4: relative step vs current limitation code ===\n\n";
+
+  const PwlExponentialDac dac;
+  TablePrinter table({"code", "M(n)", "M(n+1)", "relative step"});
+  for (int code = 1; code < 127; ++code) {
+    if (code < 16 ? (code % 2 == 1) : (code % 3 == 0) || code == 16 || (code % 16) <= 1) {
+      table.add_values(code, dac.multiplication(code), dac.multiplication(code + 1),
+                       percent_format(dac.relative_step(code)));
+    }
+  }
+  table.print(std::cout);
+
+  {
+    SvgSeries steps;
+    steps.label = "relative step";
+    for (int code = 1; code < 127; ++code) {
+      steps.points.emplace_back(code, dac.relative_step(code) * 100.0);
+    }
+    write_svg_plot("artifacts/fig04_relative_step.svg", {steps},
+                   {.title = "Fig. 4: relative voltage step vs code",
+                    .x_label = "code", .y_label = "relative step [%]", .markers = true});
+    std::cout << "\n(figure: artifacts/fig04_relative_step.svg)\n";
+  }
+
+  std::cout << "\nShape checks vs the paper (codes >= 16):\n"
+            << "  max relative step = " << percent_format(dac.max_relative_step(16))
+            << "  (paper: 6.25%)\n"
+            << "  min relative step = " << percent_format(dac.min_relative_step(16))
+            << "  (paper: 3.23%)\n"
+            << "  regulation window must exceed "
+            << percent_format(kMaxRelativeStepAbove16)
+            << " so one step can never jump across it (Section 4).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 13 of the paper: measured current limitation of the driver
+// (1 LSB = 12.5 uA).  "Measured" here means the Monte-Carlo mismatched
+// current-mirror model with the release seed, found deterministically so
+// that -- like the measured silicon -- the transfer has exactly one
+// negative step, at code 96 (see Fig. 14).
+#include <cmath>
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "dac/current_mirror.h"
+#include "waveform/svg_plot.h"
+
+using namespace lcosc;
+using namespace lcosc::dac;
+
+int main() {
+  std::cout << "=== Fig. 13: measured current limitation (mismatch model) ===\n\n";
+
+  const std::uint64_t seed = find_seed_with_single_negative_step(96);
+  std::cout << "mismatch sample seed: " << seed
+            << " (deterministic search: single negative step at code 96)\n"
+            << "unit current (1 LSB): " << si_format(kDacUnitCurrent, "A") << "\n\n";
+
+  const CurrentLimitationDac dac(kDacUnitCurrent, MismatchConfig{}, seed);
+
+  TablePrinter table({"code", "I [mA] (lin)", "log10(I[A])", "ideal I [mA]"});
+  for (int code = 0; code <= 127; code += 4) {
+    const double i = dac.output_current(code);
+    table.add_values(code, format_significant(i * 1e3, 5),
+                     i > 0 ? format_significant(std::log10(i), 4) : "-inf",
+                     format_significant(dac.ideal_current(code) * 1e3, 5));
+  }
+  table.print(std::cout);
+
+  {
+    SvgSeries meas, ideal;
+    meas.label = "measured (mismatch)";
+    ideal.label = "ideal";
+    for (int code = 0; code <= 127; ++code) {
+      meas.points.emplace_back(code, dac.output_current(code) * 1e3);
+      ideal.points.emplace_back(code, dac.ideal_current(code) * 1e3);
+    }
+    write_svg_plot("artifacts/fig13_current_limitation.svg", {meas, ideal},
+                   {.title = "Fig. 13: measured current limitation",
+                    .x_label = "code", .y_label = "I [mA]"});
+    write_svg_plot("artifacts/fig13_current_limitation_log.svg", {meas},
+                   {.title = "Fig. 13: measured current limitation (log)",
+                    .x_label = "code", .y_label = "I [mA]", .log_y = true});
+    std::cout << "\n(figures: artifacts/fig13_current_limitation{,_log}.svg)\n";
+  }
+
+  std::cout << "\nShape checks vs the paper:\n"
+            << "  full scale I(127) = " << si_format(dac.output_current(127), "A")
+            << " (paper: ~24.8 mA at 12.5 uA LSB)\n"
+            << "  dynamic range     = 0 : "
+            << format_significant(dac.output_current(127) / dac.output_current(1), 4)
+            << " (paper: 0:1984)\n"
+            << "  log plot spans    = "
+            << format_significant(
+                   std::log10(dac.output_current(127) / dac.output_current(1)), 3)
+            << " decades (Fig. 13 right axis: 1e-5..1e-1 A)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 14 of the paper: measured relative current limitation step.  The
+// silicon sample is non-monotonic at code 96 (a negative step at the
+// segment-6 major carry) -- the paper removes that point from the log plot
+// and notes that the regulation loop tolerates it.  This bench reproduces
+// the same one-bad-code sample via the deterministic seed search and adds
+// the Monte-Carlo probability of non-monotonicity per carry.
+#include <cmath>
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "dac/current_mirror.h"
+
+using namespace lcosc;
+using namespace lcosc::dac;
+
+int main() {
+  std::cout << "=== Fig. 14: measured relative current limitation step ===\n\n";
+
+  const std::uint64_t seed = find_seed_with_single_negative_step(96);
+  const CurrentLimitationDac dac(kDacUnitCurrent, MismatchConfig{}, seed);
+  std::cout << "mismatch sample seed: " << seed << "\n\n";
+
+  TablePrinter table({"code n->n+1", "step [LSB]", "relative step", "log-plot note"});
+  for (int code = 1; code < 127; ++code) {
+    const double step_lsb =
+        (dac.output_current(code + 1) - dac.output_current(code)) / kDacUnitCurrent;
+    const double rel = dac.relative_step(code);
+    const bool carry = (code + 1) % 16 == 0 || code % 16 == 0;
+    if (code < 16 || carry || code % 8 == 0 || rel <= 0.0) {
+      table.add_values(std::to_string(code) + "->" + std::to_string(code + 1),
+                       format_significant(step_lsb, 4), percent_format(rel),
+                       rel <= 0.0 ? "NEGATIVE (removed in Fig. 14 log scale)" : "");
+    }
+  }
+  table.print(std::cout);
+
+  const auto bad = dac.non_monotonic_codes();
+  std::cout << "\nNon-monotonic codes of this sample: ";
+  for (const int c : bad) std::cout << c << ' ';
+  std::cout << "(paper: code 96)\n";
+
+  std::cout << "\nMonte-Carlo probability of a backward step at each major carry\n"
+               "(1000 mismatch samples, default sigmas):\n";
+  TablePrinter mc({"carry into code", "P(step <= 0)"});
+  for (const auto& [code, p] : monte_carlo_non_monotonicity(1000)) {
+    mc.add_values(code, percent_format(p));
+  }
+  mc.print(std::cout);
+
+  std::cout << "\nShape check: backward steps concentrate at the segment carries\n"
+               "(disjoint branch sets); within-segment steps are binary-weighted\n"
+               "increments of an already-flowing current and stay positive.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Injection locking of the dual system (paper Section 8: "the two systems
+// are running at the same frequency").  Two oscillators whose tanks are
+// detuned by a few percent still lock to a common frequency through the
+// coil coupling -- up to a lock range that grows with the coupling factor.
+// Outside the lock range the redundant pair beats, which would corrupt the
+// amplitude comparison in the receivers.
+#include <cmath>
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/dual_system.h"
+#include "waveform/measurements.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+namespace {
+
+struct LockResult {
+  double f1 = 0.0;
+  double f2 = 0.0;
+  bool locked = false;
+};
+
+LockResult run_detuned(double coupling, double detune_fraction) {
+  DualSystemConfig cfg;
+  cfg.tanks.tank1 = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.tanks.tank2 = tank::design_tank(4.0_MHz * (1.0 + detune_fraction), 40.0, 3.3_uH);
+  cfg.tanks.coupling = coupling;
+  cfg.regulation.tick_period = 0.2e-3;
+  cfg.waveform_decimation = 1;
+  DualSystem sys(cfg);
+  const DualRunResult r = sys.run(6e-3);
+
+  // Measure both frequencies over the trailing 100 us.
+  const double t1 = r.differential1.end_time();
+  const Trace tail1 = r.differential1.window(t1 - 100e-6, t1);
+  const Trace tail2 = r.differential2.window(t1 - 100e-6, t1);
+  LockResult out;
+  out.f1 = estimate_frequency(tail1).value_or(0.0);
+  out.f2 = estimate_frequency(tail2).value_or(0.0);
+  out.locked = std::abs(out.f1 - out.f2) < 1e3;  // within 1 kHz = locked
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Injection locking of the redundant pair (Section 8) ===\n\n";
+
+  TablePrinter table({"coupling k", "tank detuning", "f1 [MHz]", "f2 [MHz]", "|f1-f2|",
+                      "locked"});
+  for (const double k : {0.05, 0.15, 0.30}) {
+    for (const double detune : {0.0, 0.005, 0.01, 0.02, 0.05, 0.10}) {
+      const LockResult r = run_detuned(k, detune);
+      table.add_values(format_significant(k, 3), percent_format(detune),
+                       format_significant(r.f1 / 1e6, 5), format_significant(r.f2 / 1e6, 5),
+                       si_format(std::abs(r.f1 - r.f2), "Hz", 3), r.locked);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  - identical tanks always lock (the paper's nominal case);\n"
+            << "  - the lock range grows with the coupling factor k: tighter coupling\n"
+            << "    tolerates more component detuning between the two tanks;\n"
+            << "  - beyond the lock range the two oscillators run apart and beat --\n"
+            << "    the failure mode the paper's 'same frequency' requirement avoids.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the numeric
+// kernels and the simulation engines, so performance regressions in the
+// substrates are visible.
+#include <benchmark/benchmark.h>
+
+#include "common/units.h"
+#include "dac/current_mirror.h"
+#include "numeric/lu.h"
+#include "numeric/ode.h"
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+#include "system/envelope_simulator.h"
+#include "system/oscillator_system.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+
+namespace {
+
+void BM_LuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 4.0;
+  }
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    LuDecomposition lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Rk4HarmonicOscillator(benchmark::State& state) {
+  const OdeRhs rhs = [](double, const Vector& x, Vector& d) {
+    d[0] = x[1];
+    d[1] = -1e14 * x[0];
+  };
+  for (auto _ : state) {
+    const OdeResult r =
+        integrate_rk4(rhs, 0.0, 1e-5, {1.0, 0.0}, {.step = 4e-9});  // 2500 steps
+    benchmark::DoNotOptimize(r.state[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2500);
+}
+BENCHMARK(BM_Rk4HarmonicOscillator);
+
+void BM_DcOperatingPointMosfetChain(benchmark::State& state) {
+  using namespace lcosc::spice;
+  Circuit c;
+  c.voltage_source("Vdd", "vdd", "0", 5.0);
+  c.voltage_source("Vin", "in", "0", 1.2);
+  std::string prev = "in";
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::string out = "o" + std::to_string(stage);
+    c.resistor("R" + std::to_string(stage), "vdd", out, 20e3);
+    c.mosfet("M" + std::to_string(stage), out, prev, "0", "0", nmos_035um(5.0));
+    prev = out;
+  }
+  c.finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_dc(c).converged);
+  }
+}
+BENCHMARK(BM_DcOperatingPointMosfetChain);
+
+void BM_MismatchedDacFullTransfer(benchmark::State& state) {
+  const dac::CurrentLimitationDac mirror(kDacUnitCurrent, dac::MismatchConfig{}, 42);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int code = 0; code <= 127; ++code) acc += mirror.output_current(code);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_MismatchedDacFullTransfer);
+
+void BM_EnvelopeSimMillisecond(benchmark::State& state) {
+  system::EnvelopeSimConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  for (auto _ : state) {
+    system::EnvelopeSimulator sim(cfg);
+    benchmark::DoNotOptimize(sim.run(1e-3).final_code);
+  }
+}
+BENCHMARK(BM_EnvelopeSimMillisecond);
+
+void BM_CycleAccurateSimMillisecond(benchmark::State& state) {
+  system::OscillatorSystemConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.waveform_decimation = 0;
+  for (auto _ : state) {
+    system::OscillatorSystem sys(cfg);
+    benchmark::DoNotOptimize(sys.run(1e-3).final_code);
+  }
+}
+BENCHMARK(BM_CycleAccurateSimMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

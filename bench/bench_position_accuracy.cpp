@@ -1,0 +1,54 @@
+// The application workload of the paper's introduction: rotor position
+// from the amplitude comparison of two receiving coils.  Run on the
+// PHYSICAL 3-coil magnetics (full inductance matrix, induced EMFs), with
+// the regulated driver providing the excitation -- a rotor sweep with the
+// resulting angle accuracy, plus the same sweep on a degraded tank to
+// show that regulation keeps the sensor accurate.
+#include <cmath>
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/magnetic_sensor.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+int main() {
+  std::cout << "=== Position accuracy on physical 3-coil magnetics ===\n\n";
+
+  TablePrinter table({"rotor [deg]", "tank", "excitation [V]", "code", "estimated [deg]",
+                      "error [deg]"});
+  double worst_nominal = 0.0;
+  double worst_degraded = 0.0;
+  for (const double deg : {-135.0, -45.0, 0.0, 60.0, 150.0}) {
+    for (const bool degraded : {false, true}) {
+      MagneticSensorConfig cfg;
+      // Degraded tank: half the quality -- regulation absorbs it.
+      cfg.tank = tank::design_tank(4.0_MHz, degraded ? 20.0 : 40.0, 3.3_uH);
+      cfg.regulation.tick_period = 0.25e-3;
+      cfg.rotor_angle = deg * kPi / 180.0;
+      MagneticSensorSystem sys(cfg);
+      const MagneticSensorResult r = sys.run(16e-3);
+      const double err_deg = r.angle_error * 180.0 / kPi;
+      (degraded ? worst_degraded : worst_nominal) =
+          std::max(degraded ? worst_degraded : worst_nominal, std::abs(err_deg));
+      table.add_values(format_significant(deg, 4), degraded ? "Q=20 (degraded)" : "Q=40",
+                       format_significant(r.settled_amplitude, 3), r.final_code,
+                       format_significant(r.estimated_angle * 180.0 / kPi, 4),
+                       format_significant(err_deg, 3));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nworst-case angle error: nominal "
+            << format_significant(worst_nominal, 3) << " deg, degraded tank "
+            << format_significant(worst_degraded, 3) << " deg.\n"
+            << "Shape check: the regulated amplitude makes the ratiometric angle\n"
+            << "estimate insensitive to tank quality -- the degraded tank costs a\n"
+            << "higher regulation code, not accuracy (the paper's Section 1 premise).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 1 of the paper: coding of the driver control signals across the
+// eight DAC segments, regenerated from the implementation.
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/table_printer.h"
+#include "dac/control_code.h"
+
+using namespace lcosc;
+using namespace lcosc::dac;
+
+int main() {
+  std::cout << "=== Table 1: coding of driver control signals ===\n\n";
+
+  TablePrinter table({"segment", "MSBs", "prescaler out", "active Gm", "step", "range min",
+                      "range max", "OscD<2:0>", "OscE<3:0>", "OscF<6:0> (b=LSBs)"});
+  for (int seg = 0; seg < kDacSegmentCount; ++seg) {
+    const ControlSignals s = encode_control(seg * 16);
+    const auto osc_d = format_bus(s.osc_d, 3);
+    const auto osc_e = format_bus(s.osc_e, 4);
+
+    // Render the OscF pattern symbolically: where the 4 LSBs sit.
+    std::string osc_f(7, '0');
+    const int shift = mirror_shift(seg);
+    for (int bit = 0; bit < 4; ++bit) {
+      // OscF bit (shift + bit) carries LSB 'bit'.
+      osc_f[static_cast<std::size_t>(6 - (shift + bit))] = static_cast<char>('0' + bit);
+    }
+    // Display as B3 B2 B1 B0 positions, matching the paper's row format.
+    std::string pattern;
+    for (const char ch : osc_f) {
+      if (ch == '0') pattern += "0";
+      else pattern += "B" + std::string(1, ch);
+      pattern += " ";
+    }
+
+    table.add_values(seg, format_bus(static_cast<std::uint8_t>(seg), 3).data(),
+                     prescale_factor(s.osc_d), active_gm_stages(s.osc_e), segment_step(seg),
+                     segment_range_min(seg), segment_range_max(seg), osc_d.data(),
+                     osc_e.data(), pattern);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nOutput formula check: M = prescale(OscD) * (fixed(OscE) + OscF)\n";
+  TablePrinter check({"code", "OscD", "OscE", "OscF", "M reconstructed", "M direct"});
+  for (const int code : {0, 15, 16, 31, 47, 48, 96, 105, 127}) {
+    const ControlSignals s = encode_control(code);
+    check.add_values(code, format_bus(s.osc_d, 3).data(), format_bus(s.osc_e, 4).data(),
+                     format_bus(s.osc_f, 7).data(), multiplication_factor(s),
+                     multiplication_factor(code));
+  }
+  check.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Temperature drift of the regulation target over the automotive range:
+// VR3/VR4 are bandgap fractions (Fig. 8), so the regulated amplitude
+// follows the bandgap curvature.
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "devices/bandgap.h"
+#include "regulation/amplitude_detector.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::regulation;
+
+int main() {
+  std::cout << "=== Temperature drift of the regulation window (-40..+150 C) ===\n\n";
+
+  devices::BandgapReference bandgap;
+  AmplitudeDetector detector;
+
+  TablePrinter table({"T [C]", "VBG [V]", "VR3 [V]", "VR4 [V]", "amplitude target [V]",
+                      "drift"});
+  const double nominal_mid = 0.5 * (detector.amplitude_low() + detector.amplitude_high());
+  for (double t_c = -40.0; t_c <= 150.0; t_c += 20.0) {
+    const double t_k = t_c + 273.15;
+    detector.set_temperature(t_k);
+    const double mid = 0.5 * (detector.amplitude_low() + detector.amplitude_high());
+    table.add_values(format_significant(t_c, 3), format_significant(bandgap.voltage(t_k), 5),
+                     format_significant(detector.vr3(), 4),
+                     format_significant(detector.vr4(), 4), format_significant(mid, 4),
+                     percent_format((mid - nominal_mid) / nominal_mid));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  - the curvature-only (trimmed) bandgap keeps the regulated amplitude\n"
+            << "    within a fraction of a percent across the automotive range;\n"
+            << "  - both thresholds scale together, so the relative window width (the\n"
+            << "    Section 4 anti-limit-cycling rule) is temperature independent.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Monte-Carlo yield over the external component spread: the paper's
+// "wide range of external components parameters" claim quantified.
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/tolerance_analysis.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+int main() {
+  std::cout << "=== Tolerance Monte-Carlo: yield vs component spread ===\n\n";
+
+  TablePrinter table({"L/C tol", "Rs tol", "DAC mismatch", "yield", "amplitude span [V]",
+                      "code span", "max supply"});
+  struct Case {
+    double lc;
+    double rs;
+    bool mismatch;
+  };
+  const Case cases[] = {
+      {0.00, 0.00, false}, {0.05, 0.10, false}, {0.10, 0.30, false},
+      {0.10, 0.30, true},  {0.20, 0.50, true},
+  };
+  for (const Case& k : cases) {
+    ToleranceConfig cfg;
+    cfg.nominal.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+    cfg.nominal.regulation.tick_period = 0.25e-3;
+    cfg.inductance_tolerance = k.lc;
+    cfg.capacitance_tolerance = k.lc;
+    cfg.resistance_tolerance = k.rs;
+    cfg.include_dac_mismatch = k.mismatch;
+    cfg.samples = 120;
+    const ToleranceReport report = run_tolerance_analysis(cfg);
+    table.add_values(percent_format(k.lc), percent_format(k.rs), k.mismatch,
+                     percent_format(report.yield()),
+                     format_significant(report.min_amplitude(), 3) + ".." +
+                         format_significant(report.max_amplitude(), 3),
+                     std::to_string(report.min_code()) + ".." +
+                         std::to_string(report.max_code()),
+                     si_format(report.max_supply_current(), "A"));
+  }
+  table.print(std::cout);
+
+  // Distribution detail for the realistic case.
+  {
+    ToleranceConfig cfg;
+    cfg.nominal.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+    cfg.nominal.regulation.tick_period = 0.25e-3;
+    cfg.inductance_tolerance = 0.10;
+    cfg.capacitance_tolerance = 0.10;
+    cfg.resistance_tolerance = 0.30;
+    cfg.include_dac_mismatch = true;
+    cfg.samples = 120;
+    const ToleranceReport report = run_tolerance_analysis(cfg);
+    const SummaryStatistics amp = report.amplitude_statistics();
+    const SummaryStatistics sup = report.supply_statistics();
+    std::cout << "\nRealistic case (10% L/C, 30% Rs, mismatch) distributions:\n"
+              << "  amplitude: mean " << format_significant(amp.mean, 4) << " V, p05 "
+              << format_significant(amp.p05, 4) << ", p95 " << format_significant(amp.p95, 4)
+              << ", sigma " << format_significant(amp.stddev, 3) << "\n"
+              << "  supply:    median " << si_format(sup.median, "A") << ", p95 "
+              << si_format(sup.p95, "A") << "\n";
+  }
+
+  std::cout << "\nShape checks:\n"
+            << "  - the regulation loop absorbs realistic spreads (10% reactives, 30%\n"
+            << "    coil loss, DAC mismatch) with 100% yield: the settled CODE moves,\n"
+            << "    the amplitude stays inside the window;\n"
+            << "  - the code span shows how much of the exponential DAC's range the\n"
+            << "    component spread consumes -- the Section 3 sizing argument.\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Standalone circuit-solver CLI: load a SPICE-flavoured netlist and run
+// DC, a DC sweep, AC, or transient analysis on it.  Makes the lcosc spice
+// engine usable as a tool (e.g. to explore variants of the paper's
+// Fig. 10/11 output stages without recompiling).
+//
+// Usage:
+//   netlist_runner <file> dc
+//   netlist_runner <file> sweep <source> <from> <to> <points> [probe...]
+//   netlist_runner <file> ac <f_lo> <f_hi> <points> <probe>
+//   netlist_runner <file> tran <t_stop> <dt> <probe...>
+//   netlist_runner --demo            (runs a built-in demo netlist)
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "spice/ac_solver.h"
+#include "spice/netlist_parser.h"
+#include "spice/sweep.h"
+#include "spice/transient_solver.h"
+
+using namespace lcosc;
+using namespace lcosc::spice;
+
+namespace {
+
+constexpr const char* kDemoNetlist = R"(* demo: diode-loaded divider with an LC output filter
+V1 in 0 5 ac=1
+R1 in mid 1k
+D1 mid 0
+L1 mid out 100u
+C2 out 0 100n
+R2 out 0 10k
+)";
+
+int run_dc(Circuit& c) {
+  const DcSolution s = solve_dc(c);
+  if (!s.converged) {
+    std::cerr << "DC analysis did not converge\n";
+    return 1;
+  }
+  TablePrinter table({"node", "voltage"});
+  for (std::size_t n = 1; n < c.node_count(); ++n) {
+    table.add_values(c.node_name(n), si_format(Circuit::voltage(s.x, n), "V"));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_sweep(Circuit& c, const std::string& source, double lo, double hi, int points,
+              const std::vector<std::string>& probes) {
+  auto* src = c.find_as<VoltageSource>(source);
+  if (src == nullptr) {
+    std::cerr << "no voltage source named " << source << "\n";
+    return 1;
+  }
+  const SweepResult r = dc_sweep(c, *src, linspace(lo, hi, static_cast<std::size_t>(points)));
+  std::vector<std::string> headers = {source + " [V]"};
+  for (const auto& p : probes) headers.push_back("v(" + p + ")");
+  TablePrinter table(headers);
+  for (const auto& point : r.points) {
+    std::vector<std::string> row = {format_significant(point.value, 4)};
+    for (const auto& p : probes) {
+      row.push_back(point.converged ? format_significant(point.solution.voltage(c, p), 5)
+                                    : "n/c");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_ac(Circuit& c, double f_lo, double f_hi, int points, const std::string& probe) {
+  const DcSolution op = solve_dc(c);
+  if (!op.converged) {
+    std::cerr << "operating point did not converge\n";
+    return 1;
+  }
+  const auto freqs = logspace(f_lo, f_hi, static_cast<std::size_t>(points));
+  const auto sweep = ac_sweep(c, op.x, freqs);
+  TablePrinter table({"f [Hz]", "|v| [dB]", "phase [deg]"});
+  for (const auto& p : sweep) {
+    if (!p.ok) continue;
+    const Complex v = p.voltage(c, probe);
+    table.add_values(si_format(p.frequency, "Hz", 4),
+                     format_significant(20.0 * std::log10(std::max(std::abs(v), 1e-30)), 4),
+                     format_significant(std::arg(v) * 180.0 / 3.14159265358979, 4));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_tran(Circuit& c, double t_stop, double dt, const std::vector<std::string>& probes) {
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = dt;
+  opt.integration = Integration::Trapezoidal;
+  const TransientResult r = run_transient(c, opt, probes);
+  std::vector<std::string> headers = {"t [s]"};
+  for (const auto& p : probes) headers.push_back("v(" + p + ")");
+  TablePrinter table(headers);
+  const Trace& first = r.traces.front();
+  const std::size_t stride = std::max<std::size_t>(1, first.size() / 40);
+  for (std::size_t i = 0; i < first.size(); i += stride) {
+    std::vector<std::string> row = {format_significant(first.time(i), 5)};
+    for (const auto& trace : r.traces) row.push_back(format_significant(trace.value(i), 5));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  if (!r.converged) std::cerr << "warning: some time steps did not converge\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty() || args[0] == "--demo") {
+      std::cout << "=== netlist_runner demo ===\n\nNetlist:\n" << kDemoNetlist << "\nDC:\n";
+      auto circuit = parse_netlist(kDemoNetlist);
+      run_dc(*circuit);
+      std::cout << "\nAC response at v(out):\n";
+      run_ac(*circuit, 100.0, 1e6, 13, "out");
+      std::cout << "\n(usage: netlist_runner <file> dc|sweep|ac|tran ... )\n";
+      return 0;
+    }
+    if (args.size() < 2) {
+      std::cerr << "usage: netlist_runner <file> dc|sweep|ac|tran ...\n";
+      return 2;
+    }
+    auto circuit = parse_netlist_file(args[0]);
+    const std::string& mode = args[1];
+    if (mode == "dc") return run_dc(*circuit);
+    if (mode == "sweep" && args.size() >= 6) {
+      return run_sweep(*circuit, args[2], std::stod(args[3]), std::stod(args[4]),
+                       std::stoi(args[5]), {args.begin() + 6, args.end()});
+    }
+    if (mode == "ac" && args.size() >= 6) {
+      return run_ac(*circuit, std::stod(args[2]), std::stod(args[3]), std::stoi(args[4]),
+                    args[5]);
+    }
+    if (mode == "tran" && args.size() >= 5) {
+      return run_tran(*circuit, std::stod(args[2]), std::stod(args[3]),
+                      {args.begin() + 4, args.end()});
+    }
+    std::cerr << "unrecognized or incomplete command\n";
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+// The application of Section 1: the regulated harmonic excitation couples
+// into receiving coils; comparing the demodulated amplitudes yields the
+// rotor position.  This example runs the full oscillator, feeds its
+// differential output into the receiving-coil model, and sweeps the rotor.
+#include <cmath>
+#include <iostream>
+
+#include "common/constants.h"
+#include "common/random.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/oscillator_system.h"
+#include "system/position_sensor.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+int main() {
+  std::cout << "=== Position sensing with the regulated LC oscillator ===\n\n";
+
+  // Regulated excitation (cycle-accurate, with waveforms recorded).
+  OscillatorSystemConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.regulation.tick_period = 0.25_ms;
+  cfg.waveform_decimation = 1;
+  OscillatorSystem sys(cfg);
+  std::cout << "running the oscillator to steady state...\n";
+  const SimulationResult run = sys.run(6e-3);
+  const Trace& vd = run.differential;
+  std::cout << "excitation amplitude: " << format_significant(run.settled_amplitude(), 3)
+            << " V\n\n";
+
+  // Demodulate the recorded excitation against rotor angles.
+  // 20 mV RMS of receiver noise makes the accuracy figure honest.
+  const double noise_rms = 20e-3;
+  Rng rng(4242);
+  TablePrinter table({"true angle [deg]", "estimated [deg]", "error [deg]"});
+  double worst_error = 0.0;
+  for (double theta_deg = -180.0; theta_deg <= 180.0; theta_deg += 30.0) {
+    const double theta = theta_deg * kPi / 180.0;
+    PositionSensor sensor({.coupling_gain = 0.3, .filter_tau = 50e-6});
+    // Feed the last millisecond of the steady excitation waveform.
+    const double t0 = vd.end_time() - 1e-3;
+    double prev_t = t0;
+    for (std::size_t i = 0; i < vd.size(); ++i) {
+      if (vd.time(i) < t0) continue;
+      const double dt = vd.time(i) - prev_t;
+      if (dt > 0) {
+        sensor.step(dt, vd.value(i), theta, rng.normal(0.0, noise_rms),
+                    rng.normal(0.0, noise_rms));
+      }
+      prev_t = vd.time(i);
+    }
+    double est = sensor.estimated_angle() * 180.0 / kPi;
+    double err = est - theta_deg;
+    while (err > 180.0) err -= 360.0;
+    while (err < -180.0) err += 360.0;
+    worst_error = std::max(worst_error, std::abs(err));
+    table.add_values(format_significant(theta_deg, 4), format_significant(est, 4),
+                     format_significant(err, 3));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nworst-case angle error: " << format_significant(worst_error, 3)
+            << " deg over the full circle (with " << si_format(noise_rms, "V")
+            << " RMS receiver noise).\n"
+            << "The estimate is a ratio of the two receiving channels, so the\n"
+            << "regulated amplitude cancels -- which is why the driver only needs to\n"
+            << "keep the amplitude inside the window, not at an exact value.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Design-space exploration of the regulation loop: how window width,
+// tick period and detector filtering trade settling time against steady
+// behaviour.  Everything runs on the fast envelope engine, so the whole
+// exploration takes a moment -- this is the "what if I changed the
+// paper's numbers" playground.
+#include <iostream>
+
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "system/envelope_simulator.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+using namespace lcosc::system;
+
+namespace {
+
+struct Outcome {
+  int settle_ticks = -1;
+  int final_code = 0;
+  double amplitude = 0.0;
+  int steady_changes = 0;
+};
+
+Outcome evaluate(double window_width, double tick_period) {
+  EnvelopeSimConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.detector.window_width = window_width;
+  cfg.regulation.tick_period = tick_period;
+  EnvelopeSimulator sim(cfg);
+  const EnvelopeRunResult r = sim.run(250.0 * tick_period);
+
+  Outcome out;
+  out.settle_ticks = r.settling_tick(2.7 * 0.9, 2.7 * 1.1);
+  out.final_code = r.final_code;
+  out.amplitude = r.settled_amplitude();
+  for (std::size_t i = r.ticks.size() - 40; i < r.ticks.size(); ++i) {
+    if (r.ticks[i].code != r.ticks[i - 1].code) ++out.steady_changes;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Regulation loop tuning playground ===\n\n";
+  std::cout << "Reference design (paper): window 10%, tick 1 ms, detector tau 20 us.\n\n";
+
+  std::cout << "Window width (at 1 ms ticks):\n";
+  TablePrinter w_table({"window", "settle [ticks]", "final code", "amplitude [V]",
+                        "steady code changes / 40 ticks"});
+  for (const double w : {0.20, 0.10, 0.0625, 0.04}) {
+    const Outcome o = evaluate(w, 1e-3);
+    w_table.add_values(percent_format(w),
+                       o.settle_ticks >= 0 ? std::to_string(o.settle_ticks) : "never",
+                       o.final_code, format_significant(o.amplitude, 3), o.steady_changes);
+  }
+  w_table.print(std::cout);
+  std::cout << "-> wider windows settle the same but tolerate larger steps; below the\n"
+               "   6.25% bound some tanks limit-cycle (see bench_ablation_window).\n\n";
+
+  std::cout << "Tick period (at the 10% window):\n";
+  TablePrinter t_table({"tick", "settle [ticks]", "settle [ms]", "final code",
+                        "amplitude [V]"});
+  for (const double tick : {2e-3, 1e-3, 0.5e-3, 0.25e-3, 0.1e-3}) {
+    const Outcome o = evaluate(0.10, tick);
+    t_table.add_values(si_format(tick, "s"),
+                       o.settle_ticks >= 0 ? std::to_string(o.settle_ticks) : "never",
+                       o.settle_ticks >= 0 ? format_significant(o.settle_ticks * tick * 1e3, 3)
+                                           : "-",
+                       o.final_code, format_significant(o.amplitude, 3));
+  }
+  t_table.print(std::cout);
+  std::cout << "-> the settle TICK count is invariant (one code per tick); wall-clock\n"
+               "   settling scales with the tick, which is why the paper adds the NVM\n"
+               "   preset instead of a faster (EMC-noisier, jitter-prone) tick.\n";
+  return 0;
+}

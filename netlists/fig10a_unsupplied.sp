@@ -1,0 +1,19 @@
+* Paper Fig. 10a: standard CMOS output stage, unsupplied-chip testbench.
+* Both LC pin drivers, floating Vdd rail with the dead chip's rail load,
+* differential drive across the pins, external 1M leakage for the common
+* mode.  Sweep Vdiff with:  netlist_runner fig10a_unsupplied.sp sweep Vdiff -3 3 61 lc1 lc2 vdd
+
+.subckt pin10a lcx vdd
+Mp1 lcx ngp vdd vdd pmos wl=1000
+Mn1 lcx ngn 0 0 nmos wl=400
+Rgp ngp 0 200k
+Rgn ngn 0 200k
+.ends
+
+Vdiff lc1 lc2 0
+Rleak1 lc1 0 1meg
+Rleak2 lc2 0 1meg
+Rrail vdd 0 2k
+X1 lc1 vdd pin10a
+X2 lc2 vdd pin10a
+.end

@@ -1,0 +1,32 @@
+* Paper Fig. 11: bulk-switched output stage, unsupplied-chip testbench.
+* Per-pin driver with the protection network (MP3 gate-cancel, MN3/MN5
+* gate and bulk pulls into the shared switched p-well "nbulk"), plus the
+* shared MP6/MP7/MN6 powered-bulk control.
+* Sweep with:  netlist_runner fig11_output_stage.sp sweep Vdiff -3 3 61 lc1 lc2 vdd
+
+.subckt pin11 lcx vdd nbulk
+Mp1 lcx ng2 vdd vdd pmos wl=1000
+Mn1 lcx ng1 0 nbulk nmos wl=400
+Mp3 ng2 vdd lcx vdd pmos wl=10
+Mn3 ng1 0 lcx nbulk nmos wl=10
+Mn5 nbulk 0 lcx nbulk nmos wl=10
+R1 ng2 vdd 200k
+R2 ng1 0 200k
+.ends
+
+Vdiff lc1 lc2 0
+Rleak1 lc1 0 1meg
+Rleak2 lc2 0 1meg
+Rrail vdd 0 2k
+
+X1 lc1 vdd nbulk pin11
+X2 lc2 vdd nbulk pin11
+
+* Shared bulk control: powered -> MN6 shorts nbulk to ground.
+Mp7 n7 n7 vdd vdd pmos wl=10
+R7 n7 0 500k
+Mp6 ng6 n7 vdd vdd pmos wl=10
+R6 ng6 0 500k
+Mn6 nbulk ng6 0 nbulk nmos wl=10
+R3 nbulk 0 200k
+.end

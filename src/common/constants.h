@@ -1,0 +1,56 @@
+// Physical constants and chip-level parameters shared by the models.
+#pragma once
+
+#include <numbers>
+
+namespace lcosc {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Boltzmann constant [J/K] and electron charge [C] for diode models.
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kElectronCharge = 1.602176634e-19;
+
+// Thermal voltage kT/q at 300 K [V]; used as the default diode slope.
+constexpr double kThermalVoltage300K = kBoltzmann * 300.0 / kElectronCharge;
+
+// --- Paper-level constants (DATE'05, Horsky) ------------------------------
+
+// The amplitude law V = k * Im * Rp uses an effective factor that depends on
+// the driver's V-I characteristic.  For the linear-then-limited
+// approximation of Fig. 2 the paper quotes k ~ 0.9.
+constexpr double kDriverShapeFactorLinear = 0.9;
+
+// A hard-limited (square wave) current drive delivers its fundamental at
+// 4/pi times the limit amplitude.
+constexpr double kDriverShapeFactorSquare = 4.0 / kPi;
+
+// DAC geometry (Table 1 / Fig. 3).
+constexpr int kDacCodeBits = 7;
+constexpr int kDacCodeCount = 1 << kDacCodeBits;          // 128 codes
+constexpr int kDacCodeMax = kDacCodeCount - 1;            // code 127
+constexpr int kDacSegmentCount = 8;
+constexpr int kDacCodesPerSegment = 16;
+constexpr int kDacFullScaleUnits = 1984;                  // M(127)
+// Equivalent linear DAC resolution quoted by the paper (0..1984 < 2^11).
+constexpr int kDacEquivalentLinearBits = 11;
+
+// Measured unit current: "1 LSB is 12.5 uA" (Fig. 13).
+constexpr double kDacUnitCurrent = 12.5e-6;
+
+// Regulation loop (paragraph 4).
+constexpr double kRegulationTickPeriod = 1.0e-3;          // one step per 1 ms
+constexpr int kStartupCode = 105;                         // POR preset
+// Worst-case relative DAC step above code 16 (Fig. 4); the regulation
+// window must be wider than this.
+constexpr double kMaxRelativeStepAbove16 = 0.0625;
+constexpr double kMinRelativeStepAbove16 = 0.0323;
+
+// Operating envelope quoted in paragraphs 5 and 9.
+constexpr double kMinOscFrequency = 2.0e6;
+constexpr double kMaxOscFrequency = 5.0e6;
+constexpr double kMaxEquivalentTransconductance = 10.0e-3;  // ~10 mS
+constexpr double kMaxOperatingAmplitudePeakToPeak = 2.7;    // 2.7 Vpp
+
+}  // namespace lcosc

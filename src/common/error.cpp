@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace lcosc::detail {
+
+void throw_requirement_failure(const char* condition, const char* file, int line,
+                               const std::string& message) {
+  std::ostringstream os;
+  os << "requirement violated: " << message << " [" << condition << "] at " << file << ":" << line;
+  throw ConfigError(os.str());
+}
+
+}  // namespace lcosc::detail

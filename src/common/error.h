@@ -1,0 +1,53 @@
+// Error handling for the lcosc library.
+//
+// The library throws `lcosc::Error` (or a subclass) for all recoverable
+// failures: invalid configuration, non-convergence of a solver, malformed
+// netlists.  Programming errors (violated preconditions that indicate a bug
+// in the caller) are checked with LCOSC_REQUIRE which also throws, so unit
+// tests can exercise precondition violations without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lcosc {
+
+// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Invalid user-supplied configuration or arguments.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+// An iterative solver failed to converge within its budget.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+// A netlist is structurally invalid (unknown node, singular topology...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failure(const char* condition, const char* file, int line,
+                                            const std::string& message);
+}  // namespace detail
+
+// Precondition check.  Usage:
+//   LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "DAC code out of range");
+#define LCOSC_REQUIRE(cond, message)                                                     \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::lcosc::detail::throw_requirement_failure(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                                    \
+  } while (false)
+
+}  // namespace lcosc

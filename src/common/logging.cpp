@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace lcosc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Off:
+      return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (message.empty()) return;
+  std::cerr << "[lcosc:" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace lcosc

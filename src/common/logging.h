@@ -1,0 +1,48 @@
+// Minimal leveled logging used by solvers to report convergence trouble.
+//
+// Logging is off by default (level Warn) so library output stays clean;
+// benches and examples may raise the level for diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lcosc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+// Emit one line to stderr with a level tag if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define LCOSC_LOG_DEBUG ::lcosc::detail::LogLine(::lcosc::LogLevel::Debug)
+#define LCOSC_LOG_INFO ::lcosc::detail::LogLine(::lcosc::LogLevel::Info)
+#define LCOSC_LOG_WARN ::lcosc::detail::LogLine(::lcosc::LogLevel::Warn)
+#define LCOSC_LOG_ERROR ::lcosc::detail::LogLine(::lcosc::LogLevel::Error)
+
+}  // namespace lcosc

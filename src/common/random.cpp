@@ -1,0 +1,83 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace lcosc {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : state_) s = splitmix64(x);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>((*this)() % span);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the parent state with the stream id through splitmix64 so sibling
+  // streams are decorrelated.
+  std::uint64_t x = state_[0] ^ rotl(state_[3], 13) ^ (stream_id * 0xD6E8FEB86659FD93ULL);
+  Rng child(splitmix64(x));
+  return child;
+}
+
+}  // namespace lcosc

@@ -1,0 +1,64 @@
+#include "common/si_format.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+namespace lcosc {
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+constexpr std::array<Prefix, 11> kPrefixes = {{
+    {1e12, "T"},
+    {1e9, "G"},
+    {1e6, "M"},
+    {1e3, "k"},
+    {1e0, ""},
+    {1e-3, "m"},
+    {1e-6, "u"},
+    {1e-9, "n"},
+    {1e-12, "p"},
+    {1e-15, "f"},
+    {1e-18, "a"},
+}};
+
+}  // namespace
+
+std::string format_significant(double value, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string si_format(double value, const std::string& unit, int digits) {
+  if (std::isnan(value)) return "nan " + unit;
+  if (std::isinf(value)) return (value > 0 ? "inf " : "-inf ") + unit;
+  if (value == 0.0) return "0 " + unit;
+
+  const double magnitude = std::abs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const auto& prefix : kPrefixes) {
+    if (magnitude >= prefix.scale) {
+      chosen = &prefix;
+      break;
+    }
+  }
+  std::ostringstream os;
+  os.precision(digits);
+  os << (value / chosen->scale) << ' ' << chosen->symbol << unit;
+  return os.str();
+}
+
+std::string percent_format(double ratio, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << (ratio * 100.0) << '%';
+  return os.str();
+}
+
+}  // namespace lcosc

@@ -1,0 +1,19 @@
+// Engineering-notation formatting of SI quantities ("12.5 uA", "4.7 nF").
+#pragma once
+
+#include <string>
+
+namespace lcosc {
+
+// Format `value` with an engineering prefix and the given unit symbol,
+// e.g. si_format(1.25e-5, "A") -> "12.5 uA".  `digits` is the number of
+// significant digits.  Zero, NaN and infinity are handled gracefully.
+[[nodiscard]] std::string si_format(double value, const std::string& unit, int digits = 4);
+
+// Format a plain double with `digits` significant digits (no prefix).
+[[nodiscard]] std::string format_significant(double value, int digits = 4);
+
+// Format a ratio as a percentage string, e.g. 0.0625 -> "6.25%".
+[[nodiscard]] std::string percent_format(double ratio, int digits = 3);
+
+}  // namespace lcosc

@@ -1,0 +1,61 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+double quantile(std::vector<double> samples, double q) {
+  LCOSC_REQUIRE(!samples.empty(), "quantile of an empty sample");
+  LCOSC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double position = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+SummaryStatistics summarize(std::vector<double> samples) {
+  LCOSC_REQUIRE(!samples.empty(), "summary of an empty sample");
+  SummaryStatistics s;
+  s.count = samples.size();
+
+  double acc = 0.0;
+  for (const double v : samples) acc += v;
+  s.mean = acc / static_cast<double>(s.count);
+
+  double var = 0.0;
+  for (const double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(var / static_cast<double>(s.count - 1)) : 0.0;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p05 = quantile(samples, 0.05);
+  s.median = quantile(samples, 0.5);
+  s.p95 = quantile(samples, 0.95);
+  return s;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& samples, double lo, double hi,
+                                   std::size_t bins) {
+  LCOSC_REQUIRE(bins >= 1, "histogram needs at least one bin");
+  LCOSC_REQUIRE(hi > lo, "histogram range must be ordered");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : samples) {
+    const double offset = (v - lo) / width;
+    std::size_t bin = 0;
+    if (offset >= 0.0) {
+      bin = std::min(static_cast<std::size_t>(offset), bins - 1);
+    }
+    ++counts[bin];
+  }
+  return counts;
+}
+
+}  // namespace lcosc

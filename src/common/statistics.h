@@ -1,0 +1,30 @@
+// Descriptive statistics for Monte-Carlo campaigns (mismatch, tolerance).
+#pragma once
+
+#include <vector>
+
+namespace lcosc {
+
+struct SummaryStatistics {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p05 = 0.0;  // 5th percentile
+  double median = 0.0;
+  double p95 = 0.0;  // 95th percentile
+};
+
+// Compute summary statistics; throws ConfigError on an empty sample.
+[[nodiscard]] SummaryStatistics summarize(std::vector<double> samples);
+
+// Linear-interpolated quantile of a sample, q in [0, 1].
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+// Fixed-width histogram over [lo, hi] with `bins` bins; values outside the
+// range clamp into the edge bins.
+[[nodiscard]] std::vector<std::size_t> histogram(const std::vector<double>& samples, double lo,
+                                                 double hi, std::size_t bins);
+
+}  // namespace lcosc

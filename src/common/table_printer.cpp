@@ -1,0 +1,86 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LCOSC_REQUIRE(!headers_.empty(), "table must have at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  LCOSC_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      // Quote cells that contain separators.
+      if (row[c].find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (const char ch : row[c]) {
+          if (ch == '"') os << "\"\"";
+          else os << ch;
+        }
+        os << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace detail {
+
+std::string cell_to_string(const std::string& v) { return v; }
+std::string cell_to_string(const char* v) { return v; }
+
+std::string cell_to_string(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string cell_to_string(int v) { return std::to_string(v); }
+std::string cell_to_string(long v) { return std::to_string(v); }
+std::string cell_to_string(unsigned v) { return std::to_string(v); }
+std::string cell_to_string(std::size_t v) { return std::to_string(v); }
+std::string cell_to_string(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace detail
+}  // namespace lcosc

@@ -1,0 +1,55 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit the
+// paper's tables and figure data series in a readable, diffable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lcosc {
+
+// Collects rows of string cells and prints them with aligned columns.
+//
+//   TablePrinter t({"Code", "M(n)", "Step"});
+//   t.add_row({"17", "17", "1"});
+//   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Append one row; must have the same number of cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: convert arithmetic values with operator<<.
+  template <typename... Ts>
+  void add_values(const Ts&... values);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+  // Render the table as CSV (headers + rows), for machine consumption.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace detail {
+std::string cell_to_string(const std::string& v);
+std::string cell_to_string(const char* v);
+std::string cell_to_string(double v);
+std::string cell_to_string(int v);
+std::string cell_to_string(long v);
+std::string cell_to_string(unsigned v);
+std::string cell_to_string(std::size_t v);
+std::string cell_to_string(bool v);
+}  // namespace detail
+
+template <typename... Ts>
+void TablePrinter::add_values(const Ts&... values) {
+  add_row({detail::cell_to_string(values)...});
+}
+
+}  // namespace lcosc

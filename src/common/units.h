@@ -1,0 +1,98 @@
+// SI unit helpers and physical constants used throughout the library.
+//
+// All quantities in the library are plain `double` in base SI units
+// (volts, amperes, ohms, henries, farads, seconds, hertz).  These
+// user-defined literals make component values in configuration code read
+// like a schematic annotation:
+//
+//   TankConfig tank{.inductance = 470.0_uH, .capacitance = 2.2_nF};
+#pragma once
+
+namespace lcosc {
+
+// --- scale prefixes -------------------------------------------------------
+
+constexpr double kTera = 1e12;
+constexpr double kGiga = 1e9;
+constexpr double kMega = 1e6;
+constexpr double kKilo = 1e3;
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+constexpr double kPico = 1e-12;
+constexpr double kFemto = 1e-15;
+
+namespace literals {
+
+// Voltage / generic value literals.
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_uV(unsigned long long v) { return static_cast<double>(v) * kMicro; }
+
+// Current.
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_A(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_mA(unsigned long long v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * kNano; }
+constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * kNano; }
+
+// Resistance.
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Ohm(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * kKilo; }
+constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * kKilo; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * kMega; }
+constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * kMega; }
+
+// Inductance.
+constexpr double operator""_H(long double v) { return static_cast<double>(v); }
+constexpr double operator""_H(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mH(long double v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_mH(unsigned long long v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_uH(long double v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_uH(unsigned long long v) { return static_cast<double>(v) * kMicro; }
+
+// Capacitance.
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_F(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_uF(unsigned long long v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_nF(long double v) { return static_cast<double>(v) * kNano; }
+constexpr double operator""_nF(unsigned long long v) { return static_cast<double>(v) * kNano; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * kPico; }
+constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * kPico; }
+
+// Time.
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * kNano; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * kNano; }
+
+// Frequency.
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * kKilo; }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * kKilo; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * kMega; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * kMega; }
+
+// Conductance.
+constexpr double operator""_S(long double v) { return static_cast<double>(v); }
+constexpr double operator""_S(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mS(long double v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_mS(unsigned long long v) { return static_cast<double>(v) * kMilli; }
+constexpr double operator""_uS(long double v) { return static_cast<double>(v) * kMicro; }
+constexpr double operator""_uS(unsigned long long v) { return static_cast<double>(v) * kMicro; }
+
+}  // namespace literals
+}  // namespace lcosc

@@ -1,0 +1,107 @@
+#include "core/lc_oscillator.h"
+
+#include "common/error.h"
+
+namespace lcosc {
+
+LcOscillatorDriver::LcOscillatorDriver(LcOscillatorConfig config) : config_(std::move(config)) {
+  if (config_.mismatch_seed) {
+    mismatched_dac_ = std::make_shared<const dac::CurrentLimitationDac>(
+        config_.driver.unit_current, config_.mismatch, *config_.mismatch_seed);
+  }
+  // Validate early.
+  (void)tank::RlcTank(config_.tank);
+}
+
+system::OscillatorSystemConfig LcOscillatorDriver::system_config() const {
+  system::OscillatorSystemConfig sys;
+  sys.tank = config_.tank;
+  sys.driver = config_.driver;
+  sys.detector = config_.detector;
+  sys.regulation = config_.regulation;
+  sys.safety = config_.safety;
+  sys.steps_per_period = config_.steps_per_period;
+  sys.waveform_decimation = config_.waveform_decimation;
+  return sys;
+}
+
+driver::OscillatorDriver LcOscillatorDriver::make_driver() const {
+  driver::OscillatorDriver drv(config_.driver);
+  if (mismatched_dac_) drv.use_mismatched_dac(mismatched_dac_);
+  return drv;
+}
+
+system::SimulationResult LcOscillatorDriver::run_startup(double duration) {
+  system::OscillatorSystem sys(system_config());
+  if (mismatched_dac_) sys.driver().use_mismatched_dac(mismatched_dac_);
+  return sys.run(duration);
+}
+
+system::SimulationResult LcOscillatorDriver::run_with_fault(
+    double duration, tank::TankFault fault, double fault_time,
+    const tank::FaultSeverity& severity) {
+  system::OscillatorSystem sys(system_config());
+  if (mismatched_dac_) sys.driver().use_mismatched_dac(mismatched_dac_);
+  sys.schedule_fault(fault, fault_time, severity);
+  return sys.run(duration);
+}
+
+system::SimulationResult LcOscillatorDriver::run_scenario(
+    double duration, const std::vector<std::pair<double, system::ScenarioAction>>& events) {
+  system::OscillatorSystem sys(system_config());
+  if (mismatched_dac_) sys.driver().use_mismatched_dac(mismatched_dac_);
+  for (const auto& [time, action] : events) sys.schedule_event(time, action);
+  return sys.run(duration);
+}
+
+system::ToleranceReport LcOscillatorDriver::run_tolerance(int samples, double lc_tolerance,
+                                                          double rs_tolerance) const {
+  system::ToleranceConfig cfg;
+  cfg.nominal.tank = config_.tank;
+  cfg.nominal.driver = config_.driver;
+  cfg.nominal.detector = config_.detector;
+  cfg.nominal.regulation = config_.regulation;
+  cfg.inductance_tolerance = lc_tolerance;
+  cfg.capacitance_tolerance = lc_tolerance;
+  cfg.resistance_tolerance = rs_tolerance;
+  cfg.include_dac_mismatch = config_.mismatch_seed.has_value();
+  cfg.mismatch = config_.mismatch;
+  cfg.samples = samples;
+  return run_tolerance_analysis(cfg);
+}
+
+system::EnvelopeRunResult LcOscillatorDriver::run_envelope(double duration) {
+  system::EnvelopeSimConfig env;
+  env.tank = config_.tank;
+  env.driver = config_.driver;
+  env.detector = config_.detector;
+  env.regulation = config_.regulation;
+  system::EnvelopeSimulator sim(env);
+  if (mismatched_dac_) sim.driver().use_mismatched_dac(mismatched_dac_);
+  return sim.run(duration);
+}
+
+std::optional<double> LcOscillatorDriver::predicted_amplitude(int code) const {
+  driver::OscillatorDriver drv = make_driver();
+  drv.set_code(code);
+  return drv.predicted_amplitude(tank_model());
+}
+
+std::optional<int> LcOscillatorDriver::expected_settling_code() const {
+  const double target = config_.detector.target_amplitude;
+  for (int code = 0; code <= kDacCodeMax; ++code) {
+    const auto amplitude = predicted_amplitude(code);
+    if (amplitude && *amplitude >= target) return code;
+  }
+  return std::nullopt;
+}
+
+double LcOscillatorDriver::expected_supply_current() const {
+  const auto code = expected_settling_code();
+  driver::OscillatorDriver drv = make_driver();
+  drv.set_code(code.value_or(kDacCodeMax));
+  const auto amplitude = drv.predicted_amplitude(tank_model());
+  return drv.supply_current(amplitude.value_or(0.0));
+}
+
+}  // namespace lcosc

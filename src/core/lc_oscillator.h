@@ -1,0 +1,98 @@
+// Public facade of the lcosc library.
+//
+// Wraps the full simulation stack behind a small, application-facing API:
+//
+//   using namespace lcosc;
+//   LcOscillatorConfig cfg;
+//   cfg.tank = tank::design_tank(4e6, 50.0, 100e-6);
+//   LcOscillatorDriver osc(cfg);
+//   auto startup = osc.run_startup(10e-3);
+//   std::cout << "settled at " << startup.settled_amplitude() << " V, code "
+//             << startup.final_code << "\n";
+//
+// Everything underneath (tank physics, Table-1 DAC coding, detectors,
+// regulation FSM, fault injection, spice-extracted output stages) remains
+// available through the module headers for power users.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "system/dual_system.h"
+#include "system/envelope_simulator.h"
+#include "system/fmea_campaign.h"
+#include "system/oscillator_system.h"
+#include "system/tolerance_analysis.h"
+
+namespace lcosc {
+
+struct LcOscillatorConfig {
+  tank::TankConfig tank = tank::typical_mid_q_tank();
+  driver::DriverConfig driver{};
+  regulation::AmplitudeDetectorConfig detector{};
+  regulation::RegulationConfig regulation{};
+  safety::SafetyControllerConfig safety{};
+
+  // Optional Monte-Carlo mismatch on the current limitation DAC.
+  std::optional<std::uint64_t> mismatch_seed;
+  dac::MismatchConfig mismatch{};
+
+  // Integration resolution of the cycle-accurate engine.
+  int steps_per_period = 64;
+  // Waveform recording decimation (0 = no waveforms, envelopes only).
+  int waveform_decimation = 1;
+};
+
+class LcOscillatorDriver {
+ public:
+  explicit LcOscillatorDriver(LcOscillatorConfig config = {});
+
+  // --- simulation entry points ---------------------------------------------
+
+  // Power-on startup (POR code 105, optional NVM preset) for `duration`.
+  [[nodiscard]] system::SimulationResult run_startup(double duration);
+
+  // Startup with a fault injected at `fault_time`.
+  [[nodiscard]] system::SimulationResult run_with_fault(double duration, tank::TankFault fault,
+                                                        double fault_time,
+                                                        const tank::FaultSeverity& severity = {});
+
+  // Scripted scenario: events (faults, recoveries, temperature steps)
+  // applied at their times during one run.
+  [[nodiscard]] system::SimulationResult run_scenario(
+      double duration, const std::vector<std::pair<double, system::ScenarioAction>>& events);
+
+  // Monte-Carlo tolerance analysis around this configuration.
+  [[nodiscard]] system::ToleranceReport run_tolerance(int samples,
+                                                      double lc_tolerance = 0.10,
+                                                      double rs_tolerance = 0.30) const;
+
+  // Fast envelope-domain run (long campaigns; no safety detectors).
+  [[nodiscard]] system::EnvelopeRunResult run_envelope(double duration);
+
+  // --- analysis ----------------------------------------------------------------
+
+  // The tank as configured.
+  [[nodiscard]] tank::RlcTank tank_model() const { return tank::RlcTank(config_.tank); }
+
+  // Steady-state amplitude prediction at a given code (Eq. 4).
+  [[nodiscard]] std::optional<double> predicted_amplitude(int code) const;
+
+  // Code the regulation loop should settle near for the configured target.
+  [[nodiscard]] std::optional<int> expected_settling_code() const;
+
+  // Estimated supply current at the regulation target (Section 9 range:
+  // ~250 uA for high-Q tanks up to ~30 mA for poor ones).
+  [[nodiscard]] double expected_supply_current() const;
+
+  [[nodiscard]] const LcOscillatorConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] system::OscillatorSystemConfig system_config() const;
+  [[nodiscard]] driver::OscillatorDriver make_driver() const;
+
+  LcOscillatorConfig config_;
+  std::shared_ptr<const dac::CurrentLimitationDac> mismatched_dac_;
+};
+
+}  // namespace lcosc

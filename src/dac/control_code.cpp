@@ -1,0 +1,98 @@
+#include "dac/control_code.h"
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace lcosc::dac {
+namespace {
+
+// Table 1 columns, indexed by segment.
+constexpr std::array<std::uint8_t, 8> kOscD = {0b000, 0b000, 0b001, 0b001,
+                                               0b011, 0b011, 0b111, 0b111};
+constexpr std::array<std::uint8_t, 8> kOscE = {0b0000, 0b0001, 0b0001, 0b0011,
+                                               0b0011, 0b0111, 0b0111, 0b1111};
+constexpr std::array<int, 8> kShift = {0, 0, 0, 1, 1, 2, 2, 3};
+
+void check_code(int code) {
+  LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "DAC code out of range 0..127");
+}
+
+void check_segment(int segment) {
+  LCOSC_REQUIRE(segment >= 0 && segment < kDacSegmentCount, "DAC segment out of range 0..7");
+}
+
+}  // namespace
+
+int segment_of(int code) {
+  check_code(code);
+  return code >> 4;
+}
+
+int mirror_shift(int segment) {
+  check_segment(segment);
+  return kShift[static_cast<std::size_t>(segment)];
+}
+
+int segment_step(int segment) {
+  check_segment(segment);
+  return prescale_factor(kOscD[static_cast<std::size_t>(segment)]) << mirror_shift(segment);
+}
+
+int segment_range_min(int segment) {
+  check_segment(segment);
+  return multiplication_factor(segment * kDacCodesPerSegment);
+}
+
+int segment_range_max(int segment) {
+  check_segment(segment);
+  return multiplication_factor(segment * kDacCodesPerSegment + kDacCodesPerSegment - 1);
+}
+
+ControlSignals encode_control(int code) {
+  check_code(code);
+  const int segment = code >> 4;
+  const int lsbs = code & 0xF;
+  ControlSignals signals;
+  signals.osc_d = kOscD[static_cast<std::size_t>(segment)];
+  signals.osc_e = kOscE[static_cast<std::size_t>(segment)];
+  signals.osc_f = static_cast<std::uint8_t>(lsbs << kShift[static_cast<std::size_t>(segment)]);
+  return signals;
+}
+
+int prescale_factor(std::uint8_t osc_d) {
+  LCOSC_REQUIRE(osc_d == 0b000 || osc_d == 0b001 || osc_d == 0b011 || osc_d == 0b111,
+                "OscD must be a thermometer code");
+  return static_cast<int>(osc_d) + 1;
+}
+
+int fixed_mirror_units(std::uint8_t osc_e) {
+  LCOSC_REQUIRE(osc_e < 16, "OscE is a 4-bit bus");
+  return 16 * (osc_e & 1) + 16 * ((osc_e >> 1) & 1) + 32 * ((osc_e >> 2) & 1) +
+         64 * ((osc_e >> 3) & 1);
+}
+
+int active_gm_stages(std::uint8_t osc_e) {
+  LCOSC_REQUIRE(osc_e < 16, "OscE is a 4-bit bus");
+  return 1 + (osc_e & 1) + ((osc_e >> 1) & 1) + 2 * ((osc_e >> 2) & 1) + 4 * ((osc_e >> 3) & 1);
+}
+
+int multiplication_factor(const ControlSignals& signals) {
+  return prescale_factor(signals.osc_d) *
+         (fixed_mirror_units(signals.osc_e) + static_cast<int>(signals.osc_f));
+}
+
+int multiplication_factor(int code) {
+  return multiplication_factor(encode_control(code));
+}
+
+std::array<char, 8> format_bus(std::uint8_t value, int bits) {
+  LCOSC_REQUIRE(bits >= 1 && bits <= 7, "bus width must be 1..7");
+  std::array<char, 8> out{};
+  for (int i = 0; i < bits; ++i) {
+    out[static_cast<std::size_t>(i)] = ((value >> (bits - 1 - i)) & 1) ? '1' : '0';
+  }
+  out[static_cast<std::size_t>(bits)] = '\0';
+  return out;
+}
+
+}  // namespace lcosc::dac

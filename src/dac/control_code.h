@@ -1,0 +1,68 @@
+// Table 1 of the paper: mapping from the 7-bit amplitude code to the three
+// hardware control buses of the current limitation DAC.
+//
+//   - OscD<2:0>  prescaler bus (thermometer 000/001/011/111 -> x1/2/4/8)
+//   - OscE<3:0>  Gm-switching bus (enables fixed mirror taps 16/16/32/64
+//                and extra output stages Gm/Gm/2Gm/4Gm)
+//   - OscF<6:0>  binary-weighted current mirror bus (the 4 LSBs B3..B0 of
+//                the code, left-shifted per segment)
+//
+// The resulting multiplication factor
+//   M(code) = prescale * (fixed_units + OscF)
+// is the piece-wise-linear approximation of an exponential: within each of
+// the 8 segments the step is constant (1,1,2,4,8,16,32,64 units), and the
+// relative step stays within [3.23%, 6.25%] for codes >= 16 (Figs. 3-4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lcosc::dac {
+
+struct ControlSignals {
+  std::uint8_t osc_d = 0;  // 3-bit prescaler bus
+  std::uint8_t osc_e = 0;  // 4-bit Gm-switching bus
+  std::uint8_t osc_f = 0;  // 7-bit mirror bus
+
+  friend bool operator==(const ControlSignals&, const ControlSignals&) = default;
+};
+
+// Segment (0..7) of a code: the 3 MSBs.
+[[nodiscard]] int segment_of(int code);
+
+// Per-segment left shift applied to the 4 LSBs to form OscF.
+[[nodiscard]] int mirror_shift(int segment);
+
+// Per-segment unit step of the multiplication factor (Fig. 3 annotations).
+[[nodiscard]] int segment_step(int segment);
+
+// First / last multiplication factor of a segment ("Range min/max").
+[[nodiscard]] int segment_range_min(int segment);
+[[nodiscard]] int segment_range_max(int segment);
+
+// Encode a code (0..127) into the three control buses (throws ConfigError
+// for out-of-range codes).
+[[nodiscard]] ControlSignals encode_control(int code);
+
+// Prescaler ratio selected by OscD (1, 2, 4 or 8).  Equals OscD value + 1
+// for the thermometer codes used by encode_control.
+[[nodiscard]] int prescale_factor(std::uint8_t osc_d);
+
+// Sum of the fixed mirror taps (units of Iref2) enabled by OscE:
+// bit0 -> 16 (I16a), bit1 -> 16 (I16b), bit2 -> 32, bit3 -> 64.
+[[nodiscard]] int fixed_mirror_units(std::uint8_t osc_e);
+
+// Number of active parallel Gm output stages selected by OscE: one stage
+// is always on, bits 0/1/2/3 add 1/1/2/4 more (Fig. 7 / Table 1).
+[[nodiscard]] int active_gm_stages(std::uint8_t osc_e);
+
+// Multiplication factor reconstructed from control signals.
+[[nodiscard]] int multiplication_factor(const ControlSignals& signals);
+
+// Direct ideal multiplication factor of a code (0..1984).
+[[nodiscard]] int multiplication_factor(int code);
+
+// Render a bus as a binary string ("011") for table output.
+[[nodiscard]] std::array<char, 8> format_bus(std::uint8_t value, int bits);
+
+}  // namespace lcosc::dac

@@ -1,0 +1,147 @@
+#include "dac/current_mirror.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::dac {
+
+MirrorBank::MirrorBank() {
+  fixed_factors_.fill(1.0);
+  binary_factors_.fill(1.0);
+}
+
+MirrorBank::MirrorBank(const MismatchConfig& config, Rng& rng) {
+  for (std::size_t i = 0; i < kFixedWeights.size(); ++i) {
+    const double sigma = config.unit_sigma / std::sqrt(static_cast<double>(kFixedWeights[i]));
+    fixed_factors_[i] = 1.0 + rng.normal(0.0, sigma);
+  }
+  for (std::size_t i = 0; i < kBinaryWeights.size(); ++i) {
+    const double sigma = config.unit_sigma / std::sqrt(static_cast<double>(kBinaryWeights[i]));
+    binary_factors_[i] = 1.0 + rng.normal(0.0, sigma);
+  }
+}
+
+double MirrorBank::ideal_units(const ControlSignals& signals) {
+  return static_cast<double>(fixed_mirror_units(signals.osc_e) +
+                             static_cast<int>(signals.osc_f));
+}
+
+double MirrorBank::output_units(const ControlSignals& signals) const {
+  double units = 0.0;
+  for (std::size_t i = 0; i < kFixedWeights.size(); ++i) {
+    if ((signals.osc_e >> i) & 1) units += kFixedWeights[i] * fixed_factors_[i];
+  }
+  for (std::size_t i = 0; i < kBinaryWeights.size(); ++i) {
+    if ((signals.osc_f >> i) & 1) units += kBinaryWeights[i] * binary_factors_[i];
+  }
+  return units;
+}
+
+CurrentLimitationDac::CurrentLimitationDac(double unit_current, const MismatchConfig& config,
+                                           std::uint64_t seed)
+    : unit_current_(unit_current), seed_(seed), reference_factor_(1.0) {
+  LCOSC_REQUIRE(unit_current > 0.0, "unit current must be positive");
+  // Independent streams per block so adding a block never shifts the
+  // deviates of another (keeps found seeds stable across versions).
+  Rng master(seed);
+  reference_factor_ = 1.0 + master.normal(0.0, config.reference_sigma);
+  Rng prescale_rng = master.fork(1);
+  for (std::size_t i = 0; i < prescale_factors_.size(); ++i) {
+    prescale_factors_[i] = 1.0 + prescale_rng.normal(0.0, config.prescaler_sigma);
+  }
+  Rng top_rng = master.fork(2);
+  Rng bottom_rng = master.fork(3);
+  top_ = MirrorBank(config, top_rng);
+  bottom_ = MirrorBank(config, bottom_rng);
+}
+
+double CurrentLimitationDac::ideal_current(int code) const {
+  return unit_current_ * multiplication_factor(code);
+}
+
+namespace {
+std::size_t prescale_index(int factor) {
+  switch (factor) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    case 8: return 3;
+    default: throw ConfigError("invalid prescale factor");
+  }
+}
+}  // namespace
+
+double CurrentLimitationDac::top_current(int code) const {
+  const ControlSignals s = encode_control(code);
+  const int ideal_prescale = prescale_factor(s.osc_d);
+  const double prescale =
+      ideal_prescale * prescale_factors_[prescale_index(ideal_prescale)];
+  return unit_current_ * reference_factor_ * prescale * top_.output_units(s);
+}
+
+double CurrentLimitationDac::bottom_current(int code) const {
+  const ControlSignals s = encode_control(code);
+  const int ideal_prescale = prescale_factor(s.osc_d);
+  const double prescale =
+      ideal_prescale * prescale_factors_[prescale_index(ideal_prescale)];
+  return unit_current_ * reference_factor_ * prescale * bottom_.output_units(s);
+}
+
+double CurrentLimitationDac::output_current(int code) const {
+  return 0.5 * (top_current(code) + bottom_current(code));
+}
+
+double CurrentLimitationDac::relative_step(int code) const {
+  LCOSC_REQUIRE(code >= 1 && code < kDacCodeMax, "relative step defined for codes 1..126");
+  const double i0 = output_current(code);
+  const double i1 = output_current(code + 1);
+  return (i1 - i0) / i0;
+}
+
+std::vector<int> CurrentLimitationDac::non_monotonic_codes() const {
+  std::vector<int> codes;
+  for (int code = 1; code < kDacCodeMax; ++code) {
+    if (output_current(code + 1) <= output_current(code)) codes.push_back(code + 1);
+  }
+  return codes;
+}
+
+std::uint64_t find_seed_with_single_negative_step(int code, double unit_current,
+                                                  const MismatchConfig& config,
+                                                  std::uint64_t start_seed, int max_attempts) {
+  LCOSC_REQUIRE(code >= 1 && code <= kDacCodeMax, "code out of range");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const std::uint64_t seed = start_seed + static_cast<std::uint64_t>(attempt);
+    const CurrentLimitationDac dac(unit_current, config, seed);
+    const std::vector<int> bad = dac.non_monotonic_codes();
+    if (bad.size() == 1 && bad.front() == code) return seed;
+  }
+  throw ConvergenceError("no seed found producing a single negative step at the target code");
+}
+
+std::vector<std::pair<int, double>> monte_carlo_non_monotonicity(int trials,
+                                                                 const MismatchConfig& config,
+                                                                 std::uint64_t seed) {
+  LCOSC_REQUIRE(trials > 0, "trials must be positive");
+  // Major-carry transitions: first code of each segment (the step from the
+  // previous segment's last code).
+  const std::vector<int> carries = {16, 32, 48, 64, 80, 96, 112};
+  std::vector<int> hits(carries.size(), 0);
+  for (int t = 0; t < trials; ++t) {
+    const CurrentLimitationDac dac(kDacUnitCurrent, config,
+                                   seed + static_cast<std::uint64_t>(t));
+    for (std::size_t c = 0; c < carries.size(); ++c) {
+      const int code = carries[c];
+      if (dac.output_current(code) <= dac.output_current(code - 1)) ++hits[c];
+    }
+  }
+  std::vector<std::pair<int, double>> result;
+  result.reserve(carries.size());
+  for (std::size_t c = 0; c < carries.size(); ++c) {
+    result.emplace_back(carries[c], static_cast<double>(hits[c]) / trials);
+  }
+  return result;
+}
+
+}  // namespace lcosc::dac

@@ -1,0 +1,107 @@
+// Physical model of the current limitation DAC (paper Figs. 5-6):
+// prescaler -> complementary top/bottom current mirrors, each with four
+// fixed taps (16, 16, 32, 64 units) and a 7-bit binary-weighted section.
+//
+// Every mirror branch carries a Gaussian relative mismatch whose sigma
+// scales as sigma_unit / sqrt(weight) (a weight-w branch is w matched unit
+// devices in parallel).  Major-carry code transitions (15->16, 47->48,
+// 79->80, 95->96, 111->112) hand the output from one set of branches to a
+// nearly disjoint one, so their step error is the largest -- which is how
+// the silicon of the paper came to be non-monotonic at code 96 (Fig. 14).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/random.h"
+#include "dac/control_code.h"
+
+namespace lcosc::dac {
+
+struct MismatchConfig {
+  // Relative 1-sigma mismatch of one unit current device.
+  double unit_sigma = 0.02;
+  // Relative 1-sigma error of each prescaler ratio setting.
+  double prescaler_sigma = 0.01;
+  // Relative 1-sigma error of the reference current itself (gain error,
+  // common to all codes; does not affect monotonicity).
+  double reference_sigma = 0.01;
+};
+
+// One mirror (top or bottom) with its drawn branch errors.
+class MirrorBank {
+ public:
+  // Ideal bank: every branch factor is exactly 1.
+  MirrorBank();
+  // Bank with Gaussian branch errors drawn from `rng`.
+  MirrorBank(const MismatchConfig& config, Rng& rng);
+
+  // Output units contributed for the given control word, including errors.
+  [[nodiscard]] double output_units(const ControlSignals& signals) const;
+
+  // Error-free value for reference.
+  [[nodiscard]] static double ideal_units(const ControlSignals& signals);
+
+  // Branch error factors (1 + eps); exposed for tests.
+  [[nodiscard]] const std::array<double, 4>& fixed_factors() const { return fixed_factors_; }
+  [[nodiscard]] const std::array<double, 7>& binary_factors() const { return binary_factors_; }
+
+ private:
+  // Fixed taps in OscE bit order: 16 (I16a), 16 (I16b), 32, 64.
+  static constexpr std::array<int, 4> kFixedWeights = {16, 16, 32, 64};
+  // Binary section weights for OscF bits 0..6.
+  static constexpr std::array<int, 7> kBinaryWeights = {1, 2, 4, 8, 16, 32, 64};
+
+  std::array<double, 4> fixed_factors_{};
+  std::array<double, 7> binary_factors_{};
+};
+
+// The complete current limitation DAC with mismatch.
+class CurrentLimitationDac {
+ public:
+  CurrentLimitationDac(double unit_current, const MismatchConfig& config, std::uint64_t seed);
+
+  // Ideal (mismatch-free) current for a code.
+  [[nodiscard]] double ideal_current(int code) const;
+
+  // Mismatched output current: average of the top and bottom mirror
+  // limits, which is what the amplitude loop effectively regulates on.
+  [[nodiscard]] double output_current(int code) const;
+
+  [[nodiscard]] double top_current(int code) const;
+  [[nodiscard]] double bottom_current(int code) const;
+
+  // Relative step (I(code+1) - I(code)) / I(code) of the mismatched
+  // transfer; code in 1..126.
+  [[nodiscard]] double relative_step(int code) const;
+
+  // Codes (n) where I(n+1) <= I(n): the non-monotonic transitions.
+  [[nodiscard]] std::vector<int> non_monotonic_codes() const;
+
+  [[nodiscard]] double unit_current() const { return unit_current_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  double unit_current_;
+  std::uint64_t seed_;
+  double reference_factor_;
+  std::array<double, 4> prescale_factors_{};  // ratios x1, x2, x4, x8
+  MirrorBank top_;
+  MirrorBank bottom_;
+};
+
+// Search (deterministically from `start_seed`) for a seed whose DAC is
+// non-monotonic exactly at `code` and nowhere else -- used by the Fig. 13/14
+// benches to reproduce the silicon sample the paper measured.
+[[nodiscard]] std::uint64_t find_seed_with_single_negative_step(
+    int code, double unit_current = kDacUnitCurrent, const MismatchConfig& config = {},
+    std::uint64_t start_seed = 1, int max_attempts = 200000);
+
+// Monte-Carlo probability that the transfer is non-monotonic at each major
+// carry transition; returns pairs (code, probability).
+[[nodiscard]] std::vector<std::pair<int, double>> monte_carlo_non_monotonicity(
+    int trials, const MismatchConfig& config = {}, std::uint64_t seed = 12345);
+
+}  // namespace lcosc::dac

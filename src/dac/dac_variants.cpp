@@ -1,0 +1,51 @@
+#include "dac/dac_variants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::dac {
+
+double AmplitudeControlLaw::max_relative_step(int first_code) const {
+  double worst = 0.0;
+  for (int code = std::max(first_code, 1); code < code_count() - 1; ++code) {
+    const double i0 = current(code);
+    if (i0 <= 0.0) continue;
+    worst = std::max(worst, (current(code + 1) - i0) / i0);
+  }
+  return worst;
+}
+
+double LinearLaw::current(int code) const {
+  LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "code out of range");
+  return full_scale_ * static_cast<double>(code) / static_cast<double>(kDacCodeMax);
+}
+
+IdealExponentialLaw::IdealExponentialLaw(double unit_current) : unit_current_(unit_current) {
+  LCOSC_REQUIRE(unit_current > 0.0, "unit current must be positive");
+  // Match the PWL anchors M(16) = 16 and M(127) = 1984.
+  ratio_ = std::pow(1984.0 / 16.0, 1.0 / (127.0 - 16.0));
+}
+
+double IdealExponentialLaw::current(int code) const {
+  LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "code out of range");
+  if (code == 0) return 0.0;
+  // Below the exponential anchor behave like the PWL's unit-step segment.
+  if (code < 16) return unit_current_ * code;
+  return unit_current_ * 16.0 * std::pow(ratio_, code - 16);
+}
+
+std::unique_ptr<AmplitudeControlLaw> make_control_law(ControlLawKind kind, double unit_current) {
+  switch (kind) {
+    case ControlLawKind::PwlExponential:
+      return std::make_unique<PwlExponentialLaw>(unit_current);
+    case ControlLawKind::Linear:
+      return std::make_unique<LinearLaw>(unit_current * kDacFullScaleUnits);
+    case ControlLawKind::IdealExponential:
+      return std::make_unique<IdealExponentialLaw>(unit_current);
+  }
+  throw ConfigError("unknown control law kind");
+}
+
+}  // namespace lcosc::dac

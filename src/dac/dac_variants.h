@@ -1,0 +1,72 @@
+// Alternative amplitude-control DAC transfer laws used by the ablation
+// benches: the paper argues that a linear voltage step requires an
+// exponential current control (Eq. 5); these variants let the regulation
+// loop be run against linear and ideal-exponential controls to show why
+// the PWL exponential was chosen.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/constants.h"
+#include "dac/exponential_dac.h"
+
+namespace lcosc::dac {
+
+// Abstract current-limitation control law: code -> current limit [A].
+class AmplitudeControlLaw {
+ public:
+  virtual ~AmplitudeControlLaw() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int code_count() const { return kDacCodeCount; }
+  [[nodiscard]] virtual double current(int code) const = 0;
+  // Worst relative amplitude step over usable codes (>= first_code).
+  [[nodiscard]] double max_relative_step(int first_code) const;
+};
+
+// The paper's PWL exponential law.
+class PwlExponentialLaw final : public AmplitudeControlLaw {
+ public:
+  explicit PwlExponentialLaw(double unit_current = kDacUnitCurrent) : dac_(unit_current) {}
+  [[nodiscard]] std::string name() const override { return "pwl-exponential"; }
+  [[nodiscard]] double current(int code) const override { return dac_.current(code); }
+
+ private:
+  PwlExponentialDac dac_;
+};
+
+// Linear law with the same full-scale current: I(code) = code/127 * Imax.
+// Its relative step explodes at low codes (100% at code 1), which is what
+// breaks regulation of high-Q tanks.
+class LinearLaw final : public AmplitudeControlLaw {
+ public:
+  explicit LinearLaw(double full_scale_current = kDacUnitCurrent * kDacFullScaleUnits)
+      : full_scale_(full_scale_current) {}
+  [[nodiscard]] std::string name() const override { return "linear"; }
+  [[nodiscard]] double current(int code) const override;
+
+ private:
+  double full_scale_;
+};
+
+// Exact exponential law matched to the PWL endpoints: I(0)=0 and
+// I(code) = I16 * r^(code-16) for code >= 1 with r chosen so that
+// I(127) equals the PWL full scale.
+class IdealExponentialLaw final : public AmplitudeControlLaw {
+ public:
+  explicit IdealExponentialLaw(double unit_current = kDacUnitCurrent);
+  [[nodiscard]] std::string name() const override { return "ideal-exponential"; }
+  [[nodiscard]] double current(int code) const override;
+  [[nodiscard]] double growth_ratio() const { return ratio_; }
+
+ private:
+  double unit_current_;
+  double ratio_;
+};
+
+// Factory for bench parameter sweeps.
+enum class ControlLawKind { PwlExponential, Linear, IdealExponential };
+[[nodiscard]] std::unique_ptr<AmplitudeControlLaw> make_control_law(
+    ControlLawKind kind, double unit_current = kDacUnitCurrent);
+
+}  // namespace lcosc::dac

@@ -1,0 +1,103 @@
+#include "dac/exponential_dac.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::dac {
+
+PwlExponentialDac::PwlExponentialDac(double unit_current) : unit_current_(unit_current) {
+  LCOSC_REQUIRE(unit_current > 0.0, "unit current must be positive");
+}
+
+double PwlExponentialDac::current(int code) const {
+  return unit_current_ * multiplication(code);
+}
+
+double PwlExponentialDac::relative_step(int code) const {
+  LCOSC_REQUIRE(code >= 1 && code < kDacCodeMax, "relative step defined for codes 1..126");
+  const int m0 = multiplication(code);
+  const int m1 = multiplication(code + 1);
+  return static_cast<double>(m1 - m0) / static_cast<double>(m0);
+}
+
+std::vector<CodePoint> PwlExponentialDac::transfer_table() const {
+  std::vector<CodePoint> table;
+  table.reserve(static_cast<std::size_t>(kDacCodeCount));
+  for (int code = 0; code < kDacCodeCount; ++code) {
+    CodePoint point;
+    point.code = code;
+    point.multiplication = multiplication(code);
+    point.current = current(code);
+    point.relative_step = (code >= 1 && code < kDacCodeMax) ? relative_step(code) : 0.0;
+    table.push_back(point);
+  }
+  return table;
+}
+
+double PwlExponentialDac::max_relative_step(int first_code) const {
+  double worst = 0.0;
+  for (int code = std::max(first_code, 1); code < kDacCodeMax; ++code) {
+    worst = std::max(worst, relative_step(code));
+  }
+  return worst;
+}
+
+double PwlExponentialDac::min_relative_step(int first_code) const {
+  double best = 1e300;
+  for (int code = std::max(first_code, 1); code < kDacCodeMax; ++code) {
+    best = std::min(best, relative_step(code));
+  }
+  return best;
+}
+
+bool PwlExponentialDac::is_monotonic() const {
+  for (int code = 0; code < kDacCodeMax; ++code) {
+    if (multiplication(code + 1) <= multiplication(code)) return false;
+  }
+  return true;
+}
+
+double PwlExponentialDac::fitted_growth_ratio() const {
+  // Least-squares slope of log M(code) vs code over codes 16..127.
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  int n = 0;
+  for (int code = 16; code < kDacCodeCount; ++code) {
+    const double x = code;
+    const double y = std::log(static_cast<double>(multiplication(code)));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  const double slope = (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x);
+  return std::exp(slope) - 1.0;  // per-code growth delta of Eq. 6
+}
+
+double PwlExponentialDac::max_exponential_deviation() const {
+  const double delta = fitted_growth_ratio();
+  // Re-fit the intercept for the fixed slope.
+  double sum_log_ratio = 0.0;
+  int n = 0;
+  for (int code = 16; code < kDacCodeCount; ++code) {
+    sum_log_ratio +=
+        std::log(static_cast<double>(multiplication(code))) - code * std::log1p(delta);
+    ++n;
+  }
+  const double intercept = std::exp(sum_log_ratio / n);
+
+  double worst = 0.0;
+  for (int code = 16; code < kDacCodeCount; ++code) {
+    const double ideal = intercept * std::pow(1.0 + delta, code);
+    const double deviation =
+        std::abs(static_cast<double>(multiplication(code)) - ideal) / ideal;
+    worst = std::max(worst, deviation);
+  }
+  return worst;
+}
+
+}  // namespace lcosc::dac

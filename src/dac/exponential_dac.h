@@ -1,0 +1,62 @@
+// Ideal PWL-approximated exponential DAC transfer and its analysis
+// (paper Figs. 3 and 4, Eqs. 5-6).
+#pragma once
+
+#include <vector>
+
+#include "common/constants.h"
+#include "dac/control_code.h"
+
+namespace lcosc::dac {
+
+// Analysis record for one code.
+struct CodePoint {
+  int code = 0;
+  int multiplication = 0;       // M(code), units of Iref2
+  double current = 0.0;         // M(code) * unit current [A]
+  double relative_step = 0.0;   // (M(code+1) - M(code)) / M(code); 0 at 127
+};
+
+// The ideal 7-bit PWL exponential DAC of the paper.
+class PwlExponentialDac {
+ public:
+  explicit PwlExponentialDac(double unit_current = kDacUnitCurrent);
+
+  [[nodiscard]] int code_count() const { return kDacCodeCount; }
+  [[nodiscard]] double unit_current() const { return unit_current_; }
+
+  // Multiplication factor M(code).
+  [[nodiscard]] int multiplication(int code) const { return multiplication_factor(code); }
+
+  // Output (current limitation) for a code [A].
+  [[nodiscard]] double current(int code) const;
+
+  // Relative step (M(code+1)-M(code))/M(code); code must be < 127 and
+  // M(code) > 0 (i.e. code >= 1).
+  [[nodiscard]] double relative_step(int code) const;
+
+  // Full transfer table for figure generation.
+  [[nodiscard]] std::vector<CodePoint> transfer_table() const;
+
+  // Extremes of the relative step over codes in [first, 126].
+  [[nodiscard]] double max_relative_step(int first_code) const;
+  [[nodiscard]] double min_relative_step(int first_code) const;
+
+  // The ideal transfer is monotone by construction; exposed so tests can
+  // contrast it with the mismatched mirror model.
+  [[nodiscard]] bool is_monotonic() const;
+
+  // Best-fit per-code growth ratio of an exact exponential through
+  // M(16)..M(127) (least squares in log domain) -- how closely the PWL
+  // approximation tracks I_n = I_0 (1+delta)^n of Eq. 6.
+  [[nodiscard]] double fitted_growth_ratio() const;
+
+  // Worst-case relative deviation of M(code) from that fitted exponential
+  // over codes >= 16.
+  [[nodiscard]] double max_exponential_deviation() const;
+
+ private:
+  double unit_current_;
+};
+
+}  // namespace lcosc::dac

@@ -1,0 +1,22 @@
+#include "devices/bandgap.h"
+
+#include "common/error.h"
+
+namespace lcosc::devices {
+
+BandgapReference::BandgapReference(BandgapConfig config) : config_(config) {
+  LCOSC_REQUIRE(config_.nominal_voltage > 0.0, "bandgap voltage must be positive");
+  LCOSC_REQUIRE(config_.zero_tc_temperature > 0.0, "temperature must be positive");
+}
+
+double BandgapReference::voltage(double temperature_kelvin) const {
+  LCOSC_REQUIRE(temperature_kelvin > 0.0, "temperature must be positive");
+  const double dt = temperature_kelvin - config_.zero_tc_temperature;
+  return config_.nominal_voltage * (1.0 + config_.trim_error) + config_.curvature * dt * dt;
+}
+
+double BandgapReference::nominal() const {
+  return config_.nominal_voltage * (1.0 + config_.trim_error);
+}
+
+}  // namespace lcosc::devices

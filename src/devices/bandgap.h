@@ -1,0 +1,36 @@
+// Bandgap voltage reference macro-model.
+//
+// The regulation thresholds VR3/VR4 (paper Fig. 8) are fractions of the
+// bandgap voltage added to the filtered LC midpoint, so threshold accuracy
+// over temperature follows the bandgap curvature modeled here.
+#pragma once
+
+namespace lcosc::devices {
+
+struct BandgapConfig {
+  double nominal_voltage = 1.205;      // V at the zero-tempco temperature
+  double zero_tc_temperature = 300.0;  // K
+  // Second-order curvature coefficient [V/K^2]; first-order is nulled by
+  // design at zero_tc_temperature.
+  double curvature = -2.0e-7;
+  // Untrimmed relative production spread (1 sigma); applied via trim_error.
+  double trim_error = 0.0;
+};
+
+class BandgapReference {
+ public:
+  explicit BandgapReference(BandgapConfig config = {});
+
+  // Output voltage at the given junction temperature [K].
+  [[nodiscard]] double voltage(double temperature_kelvin) const;
+
+  // Output at the zero-tempco temperature.
+  [[nodiscard]] double nominal() const;
+
+  [[nodiscard]] const BandgapConfig& config() const { return config_; }
+
+ private:
+  BandgapConfig config_;
+};
+
+}  // namespace lcosc::devices

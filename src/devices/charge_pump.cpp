@@ -1,0 +1,23 @@
+#include "devices/charge_pump.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::devices {
+
+NegativeChargePump::NegativeChargePump(ChargePumpConfig config) : config_(config) {
+  LCOSC_REQUIRE(config_.startup_time > 0.0 && config_.decay_time > 0.0,
+                "charge pump time constants must be positive");
+  LCOSC_REQUIRE(config_.target_voltage < 0.0, "negative charge pump target must be negative");
+}
+
+double NegativeChargePump::step(double dt) {
+  LCOSC_REQUIRE(dt >= 0.0, "time step must be non-negative");
+  const double target = enabled_ ? config_.target_voltage : 0.0;
+  const double tau = enabled_ ? config_.startup_time : config_.decay_time;
+  output_ = target + (output_ - target) * std::exp(-dt / tau);
+  return output_;
+}
+
+}  // namespace lcosc::devices

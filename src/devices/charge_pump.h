@@ -1,0 +1,37 @@
+// Negative charge pump macro-model (paper Fig. 11).
+//
+// When the chip is powered, the pump drives the Nbulk-related gate rails
+// a threshold below ground so the protection NMOS devices stay off for
+// small negative excursions on the LC pins.  When the supply is lost the
+// pump output decays to 0 V, handing control to the passive MN3/MN5 pull
+// paths.  The model is a rate-limited target follower.
+#pragma once
+
+namespace lcosc::devices {
+
+struct ChargePumpConfig {
+  double target_voltage = -1.2;   // regulated output when enabled [V]
+  double startup_time = 5e-6;     // time constant to reach the target [s]
+  double decay_time = 2e-6;       // discharge time constant when disabled [s]
+};
+
+class NegativeChargePump {
+ public:
+  explicit NegativeChargePump(ChargePumpConfig config = {});
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Advance by dt; returns the new output voltage.
+  double step(double dt);
+
+  [[nodiscard]] double output() const { return output_; }
+  void reset(double output = 0.0) { output_ = output; }
+
+ private:
+  ChargePumpConfig config_;
+  bool enabled_ = false;
+  double output_ = 0.0;
+};
+
+}  // namespace lcosc::devices

@@ -1,0 +1,64 @@
+// Behavioral comparators: hysteresis + propagation delay, and the
+// three-state window comparator used by the amplitude regulation loop.
+#pragma once
+
+namespace lcosc::devices {
+
+struct ComparatorConfig {
+  double offset = 0.0;       // input-referred offset [V]
+  double hysteresis = 0.0;   // full hysteresis width [V], centered on offset
+  double delay = 0.0;        // propagation delay [s]
+  bool initial_output = false;
+};
+
+// Latching continuous-time comparator evaluated on samples.  Calls to
+// update() must have non-decreasing time stamps.
+class Comparator {
+ public:
+  explicit Comparator(ComparatorConfig config = {});
+
+  // Evaluate at time t with differential input v_diff = v(+) - v(-);
+  // returns the (delay-filtered) output state at time t.
+  bool update(double t, double v_diff);
+
+  [[nodiscard]] bool output() const { return output_; }
+  void reset(bool state = false);
+
+ private:
+  ComparatorConfig config_;
+  bool output_;
+  bool raw_;
+  bool pending_valid_ = false;
+  bool pending_state_ = false;
+  double pending_time_ = 0.0;
+  double last_time_ = 0.0;
+  bool first_update_ = true;
+};
+
+// Three-state window comparator with per-threshold hysteresis.
+enum class WindowState { Below, Inside, Above };
+
+struct WindowComparatorConfig {
+  double low_threshold = 0.0;
+  double high_threshold = 0.0;
+  double hysteresis = 0.0;  // full width, applied to both thresholds
+};
+
+class WindowComparator {
+ public:
+  explicit WindowComparator(WindowComparatorConfig config);
+
+  // Evaluate the window state for input v (stateful due to hysteresis).
+  WindowState update(double v);
+
+  [[nodiscard]] WindowState state() const { return state_; }
+  [[nodiscard]] const WindowComparatorConfig& config() const { return config_; }
+  void reset();
+
+ private:
+  WindowComparatorConfig config_;
+  WindowState state_ = WindowState::Inside;
+  bool first_update_ = true;
+};
+
+}  // namespace lcosc::devices

@@ -1,0 +1,26 @@
+// First-order RC low-pass filter with an exact exponential step update.
+#pragma once
+
+namespace lcosc::devices {
+
+// y(t) tracks x with time constant tau.  The update is the exact solution
+// for piecewise-constant input, so it is unconditionally stable for any
+// step size (important: detector time constants sit orders of magnitude
+// above the RF simulation step).
+class LowPassFilter {
+ public:
+  explicit LowPassFilter(double tau, double initial_output = 0.0);
+
+  // Advance by dt with (held) input x; returns the new output.
+  double step(double dt, double x);
+
+  [[nodiscard]] double output() const { return y_; }
+  [[nodiscard]] double tau() const { return tau_; }
+  void reset(double output = 0.0) { y_ = output; }
+
+ private:
+  double tau_;
+  double y_;
+};
+
+}  // namespace lcosc::devices

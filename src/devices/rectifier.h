@@ -1,0 +1,55 @@
+// Rectifier macro-models for the amplitude detection path (paper Fig. 8).
+#pragma once
+
+#include "devices/lowpass.h"
+
+namespace lcosc::devices {
+
+struct RectifierConfig {
+  // Forward drop of the rectifying element (0 for an ideal active rectifier).
+  double forward_drop = 0.0;
+  // Time constant of the post-rectifier RC low-pass.
+  double filter_tau = 20e-6;
+};
+
+// Full-wave rectifier followed by an RC low-pass: produces the VDC1
+// envelope voltage the window comparator consumes.
+class FullWaveRectifierFilter {
+ public:
+  explicit FullWaveRectifierFilter(RectifierConfig config = {});
+
+  // Advance by dt with instantaneous input voltage v (already referenced
+  // to the midpoint); returns the filtered rectified output.
+  double step(double dt, double v);
+
+  [[nodiscard]] double output() const { return filter_.output(); }
+  void reset(double output = 0.0) { filter_.reset(output); }
+
+  // The static rectification function (exposed for tests).
+  [[nodiscard]] double rectify(double v) const;
+
+ private:
+  RectifierConfig config_;
+  LowPassFilter filter_;
+};
+
+// Synchronous rectifier: multiplies the input by the sign of a reference
+// (clock) signal before filtering.  The paper uses it to detect amplitude
+// asymmetry between the LC1 and LC2 pins: a healthy tank has a pure DC
+// midpoint, a missing Cosc turns the midpoint into an oscillation at the
+// tank frequency whose synchronous average is non-zero.
+class SynchronousRectifierFilter {
+ public:
+  explicit SynchronousRectifierFilter(double filter_tau);
+
+  // Advance by dt: v is the signal, v_ref the phase reference.
+  double step(double dt, double v, double v_ref);
+
+  [[nodiscard]] double output() const { return filter_.output(); }
+  void reset(double output = 0.0) { filter_.reset(output); }
+
+ private:
+  LowPassFilter filter_;
+};
+
+}  // namespace lcosc::devices

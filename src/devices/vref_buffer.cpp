@@ -1,0 +1,32 @@
+#include "devices/vref_buffer.h"
+
+#include "common/error.h"
+
+namespace lcosc::devices {
+
+VrefBuffer::VrefBuffer(VrefBufferConfig config) : config_(config) {
+  LCOSC_REQUIRE(config_.output_resistance > 0.0, "output resistance must be positive");
+  LCOSC_REQUIRE(config_.max_source_current > 0.0 && config_.max_sink_current > 0.0,
+                "class-A current limits must be positive");
+}
+
+bool VrefBuffer::overloaded(double load_current) const {
+  return load_current > config_.max_source_current || -load_current > config_.max_sink_current;
+}
+
+double VrefBuffer::voltage(double load_current) const {
+  if (!overloaded(load_current)) {
+    return config_.target_voltage - load_current * config_.output_resistance;
+  }
+  // Saturated stage: linear droop up to the limit, then high-impedance walk.
+  if (load_current > 0.0) {
+    const double excess = load_current - config_.max_source_current;
+    return config_.target_voltage - config_.max_source_current * config_.output_resistance -
+           excess * kOverloadResistance;
+  }
+  const double excess = -load_current - config_.max_sink_current;
+  return config_.target_voltage + config_.max_sink_current * config_.output_resistance +
+         excess * kOverloadResistance;
+}
+
+}  // namespace lcosc::devices

@@ -1,0 +1,42 @@
+// Transimpedance Vref buffer (paper paragraph 6).
+//
+// The Vref point holds the DC operating point of the oscillator at mid
+// supply.  In dual-system mode the other oscillator couples extra current
+// into Vref (typically ~120 uA per the paper); the buffer is a
+// transimpedance amplifier with two class-A output stages, so its
+// source/sink capability is finite and the Vref error grows linearly with
+// the absorbed current until the stage saturates.
+#pragma once
+
+namespace lcosc::devices {
+
+struct VrefBufferConfig {
+  double target_voltage = 2.5;     // Vdd/2 for a 5 V supply
+  double output_resistance = 50.0; // small-signal output impedance [ohm]
+  // Class-A bias: maximum current each output stage can source/sink [A].
+  double max_source_current = 400e-6;
+  double max_sink_current = 400e-6;
+};
+
+class VrefBuffer {
+ public:
+  explicit VrefBuffer(VrefBufferConfig config = {});
+
+  // Vref voltage when the external circuit draws `load_current` from the
+  // node (positive = current flowing out of the buffer).  Inside the
+  // class-A range the droop is i*Rout; outside, the stage saturates and
+  // Vref walks away at the rate set by `overload_resistance`.
+  [[nodiscard]] double voltage(double load_current) const;
+
+  // True if the requested load current exceeds the class-A capability.
+  [[nodiscard]] bool overloaded(double load_current) const;
+
+  [[nodiscard]] const VrefBufferConfig& config() const { return config_; }
+
+ private:
+  VrefBufferConfig config_;
+  // Effective impedance once the class-A stage has run out of current.
+  static constexpr double kOverloadResistance = 100e3;
+};
+
+}  // namespace lcosc::devices

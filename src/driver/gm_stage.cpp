@@ -1,0 +1,74 @@
+#include "driver/gm_stage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace lcosc::driver {
+
+GmStage::GmStage(GmStageConfig config) : config_(config) {
+  LCOSC_REQUIRE(config_.gm > 0.0, "gm must be positive");
+  LCOSC_REQUIRE(config_.current_limit >= 0.0, "current limit must be non-negative");
+}
+
+void GmStage::set_current_limit(double limit) {
+  LCOSC_REQUIRE(limit >= 0.0, "current limit must be non-negative");
+  config_.current_limit = limit;
+}
+
+void GmStage::set_gm(double gm) {
+  LCOSC_REQUIRE(gm > 0.0, "gm must be positive");
+  config_.gm = gm;
+}
+
+double GmStage::output_current(double v) const {
+  const double im = config_.current_limit;
+  switch (config_.shape) {
+    case LimitShape::Hard:
+      return std::clamp(config_.gm * v, -im, im);
+    case LimitShape::Tanh:
+      return im > 0.0 ? im * std::tanh(config_.gm * v / im) : 0.0;
+  }
+  return 0.0;
+}
+
+double GmStage::saturation_voltage() const { return config_.current_limit / config_.gm; }
+
+double GmStage::describing_gain(double amplitude) const {
+  LCOSC_REQUIRE(amplitude >= 0.0, "amplitude must be non-negative");
+  if (amplitude == 0.0) return config_.gm;
+  if (config_.current_limit == 0.0) return 0.0;
+
+  if (config_.shape == LimitShape::Hard) {
+    const double vs = saturation_voltage();
+    if (amplitude <= vs) return config_.gm;
+    // Classic saturating-amplifier describing function.
+    const double r = vs / amplitude;
+    return config_.gm * (2.0 / kPi) * (std::asin(r) + r * std::sqrt(1.0 - r * r));
+  }
+
+  // Numeric Fourier projection over one quarter period (odd symmetric).
+  constexpr int kPoints = 512;
+  double acc = 0.0;
+  for (int i = 0; i < kPoints; ++i) {
+    const double theta = (i + 0.5) * (0.5 * kPi) / kPoints;
+    const double s = std::sin(theta);
+    acc += output_current(amplitude * s) * s;
+  }
+  // N(A) = (4 / (pi * A)) * integral_0^{pi/2} f(A sin) sin dtheta * 2
+  const double fundamental = acc * (0.5 * kPi / kPoints) * (4.0 / kPi);
+  return fundamental / amplitude;
+}
+
+double GmStage::fundamental_current(double amplitude) const {
+  return describing_gain(amplitude) * amplitude;
+}
+
+double GmStage::shape_factor(double amplitude) const {
+  LCOSC_REQUIRE(config_.current_limit > 0.0, "shape factor needs a nonzero limit");
+  return fundamental_current(amplitude) / config_.current_limit;
+}
+
+}  // namespace lcosc::driver

@@ -1,0 +1,50 @@
+// Current-limited transconductance stage: the nonlinearity that regulates
+// the oscillation amplitude (paper Fig. 2 and Section 2).
+#pragma once
+
+namespace lcosc::driver {
+
+// Shape of the limiting V-I characteristic.
+enum class LimitShape {
+  Hard,  // linear with hard clipping (the paper's Fig. 2 approximation)
+  Tanh,  // smooth saturation (closer to a real differential pair)
+};
+
+struct GmStageConfig {
+  double gm = 1e-3;             // small-signal transconductance [S]
+  double current_limit = 1e-3;  // +-Im [A]
+  LimitShape shape = LimitShape::Hard;
+};
+
+class GmStage {
+ public:
+  explicit GmStage(GmStageConfig config);
+
+  [[nodiscard]] const GmStageConfig& config() const { return config_; }
+  void set_current_limit(double limit);
+  void set_gm(double gm);
+
+  // Static output current for input voltage v (Fig. 2).
+  [[nodiscard]] double output_current(double v) const;
+
+  // Input voltage at which limiting starts (Hard shape): Im / gm.
+  [[nodiscard]] double saturation_voltage() const;
+
+  // Describing function N(A): ratio of the fundamental output current to a
+  // sinusoidal input of amplitude A.  Closed form for Hard, numeric
+  // quadrature for Tanh.  N(0+) = gm; N(inf) -> 4*Im/(pi*A).
+  [[nodiscard]] double describing_gain(double amplitude) const;
+
+  // Fundamental output current amplitude for sine input of amplitude A.
+  [[nodiscard]] double fundamental_current(double amplitude) const;
+
+  // The paper's k factor: fundamental current / current limit at input
+  // amplitude A (approaches 4/pi deep in limiting; ~0.9 near moderate
+  // overdrive, matching the paper's quoted value for the linear shape).
+  [[nodiscard]] double shape_factor(double amplitude) const;
+
+ private:
+  GmStageConfig config_;
+};
+
+}  // namespace lcosc::driver

@@ -1,0 +1,114 @@
+#include "driver/oscillator_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "numeric/roots.h"
+
+namespace lcosc::driver {
+
+OscillatorDriver::OscillatorDriver(DriverConfig config)
+    : config_(config), ideal_dac_(config.unit_current) {
+  LCOSC_REQUIRE(config_.gm_per_stage > 0.0, "gm per stage must be positive");
+  LCOSC_REQUIRE(config_.unit_current > 0.0, "unit current must be positive");
+  LCOSC_REQUIRE(config_.quiescent_current >= 0.0, "quiescent current must be non-negative");
+}
+
+void OscillatorDriver::use_mismatched_dac(
+    std::shared_ptr<const dac::CurrentLimitationDac> mirror_dac) {
+  mirror_dac_ = std::move(mirror_dac);
+  law_.reset();
+}
+
+void OscillatorDriver::use_control_law(std::shared_ptr<const dac::AmplitudeControlLaw> law) {
+  law_ = std::move(law);
+  mirror_dac_.reset();
+}
+
+void OscillatorDriver::set_code(int code) {
+  LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "amplitude code out of range 0..127");
+  code_ = code;
+}
+
+double OscillatorDriver::current_limit() const {
+  if (!enabled_) return 0.0;
+  if (mirror_dac_) return mirror_dac_->output_current(code_);
+  if (law_) return law_->current(code_);
+  return ideal_dac_.current(code_);
+}
+
+double OscillatorDriver::equivalent_gm() const {
+  const dac::ControlSignals signals = dac::encode_control(code_);
+  return config_.gm_per_stage * dac::active_gm_stages(signals.osc_e);
+}
+
+GmStage OscillatorDriver::stage() const {
+  return GmStage({.gm = equivalent_gm(), .current_limit = current_limit(),
+                  .shape = config_.shape});
+}
+
+NodeCurrents OscillatorDriver::output(double v1, double v2) const {
+  if (!enabled_) return {};
+  const GmStage st = stage();
+  // Output compliance: a stage pushing current outward loses headroom as
+  // the pin approaches its rail (the mirror devices drop out of
+  // saturation); pulling back towards Vref is unaffected.
+  const auto comply = [&](double i, double v) {
+    const double w = config_.compliance_width;
+    if (i > 0.0) {
+      return i * std::clamp((config_.rail_headroom - v) / w, 0.0, 1.0);
+    }
+    return i * std::clamp((v + config_.rail_headroom) / w, 0.0, 1.0);
+  };
+  // Cross-coupled inverting stages referenced to Vref (v are deviations
+  // from Vref): each stage senses the opposite pin.
+  return {.into_lc1 = comply(st.output_current(-v2), v1),
+          .into_lc2 = comply(st.output_current(-v1), v2)};
+}
+
+double OscillatorDriver::fundamental_port_current(double amplitude) const {
+  if (!enabled_) return 0.0;
+  // Differential port view: i_port = clamp((Gm/2) * vd, +-Im), because a
+  // stage with transconductance Gm sensing a single-ended pin sees only
+  // half the differential swing.
+  GmStage port({.gm = 0.5 * equivalent_gm(), .current_limit = current_limit(),
+                .shape = config_.shape});
+  return port.fundamental_current(amplitude);
+}
+
+std::optional<double> OscillatorDriver::predicted_amplitude(const tank::RlcTank& tank) const {
+  if (!enabled_) return std::nullopt;
+  const double rp = tank.parallel_resistance();
+  const double gm_port = 0.5 * equivalent_gm();
+  if (gm_port * rp <= 1.0) return std::nullopt;  // below the oscillation condition
+  const double im = current_limit();
+  if (im <= 0.0) return std::nullopt;
+
+  // Steady state: fundamental port current balances tank loss current.
+  const double a_hi = 1.5 * kDriverShapeFactorSquare * im * rp;
+  const auto balance = [&](double a) { return fundamental_port_current(a) - a / rp; };
+  if (balance(a_hi) >= 0.0) return a_hi;  // numerically flat; should not happen
+  return bisect_root(balance, 1e-9, a_hi, {.x_tolerance = 1e-9, .f_tolerance = 0.0});
+}
+
+double OscillatorDriver::supply_current(double amplitude) const {
+  LCOSC_REQUIRE(amplitude >= 0.0, "amplitude must be non-negative");
+  if (!enabled_) return 0.0;
+  // One conduction path per half cycle: Vdd -> top mirror -> LC1 -> tank
+  // -> LC2 -> bottom mirror -> ground, so the supply sees the average
+  // rectified port current plus the bias.
+  GmStage port({.gm = 0.5 * equivalent_gm(), .current_limit = current_limit(),
+                .shape = config_.shape});
+  constexpr int kPoints = 256;
+  double acc = 0.0;
+  for (int i = 0; i < kPoints; ++i) {
+    const double theta = (i + 0.5) * (0.5 * kPi) / kPoints;
+    acc += port.output_current(amplitude * std::sin(theta));
+  }
+  const double average_rectified = acc * (2.0 / kPi) * (0.5 * kPi / kPoints);
+  return config_.quiescent_current + average_rectified;
+}
+
+}  // namespace lcosc::driver

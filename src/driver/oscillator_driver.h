@@ -1,0 +1,94 @@
+// The oscillator driver macro-model: two cross-coupled current-limited Gm
+// stages (paper Fig. 1) whose current limit is set by the amplitude code
+// through the current limitation DAC (Figs. 5-7, Table 1).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dac/current_mirror.h"
+#include "dac/dac_variants.h"
+#include "driver/gm_stage.h"
+#include "tank/rlc_tank.h"
+
+namespace lcosc::driver {
+
+struct DriverConfig {
+  // Transconductance of one unit Gm output stage.  Table 1 activates
+  // 1..9 units, so the equivalent transconductance spans ~1.1..10 mS,
+  // matching the paper's "up to around 10 mS".
+  double gm_per_stage = 1.1e-3;
+  LimitShape shape = LimitShape::Hard;
+  double unit_current = kDacUnitCurrent;  // 12.5 uA LSB (Fig. 13)
+  // Quiescent (bias) supply current of the driver and support blocks.
+  double quiescent_current = 150e-6;
+  // Output compliance: pin deviation from Vref at which the output stage
+  // runs out of headroom (mirror devices leave saturation near the rail),
+  // and the width of the soft roll-off.  Vref sits at mid supply, so the
+  // rail is ~2.5 V away; the mirrors need a couple hundred mV.
+  double rail_headroom = 2.3;
+  double compliance_width = 0.2;
+};
+
+// Currents injected by the driver into the two LC pins (voltages are
+// relative to the Vref mid-supply operating point).
+struct NodeCurrents {
+  double into_lc1 = 0.0;
+  double into_lc2 = 0.0;
+};
+
+class OscillatorDriver {
+ public:
+  explicit OscillatorDriver(DriverConfig config = {});
+
+  // Use a mismatched current limitation DAC instead of the ideal PWL law.
+  void use_mismatched_dac(std::shared_ptr<const dac::CurrentLimitationDac> mirror_dac);
+
+  // Use an alternative control law (ablation studies).
+  void use_control_law(std::shared_ptr<const dac::AmplitudeControlLaw> law);
+
+  // Amplitude regulation code (0..127).
+  void set_code(int code);
+  [[nodiscard]] int code() const { return code_; }
+
+  // Enable/disable the driver output stages (startup, safe state).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Current limit selected by the present code [A].
+  [[nodiscard]] double current_limit() const;
+
+  // Equivalent transconductance of one driver at the present code
+  // (unit gm times the number of active Gm stages from Table 1).
+  [[nodiscard]] double equivalent_gm() const;
+
+  // Cross-coupled static output: i(LC1) = f(-v2), i(LC2) = f(-v1).
+  [[nodiscard]] NodeCurrents output(double v1, double v2) const;
+
+  // Fundamental drive current delivered into the differential port for a
+  // differential oscillation amplitude A (describing-function view; feeds
+  // the envelope simulator).
+  [[nodiscard]] double fundamental_port_current(double amplitude) const;
+
+  // Steady-state amplitude prediction on a tank (Eq. 4): solves
+  // I_fund(A) = A / Rp.  Returns nullopt if oscillation cannot sustain.
+  [[nodiscard]] std::optional<double> predicted_amplitude(const tank::RlcTank& tank) const;
+
+  // Estimated average supply current at differential amplitude A:
+  // quiescent plus the average rectified stage output currents.
+  [[nodiscard]] double supply_current(double amplitude) const;
+
+  [[nodiscard]] const DriverConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] GmStage stage() const;
+
+  DriverConfig config_;
+  int code_ = 0;
+  bool enabled_ = true;
+  std::shared_ptr<const dac::CurrentLimitationDac> mirror_dac_;
+  std::shared_ptr<const dac::AmplitudeControlLaw> law_;
+  dac::PwlExponentialDac ideal_dac_;
+};
+
+}  // namespace lcosc::driver

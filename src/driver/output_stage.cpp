@@ -1,0 +1,180 @@
+#include "driver/output_stage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::driver {
+
+using spice::MosfetParams;
+using spice::nmos_035um;
+using spice::pmos_035um;
+
+std::string to_string(OutputStageTopology topology) {
+  switch (topology) {
+    case OutputStageTopology::StandardCmos: return "fig10a-standard-cmos";
+    case OutputStageTopology::SeriesPmos: return "fig10b-series-pmos";
+    case OutputStageTopology::BulkSwitched: return "fig11-bulk-switched";
+  }
+  return "?";
+}
+
+double UnsuppliedSweep::max_abs_current() const {
+  double worst = 0.0;
+  for (const auto& p : points) worst = std::max(worst, std::abs(p.pin_current));
+  return worst;
+}
+
+double UnsuppliedSweep::max_abs_current_within(double differential_limit) const {
+  double worst = 0.0;
+  for (const auto& p : points) {
+    if (std::abs(p.differential_voltage) <= differential_limit) {
+      worst = std::max(worst, std::abs(p.pin_current));
+    }
+  }
+  return worst;
+}
+
+UnsuppliedDriverTestbench::UnsuppliedDriverTestbench(OutputStageTopology topology,
+                                                     OutputStageParams params)
+    : topology_(topology), params_(params) {
+  build();
+}
+
+void UnsuppliedDriverTestbench::build_pin_driver(const std::string& pin,
+                                                 const std::string& suffix) {
+  const MosfetParams out_n = nmos_035um(params_.output_nmos_wl);
+  const MosfetParams out_p = pmos_035um(params_.output_pmos_wl);
+  const MosfetParams prot_n = nmos_035um(params_.protection_wl);
+  const MosfetParams prot_p = pmos_035um(params_.protection_wl);
+  const double rg = params_.gate_resistance;
+
+  switch (topology_) {
+    case OutputStageTopology::StandardCmos: {
+      // Fig. 10a.  Dead pre-driver logic leaks all gates to ground, bulks
+      // are hard-wired to the rails: the drain-bulk diode of MP1 plus the
+      // (gate-low, hence conducting) PMOS of the opposite pin form the
+      // loading path the paper calls out.
+      circuit_.mosfet("MP1" + suffix, pin, "ngp" + suffix, "vdd", "vdd", out_p);
+      circuit_.mosfet("MN1" + suffix, pin, "ngn" + suffix, "0", "0", out_n);
+      circuit_.resistor("Rgp" + suffix, "ngp" + suffix, "0", rg);
+      circuit_.resistor("Rgn" + suffix, "ngn" + suffix, "0", rg);
+      break;
+    }
+    case OutputStageTopology::SeriesPmos: {
+      // Fig. 10b: PMOS MP1d in series with the pull-down NMOS, bulk tied
+      // to the internal node, so the pin can go negative without forward
+      // biasing a junction to ground.  The positive Vdd path through MP1
+      // remains (the paper's residual limitation), and in normal operation
+      // MP1d costs gate drive -- the quoted voltage-range penalty.
+      circuit_.mosfet("MP1" + suffix, pin, "ngp" + suffix, "vdd", "vdd", out_p);
+      circuit_.mosfet("MP1d" + suffix, pin, "ngd" + suffix, "nx" + suffix, "nx" + suffix,
+                      out_p);
+      circuit_.mosfet("MN1" + suffix, "nx" + suffix, "ngn" + suffix, "0", "0", out_n);
+      circuit_.resistor("Rgp" + suffix, "ngp" + suffix, "0", rg);
+      circuit_.resistor("Rgd" + suffix, "ngd" + suffix, "0", rg);
+      circuit_.resistor("Rgn" + suffix, "ngn" + suffix, "0", rg);
+      break;
+    }
+    case OutputStageTopology::BulkSwitched: {
+      // Fig. 11.  The output NMOS sits in a switched p-well ("nbulk",
+      // shared by both pins).  MN5 connects nbulk to the pin and MN3
+      // connects the MN1 gate (ng1) to the pin for negative excursions;
+      // MP3 lifts the MP1 gate (ng2) to the pin for positive overdrive to
+      // cancel the channel path through MP1.
+      circuit_.mosfet("MP1" + suffix, pin, "ng2" + suffix, "vdd", "vdd", out_p);
+      circuit_.mosfet("MN1" + suffix, pin, "ng1" + suffix, "0", "nbulk", out_n);
+      circuit_.mosfet("MP3" + suffix, "ng2" + suffix, "vdd", pin, "vdd", prot_p);
+      circuit_.mosfet("MN3" + suffix, "ng1" + suffix, "0", pin, "nbulk", prot_n);
+      circuit_.mosfet("MN5" + suffix, "nbulk", "0", pin, "nbulk", prot_n);
+      // R1: default PMOS gate pull to Vdd; R2: NMOS gate pull to the
+      // (unpowered: 0 V) negative charge pump rail.
+      circuit_.resistor("R1" + suffix, "ng2" + suffix, "vdd", rg);
+      circuit_.resistor("R2" + suffix, "ng1" + suffix, "0", rg);
+      break;
+    }
+  }
+}
+
+void UnsuppliedDriverTestbench::build() {
+  // Differential drive across the pins; external network leakage gives the
+  // common mode a DC reference.
+  v_diff_ = &circuit_.voltage_source("Vdiff", "lc1", "lc2", 0.0);
+  circuit_.resistor("Rleak1", "lc1", "0", params_.external_leak);
+  circuit_.resistor("Rleak2", "lc2", "0", params_.external_leak);
+
+  // The dead chip's Vdd rail: the rest of the chip (logic, ESD power
+  // clamp) presents a resistive load once the rail is lifted by a pin.
+  circuit_.resistor("Rrail", "vdd", "0", 2e3);
+
+  build_pin_driver("lc1", "1");
+  build_pin_driver("lc2", "2");
+
+  if (topology_ == OutputStageTopology::BulkSwitched) {
+    // Shared bulk control: when powered (Vdd above ~2 PMOS Vt) MP7/MP6
+    // raise ng6 and MN6 shorts nbulk to ground; unpowered everything is
+    // off and the per-pin MN5 devices own nbulk.
+    const MosfetParams prot_n = nmos_035um(params_.protection_wl);
+    const MosfetParams prot_p = pmos_035um(params_.protection_wl);
+    circuit_.mosfet("MP7", "n7", "n7", "vdd", "vdd", prot_p);  // diode-connected
+    circuit_.resistor("R7", "n7", "0", 500e3);
+    circuit_.mosfet("MP6", "ng6", "n7", "vdd", "vdd", prot_p);
+    circuit_.resistor("R6", "ng6", "0", 500e3);
+    circuit_.mosfet("MN6", "nbulk", "ng6", "0", "nbulk", prot_n);
+    // R3: weak default of the switched well towards ground.
+    circuit_.resistor("R3", "nbulk", "0", params_.gate_resistance);
+  }
+  circuit_.finalize();
+}
+
+UnsuppliedSweep UnsuppliedDriverTestbench::sweep(double vd_min, double vd_max,
+                                                 std::size_t points) {
+  LCOSC_REQUIRE(points >= 2, "sweep needs at least two points");
+  // One monotone continuation pass: each point seeds the next, walking the
+  // protection devices through their turn-on corners without restarts.
+  const std::vector<double> grid = spice::linspace(vd_min, vd_max, points);
+
+  spice::DcOptions options;
+  options.max_iterations = 500;
+
+  UnsuppliedSweep result;
+  result.topology = topology_;
+  result.points.reserve(grid.size());
+
+  const spice::SweepResult swept = dc_sweep(circuit_, *v_diff_, grid, options);
+  for (const auto& p : swept.points) {
+    UnsuppliedPoint point;
+    point.differential_voltage = p.value;
+    point.converged = p.converged;
+    if (p.converged) {
+      // The source branch current flows lc1 -> (source) -> lc2; the chip
+      // therefore absorbs -i_branch at the LC1 pin.
+      spice::StampContext ctx;
+      point.pin_current = -v_diff_->branch_current(p.solution.x, ctx);
+      point.v_lc1 = p.solution.voltage(circuit_, "lc1");
+      point.v_lc2 = p.solution.voltage(circuit_, "lc2");
+      point.v_vdd = p.solution.voltage(circuit_, "vdd");
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+PwlTable UnsuppliedDriverTestbench::extract_iv(double vd_min, double vd_max,
+                                               std::size_t points) {
+  const UnsuppliedSweep swept = sweep(vd_min, vd_max, points);
+  std::vector<std::pair<double, double>> table;
+  table.reserve(swept.points.size());
+  double last_v = -1e300;
+  for (const auto& p : swept.points) {
+    if (!p.converged) continue;
+    if (p.differential_voltage <= last_v) continue;
+    table.emplace_back(p.differential_voltage, p.pin_current);
+    last_v = p.differential_voltage;
+  }
+  LCOSC_REQUIRE(table.size() >= 2, "unsupplied I-V extraction produced too few points");
+  return PwlTable(std::move(table));
+}
+
+}  // namespace lcosc::driver

@@ -1,0 +1,87 @@
+// Output driver topologies of paper Section 8 (Figs. 10-11) and the
+// floating-supply DC testbench that regenerates Figs. 17 and 18.
+//
+// The testbench builds the unsupplied chip as a transistor-level spice
+// netlist: both LC pin drivers, the (floating) Vdd rail, the bulk/gate
+// protection network of Fig. 11, and a differential source across the
+// LC1-LC2 pins with the common mode softly referenced to ground through
+// the external network's leakage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/interpolate.h"
+#include "spice/circuit.h"
+#include "spice/sweep.h"
+
+namespace lcosc::driver {
+
+enum class OutputStageTopology {
+  StandardCmos,  // Fig. 10a: plain inverter, bulks hard-wired to the rails
+  SeriesPmos,    // Fig. 10b: extra series PMOS blocks the Vdd diode path
+  BulkSwitched,  // Fig. 11: switched NMOS bulk (Nbulk), MN3/MN5 gate pulls,
+                 //          MP3 gate-cancel of the MP1 channel path
+};
+
+[[nodiscard]] std::string to_string(OutputStageTopology topology);
+
+struct OutputStageParams {
+  // W/L of the output devices (big, they carry up to ~25 mA).
+  double output_nmos_wl = 400.0;
+  double output_pmos_wl = 1000.0;
+  // W/L of the small protection devices (MN3, MN5, MP3, MP6, MN6).
+  double protection_wl = 10.0;
+  // Gate/bulk network resistors R1-R3 [ohm].
+  double gate_resistance = 200e3;
+  // External DC leakage from each pin to ground (sensor network) [ohm].
+  double external_leak = 1e6;
+  // Nominal supply for the *powered* checks [V].
+  double vdd = 5.0;
+};
+
+// One point of the Fig. 17/18 sweep.
+struct UnsuppliedPoint {
+  double differential_voltage = 0.0;  // V(LC1) - V(LC2) forced by the source
+  double pin_current = 0.0;           // current into the LC1 pin [A]
+  double v_lc1 = 0.0;
+  double v_lc2 = 0.0;
+  double v_vdd = 0.0;                 // the floating supply rail
+  bool converged = false;
+};
+
+struct UnsuppliedSweep {
+  OutputStageTopology topology{};
+  std::vector<UnsuppliedPoint> points;
+  [[nodiscard]] double max_abs_current() const;
+  // Worst |pin current| for |vd| <= limit (the paper checks 2.7 Vpp).
+  [[nodiscard]] double max_abs_current_within(double differential_limit) const;
+};
+
+// Testbench owning the netlist for one topology.
+class UnsuppliedDriverTestbench {
+ public:
+  explicit UnsuppliedDriverTestbench(OutputStageTopology topology,
+                                     OutputStageParams params = {});
+
+  // Sweep the differential drive; uses DC continuation point to point.
+  [[nodiscard]] UnsuppliedSweep sweep(double vd_min, double vd_max, std::size_t points);
+
+  // Extract the differential I-V characteristic as a PWL table usable as a
+  // nonlinear load in the dual-system behavioral model.
+  [[nodiscard]] PwlTable extract_iv(double vd_min, double vd_max, std::size_t points);
+
+  [[nodiscard]] OutputStageTopology topology() const { return topology_; }
+  [[nodiscard]] spice::Circuit& circuit() { return circuit_; }
+
+ private:
+  void build();
+  void build_pin_driver(const std::string& pin, const std::string& suffix);
+
+  OutputStageTopology topology_;
+  OutputStageParams params_;
+  spice::Circuit circuit_;
+  spice::VoltageSource* v_diff_ = nullptr;  // the swept differential source
+};
+
+}  // namespace lcosc::driver

@@ -1,0 +1,90 @@
+#include "numeric/complex_lu.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+ComplexMatrix::ComplexMatrix(std::size_t rows, std::size_t cols, Complex fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void ComplexMatrix::set_zero() {
+  for (auto& v : data_) v = Complex{};
+}
+
+ComplexVector ComplexMatrix::multiply(const ComplexVector& x) const {
+  LCOSC_REQUIRE(x.size() == cols_, "complex matrix-vector size mismatch");
+  ComplexVector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc{};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+ComplexLu::ComplexLu(ComplexMatrix a) : lu_(std::move(a)) {
+  LCOSC_REQUIRE(lu_.rows() == lu_.cols(), "complex LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    const Complex pivot = lu_(k, k);
+    if (std::abs(pivot) < 1e-300) {
+      singular_ = true;
+      return;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex factor = lu_(r, k) / pivot;
+      lu_(r, k) = factor;
+      if (factor == Complex{}) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+bool ComplexLu::try_solve(const ComplexVector& b, ComplexVector& x) const {
+  if (singular_) return false;
+  const std::size_t n = lu_.rows();
+  LCOSC_REQUIRE(b.size() == n, "rhs size mismatch");
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return true;
+}
+
+ComplexVector ComplexLu::solve(const ComplexVector& b) const {
+  ComplexVector x;
+  if (!try_solve(b, x)) throw ConvergenceError("complex LU solve on a singular matrix");
+  return x;
+}
+
+ComplexVector solve_complex_system(ComplexMatrix a, const ComplexVector& b) {
+  const ComplexLu lu(std::move(a));
+  return lu.solve(b);
+}
+
+}  // namespace lcosc

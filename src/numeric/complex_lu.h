@@ -1,0 +1,48 @@
+// Dense complex matrix and LU solver for small-signal AC analysis.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace lcosc {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols, Complex fill = {});
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  Complex operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void set_zero();
+  [[nodiscard]] ComplexVector multiply(const ComplexVector& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  ComplexVector data_;
+};
+
+// LU with partial pivoting on |.|; throws ConvergenceError when singular.
+class ComplexLu {
+ public:
+  explicit ComplexLu(ComplexMatrix a);
+  [[nodiscard]] bool singular() const { return singular_; }
+  [[nodiscard]] ComplexVector solve(const ComplexVector& b) const;
+  bool try_solve(const ComplexVector& b, ComplexVector& x) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<std::size_t> perm_;
+  bool singular_ = false;
+};
+
+[[nodiscard]] ComplexVector solve_complex_system(ComplexMatrix a, const ComplexVector& b);
+
+}  // namespace lcosc

@@ -1,0 +1,43 @@
+#include "numeric/interpolate.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+PwlTable::PwlTable(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
+  LCOSC_REQUIRE(points_.size() >= 2, "PWL table needs at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    LCOSC_REQUIRE(points_[i].first > points_[i - 1].first,
+                  "PWL table x values must be strictly increasing");
+  }
+}
+
+double PwlTable::operator()(double x) const {
+  LCOSC_REQUIRE(!points_.empty(), "PWL table is empty");
+  // Find the segment whose right end is the first x-value > x.
+  auto it = std::upper_bound(points_.begin(), points_.end(), x,
+                             [](double v, const auto& p) { return v < p.first; });
+  std::size_t hi = static_cast<std::size_t>(it - points_.begin());
+  if (hi == 0) hi = 1;                       // extrapolate below using first segment
+  if (hi == points_.size()) hi = points_.size() - 1;  // above using last segment
+  const auto& [x0, y0] = points_[hi - 1];
+  const auto& [x1, y1] = points_[hi];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + (y1 - y0) * t;
+}
+
+double PwlTable::derivative(double x) const {
+  LCOSC_REQUIRE(!points_.empty(), "PWL table is empty");
+  auto it = std::upper_bound(points_.begin(), points_.end(), x,
+                             [](double v, const auto& p) { return v < p.first; });
+  std::size_t hi = static_cast<std::size_t>(it - points_.begin());
+  if (hi == 0) hi = 1;
+  if (hi == points_.size()) hi = points_.size() - 1;
+  const auto& [x0, y0] = points_[hi - 1];
+  const auto& [x1, y1] = points_[hi];
+  return (y1 - y0) / (x1 - x0);
+}
+
+}  // namespace lcosc

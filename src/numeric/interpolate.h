@@ -1,0 +1,43 @@
+// Piecewise-linear interpolation tables.
+//
+// Used in two roles: (1) representing extracted I-V characteristics (the
+// Fig. 17 curve of the unsupplied driver becomes a nonlinear load in the
+// dual-system model) and (2) the PWL approximation analysis of the
+// exponential DAC.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace lcosc {
+
+// Monotone-x piecewise linear function with linear extrapolation at the
+// ends.  Immutable after construction.
+class PwlTable {
+ public:
+  PwlTable() = default;
+  // Points must be sorted by strictly increasing x (throws ConfigError
+  // otherwise); at least two points are required.
+  explicit PwlTable(std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+  // Evaluate with linear extrapolation outside the table range.
+  [[nodiscard]] double operator()(double x) const;
+
+  // Derivative of the active segment (left-continuous at break points).
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] double min_x() const { return points_.front().first; }
+  [[nodiscard]] double max_x() const { return points_.back().first; }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+// Linear interpolation between two scalars.
+[[nodiscard]] constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace lcosc

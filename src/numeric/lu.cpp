@@ -1,0 +1,96 @@
+#include "numeric/lu.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace lcosc {
+namespace {
+constexpr double kSingularThreshold = 1e-300;
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  LCOSC_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+      permutation_sign_ = -permutation_sign_;
+    }
+    const double pivot = lu_(k, k);
+    if (std::abs(pivot) < kSingularThreshold) {
+      singular_ = true;
+      pivot_ratio_ = 0.0;
+      return;
+    }
+    min_pivot = std::min(min_pivot, std::abs(pivot));
+    max_pivot = std::max(max_pivot, std::abs(pivot));
+
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+  pivot_ratio_ = (max_pivot > 0.0) ? min_pivot / max_pivot : 0.0;
+}
+
+bool LuDecomposition::try_solve(const Vector& b, Vector& x) const {
+  if (singular_) return false;
+  const std::size_t n = lu_.rows();
+  LCOSC_REQUIRE(b.size() == n, "rhs size mismatch");
+  x.resize(n);
+
+  // Apply permutation and forward-substitute through L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back-substitute through U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return true;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  Vector x;
+  if (!try_solve(b, x)) throw ConvergenceError("LU solve on a singular matrix");
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = permutation_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve_linear_system(Matrix a, const Vector& b) {
+  const LuDecomposition lu(std::move(a));
+  return lu.solve(b);
+}
+
+}  // namespace lcosc

@@ -1,0 +1,44 @@
+// LU decomposition with partial pivoting; the linear kernel behind both the
+// MNA circuit solver and the Newton iteration.
+#pragma once
+
+#include "numeric/matrix.h"
+
+namespace lcosc {
+
+// Factorization of a square matrix A as P*A = L*U.  Construction performs
+// the decomposition; solve() then back-substitutes for arbitrary rhs.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);
+
+  // True if a pivot fell below the singularity threshold.
+  [[nodiscard]] bool singular() const { return singular_; }
+
+  // Estimated reciprocal condition indicator: min |pivot| / max |pivot|.
+  [[nodiscard]] double pivot_ratio() const { return pivot_ratio_; }
+
+  // Solve A x = b.  Throws ConvergenceError if the matrix was singular.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  // Solve in place into `x` (sizes must match); returns false if singular
+  // instead of throwing, for callers that retry with regularization.
+  bool try_solve(const Vector& b, Vector& x) const;
+
+  // Determinant of A (product of pivots with permutation sign).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                    // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;
+  bool singular_ = false;
+  int permutation_sign_ = 1;
+  double pivot_ratio_ = 0.0;
+};
+
+// One-shot convenience: solve A x = b, throwing on singular A.
+[[nodiscard]] Vector solve_linear_system(Matrix a, const Vector& b);
+
+}  // namespace lcosc

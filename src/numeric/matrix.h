@@ -1,0 +1,73 @@
+// Small dense matrix / vector types for the MNA solver and ODE machinery.
+//
+// Circuit matrices in this project are tiny (tens of nodes), so a dense
+// row-major layout beats any sparse structure in both speed and simplicity.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace lcosc {
+
+using Vector = std::vector<double>;
+
+// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  // Construct from nested initializer lists (rows of equal width).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  // Checked element access used by tests.
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  // Reset all elements to zero without reallocating.
+  void set_zero();
+
+  // Resize to rows x cols, zero-filled (contents are discarded).
+  void resize(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  // Matrix-vector product; x.size() must equal cols().
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  // Matrix-matrix product; other.rows() must equal cols().
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  // Max-absolute-element norm.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// --- free vector helpers ---------------------------------------------------
+
+// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v);
+// Infinity norm.
+[[nodiscard]] double norm_inf(const Vector& v);
+// r = a - b (sizes must match).
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+// r = a + s * b.
+[[nodiscard]] Vector add_scaled(const Vector& a, double s, const Vector& b);
+// Dot product.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+}  // namespace lcosc

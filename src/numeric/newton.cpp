@@ -1,0 +1,103 @@
+#include "numeric/newton.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/lu.h"
+
+namespace lcosc {
+
+NewtonResult solve_newton(const NewtonSystem& system, Vector initial_guess,
+                          const NewtonOptions& options) {
+  LCOSC_REQUIRE(options.max_iterations > 0, "max_iterations must be positive");
+  const std::size_t n = initial_guess.size();
+
+  NewtonResult result;
+  result.solution = std::move(initial_guess);
+
+  Vector f(n);
+  Matrix jac(n, n);
+  Vector trial(n);
+  Vector f_trial(n);
+  Matrix jac_scratch(n, n);
+
+  system(result.solution, f, jac);
+  double residual = norm_inf(f);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (residual <= options.residual_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    LuDecomposition lu(jac);
+    Vector step;
+    if (!lu.try_solve(f, step)) {
+      // Singular Jacobian: regularize the diagonal and retry once.
+      jac_scratch = jac;
+      for (std::size_t i = 0; i < n; ++i) jac_scratch(i, i) += 1e-9;
+      LuDecomposition lu2(jac_scratch);
+      if (!lu2.try_solve(f, step)) break;
+    }
+
+    // Clamp the per-component update to keep exponentials in range.
+    if (options.max_step > 0.0) {
+      for (double& s : step) {
+        if (s > options.max_step) s = options.max_step;
+        if (s < -options.max_step) s = -options.max_step;
+      }
+    }
+
+    // Damped line search on the residual norm.
+    double lambda = 1.0;
+    bool accepted = false;
+    for (int d = 0; d <= options.max_damping_steps; ++d) {
+      for (std::size_t i = 0; i < n; ++i) trial[i] = result.solution[i] - lambda * step[i];
+      system(trial, f_trial, jac_scratch);
+      const double trial_residual = norm_inf(f_trial);
+      if (std::isfinite(trial_residual) &&
+          (trial_residual < residual || trial_residual <= options.residual_tolerance)) {
+        result.solution = trial;
+        f = f_trial;
+        jac = jac_scratch;
+        residual = trial_residual;
+        accepted = true;
+        break;
+      }
+      lambda *= options.damping_factor;
+    }
+
+    if (!accepted) {
+      // Accept the most damped step anyway if it is finite; a plateau in
+      // the residual can still be escaped on the next iteration because the
+      // Jacobian changes.  Otherwise give up.
+      const double trial_residual = norm_inf(f_trial);
+      if (std::isfinite(trial_residual)) {
+        result.solution = trial;
+        f = f_trial;
+        jac = jac_scratch;
+        residual = trial_residual;
+      } else {
+        break;
+      }
+    }
+
+    const double step_norm = lambda * norm_inf(step);
+    if (residual <= options.residual_tolerance && step_norm <= options.step_tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (step_norm <= options.step_tolerance && residual <= 1e3 * options.residual_tolerance) {
+      // Stagnated essentially at the solution.
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (!result.converged && residual <= options.residual_tolerance) result.converged = true;
+  result.residual_norm = residual;
+  return result;
+}
+
+}  // namespace lcosc

@@ -1,0 +1,44 @@
+// Damped Newton-Raphson for nonlinear systems F(x) = 0.
+//
+// The MNA DC solver supplies F and its Jacobian through the callback; this
+// module owns the iteration policy: full steps while they shrink the
+// residual, geometric damping otherwise, and a configurable per-variable
+// step clamp that keeps exponential diode models from overflowing.
+#pragma once
+
+#include <functional>
+
+#include "numeric/matrix.h"
+
+namespace lcosc {
+
+struct NewtonOptions {
+  int max_iterations = 200;
+  // Convergence on the residual infinity norm...
+  double residual_tolerance = 1e-9;
+  // ...or on the update infinity norm (both must hold).
+  double step_tolerance = 1e-12;
+  // Hard clamp on each component of the Newton update (0 disables).
+  double max_step = 0.0;
+  // Damping factor applied when a full step increases the residual.
+  double damping_factor = 0.5;
+  int max_damping_steps = 12;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  Vector solution;
+};
+
+// Evaluate the residual F(x) into `f` and the Jacobian dF/dx into `jac`.
+// Sizes are preallocated by the solver.
+using NewtonSystem = std::function<void(const Vector& x, Vector& f, Matrix& jac)>;
+
+// Run damped Newton from `initial_guess`.  Never throws on non-convergence;
+// inspect `converged` (DC solvers retry with continuation strategies).
+[[nodiscard]] NewtonResult solve_newton(const NewtonSystem& system, Vector initial_guess,
+                                        const NewtonOptions& options = {});
+
+}  // namespace lcosc

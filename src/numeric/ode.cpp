@@ -1,0 +1,209 @@
+#include "numeric/ode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/lu.h"
+
+namespace lcosc {
+namespace {
+
+// Advance one classic RK4 step of size h from (t, x) into x_out.
+// k1..k4 and scratch are preallocated work vectors.
+void rk4_step(const OdeRhs& rhs, double t, const Vector& x, double h, Vector& x_out, Vector& k1,
+              Vector& k2, Vector& k3, Vector& k4, Vector& scratch) {
+  const std::size_t n = x.size();
+  rhs(t, x, k1);
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] + 0.5 * h * k1[i];
+  rhs(t + 0.5 * h, scratch, k2);
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] + 0.5 * h * k2[i];
+  rhs(t + 0.5 * h, scratch, k3);
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] + h * k3[i];
+  rhs(t + h, scratch, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_out[i] = x[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+}  // namespace
+
+OdeResult integrate_rk4(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                        const Rk4Options& options, const OdeObserver& observer) {
+  LCOSC_REQUIRE(options.step > 0.0, "RK4 step must be positive");
+  LCOSC_REQUIRE(t1 >= t0, "integration interval must be forward in time");
+  const std::size_t n = x0.size();
+
+  OdeResult result;
+  result.state = std::move(x0);
+  Vector k1(n), k2(n), k3(n), k4(n), scratch(n), next(n);
+
+  double t = t0;
+  if (observer && !observer(t, result.state)) {
+    result.t_end = t;
+    return result;
+  }
+
+  while (t < t1) {
+    const double h = std::min(options.step, t1 - t);
+    rk4_step(rhs, t, result.state, h, next, k1, k2, k3, k4, scratch);
+    result.state.swap(next);
+    t += h;
+    ++result.steps_taken;
+    if (observer && !observer(t, result.state)) break;
+  }
+  result.t_end = t;
+  return result;
+}
+
+OdeResult integrate_rkf45(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                          const Rkf45Options& options, const OdeObserver& observer) {
+  LCOSC_REQUIRE(options.initial_step > 0.0, "initial step must be positive");
+  LCOSC_REQUIRE(t1 >= t0, "integration interval must be forward in time");
+  const std::size_t n = x0.size();
+
+  // Fehlberg coefficients.
+  static constexpr double a2 = 1.0 / 4.0;
+  static constexpr double b31 = 3.0 / 32.0, b32 = 9.0 / 32.0;
+  static constexpr double b41 = 1932.0 / 2197.0, b42 = -7200.0 / 2197.0, b43 = 7296.0 / 2197.0;
+  static constexpr double b51 = 439.0 / 216.0, b52 = -8.0, b53 = 3680.0 / 513.0,
+                          b54 = -845.0 / 4104.0;
+  static constexpr double b61 = -8.0 / 27.0, b62 = 2.0, b63 = -3544.0 / 2565.0,
+                          b64 = 1859.0 / 4104.0, b65 = -11.0 / 40.0;
+  // 5th order solution weights.
+  static constexpr double c1 = 16.0 / 135.0, c3 = 6656.0 / 12825.0, c4 = 28561.0 / 56430.0,
+                          c5 = -9.0 / 50.0, c6 = 2.0 / 55.0;
+  // Error weights (5th - 4th).
+  static constexpr double e1 = 16.0 / 135.0 - 25.0 / 216.0;
+  static constexpr double e3 = 6656.0 / 12825.0 - 1408.0 / 2565.0;
+  static constexpr double e4 = 28561.0 / 56430.0 - 2197.0 / 4104.0;
+  static constexpr double e5 = -9.0 / 50.0 + 1.0 / 5.0;
+  static constexpr double e6 = 2.0 / 55.0;
+
+  OdeResult result;
+  result.state = std::move(x0);
+  Vector k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), scratch(n), next(n);
+
+  double t = t0;
+  double h = options.initial_step;
+  if (observer && !observer(t, result.state)) {
+    result.t_end = t;
+    return result;
+  }
+
+  while (t < t1 && result.steps_taken + result.steps_rejected < options.max_steps) {
+    h = std::clamp(h, options.min_step, options.max_step);
+    h = std::min(h, t1 - t);
+
+    const Vector& x = result.state;
+    rhs(t, x, k1);
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] + h * a2 * k1[i];
+    rhs(t + h / 4.0, scratch, k2);
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] + h * (b31 * k1[i] + b32 * k2[i]);
+    rhs(t + 3.0 * h / 8.0, scratch, k3);
+    for (std::size_t i = 0; i < n; ++i)
+      scratch[i] = x[i] + h * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    rhs(t + 12.0 * h / 13.0, scratch, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      scratch[i] = x[i] + h * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] + b54 * k4[i]);
+    rhs(t + h, scratch, k5);
+    for (std::size_t i = 0; i < n; ++i)
+      scratch[i] = x[i] + h * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] + b64 * k4[i] + b65 * k5[i]);
+    rhs(t + h / 2.0, scratch, k6);
+
+    // Error estimate and tolerance scaling.
+    double error_ratio = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double err =
+          h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] + e6 * k6[i]);
+      const double tol = options.abs_tolerance + options.rel_tolerance * std::abs(x[i]);
+      error_ratio = std::max(error_ratio, std::abs(err) / tol);
+    }
+
+    if (error_ratio <= 1.0 || h <= options.min_step * (1.0 + 1e-12)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        next[i] = x[i] + h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i] + c6 * k6[i]);
+      }
+      result.state.swap(next);
+      t += h;
+      ++result.steps_taken;
+      if (observer && !observer(t, result.state)) break;
+    } else {
+      ++result.steps_rejected;
+    }
+
+    // Standard step-size controller with safety factor.
+    const double factor =
+        (error_ratio > 0.0) ? 0.9 * std::pow(error_ratio, -0.2) : 5.0;
+    h *= std::clamp(factor, 0.2, 5.0);
+  }
+  result.t_end = t;
+  return result;
+}
+
+OdeResult integrate_trapezoidal(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                                const TrapezoidalOptions& options, const OdeObserver& observer) {
+  LCOSC_REQUIRE(options.step > 0.0, "trapezoidal step must be positive");
+  LCOSC_REQUIRE(t1 >= t0, "integration interval must be forward in time");
+  const std::size_t n = x0.size();
+
+  OdeResult result;
+  result.state = std::move(x0);
+  Vector f_old(n), f_new(n), guess(n), residual(n), f_pert(n), delta_x(n);
+  Matrix jac(n, n);
+
+  double t = t0;
+  if (observer && !observer(t, result.state)) {
+    result.t_end = t;
+    return result;
+  }
+
+  rhs(t, result.state, f_old);
+  while (t < t1) {
+    const double h = std::min(options.step, t1 - t);
+    const Vector& x = result.state;
+
+    // Predictor: forward Euler.
+    for (std::size_t i = 0; i < n; ++i) guess[i] = x[i] + h * f_old[i];
+
+    // Corrector: Newton on G(y) = y - x - h/2 (f_old + f(y)) with a
+    // finite-difference Jacobian.  Newton (rather than fixed-point
+    // iteration) keeps the corrector convergent for stiff systems where
+    // |h * df/dy| >> 1 -- which is the reason to use an A-stable rule.
+    for (int it = 0; it < options.max_corrector_iterations; ++it) {
+      rhs(t + h, guess, f_new);
+      double res_norm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        residual[i] = guess[i] - x[i] - 0.5 * h * (f_old[i] + f_new[i]);
+        res_norm = std::max(res_norm, std::abs(residual[i]));
+      }
+      if (res_norm <= options.corrector_tolerance) break;
+
+      // J = I - h/2 * df/dy (forward differences, column by column).
+      for (std::size_t j = 0; j < n; ++j) {
+        const double eps = 1e-8 * (1.0 + std::abs(guess[j]));
+        const double saved = guess[j];
+        guess[j] += eps;
+        rhs(t + h, guess, f_pert);
+        guess[j] = saved;
+        for (std::size_t i = 0; i < n; ++i) {
+          jac(i, j) = (i == j ? 1.0 : 0.0) - 0.5 * h * (f_pert[i] - f_new[i]) / eps;
+        }
+      }
+      const LuDecomposition lu(jac);
+      if (!lu.try_solve(residual, delta_x)) break;
+      for (std::size_t i = 0; i < n; ++i) guess[i] -= delta_x[i];
+    }
+
+    rhs(t + h, guess, f_new);
+    result.state = guess;
+    f_old = f_new;
+    t += h;
+    ++result.steps_taken;
+    if (observer && !observer(t, result.state)) break;
+  }
+  result.t_end = t;
+  return result;
+}
+
+}  // namespace lcosc

@@ -1,0 +1,69 @@
+// Explicit and implicit ODE integrators for the behavioral transient engine.
+//
+// The oscillator macro-models are small non-stiff systems (3-6 states) that
+// must be integrated for tens of thousands of RF cycles; fixed-step RK4 with
+// ~60+ steps per cycle is both fast and accurate there.  Adaptive RKF45 is
+// provided for validation sweeps and the trapezoidal rule for stiff
+// detector states (large RC time constants next to the RF period).
+#pragma once
+
+#include <functional>
+
+#include "numeric/matrix.h"
+
+namespace lcosc {
+
+// dx/dt = f(t, x) evaluated into dxdt (preallocated to x.size()).
+using OdeRhs = std::function<void(double t, const Vector& x, Vector& dxdt)>;
+
+// Called after every accepted step; return false to stop integration early.
+using OdeObserver = std::function<bool(double t, const Vector& x)>;
+
+struct OdeResult {
+  // Final time actually reached (== t_end unless the observer stopped it).
+  double t_end = 0.0;
+  Vector state;
+  std::size_t steps_taken = 0;
+  std::size_t steps_rejected = 0;  // adaptive methods only
+};
+
+// --- fixed-step classic Runge-Kutta 4 --------------------------------------
+
+struct Rk4Options {
+  double step = 1e-9;
+};
+
+OdeResult integrate_rk4(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                        const Rk4Options& options, const OdeObserver& observer = nullptr);
+
+// --- adaptive Runge-Kutta-Fehlberg 4(5) -------------------------------------
+
+struct Rkf45Options {
+  double initial_step = 1e-9;
+  double min_step = 1e-15;
+  double max_step = 1e-6;
+  double abs_tolerance = 1e-9;
+  double rel_tolerance = 1e-7;
+  std::size_t max_steps = 100'000'000;
+};
+
+OdeResult integrate_rkf45(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                          const Rkf45Options& options, const OdeObserver& observer = nullptr);
+
+// --- fixed-step trapezoidal rule (implicit, A-stable) ------------------------
+//
+// The nonlinear stage equation is solved with fixed-point iteration falling
+// back to a numerically differentiated Newton step; adequate for the mildly
+// nonlinear macro-models used here.
+
+struct TrapezoidalOptions {
+  double step = 1e-9;
+  int max_corrector_iterations = 50;
+  double corrector_tolerance = 1e-12;
+};
+
+OdeResult integrate_trapezoidal(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                                const TrapezoidalOptions& options,
+                                const OdeObserver& observer = nullptr);
+
+}  // namespace lcosc

@@ -1,0 +1,147 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+double bisect_root(const ScalarFunction& f, double lo, double hi, const RootOptions& options) {
+  LCOSC_REQUIRE(lo < hi, "bisection interval must be ordered");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  LCOSC_REQUIRE(std::signbit(flo) != std::signbit(fhi), "bisection requires a sign change");
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::abs(fmid) <= options.f_tolerance || (hi - lo) <= options.x_tolerance) return mid;
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+      fhi = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double brent_root(const ScalarFunction& f, double lo, double hi, const RootOptions& options) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  LCOSC_REQUIRE(std::signbit(fa) != std::signbit(fb), "Brent requires a sign change");
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * 1e-16 * std::abs(b) + 0.5 * options.x_tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0 || std::abs(fb) <= options.f_tolerance) return b;
+
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt interpolation.
+      const double s = fb / fa;
+      double p = 0.0;
+      double q = 0.0;
+      if (a == c) {
+        // Secant.
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        // Inverse quadratic.
+        const double qa = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qa * (qa - r) - (b - a) * (r - 1.0));
+        q = (qa - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if (std::signbit(fb) == std::signbit(fc)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return b;
+}
+
+double bisect_threshold(const ScalarPredicate& pred, double lo, double hi, double x_tolerance,
+                        int max_iterations) {
+  LCOSC_REQUIRE(lo < hi, "threshold interval must be ordered");
+  LCOSC_REQUIRE(!pred(lo), "predicate must be false at the lower bound");
+  LCOSC_REQUIRE(pred(hi), "predicate must be true at the upper bound");
+  for (int it = 0; it < max_iterations && (hi - lo) > x_tolerance; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (pred(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double golden_section_minimize(const ScalarFunction& f, double lo, double hi,
+                               double x_tolerance) {
+  LCOSC_REQUIRE(lo < hi, "minimization interval must be ordered");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while ((b - a) > x_tolerance) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace lcosc

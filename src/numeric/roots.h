@@ -1,0 +1,38 @@
+// Scalar root finding and 1-D minimization used by calibration sweeps
+// (e.g. bisecting the critical transconductance of the oscillation
+// condition, Eq. 1 of the paper).
+#pragma once
+
+#include <functional>
+
+namespace lcosc {
+
+using ScalarFunction = std::function<double(double)>;
+// Predicate for threshold bisection (monotone false->true assumed).
+using ScalarPredicate = std::function<bool(double)>;
+
+struct RootOptions {
+  double x_tolerance = 1e-12;
+  double f_tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+// Bisection on a sign change; requires f(lo) and f(hi) to have opposite
+// signs (throws ConfigError otherwise).
+[[nodiscard]] double bisect_root(const ScalarFunction& f, double lo, double hi,
+                                 const RootOptions& options = {});
+
+// Brent's method: bisection safeguarded inverse quadratic interpolation.
+[[nodiscard]] double brent_root(const ScalarFunction& f, double lo, double hi,
+                                const RootOptions& options = {});
+
+// Bisect the transition point of a boolean predicate that is false at lo
+// and true at hi (e.g. "does the oscillator sustain at this Gm?").
+[[nodiscard]] double bisect_threshold(const ScalarPredicate& pred, double lo, double hi,
+                                      double x_tolerance = 1e-9, int max_iterations = 200);
+
+// Golden-section minimization of a unimodal function on [lo, hi].
+[[nodiscard]] double golden_section_minimize(const ScalarFunction& f, double lo, double hi,
+                                             double x_tolerance = 1e-9);
+
+}  // namespace lcosc

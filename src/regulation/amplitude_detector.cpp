@@ -1,0 +1,75 @@
+#include "regulation/amplitude_detector.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace lcosc::regulation {
+
+namespace {
+
+devices::WindowComparator make_window(double vr3, double vr4, double hysteresis) {
+  return devices::WindowComparator(
+      {.low_threshold = vr3, .high_threshold = vr4, .hysteresis = hysteresis});
+}
+
+}  // namespace
+
+AmplitudeDetector::AmplitudeDetector(AmplitudeDetectorConfig config,
+                                     devices::BandgapConfig bandgap)
+    : config_(config),
+      bandgap_(bandgap),
+      rectifier_({.forward_drop = config.rectifier_drop, .filter_tau = config.filter_tau}),
+      window_(make_window(1.0, 2.0, 0.0)),  // placeholder, rebuilt below
+      vr3_(0.0),
+      vr4_(0.0) {
+  LCOSC_REQUIRE(config_.target_amplitude > 0.0, "target amplitude must be positive");
+  LCOSC_REQUIRE(config_.window_width > 0.0 && config_.window_width < 1.0,
+                "window width must be in (0,1)");
+  // Design-time sizing at the nominal bandgap: fix the fractions, then
+  // derive the actual thresholds from the bandgap at temperature.
+  const double mid = amplitude_to_vdc1(config_.target_amplitude);
+  vr3_fraction_ = mid * (1.0 - 0.5 * config_.window_width) / bandgap_.nominal();
+  vr4_fraction_ = mid * (1.0 + 0.5 * config_.window_width) / bandgap_.nominal();
+  rebuild_window();
+}
+
+void AmplitudeDetector::rebuild_window() {
+  const double vbg = bandgap_.voltage(temperature_);
+  vr3_ = vr3_fraction_ * vbg;
+  vr4_ = vr4_fraction_ * vbg;
+  window_ = make_window(vr3_, vr4_, config_.comparator_hysteresis);
+}
+
+void AmplitudeDetector::set_temperature(double temperature_kelvin) {
+  LCOSC_REQUIRE(temperature_kelvin > 0.0, "temperature must be positive");
+  temperature_ = temperature_kelvin;
+  rebuild_window();
+}
+
+void AmplitudeDetector::step(double dt, double v_lc1, double v_lc2) {
+  // Full wave rectification of the pin voltage against the midpoint VR1:
+  // |v1 - (v1+v2)/2| = |v1 - v2| / 2.
+  const double pin_swing = 0.5 * (v_lc1 - v_lc2);
+  rectifier_.step(dt, pin_swing);
+  state_ = window_.update(rectifier_.output());
+}
+
+double AmplitudeDetector::vr3_bandgap_fraction() const { return vr3_ / bandgap_.nominal(); }
+double AmplitudeDetector::vr4_bandgap_fraction() const { return vr4_ / bandgap_.nominal(); }
+
+double AmplitudeDetector::amplitude_to_vdc1(double amplitude) {
+  // Mean of |(A/2) sin| through the filter: A / pi.
+  return amplitude / kPi;
+}
+
+double AmplitudeDetector::vdc1_to_amplitude(double vdc1) { return vdc1 * kPi; }
+
+void AmplitudeDetector::reset() {
+  rectifier_.reset();
+  window_.reset();
+  state_ = devices::WindowState::Below;
+}
+
+}  // namespace lcosc::regulation

@@ -1,0 +1,91 @@
+// Amplitude detection chain of paper Fig. 8: the LC pin voltages are full
+// wave rectified against the filtered midpoint VR1, low-pass filtered into
+// VDC1, and compared with two bandgap-derived references VR3/VR4 by a
+// window comparator.
+//
+// Conventions: pin voltages are deviations from the Vref operating point;
+// the differential amplitude A is the peak of v(LC1) - v(LC2).  A healthy
+// symmetric tank swings each pin by A/2 around the midpoint, so
+// VDC1(steady) = mean(|A/2 sin|) = A / pi.
+#pragma once
+
+#include "devices/bandgap.h"
+#include "devices/comparator.h"
+#include "devices/rectifier.h"
+
+namespace lcosc::regulation {
+
+struct AmplitudeDetectorConfig {
+  // Regulation target: differential peak amplitude [V].
+  double target_amplitude = 2.7;
+  // Total relative width of the regulation window (VR4-VR3 over the mid
+  // value).  Must exceed the worst DAC step (6.25%) so a single step can
+  // never jump across the window (paper Section 4).
+  double window_width = 0.10;
+  // Post-rectifier filter time constant.
+  double filter_tau = 20e-6;
+  // Rectifier forward drop (0 = active rectifier).
+  double rectifier_drop = 0.0;
+  // Comparator hysteresis on VDC1 [V].
+  double comparator_hysteresis = 2e-3;
+};
+
+class AmplitudeDetector {
+ public:
+  explicit AmplitudeDetector(AmplitudeDetectorConfig config = {},
+                             devices::BandgapConfig bandgap = {});
+
+  // Advance by dt with instantaneous pin voltages (relative to Vref).
+  void step(double dt, double v_lc1, double v_lc2);
+
+  // Filtered rectified output (the VDC1 node).
+  [[nodiscard]] double vdc1() const { return rectifier_.output(); }
+
+  // Window comparator verdict for the present VDC1.
+  [[nodiscard]] devices::WindowState window_state() const { return state_; }
+
+  // Thresholds in VDC1 domain.
+  [[nodiscard]] double vr3() const { return vr3_; }
+  [[nodiscard]] double vr4() const { return vr4_; }
+
+  // The thresholds expressed as fractions of the bandgap voltage (this is
+  // how the silicon generates them -- Fig. 8).
+  [[nodiscard]] double vr3_bandgap_fraction() const;
+  [[nodiscard]] double vr4_bandgap_fraction() const;
+
+  // Map between the differential amplitude and the VDC1 it settles to.
+  [[nodiscard]] static double amplitude_to_vdc1(double amplitude);
+  [[nodiscard]] static double vdc1_to_amplitude(double vdc1);
+
+  // Window expressed as amplitude bounds [V differential peak].
+  [[nodiscard]] double amplitude_low() const { return vdc1_to_amplitude(vr3_); }
+  [[nodiscard]] double amplitude_high() const { return vdc1_to_amplitude(vr4_); }
+
+  // Junction temperature [K].  The silicon derives VR3/VR4 as fixed
+  // fractions of the bandgap voltage (Fig. 8), so the regulation window --
+  // and with it the regulated amplitude -- drifts with the bandgap
+  // curvature.  Rebuilds the window comparator.
+  void set_temperature(double temperature_kelvin);
+  [[nodiscard]] double temperature() const { return temperature_; }
+
+  void reset();
+
+  [[nodiscard]] const AmplitudeDetectorConfig& config() const { return config_; }
+
+ private:
+  void rebuild_window();
+
+  AmplitudeDetectorConfig config_;
+  devices::BandgapReference bandgap_;
+  devices::FullWaveRectifierFilter rectifier_;
+  devices::WindowComparator window_;
+  devices::WindowState state_ = devices::WindowState::Below;
+  double vr3_ = 0.0;
+  double vr4_ = 0.0;
+  // Nominal bandgap fractions fixed at design time.
+  double vr3_fraction_ = 0.0;
+  double vr4_fraction_ = 0.0;
+  double temperature_ = 300.0;
+};
+
+}  // namespace lcosc::regulation

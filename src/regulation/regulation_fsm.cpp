@@ -1,0 +1,63 @@
+#include "regulation/regulation_fsm.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lcosc::regulation {
+
+RegulationFsm::RegulationFsm(RegulationConfig config)
+    : config_(config), code_(config.startup_code) {
+  LCOSC_REQUIRE(config_.tick_period > 0.0, "tick period must be positive");
+  // min == max pins the code (used by fixed-code characterization runs).
+  LCOSC_REQUIRE(config_.min_code >= 0 && config_.max_code <= kDacCodeMax &&
+                    config_.min_code <= config_.max_code,
+                "invalid code range");
+  LCOSC_REQUIRE(config_.startup_code >= config_.min_code &&
+                    config_.startup_code <= config_.max_code,
+                "startup code outside the code range");
+  LCOSC_REQUIRE(config_.nvm_code == -1 || (config_.nvm_code >= config_.min_code &&
+                                           config_.nvm_code <= config_.max_code),
+                "NVM code outside the code range");
+  LCOSC_REQUIRE(config_.nvm_delay >= 0.0, "NVM delay must be non-negative");
+}
+
+void RegulationFsm::por_reset() {
+  code_ = config_.startup_code;
+  mode_ = RegulationMode::PowerOnReset;
+  ticks_ = 0;
+}
+
+void RegulationFsm::apply_nvm_preset() {
+  if (mode_ == RegulationMode::SafeState) return;
+  if (config_.nvm_code >= 0) code_ = config_.nvm_code;
+  mode_ = RegulationMode::Regulating;
+}
+
+int RegulationFsm::tick(devices::WindowState window) {
+  ++ticks_;
+  if (mode_ == RegulationMode::SafeState) return code_;
+  mode_ = RegulationMode::Regulating;
+  switch (window) {
+    case devices::WindowState::Below:
+      code_ = std::min(code_ + 1, config_.max_code);
+      break;
+    case devices::WindowState::Above:
+      code_ = std::max(code_ - 1, config_.min_code);
+      break;
+    case devices::WindowState::Inside:
+      break;
+  }
+  return code_;
+}
+
+void RegulationFsm::enter_safe_state() {
+  mode_ = RegulationMode::SafeState;
+  code_ = config_.max_code;
+}
+
+void RegulationFsm::clear_safe_state() {
+  if (mode_ == RegulationMode::SafeState) mode_ = RegulationMode::Regulating;
+}
+
+}  // namespace lcosc::regulation

@@ -1,0 +1,81 @@
+#include "regulation/startup_sequencer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::regulation {
+
+std::string to_string(StartupPhase phase) {
+  switch (phase) {
+    case StartupPhase::PowerOff: return "power-off";
+    case StartupPhase::PorDelay: return "por-delay";
+    case StartupPhase::ChargePumpRamp: return "charge-pump-ramp";
+    case StartupPhase::DriverEnabled: return "driver-enabled";
+    case StartupPhase::Running: return "running";
+  }
+  return "?";
+}
+
+StartupSequencer::StartupSequencer(StartupSequencerConfig config)
+    : config_(config), pump_(config.charge_pump) {
+  LCOSC_REQUIRE(config_.por_delay >= 0.0, "POR delay must be non-negative");
+  LCOSC_REQUIRE(config_.pump_ready_fraction > 0.0 && config_.pump_ready_fraction < 1.0,
+                "pump ready fraction must be in (0,1)");
+  LCOSC_REQUIRE(config_.nvm_delay >= 0.0, "NVM delay must be non-negative");
+}
+
+void StartupSequencer::enter(double t, StartupPhase phase) {
+  phase_ = phase;
+  phase_entry_time_ = t;
+  events_.push_back({t, phase});
+}
+
+void StartupSequencer::power_on(double t) {
+  LCOSC_REQUIRE(phase_ == StartupPhase::PowerOff, "already powered");
+  power_on_time_ = t;
+  enter(t, StartupPhase::PorDelay);
+}
+
+void StartupSequencer::power_off(double t) {
+  pump_.set_enabled(false);
+  enter(t, StartupPhase::PowerOff);
+}
+
+StartupPhase StartupSequencer::step(double t, double dt) {
+  pump_.step(dt);
+  switch (phase_) {
+    case StartupPhase::PowerOff:
+      break;
+    case StartupPhase::PorDelay:
+      if (t - phase_entry_time_ >= config_.por_delay) {
+        pump_.set_enabled(true);
+        enter(t, StartupPhase::ChargePumpRamp);
+      }
+      break;
+    case StartupPhase::ChargePumpRamp: {
+      const double target = config_.charge_pump.target_voltage;
+      if (pump_.output() <= config_.pump_ready_fraction * target) {
+        enter(t, StartupPhase::DriverEnabled);
+      }
+      break;
+    }
+    case StartupPhase::DriverEnabled:
+      if (t - phase_entry_time_ >= config_.nvm_delay) {
+        enter(t, StartupPhase::Running);
+      }
+      break;
+    case StartupPhase::Running:
+      break;
+  }
+  return phase_;
+}
+
+double StartupSequencer::startup_time() const {
+  for (const Event& e : events_) {
+    if (e.phase == StartupPhase::Running) return e.time - power_on_time_;
+  }
+  return -1.0;
+}
+
+}  // namespace lcosc::regulation

@@ -1,0 +1,80 @@
+// Power-up sequencing of the oscillator driver (paper Sections 4 and 8):
+//
+//   supply good -> POR release -> negative charge pump ramps (the Fig. 11
+//   output stage needs its gate rails before the driver may switch) ->
+//   driver enable (Ena/EnaN) + current limitation preset to code 105 ->
+//   a few microseconds later the NVM-stored code is applied -> running.
+//
+// The sequencer is a small event-logged state machine driven by the
+// simulation clock; OscillatorSystem uses fixed delays internally, this
+// class models the full chain (including the charge-pump-ready gate) for
+// startup-timing studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/charge_pump.h"
+
+namespace lcosc::regulation {
+
+enum class StartupPhase {
+  PowerOff,
+  PorDelay,        // supply present, POR counter running
+  ChargePumpRamp,  // pump enabled, waiting for the negative rail
+  DriverEnabled,   // Ena asserted, code at the POR preset
+  Running,         // NVM code applied, regulation active
+};
+
+[[nodiscard]] std::string to_string(StartupPhase phase);
+
+struct StartupSequencerConfig {
+  double por_delay = 2e-6;  // POR release after the supply is good
+  // The driver may only be enabled once the negative charge pump reached
+  // this fraction of its target (gate rails valid).
+  double pump_ready_fraction = 0.8;
+  // NVM read time after driver enable ("a few us after startup").
+  double nvm_delay = 8e-6;
+  devices::ChargePumpConfig charge_pump{};
+};
+
+class StartupSequencer {
+ public:
+  explicit StartupSequencer(StartupSequencerConfig config = {});
+
+  // Supply becomes valid at time t (starts the POR counter).
+  void power_on(double t);
+  // Supply lost: everything de-asserts immediately.
+  void power_off(double t);
+
+  // Advance the sequencer; returns the current phase.
+  StartupPhase step(double t, double dt);
+
+  [[nodiscard]] StartupPhase phase() const { return phase_; }
+  [[nodiscard]] bool driver_enabled() const {
+    return phase_ == StartupPhase::DriverEnabled || phase_ == StartupPhase::Running;
+  }
+  [[nodiscard]] bool nvm_applied() const { return phase_ == StartupPhase::Running; }
+  [[nodiscard]] double charge_pump_voltage() const { return pump_.output(); }
+
+  struct Event {
+    double time = 0.0;
+    StartupPhase phase{};
+  };
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // Total time from power-on to Running (-1 until reached).
+  [[nodiscard]] double startup_time() const;
+
+ private:
+  void enter(double t, StartupPhase phase);
+
+  StartupSequencerConfig config_;
+  devices::NegativeChargePump pump_;
+  StartupPhase phase_ = StartupPhase::PowerOff;
+  double power_on_time_ = 0.0;
+  double phase_entry_time_ = 0.0;
+  std::vector<Event> events_;
+};
+
+}  // namespace lcosc::regulation

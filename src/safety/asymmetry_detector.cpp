@@ -1,0 +1,33 @@
+#include "safety/asymmetry_detector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::safety {
+
+AsymmetryDetector::AsymmetryDetector(AsymmetryConfig config)
+    : config_(config), rectifier_(config.filter_tau) {
+  LCOSC_REQUIRE(config_.threshold > 0.0, "asymmetry threshold must be positive");
+  LCOSC_REQUIRE(config_.persistence > 0.0, "persistence must be positive");
+}
+
+bool AsymmetryDetector::step(double t, double dt, double v_lc1, double v_lc2) {
+  const double midpoint = 0.5 * (v_lc1 + v_lc2);    // VR0
+  const double differential = v_lc1 - v_lc2;        // phase reference
+  rectifier_.step(dt, midpoint, differential);
+  const bool above = std::abs(rectifier_.output()) > config_.threshold;
+  if (above && !above_) above_since_ = t;
+  above_ = above;
+  if (above_ && (t - above_since_) >= config_.persistence) fault_ = true;
+  return fault_;
+}
+
+void AsymmetryDetector::reset(double t) {
+  rectifier_.reset();
+  above_since_ = t;
+  above_ = false;
+  fault_ = false;
+}
+
+}  // namespace lcosc::safety

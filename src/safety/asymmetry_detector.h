@@ -1,0 +1,44 @@
+// Amplitude-asymmetry detection between the LC1 and LC2 pins (paper
+// Section 7): with a healthy tank the midpoint VR0 = (v1+v2)/2 is a DC
+// voltage; if one of the external capacitors is missing or degraded the
+// pins swing unequally and VR0 oscillates at the tank frequency.  The
+// silicon detects this by synchronous rectification of VR0 (phase
+// reference: the pin differential), filtering, and comparison with a
+// reference.
+#pragma once
+
+#include "devices/rectifier.h"
+
+namespace lcosc::safety {
+
+struct AsymmetryConfig {
+  // Filtered synchronous-rectifier output that latches the fault [V].
+  double threshold = 60e-3;
+  // The detector output must stay above the threshold for this long.
+  double persistence = 1e-3;
+  double filter_tau = 50e-6;
+};
+
+class AsymmetryDetector {
+ public:
+  explicit AsymmetryDetector(AsymmetryConfig config = {});
+
+  // Advance with the instantaneous pin voltages (relative to Vref).
+  bool step(double t, double dt, double v_lc1, double v_lc2);
+
+  [[nodiscard]] bool fault() const { return fault_; }
+  // Filtered synchronous rectifier output (signed; sign identifies which
+  // capacitor failed).
+  [[nodiscard]] double detector_output() const { return rectifier_.output(); }
+
+  void reset(double t = 0.0);
+
+ private:
+  AsymmetryConfig config_;
+  devices::SynchronousRectifierFilter rectifier_;
+  double above_since_ = 0.0;
+  bool above_ = false;
+  bool fault_ = false;
+};
+
+}  // namespace lcosc::safety

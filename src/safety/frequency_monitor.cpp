@@ -1,0 +1,53 @@
+#include "safety/frequency_monitor.h"
+
+#include "common/error.h"
+
+namespace lcosc::safety {
+
+FrequencyMonitor::FrequencyMonitor(FrequencyMonitorConfig config)
+    : config_(config), comparator_({.hysteresis = config.comparator_hysteresis}) {
+  LCOSC_REQUIRE(config_.min_frequency > 0.0 &&
+                    config_.max_frequency > config_.min_frequency,
+                "frequency band must be ordered and positive");
+  LCOSC_REQUIRE(config_.averaging_edges >= 2 &&
+                    config_.averaging_edges <= static_cast<int>(kMaxEdges),
+                "averaging edge count out of range");
+  LCOSC_REQUIRE(config_.persistence > 0.0, "persistence must be positive");
+}
+
+bool FrequencyMonitor::step(double t, double v_diff) {
+  const bool output = comparator_.update(t, v_diff);
+  if (output && !last_output_) {
+    // Rising edge: shift into the ring of recent edge times.
+    const std::size_t n = static_cast<std::size_t>(config_.averaging_edges);
+    edge_times_[edge_count_ % n] = t;
+    ++edge_count_;
+    if (edge_count_ >= n) {
+      // Oldest retained edge is the next slot to be overwritten.
+      const double oldest = edge_times_[edge_count_ % n];
+      const double span = t - oldest;
+      if (span > 0.0) {
+        frequency_ = static_cast<double>(n - 1) / span;
+        const bool out =
+            frequency_ < config_.min_frequency || frequency_ > config_.max_frequency;
+        if (out && !out_of_band_) out_since_ = t;
+        out_of_band_ = out;
+        if (out_of_band_ && (t - out_since_) >= config_.persistence) fault_ = true;
+      }
+    }
+  }
+  last_output_ = output;
+  return fault_;
+}
+
+void FrequencyMonitor::reset(double t) {
+  comparator_.reset();
+  last_output_ = false;
+  edge_count_ = 0;
+  frequency_ = 0.0;
+  out_of_band_ = false;
+  out_since_ = t;
+  fault_ = false;
+}
+
+}  // namespace lcosc::safety

@@ -1,0 +1,57 @@
+// Oscillation-frequency supervision.
+//
+// The paper's driver is designed for 2-5 MHz.  Several external failures
+// move the resonance far outside that band long before the amplitude
+// collapses -- most notably a missing Cosc (the residual parasitic
+// capacitance resonates several times higher).  The same fast comparator
+// that clocks the missing-oscillation watchdog yields the frequency for
+// free; this monitor averages edge-to-edge periods and latches a fault
+// when the frequency stays out of band.
+#pragma once
+
+#include <array>
+
+#include "devices/comparator.h"
+
+namespace lcosc::safety {
+
+struct FrequencyMonitorConfig {
+  double min_frequency = 2.0e6;
+  double max_frequency = 5.0e6;
+  double comparator_hysteresis = 50e-3;
+  // Number of most-recent rising edges averaged for the estimate.
+  int averaging_edges = 16;
+  // Out-of-band condition must persist this long to latch.
+  double persistence = 100e-6;
+};
+
+class FrequencyMonitor {
+ public:
+  explicit FrequencyMonitor(FrequencyMonitorConfig config = {});
+
+  // Advance with the instantaneous differential pin voltage; returns the
+  // latched fault flag.  A dead oscillation produces no edges and is the
+  // watchdog's job, not this monitor's.
+  bool step(double t, double v_diff);
+
+  // Latest frequency estimate [Hz]; 0 until enough edges arrived.
+  [[nodiscard]] double measured_frequency() const { return frequency_; }
+  [[nodiscard]] bool fault() const { return fault_; }
+
+  void reset(double t = 0.0);
+
+ private:
+  static constexpr std::size_t kMaxEdges = 64;
+
+  FrequencyMonitorConfig config_;
+  devices::Comparator comparator_;
+  bool last_output_ = false;
+  std::array<double, kMaxEdges> edge_times_{};
+  std::size_t edge_count_ = 0;
+  double frequency_ = 0.0;
+  bool out_of_band_ = false;
+  double out_since_ = 0.0;
+  bool fault_ = false;
+};
+
+}  // namespace lcosc::safety

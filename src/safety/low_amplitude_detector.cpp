@@ -1,0 +1,33 @@
+#include "safety/low_amplitude_detector.h"
+
+#include "common/error.h"
+
+namespace lcosc::safety {
+
+LowAmplitudeDetector::LowAmplitudeDetector(LowAmplitudeConfig config)
+    : config_(config),
+      rectifier_({.forward_drop = 0.0, .filter_tau = config.filter_tau}),
+      threshold_vdc1_(regulation::AmplitudeDetector::amplitude_to_vdc1(
+          config.target_amplitude * config.threshold_fraction)) {
+  LCOSC_REQUIRE(config_.threshold_fraction > 0.0 && config_.threshold_fraction < 1.0,
+                "threshold fraction must be in (0,1)");
+  LCOSC_REQUIRE(config_.persistence > 0.0, "persistence must be positive");
+}
+
+bool LowAmplitudeDetector::step(double t, double dt, double v_lc1, double v_lc2) {
+  rectifier_.step(dt, 0.5 * (v_lc1 - v_lc2));
+  const bool below = rectifier_.output() < threshold_vdc1_;
+  if (below && !below_) below_since_ = t;
+  below_ = below;
+  if (below_ && (t - below_since_) >= config_.persistence) fault_ = true;
+  return fault_;
+}
+
+void LowAmplitudeDetector::reset(double t) {
+  rectifier_.reset();
+  below_since_ = t;
+  below_ = false;
+  fault_ = false;
+}
+
+}  // namespace lcosc::safety

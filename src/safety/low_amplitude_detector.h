@@ -1,0 +1,46 @@
+// Low-amplitude detection (paper Sections 6-7): the same rectify-filter-
+// compare principle as the regulation window, but against a lower fault
+// threshold.  Detects degraded tank quality (shorted turns, increased
+// series resistance) where the driver can no longer reach the regulation
+// target even at maximum current.
+#pragma once
+
+#include "devices/rectifier.h"
+#include "regulation/amplitude_detector.h"
+
+namespace lcosc::safety {
+
+struct LowAmplitudeConfig {
+  // Fault threshold as a fraction of the regulation target amplitude.
+  double threshold_fraction = 0.5;
+  // Regulation target (differential peak) the fraction refers to.
+  double target_amplitude = 2.7;
+  // VDC1 must stay below the threshold for this long to latch the fault
+  // (rides through startup and regulation transients).
+  double persistence = 3e-3;
+  double filter_tau = 20e-6;
+};
+
+class LowAmplitudeDetector {
+ public:
+  explicit LowAmplitudeDetector(LowAmplitudeConfig config = {});
+
+  // Advance with the instantaneous pin voltages (relative to Vref).
+  bool step(double t, double dt, double v_lc1, double v_lc2);
+
+  [[nodiscard]] bool fault() const { return fault_; }
+  [[nodiscard]] double vdc1() const { return rectifier_.output(); }
+  [[nodiscard]] double threshold_vdc1() const { return threshold_vdc1_; }
+
+  void reset(double t = 0.0);
+
+ private:
+  LowAmplitudeConfig config_;
+  devices::FullWaveRectifierFilter rectifier_;
+  double threshold_vdc1_;
+  double below_since_ = 0.0;
+  bool below_ = false;
+  bool fault_ = false;
+};
+
+}  // namespace lcosc::safety

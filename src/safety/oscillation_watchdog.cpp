@@ -1,0 +1,31 @@
+#include "safety/oscillation_watchdog.h"
+
+#include "common/error.h"
+
+namespace lcosc::safety {
+
+OscillationWatchdog::OscillationWatchdog(WatchdogConfig config)
+    : config_(config), comparator_({.hysteresis = config.comparator_hysteresis}) {
+  LCOSC_REQUIRE(config_.timeout > 0.0, "watchdog timeout must be positive");
+}
+
+bool OscillationWatchdog::step(double t, double v_diff) {
+  const bool output = comparator_.update(t, v_diff);
+  if (output && !last_output_) {
+    last_edge_ = t;
+    ++edges_;
+  }
+  last_output_ = output;
+  if (t - last_edge_ > config_.timeout) fault_ = true;
+  return fault_;
+}
+
+void OscillationWatchdog::reset(double t) {
+  comparator_.reset();
+  last_output_ = false;
+  last_edge_ = t;
+  edges_ = 0;
+  fault_ = false;
+}
+
+}  // namespace lcosc::safety

@@ -1,0 +1,47 @@
+// Missing-oscillation detection (paper Section 7): a fast comparator
+// between the LC1 and LC2 pins turns the oscillation into a clock; a
+// time-out circuit raises the fault when the clock stops.
+//
+// Detects hard failures: open coil connection, pin shorted to ground or
+// to the supply.
+#pragma once
+
+#include "devices/comparator.h"
+
+namespace lcosc::safety {
+
+struct WatchdogConfig {
+  // Comparator hysteresis [V]: the oscillation must exceed this to clock
+  // the watchdog, so a collapsed (tiny) oscillation also times out.
+  double comparator_hysteresis = 50e-3;
+  // Time with no rising clock edge before the fault latches.  Must cover
+  // at least one full period at the lowest frequency (2 MHz -> 500 ns)
+  // with margin for startup.
+  double timeout = 20e-6;
+};
+
+class OscillationWatchdog {
+ public:
+  explicit OscillationWatchdog(WatchdogConfig config = {});
+
+  // Advance with the instantaneous differential pin voltage.  Calls must
+  // have non-decreasing time stamps.  Returns the latched fault flag.
+  bool step(double t, double v_diff);
+
+  [[nodiscard]] bool fault() const { return fault_; }
+  [[nodiscard]] long edge_count() const { return edges_; }
+  [[nodiscard]] double last_edge_time() const { return last_edge_; }
+
+  // Restart supervision (arms the timeout from time t).
+  void reset(double t = 0.0);
+
+ private:
+  WatchdogConfig config_;
+  devices::Comparator comparator_;
+  bool last_output_ = false;
+  double last_edge_ = 0.0;
+  long edges_ = 0;
+  bool fault_ = false;
+};
+
+}  // namespace lcosc::safety

@@ -1,0 +1,37 @@
+#include "safety/safety_controller.h"
+
+namespace lcosc::safety {
+
+SafetyController::SafetyController(SafetyControllerConfig config)
+    : config_(config),
+      watchdog_(config.watchdog),
+      low_amplitude_(config.low_amplitude),
+      asymmetry_(config.asymmetry),
+      frequency_(config.frequency) {}
+
+bool SafetyController::step(double t, double dt, double v_lc1, double v_lc2) {
+  watchdog_.step(t, v_lc1 - v_lc2);
+  if (t - reset_time_ >= config_.arm_delay) {
+    low_amplitude_.step(t, dt, v_lc1, v_lc2);
+    asymmetry_.step(t, dt, v_lc1, v_lc2);
+    frequency_.step(t, v_lc1 - v_lc2);
+  }
+  return safe_state_requested();
+}
+
+FaultFlags SafetyController::flags() const {
+  return {.missing_oscillation = watchdog_.fault(),
+          .low_amplitude = low_amplitude_.fault(),
+          .asymmetry = asymmetry_.fault(),
+          .frequency_out_of_band = frequency_.fault()};
+}
+
+void SafetyController::reset(double t) {
+  reset_time_ = t;
+  watchdog_.reset(t);
+  low_amplitude_.reset(t);
+  asymmetry_.reset(t);
+  frequency_.reset(t);
+}
+
+}  // namespace lcosc::safety

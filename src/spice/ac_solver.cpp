@@ -1,0 +1,116 @@
+#include "spice/ac_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+Complex AcPoint::voltage(const Circuit& circuit, const std::string& node) const {
+  return voltage(circuit.node(node));
+}
+
+Complex AcPoint::voltage(NodeId node) const {
+  return node == kGround ? Complex{} : x[node - 1];
+}
+
+std::vector<AcPoint> ac_sweep(Circuit& circuit, const Vector& dc_op,
+                              const std::vector<double>& frequencies) {
+  circuit.finalize();
+  const std::size_t n = circuit.unknown_count();
+  LCOSC_REQUIRE(dc_op.size() == n, "DC operating point size mismatch");
+
+  std::vector<AcPoint> result;
+  result.reserve(frequencies.size());
+
+  ComplexMatrix a(n, n);
+  ComplexVector b(n);
+  for (const double f : frequencies) {
+    LCOSC_REQUIRE(f >= 0.0, "AC frequency must be non-negative");
+    const double omega = kTwoPi * f;
+    a.set_zero();
+    std::fill(b.begin(), b.end(), Complex{});
+    AcStamper stamper(a, b);
+    for (const auto& element : circuit.elements()) element->stamp_ac(stamper, omega, dc_op);
+    // The same gmin floor as DC keeps floating nodes solvable.
+    for (std::size_t i = 0; i < circuit.node_count() - 1; ++i) {
+      a(i, i) += Complex{1e-12, 0.0};
+    }
+
+    AcPoint point;
+    point.frequency = f;
+    const ComplexLu lu(a);
+    point.ok = lu.try_solve(b, point.x);
+    result.push_back(std::move(point));
+  }
+  return result;
+}
+
+std::vector<ImpedancePoint> measure_impedance(Circuit& circuit, CurrentSource& probe,
+                                              const std::string& positive,
+                                              const std::string& negative, const Vector& dc_op,
+                                              const std::vector<double>& frequencies) {
+  const double original = probe.ac_magnitude();
+  probe.set_ac_magnitude(1.0);
+  const std::vector<AcPoint> points = ac_sweep(circuit, dc_op, frequencies);
+  probe.set_ac_magnitude(original);
+
+  const NodeId pos = circuit.node(positive);
+  const NodeId neg = circuit.node(negative);
+
+  std::vector<ImpedancePoint> result;
+  result.reserve(points.size());
+  for (const auto& p : points) {
+    ImpedancePoint z;
+    z.frequency = p.frequency;
+    if (p.ok) z.impedance = p.voltage(pos) - p.voltage(neg);
+    result.push_back(z);
+  }
+  return result;
+}
+
+ResonanceSummary summarize_resonance(const std::vector<ImpedancePoint>& curve) {
+  LCOSC_REQUIRE(curve.size() >= 3, "resonance summary needs at least three points");
+  ResonanceSummary summary;
+  std::size_t peak_index = 0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double mag = std::abs(curve[i].impedance);
+    if (mag > summary.peak_magnitude) {
+      summary.peak_magnitude = mag;
+      summary.peak_frequency = curve[i].frequency;
+      peak_index = i;
+    }
+  }
+
+  // -3 dB crossings on both sides of the peak (linear interpolation in f).
+  const double target = summary.peak_magnitude / std::sqrt(2.0);
+  double f_low = 0.0;
+  double f_high = 0.0;
+  for (std::size_t i = peak_index; i-- > 0;) {
+    const double m0 = std::abs(curve[i].impedance);
+    const double m1 = std::abs(curve[i + 1].impedance);
+    if (m0 <= target && m1 >= target) {
+      const double frac = (target - m0) / (m1 - m0);
+      f_low = curve[i].frequency + frac * (curve[i + 1].frequency - curve[i].frequency);
+      break;
+    }
+  }
+  for (std::size_t i = peak_index; i + 1 < curve.size(); ++i) {
+    const double m0 = std::abs(curve[i].impedance);
+    const double m1 = std::abs(curve[i + 1].impedance);
+    if (m0 >= target && m1 <= target) {
+      const double frac = (m0 - target) / (m0 - m1);
+      f_high = curve[i].frequency + frac * (curve[i + 1].frequency - curve[i].frequency);
+      break;
+    }
+  }
+  if (f_low > 0.0 && f_high > f_low) {
+    summary.bandwidth = f_high - f_low;
+    summary.quality_factor = summary.peak_frequency / summary.bandwidth;
+  }
+  return summary;
+}
+
+}  // namespace lcosc::spice

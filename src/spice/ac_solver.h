@@ -1,0 +1,54 @@
+// Small-signal AC analysis: linearize every element at a DC operating
+// point and solve the complex MNA system per frequency.
+//
+// Used to characterize the external resonance network (impedance curve,
+// resonance peak, bandwidth-derived Q) and to validate the macro-model
+// tank arithmetic against the transistor-level view.
+#pragma once
+
+#include <vector>
+
+#include "numeric/complex_lu.h"
+#include "spice/circuit.h"
+
+namespace lcosc::spice {
+
+struct AcPoint {
+  double frequency = 0.0;  // [Hz]
+  bool ok = false;
+  ComplexVector x;
+
+  [[nodiscard]] Complex voltage(const Circuit& circuit, const std::string& node) const;
+  [[nodiscard]] Complex voltage(NodeId node) const;
+};
+
+// Solve the small-signal response at each frequency.  `dc_op` is the
+// operating point the nonlinear elements are linearized at (pass an
+// all-zero vector for a linear circuit).
+[[nodiscard]] std::vector<AcPoint> ac_sweep(Circuit& circuit, const Vector& dc_op,
+                                            const std::vector<double>& frequencies);
+
+struct ImpedancePoint {
+  double frequency = 0.0;
+  Complex impedance{};
+};
+
+// Differential impedance seen between two nodes: injects a 1 A AC probe
+// through `probe` (whose DC value is untouched) and reads the voltage.
+// The probe must already be connected between the two nodes.
+[[nodiscard]] std::vector<ImpedancePoint> measure_impedance(
+    Circuit& circuit, CurrentSource& probe, const std::string& positive,
+    const std::string& negative, const Vector& dc_op,
+    const std::vector<double>& frequencies);
+
+// Resonance characterization of an impedance curve: peak frequency, peak
+// magnitude, and quality factor from the -3 dB bandwidth.
+struct ResonanceSummary {
+  double peak_frequency = 0.0;
+  double peak_magnitude = 0.0;
+  double bandwidth = 0.0;      // f(+3dB) - f(-3dB); 0 if not bracketed
+  double quality_factor = 0.0; // peak_frequency / bandwidth
+};
+[[nodiscard]] ResonanceSummary summarize_resonance(const std::vector<ImpedancePoint>& curve);
+
+}  // namespace lcosc::spice

@@ -1,0 +1,128 @@
+#include "spice/circuit.h"
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+NodeId Circuit::add_node(const std::string& name) {
+  if (node_ids_.contains(name)) throw NetlistError("duplicate node name: " + name);
+  const NodeId id = node_names_.size();
+  node_names_.push_back(name);
+  node_ids_.emplace(name, id);
+  return id;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  if (name == "0" || name == "gnd") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) throw NetlistError("unknown node: " + name);
+  return it->second;
+}
+
+NodeId Circuit::node_or_create(const std::string& name) {
+  if (name == "0" || name == "gnd") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  return add_node(name);
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return name == "0" || name == "gnd" || node_ids_.contains(name);
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  LCOSC_REQUIRE(id < node_names_.size(), "node id out of range");
+  return node_names_[id];
+}
+
+void Circuit::register_element(std::unique_ptr<Element> element) {
+  if (element_index_.contains(element->name())) {
+    throw NetlistError("duplicate element name: " + element->name());
+  }
+  element_index_.emplace(element->name(), elements_.size());
+  elements_.push_back(std::move(element));
+  finalized_ = false;
+}
+
+Resistor& Circuit::resistor(const std::string& name, const std::string& a, const std::string& b,
+                            double ohms) {
+  return add<Resistor>(name, node_or_create(a), node_or_create(b), ohms);
+}
+
+Capacitor& Circuit::capacitor(const std::string& name, const std::string& a,
+                              const std::string& b, double farads, double initial_voltage) {
+  return add<Capacitor>(name, node_or_create(a), node_or_create(b), farads, initial_voltage);
+}
+
+Inductor& Circuit::inductor(const std::string& name, const std::string& a, const std::string& b,
+                            double henries, double initial_current) {
+  return add<Inductor>(name, node_or_create(a), node_or_create(b), henries, initial_current);
+}
+
+VoltageSource& Circuit::voltage_source(const std::string& name, const std::string& positive,
+                                       const std::string& negative, double volts) {
+  return add<VoltageSource>(name, node_or_create(positive), node_or_create(negative), volts);
+}
+
+CurrentSource& Circuit::current_source(const std::string& name, const std::string& from,
+                                       const std::string& to, double amps) {
+  return add<CurrentSource>(name, node_or_create(from), node_or_create(to), amps);
+}
+
+Diode& Circuit::diode(const std::string& name, const std::string& anode,
+                      const std::string& cathode, DiodeParams params) {
+  return add<Diode>(name, node_or_create(anode), node_or_create(cathode), params);
+}
+
+Mosfet& Circuit::mosfet(const std::string& name, const std::string& drain,
+                        const std::string& gate, const std::string& source,
+                        const std::string& bulk, MosfetParams params) {
+  return add<Mosfet>(name, node_or_create(drain), node_or_create(gate), node_or_create(source),
+                     node_or_create(bulk), params);
+}
+
+Vccs& Circuit::vccs(const std::string& name, const std::string& out_p, const std::string& out_n,
+                    const std::string& ctl_p, const std::string& ctl_n, double gm) {
+  return add<Vccs>(name, node_or_create(out_p), node_or_create(out_n), node_or_create(ctl_p),
+                   node_or_create(ctl_n), gm);
+}
+
+Switch& Circuit::sw(const std::string& name, const std::string& a, const std::string& b,
+                    const std::string& ctl_p, const std::string& ctl_n, Switch::Params params) {
+  return add<Switch>(name, node_or_create(a), node_or_create(b), node_or_create(ctl_p),
+                     node_or_create(ctl_n), params);
+}
+
+Element* Circuit::find(const std::string& name) const {
+  const auto it = element_index_.find(name);
+  return it == element_index_.end() ? nullptr : elements_[it->second].get();
+}
+
+bool Circuit::is_nonlinear() const {
+  for (const auto& e : elements_) {
+    if (e->is_nonlinear()) return true;
+  }
+  return false;
+}
+
+void Circuit::finalize() {
+  if (finalized_) return;
+  int base = static_cast<int>(node_count()) - 1;
+  extra_variable_count_ = 0;
+  for (const auto& e : elements_) {
+    const int n = e->extra_variable_count();
+    if (n > 0) {
+      e->set_extra_variable_base(base);
+      base += n;
+      extra_variable_count_ += static_cast<std::size_t>(n);
+    }
+  }
+  finalized_ = true;
+}
+
+std::size_t Circuit::unknown_count() const {
+  LCOSC_REQUIRE(finalized_, "circuit must be finalized before solving");
+  return node_count() - 1 + extra_variable_count_;
+}
+
+}  // namespace lcosc::spice

@@ -1,0 +1,109 @@
+// Netlist container: owns nodes and elements, assigns MNA indices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/diode.h"
+#include "spice/element.h"
+#include "spice/elements_linear.h"
+#include "spice/mosfet.h"
+
+namespace lcosc::spice {
+
+class Circuit {
+ public:
+  Circuit() { node_names_.push_back("0"); }
+
+  // --- nodes ---------------------------------------------------------------
+
+  [[nodiscard]] static constexpr NodeId ground() { return kGround; }
+
+  // Create a named node (throws NetlistError if the name exists).
+  NodeId add_node(const std::string& name);
+
+  // Get an existing node's id (throws NetlistError if unknown).
+  [[nodiscard]] NodeId node(const std::string& name) const;
+
+  // Create-or-get by name; "0" and "gnd" map to ground.
+  NodeId node_or_create(const std::string& name);
+
+  [[nodiscard]] bool has_node(const std::string& name) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  // Node count including ground.
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+
+  // --- elements --------------------------------------------------------------
+
+  // Generic emplace; returns a reference valid for the circuit's lifetime.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto element = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *element;
+    register_element(std::move(element));
+    return ref;
+  }
+
+  // Schematic-style factories (all take node *names*).
+  Resistor& resistor(const std::string& name, const std::string& a, const std::string& b,
+                     double ohms);
+  Capacitor& capacitor(const std::string& name, const std::string& a, const std::string& b,
+                       double farads, double initial_voltage = 0.0);
+  Inductor& inductor(const std::string& name, const std::string& a, const std::string& b,
+                     double henries, double initial_current = 0.0);
+  VoltageSource& voltage_source(const std::string& name, const std::string& positive,
+                                const std::string& negative, double volts);
+  CurrentSource& current_source(const std::string& name, const std::string& from,
+                                const std::string& to, double amps);
+  Diode& diode(const std::string& name, const std::string& anode, const std::string& cathode,
+               DiodeParams params = {});
+  Mosfet& mosfet(const std::string& name, const std::string& drain, const std::string& gate,
+                 const std::string& source, const std::string& bulk, MosfetParams params);
+  Vccs& vccs(const std::string& name, const std::string& out_p, const std::string& out_n,
+             const std::string& ctl_p, const std::string& ctl_n, double gm);
+  Switch& sw(const std::string& name, const std::string& a, const std::string& b,
+             const std::string& ctl_p, const std::string& ctl_n, Switch::Params params);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements() const {
+    return elements_;
+  }
+
+  // Find an element by name; nullptr if absent.
+  [[nodiscard]] Element* find(const std::string& name) const;
+
+  template <typename T>
+  [[nodiscard]] T* find_as(const std::string& name) const {
+    return dynamic_cast<T*>(find(name));
+  }
+
+  [[nodiscard]] bool is_nonlinear() const;
+
+  // --- MNA layout --------------------------------------------------------------
+
+  // Assign extra-variable indices.  Called automatically by the solvers;
+  // idempotent unless elements were added since.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  // Unknown count: (node_count - 1) voltages + extra variables.
+  [[nodiscard]] std::size_t unknown_count() const;
+
+  // Voltage of `node` in an unknown vector (0 for ground).
+  [[nodiscard]] static double voltage(const Vector& x, NodeId node) {
+    return node == kGround ? 0.0 : x[node - 1];
+  }
+
+ private:
+  void register_element(std::unique_ptr<Element> element);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::unordered_map<std::string, std::size_t> element_index_;
+  std::size_t extra_variable_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace lcosc::spice

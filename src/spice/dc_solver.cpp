@@ -1,0 +1,137 @@
+#include "spice/dc_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "numeric/lu.h"
+
+namespace lcosc::spice {
+namespace {
+
+// One Newton pass at fixed gmin / source scale.  Returns true on
+// convergence; x holds the final iterate either way.
+bool newton_pass(Circuit& circuit, Vector& x, double gmin, double source_scale,
+                 const DcOptions& options, int& iterations_out) {
+  const std::size_t n = circuit.unknown_count();
+  const std::size_t voltage_count = circuit.node_count() - 1;
+
+  Matrix a(n, n);
+  Vector b(n, 0.0);
+  StampContext ctx;
+  ctx.gmin = gmin;
+  ctx.source_scale = source_scale;
+  ctx.x = &x;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    iterations_out = iter + 1;
+    a.set_zero();
+    std::fill(b.begin(), b.end(), 0.0);
+
+    Stamper stamper(a, b);
+    for (const auto& element : circuit.elements()) element->stamp(stamper, ctx);
+    // gmin from every node to ground keeps floating subcircuits solvable.
+    for (std::size_t i = 0; i < voltage_count; ++i) a(i, i) += gmin;
+
+    LuDecomposition lu(a);
+    Vector x_new;
+    if (!lu.try_solve(b, x_new)) {
+      // Singular even with gmin: bump the diagonal once and retry.
+      for (std::size_t i = 0; i < n; ++i) a(i, i) += 1e-9;
+      LuDecomposition lu2(a);
+      if (!lu2.try_solve(b, x_new)) return false;
+    }
+
+    // Damped update with per-variable limiting on the voltage variables.
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double delta = x_new[i] - x[i];
+      if (!std::isfinite(delta)) return false;
+      const bool is_voltage = i < voltage_count;
+      if (is_voltage && options.voltage_step_limit > 0.0) {
+        delta = std::clamp(delta, -options.voltage_step_limit, options.voltage_step_limit);
+      }
+      const double abstol = is_voltage ? options.voltage_abstol : options.current_abstol;
+      const double scale = std::max(std::abs(x[i]), std::abs(x[i] + delta));
+      if (std::abs(delta) > abstol + options.reltol * scale) converged = false;
+      x[i] += delta;
+    }
+    if (converged && iter > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double DcSolution::voltage(const Circuit& circuit, const std::string& node_name) const {
+  return Circuit::voltage(x, circuit.node(node_name));
+}
+
+double DcSolution::voltage(NodeId node) const { return Circuit::voltage(x, node); }
+
+DcSolution solve_dc(Circuit& circuit, const DcOptions& options,
+                    const std::optional<Vector>& initial_guess) {
+  circuit.finalize();
+  const std::size_t n = circuit.unknown_count();
+
+  DcSolution solution;
+  solution.x.assign(n, 0.0);
+  if (initial_guess) {
+    LCOSC_REQUIRE(initial_guess->size() == n, "initial guess size mismatch");
+    solution.x = *initial_guess;
+  }
+
+  // Pass 1: direct Newton at floor gmin.
+  Vector x = solution.x;
+  if (newton_pass(circuit, x, options.gmin_floor, 1.0, options, solution.iterations)) {
+    solution.converged = true;
+    solution.x = std::move(x);
+    return solution;
+  }
+
+  // Pass 2: gmin stepping from a heavily damped circuit down to the floor.
+  x = solution.x;
+  bool track_ok = true;
+  for (double gmin = options.gmin_start; gmin >= options.gmin_floor / options.gmin_factor;
+       gmin /= options.gmin_factor) {
+    const double g = std::max(gmin, options.gmin_floor);
+    ++solution.continuation_passes;
+    if (!newton_pass(circuit, x, g, 1.0, options, solution.iterations)) {
+      track_ok = false;
+      break;
+    }
+    if (g == options.gmin_floor) break;
+  }
+  if (track_ok) {
+    if (newton_pass(circuit, x, options.gmin_floor, 1.0, options, solution.iterations)) {
+      solution.converged = true;
+      solution.x = std::move(x);
+      return solution;
+    }
+  }
+
+  // Pass 3: source stepping (with floor gmin).
+  x.assign(n, 0.0);
+  bool ramp_ok = true;
+  for (int step = 1; step <= options.source_steps; ++step) {
+    const double scale = static_cast<double>(step) / options.source_steps;
+    ++solution.continuation_passes;
+    if (!newton_pass(circuit, x, options.gmin_floor, scale, options, solution.iterations)) {
+      ramp_ok = false;
+      break;
+    }
+  }
+  if (ramp_ok) {
+    solution.converged = true;
+    solution.x = std::move(x);
+    return solution;
+  }
+
+  LCOSC_LOG_WARN << "DC operating point did not converge (" << n << " unknowns)";
+  solution.converged = false;
+  solution.x = std::move(x);
+  return solution;
+}
+
+}  // namespace lcosc::spice

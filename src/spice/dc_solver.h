@@ -1,0 +1,47 @@
+// DC operating-point analysis: companion-model Newton iteration with
+// gmin stepping and source stepping continuation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "spice/circuit.h"
+
+namespace lcosc::spice {
+
+struct DcOptions {
+  int max_iterations = 150;
+  // Convergence thresholds on the Newton update (SPICE-style).
+  double voltage_abstol = 1e-6;
+  double current_abstol = 1e-9;
+  double reltol = 1e-4;
+  // Per-iteration clamp on voltage-variable updates [V]; tames exponential
+  // junctions far from the solution.
+  double voltage_step_limit = 0.5;
+  // Floor gmin applied from every node to ground in all passes.
+  double gmin_floor = 1e-12;
+  // gmin stepping schedule: start value and per-step division factor.
+  double gmin_start = 1e-3;
+  double gmin_factor = 10.0;
+  // Source stepping: number of ramp points if gmin stepping also fails.
+  int source_steps = 20;
+};
+
+struct DcSolution {
+  bool converged = false;
+  int iterations = 0;           // Newton iterations of the final pass
+  int continuation_passes = 0;  // extra gmin/source passes needed
+  Vector x;                     // node voltages then branch currents
+
+  // Voltage of a node in this solution (0 for ground).
+  [[nodiscard]] double voltage(const Circuit& circuit, const std::string& node_name) const;
+  [[nodiscard]] double voltage(NodeId node) const;
+};
+
+// Solve the DC operating point.  `initial_guess` (if given) seeds Newton,
+// which is how sweeps achieve continuation.  Non-convergence is reported
+// in the result, not thrown, so sweeps can skip isolated bad points.
+[[nodiscard]] DcSolution solve_dc(Circuit& circuit, const DcOptions& options = {},
+                                  const std::optional<Vector>& initial_guess = std::nullopt);
+
+}  // namespace lcosc::spice

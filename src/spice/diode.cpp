@@ -1,0 +1,105 @@
+#include "spice/diode.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+JunctionEval evaluate_junction(double v, const DiodeParams& params) {
+  const double n_vt = params.emission_coefficient * params.temperature_voltage;
+  const double v_lim = params.limit_voltage;
+
+  JunctionEval eval;
+  if (v <= v_lim) {
+    const double e = std::exp(v / n_vt);
+    eval.current = params.saturation_current * (e - 1.0);
+    eval.conductance = params.saturation_current * e / n_vt;
+  } else {
+    // Linearized continuation of the exponential above v_lim (C1 smooth).
+    const double e_lim = std::exp(v_lim / n_vt);
+    eval.conductance = params.saturation_current * e_lim / n_vt;
+    eval.current = params.saturation_current * (e_lim - 1.0) + eval.conductance * (v - v_lim);
+  }
+  eval.current += params.gmin * v;
+  eval.conductance += params.gmin;
+  return eval;
+}
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
+    : Element(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {
+  LCOSC_REQUIRE(params_.saturation_current > 0.0, "saturation current must be positive");
+  LCOSC_REQUIRE(params_.temperature_voltage > 0.0, "temperature voltage must be positive");
+}
+
+void Diode::stamp(Stamper& s, const StampContext& ctx) const {
+  LCOSC_REQUIRE(ctx.x != nullptr, "diode stamping needs the current iterate");
+  const double v = node_voltage(*ctx.x, anode_) - node_voltage(*ctx.x, cathode_);
+  const JunctionEval eval = evaluate_junction(v, params_);
+
+  const int a = mna_index(anode_);
+  const int c = mna_index(cathode_);
+  s.conductance(a, c, eval.conductance);
+  // Companion source: i = i0 + g (v - v0)  =>  constant part i0 - g v0
+  // flows anode -> cathode; inject its negation on the RHS.
+  const double i_eq = eval.current - eval.conductance * v;
+  s.current(c, a, i_eq);
+}
+
+double Diode::branch_current(const Vector& x, const StampContext&) const {
+  const double v = node_voltage(x, anode_) - node_voltage(x, cathode_);
+  return evaluate_junction(v, params_).current;
+}
+
+
+void Diode::stamp_ac(AcStamper& s, double, const Vector& dc_op) const {
+  const double v = node_voltage(dc_op, anode_) - node_voltage(dc_op, cathode_);
+  const JunctionEval eval = evaluate_junction(v, params_);
+  s.admittance(mna_index(anode_), mna_index(cathode_), Complex{eval.conductance, 0.0});
+}
+
+
+ZenerDiode::ZenerDiode(std::string name, NodeId anode, NodeId cathode, ZenerParams params)
+    : Element(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {
+  LCOSC_REQUIRE(params_.breakdown_voltage > 0.0, "breakdown voltage must be positive");
+  LCOSC_REQUIRE(params_.breakdown_slope > 0.0, "breakdown slope must be positive");
+  LCOSC_REQUIRE(params_.breakdown_knee_current > 0.0, "knee current must be positive");
+}
+
+JunctionEval ZenerDiode::evaluate(double v) const {
+  // Forward conduction like a normal junction...
+  JunctionEval eval = evaluate_junction(v, params_.junction);
+  // ...plus the reverse breakdown: a mirrored limited exponential around
+  // -Vz.  Reuse the junction limiter with the breakdown slope.
+  DiodeParams breakdown = params_.junction;
+  breakdown.temperature_voltage = params_.breakdown_slope;
+  breakdown.emission_coefficient = 1.0;
+  breakdown.saturation_current = params_.breakdown_knee_current;
+  breakdown.limit_voltage = 20.0 * params_.breakdown_slope;
+  breakdown.gmin = 0.0;  // the forward part already carries gmin
+  const JunctionEval rev = evaluate_junction(-(v + params_.breakdown_voltage), breakdown);
+  eval.current -= rev.current;
+  eval.conductance += rev.conductance;
+  return eval;
+}
+
+void ZenerDiode::stamp(Stamper& s, const StampContext& ctx) const {
+  LCOSC_REQUIRE(ctx.x != nullptr, "zener stamping needs the current iterate");
+  const double v = node_voltage(*ctx.x, anode_) - node_voltage(*ctx.x, cathode_);
+  const JunctionEval eval = evaluate(v);
+  const int a = mna_index(anode_);
+  const int c = mna_index(cathode_);
+  s.conductance(a, c, eval.conductance);
+  s.current(c, a, eval.current - eval.conductance * v);
+}
+
+void ZenerDiode::stamp_ac(AcStamper& s, double, const Vector& dc_op) const {
+  const double v = node_voltage(dc_op, anode_) - node_voltage(dc_op, cathode_);
+  s.admittance(mna_index(anode_), mna_index(cathode_), Complex{evaluate(v).conductance, 0.0});
+}
+
+double ZenerDiode::branch_current(const Vector& x, const StampContext&) const {
+  return evaluate(node_voltage(x, anode_) - node_voltage(x, cathode_)).current;
+}
+
+}  // namespace lcosc::spice

@@ -1,0 +1,77 @@
+// Exponential junction diode with limited-exponential linearization.
+//
+// The limited exponential (first-order continuation above a critical
+// voltage) keeps Newton iterates finite no matter how far the initial
+// guess is from the solution; this matters for the floating-supply sweeps
+// where bulk diodes see multi-volt overdrive.
+#pragma once
+
+#include "spice/element.h"
+
+namespace lcosc::spice {
+
+struct DiodeParams {
+  double saturation_current = 1e-14;  // Is [A]
+  double emission_coefficient = 1.0;  // n
+  double temperature_voltage = 0.02585;  // kT/q [V]
+  // Minimum parallel conductance for convergence.
+  double gmin = 1e-12;
+  // Above this forward voltage the exponential is linearized.
+  double limit_voltage = 0.9;
+};
+
+// Junction evaluation shared with the MOSFET bulk diodes.
+struct JunctionEval {
+  double current = 0.0;
+  double conductance = 0.0;
+};
+[[nodiscard]] JunctionEval evaluate_junction(double v, const DiodeParams& params);
+
+// Zener/avalanche diode: normal forward junction plus a symmetric
+// exponential breakdown at -breakdown_voltage.  Used for ESD power-clamp
+// modeling in the floating-supply testbenches.
+struct ZenerParams {
+  DiodeParams junction{};
+  double breakdown_voltage = 5.5;  // |Vz| [V]
+  // Slope of the breakdown knee (effective thermal voltage) [V].
+  double breakdown_slope = 0.05;
+  // Current flowing at the nominal breakdown voltage (knee current); the
+  // hard clamp sits a few slope-units beyond Vz.
+  double breakdown_knee_current = 1e-5;
+};
+
+class Diode : public Element {
+ public:
+  Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params = {});
+  [[nodiscard]] bool is_nonlinear() const override { return true; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] const DiodeParams& params() const { return params_; }
+
+ private:
+  NodeId anode_;
+  NodeId cathode_;
+  DiodeParams params_;
+};
+
+
+class ZenerDiode : public Element {
+ public:
+  ZenerDiode(std::string name, NodeId anode, NodeId cathode, ZenerParams params = {});
+  [[nodiscard]] bool is_nonlinear() const override { return true; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] const ZenerParams& params() const { return params_; }
+
+  // Combined forward + breakdown characteristic (exposed for tests).
+  [[nodiscard]] JunctionEval evaluate(double v) const;
+
+ private:
+  NodeId anode_;
+  NodeId cathode_;
+  ZenerParams params_;
+};
+
+}  // namespace lcosc::spice

@@ -1,0 +1,11 @@
+#include "spice/element.h"
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+void Element::stamp_ac(AcStamper&, double, const Vector&) const {
+  throw NetlistError("element '" + name() + "' has no small-signal AC model");
+}
+
+}  // namespace lcosc::spice

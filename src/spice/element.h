@@ -1,0 +1,181 @@
+// Element interface of the MNA circuit solver.
+//
+// Unknown vector layout: x[0 .. node_count-2] are voltages of the non-ground
+// nodes (node id k has MNA index k-1; node 0 is ground), followed by one
+// entry per "extra variable" (branch currents of voltage sources and
+// inductors).  Nonlinear elements stamp their companion linearization at
+// the current Newton iterate; the DC solver iterates stamps to convergence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "numeric/complex_lu.h"
+#include "numeric/matrix.h"
+
+namespace lcosc::spice {
+
+// Node identifier; 0 is always ground.
+using NodeId = std::size_t;
+constexpr NodeId kGround = 0;
+
+// Integration scheme used when stamping reactive elements in transient.
+enum class Integration { BackwardEuler, Trapezoidal };
+
+// Write access to the MNA matrix and right-hand side during a stamp pass.
+// Rows/columns are MNA indices; ground maps to the sentinel -1 and is
+// silently discarded, which keeps element stamping code branch-free.
+class Stamper {
+ public:
+  Stamper(Matrix& a, Vector& b) : a_(a), b_(b) {}
+
+  // Conductance g between MNA rows n1 and n2 (either may be -1 = ground).
+  void conductance(int n1, int n2, double g) {
+    add(n1, n1, g);
+    add(n2, n2, g);
+    add(n1, n2, -g);
+    add(n2, n1, -g);
+  }
+
+  // Independent current i flowing INTO node n1 and out of node n2.
+  void current(int n1, int n2, double i) {
+    add_rhs(n1, i);
+    add_rhs(n2, -i);
+  }
+
+  // Transconductance: current g*(v(cp)-v(cn)) flowing from op into on.
+  void transconductance(int op, int on, int cp, int cn, double g) {
+    add(op, cp, g);
+    add(op, cn, -g);
+    add(on, cp, -g);
+    add(on, cn, g);
+  }
+
+  // Raw matrix / rhs entries (for branch-current rows of sources).
+  void add(int row, int col, double v) {
+    if (row < 0 || col < 0) return;
+    a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+  }
+  void add_rhs(int row, double v) {
+    if (row < 0) return;
+    b_[static_cast<std::size_t>(row)] += v;
+  }
+
+ private:
+  Matrix& a_;
+  Vector& b_;
+};
+
+// Context passed to stamp(): where we are in time (transient) and the
+// global source/gmin continuation factors used by the DC solver.
+struct StampContext {
+  // Current iterate of the unknown vector.
+  const Vector* x = nullptr;
+  // Previous accepted transient solution (nullptr during DC analysis).
+  const Vector* x_prev = nullptr;
+  double time = 0.0;
+  double dt = 0.0;  // 0 during DC analysis
+  Integration integration = Integration::BackwardEuler;
+  // Multiplier applied by source-stepping continuation (1 = full sources).
+  double source_scale = 1.0;
+  // Extra conductance from every node to ground (gmin stepping).
+  double gmin = 0.0;
+
+  [[nodiscard]] bool is_dc() const { return dt == 0.0; }
+};
+
+// Complex-valued analog of Stamper for small-signal AC stamping.
+class AcStamper {
+ public:
+  AcStamper(ComplexMatrix& a, ComplexVector& b) : a_(a), b_(b) {}
+
+  void admittance(int n1, int n2, Complex y) {
+    add(n1, n1, y);
+    add(n2, n2, y);
+    add(n1, n2, -y);
+    add(n2, n1, -y);
+  }
+  void current(int n1, int n2, Complex i) {
+    add_rhs(n1, i);
+    add_rhs(n2, -i);
+  }
+  void transadmittance(int op, int on, int cp, int cn, Complex y) {
+    add(op, cp, y);
+    add(op, cn, -y);
+    add(on, cp, -y);
+    add(on, cn, y);
+  }
+  void add(int row, int col, Complex v) {
+    if (row < 0 || col < 0) return;
+    a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+  }
+  void add_rhs(int row, Complex v) {
+    if (row < 0) return;
+    b_[static_cast<std::size_t>(row)] += v;
+  }
+
+ private:
+  ComplexMatrix& a_;
+  ComplexVector& b_;
+};
+
+// Base class of all circuit elements.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+  virtual ~Element() = default;
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Number of extra MNA variables (branch currents) this element needs.
+  [[nodiscard]] virtual int extra_variable_count() const { return 0; }
+
+  // Called once by the circuit when MNA indices are assigned.
+  virtual void set_extra_variable_base(int base) { extra_base_ = base; }
+
+  [[nodiscard]] virtual bool is_nonlinear() const { return false; }
+
+  // Stamp the (linearized) element into the MNA system.
+  virtual void stamp(Stamper& s, const StampContext& ctx) const = 0;
+
+  // Stamp the small-signal linearization at the DC operating point `dc_op`
+  // into the complex AC system at angular frequency `omega`.  Throws
+  // NetlistError for elements without an AC model.
+  virtual void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const;
+
+  // Transient state hooks (trapezoidal integration).  `transient_begin`
+  // initializes the element's history from the initial solution (nullptr
+  // = use explicit initial conditions); `transient_commit` is called once
+  // per accepted time step with the converged solution.
+  virtual void transient_begin(const Vector* x0) { (void)x0; }
+  virtual void transient_commit(const Vector& x, const StampContext& ctx) {
+    (void)x;
+    (void)ctx;
+  }
+
+  // Current through the element (positive from its first to second
+  // terminal) evaluated at solution x; default 0 for elements where the
+  // notion does not apply.
+  [[nodiscard]] virtual double branch_current(const Vector& x, const StampContext& ctx) const {
+    (void)x;
+    (void)ctx;
+    return 0.0;
+  }
+
+ protected:
+  [[nodiscard]] int extra_base() const { return extra_base_; }
+
+  // Helpers shared by concrete elements.
+  static int mna_index(NodeId node) { return node == kGround ? -1 : static_cast<int>(node) - 1; }
+  static double node_voltage(const Vector& x, NodeId node) {
+    return node == kGround ? 0.0 : x[node - 1];
+  }
+
+ private:
+  std::string name_;
+  int extra_base_ = -1;
+};
+
+}  // namespace lcosc::spice

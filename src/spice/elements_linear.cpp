@@ -1,0 +1,384 @@
+#include "spice/elements_linear.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+// --- Resistor ---------------------------------------------------------------
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Element(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  LCOSC_REQUIRE(resistance > 0.0, "resistance must be positive");
+}
+
+void Resistor::set_resistance(double r) {
+  LCOSC_REQUIRE(r > 0.0, "resistance must be positive");
+  resistance_ = r;
+}
+
+void Resistor::stamp(Stamper& s, const StampContext&) const {
+  s.conductance(mna_index(a_), mna_index(b_), 1.0 / resistance_);
+}
+
+double Resistor::branch_current(const Vector& x, const StampContext&) const {
+  return (node_voltage(x, a_) - node_voltage(x, b_)) / resistance_;
+}
+
+// --- Capacitor ---------------------------------------------------------------
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance,
+                     double initial_voltage)
+    : Element(std::move(name)),
+      a_(a),
+      b_(b),
+      capacitance_(capacitance),
+      initial_voltage_(initial_voltage) {
+  LCOSC_REQUIRE(capacitance > 0.0, "capacitance must be positive");
+}
+
+void Capacitor::stamp(Stamper& s, const StampContext& ctx) const {
+  if (ctx.is_dc()) return;  // open circuit in DC
+  const int a = mna_index(a_);
+  const int b = mna_index(b_);
+  if (ctx.integration == Integration::BackwardEuler) {
+    const double v_prev =
+        ctx.x_prev ? (node_voltage(*ctx.x_prev, a_) - node_voltage(*ctx.x_prev, b_))
+                   : initial_voltage_;
+    const double geq = capacitance_ / ctx.dt;
+    s.conductance(a, b, geq);
+    s.current(a, b, geq * v_prev);
+  } else {
+    // Trapezoidal companion: i = geq (v - v_hist) - i_hist with
+    // geq = 2C/dt; history is kept by transient_begin/transient_commit.
+    const double geq = 2.0 * capacitance_ / ctx.dt;
+    s.conductance(a, b, geq);
+    s.current(a, b, geq * v_hist_ + i_hist_);
+  }
+}
+
+void Capacitor::transient_begin(const Vector* x0) {
+  v_hist_ = x0 ? (node_voltage(*x0, a_) - node_voltage(*x0, b_)) : initial_voltage_;
+  i_hist_ = 0.0;
+}
+
+void Capacitor::transient_commit(const Vector& x, const StampContext& ctx) {
+  if (ctx.integration != Integration::Trapezoidal) return;
+  const double v_now = node_voltage(x, a_) - node_voltage(x, b_);
+  const double geq = 2.0 * capacitance_ / ctx.dt;
+  i_hist_ = geq * (v_now - v_hist_) - i_hist_;
+  v_hist_ = v_now;
+}
+
+double Capacitor::branch_current(const Vector& x, const StampContext& ctx) const {
+  if (ctx.is_dc()) return 0.0;
+  const double v_now = node_voltage(x, a_) - node_voltage(x, b_);
+  const double v_prev =
+      ctx.x_prev ? (node_voltage(*ctx.x_prev, a_) - node_voltage(*ctx.x_prev, b_))
+                 : initial_voltage_;
+  const double geq = (ctx.integration == Integration::BackwardEuler ? 1.0 : 2.0) *
+                     capacitance_ / ctx.dt;
+  return geq * (v_now - v_prev);
+}
+
+// --- Inductor ----------------------------------------------------------------
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance,
+                   double initial_current)
+    : Element(std::move(name)),
+      a_(a),
+      b_(b),
+      inductance_(inductance),
+      initial_current_(initial_current) {
+  LCOSC_REQUIRE(inductance > 0.0, "inductance must be positive");
+}
+
+void Inductor::stamp(Stamper& s, const StampContext& ctx) const {
+  const int a = mna_index(a_);
+  const int b = mna_index(b_);
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "inductor not registered with a circuit");
+
+  // Branch current leaves node a and enters node b.
+  s.add(a, k, 1.0);
+  s.add(b, k, -1.0);
+
+  if (ctx.is_dc()) {
+    // Short circuit: v_a - v_b = 0.
+    s.add(k, a, 1.0);
+    s.add(k, b, -1.0);
+    return;
+  }
+  if (ctx.integration == Integration::BackwardEuler) {
+    const double i_prev = ctx.x_prev ? (*ctx.x_prev)[static_cast<std::size_t>(k)]
+                                     : initial_current_;
+    // Backward-Euler branch equation: v - (L/dt) i = -(L/dt) i_prev.
+    const double leq = inductance_ / ctx.dt;
+    s.add(k, a, 1.0);
+    s.add(k, b, -1.0);
+    s.add(k, k, -leq);
+    s.add_rhs(k, -leq * i_prev);
+  } else {
+    // Trapezoidal branch equation:
+    //   v - (2L/dt) i = -(2L/dt) i_hist - v_hist.
+    const double leq = 2.0 * inductance_ / ctx.dt;
+    s.add(k, a, 1.0);
+    s.add(k, b, -1.0);
+    s.add(k, k, -leq);
+    s.add_rhs(k, -leq * i_hist_ - v_hist_);
+  }
+}
+
+void Inductor::transient_begin(const Vector* x0) {
+  const int k = extra_base();
+  i_hist_ = (x0 && k >= 0) ? (*x0)[static_cast<std::size_t>(k)] : initial_current_;
+  // Both start modes begin with zero branch voltage: a DC solution pins
+  // the inductor to 0 V, and an IC start has no better estimate.
+  v_hist_ = 0.0;
+}
+
+void Inductor::transient_commit(const Vector& x, const StampContext& ctx) {
+  if (ctx.integration != Integration::Trapezoidal) return;
+  const int k = extra_base();
+  i_hist_ = x[static_cast<std::size_t>(k)];
+  v_hist_ = node_voltage(x, a_) - node_voltage(x, b_);
+}
+
+double Inductor::branch_current(const Vector& x, const StampContext&) const {
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "inductor not registered with a circuit");
+  return x[static_cast<std::size_t>(k)];
+}
+
+// --- VoltageSource -----------------------------------------------------------
+
+VoltageSource::VoltageSource(std::string name, NodeId positive, NodeId negative, double value)
+    : Element(std::move(name)), positive_(positive), negative_(negative), value_(value) {}
+
+void VoltageSource::set_sine(const SineSpec& spec) {
+  LCOSC_REQUIRE(spec.frequency > 0.0, "sine frequency must be positive");
+  stimulus_ = Stimulus::Sine;
+  sine_ = spec;
+}
+
+void VoltageSource::set_pulse(const PulseSpec& spec) {
+  LCOSC_REQUIRE(spec.period > 0.0 && spec.rise > 0.0 && spec.fall > 0.0,
+                "pulse timing parameters must be positive");
+  LCOSC_REQUIRE(spec.rise + spec.width + spec.fall <= spec.period,
+                "pulse edges and width must fit inside the period");
+  stimulus_ = Stimulus::Pulse;
+  pulse_ = spec;
+}
+
+double VoltageSource::value_at(double t) const {
+  switch (stimulus_) {
+    case Stimulus::Dc:
+      return value_;
+    case Stimulus::Sine:
+      return sine_.offset +
+             sine_.amplitude * std::sin(2.0 * std::numbers::pi *
+                                        (sine_.frequency * t + sine_.phase_deg / 360.0));
+    case Stimulus::Pulse: {
+      if (t < pulse_.delay) return pulse_.v1;
+      const double phase = std::fmod(t - pulse_.delay, pulse_.period);
+      if (phase < pulse_.rise) return pulse_.v1 + (pulse_.v2 - pulse_.v1) * phase / pulse_.rise;
+      if (phase < pulse_.rise + pulse_.width) return pulse_.v2;
+      if (phase < pulse_.rise + pulse_.width + pulse_.fall) {
+        const double f = (phase - pulse_.rise - pulse_.width) / pulse_.fall;
+        return pulse_.v2 + (pulse_.v1 - pulse_.v2) * f;
+      }
+      return pulse_.v1;
+    }
+  }
+  return value_;
+}
+
+void VoltageSource::stamp(Stamper& s, const StampContext& ctx) const {
+  const int p = mna_index(positive_);
+  const int n = mna_index(negative_);
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "voltage source not registered with a circuit");
+  s.add(p, k, 1.0);
+  s.add(n, k, -1.0);
+  s.add(k, p, 1.0);
+  s.add(k, n, -1.0);
+  const double level = ctx.is_dc() ? value_ : value_at(ctx.time);
+  s.add_rhs(k, level * ctx.source_scale);
+}
+
+double VoltageSource::branch_current(const Vector& x, const StampContext&) const {
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "voltage source not registered with a circuit");
+  // SPICE convention: positive current flows into the + terminal.
+  return x[static_cast<std::size_t>(k)];
+}
+
+// --- CurrentSource -----------------------------------------------------------
+
+CurrentSource::CurrentSource(std::string name, NodeId from, NodeId to, double value)
+    : Element(std::move(name)), from_(from), to_(to), value_(value) {}
+
+void CurrentSource::stamp(Stamper& s, const StampContext& ctx) const {
+  s.current(mna_index(to_), mna_index(from_), value_ * ctx.source_scale);
+}
+
+double CurrentSource::branch_current(const Vector&, const StampContext& ctx) const {
+  return value_ * ctx.source_scale;
+}
+
+// --- Vccs ---------------------------------------------------------------------
+
+Vccs::Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId ctl_p, NodeId ctl_n, double gm)
+    : Element(std::move(name)), out_p_(out_p), out_n_(out_n), ctl_p_(ctl_p), ctl_n_(ctl_n),
+      gm_(gm) {}
+
+void Vccs::stamp(Stamper& s, const StampContext&) const {
+  s.transconductance(mna_index(out_p_), mna_index(out_n_), mna_index(ctl_p_), mna_index(ctl_n_),
+                     gm_);
+}
+
+double Vccs::branch_current(const Vector& x, const StampContext&) const {
+  return gm_ * (node_voltage(x, ctl_p_) - node_voltage(x, ctl_n_));
+}
+
+// --- Vcvs ---------------------------------------------------------------------
+
+Vcvs::Vcvs(std::string name, NodeId out_p, NodeId out_n, NodeId ctl_p, NodeId ctl_n, double gain)
+    : Element(std::move(name)), out_p_(out_p), out_n_(out_n), ctl_p_(ctl_p), ctl_n_(ctl_n),
+      gain_(gain) {}
+
+void Vcvs::stamp(Stamper& s, const StampContext&) const {
+  const int p = mna_index(out_p_);
+  const int n = mna_index(out_n_);
+  const int cp = mna_index(ctl_p_);
+  const int cn = mna_index(ctl_n_);
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "VCVS not registered with a circuit");
+  s.add(p, k, 1.0);
+  s.add(n, k, -1.0);
+  // v(out_p) - v(out_n) - gain * (v(ctl_p) - v(ctl_n)) = 0.
+  s.add(k, p, 1.0);
+  s.add(k, n, -1.0);
+  s.add(k, cp, -gain_);
+  s.add(k, cn, gain_);
+}
+
+double Vcvs::branch_current(const Vector& x, const StampContext&) const {
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "VCVS not registered with a circuit");
+  return x[static_cast<std::size_t>(k)];
+}
+
+// --- Switch ---------------------------------------------------------------------
+
+Switch::Switch(std::string name, NodeId a, NodeId b, NodeId ctl_p, NodeId ctl_n, Params params)
+    : Element(std::move(name)), a_(a), b_(b), ctl_p_(ctl_p), ctl_n_(ctl_n), params_(params) {
+  LCOSC_REQUIRE(params_.r_on > 0.0 && params_.r_off > params_.r_on,
+                "switch requires 0 < r_on < r_off");
+  LCOSC_REQUIRE(params_.transition > 0.0, "switch transition width must be positive");
+}
+
+double Switch::conductance_at(double v_control) const {
+  const double g_on = 1.0 / params_.r_on;
+  const double g_off = 1.0 / params_.r_off;
+  const double sigma =
+      0.5 * (1.0 + std::tanh((v_control - params_.threshold) / params_.transition));
+  return g_off + (g_on - g_off) * sigma;
+}
+
+void Switch::stamp(Stamper& s, const StampContext& ctx) const {
+  LCOSC_REQUIRE(ctx.x != nullptr, "switch stamping needs the current iterate");
+  const Vector& x = *ctx.x;
+  const double vc = node_voltage(x, ctl_p_) - node_voltage(x, ctl_n_);
+  const double vab = node_voltage(x, a_) - node_voltage(x, b_);
+
+  const double g = conductance_at(vc);
+  // dg/dvc for the Newton cross term.
+  const double g_on = 1.0 / params_.r_on;
+  const double g_off = 1.0 / params_.r_off;
+  const double th = std::tanh((vc - params_.threshold) / params_.transition);
+  const double dgdvc = (g_on - g_off) * 0.5 * (1.0 - th * th) / params_.transition;
+  const double k = dgdvc * vab;
+
+  const int a = mna_index(a_);
+  const int b = mna_index(b_);
+  s.conductance(a, b, g);
+  s.transconductance(a, b, mna_index(ctl_p_), mna_index(ctl_n_), k);
+  // Remove the constant part of the linearization: i = g*vab + k*(vc - vc0).
+  s.current(a, b, k * vc);
+}
+
+double Switch::branch_current(const Vector& x, const StampContext&) const {
+  const double vc = node_voltage(x, ctl_p_) - node_voltage(x, ctl_n_);
+  const double vab = node_voltage(x, a_) - node_voltage(x, b_);
+  return conductance_at(vc) * vab;
+}
+
+
+// --- small-signal AC stamps ----------------------------------------------------
+
+void Resistor::stamp_ac(AcStamper& s, double, const Vector&) const {
+  s.admittance(mna_index(a_), mna_index(b_), Complex{1.0 / resistance_, 0.0});
+}
+
+void Capacitor::stamp_ac(AcStamper& s, double omega, const Vector&) const {
+  s.admittance(mna_index(a_), mna_index(b_), Complex{0.0, omega * capacitance_});
+}
+
+void Inductor::stamp_ac(AcStamper& s, double omega, const Vector&) const {
+  const int a = mna_index(a_);
+  const int b = mna_index(b_);
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "inductor not registered with a circuit");
+  s.add(a, k, Complex{1.0, 0.0});
+  s.add(b, k, Complex{-1.0, 0.0});
+  // Branch equation: v - j w L i = 0.
+  s.add(k, a, Complex{1.0, 0.0});
+  s.add(k, b, Complex{-1.0, 0.0});
+  s.add(k, k, Complex{0.0, -omega * inductance_});
+}
+
+void VoltageSource::stamp_ac(AcStamper& s, double, const Vector&) const {
+  const int p = mna_index(positive_);
+  const int n = mna_index(negative_);
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "voltage source not registered with a circuit");
+  s.add(p, k, Complex{1.0, 0.0});
+  s.add(n, k, Complex{-1.0, 0.0});
+  s.add(k, p, Complex{1.0, 0.0});
+  s.add(k, n, Complex{-1.0, 0.0});
+  s.add_rhs(k, Complex{ac_magnitude_, 0.0});
+}
+
+void CurrentSource::stamp_ac(AcStamper& s, double, const Vector&) const {
+  s.current(mna_index(to_), mna_index(from_), Complex{ac_magnitude_, 0.0});
+}
+
+void Vccs::stamp_ac(AcStamper& s, double, const Vector&) const {
+  s.transadmittance(mna_index(out_p_), mna_index(out_n_), mna_index(ctl_p_),
+                    mna_index(ctl_n_), Complex{gm_, 0.0});
+}
+
+void Vcvs::stamp_ac(AcStamper& s, double, const Vector&) const {
+  const int p = mna_index(out_p_);
+  const int n = mna_index(out_n_);
+  const int k = extra_base();
+  LCOSC_REQUIRE(k >= 0, "VCVS not registered with a circuit");
+  s.add(p, k, Complex{1.0, 0.0});
+  s.add(n, k, Complex{-1.0, 0.0});
+  s.add(k, p, Complex{1.0, 0.0});
+  s.add(k, n, Complex{-1.0, 0.0});
+  s.add(k, mna_index(ctl_p_), Complex{-gain_, 0.0});
+  s.add(k, mna_index(ctl_n_), Complex{gain_, 0.0});
+}
+
+void Switch::stamp_ac(AcStamper& s, double, const Vector& dc_op) const {
+  // Linearized at the DC control voltage (the cross term is a second-order
+  // effect for a switch parked on or off).
+  const double vc = node_voltage(dc_op, ctl_p_) - node_voltage(dc_op, ctl_n_);
+  s.admittance(mna_index(a_), mna_index(b_), Complex{conductance_at(vc), 0.0});
+}
+
+}  // namespace lcosc::spice

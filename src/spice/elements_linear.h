@@ -1,0 +1,208 @@
+// Linear circuit elements: R, C, L, independent sources, controlled
+// sources and a (smoothly) voltage-controlled switch.
+#pragma once
+
+#include "spice/element.h"
+
+namespace lcosc::spice {
+
+class Resistor : public Element {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double resistance);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] double resistance() const { return resistance_; }
+  void set_resistance(double r);
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double resistance_;
+};
+
+// Capacitor: open in DC; BE/trapezoidal companion model in transient.
+class Capacitor : public Element {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double capacitance,
+            double initial_voltage = 0.0);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  void transient_begin(const Vector* x0) override;
+  void transient_commit(const Vector& x, const StampContext& ctx) override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] double capacitance() const { return capacitance_; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double capacitance_;
+  double initial_voltage_;
+  // Trapezoidal history (previous accepted voltage and current).
+  double v_hist_ = 0.0;
+  double i_hist_ = 0.0;
+};
+
+// Inductor: carries a branch-current extra variable; 0 V source in DC.
+class Inductor : public Element {
+ public:
+  Inductor(std::string name, NodeId a, NodeId b, double inductance, double initial_current = 0.0);
+  [[nodiscard]] int extra_variable_count() const override { return 1; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  void transient_begin(const Vector* x0) override;
+  void transient_commit(const Vector& x, const StampContext& ctx) override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] double inductance() const { return inductance_; }
+  [[nodiscard]] double initial_current() const { return initial_current_; }
+  // MNA index of the branch-current unknown (valid after finalize()).
+  [[nodiscard]] int branch_index() const { return extra_base(); }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double inductance_;
+  double initial_current_;
+  // Trapezoidal history (previous accepted current and branch voltage).
+  double i_hist_ = 0.0;
+  double v_hist_ = 0.0;
+};
+
+// Time-dependent stimulus shapes for independent sources (SPICE SIN and
+// PULSE).  In DC analyses the plain `value` is used.
+struct SineSpec {
+  double offset = 0.0;
+  double amplitude = 1.0;
+  double frequency = 1e3;  // [Hz]
+  double phase_deg = 0.0;
+};
+struct PulseSpec {
+  double v1 = 0.0;      // initial level
+  double v2 = 1.0;      // pulsed level
+  double delay = 0.0;
+  double rise = 1e-9;
+  double fall = 1e-9;
+  double width = 1e-6;
+  double period = 2e-6;
+};
+
+// Independent voltage source v(a) - v(b) = value; branch current is an
+// extra variable.  `value` may be changed between solves (sweeps).
+class VoltageSource : public Element {
+ public:
+  VoltageSource(std::string name, NodeId positive, NodeId negative, double value);
+  [[nodiscard]] int extra_variable_count() const override { return 1; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  // Small-signal stimulus amplitude (0 = AC ground, the default).
+  void set_ac_magnitude(double magnitude) { ac_magnitude_ = magnitude; }
+  [[nodiscard]] double ac_magnitude() const { return ac_magnitude_; }
+  // Positive current flows from + through the source to - (delivering
+  // current into the external circuit at the + node is negative here,
+  // following SPICE convention).
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] double value() const { return value_; }
+  void set_value(double v) { value_ = v; }
+
+  // Transient stimulus (DC analyses keep using `value`).
+  void set_sine(const SineSpec& spec);
+  void set_pulse(const PulseSpec& spec);
+  // Instantaneous value at transient time t.
+  [[nodiscard]] double value_at(double t) const;
+
+ private:
+  enum class Stimulus { Dc, Sine, Pulse };
+
+  NodeId positive_;
+  NodeId negative_;
+  double value_;
+  double ac_magnitude_ = 0.0;
+  Stimulus stimulus_ = Stimulus::Dc;
+  SineSpec sine_{};
+  PulseSpec pulse_{};
+};
+
+// Independent current source pushing `value` amps from node `from` to node
+// `to` through the source (i.e. into the circuit at `to`).
+class CurrentSource : public Element {
+ public:
+  CurrentSource(std::string name, NodeId from, NodeId to, double value);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  void set_ac_magnitude(double magnitude) { ac_magnitude_ = magnitude; }
+  [[nodiscard]] double ac_magnitude() const { return ac_magnitude_; }
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] double value() const { return value_; }
+  void set_value(double v) { value_ = v; }
+
+ private:
+  NodeId from_;
+  NodeId to_;
+  double value_;
+  double ac_magnitude_ = 0.0;
+};
+
+// Voltage-controlled current source: i(out_p -> out_n) = gm * v(ctl_p, ctl_n).
+class Vccs : public Element {
+ public:
+  Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId ctl_p, NodeId ctl_n, double gm);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+  [[nodiscard]] double gm() const { return gm_; }
+  void set_gm(double gm) { gm_ = gm; }
+
+ private:
+  NodeId out_p_;
+  NodeId out_n_;
+  NodeId ctl_p_;
+  NodeId ctl_n_;
+  double gm_;
+};
+
+// Voltage-controlled voltage source: v(out_p)-v(out_n) = gain * v(ctl_p,ctl_n).
+class Vcvs : public Element {
+ public:
+  Vcvs(std::string name, NodeId out_p, NodeId out_n, NodeId ctl_p, NodeId ctl_n, double gain);
+  [[nodiscard]] int extra_variable_count() const override { return 1; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+
+ private:
+  NodeId out_p_;
+  NodeId out_n_;
+  NodeId ctl_p_;
+  NodeId ctl_n_;
+  double gain_;
+};
+
+// Voltage-controlled switch with a smooth (tanh) Ron/Roff transition to
+// keep Newton iterations well conditioned.
+class Switch : public Element {
+ public:
+  struct Params {
+    double r_on = 1.0;
+    double r_off = 1e9;
+    double threshold = 0.0;   // control voltage at which it toggles
+    double transition = 1e-3; // width of the smooth transition [V]
+  };
+
+  Switch(std::string name, NodeId a, NodeId b, NodeId ctl_p, NodeId ctl_n, Params params);
+  [[nodiscard]] bool is_nonlinear() const override { return true; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+
+  // Conductance as a function of control voltage (exposed for tests).
+  [[nodiscard]] double conductance_at(double v_control) const;
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  NodeId ctl_p_;
+  NodeId ctl_n_;
+  Params params_;
+};
+
+}  // namespace lcosc::spice

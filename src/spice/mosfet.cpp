@@ -1,0 +1,206 @@
+#include "spice/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, NodeId bulk,
+               MosfetParams params)
+    : Element(std::move(name)), drain_(drain), gate_(gate), source_(source), bulk_(bulk),
+      params_(params) {
+  LCOSC_REQUIRE(params_.transconductance > 0.0, "transconductance factor must be positive");
+  LCOSC_REQUIRE(params_.threshold_voltage >= 0.0, "threshold magnitude must be non-negative");
+  LCOSC_REQUIRE(params_.phi > 0.0, "surface potential must be positive");
+}
+
+MosfetEval Mosfet::evaluate_channel(double vd, double vg, double vs, double vb,
+                                    const MosfetParams& params) {
+  MosfetEval eval;
+  // The square-law device is symmetric: normalize so vds >= 0.
+  eval.swapped = vd < vs;
+  if (eval.swapped) std::swap(vd, vs);
+
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+  const double vbs = vb - vs;
+
+  // Body effect: vth rises as the bulk goes below the source.  Clamp the
+  // argument of the square root for forward body bias.
+  const double sqrt_arg = std::max(params.phi - vbs, 1e-4);
+  const double sqrt_term = std::sqrt(sqrt_arg);
+  const double vth =
+      params.threshold_voltage + params.gamma * (sqrt_term - std::sqrt(params.phi));
+  const double dvth_dvbs = -params.gamma / (2.0 * sqrt_term);
+
+  const double vov = vgs - vth;
+  const double k = params.transconductance;
+
+  if (vov <= 0.0) {
+    // Cutoff: only the conductance floor remains.
+    eval.ids = 0.0;
+    eval.gm = 0.0;
+    eval.gds = params.gmin;
+    eval.gmb = 0.0;
+    eval.saturated = false;
+    return eval;
+  }
+
+  const double clm = 1.0 + params.lambda * vds;
+  if (vds >= vov) {
+    // Saturation.
+    eval.saturated = true;
+    eval.ids = 0.5 * k * vov * vov * clm;
+    eval.gm = k * vov * clm;
+    eval.gds = 0.5 * k * vov * vov * params.lambda + params.gmin;
+  } else {
+    // Triode.
+    eval.saturated = false;
+    const double core = vov * vds - 0.5 * vds * vds;
+    eval.ids = k * core * clm;
+    eval.gm = k * vds * clm;
+    eval.gds = k * (vov - vds) * clm + k * core * params.lambda + params.gmin;
+  }
+  // gmb = d ids / d vbs = gm * (-d vth / d vbs).
+  eval.gmb = -eval.gm * dvth_dvbs;
+  return eval;
+}
+
+void Mosfet::stamp(Stamper& s, const StampContext& ctx) const {
+  LCOSC_REQUIRE(ctx.x != nullptr, "MOSFET stamping needs the current iterate");
+  const Vector& x = *ctx.x;
+  const double sgn = sign();
+
+  const double v_d = node_voltage(x, drain_);
+  const double v_g = node_voltage(x, gate_);
+  const double v_s = node_voltage(x, source_);
+  const double v_b = node_voltage(x, bulk_);
+
+  const MosfetEval eval =
+      evaluate_channel(sgn * v_d, sgn * v_g, sgn * v_s, sgn * v_b, params_);
+
+  const NodeId d_eff = eval.swapped ? source_ : drain_;
+  const NodeId s_eff = eval.swapped ? drain_ : source_;
+  const int d = mna_index(d_eff);
+  const int so = mna_index(s_eff);
+  const int g = mna_index(gate_);
+  const int b = mna_index(bulk_);
+
+  // Real-space operating point relative to the effective source.
+  const double vgs0 = v_g - node_voltage(x, s_eff);
+  const double vds0 = node_voltage(x, d_eff) - node_voltage(x, s_eff);
+  const double vbs0 = v_b - node_voltage(x, s_eff);
+  const double i0 = sgn * eval.ids;  // channel current d_eff -> s_eff, real amps
+
+  s.conductance(d, so, eval.gds);
+  s.transconductance(d, so, g, so, eval.gm);
+  s.transconductance(d, so, b, so, eval.gmb);
+  const double i_eq = i0 - eval.gm * vgs0 - eval.gds * vds0 - eval.gmb * vbs0;
+  // Constant part flows d_eff -> s_eff: inject into s_eff, draw from d_eff.
+  s.current(so, d, i_eq);
+
+  // Bulk junction diodes.  NMOS: p-bulk is the anode against the n+
+  // source/drain; PMOS: p+ source/drain are anodes against the n-well bulk.
+  auto stamp_junction = [&](NodeId anode, NodeId cathode) {
+    const double v = node_voltage(x, anode) - node_voltage(x, cathode);
+    const JunctionEval j = evaluate_junction(v, params_.junction);
+    const int a_i = mna_index(anode);
+    const int c_i = mna_index(cathode);
+    s.conductance(a_i, c_i, j.conductance);
+    s.current(c_i, a_i, j.current - j.conductance * v);
+  };
+  if (params_.type == MosType::Nmos) {
+    stamp_junction(bulk_, source_);
+    stamp_junction(bulk_, drain_);
+  } else {
+    stamp_junction(source_, bulk_);
+    stamp_junction(drain_, bulk_);
+  }
+}
+
+double Mosfet::branch_current(const Vector& x, const StampContext&) const {
+  const double sgn = sign();
+  const MosfetEval eval = evaluate_channel(
+      sgn * node_voltage(x, drain_), sgn * node_voltage(x, gate_),
+      sgn * node_voltage(x, source_), sgn * node_voltage(x, bulk_), params_);
+  const double i_eff = sgn * eval.ids;  // d_eff -> s_eff
+  return eval.swapped ? -i_eff : i_eff; // report as drain -> source
+}
+
+double Mosfet::drain_terminal_current(const Vector& x) const {
+  StampContext ctx;
+  double i_drain = branch_current(x, ctx);  // channel current absorbed at drain
+
+  // Junction contribution at the drain terminal.
+  if (params_.type == MosType::Nmos) {
+    const double v = node_voltage(x, bulk_) - node_voltage(x, drain_);
+    // Anode bulk -> cathode drain: junction current exits at the drain,
+    // reducing the current the terminal absorbs.
+    i_drain -= evaluate_junction(v, params_.junction).current;
+  } else {
+    const double v = node_voltage(x, drain_) - node_voltage(x, bulk_);
+    // Anode drain -> cathode bulk: junction current enters at the drain.
+    i_drain += evaluate_junction(v, params_.junction).current;
+  }
+  return i_drain;
+}
+
+MosfetParams nmos_035um(double w_over_l) {
+  LCOSC_REQUIRE(w_over_l > 0.0, "W/L must be positive");
+  MosfetParams p;
+  p.type = MosType::Nmos;
+  p.threshold_voltage = 0.55;
+  p.transconductance = 170e-6 * w_over_l;  // kp_n ~ 170 uA/V^2 at 0.35 um
+  p.lambda = 0.03;
+  p.gamma = 0.58;
+  p.phi = 0.84;
+  p.junction.saturation_current = 1e-15;
+  return p;
+}
+
+MosfetParams pmos_035um(double w_over_l) {
+  LCOSC_REQUIRE(w_over_l > 0.0, "W/L must be positive");
+  MosfetParams p;
+  p.type = MosType::Pmos;
+  p.threshold_voltage = 0.65;
+  p.transconductance = 58e-6 * w_over_l;  // kp_p ~ 58 uA/V^2 at 0.35 um
+  p.lambda = 0.05;
+  p.gamma = 0.42;
+  p.phi = 0.8;
+  p.junction.saturation_current = 1e-15;
+  return p;
+}
+
+
+void Mosfet::stamp_ac(AcStamper& s, double, const Vector& dc_op) const {
+  const double sgn = sign();
+  const MosfetEval eval = evaluate_channel(
+      sgn * node_voltage(dc_op, drain_), sgn * node_voltage(dc_op, gate_),
+      sgn * node_voltage(dc_op, source_), sgn * node_voltage(dc_op, bulk_), params_);
+
+  const NodeId d_eff = eval.swapped ? source_ : drain_;
+  const NodeId s_eff = eval.swapped ? drain_ : source_;
+  const int d = mna_index(d_eff);
+  const int so = mna_index(s_eff);
+
+  s.admittance(d, so, Complex{eval.gds, 0.0});
+  s.transadmittance(d, so, mna_index(gate_), so, Complex{eval.gm, 0.0});
+  s.transadmittance(d, so, mna_index(bulk_), so, Complex{eval.gmb, 0.0});
+
+  auto stamp_junction_ac = [&](NodeId anode, NodeId cathode) {
+    const double v = node_voltage(dc_op, anode) - node_voltage(dc_op, cathode);
+    const JunctionEval j = evaluate_junction(v, params_.junction);
+    s.admittance(mna_index(anode), mna_index(cathode), Complex{j.conductance, 0.0});
+  };
+  if (params_.type == MosType::Nmos) {
+    stamp_junction_ac(bulk_, source_);
+    stamp_junction_ac(bulk_, drain_);
+  } else {
+    stamp_junction_ac(source_, bulk_);
+    stamp_junction_ac(drain_, bulk_);
+  }
+}
+
+}  // namespace lcosc::spice

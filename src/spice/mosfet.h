@@ -1,0 +1,81 @@
+// Level-1 (square-law) MOSFET with explicit bulk terminal and junction
+// bulk diodes.
+//
+// The explicit bulk matters for this reproduction: the paper's Fig. 11
+// output stage switches the PMOS bulk node (Nbulk) to stop the intrinsic
+// bulk diode from loading the live oscillator when the supply is lost.
+// The model therefore always stamps the two source/drain junction diodes
+// against whatever node the bulk is wired to.
+#pragma once
+
+#include "spice/diode.h"
+#include "spice/element.h"
+
+namespace lcosc::spice {
+
+enum class MosType { Nmos, Pmos };
+
+struct MosfetParams {
+  MosType type = MosType::Nmos;
+  double threshold_voltage = 0.55;  // Vt0 [V], magnitude
+  double transconductance = 1e-4;   // kp * W / L [A/V^2]
+  double lambda = 0.01;             // channel-length modulation [1/V]
+  double gamma = 0.0;               // body-effect coefficient [sqrt(V)]
+  double phi = 0.7;                 // surface potential [V]
+  // Output conductance floor (keeps the Jacobian nonsingular in cutoff).
+  double gmin = 1e-12;
+  // Junction diode parameters for the bulk-source / bulk-drain diodes.
+  DiodeParams junction{};
+};
+
+// Small-signal linearization around an operating point (exposed for tests).
+struct MosfetEval {
+  double ids = 0.0;  // channel current, effective drain -> effective source
+  double gm = 0.0;
+  double gds = 0.0;
+  double gmb = 0.0;
+  bool swapped = false;   // true if drain/source were exchanged (vds < 0)
+  bool saturated = false;
+};
+
+class Mosfet : public Element {
+ public:
+  Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, NodeId bulk,
+         MosfetParams params);
+
+  [[nodiscard]] bool is_nonlinear() const override { return true; }
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+
+  // Channel current with device polarity (positive = conventional current
+  // drain -> source for NMOS, source -> drain for PMOS).
+  [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
+
+  // Total current flowing into the drain terminal (channel + bulk-drain
+  // junction), as an ammeter at the drain would read.
+  [[nodiscard]] double drain_terminal_current(const Vector& x) const;
+
+  // Evaluate NMOS-normalized square-law equations at the given terminal
+  // voltages (already polarity-normalized).  Exposed for unit tests.
+  [[nodiscard]] static MosfetEval evaluate_channel(double vd, double vg, double vs, double vb,
+                                                   const MosfetParams& params);
+
+  [[nodiscard]] const MosfetParams& params() const { return params_; }
+
+ private:
+  // Polarity sign: +1 NMOS, -1 PMOS (all voltages normalized by it).
+  [[nodiscard]] double sign() const { return params_.type == MosType::Nmos ? 1.0 : -1.0; }
+
+  NodeId drain_;
+  NodeId gate_;
+  NodeId source_;
+  NodeId bulk_;
+  MosfetParams params_;
+};
+
+// Convenience parameter builders approximating a 0.35 um process, the
+// technology quoted by the paper (I3T80).
+[[nodiscard]] MosfetParams nmos_035um(double w_over_l);
+[[nodiscard]] MosfetParams pmos_035um(double w_over_l);
+
+}  // namespace lcosc::spice

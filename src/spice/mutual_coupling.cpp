@@ -1,0 +1,68 @@
+#include "spice/mutual_coupling.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+MutualCoupling::MutualCoupling(std::string name, Inductor& first, Inductor& second,
+                               double coupling)
+    : Element(std::move(name)),
+      first_(first),
+      second_(second),
+      coupling_(coupling),
+      mutual_(coupling * std::sqrt(first.inductance() * second.inductance())) {
+  LCOSC_REQUIRE(&first != &second, "cannot couple an inductor to itself");
+  LCOSC_REQUIRE(std::abs(coupling) < 1.0, "coupling magnitude must be below 1");
+}
+
+void MutualCoupling::stamp(Stamper& s, const StampContext& ctx) const {
+  if (ctx.is_dc()) return;  // both inductors are shorts; M plays no role
+  const int k1 = first_.branch_index();
+  const int k2 = second_.branch_index();
+  LCOSC_REQUIRE(k1 >= 0 && k2 >= 0, "coupled inductors not registered with a circuit");
+
+  if (ctx.integration == Integration::BackwardEuler) {
+    const double meq = mutual_ / ctx.dt;
+    const double i1_prev =
+        ctx.x_prev ? (*ctx.x_prev)[static_cast<std::size_t>(k1)] : first_.initial_current();
+    const double i2_prev =
+        ctx.x_prev ? (*ctx.x_prev)[static_cast<std::size_t>(k2)] : second_.initial_current();
+    // v1 gains -M/dt (i2 - i2_prev); v2 symmetric.
+    s.add(k1, k2, -meq);
+    s.add_rhs(k1, -meq * i2_prev);
+    s.add(k2, k1, -meq);
+    s.add_rhs(k2, -meq * i1_prev);
+  } else {
+    const double meq = 2.0 * mutual_ / ctx.dt;
+    s.add(k1, k2, -meq);
+    s.add_rhs(k1, -meq * i2_hist_);
+    s.add(k2, k1, -meq);
+    s.add_rhs(k2, -meq * i1_hist_);
+  }
+}
+
+void MutualCoupling::stamp_ac(AcStamper& s, double omega, const Vector&) const {
+  const int k1 = first_.branch_index();
+  const int k2 = second_.branch_index();
+  LCOSC_REQUIRE(k1 >= 0 && k2 >= 0, "coupled inductors not registered with a circuit");
+  // Branch equations gain -j w M times the partner current.
+  s.add(k1, k2, Complex{0.0, -omega * mutual_});
+  s.add(k2, k1, Complex{0.0, -omega * mutual_});
+}
+
+void MutualCoupling::transient_begin(const Vector* x0) {
+  const int k1 = first_.branch_index();
+  const int k2 = second_.branch_index();
+  i1_hist_ = (x0 && k1 >= 0) ? (*x0)[static_cast<std::size_t>(k1)] : first_.initial_current();
+  i2_hist_ = (x0 && k2 >= 0) ? (*x0)[static_cast<std::size_t>(k2)] : second_.initial_current();
+}
+
+void MutualCoupling::transient_commit(const Vector& x, const StampContext& ctx) {
+  if (ctx.integration != Integration::Trapezoidal) return;
+  i1_hist_ = x[static_cast<std::size_t>(first_.branch_index())];
+  i2_hist_ = x[static_cast<std::size_t>(second_.branch_index())];
+}
+
+}  // namespace lcosc::spice

@@ -1,0 +1,41 @@
+// Mutual inductive coupling between two inductors (SPICE "K" element):
+// the netlist-level counterpart of the dual system's coupled excitation
+// coils (paper Fig. 9).
+//
+//   v1 = L1 di1/dt + M di2/dt
+//   v2 = M  di1/dt + L2 di2/dt,   M = k sqrt(L1 L2)
+//
+// The element adds the off-diagonal M terms to the two inductors' branch
+// equations; the inductors themselves keep stamping their diagonal parts.
+#pragma once
+
+#include "spice/element.h"
+#include "spice/elements_linear.h"
+
+namespace lcosc::spice {
+
+class MutualCoupling : public Element {
+ public:
+  // Couples two inductors that are already part of the same circuit.
+  // |coupling| must be < 1.
+  MutualCoupling(std::string name, Inductor& first, Inductor& second, double coupling);
+
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
+  void transient_begin(const Vector* x0) override;
+  void transient_commit(const Vector& x, const StampContext& ctx) override;
+
+  [[nodiscard]] double mutual_inductance() const { return mutual_; }
+  [[nodiscard]] double coupling() const { return coupling_; }
+
+ private:
+  Inductor& first_;
+  Inductor& second_;
+  double coupling_;
+  double mutual_;
+  // History of the partner currents (trapezoidal / BE companion).
+  double i1_hist_ = 0.0;
+  double i2_hist_ = 0.0;
+};
+
+}  // namespace lcosc::spice

@@ -1,0 +1,358 @@
+#include "spice/netlist_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "spice/mutual_coupling.h"
+
+namespace lcosc::spice {
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw NetlistError("netlist line " + std::to_string(line) + ": " + message);
+}
+
+// Split a card into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& card) {
+  std::vector<std::string> tokens;
+  std::istringstream is(card);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// key=value option parsing; returns true and fills value if token matches.
+bool parse_option(const std::string& token, const std::string& key, double& value) {
+  const std::string lower = to_lower(token);
+  if (lower.rfind(key + "=", 0) != 0) return false;
+  value = parse_engineering_value(token.substr(key.size() + 1));
+  return true;
+}
+
+struct Card {
+  std::string text;
+  std::size_t line;
+};
+
+struct Subcircuit {
+  std::vector<std::string> ports;
+  std::vector<Card> body;
+};
+
+// Instantiation context: element-name prefix and port-to-node mapping.
+struct Scope {
+  std::string prefix;                         // "" at top level, "X1." inside
+  std::map<std::string, std::string> nodes;   // subckt port -> outer node
+};
+
+constexpr int kMaxSubcircuitDepth = 8;
+
+void process_cards(Circuit& circuit, const std::vector<Card>& cards,
+                   const std::map<std::string, Subcircuit>& subckts, const Scope& scope,
+                   int depth);
+
+// Resolve a node token inside a scope: ground is global, ports map to the
+// caller's nodes, everything else becomes a scoped internal node.
+std::string resolve_node(const Scope& scope, const std::string& token) {
+  if (token == "0" || token == "gnd") return "0";
+  const auto it = scope.nodes.find(token);
+  if (it != scope.nodes.end()) return it->second;
+  return scope.prefix + token;
+}
+
+void process_card(Circuit& circuit, const Card& card,
+                  const std::map<std::string, Subcircuit>& subckts, const Scope& scope,
+                  int depth) {
+  const std::vector<std::string> t = tokenize(card.text);
+  if (t.empty()) return;
+  const std::string name = scope.prefix + t[0];
+  const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(t[0][0])));
+
+  auto need = [&](std::size_t n, const char* what) {
+    if (t.size() < n) fail(card.line, std::string("expected ") + what);
+  };
+  auto node = [&](std::size_t i) { return resolve_node(scope, t[i]); };
+
+  switch (kind) {
+    case 'r': {
+      need(4, "R<name> n1 n2 value");
+      circuit.resistor(name, node(1), node(2), parse_engineering_value(t[3]));
+      break;
+    }
+    case 'c': {
+      need(4, "C<name> n1 n2 value [ic=]");
+      double ic = 0.0;
+      for (std::size_t i = 4; i < t.size(); ++i) {
+        if (!parse_option(t[i], "ic", ic)) fail(card.line, "unknown option " + t[i]);
+      }
+      circuit.capacitor(name, node(1), node(2), parse_engineering_value(t[3]), ic);
+      break;
+    }
+    case 'l': {
+      need(4, "L<name> n1 n2 value [ic=]");
+      double ic = 0.0;
+      for (std::size_t i = 4; i < t.size(); ++i) {
+        if (!parse_option(t[i], "ic", ic)) fail(card.line, "unknown option " + t[i]);
+      }
+      circuit.inductor(name, node(1), node(2), parse_engineering_value(t[3]), ic);
+      break;
+    }
+    case 'v': {
+      need(4, "V<name> n+ n- value [ac=]");
+      auto& src = circuit.voltage_source(name, node(1), node(2), parse_engineering_value(t[3]));
+      double ac = 0.0;
+      for (std::size_t i = 4; i < t.size(); ++i) {
+        if (parse_option(t[i], "ac", ac)) src.set_ac_magnitude(ac);
+        else fail(card.line, "unknown option " + t[i]);
+      }
+      break;
+    }
+    case 'i': {
+      need(4, "I<name> n+ n- value [ac=]");
+      auto& src = circuit.current_source(name, node(1), node(2), parse_engineering_value(t[3]));
+      double ac = 0.0;
+      for (std::size_t i = 4; i < t.size(); ++i) {
+        if (parse_option(t[i], "ac", ac)) src.set_ac_magnitude(ac);
+        else fail(card.line, "unknown option " + t[i]);
+      }
+      break;
+    }
+    case 'd': {
+      need(3, "D<name> anode cathode [is=] [n=]");
+      DiodeParams params;
+      for (std::size_t i = 3; i < t.size(); ++i) {
+        double v = 0.0;
+        if (parse_option(t[i], "is", v)) params.saturation_current = v;
+        else if (parse_option(t[i], "n", v)) params.emission_coefficient = v;
+        else fail(card.line, "unknown option " + t[i]);
+      }
+      circuit.diode(name, node(1), node(2), params);
+      break;
+    }
+    case 'z': {
+      need(3, "Z<name> anode cathode [vz=] [is=]");
+      ZenerParams params;
+      for (std::size_t i = 3; i < t.size(); ++i) {
+        double v = 0.0;
+        if (parse_option(t[i], "vz", v)) params.breakdown_voltage = v;
+        else if (parse_option(t[i], "is", v)) params.junction.saturation_current = v;
+        else fail(card.line, "unknown option " + t[i]);
+      }
+      circuit.add<ZenerDiode>(name, circuit.node_or_create(node(1)),
+                              circuit.node_or_create(node(2)), params);
+      break;
+    }
+    case 'm': {
+      need(6, "M<name> d g s b nmos|pmos [wl=] [vt=] [kp=] [lambda=] [gamma=]");
+      const std::string model = to_lower(t[5]);
+      double wl = 10.0;
+      for (std::size_t i = 6; i < t.size(); ++i) {
+        double v = 0.0;
+        if (parse_option(t[i], "wl", v)) wl = v;
+      }
+      MosfetParams params;
+      if (model == "nmos") params = nmos_035um(wl);
+      else if (model == "pmos") params = pmos_035um(wl);
+      else fail(card.line, "MOSFET model must be nmos or pmos, got " + t[5]);
+      for (std::size_t i = 6; i < t.size(); ++i) {
+        double v = 0.0;
+        if (parse_option(t[i], "wl", v)) continue;  // already applied
+        if (parse_option(t[i], "vt", v)) params.threshold_voltage = v;
+        else if (parse_option(t[i], "kp", v)) params.transconductance = v;
+        else if (parse_option(t[i], "lambda", v)) params.lambda = v;
+        else if (parse_option(t[i], "gamma", v)) params.gamma = v;
+        else fail(card.line, "unknown option " + t[i]);
+      }
+      circuit.mosfet(name, node(1), node(2), node(3), node(4), params);
+      break;
+    }
+    case 'g': {
+      need(6, "G<name> out+ out- ctl+ ctl- gm");
+      circuit.vccs(name, node(1), node(2), node(3), node(4), parse_engineering_value(t[5]));
+      break;
+    }
+    case 'e': {
+      need(6, "E<name> out+ out- ctl+ ctl- gain");
+      circuit.add<Vcvs>(name, circuit.node_or_create(node(1)), circuit.node_or_create(node(2)),
+                        circuit.node_or_create(node(3)), circuit.node_or_create(node(4)),
+                        parse_engineering_value(t[5]));
+      break;
+    }
+    case 's': {
+      need(5, "S<name> n1 n2 ctl+ ctl- [ron=] [roff=] [vt=]");
+      Switch::Params params;
+      for (std::size_t i = 5; i < t.size(); ++i) {
+        double v = 0.0;
+        if (parse_option(t[i], "ron", v)) params.r_on = v;
+        else if (parse_option(t[i], "roff", v)) params.r_off = v;
+        else if (parse_option(t[i], "vt", v)) params.threshold = v;
+        else fail(card.line, "unknown option " + t[i]);
+      }
+      circuit.sw(name, node(1), node(2), node(3), node(4), params);
+      break;
+    }
+    case 'k': {
+      need(4, "K<name> <L1> <L2> <k>");
+      auto* l1 = circuit.find_as<Inductor>(scope.prefix + t[1]);
+      auto* l2 = circuit.find_as<Inductor>(scope.prefix + t[2]);
+      if (l1 == nullptr || l2 == nullptr) {
+        fail(card.line, "K element references unknown inductor(s) " + t[1] + ", " + t[2]);
+      }
+      circuit.add<MutualCoupling>(name, *l1, *l2, parse_engineering_value(t[3]));
+      break;
+    }
+    case 'x': {
+      need(3, "X<name> node... <subcircuit>");
+      if (depth >= kMaxSubcircuitDepth) fail(card.line, "subcircuit nesting too deep");
+      const std::string sub_name = to_lower(t.back());
+      const auto it = subckts.find(sub_name);
+      if (it == subckts.end()) fail(card.line, "unknown subcircuit " + t.back());
+      const Subcircuit& sub = it->second;
+      if (t.size() - 2 != sub.ports.size()) {
+        fail(card.line, "subcircuit " + t.back() + " expects " +
+                            std::to_string(sub.ports.size()) + " ports, got " +
+                            std::to_string(t.size() - 2));
+      }
+      Scope inner;
+      inner.prefix = name + ".";
+      for (std::size_t p = 0; p < sub.ports.size(); ++p) {
+        inner.nodes[sub.ports[p]] = node(p + 1);
+      }
+      process_cards(circuit, sub.body, subckts, inner, depth + 1);
+      break;
+    }
+    default:
+      fail(card.line, "unknown element kind '" + std::string(1, t[0][0]) + "'");
+  }
+}
+
+void process_cards(Circuit& circuit, const std::vector<Card>& cards,
+                   const std::map<std::string, Subcircuit>& subckts, const Scope& scope,
+                   int depth) {
+  for (const Card& card : cards) process_card(circuit, card, subckts, scope, depth);
+}
+
+}  // namespace
+
+double parse_engineering_value(const std::string& token) {
+  if (token.empty()) throw NetlistError("empty numeric value");
+  const std::string lower = to_lower(token);
+
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(lower, &pos);
+  } catch (const std::exception&) {
+    throw NetlistError("malformed numeric value: " + token);
+  }
+
+  // Suffix: 'meg' must be checked before 'm'.
+  double scale = 1.0;
+  std::string rest = lower.substr(pos);
+  if (rest.rfind("meg", 0) == 0) {
+    scale = 1e6;
+    rest = rest.substr(3);
+  } else if (!rest.empty()) {
+    switch (rest.front()) {
+      case 'f': scale = 1e-15; rest = rest.substr(1); break;
+      case 'p': scale = 1e-12; rest = rest.substr(1); break;
+      case 'n': scale = 1e-9; rest = rest.substr(1); break;
+      case 'u': scale = 1e-6; rest = rest.substr(1); break;
+      case 'm': scale = 1e-3; rest = rest.substr(1); break;
+      case 'k': scale = 1e3; rest = rest.substr(1); break;
+      case 'g': scale = 1e9; rest = rest.substr(1); break;
+      case 't': scale = 1e12; rest = rest.substr(1); break;
+      default: break;
+    }
+  }
+  // Whatever remains must be alphabetic unit decoration ("F", "ohm", "a").
+  for (const char c : rest) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      throw NetlistError("malformed numeric value: " + token);
+    }
+  }
+  return base * scale;
+}
+
+std::unique_ptr<Circuit> parse_netlist(const std::string& text) {
+  auto circuit = std::make_unique<Circuit>();
+
+  // Assemble logical cards (handling '+' continuations and comments).
+  std::vector<Card> top_level;
+  std::map<std::string, Subcircuit> subckts;
+  Subcircuit* open_subckt = nullptr;
+  std::string open_name;
+
+  std::istringstream is(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  bool ended = false;
+  while (std::getline(is, raw) && !ended) {
+    ++line_no;
+    // Strip inline comments (';' style) and trim.
+    const std::size_t semi = raw.find(';');
+    if (semi != std::string::npos) raw.erase(semi);
+    const std::size_t first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    raw.erase(0, first);
+    if (raw.front() == '*') continue;
+
+    const std::string lower = to_lower(raw);
+    if (lower.rfind(".subckt", 0) == 0) {
+      if (open_subckt != nullptr) fail(line_no, "nested .subckt definitions not supported");
+      const auto tokens = tokenize(raw);
+      if (tokens.size() < 3) fail(line_no, "expected .subckt <name> <ports...>");
+      open_name = to_lower(tokens[1]);
+      if (subckts.contains(open_name)) fail(line_no, "duplicate subcircuit " + tokens[1]);
+      Subcircuit sub;
+      sub.ports.assign(tokens.begin() + 2, tokens.end());
+      open_subckt = &subckts.emplace(open_name, std::move(sub)).first->second;
+      continue;
+    }
+    if (lower.rfind(".ends", 0) == 0) {
+      if (open_subckt == nullptr) fail(line_no, ".ends without .subckt");
+      open_subckt = nullptr;
+      continue;
+    }
+    if (lower.rfind(".end", 0) == 0) {
+      ended = true;
+      continue;
+    }
+
+    std::vector<Card>& target = open_subckt != nullptr ? open_subckt->body : top_level;
+    if (raw.front() == '+') {
+      if (target.empty()) fail(line_no, "continuation with no preceding card");
+      target.back().text += " " + raw.substr(1);
+      continue;
+    }
+    target.push_back({raw, line_no});
+  }
+  if (open_subckt != nullptr) {
+    throw NetlistError("unterminated .subckt " + open_name + " (missing .ends)");
+  }
+
+  process_cards(*circuit, top_level, subckts, Scope{}, 0);
+  circuit->finalize();
+  return circuit;
+}
+
+std::unique_ptr<Circuit> parse_netlist_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NetlistError("cannot open netlist file: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_netlist(buffer.str());
+}
+
+}  // namespace lcosc::spice

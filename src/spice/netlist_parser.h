@@ -1,0 +1,54 @@
+// Text netlist parser: builds a Circuit from SPICE-flavoured cards, so
+// topologies (like the paper's Fig. 10/11 output stages) can live in
+// files and tests instead of C++.
+//
+// Supported cards (names are case-insensitive, first letter selects the
+// element; '*' starts a comment line, '+' continues the previous card,
+// '.end' stops parsing, '.param'-style directives are not supported):
+//
+//   R<name> n1 n2 <value>
+//   C<name> n1 n2 <value> [ic=<volts>]
+//   L<name> n1 n2 <value> [ic=<amps>]
+//   V<name> n+ n- <value> [ac=<magnitude>]
+//   I<name> n+ n- <value> [ac=<magnitude>]
+//   D<name> anode cathode [is=<amps>] [n=<coeff>]
+//   M<name> d g s b <nmos|pmos> [wl=<ratio>] [vt=<volts>] [kp=<A/V^2>]
+//           [lambda=<1/V>] [gamma=<sqrt(V)>]
+//   G<name> out+ out- ctl+ ctl- <gm>          (VCCS)
+//   E<name> out+ out- ctl+ ctl- <gain>        (VCVS)
+//   S<name> n1 n2 ctl+ ctl- [ron=<ohm>] [roff=<ohm>] [vt=<volts>]
+//   K<name> <L1> <L2> <k>                     (mutual coupling, |k| < 1)
+//   Z<name> anode cathode [vz=<volts>] [is=<amps>]   (zener/ESD clamp)
+//   X<name> <node...> <subcircuit>            (instantiate a .subckt)
+//
+// Subcircuits:
+//   .subckt <name> <port...>
+//     <cards...>
+//   .ends
+// Internal nodes and element names are scoped per instance ("X1.n");
+// ground is global.  Instances may nest up to 8 levels.
+//
+// Values accept engineering suffixes: f p n u m k meg g t (e.g. "3.3u",
+// "2k", "1meg"); trailing unit letters are ignored ("12.5uA", "100nF").
+// Node "0" and "gnd" are ground.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "spice/circuit.h"
+
+namespace lcosc::spice {
+
+// Parse a numeric literal with engineering suffix; throws NetlistError on
+// malformed input.  Exposed for tests.
+[[nodiscard]] double parse_engineering_value(const std::string& token);
+
+// Parse a full netlist; throws NetlistError with a line reference on any
+// malformed card.
+[[nodiscard]] std::unique_ptr<Circuit> parse_netlist(const std::string& text);
+
+// Convenience: read the file at `path` and parse it.
+[[nodiscard]] std::unique_ptr<Circuit> parse_netlist_file(const std::string& path);
+
+}  // namespace lcosc::spice

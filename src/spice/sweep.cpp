@@ -1,0 +1,75 @@
+#include "spice/sweep.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::spice {
+
+std::size_t SweepResult::converged_count() const {
+  std::size_t n = 0;
+  for (const auto& p : points) {
+    if (p.converged) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+template <typename SourceT>
+SweepResult run_sweep(Circuit& circuit, SourceT& source, const std::vector<double>& values,
+                      const DcOptions& options) {
+  const double original = source.value();
+  SweepResult result;
+  result.points.reserve(values.size());
+
+  std::optional<Vector> guess;
+  for (const double value : values) {
+    source.set_value(value);
+    DcSolution sol = solve_dc(circuit, options, guess);
+    if (sol.converged) guess = sol.x;  // continuation for the next point
+    SweepPoint point;
+    point.value = value;
+    point.converged = sol.converged;
+    point.solution = std::move(sol);
+    result.points.push_back(std::move(point));
+  }
+  source.set_value(original);
+  return result;
+}
+
+}  // namespace
+
+SweepResult dc_sweep(Circuit& circuit, VoltageSource& source, const std::vector<double>& values,
+                     const DcOptions& options) {
+  return run_sweep(circuit, source, values, options);
+}
+
+SweepResult dc_sweep(Circuit& circuit, CurrentSource& source, const std::vector<double>& values,
+                     const DcOptions& options) {
+  return run_sweep(circuit, source, values, options);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  LCOSC_REQUIRE(count >= 2, "linspace needs at least two points");
+  std::vector<double> v(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+  }
+  return v;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  LCOSC_REQUIRE(lo > 0.0 && hi > 0.0, "logspace endpoints must be positive");
+  LCOSC_REQUIRE(count >= 2, "logspace needs at least two points");
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  std::vector<double> v(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    v[i] = std::pow(10.0, llo + (lhi - llo) * static_cast<double>(i) /
+                              static_cast<double>(count - 1));
+  }
+  return v;
+}
+
+}  // namespace lcosc::spice

@@ -1,0 +1,41 @@
+// DC sweep with solution continuation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/dc_solver.h"
+
+namespace lcosc::spice {
+
+struct SweepPoint {
+  double value = 0.0;   // swept source value
+  bool converged = false;
+  DcSolution solution;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  [[nodiscard]] std::size_t converged_count() const;
+};
+
+// Sweep an independent voltage source through `values` (in order), seeding
+// each point's Newton iteration with the previous solution.  The source's
+// original value is restored afterwards.
+[[nodiscard]] SweepResult dc_sweep(Circuit& circuit, VoltageSource& source,
+                                   const std::vector<double>& values,
+                                   const DcOptions& options = {});
+
+// Same for a current source.
+[[nodiscard]] SweepResult dc_sweep(Circuit& circuit, CurrentSource& source,
+                                   const std::vector<double>& values,
+                                   const DcOptions& options = {});
+
+// Evenly spaced sweep grid, inclusive of both ends.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+// Logarithmically spaced grid, inclusive of both (positive) ends.
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+}  // namespace lcosc::spice

@@ -1,0 +1,49 @@
+// Fixed-step transient analysis with backward-Euler companion models and a
+// per-step Newton loop for nonlinear elements.
+//
+// Reactive elements read their previous state from the last accepted
+// solution vector, so the method is pure backward Euler: L-stable, first
+// order.  The spice transient exists to cross-check the behavioral
+// macro-models on small support circuits, not to run long RF transients
+// (the ODE engines in src/numeric do that at a fraction of the cost).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/dc_solver.h"
+#include "waveform/trace.h"
+
+namespace lcosc::spice {
+
+struct TransientOptions {
+  double t_stop = 1e-3;
+  double dt = 1e-6;
+  // Companion-model integration: backward Euler (L-stable, damps ringing)
+  // or trapezoidal (2nd order, energy-preserving on LC tanks).
+  Integration integration = Integration::BackwardEuler;
+  // Newton controls per time step.
+  int max_iterations = 60;
+  double voltage_abstol = 1e-6;
+  double current_abstol = 1e-9;
+  double reltol = 1e-4;
+  double voltage_step_limit = 1.0;
+  double gmin = 1e-12;
+  // Start from a DC operating point (true) or from all-zero state with
+  // element initial conditions (false).
+  bool start_from_dc = true;
+};
+
+struct TransientResult {
+  bool converged = true;       // false if any time step failed to converge
+  std::size_t steps = 0;
+  std::vector<Trace> traces;   // one per requested probe, in request order
+
+  [[nodiscard]] const Trace& trace(const std::string& name) const;
+};
+
+// Run transient analysis recording the voltages of `probe_nodes`.
+[[nodiscard]] TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
+                                            const std::vector<std::string>& probe_nodes);
+
+}  // namespace lcosc::spice

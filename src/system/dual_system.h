@@ -1,0 +1,79 @@
+// Redundant dual-oscillator system (paper Fig. 9 and Section 8): two
+// complete oscillator systems whose excitation coils are magnetically
+// coupled.  At a programmable time one chip loses its supply; from then
+// on its pins stop driving and instead load its tank with the DC I-V
+// characteristic of the unsupplied output stage (extracted from the
+// transistor-level testbench of Figs. 10/11 -> Fig. 17).
+//
+// The experiment the paper reports: with the Fig. 11 bulk-switched stage
+// the surviving system keeps regulating essentially unchanged; with the
+// standard CMOS stage (Fig. 10a) the dead chip's junction paths clamp the
+// coupled swing and drag the live system down.
+#pragma once
+
+#include <optional>
+
+#include "driver/oscillator_driver.h"
+#include "numeric/interpolate.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+#include "tank/coupled_tanks.h"
+#include "waveform/trace.h"
+
+namespace lcosc::system {
+
+struct DualSystemConfig {
+  tank::CoupledTanksConfig tanks{};
+  driver::DriverConfig driver{};
+  regulation::AmplitudeDetectorConfig detector{};
+  regulation::RegulationConfig regulation{};
+  int steps_per_period = 64;
+  double startup_kick = 50e-3;
+  // Record the differential waveforms every n-th sample (0 = off); needed
+  // for frequency/locking measurements.
+  int waveform_decimation = 0;
+};
+
+struct DualRunResult {
+  Trace envelope1;  // per-half-cycle |v_diff| envelope of system 1
+  Trace envelope2;
+  // Differential waveforms (empty unless waveform_decimation > 0).
+  Trace differential1;
+  Trace differential2;
+  std::vector<int> codes1;  // regulation code of system 1 per tick
+  std::vector<int> codes2;
+  double event_time = -1.0;  // supply-loss time (-1 if none)
+
+  // Mean envelope of system 1 in a window [t0, t1].
+  [[nodiscard]] double mean_envelope1(double t0, double t1) const;
+};
+
+class DualSystem {
+ public:
+  explicit DualSystem(DualSystemConfig config);
+
+  // Schedule loss of supply on system 2 at `at_time`; afterwards its pins
+  // present the given differential I-V characteristic (current absorbed
+  // into LC1 of the dead chip as a function of v(LC1)-v(LC2)).
+  void schedule_supply_loss(double at_time, PwlTable dead_chip_iv);
+
+  [[nodiscard]] DualRunResult run(double duration);
+
+  [[nodiscard]] driver::OscillatorDriver& driver1() { return driver1_; }
+  [[nodiscard]] driver::OscillatorDriver& driver2() { return driver2_; }
+
+ private:
+  DualSystemConfig config_;
+  tank::CoupledTanks coils_;
+  driver::OscillatorDriver driver1_;
+  driver::OscillatorDriver driver2_;
+  regulation::AmplitudeDetector detector1_;
+  regulation::AmplitudeDetector detector2_;
+  regulation::RegulationFsm fsm1_;
+  regulation::RegulationFsm fsm2_;
+
+  std::optional<double> supply_loss_time_;
+  PwlTable dead_iv_;
+};
+
+}  // namespace lcosc::system

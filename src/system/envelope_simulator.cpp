@@ -1,0 +1,144 @@
+#include "system/envelope_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "devices/comparator.h"
+
+namespace lcosc::system {
+
+double EnvelopeRunResult::settled_amplitude(double tail_fraction) const {
+  LCOSC_REQUIRE(!amplitude.empty(), "no amplitude trace");
+  const double t0 =
+      amplitude.end_time() - tail_fraction * (amplitude.end_time() - amplitude.start_time());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < amplitude.size(); ++i) {
+    if (amplitude.time(i) >= t0) {
+      acc += amplitude.value(i);
+      ++n;
+    }
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+int EnvelopeRunResult::settling_tick(double lo, double hi) const {
+  int candidate = -1;
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    const bool inside = ticks[i].amplitude >= lo && ticks[i].amplitude <= hi;
+    if (inside && candidate < 0) candidate = static_cast<int>(i);
+    if (!inside) candidate = -1;
+  }
+  return candidate;
+}
+
+double EnvelopeRunResult::steady_ripple(double tail_fraction) const {
+  LCOSC_REQUIRE(!amplitude.empty(), "no amplitude trace");
+  const double t0 =
+      amplitude.end_time() - tail_fraction * (amplitude.end_time() - amplitude.start_time());
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t i = 0; i < amplitude.size(); ++i) {
+    if (amplitude.time(i) >= t0) {
+      lo = std::min(lo, amplitude.value(i));
+      hi = std::max(hi, amplitude.value(i));
+    }
+  }
+  return hi > lo ? hi - lo : 0.0;
+}
+
+EnvelopeSimulator::EnvelopeSimulator(EnvelopeSimConfig config)
+    : config_(config),
+      tank_(config.tank),
+      driver_(config.driver),
+      fsm_(config.regulation) {
+  LCOSC_REQUIRE(config_.dt > 0.0, "envelope step must be positive");
+  LCOSC_REQUIRE(config_.initial_amplitude > 0.0, "initial amplitude must be positive");
+}
+
+EnvelopeRunResult EnvelopeSimulator::run(double duration) {
+  LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
+
+  const double rp = tank_.parallel_resistance();
+  const double ceff = tank_.effective_capacitance();
+
+  fsm_.por_reset();
+  driver_.set_code(fsm_.code());
+  driver_.set_enabled(true);
+
+  regulation::AmplitudeDetector detector(config_.detector);
+  devices::LowPassFilter vdc1(config_.detector.filter_tau);
+
+  EnvelopeRunResult result;
+  result.amplitude.set_name("amplitude");
+
+  double a = config_.initial_amplitude;
+  double t = 0.0;
+  bool nvm_applied = false;
+  double next_tick = fsm_.config().tick_period;
+  const double dt = config_.dt;
+  result.amplitude.reserve(static_cast<std::size_t>(duration / dt) + 2);
+
+  while (t < duration) {
+    if (!nvm_applied && t >= fsm_.config().nvm_delay) {
+      fsm_.apply_nvm_preset();
+      driver_.set_code(fsm_.code());
+      nvm_applied = true;
+    }
+
+    // Exponential (log-domain) update of the envelope equation
+    //   dA/dt = (I_fund(A) - A/Rp) / (2 Ceff) = lambda(A) * A.
+    // The tank envelope time constant 2 Rp Ceff drops below the step for
+    // low-Q tanks; the exponential integrator is unconditionally stable
+    // and exact at the balance point, with sub-stepping so each update
+    // moves at most ~20% in log amplitude.
+    auto lambda_of = [&](double amp) {
+      const double n_eff = driver_.fundamental_port_current(amp) / amp;
+      return (n_eff - 1.0 / rp) / (2.0 * ceff);
+    };
+    double remaining = dt;
+    int guard = 0;
+    while (remaining > 0.0 && guard++ < 400) {
+      const double lam = lambda_of(a);
+      // Local sensitivity d(lambda)/d(ln A): the update is explicit Euler
+      // in log amplitude, so the step must also respect this slope or it
+      // rings (period-2) around the balance point at marginal gm.
+      const double eps = 1e-3;
+      const double slope = (lambda_of(a * (1.0 + eps)) - lam) / eps;
+      double h = remaining;
+      if (std::abs(lam) * h > 0.2) h = 0.2 / std::abs(lam);
+      if (std::abs(slope) * h > 0.5) h = 0.5 / std::abs(slope);
+      a = std::clamp(a * std::exp(lam * h), 1e-9, 1e3);
+      remaining -= h;
+    }
+    t += dt;
+
+    // Detector: rectified mean of the pin swing is A/pi.
+    vdc1.step(dt, a / kPi);
+    result.amplitude.append(t, a);
+
+    if (t >= next_tick) {
+      // Window verdict directly on the filtered VDC1.
+      devices::WindowState window = devices::WindowState::Inside;
+      if (vdc1.output() < detector.vr3()) window = devices::WindowState::Below;
+      else if (vdc1.output() > detector.vr4()) window = devices::WindowState::Above;
+      fsm_.tick(window);
+      driver_.set_code(fsm_.code());
+
+      EnvelopeTick tick;
+      tick.time = t;
+      tick.code = fsm_.code();
+      tick.amplitude = a;
+      tick.vdc1 = vdc1.output();
+      tick.supply_current = driver_.supply_current(a);
+      result.ticks.push_back(tick);
+      next_tick += fsm_.config().tick_period;
+    }
+  }
+  result.final_code = fsm_.code();
+  return result;
+}
+
+}  // namespace lcosc::system

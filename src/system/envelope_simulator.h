@@ -1,0 +1,71 @@
+// Envelope-domain simulation of the regulated oscillator: instead of
+// resolving every RF cycle, the differential amplitude A(t) is advanced
+// with the averaged energy balance
+//
+//   dA/dt = (I_fund(A) - A / Rp) / (2 * Ceff)
+//
+// (describing-function drive versus tank loss), the detector low-pass is
+// driven by the rectified mean A/pi, and the regulation FSM ticks every
+// 1 ms as in silicon.  This runs ~3 orders of magnitude faster than the
+// cycle-accurate engine and is pinned to it by property tests; long
+// campaigns (ablations, Q sweeps) use it.
+#pragma once
+
+#include <vector>
+
+#include "devices/lowpass.h"
+#include "driver/oscillator_driver.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+#include "tank/rlc_tank.h"
+#include "waveform/trace.h"
+
+namespace lcosc::system {
+
+struct EnvelopeSimConfig {
+  tank::TankConfig tank{};
+  driver::DriverConfig driver{};
+  regulation::AmplitudeDetectorConfig detector{};
+  regulation::RegulationConfig regulation{};
+  double dt = 2e-6;             // envelope integration step
+  double initial_amplitude = 50e-3;
+};
+
+struct EnvelopeTick {
+  double time = 0.0;
+  int code = 0;
+  double amplitude = 0.0;
+  double vdc1 = 0.0;
+  double supply_current = 0.0;
+};
+
+struct EnvelopeRunResult {
+  Trace amplitude;               // A(t), sampled at the envelope step
+  std::vector<EnvelopeTick> ticks;
+  int final_code = 0;
+
+  [[nodiscard]] double settled_amplitude(double tail_fraction = 0.2) const;
+  // Index of the first tick whose amplitude is inside [lo, hi] and stays
+  // inside for the rest of the run; -1 if never settles.
+  [[nodiscard]] int settling_tick(double lo, double hi) const;
+  // Peak-to-peak of the amplitude over the trailing window (steady ripple).
+  [[nodiscard]] double steady_ripple(double tail_fraction = 0.2) const;
+};
+
+class EnvelopeSimulator {
+ public:
+  explicit EnvelopeSimulator(EnvelopeSimConfig config);
+
+  [[nodiscard]] driver::OscillatorDriver& driver() { return driver_; }
+  [[nodiscard]] const EnvelopeSimConfig& config() const { return config_; }
+
+  [[nodiscard]] EnvelopeRunResult run(double duration);
+
+ private:
+  EnvelopeSimConfig config_;
+  tank::RlcTank tank_;
+  driver::OscillatorDriver driver_;
+  regulation::RegulationFsm fsm_;
+};
+
+}  // namespace lcosc::system

@@ -1,0 +1,80 @@
+#include "system/fmea_campaign.h"
+
+#include "common/error.h"
+
+namespace lcosc::system {
+
+std::size_t FmeaReport::detected_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) {
+    if (r.detected) ++n;
+  }
+  return n;
+}
+
+std::size_t FmeaReport::expected_channel_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) {
+    if (r.expected_channel_hit) ++n;
+  }
+  return n;
+}
+
+bool FmeaReport::all_detected() const { return detected_count() == rows.size(); }
+
+std::vector<tank::TankFault> fmea_fault_list() {
+  return {tank::TankFault::OpenCoil,        tank::TankFault::CoilShortToGround,
+          tank::TankFault::CoilShortToSupply, tank::TankFault::ShortedTurns,
+          tank::TankFault::IncreasedResistance, tank::TankFault::MissingCosc1,
+          tank::TankFault::MissingCosc2,    tank::TankFault::DegradedCosc1};
+}
+
+FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
+  OscillatorSystem sys(config.system);
+  if (fault != tank::TankFault::None) {
+    sys.schedule_fault(fault, config.settle_time, config.severity);
+  }
+  const SimulationResult sim = sys.run(config.settle_time + config.observe_time);
+
+  FmeaRow row;
+  row.fault = fault;
+  row.expected = tank::expected_detection(fault);
+  row.observed = sim.final_faults;
+  row.detected = sim.final_faults.any();
+  row.safe_state_entered = sim.final_mode == regulation::RegulationMode::SafeState;
+  row.final_code = sim.final_code;
+
+  switch (row.expected) {
+    case tank::DetectionChannel::NoneExpected:
+      row.expected_channel_hit = !row.detected;
+      break;
+    case tank::DetectionChannel::MissingOscillation:
+      row.expected_channel_hit = sim.final_faults.missing_oscillation;
+      break;
+    case tank::DetectionChannel::LowAmplitude:
+      row.expected_channel_hit = sim.final_faults.low_amplitude;
+      break;
+    case tank::DetectionChannel::Asymmetry:
+      row.expected_channel_hit = sim.final_faults.asymmetry;
+      break;
+  }
+
+  // Detection latency: first tick at/after injection with a flag.
+  for (const auto& tick : sim.ticks) {
+    if (tick.time >= config.settle_time && tick.faults.any()) {
+      row.detection_latency = tick.time - config.settle_time;
+      break;
+    }
+  }
+  return row;
+}
+
+FmeaReport run_fmea_campaign(const FmeaCampaignConfig& config) {
+  FmeaReport report;
+  for (const tank::TankFault fault : fmea_fault_list()) {
+    report.rows.push_back(run_fmea_case(config, fault));
+  }
+  return report;
+}
+
+}  // namespace lcosc::system

@@ -1,0 +1,51 @@
+// FMEA campaign (paper Section 7): inject every external fault class into
+// the running system, record which detector fires, whether the safety
+// reaction engaged, and compare against the expected detection channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "system/oscillator_system.h"
+#include "tank/tank_faults.h"
+
+namespace lcosc::system {
+
+struct FmeaRow {
+  tank::TankFault fault{};
+  tank::DetectionChannel expected{};
+  safety::FaultFlags observed{};
+  bool detected = false;        // any detector fired
+  bool expected_channel_hit = false;
+  bool safe_state_entered = false;
+  double detection_latency = -1.0;  // fault injection -> first flagged tick
+  int final_code = 0;
+};
+
+struct FmeaReport {
+  std::vector<FmeaRow> rows;
+  [[nodiscard]] std::size_t detected_count() const;
+  [[nodiscard]] std::size_t expected_channel_count() const;
+  [[nodiscard]] bool all_detected() const;
+};
+
+struct FmeaCampaignConfig {
+  OscillatorSystemConfig system{};
+  // Let the oscillator settle before injecting the fault.
+  double settle_time = 6e-3;
+  // Observation window after the fault.
+  double observe_time = 10e-3;
+  tank::FaultSeverity severity{};
+};
+
+// Run the campaign over all fault classes (excluding TankFault::None,
+// which is run once as a control and must stay fault-free).
+[[nodiscard]] FmeaReport run_fmea_campaign(const FmeaCampaignConfig& config);
+
+// Run one fault scenario.
+[[nodiscard]] FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault);
+
+// All injectable fault classes (paper Section 7 list).
+[[nodiscard]] std::vector<tank::TankFault> fmea_fault_list();
+
+}  // namespace lcosc::system

@@ -1,0 +1,74 @@
+// Physically modeled position sensor: the regulated excitation tank plus
+// two receiving coils, all coupled through the full 3x3 inductance matrix
+// (rotor-angle-dependent couplings).  This replaces the behavioral
+// `PositionSensor` coupling gain with real magnetics: the receiving-coil
+// EMFs emerge from M * di/dt, and the demodulated channel amplitudes are
+// k * A * sqrt(L_rx / L_exc) as electromagnetic theory requires.
+#pragma once
+
+#include "devices/rectifier.h"
+#include "driver/oscillator_driver.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+#include "tank/inductance_matrix.h"
+#include "tank/rlc_tank.h"
+#include "waveform/trace.h"
+
+namespace lcosc::system {
+
+struct MagneticSensorConfig {
+  tank::TankConfig tank{};                 // excitation tank
+  driver::DriverConfig driver{};
+  regulation::AmplitudeDetectorConfig detector{};
+  regulation::RegulationConfig regulation{};
+
+  // Receiving coils.
+  double receive_inductance = 1.0e-6;      // each receiving coil [H]
+  double receive_resistance = 2.0;         // coil winding loss [ohm]
+  // Sense load [ohm].  Kept comparable to the coil reactance so the
+  // receiving-coil pole (L/R) stays resolvable by the RF integration step;
+  // a current-sensing frontend (low input impedance) behaves this way.
+  double load_resistance = 100.0;
+  // Peak coupling factor from the excitation coil (modulated by the
+  // rotor: k1 = k sin(theta), k2 = k cos(theta)).
+  double peak_coupling = 0.3;
+  // Residual coupling between the two receiving coils.
+  double receive_cross_coupling = 0.02;
+
+  double rotor_angle = 0.0;                // [rad]
+  double demod_filter_tau = 50e-6;
+  int steps_per_period = 64;
+  double startup_kick = 50e-3;
+};
+
+struct MagneticSensorResult {
+  double settled_amplitude = 0.0;  // excitation differential peak
+  int final_code = 0;
+  double sin_channel = 0.0;        // demodulated receiving-coil outputs
+  double cos_channel = 0.0;
+  double estimated_angle = 0.0;    // [rad]
+  double angle_error = 0.0;        // wrapped
+  Trace envelope;                  // excitation envelope
+};
+
+class MagneticSensorSystem {
+ public:
+  explicit MagneticSensorSystem(MagneticSensorConfig config);
+
+  [[nodiscard]] MagneticSensorResult run(double duration);
+
+  // The coupling matrix in use (exposed for tests).
+  [[nodiscard]] const tank::InductanceMatrix& magnetics() const { return magnetics_; }
+
+ private:
+  [[nodiscard]] static tank::InductanceMatrix build_magnetics(
+      const MagneticSensorConfig& config);
+
+  MagneticSensorConfig config_;
+  tank::InductanceMatrix magnetics_;
+  driver::OscillatorDriver driver_;
+  regulation::AmplitudeDetector detector_;
+  regulation::RegulationFsm fsm_;
+};
+
+}  // namespace lcosc::system

@@ -1,0 +1,268 @@
+#include "system/oscillator_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace lcosc::system {
+
+double SimulationResult::settled_amplitude(double tail_fraction) const {
+  LCOSC_REQUIRE(tail_fraction > 0.0 && tail_fraction <= 1.0, "tail fraction in (0,1]");
+  LCOSC_REQUIRE(!envelope.empty(), "no envelope recorded");
+  const double t0 =
+      envelope.end_time() - tail_fraction * (envelope.end_time() - envelope.start_time());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    if (envelope.time(i) >= t0) {
+      acc += envelope.value(i);
+      ++n;
+    }
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+int SimulationResult::first_fault_tick() const {
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    if (ticks[i].faults.any()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+OscillatorSystem::OscillatorSystem(OscillatorSystemConfig config)
+    : config_(config),
+      driver_(config.driver),
+      detector_(config.detector),
+      fsm_(config.regulation),
+      safety_(config.safety) {
+  LCOSC_REQUIRE(config_.steps_per_period >= 16,
+                "need at least 16 integration steps per period");
+  LCOSC_REQUIRE(config_.startup_kick > 0.0, "startup kick must be positive");
+  // Validate the tank through its invariants.
+  (void)tank::RlcTank(config_.tank);
+}
+
+void OscillatorSystem::schedule_fault(tank::TankFault fault, double at_time,
+                                      const tank::FaultSeverity& severity) {
+  schedule_event(at_time, FaultEvent{fault, severity});
+}
+
+void OscillatorSystem::schedule_event(double at_time, ScenarioAction action) {
+  LCOSC_REQUIRE(at_time >= 0.0, "event time must be non-negative");
+  events_.push_back({at_time, std::move(action)});
+  std::sort(events_.begin(), events_.end(),
+            [](const TimedEvent& a, const TimedEvent& b) { return a.time < b.time; });
+}
+
+OscillatorSystem::TankState OscillatorSystem::derivatives(const TankState& s,
+                                                          const ActiveTank& t) const {
+  const driver::NodeCurrents drv = driver_.output(s.v1, s.v2);
+  const double il = t.loop_open ? 0.0 : s.il;
+
+  // Finite driver speed: the delivered currents lag the ideal cross-coupled
+  // response with a single pole at driver_bandwidth.
+  const bool slow_driver = config_.driver_bandwidth > 0.0;
+  const double w_drv = kTwoPi * config_.driver_bandwidth;
+  const double i1 = slow_driver ? s.i1 : drv.into_lc1;
+  const double i2 = slow_driver ? s.i2 : drv.into_lc2;
+
+  // Soft rail clamps (ESD/junction paths) keep faulted scenarios bounded.
+  const double v_rail_hi = config_.vdd - config_.vref_dc;
+  const double v_rail_lo = -config_.vref_dc;
+  const double g_rail = 2e-3;
+  auto rail_current = [&](double v) {
+    if (v > v_rail_hi) return -g_rail * (v - v_rail_hi);
+    if (v < v_rail_lo) return g_rail * (v_rail_lo - v);
+    return 0.0;
+  };
+
+  TankState d;
+  if (t.pin1_grounded || t.pin1_to_supply) {
+    d.v1 = 0.0;  // pin voltage frozen at the short level
+  } else {
+    d.v1 = (i1 - il + rail_current(s.v1)) / t.config.capacitance1;
+  }
+  if (t.pin2_grounded) {
+    d.v2 = 0.0;
+  } else {
+    d.v2 = (i2 + il + rail_current(s.v2)) / t.config.capacitance2;
+  }
+  if (t.loop_open) {
+    d.il = 0.0;
+  } else {
+    d.il = ((s.v1 - s.v2) - t.config.series_resistance * s.il) / t.config.inductance;
+  }
+  if (slow_driver) {
+    d.i1 = (drv.into_lc1 - s.i1) * w_drv;
+    d.i2 = (drv.into_lc2 - s.i2) * w_drv;
+  }
+  return d;
+}
+
+SimulationResult OscillatorSystem::run(double duration) {
+  LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
+
+  const tank::RlcTank healthy(config_.tank);
+  const double dt = 1.0 / (healthy.resonance_frequency() * config_.steps_per_period);
+
+  // Reset all subsystems.
+  detector_.reset();
+  safety_.reset(0.0);
+  fsm_.por_reset();
+  driver_.set_code(fsm_.code());
+  driver_.set_enabled(true);
+
+  ActiveTank active;
+  active.config = config_.tank;
+
+  TankState s;
+  s.v1 = 0.5 * config_.startup_kick;
+  s.v2 = -0.5 * config_.startup_kick;
+  s.il = 0.0;
+
+  SimulationResult result;
+  result.differential.set_name("v_diff");
+  result.v_lc1.set_name("v_lc1");
+  result.v_lc2.set_name("v_lc2");
+  result.envelope.set_name("envelope");
+
+  const bool record = config_.waveform_decimation > 0;
+  const std::size_t total_steps = static_cast<std::size_t>(std::ceil(duration / dt));
+  if (record) {
+    const std::size_t samples =
+        total_steps / static_cast<std::size_t>(config_.waveform_decimation) + 2;
+    result.differential.reserve(samples);
+    result.v_lc1.reserve(samples);
+    result.v_lc2.reserve(samples);
+  }
+
+  bool nvm_applied = false;
+  std::size_t next_event = 0;
+  double next_tick = fsm_.config().tick_period;
+
+  // Inline envelope tracker (per-half-cycle peak of |v_diff|).
+  double env_peak = 0.0;
+  double env_peak_time = 0.0;
+  bool env_have = false;
+  bool env_last_positive = s.v1 - s.v2 >= 0.0;
+
+  auto advance = [&](const TankState& base, double h, const TankState& k) {
+    return TankState{base.v1 + h * k.v1, base.v2 + h * k.v2, base.il + h * k.il,
+                     base.i1 + h * k.i1, base.i2 + h * k.i2};
+  };
+  auto rk4_step = [&](const ActiveTank& t) {
+    const TankState k1 = derivatives(s, t);
+    const TankState k2 = derivatives(advance(s, 0.5 * dt, k1), t);
+    const TankState k3 = derivatives(advance(s, 0.5 * dt, k2), t);
+    const TankState k4 = derivatives(advance(s, dt, k3), t);
+    s.v1 += dt / 6.0 * (k1.v1 + 2.0 * k2.v1 + 2.0 * k3.v1 + k4.v1);
+    s.v2 += dt / 6.0 * (k1.v2 + 2.0 * k2.v2 + 2.0 * k3.v2 + k4.v2);
+    s.il += dt / 6.0 * (k1.il + 2.0 * k2.il + 2.0 * k3.il + k4.il);
+    s.i1 += dt / 6.0 * (k1.i1 + 2.0 * k2.i1 + 2.0 * k3.i1 + k4.i1);
+    s.i2 += dt / 6.0 * (k1.i2 + 2.0 * k2.i2 + 2.0 * k3.i2 + k4.i2);
+  };
+
+  double t = 0.0;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    // Discrete events at the step boundary.
+    if (!nvm_applied && t >= fsm_.config().nvm_delay) {
+      fsm_.apply_nvm_preset();
+      driver_.set_code(fsm_.code());
+      nvm_applied = true;
+    }
+    while (next_event < events_.size() && t >= events_[next_event].time) {
+      const ScenarioAction& action = events_[next_event].action;
+      if (const auto* fe = std::get_if<FaultEvent>(&action)) {
+        const tank::FaultedTank faulted =
+            tank::apply_fault(config_.tank, fe->fault, fe->severity);
+        active.config = faulted.config;
+        active.loop_open = faulted.loop_open;
+        active.pin1_grounded = faulted.pin1_grounded;
+        active.pin2_grounded = faulted.pin2_grounded;
+        active.pin1_to_supply = faulted.pin1_to_supply;
+        if (active.loop_open) s.il = 0.0;
+        if (active.pin1_grounded) s.v1 = -config_.vref_dc;
+        if (active.pin1_to_supply) s.v1 = config_.vdd - config_.vref_dc;
+        if (active.pin2_grounded) s.v2 = -config_.vref_dc;
+      } else if (std::get_if<RecoveryEvent>(&action)) {
+        // Components repaired + diagnostic reset: healthy tank back,
+        // detectors cleared, safe-state latch released.  Re-kick the
+        // oscillation in case it had fully collapsed.
+        active = ActiveTank{};
+        active.config = config_.tank;
+        safety_.reset(t);
+        fsm_.clear_safe_state();
+        driver_.set_code(fsm_.code());
+        if (std::abs(s.v1 - s.v2) < config_.startup_kick) {
+          s.v1 = 0.5 * config_.startup_kick;
+          s.v2 = -0.5 * config_.startup_kick;
+          s.il = 0.0;
+        }
+      } else if (const auto* te = std::get_if<TemperatureEvent>(&action)) {
+        detector_.set_temperature(te->kelvin);
+      }
+      ++next_event;
+    }
+
+    rk4_step(active);
+    t += dt;
+
+    const double vd = s.v1 - s.v2;
+    detector_.step(dt, s.v1, s.v2);
+    safety_.step(t, dt, s.v1, s.v2);
+
+    // Envelope tracking.
+    const bool positive = vd >= 0.0;
+    if (positive != env_last_positive) {
+      if (env_have && (result.envelope.empty() || env_peak_time > result.envelope.end_time())) {
+        result.envelope.append(env_peak_time, env_peak);
+      }
+      env_peak = 0.0;
+      env_have = false;
+      env_last_positive = positive;
+    }
+    if (std::abs(vd) >= env_peak) {
+      env_peak = std::abs(vd);
+      env_peak_time = t;
+      env_have = true;
+    }
+
+    if (record && step % static_cast<std::size_t>(config_.waveform_decimation) == 0) {
+      result.differential.append(t, vd);
+      result.v_lc1.append(t, s.v1);
+      result.v_lc2.append(t, s.v2);
+    }
+
+    // Regulation tick every 1 ms.
+    if (t >= next_tick) {
+      if (safety_.safe_state_requested()) {
+        fsm_.enter_safe_state();
+      } else {
+        fsm_.tick(detector_.window_state());
+      }
+      driver_.set_code(fsm_.code());
+
+      TickRecord tick;
+      tick.time = t;
+      tick.code = fsm_.code();
+      tick.vdc1 = detector_.vdc1();
+      tick.window = detector_.window_state();
+      tick.faults = safety_.flags();
+      const double amplitude =
+          regulation::AmplitudeDetector::vdc1_to_amplitude(detector_.vdc1());
+      tick.supply_current = driver_.supply_current(amplitude);
+      result.ticks.push_back(tick);
+
+      next_tick += fsm_.config().tick_period;
+    }
+  }
+
+  result.final_faults = safety_.flags();
+  result.final_code = fsm_.code();
+  result.final_mode = fsm_.mode();
+  return result;
+}
+
+}  // namespace lcosc::system

@@ -1,0 +1,153 @@
+// The complete single-oscillator system: external RLC tank + driver with
+// current-limitation DAC + amplitude detector + regulation FSM + safety
+// detectors, integrated cycle-accurately (fixed-step RK4 on the tank
+// states, discrete 1 ms regulation ticks, fault injection at runtime).
+//
+// Voltages are deviations from the Vref mid-supply operating point.
+// States: v(LC1), v(LC2), i(Losc).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "driver/oscillator_driver.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+#include "safety/safety_controller.h"
+#include "tank/rlc_tank.h"
+#include "tank/tank_faults.h"
+#include "waveform/trace.h"
+
+namespace lcosc::system {
+
+struct OscillatorSystemConfig {
+  tank::TankConfig tank{};
+  driver::DriverConfig driver{};
+  regulation::AmplitudeDetectorConfig detector{};
+  regulation::RegulationConfig regulation{};
+  safety::SafetyControllerConfig safety{};
+
+  // Integration steps per (healthy-tank) oscillation period.
+  int steps_per_period = 64;
+  // Driver output bandwidth [Hz]; 0 = ideal (instantaneous).  The paper's
+  // Section 5: "to limit losses the driver must be much faster than
+  // oscillation frequency" -- a slow driver lags the pin voltages, turning
+  // part of the drive current reactive and wasting supply current.
+  double driver_bandwidth = 0.0;
+  // Initial differential kick applied when the driver is enabled,
+  // representing the enable transient that starts the oscillation.
+  double startup_kick = 50e-3;
+  // Conductance used to model pin-short faults [S] (~5 ohm short).
+  double short_conductance = 0.2;
+  // Vref DC level (mid supply), used for short-to-ground/supply levels.
+  double vref_dc = 2.5;
+  double vdd = 5.0;
+
+  // Waveform recording: 0 disables; otherwise record every n-th sample.
+  int waveform_decimation = 1;
+};
+
+// Snapshot of the discrete state at each regulation tick.
+struct TickRecord {
+  double time = 0.0;
+  int code = 0;
+  double vdc1 = 0.0;
+  devices::WindowState window = devices::WindowState::Inside;
+  safety::FaultFlags faults{};
+  double supply_current = 0.0;  // estimated at this tick's amplitude
+};
+
+struct SimulationResult {
+  // Differential pin voltage v(LC1)-v(LC2); empty when recording disabled.
+  Trace differential;
+  // Pin voltages (same decimation).
+  Trace v_lc1;
+  Trace v_lc2;
+  // Per-half-cycle envelope of the differential voltage.
+  Trace envelope;
+  // Discrete regulation/safety state per 1 ms tick.
+  std::vector<TickRecord> ticks;
+  // Final latched state.
+  safety::FaultFlags final_faults{};
+  int final_code = 0;
+  regulation::RegulationMode final_mode = regulation::RegulationMode::PowerOnReset;
+
+  // Mean steady-state amplitude over the trailing fraction of the run.
+  [[nodiscard]] double settled_amplitude(double tail_fraction = 0.2) const;
+  // First tick index with all faults clear / any fault set, -1 if none.
+  [[nodiscard]] int first_fault_tick() const;
+};
+
+// Scenario events, applied at their scheduled times during run().
+struct FaultEvent {
+  tank::TankFault fault{};
+  tank::FaultSeverity severity{};
+};
+// External components repaired + diagnostic reset: healthy tank restored,
+// detectors cleared, safe-state latch released (the code stays where the
+// safe state left it and regulates back down).
+struct RecoveryEvent {};
+// Junction temperature step (drifts the bandgap-referred window).
+struct TemperatureEvent {
+  double kelvin = 300.0;
+};
+using ScenarioAction = std::variant<FaultEvent, RecoveryEvent, TemperatureEvent>;
+
+class OscillatorSystem {
+ public:
+  explicit OscillatorSystem(OscillatorSystemConfig config);
+
+  // Inject a fault after `at_time` of simulated time (relative to run
+  // start).  Call before run().
+  void schedule_fault(tank::TankFault fault, double at_time,
+                      const tank::FaultSeverity& severity = {});
+
+  // General scenario scripting: apply `action` at `at_time`.  Events are
+  // applied in time order; multiple events are allowed.
+  void schedule_event(double at_time, ScenarioAction action);
+
+  // Run the system for `duration` seconds from power-on reset.
+  [[nodiscard]] SimulationResult run(double duration);
+
+  // Access to the subsystems for configuration before run().
+  [[nodiscard]] driver::OscillatorDriver& driver() { return driver_; }
+  [[nodiscard]] const OscillatorSystemConfig& config() const { return config_; }
+  [[nodiscard]] tank::RlcTank healthy_tank() const { return tank::RlcTank(config_.tank); }
+
+ private:
+  struct TankState {
+    double v1 = 0.0;
+    double v2 = 0.0;
+    double il = 0.0;
+    // Driver output currents as states when driver_bandwidth > 0.
+    double i1 = 0.0;
+    double i2 = 0.0;
+  };
+
+  // Structural view of the (possibly faulted) tank during the run.
+  struct ActiveTank {
+    tank::TankConfig config{};
+    bool loop_open = false;
+    bool pin1_grounded = false;
+    bool pin2_grounded = false;
+    bool pin1_to_supply = false;
+  };
+
+  [[nodiscard]] TankState derivatives(const TankState& s, const ActiveTank& t) const;
+
+  OscillatorSystemConfig config_;
+  driver::OscillatorDriver driver_;
+  regulation::AmplitudeDetector detector_;
+  regulation::RegulationFsm fsm_;
+  safety::SafetyController safety_;
+
+  struct TimedEvent {
+    double time = 0.0;
+    ScenarioAction action;
+  };
+  std::vector<TimedEvent> events_;
+};
+
+}  // namespace lcosc::system

@@ -1,0 +1,34 @@
+#include "system/position_sensor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::system {
+
+PositionSensor::PositionSensor(PositionSensorConfig config)
+    : config_(config), demod_sin_(config.filter_tau), demod_cos_(config.filter_tau) {
+  LCOSC_REQUIRE(config_.coupling_gain > 0.0, "coupling gain must be positive");
+}
+
+void PositionSensor::step(double dt, double v_excitation, double theta, double noise1,
+                          double noise2) {
+  // Receiving coil voltages: coupling modulated by the rotor angle.
+  const double v_sin = config_.coupling_gain * std::sin(theta) * v_excitation + noise1;
+  const double v_cos = config_.coupling_gain * std::cos(theta) * v_excitation + noise2;
+  // Synchronous demodulation against the excitation preserves the sign of
+  // the coupling, so the full angle range is recoverable.
+  demod_sin_.step(dt, v_sin, v_excitation);
+  demod_cos_.step(dt, v_cos, v_excitation);
+}
+
+double PositionSensor::estimated_angle() const {
+  return std::atan2(demod_sin_.output(), demod_cos_.output());
+}
+
+void PositionSensor::reset() {
+  demod_sin_.reset();
+  demod_cos_.reset();
+}
+
+}  // namespace lcosc::system

@@ -1,0 +1,55 @@
+// The application the driver exists for (paper Section 1): the excitation
+// coil's harmonic field couples into receiving coils; the coupling varies
+// with the rotor angle, and comparing the received amplitudes yields the
+// position.
+//
+// This model is deliberately at the signal-processing level: given the
+// regulated excitation amplitude, the two receiving coils see
+//   A_sin = k * A * sin(theta),   A_cos = k * A * cos(theta)
+// each demodulated by rectify-and-filter channels; the angle estimate is
+// atan2 of the two demodulated values (quadrant-correct because the
+// synchronous demodulation preserves sign).
+#pragma once
+
+#include "devices/rectifier.h"
+
+namespace lcosc::system {
+
+struct PositionSensorConfig {
+  // Peak coupling from the excitation coil into each receiving coil.
+  double coupling_gain = 0.3;
+  // Demodulation filter time constant.
+  double filter_tau = 100e-6;
+  // Additive measurement noise RMS on each receiving channel [V] (set by
+  // the caller per scenario; 0 = ideal).
+  double noise_rms = 0.0;
+};
+
+class PositionSensor {
+ public:
+  explicit PositionSensor(PositionSensorConfig config = {});
+
+  // Advance one simulation step: `v_excitation` is the instantaneous
+  // differential excitation voltage, `theta` the true rotor angle [rad],
+  // `noise1/noise2` optional pre-drawn noise samples.
+  void step(double dt, double v_excitation, double theta, double noise1 = 0.0,
+            double noise2 = 0.0);
+
+  // Demodulated channel amplitudes.
+  [[nodiscard]] double sin_channel() const { return demod_sin_.output(); }
+  [[nodiscard]] double cos_channel() const { return demod_cos_.output(); }
+
+  // Angle estimate from the demodulated channels [rad].
+  [[nodiscard]] double estimated_angle() const;
+
+  void reset();
+
+  [[nodiscard]] const PositionSensorConfig& config() const { return config_; }
+
+ private:
+  PositionSensorConfig config_;
+  devices::SynchronousRectifierFilter demod_sin_;
+  devices::SynchronousRectifierFilter demod_cos_;
+};
+
+}  // namespace lcosc::system

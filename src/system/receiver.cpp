@@ -1,0 +1,74 @@
+#include "system/receiver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::system {
+
+Receiver::Receiver(ReceiverConfig config)
+    : config_(config),
+      position_(config.position),
+      dc_level_(config.settle_tau, config.bias_level) {
+  LCOSC_REQUIRE(config_.bias_resistance > 0.0, "bias resistance must be positive");
+  LCOSC_REQUIRE(config_.test_current > 0.0, "test current must be positive");
+  LCOSC_REQUIRE(config_.min_shift_fraction > 0.0 && config_.min_shift_fraction < 1.0,
+                "shift fraction must be in (0,1)");
+  LCOSC_REQUIRE(config_.injection_time > 0.0 &&
+                    config_.injection_time < config_.supervision_period,
+                "injection time must fit inside the supervision period");
+  baseline_level_ = config_.bias_level;
+}
+
+double Receiver::dc_target(bool injecting, double short_conductance,
+                           double v_osc_pin) const {
+  // Thevenin of the bias network (bias_level via Rbias) in parallel with
+  // the short path (v_osc_pin via 1/g), plus the optional test current.
+  const double g_bias = 1.0 / config_.bias_resistance;
+  const double g_total = g_bias + short_conductance;
+  const double i_inject = injecting ? config_.test_current : 0.0;
+  return (config_.bias_level * g_bias + v_osc_pin * short_conductance + i_inject) / g_total;
+}
+
+void Receiver::step(double dt, double v_excitation, double theta, double short_conductance,
+                    double v_osc_pin) {
+  LCOSC_REQUIRE(short_conductance >= 0.0, "short conductance must be non-negative");
+  position_.step(dt, v_excitation, theta);
+
+  phase_time_ += dt;
+  const bool injecting = phase_ == SupervisionPhase::Injecting;
+  dc_level_.step(dt, dc_target(injecting, short_conductance, v_osc_pin));
+
+  switch (phase_) {
+    case SupervisionPhase::Idle:
+      if (phase_time_ >= config_.supervision_period - config_.injection_time) {
+        baseline_level_ = dc_level_.output();
+        phase_ = SupervisionPhase::Injecting;
+        phase_time_ = 0.0;
+      }
+      break;
+    case SupervisionPhase::Injecting:
+      if (phase_time_ >= config_.injection_time) {
+        // Evaluate: did the level move as a healthy high-impedance node?
+        const double expected = config_.test_current * config_.bias_resistance;
+        const double measured = dc_level_.output() - baseline_level_;
+        if (measured < config_.min_shift_fraction * expected) fault_ = true;
+        ++cycles_;
+        phase_ = SupervisionPhase::Idle;
+        phase_time_ = 0.0;
+      }
+      break;
+  }
+}
+
+void Receiver::reset() {
+  position_.reset();
+  dc_level_.reset(config_.bias_level);
+  phase_ = SupervisionPhase::Idle;
+  phase_time_ = 0.0;
+  baseline_level_ = config_.bias_level;
+  fault_ = false;
+  cycles_ = 0;
+}
+
+}  // namespace lcosc::system

@@ -1,0 +1,62 @@
+#include "system/sensor_system.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace lcosc::system {
+
+namespace {
+
+OscillatorSystemConfig with_waveforms(OscillatorSystemConfig cfg) {
+  // The receiver consumes the excitation waveform sample by sample.
+  if (cfg.waveform_decimation <= 0) cfg.waveform_decimation = 1;
+  return cfg;
+}
+
+}  // namespace
+
+SensorSystem::SensorSystem(SensorSystemConfig config)
+    : config_(config),
+      oscillator_(with_waveforms(config.oscillator)),
+      receiver_(config.receiver) {
+  LCOSC_REQUIRE(config_.coil_short_conductance >= 0.0,
+                "short conductance must be non-negative");
+}
+
+SensorRunResult SensorSystem::run(double duration) {
+  // Co-simulation: run the oscillator with waveform recording, then feed
+  // the receiver sample by sample.  (The receiver does not load the tank:
+  // the receiving coils couple magnetically and their sense nodes are
+  // high impedance, so one-way coupling is the right fidelity here.)
+  SensorRunResult result;
+  result.oscillator = oscillator_.run(duration);
+  const Trace& vd = result.oscillator.differential;
+  LCOSC_REQUIRE(vd.size() >= 2, "oscillator run produced no waveform");
+
+  receiver_.reset();
+  double prev_t = vd.start_time();
+  for (std::size_t i = 1; i < vd.size(); ++i) {
+    const double t = vd.time(i);
+    const double dt = t - prev_t;
+    const bool shorted =
+        config_.coil_short_conductance > 0.0 && t >= config_.coil_short_time;
+    // The oscillator pin rides Vref (2.5 V) plus half the differential.
+    receiver_.step(dt, vd.value(i), config_.rotor_angle,
+                   shorted ? config_.coil_short_conductance : 0.0,
+                   2.5 + 0.5 * vd.value(i));
+    prev_t = t;
+  }
+
+  result.estimated_angle = receiver_.estimated_angle();
+  double err = result.estimated_angle - config_.rotor_angle;
+  while (err > kPi) err -= kTwoPi;
+  while (err < -kPi) err += kTwoPi;
+  result.angle_error = err;
+  result.coil_short_fault = receiver_.coil_short_fault();
+  result.supervision_cycles = receiver_.supervision_cycles();
+  return result;
+}
+
+}  // namespace lcosc::system

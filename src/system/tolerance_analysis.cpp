@@ -1,0 +1,114 @@
+#include "system/tolerance_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace lcosc::system {
+
+double ToleranceReport::yield() const {
+  if (samples.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& s : samples) {
+    if (s.in_window) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(samples.size());
+}
+
+double ToleranceReport::min_amplitude() const {
+  double v = 1e300;
+  for (const auto& s : samples) v = std::min(v, s.settled_amplitude);
+  return v;
+}
+
+double ToleranceReport::max_amplitude() const {
+  double v = 0.0;
+  for (const auto& s : samples) v = std::max(v, s.settled_amplitude);
+  return v;
+}
+
+int ToleranceReport::min_code() const {
+  int v = 127;
+  for (const auto& s : samples) v = std::min(v, s.settled_code);
+  return v;
+}
+
+int ToleranceReport::max_code() const {
+  int v = 0;
+  for (const auto& s : samples) v = std::max(v, s.settled_code);
+  return v;
+}
+
+double ToleranceReport::max_supply_current() const {
+  double v = 0.0;
+  for (const auto& s : samples) v = std::max(v, s.supply_current);
+  return v;
+}
+
+SummaryStatistics ToleranceReport::amplitude_statistics() const {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.settled_amplitude);
+  return summarize(std::move(values));
+}
+
+SummaryStatistics ToleranceReport::supply_statistics() const {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.supply_current);
+  return summarize(std::move(values));
+}
+
+ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
+  LCOSC_REQUIRE(config.samples > 0, "sample count must be positive");
+  LCOSC_REQUIRE(config.inductance_tolerance >= 0.0 && config.inductance_tolerance < 1.0 &&
+                    config.capacitance_tolerance >= 0.0 &&
+                    config.capacitance_tolerance < 1.0 &&
+                    config.resistance_tolerance >= 0.0 && config.resistance_tolerance < 1.0,
+                "tolerances must be in [0,1)");
+
+  Rng master(config.seed);
+  ToleranceReport report;
+  report.samples.reserve(static_cast<std::size_t>(config.samples));
+
+  const double target = config.nominal.detector.target_amplitude;
+
+  for (int i = 0; i < config.samples; ++i) {
+    Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
+
+    EnvelopeSimConfig cfg = config.nominal;
+    cfg.tank.inductance *=
+        1.0 + rng.uniform(-config.inductance_tolerance, config.inductance_tolerance);
+    cfg.tank.capacitance1 *=
+        1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
+    cfg.tank.capacitance2 *=
+        1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
+    cfg.tank.series_resistance *=
+        1.0 + rng.uniform(-config.resistance_tolerance, config.resistance_tolerance);
+
+    EnvelopeSimulator sim(cfg);
+    if (config.include_dac_mismatch) {
+      sim.driver().use_mismatched_dac(std::make_shared<const dac::CurrentLimitationDac>(
+          cfg.driver.unit_current, config.mismatch, master.fork(0x1000 + i)()));
+    }
+    const EnvelopeRunResult run = sim.run(config.run_duration);
+
+    const tank::RlcTank tk(cfg.tank);
+    ToleranceSample sample;
+    sample.tank = cfg.tank;
+    sample.resonance_frequency = tk.resonance_frequency();
+    sample.quality_factor = tk.quality_factor();
+    sample.settled_code = run.final_code;
+    sample.settled_amplitude = run.settled_amplitude();
+    sample.supply_current =
+        run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
+    sample.in_window =
+        std::abs(sample.settled_amplitude - target) <= config.amplitude_tolerance * target;
+    report.samples.push_back(sample);
+  }
+  return report;
+}
+
+}  // namespace lcosc::system

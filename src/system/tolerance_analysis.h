@@ -1,0 +1,67 @@
+// Monte-Carlo tolerance analysis over the external component spread
+// (paper abstract: "The driver can be used with a wide range of external
+// components parameters").
+//
+// Each sample draws the tank L, C1, C2 and Rs inside their tolerance
+// bands (and optionally a mismatched current-limitation DAC), runs the
+// regulated envelope simulation, and records whether the loop settled
+// inside the amplitude window with an in-range code.  The yield is the
+// fraction of samples that regulate correctly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statistics.h"
+#include "dac/current_mirror.h"
+#include "system/envelope_simulator.h"
+#include "tank/rlc_tank.h"
+
+namespace lcosc::system {
+
+struct ToleranceConfig {
+  // Nominal system.
+  EnvelopeSimConfig nominal{};
+  // Uniform +- relative tolerances on the external components.
+  double inductance_tolerance = 0.10;
+  double capacitance_tolerance = 0.10;
+  double resistance_tolerance = 0.30;  // coil loss varies most over lot & temp
+  // Include on-chip DAC mismatch per sample.
+  bool include_dac_mismatch = true;
+  dac::MismatchConfig mismatch{};
+
+  int samples = 100;
+  std::uint64_t seed = 1;
+  double run_duration = 40e-3;
+  // Acceptance band around the target amplitude.
+  double amplitude_tolerance = 0.10;
+};
+
+struct ToleranceSample {
+  tank::TankConfig tank{};
+  double resonance_frequency = 0.0;
+  double quality_factor = 0.0;
+  int settled_code = 0;
+  double settled_amplitude = 0.0;
+  double supply_current = 0.0;
+  bool in_window = false;
+};
+
+struct ToleranceReport {
+  std::vector<ToleranceSample> samples;
+
+  [[nodiscard]] double yield() const;
+  [[nodiscard]] double min_amplitude() const;
+  [[nodiscard]] double max_amplitude() const;
+  [[nodiscard]] int min_code() const;
+  [[nodiscard]] int max_code() const;
+  [[nodiscard]] double max_supply_current() const;
+
+  // Distribution summaries across the samples.
+  [[nodiscard]] SummaryStatistics amplitude_statistics() const;
+  [[nodiscard]] SummaryStatistics supply_statistics() const;
+};
+
+[[nodiscard]] ToleranceReport run_tolerance_analysis(const ToleranceConfig& config);
+
+}  // namespace lcosc::system

@@ -1,0 +1,33 @@
+#include "tank/coupled_tanks.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc::tank {
+
+CoupledTanks::CoupledTanks(CoupledTanksConfig config) : config_(config) {
+  LCOSC_REQUIRE(std::abs(config_.coupling) < 1.0, "coupling factor magnitude must be below 1");
+  // Validate both tanks through the RlcTank invariants.
+  const RlcTank t1(config_.tank1);
+  const RlcTank t2(config_.tank2);
+  const double l1 = t1.inductance();
+  const double l2 = t2.inductance();
+  mutual_ = config_.coupling * std::sqrt(l1 * l2);
+
+  const double det = l1 * l2 - mutual_ * mutual_;
+  LCOSC_REQUIRE(det > 0.0, "inductance matrix must be positive definite");
+  inv_l_ = {l2 / det, -mutual_ / det, -mutual_ / det, l1 / det};
+}
+
+std::array<double, 2> CoupledTanks::current_derivatives(double v1, double v2) const {
+  return {inv_l_[0] * v1 + inv_l_[1] * v2, inv_l_[2] * v1 + inv_l_[3] * v2};
+}
+
+std::array<double, 2> CoupledTanks::coupled_mode_frequencies() const {
+  const double f0 = 0.5 * (resonance1() + resonance2());
+  const double k = std::abs(config_.coupling);
+  return {f0 / std::sqrt(1.0 + k), f0 / std::sqrt(1.0 - k)};
+}
+
+}  // namespace lcosc::tank

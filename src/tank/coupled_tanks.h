@@ -1,0 +1,50 @@
+// Magnetically coupled excitation coils of the redundant dual system
+// (paper Fig. 9): two tanks whose inductors share a coupling factor k.
+//
+//   v_L1 = L1 di1/dt + M di2/dt
+//   v_L2 = M  di1/dt + L2 di2/dt     with M = k sqrt(L1 L2)
+//
+// The inverse inductance matrix is precomputed so the system ODE can get
+// (di1/dt, di2/dt) from the two loop voltages in O(1).
+#pragma once
+
+#include <array>
+
+#include "tank/rlc_tank.h"
+
+namespace lcosc::tank {
+
+struct CoupledTanksConfig {
+  TankConfig tank1;
+  TankConfig tank2;
+  double coupling = 0.2;  // |k| < 1
+};
+
+class CoupledTanks {
+ public:
+  explicit CoupledTanks(CoupledTanksConfig config);
+
+  [[nodiscard]] const CoupledTanksConfig& config() const { return config_; }
+  [[nodiscard]] double mutual_inductance() const { return mutual_; }
+
+  // Map loop voltages (v1, v2) across the two inductors to the current
+  // derivatives (di1/dt, di2/dt).
+  [[nodiscard]] std::array<double, 2> current_derivatives(double v1, double v2) const;
+
+  // Resonance of each tank in isolation (coupling shifts these; the paper
+  // runs both systems at the same frequency).
+  [[nodiscard]] double resonance1() const { return RlcTank(config_.tank1).resonance_frequency(); }
+  [[nodiscard]] double resonance2() const { return RlcTank(config_.tank2).resonance_frequency(); }
+
+  // Split resonance modes of the coupled pair for identical tanks:
+  // f_low = f0/sqrt(1+k), f_high = f0/sqrt(1-k).
+  [[nodiscard]] std::array<double, 2> coupled_mode_frequencies() const;
+
+ private:
+  CoupledTanksConfig config_;
+  double mutual_ = 0.0;
+  // Inverse of [[L1, M], [M, L2]].
+  std::array<double, 4> inv_l_{};
+};
+
+}  // namespace lcosc::tank

@@ -1,0 +1,76 @@
+#include "tank/rlc_tank.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace lcosc::tank {
+
+using namespace lcosc::literals;
+
+RlcTank::RlcTank(TankConfig config) : config_(config) {
+  LCOSC_REQUIRE(config_.inductance > 0.0, "tank inductance must be positive");
+  LCOSC_REQUIRE(config_.capacitance1 > 0.0 && config_.capacitance2 > 0.0,
+                "tank capacitances must be positive");
+  LCOSC_REQUIRE(config_.series_resistance > 0.0, "tank series resistance must be positive");
+}
+
+double RlcTank::effective_capacitance() const {
+  const double c1 = config_.capacitance1;
+  const double c2 = config_.capacitance2;
+  return c1 * c2 / (c1 + c2);
+}
+
+double RlcTank::angular_resonance() const {
+  return 1.0 / std::sqrt(config_.inductance * effective_capacitance());
+}
+
+double RlcTank::resonance_frequency() const { return angular_resonance() / kTwoPi; }
+
+double RlcTank::quality_factor() const {
+  return angular_resonance() * config_.inductance / config_.series_resistance;
+}
+
+double RlcTank::parallel_resistance() const {
+  return config_.inductance / (effective_capacitance() * config_.series_resistance);
+}
+
+double RlcTank::critical_gm() const { return 2.0 / parallel_resistance(); }
+
+double RlcTank::stored_energy(double amplitude) const {
+  LCOSC_REQUIRE(amplitude >= 0.0, "amplitude must be non-negative");
+  // At the voltage peak the full energy sits in the series capacitance.
+  return 0.5 * effective_capacitance() * amplitude * amplitude;
+}
+
+double RlcTank::dissipated_power(double amplitude) const {
+  LCOSC_REQUIRE(amplitude >= 0.0, "amplitude must be non-negative");
+  // Eq. 2 with the RMS of a sine: P = (A/sqrt(2))^2 / Rp.
+  return 0.5 * amplitude * amplitude / parallel_resistance();
+}
+
+TankConfig design_tank(double frequency_hz, double quality_factor, double inductance) {
+  LCOSC_REQUIRE(frequency_hz > 0.0, "frequency must be positive");
+  LCOSC_REQUIRE(quality_factor > 0.0, "quality factor must be positive");
+  LCOSC_REQUIRE(inductance > 0.0, "inductance must be positive");
+  const double w0 = kTwoPi * frequency_hz;
+  TankConfig config;
+  config.inductance = inductance;
+  // Symmetric capacitors: Ceff = C/2 = 1/(w0^2 L).
+  const double c_eff = 1.0 / (w0 * w0 * inductance);
+  config.capacitance1 = 2.0 * c_eff;
+  config.capacitance2 = 2.0 * c_eff;
+  config.series_resistance = w0 * inductance / quality_factor;
+  return config;
+}
+
+// Preset inductance 3.3 uH: at 4 MHz this puts the parallel loss Rp of a
+// Q in [1.5, 150] tank inside the span the DAC's 2.7 V operating point can
+// serve with codes 16..127 (see DESIGN.md, "key modelling decisions").
+TankConfig typical_high_q_tank() { return design_tank(4.0_MHz, 100.0, 3.3_uH); }
+TankConfig typical_low_q_tank() { return design_tank(4.0_MHz, 2.0, 3.3_uH); }
+TankConfig typical_mid_q_tank() { return design_tank(4.0_MHz, 20.0, 3.3_uH); }
+
+}  // namespace lcosc::tank

@@ -1,0 +1,70 @@
+// The external LC resonance network of the sensor (paper Fig. 1):
+// the excitation coil Losc with series loss Rs between the LC1 and LC2
+// pins, and the two capacitors Cosc1/Cosc2 from the pins to (AC) ground.
+//
+// Derived quantities follow the paper's Section 2:
+//   - effective series capacitance  Ceff = C1*C2/(C1+C2)     (= C/2 for C1=C2)
+//   - resonance                     w0   = 1/sqrt(L*Ceff)    (= sqrt(2/(L*C)))
+//   - quality factor                Q    = w0*L/Rs
+//   - differential parallel loss    Rp   = L/(Ceff*Rs)       (= 2L/(C*Rs))
+//   - critical transconductance     Gm0  = 2/Rp = Rs*C/L     (Eq. 1)
+// The factor 2 between Gm0 and 1/Rp reflects the cross-coupled driver: a
+// stage transconductance Gm presents only Gm/2 of negative conductance
+// across the differential port.
+#pragma once
+
+namespace lcosc::tank {
+
+struct TankConfig {
+  double inductance = 0.0;     // Losc [H]
+  double capacitance1 = 0.0;   // Cosc1 [F]
+  double capacitance2 = 0.0;   // Cosc2 [F]
+  double series_resistance = 0.0;  // Rs [ohm]
+};
+
+class RlcTank {
+ public:
+  explicit RlcTank(TankConfig config);
+
+  [[nodiscard]] const TankConfig& config() const { return config_; }
+  [[nodiscard]] double inductance() const { return config_.inductance; }
+  [[nodiscard]] double capacitance1() const { return config_.capacitance1; }
+  [[nodiscard]] double capacitance2() const { return config_.capacitance2; }
+  [[nodiscard]] double series_resistance() const { return config_.series_resistance; }
+
+  // C1 in series with C2 (the loop capacitance seen by the inductor).
+  [[nodiscard]] double effective_capacitance() const;
+
+  [[nodiscard]] double angular_resonance() const;  // w0 [rad/s]
+  [[nodiscard]] double resonance_frequency() const;  // f0 [Hz]
+  [[nodiscard]] double quality_factor() const;       // Q = w0 L / Rs
+
+  // Equivalent parallel resistance across the LC1-LC2 differential port at
+  // resonance (series-to-parallel transformation, valid for Q >> 1).
+  [[nodiscard]] double parallel_resistance() const;
+
+  // Critical per-stage transconductance for sustained oscillation (Eq. 1).
+  [[nodiscard]] double critical_gm() const;
+
+  // Energy stored at differential amplitude A (peak LC1-LC2 voltage).
+  [[nodiscard]] double stored_energy(double amplitude) const;
+
+  // Power dissipated at differential amplitude A (peak), Eq. 2.
+  [[nodiscard]] double dissipated_power(double amplitude) const;
+
+ private:
+  TankConfig config_;
+};
+
+// Construct a tank from target resonance frequency, quality factor and
+// inductance, with symmetric capacitors (the designer-facing handle: the
+// paper specifies 2-5 MHz and two decades of Q).
+[[nodiscard]] TankConfig design_tank(double frequency_hz, double quality_factor,
+                                     double inductance);
+
+// The paper's headline operating envelope as ready-made tank presets.
+[[nodiscard]] TankConfig typical_high_q_tank();   // Q ~ 100 @ 4 MHz
+[[nodiscard]] TankConfig typical_low_q_tank();    // Q ~ 2   @ 4 MHz
+[[nodiscard]] TankConfig typical_mid_q_tank();    // Q ~ 20  @ 4 MHz
+
+}  // namespace lcosc::tank

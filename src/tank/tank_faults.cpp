@@ -1,0 +1,97 @@
+#include "tank/tank_faults.h"
+
+#include "common/error.h"
+
+namespace lcosc::tank {
+
+std::string to_string(TankFault fault) {
+  switch (fault) {
+    case TankFault::None: return "none";
+    case TankFault::OpenCoil: return "open-coil";
+    case TankFault::CoilShortToGround: return "coil-short-to-ground";
+    case TankFault::CoilShortToSupply: return "coil-short-to-supply";
+    case TankFault::ShortedTurns: return "shorted-turns";
+    case TankFault::IncreasedResistance: return "increased-resistance";
+    case TankFault::MissingCosc1: return "missing-cosc1";
+    case TankFault::MissingCosc2: return "missing-cosc2";
+    case TankFault::DegradedCosc1: return "degraded-cosc1";
+  }
+  return "?";
+}
+
+DetectionChannel expected_detection(TankFault fault) {
+  switch (fault) {
+    case TankFault::None:
+      return DetectionChannel::NoneExpected;
+    case TankFault::OpenCoil:
+    case TankFault::CoilShortToGround:
+    case TankFault::CoilShortToSupply:
+      return DetectionChannel::MissingOscillation;
+    case TankFault::ShortedTurns:
+    case TankFault::IncreasedResistance:
+      return DetectionChannel::LowAmplitude;
+    case TankFault::MissingCosc1:
+    case TankFault::MissingCosc2:
+    case TankFault::DegradedCosc1:
+      return DetectionChannel::Asymmetry;
+  }
+  return DetectionChannel::NoneExpected;
+}
+
+std::string to_string(DetectionChannel channel) {
+  switch (channel) {
+    case DetectionChannel::NoneExpected: return "none";
+    case DetectionChannel::MissingOscillation: return "missing-oscillation";
+    case DetectionChannel::LowAmplitude: return "low-amplitude";
+    case DetectionChannel::Asymmetry: return "asymmetry";
+  }
+  return "?";
+}
+
+FaultedTank apply_fault(const TankConfig& healthy, TankFault fault,
+                        const FaultSeverity& severity) {
+  FaultedTank out;
+  out.config = healthy;
+  switch (fault) {
+    case TankFault::None:
+      break;
+    case TankFault::OpenCoil:
+      out.loop_open = true;
+      break;
+    case TankFault::CoilShortToGround:
+      out.pin1_grounded = true;
+      break;
+    case TankFault::CoilShortToSupply:
+      out.pin1_to_supply = true;
+      break;
+    case TankFault::ShortedTurns: {
+      // Shorting a fraction s of the turns scales L by (1-s)^2; the
+      // shorted turn acts as a lossy secondary whose reflected resistance
+      // adds to the winding loss, so Rs grows by (1+s).  The quality
+      // factor degrades by roughly (1-s)/(1+s).
+      const double s = severity.shorted_turn_fraction;
+      LCOSC_REQUIRE(s > 0.0 && s < 1.0, "shorted turn fraction must be in (0,1)");
+      out.config.inductance *= (1.0 - s) * (1.0 - s);
+      out.config.series_resistance *= 1.0 + s;
+      break;
+    }
+    case TankFault::IncreasedResistance:
+      LCOSC_REQUIRE(severity.resistance_factor > 1.0, "resistance factor must exceed 1");
+      out.config.series_resistance *= severity.resistance_factor;
+      break;
+    case TankFault::MissingCosc1:
+      out.config.capacitance1 = severity.parasitic_capacitance;
+      break;
+    case TankFault::MissingCosc2:
+      out.config.capacitance2 = severity.parasitic_capacitance;
+      break;
+    case TankFault::DegradedCosc1:
+      LCOSC_REQUIRE(severity.capacitance_factor > 0.0 && severity.capacitance_factor < 1.0,
+                    "capacitance factor must be in (0,1)");
+      out.config.capacitance1 *= severity.capacitance_factor;
+      break;
+  }
+  return out;
+}
+
+}  // namespace lcosc::tank

@@ -1,0 +1,56 @@
+// Fault taxonomy of the external LC network (paper paragraph 7) and the
+// transformation each fault applies to a healthy tank.
+#pragma once
+
+#include <string>
+
+#include "tank/rlc_tank.h"
+
+namespace lcosc::tank {
+
+enum class TankFault {
+  None,
+  // Hard failures -> missing oscillations.
+  OpenCoil,             // broken connection to the coil
+  CoilShortToGround,    // LC pin shorted to ground
+  CoilShortToSupply,    // LC pin shorted to the supply
+  // Quality degradation -> low amplitude.
+  ShortedTurns,         // partial coil short: L down, Rs relatively up
+  IncreasedResistance,  // corroded contact / thin wire: Rs up
+  // Capacitor failures -> amplitude asymmetry between LC1 and LC2.
+  MissingCosc1,
+  MissingCosc2,
+  DegradedCosc1,        // capacitance drop (cracked ceramic)
+};
+
+[[nodiscard]] std::string to_string(TankFault fault);
+
+// Expected primary detection channel for each fault class (paper Sec. 7).
+enum class DetectionChannel { NoneExpected, MissingOscillation, LowAmplitude, Asymmetry };
+[[nodiscard]] DetectionChannel expected_detection(TankFault fault);
+[[nodiscard]] std::string to_string(DetectionChannel channel);
+
+// Parameters describing *how bad* a parametric fault is.
+struct FaultSeverity {
+  double resistance_factor = 5.0;   // Rs multiplier for IncreasedResistance
+  double shorted_turn_fraction = 0.5;  // fraction of turns shorted
+  double capacitance_factor = 0.2;  // remaining fraction for DegradedCosc1
+  // Residual capacitance when a capacitor is "missing" (pin parasitics).
+  double parasitic_capacitance = 10e-12;
+};
+
+// Structural effects that the ODE model must apply in addition to the
+// parameter changes (a broken loop cannot be expressed as an RLC value).
+struct FaultedTank {
+  TankConfig config;
+  bool loop_open = false;          // inductor branch disconnected
+  bool pin1_grounded = false;      // LC1 clamped to ground
+  bool pin2_grounded = false;
+  bool pin1_to_supply = false;     // LC1 clamped to the supply rail
+};
+
+// Apply a fault to a healthy tank configuration.
+[[nodiscard]] FaultedTank apply_fault(const TankConfig& healthy, TankFault fault,
+                                      const FaultSeverity& severity = {});
+
+}  // namespace lcosc::tank

@@ -1,0 +1,54 @@
+#include "waveform/csv_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os << "time," << (trace.name().empty() ? std::string("value") : trace.name()) << '\n';
+  os.precision(12);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    os << trace.time(i) << ',' << trace.value(i) << '\n';
+  }
+}
+
+void write_traces_csv(std::ostream& os, const std::vector<Trace>& traces) {
+  LCOSC_REQUIRE(!traces.empty(), "no traces to write");
+  // Union of all time stamps.
+  std::vector<double> times;
+  for (const auto& t : traces) {
+    times.insert(times.end(), t.times().begin(), t.times().end());
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  os << "time";
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    os << ',' << (traces[c].name().empty() ? "trace" + std::to_string(c) : traces[c].name());
+  }
+  os << '\n';
+  os.precision(12);
+  for (const double t : times) {
+    os << t;
+    for (const auto& trace : traces) os << ',' << trace.sample_at(t);
+    os << '\n';
+  }
+}
+
+void write_trace_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open file for writing: " + path);
+  write_trace_csv(os, trace);
+}
+
+void write_traces_csv_file(const std::string& path, const std::vector<Trace>& traces) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open file for writing: " + path);
+  write_traces_csv(os, traces);
+}
+
+}  // namespace lcosc

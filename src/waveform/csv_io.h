@@ -1,0 +1,23 @@
+// CSV export of traces so figure data can be plotted externally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "waveform/trace.h"
+
+namespace lcosc {
+
+// Write one trace as two columns (time,value) with a header line.
+void write_trace_csv(std::ostream& os, const Trace& trace);
+
+// Write multiple traces resampled onto the union of time stamps; missing
+// values are linearly interpolated (clamped at the ends).
+void write_traces_csv(std::ostream& os, const std::vector<Trace>& traces);
+
+// Convenience: write to a file path, throwing lcosc::Error on I/O failure.
+void write_trace_csv_file(const std::string& path, const Trace& trace);
+void write_traces_csv_file(const std::string& path, const std::vector<Trace>& traces);
+
+}  // namespace lcosc

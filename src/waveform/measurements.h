@@ -1,0 +1,56 @@
+// Scope-style measurements on Traces: amplitude, frequency, envelope,
+// settling, RMS, THD.  These are the "bench instruments" of the
+// reproduction; figure benches report numbers produced here.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "waveform/trace.h"
+
+namespace lcosc {
+
+// Peak amplitude (max |value|) over the trace (or a trailing window).
+[[nodiscard]] double peak_amplitude(const Trace& trace);
+[[nodiscard]] double peak_amplitude_tail(const Trace& trace, double tail_duration);
+
+// Peak-to-peak value over the trace.
+[[nodiscard]] double peak_to_peak(const Trace& trace);
+
+// RMS value over the trace (trapezoidal time weighting).
+[[nodiscard]] double rms(const Trace& trace);
+
+// Mean value over the trace (trapezoidal time weighting).
+[[nodiscard]] double mean(const Trace& trace);
+
+// Times of rising zero crossings (linear interpolation), relative to the
+// given threshold level.
+[[nodiscard]] std::vector<double> rising_crossings(const Trace& trace, double level = 0.0);
+
+// Average frequency from rising level-crossings over the trailing window;
+// nullopt if fewer than two crossings exist.
+[[nodiscard]] std::optional<double> estimate_frequency(const Trace& trace, double level = 0.0);
+[[nodiscard]] std::optional<double> estimate_frequency_tail(const Trace& trace,
+                                                            double tail_duration,
+                                                            double level = 0.0);
+
+// Envelope extraction: per-half-cycle peak magnitudes as a new trace
+// (sampled at the peak times).  Suitable for staircase/startup plots.
+[[nodiscard]] Trace extract_envelope(const Trace& trace, double level = 0.0);
+
+// First time after which |value - target| <= tolerance holds to the end of
+// the trace; nullopt if never settled.
+[[nodiscard]] std::optional<double> settling_time(const Trace& trace, double target,
+                                                  double tolerance);
+
+// Total harmonic distortion of a (near-)periodic signal: ratio of harmonic
+// RMS (2nd..max_harmonic) to fundamental RMS, computed by direct Fourier
+// projection over an integer number of periods at `fundamental_hz`.
+[[nodiscard]] double total_harmonic_distortion(const Trace& trace, double fundamental_hz,
+                                               int max_harmonic = 9);
+
+// Single-frequency Fourier magnitude (Goertzel-style direct projection
+// with trapezoidal weights) over the whole trace.
+[[nodiscard]] double fourier_magnitude(const Trace& trace, double frequency_hz);
+
+}  // namespace lcosc

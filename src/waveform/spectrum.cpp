@@ -1,0 +1,49 @@
+#include "waveform/spectrum.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "waveform/measurements.h"
+
+namespace lcosc {
+
+std::vector<SpectrumLine> harmonic_spectrum(const Trace& trace, double fundamental_hz,
+                                            int max_harmonic) {
+  LCOSC_REQUIRE(fundamental_hz > 0.0, "fundamental must be positive");
+  LCOSC_REQUIRE(max_harmonic >= 1, "need at least the fundamental");
+
+  std::vector<SpectrumLine> spectrum;
+  spectrum.reserve(static_cast<std::size_t>(max_harmonic));
+  const double fundamental = fourier_magnitude(trace, fundamental_hz);
+  for (int h = 1; h <= max_harmonic; ++h) {
+    SpectrumLine line;
+    line.harmonic = h;
+    line.frequency = fundamental_hz * h;
+    line.amplitude = (h == 1) ? fundamental : fourier_magnitude(trace, line.frequency);
+    line.dbc = (fundamental > 0.0 && line.amplitude > 0.0)
+                   ? 20.0 * std::log10(line.amplitude / fundamental)
+                   : -400.0;
+    spectrum.push_back(line);
+  }
+  return spectrum;
+}
+
+double worst_harmonic_dbc(const std::vector<SpectrumLine>& spectrum) {
+  double worst = -400.0;
+  for (const auto& line : spectrum) {
+    if (line.harmonic >= 2) worst = std::max(worst, line.dbc);
+  }
+  return worst;
+}
+
+double harmonic_power_ratio(const std::vector<SpectrumLine>& spectrum) {
+  double fundamental = 0.0;
+  double harmonics = 0.0;
+  for (const auto& line : spectrum) {
+    if (line.harmonic == 1) fundamental = line.amplitude;
+    else harmonics += line.amplitude * line.amplitude;
+  }
+  return fundamental > 0.0 ? harmonics / (fundamental * fundamental) : 0.0;
+}
+
+}  // namespace lcosc

@@ -1,0 +1,37 @@
+// Harmonic spectrum analysis -- the EMC view of the driver currents.
+//
+// The paper's abstract claims "low EMC emissions"; the mechanism is that
+// the driver only replaces tank losses with a limited current while the
+// high-Q tank filters the harmonics, so the coil current (what actually
+// radiates) is nearly sinusoidal even though the driver current clips.
+// These helpers quantify that: per-harmonic amplitudes and dBc levels of
+// any trace, by direct Fourier projection over whole periods.
+#pragma once
+
+#include <vector>
+
+#include "waveform/trace.h"
+
+namespace lcosc {
+
+struct SpectrumLine {
+  int harmonic = 0;        // 1 = fundamental
+  double frequency = 0.0;  // [Hz]
+  double amplitude = 0.0;  // peak amplitude of the component
+  double dbc = 0.0;        // level relative to the fundamental [dB]
+};
+
+// Amplitudes of harmonics 1..max_harmonic of a (near-)periodic trace.
+[[nodiscard]] std::vector<SpectrumLine> harmonic_spectrum(const Trace& trace,
+                                                          double fundamental_hz,
+                                                          int max_harmonic = 9);
+
+// Worst (largest) harmonic level above the fundamental, in dBc; returns
+// -inf-like -400 dB when all harmonics vanish.
+[[nodiscard]] double worst_harmonic_dbc(const std::vector<SpectrumLine>& spectrum);
+
+// Total harmonic power ratio: sum of squared harmonic amplitudes over the
+// squared fundamental (THD^2).
+[[nodiscard]] double harmonic_power_ratio(const std::vector<SpectrumLine>& spectrum);
+
+}  // namespace lcosc

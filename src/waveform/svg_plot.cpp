@@ -1,0 +1,194 @@
+#include "waveform/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lcosc {
+namespace {
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 50;
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                          "#9467bd", "#8c564b", "#17becf"};
+
+// Round a span endpoint to a "nice" number for axis labels.
+double nice_number(double x, bool round_up) {
+  if (x == 0.0) return 0.0;
+  const double exp10 = std::floor(std::log10(std::abs(x)));
+  const double f = std::abs(x) / std::pow(10.0, exp10);
+  double nf = 0.0;
+  if (round_up) {
+    nf = f <= 1.0 ? 1.0 : f <= 2.0 ? 2.0 : f <= 5.0 ? 5.0 : 10.0;
+  } else {
+    nf = f < 1.5 ? 1.0 : f < 3.0 ? 2.0 : f < 7.0 ? 5.0 : 10.0;
+  }
+  return std::copysign(nf * std::pow(10.0, exp10), x);
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgSeries SvgSeries::from_trace(const Trace& trace, std::string label) {
+  SvgSeries s;
+  s.label = label.empty() ? trace.name() : std::move(label);
+  s.points.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    s.points.emplace_back(trace.time(i), trace.value(i));
+  }
+  return s;
+}
+
+std::string render_svg_plot(const std::vector<SvgSeries>& series,
+                            const SvgPlotOptions& options) {
+  LCOSC_REQUIRE(!series.empty(), "SVG plot needs at least one series");
+
+  // Data extents.
+  double x_min = 1e300, x_max = -1e300, y_min = 1e300, y_max = -1e300;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (options.log_y && y <= 0.0) continue;
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      const double yv = options.log_y ? std::log10(y) : y;
+      y_min = std::min(y_min, yv);
+      y_max = std::max(y_max, yv);
+    }
+  }
+  LCOSC_REQUIRE(x_min <= x_max && y_min <= y_max, "SVG plot has no drawable points");
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) {
+    y_max += 0.5;
+    y_min -= 0.5;
+  }
+  if (!options.log_y) {
+    y_min = nice_number(y_min, false) == y_min ? y_min : y_min - 0.05 * (y_max - y_min);
+    y_max = y_max + 0.05 * (y_max - y_min);
+  }
+
+  const double plot_w = options.width - kMarginLeft - kMarginRight;
+  const double plot_h = options.height - kMarginTop - kMarginBottom;
+  auto px = [&](double x) {
+    return kMarginLeft + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  auto py = [&](double y) {
+    const double yv = options.log_y ? std::log10(y) : y;
+    return kMarginTop + (1.0 - (yv - y_min) / (y_max - y_min)) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options.width << "' height='"
+      << options.height << "' viewBox='0 0 " << options.width << ' ' << options.height
+      << "'>\n";
+  svg << "<rect width='100%' height='100%' fill='white'/>\n";
+  svg << "<text x='" << options.width / 2 << "' y='24' text-anchor='middle' "
+      << "font-family='sans-serif' font-size='16'>" << escape_xml(options.title)
+      << "</text>\n";
+
+  // Axes box.
+  svg << "<rect x='" << kMarginLeft << "' y='" << kMarginTop << "' width='" << plot_w
+      << "' height='" << plot_h << "' fill='none' stroke='#444'/>\n";
+
+  // Grid and ticks: 6 divisions on each axis.
+  for (int i = 0; i <= 6; ++i) {
+    const double fx = x_min + (x_max - x_min) * i / 6.0;
+    const double gx = px(fx);
+    svg << "<line x1='" << gx << "' y1='" << kMarginTop << "' x2='" << gx << "' y2='"
+        << kMarginTop + plot_h << "' stroke='#ddd'/>\n";
+    svg << "<text x='" << gx << "' y='" << kMarginTop + plot_h + 18
+        << "' text-anchor='middle' font-family='sans-serif' font-size='11'>"
+        << format_tick(fx) << "</text>\n";
+
+    const double fy = y_min + (y_max - y_min) * i / 6.0;
+    const double gy = kMarginTop + (1.0 - static_cast<double>(i) / 6.0) * plot_h;
+    svg << "<line x1='" << kMarginLeft << "' y1='" << gy << "' x2='" << kMarginLeft + plot_w
+        << "' y2='" << gy << "' stroke='#ddd'/>\n";
+    const double label = options.log_y ? std::pow(10.0, fy) : fy;
+    svg << "<text x='" << kMarginLeft - 6 << "' y='" << gy + 4
+        << "' text-anchor='end' font-family='sans-serif' font-size='11'>"
+        << format_tick(label) << "</text>\n";
+  }
+
+  // Axis labels.
+  svg << "<text x='" << kMarginLeft + plot_w / 2 << "' y='" << options.height - 10
+      << "' text-anchor='middle' font-family='sans-serif' font-size='13'>"
+      << escape_xml(options.x_label) << "</text>\n";
+  svg << "<text x='16' y='" << kMarginTop + plot_h / 2
+      << "' text-anchor='middle' font-family='sans-serif' font-size='13' "
+      << "transform='rotate(-90 16 " << kMarginTop + plot_h / 2 << ")'>"
+      << escape_xml(options.y_label) << "</text>\n";
+
+  // Series.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char* color = kPalette[si % (sizeof(kPalette) / sizeof(kPalette[0]))];
+    std::ostringstream path;
+    bool pen_down = false;
+    for (const auto& [x, y] : series[si].points) {
+      if (options.log_y && y <= 0.0) {
+        pen_down = false;  // break the line at non-plottable points
+        continue;
+      }
+      path << (pen_down ? 'L' : 'M') << px(x) << ' ' << py(y) << ' ';
+      pen_down = true;
+    }
+    svg << "<path d='" << path.str() << "' fill='none' stroke='" << color
+        << "' stroke-width='1.6'/>\n";
+    if (options.markers) {
+      for (const auto& [x, y] : series[si].points) {
+        if (options.log_y && y <= 0.0) continue;
+        svg << "<circle cx='" << px(x) << "' cy='" << py(y) << "' r='2.4' fill='" << color
+            << "'/>\n";
+      }
+    }
+    // Legend entry.
+    const int ly = kMarginTop + 14 + static_cast<int>(si) * 16;
+    svg << "<line x1='" << kMarginLeft + plot_w - 120 << "' y1='" << ly << "' x2='"
+        << kMarginLeft + plot_w - 100 << "' y2='" << ly << "' stroke='" << color
+        << "' stroke-width='2'/>\n";
+    svg << "<text x='" << kMarginLeft + plot_w - 94 << "' y='" << ly + 4
+        << "' font-family='sans-serif' font-size='11'>" << escape_xml(series[si].label)
+        << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_svg_plot(const std::string& path, const std::vector<SvgSeries>& series,
+                    const SvgPlotOptions& options) {
+  const std::filesystem::path file(path);
+  if (file.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(file.parent_path(), ec);
+  }
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open SVG file for writing: " + path);
+  os << render_svg_plot(series, options);
+}
+
+}  // namespace lcosc

@@ -1,0 +1,39 @@
+// Dependency-free SVG line plots, so the figure benches can emit actual
+// plot files (artifacts/figXX.svg) next to their ASCII tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "waveform/trace.h"
+
+namespace lcosc {
+
+struct SvgSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+
+  // Convenience: build from a Trace.
+  static SvgSeries from_trace(const Trace& trace, std::string label = "");
+};
+
+struct SvgPlotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  int width = 800;
+  int height = 480;
+  bool log_y = false;   // base-10 log scale (positive values only)
+  bool markers = false; // draw point markers in addition to lines
+};
+
+// Render the series as an SVG document string.
+[[nodiscard]] std::string render_svg_plot(const std::vector<SvgSeries>& series,
+                                          const SvgPlotOptions& options);
+
+// Render and write to a file; creates the parent directory if needed.
+// Throws lcosc::Error on I/O failure.
+void write_svg_plot(const std::string& path, const std::vector<SvgSeries>& series,
+                    const SvgPlotOptions& options);
+
+}  // namespace lcosc

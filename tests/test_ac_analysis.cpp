@@ -1,0 +1,203 @@
+// Small-signal AC analysis: complex LU, filters, resonance curves, and
+// linearized nonlinear devices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "numeric/complex_lu.h"
+#include "spice/ac_solver.h"
+#include "spice/mutual_coupling.h"
+#include "spice/sweep.h"
+#include "tank/rlc_tank.h"
+
+namespace lcosc::spice {
+namespace {
+
+using namespace lcosc::literals;
+
+TEST(ComplexLu, SolvesComplexSystem) {
+  ComplexMatrix a(2, 2);
+  a(0, 0) = {1.0, 1.0};
+  a(0, 1) = {0.0, 0.0};
+  a(1, 0) = {0.0, 0.0};
+  a(1, 1) = {0.0, 2.0};
+  const ComplexVector x = solve_complex_system(a, {{2.0, 0.0}, {0.0, 4.0}});
+  // (1+j) x0 = 2 -> x0 = 1 - j ; 2j x1 = 4j -> x1 = 2.
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 2.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), 0.0, 1e-12);
+}
+
+TEST(ComplexLu, PivotsAndDetectsSingular) {
+  ComplexMatrix a(2, 2);
+  a(0, 0) = {0.0, 0.0};
+  a(0, 1) = {1.0, 0.0};
+  a(1, 0) = {1.0, 0.0};
+  a(1, 1) = {0.0, 0.0};
+  const ComplexVector x = solve_complex_system(a, {{3.0, 0.0}, {5.0, 0.0}});
+  EXPECT_NEAR(x[0].real(), 5.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 3.0, 1e-12);
+
+  ComplexMatrix s(2, 2);
+  s(0, 0) = {1.0, 0.0};
+  s(0, 1) = {2.0, 0.0};
+  s(1, 0) = {2.0, 0.0};
+  s(1, 1) = {4.0, 0.0};
+  EXPECT_TRUE(ComplexLu(s).singular());
+}
+
+TEST(ComplexLu, RoundTripMultiply) {
+  ComplexMatrix a(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = {0.3 * static_cast<double>(r) - 0.2 * static_cast<double>(c),
+                 0.1 * static_cast<double>(r + c)};
+    }
+    a(r, r) += Complex{3.0, 1.0};
+  }
+  const ComplexVector x_true = {{1.0, -1.0}, {0.5, 2.0}, {-2.0, 0.0}};
+  const ComplexVector b = a.multiply(x_true);
+  const ComplexVector x = solve_complex_system(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(AcAnalysis, RcLowPassPole) {
+  Circuit c;
+  auto& vin = c.voltage_source("Vin", "in", "0", 0.0);
+  vin.set_ac_magnitude(1.0);
+  c.resistor("R1", "in", "out", 1e3);
+  c.capacitor("C1", "out", "0", 1e-9);  // f_3dB = 1/(2 pi RC) ~ 159 kHz
+  c.finalize();
+  const Vector dc_op(c.unknown_count(), 0.0);
+
+  const double f3db = 1.0 / (kTwoPi * 1e3 * 1e-9);
+  const auto points = ac_sweep(c, dc_op, {f3db / 100.0, f3db, f3db * 100.0});
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) ASSERT_TRUE(p.ok);
+  // Passband: |H| ~ 1; at the pole: 1/sqrt(2); far above: ~ f3db/f.
+  EXPECT_NEAR(std::abs(points[0].voltage(c, "out")), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(points[1].voltage(c, "out")), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::abs(points[2].voltage(c, "out")), 0.01, 1e-3);
+  // Phase at the pole: -45 degrees.
+  EXPECT_NEAR(std::arg(points[1].voltage(c, "out")), -kPi / 4.0, 1e-3);
+}
+
+TEST(AcAnalysis, InductorImpedanceRises) {
+  Circuit c;
+  auto& probe = c.current_source("Iprobe", "0", "a", 0.0);
+  c.inductor("L1", "a", "0", 1e-6);
+  c.finalize();
+  const Vector dc_op(c.unknown_count(), 0.0);
+  const auto curve = measure_impedance(c, probe, "a", "0", dc_op, {1e6, 2e6});
+  // |Z| = wL.
+  EXPECT_NEAR(std::abs(curve[0].impedance), kTwoPi * 1e6 * 1e-6, 1e-3);
+  EXPECT_NEAR(std::abs(curve[1].impedance) / std::abs(curve[0].impedance), 2.0, 1e-3);
+  // Purely reactive: +90 degrees.
+  EXPECT_NEAR(std::arg(curve[0].impedance), kPi / 2.0, 1e-3);
+}
+
+TEST(AcAnalysis, TankResonanceMatchesRlcModel) {
+  // Build the paper's tank as a netlist and compare the AC resonance and
+  // bandwidth-Q with the analytic RlcTank numbers.
+  const tank::TankConfig cfg = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  const tank::RlcTank model(cfg);
+
+  Circuit c;
+  auto& probe = c.current_source("Iprobe", "lc2", "lc1", 0.0);
+  c.capacitor("C1", "lc1", "0", cfg.capacitance1);
+  c.capacitor("C2", "lc2", "0", cfg.capacitance2);
+  c.inductor("L", "lc1", "mid", cfg.inductance);
+  c.resistor("Rs", "mid", "lc2", cfg.series_resistance);
+  c.finalize();
+  const Vector dc_op(c.unknown_count(), 0.0);
+
+  const auto freqs = linspace(3.6e6, 4.4e6, 401);
+  const auto curve = measure_impedance(c, probe, "lc1", "lc2", dc_op, freqs);
+  const ResonanceSummary res = summarize_resonance(curve);
+
+  EXPECT_NEAR(res.peak_frequency, model.resonance_frequency(),
+              model.resonance_frequency() * 0.01);
+  EXPECT_NEAR(res.peak_magnitude, model.parallel_resistance(),
+              model.parallel_resistance() * 0.05);
+  EXPECT_NEAR(res.quality_factor, model.quality_factor(), model.quality_factor() * 0.10);
+}
+
+TEST(AcAnalysis, MosfetCommonSourceGain) {
+  // Common-source amplifier: |gain| = gm * (RL || ro) at the DC op point.
+  Circuit c;
+  c.voltage_source("Vdd", "vdd", "0", 5.0);
+  auto& vin = c.voltage_source("Vin", "g", "0", 1.2);
+  vin.set_ac_magnitude(1.0);
+  c.resistor("RL", "vdd", "d", 10e3);
+  auto& m1 = c.mosfet("M1", "d", "g", "0", "0", nmos_035um(10.0));
+  const DcSolution op = solve_dc(c);
+  ASSERT_TRUE(op.converged);
+
+  const MosfetEval eval = Mosfet::evaluate_channel(
+      op.voltage(c, "d"), op.voltage(c, "g"), 0.0, 0.0, m1.params());
+  const double expected =
+      eval.gm * 1.0 / (1.0 / 10e3 + eval.gds);
+
+  const auto points = ac_sweep(c, op.x, {1e3});
+  ASSERT_TRUE(points[0].ok);
+  EXPECT_NEAR(std::abs(points[0].voltage(c, "d")), expected, expected * 1e-3);
+  // Inverting stage: output 180 degrees from input.
+  EXPECT_NEAR(std::abs(std::arg(points[0].voltage(c, "d"))), kPi, 1e-3);
+}
+
+TEST(AcAnalysis, DiodeSmallSignalConductance) {
+  Circuit c;
+  c.current_source("Ibias", "0", "a", 1e-3);
+  auto& probe = c.current_source("Iprobe", "0", "a", 0.0);
+  c.diode("D1", "a", "0");
+  const DcSolution op = solve_dc(c);
+  ASSERT_TRUE(op.converged);
+  const auto curve = measure_impedance(c, probe, "a", "0", op.x, {1e3});
+  // rd = nVt / Id ~ 25.85 ohm at 1 mA.
+  EXPECT_NEAR(std::abs(curve[0].impedance), 0.02585 / 1e-3, 0.5);
+}
+
+TEST(AcAnalysis, MutualCouplingTransformer) {
+  // Loosely loaded transformer in AC: |v_secondary / v_primary| equals
+  // k sqrt(L2/L1) well above the secondary's corner frequency.
+  Circuit c;
+  auto& vin = c.voltage_source("Vin", "in", "0", 0.0);
+  vin.set_ac_magnitude(1.0);
+  c.resistor("Rsrc", "in", "p", 10.0);
+  auto& l1 = c.add<Inductor>("L1", c.node_or_create("p"), Circuit::ground(), 100e-6);
+  auto& l2 = c.add<Inductor>("L2", c.node_or_create("s"), Circuit::ground(), 400e-6);
+  c.resistor("Rload", "s", "0", 1e6);
+  c.add<MutualCoupling>("K1", l1, l2, 0.8);
+  c.finalize();
+  const Vector dc_op(c.unknown_count(), 0.0);
+  const auto points = ac_sweep(c, dc_op, {4e6});
+  ASSERT_TRUE(points[0].ok);
+  const double ratio = std::abs(points[0].voltage(c, "s")) /
+                       std::abs(points[0].voltage(c, "p"));
+  EXPECT_NEAR(ratio, 0.8 * 2.0, 0.05);
+}
+
+TEST(AcAnalysis, SourcesAreAcGroundByDefault) {
+  Circuit c;
+  c.voltage_source("Vdd", "vdd", "0", 5.0);  // no AC magnitude
+  c.resistor("R1", "vdd", "out", 1e3);
+  c.resistor("R2", "out", "0", 1e3);
+  c.finalize();
+  const DcSolution op = solve_dc(c);
+  const auto points = ac_sweep(c, op.x, {1e3});
+  ASSERT_TRUE(points[0].ok);
+  EXPECT_NEAR(std::abs(points[0].voltage(c, "out")), 0.0, 1e-9);
+}
+
+TEST(AcAnalysis, ResonanceSummaryRejectsTinyCurves) {
+  EXPECT_THROW(summarize_resonance({}), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::spice

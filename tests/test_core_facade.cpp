@@ -1,0 +1,119 @@
+// The public facade: LcOscillatorDriver.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/lc_oscillator.h"
+
+namespace lcosc {
+namespace {
+
+using namespace lcosc::literals;
+
+LcOscillatorConfig quick_config() {
+  LcOscillatorConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.regulation.tick_period = 0.25e-3;
+  cfg.waveform_decimation = 0;
+  return cfg;
+}
+
+TEST(Facade, DefaultConfigConstructs) {
+  LcOscillatorDriver osc;
+  EXPECT_GT(osc.tank_model().quality_factor(), 1.0);
+}
+
+TEST(Facade, StartupRunSettles) {
+  LcOscillatorDriver osc(quick_config());
+  const auto r = osc.run_startup(25e-3);
+  EXPECT_NEAR(r.settled_amplitude(), 2.7, 2.7 * 0.08);
+  EXPECT_FALSE(r.final_faults.any());
+}
+
+TEST(Facade, PredictedAmplitudeGrowsWithCode) {
+  LcOscillatorDriver osc(quick_config());
+  const auto a_small = osc.predicted_amplitude(32);
+  const auto a_large = osc.predicted_amplitude(64);
+  ASSERT_TRUE(a_small && a_large);
+  EXPECT_GT(*a_large, *a_small);
+}
+
+TEST(Facade, ExpectedSettlingCodeNearSimulation) {
+  LcOscillatorDriver osc(quick_config());
+  const auto expected = osc.expected_settling_code();
+  ASSERT_TRUE(expected.has_value());
+  const auto r = osc.run_startup(30e-3);
+  EXPECT_NEAR(r.final_code, *expected, 2.0);
+}
+
+TEST(Facade, ExpectedSupplyCurrentInPaperRange) {
+  // Across tank qualities the estimate spans the Section 9 envelope.
+  LcOscillatorConfig good = quick_config();
+  good.tank = tank::design_tank(4.0_MHz, 150.0, 3.3_uH);
+  LcOscillatorConfig poor = quick_config();
+  // Q below ~5 at this coil exceeds the 10 mS gm envelope; Q=5 is the
+  // paper's "poor resonator" corner for this inductance.
+  poor.tank = tank::design_tank(4.0_MHz, 5.0, 3.3_uH);
+  const double i_good = LcOscillatorDriver(good).expected_supply_current();
+  const double i_poor = LcOscillatorDriver(poor).expected_supply_current();
+  EXPECT_LT(i_good, 1e-3);
+  EXPECT_GT(i_poor, 2e-3);
+  EXPECT_LT(i_poor, 35e-3);
+}
+
+TEST(Facade, FaultRunEntersSafeState) {
+  LcOscillatorDriver osc(quick_config());
+  const auto r = osc.run_with_fault(16e-3, tank::TankFault::OpenCoil, 8e-3);
+  EXPECT_TRUE(r.final_faults.missing_oscillation);
+  EXPECT_EQ(r.final_code, 127);
+}
+
+TEST(Facade, EnvelopeRunMatchesStartup) {
+  LcOscillatorDriver osc(quick_config());
+  const auto fast = osc.run_envelope(25e-3);
+  const auto slow = osc.run_startup(25e-3);
+  EXPECT_NEAR(fast.settled_amplitude(), slow.settled_amplitude(),
+              slow.settled_amplitude() * 0.06);
+}
+
+TEST(Facade, MismatchSeedIsApplied) {
+  LcOscillatorConfig cfg = quick_config();
+  cfg.mismatch_seed = 424242;
+  LcOscillatorDriver osc(cfg);
+  LcOscillatorDriver ideal(quick_config());
+  const auto a_mismatched = osc.predicted_amplitude(96);
+  const auto a_ideal = ideal.predicted_amplitude(96);
+  ASSERT_TRUE(a_mismatched && a_ideal);
+  EXPECT_NE(*a_mismatched, *a_ideal);
+  EXPECT_NEAR(*a_mismatched, *a_ideal, *a_ideal * 0.15);
+}
+
+TEST(Facade, ScenarioApiRunsEvents) {
+  LcOscillatorDriver osc(quick_config());
+  // The safe state parks the code at 127; after recovery the loop walks
+  // back down one code per tick, so give it time to re-settle.
+  const auto r = osc.run_scenario(
+      45e-3, {{8e-3, system::FaultEvent{tank::TankFault::OpenCoil, {}}},
+              {14e-3, system::RecoveryEvent{}}});
+  EXPECT_FALSE(r.final_faults.any());
+  EXPECT_NEAR(r.settled_amplitude(0.1), 2.7, 2.7 * 0.10);
+}
+
+TEST(Facade, ToleranceApiReportsYield) {
+  LcOscillatorConfig cfg = quick_config();
+  LcOscillatorDriver osc(cfg);
+  const auto report = osc.run_tolerance(15);
+  EXPECT_EQ(report.samples.size(), 15u);
+  EXPECT_DOUBLE_EQ(report.yield(), 1.0);
+  const auto stats = report.amplitude_statistics();
+  EXPECT_NEAR(stats.median, 2.7, 0.2);
+}
+
+TEST(Facade, InvalidTankRejectedEarly) {
+  LcOscillatorConfig cfg;
+  cfg.tank.inductance = -1.0;
+  EXPECT_THROW(LcOscillatorDriver{cfg}, ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc

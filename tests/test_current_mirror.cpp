@@ -1,0 +1,173 @@
+// The physical current-mirror DAC with mismatch: reproduces the
+// "measured" behaviour of Figs. 13-14 including the non-monotonic code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "dac/current_mirror.h"
+#include "dac/exponential_dac.h"
+
+namespace lcosc::dac {
+namespace {
+
+MismatchConfig zero_mismatch() {
+  MismatchConfig cfg;
+  cfg.unit_sigma = 0.0;
+  cfg.prescaler_sigma = 0.0;
+  cfg.reference_sigma = 0.0;
+  return cfg;
+}
+
+TEST(CurrentMirror, ZeroMismatchMatchesIdeal) {
+  const CurrentLimitationDac dac(kDacUnitCurrent, zero_mismatch(), 1);
+  const PwlExponentialDac ideal;
+  for (int code = 0; code <= 127; ++code) {
+    EXPECT_NEAR(dac.output_current(code), ideal.current(code), 1e-15) << "code " << code;
+    EXPECT_NEAR(dac.top_current(code), dac.bottom_current(code), 1e-18);
+  }
+}
+
+TEST(CurrentMirror, DeterministicFromSeed) {
+  const MismatchConfig cfg;
+  const CurrentLimitationDac a(kDacUnitCurrent, cfg, 77);
+  const CurrentLimitationDac b(kDacUnitCurrent, cfg, 77);
+  for (int code = 0; code <= 127; code += 11) {
+    EXPECT_DOUBLE_EQ(a.output_current(code), b.output_current(code));
+  }
+}
+
+TEST(CurrentMirror, TopAndBottomAreIndependentDraws) {
+  const CurrentLimitationDac dac(kDacUnitCurrent, {}, 5);
+  bool any_difference = false;
+  for (int code = 1; code <= 127; ++code) {
+    if (std::abs(dac.top_current(code) - dac.bottom_current(code)) >
+        1e-9 * dac.top_current(code)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CurrentMirror, MismatchIsBoundedByConfig) {
+  MismatchConfig cfg;
+  cfg.unit_sigma = 0.02;
+  cfg.prescaler_sigma = 0.01;
+  cfg.reference_sigma = 0.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const CurrentLimitationDac dac(kDacUnitCurrent, cfg, seed);
+    for (int code = 1; code <= 127; code += 7) {
+      const double rel_err =
+          std::abs(dac.output_current(code) - dac.ideal_current(code)) /
+          dac.ideal_current(code);
+      // 2% unit sigma, averaged over many devices: total well below 10%.
+      EXPECT_LT(rel_err, 0.10) << "seed " << seed << " code " << code;
+    }
+  }
+}
+
+TEST(CurrentMirror, ReferenceErrorIsPureGain) {
+  MismatchConfig cfg = zero_mismatch();
+  cfg.reference_sigma = 0.05;
+  const CurrentLimitationDac dac(kDacUnitCurrent, cfg, 3);
+  const double gain = dac.output_current(64) / dac.ideal_current(64);
+  for (int code = 1; code <= 127; code += 9) {
+    EXPECT_NEAR(dac.output_current(code) / dac.ideal_current(code), gain, 1e-12);
+  }
+  // A pure gain error can never create non-monotonicity.
+  EXPECT_TRUE(dac.non_monotonic_codes().empty());
+}
+
+TEST(CurrentMirror, SeedSearchReproducesCode96Anomaly) {
+  // The silicon of the paper is non-monotonic at code 96 (Fig. 14).
+  const std::uint64_t seed = find_seed_with_single_negative_step(96);
+  const CurrentLimitationDac dac(kDacUnitCurrent, {}, seed);
+  const auto bad = dac.non_monotonic_codes();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad.front(), 96);
+  EXPECT_LT(dac.relative_step(95), 0.0);  // the step INTO code 96
+}
+
+TEST(CurrentMirror, NonMonotonicityPrefersMajorCarries) {
+  // Monte Carlo: non-monotonic steps should concentrate at segment
+  // boundaries where the branch set changes most.
+  const auto stats = monte_carlo_non_monotonicity(400);
+  double carry_total = 0.0;
+  for (const auto& [code, p] : stats) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    carry_total += p;
+  }
+  // With default sigmas some carries do go backwards occasionally.
+  EXPECT_GT(carry_total, 0.0);
+
+  // Within-segment steps essentially never go backwards: check a few.
+  int within_hits = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const CurrentLimitationDac dac(kDacUnitCurrent, {}, seed);
+    for (const int code : {20, 40, 70, 100}) {
+      if (dac.output_current(code + 1) <= dac.output_current(code)) ++within_hits;
+    }
+  }
+  EXPECT_EQ(within_hits, 0);
+}
+
+TEST(CurrentMirror, MoreMismatchMoreNonMonotonic) {
+  MismatchConfig low;
+  low.unit_sigma = 0.002;
+  low.prescaler_sigma = 0.001;
+  MismatchConfig high;
+  high.unit_sigma = 0.06;
+  high.prescaler_sigma = 0.03;
+  const auto stats_low = monte_carlo_non_monotonicity(300, low);
+  const auto stats_high = monte_carlo_non_monotonicity(300, high);
+  double total_low = 0.0;
+  double total_high = 0.0;
+  for (const auto& [c, p] : stats_low) total_low += p;
+  for (const auto& [c, p] : stats_high) total_high += p;
+  EXPECT_GT(total_high, total_low);
+}
+
+TEST(CurrentMirror, RegulationToleranceBound) {
+  // Section 4: "The maximum step must only remain below a limit given by
+  // the regulation window".  Even mismatched, steps above code 16 stay
+  // well under the 10% default window for typical sigmas.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const CurrentLimitationDac dac(kDacUnitCurrent, {}, seed);
+    for (int code = 16; code < 127; ++code) {
+      EXPECT_LT(dac.relative_step(code), 0.10)
+          << "seed " << seed << " code " << code;
+    }
+  }
+}
+
+TEST(MirrorBank, IdealDefaultFactors) {
+  const MirrorBank bank;
+  for (const double f : bank.fixed_factors()) EXPECT_DOUBLE_EQ(f, 1.0);
+  for (const double f : bank.binary_factors()) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(MirrorBank, LargerBranchesMatchBetter) {
+  // sigma scales as 1/sqrt(weight): across many draws the 64-unit branch
+  // must be tighter than the 1-unit branch.
+  MismatchConfig cfg;
+  cfg.unit_sigma = 0.05;
+  double var1 = 0.0;
+  double var64 = 0.0;
+  const int n = 500;
+  Rng rng(42);
+  for (int i = 0; i < n; ++i) {
+    Rng branch_rng = rng.fork(static_cast<std::uint64_t>(i));
+    const MirrorBank bank(cfg, branch_rng);
+    const double e1 = bank.binary_factors()[0] - 1.0;   // weight 1
+    const double e64 = bank.binary_factors()[6] - 1.0;  // weight 64
+    var1 += e1 * e1;
+    var64 += e64 * e64;
+  }
+  EXPECT_GT(var1 / var64, 16.0);  // expect ~64x, allow slack
+}
+
+}  // namespace
+}  // namespace lcosc::dac

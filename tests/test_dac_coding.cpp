@@ -1,0 +1,150 @@
+// Bit-exact reproduction of Table 1: the control-bus coding of the
+// current limitation DAC.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dac/control_code.h"
+
+namespace lcosc::dac {
+namespace {
+
+// The eight rows of Table 1 as printed in the paper.
+struct Table1Row {
+  int segment;
+  int prescaler_output;
+  int active_gm;
+  int step;
+  int range_min;
+  int range_max;
+  std::uint8_t osc_d;
+  std::uint8_t osc_e;
+};
+
+constexpr Table1Row kTable1[] = {
+    {0, 1, 1, 1, 0, 15, 0b000, 0b0000},
+    {1, 1, 2, 1, 16, 31, 0b000, 0b0001},
+    {2, 2, 2, 2, 32, 62, 0b001, 0b0001},
+    {3, 2, 3, 4, 64, 124, 0b001, 0b0011},
+    {4, 4, 3, 8, 128, 248, 0b011, 0b0011},
+    {5, 4, 5, 16, 256, 496, 0b011, 0b0111},
+    {6, 8, 5, 32, 512, 992, 0b111, 0b0111},
+    {7, 8, 9, 64, 1024, 1984, 0b111, 0b1111},
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Test, RowMatchesPaper) {
+  const Table1Row& row = GetParam();
+  const int base_code = row.segment * 16;
+  const ControlSignals s = encode_control(base_code);
+
+  EXPECT_EQ(s.osc_d, row.osc_d);
+  EXPECT_EQ(s.osc_e, row.osc_e);
+  EXPECT_EQ(prescale_factor(s.osc_d), row.prescaler_output);
+  EXPECT_EQ(active_gm_stages(s.osc_e), row.active_gm);
+  EXPECT_EQ(segment_step(row.segment), row.step);
+  EXPECT_EQ(segment_range_min(row.segment), row.range_min);
+  EXPECT_EQ(segment_range_max(row.segment), row.range_max);
+}
+
+TEST_P(Table1Test, StepIsConstantWithinSegment) {
+  const Table1Row& row = GetParam();
+  for (int b = 0; b < 15; ++b) {
+    const int code = row.segment * 16 + b;
+    EXPECT_EQ(multiplication_factor(code + 1) - multiplication_factor(code), row.step)
+        << "code " << code;
+  }
+}
+
+TEST_P(Table1Test, OscFCarriesShiftedLsbs) {
+  const Table1Row& row = GetParam();
+  for (int b = 0; b < 16; ++b) {
+    const ControlSignals s = encode_control(row.segment * 16 + b);
+    EXPECT_EQ(s.osc_f, b << mirror_shift(row.segment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSegments, Table1Test, ::testing::ValuesIn(kTable1),
+                         [](const ::testing::TestParamInfo<Table1Row>& info) {
+                           return "segment" + std::to_string(info.param.segment);
+                         });
+
+TEST(ControlCode, SegmentOf) {
+  EXPECT_EQ(segment_of(0), 0);
+  EXPECT_EQ(segment_of(15), 0);
+  EXPECT_EQ(segment_of(16), 1);
+  EXPECT_EQ(segment_of(105), 6);
+  EXPECT_EQ(segment_of(127), 7);
+}
+
+TEST(ControlCode, OutOfRangeThrows) {
+  EXPECT_THROW(encode_control(-1), ConfigError);
+  EXPECT_THROW(encode_control(128), ConfigError);
+  EXPECT_THROW(segment_step(8), ConfigError);
+  EXPECT_THROW(prescale_factor(0b010), ConfigError);  // not a thermometer code
+}
+
+TEST(ControlCode, FullScaleIs1984) {
+  EXPECT_EQ(multiplication_factor(127), 1984);
+  EXPECT_EQ(multiplication_factor(0), 0);
+}
+
+TEST(ControlCode, DynamicRangeMatchesPaper) {
+  // "wide dynamic range of output current (0:1984)".
+  int max_m = 0;
+  for (int code = 0; code <= 127; ++code) max_m = std::max(max_m, multiplication_factor(code));
+  EXPECT_EQ(max_m, 1984);
+}
+
+TEST(ControlCode, ReconstructionFromSignalsMatchesDirect) {
+  for (int code = 0; code <= 127; ++code) {
+    EXPECT_EQ(multiplication_factor(encode_control(code)), multiplication_factor(code));
+  }
+}
+
+TEST(ControlCode, FixedMirrorUnits) {
+  EXPECT_EQ(fixed_mirror_units(0b0000), 0);
+  EXPECT_EQ(fixed_mirror_units(0b0001), 16);
+  EXPECT_EQ(fixed_mirror_units(0b0011), 32);
+  EXPECT_EQ(fixed_mirror_units(0b0111), 64);
+  EXPECT_EQ(fixed_mirror_units(0b1111), 128);
+}
+
+TEST(ControlCode, ActiveGmStagesWeights) {
+  // Fig. 7: always-on stage plus Gm, Gm, 2Gm, 4Gm.
+  EXPECT_EQ(active_gm_stages(0b0000), 1);
+  EXPECT_EQ(active_gm_stages(0b1111), 9);
+  EXPECT_EQ(active_gm_stages(0b0100), 3);
+  EXPECT_EQ(active_gm_stages(0b1000), 5);
+}
+
+TEST(ControlCode, MonotoneNonDecreasingBuses) {
+  // As the code rises, the prescaler and Gm-enable buses never step back.
+  for (int code = 0; code < 127; ++code) {
+    const ControlSignals a = encode_control(code);
+    const ControlSignals b = encode_control(code + 1);
+    EXPECT_GE(prescale_factor(b.osc_d), prescale_factor(a.osc_d));
+    EXPECT_GE(active_gm_stages(b.osc_e), active_gm_stages(a.osc_e));
+  }
+}
+
+TEST(ControlCode, FormatBus) {
+  const auto s = format_bus(0b011, 3);
+  EXPECT_STREQ(s.data(), "011");
+  const auto s7 = format_bus(0b1000000, 7);
+  EXPECT_STREQ(s7.data(), "1000000");
+}
+
+TEST(ControlCode, StartupCode105IsSegment6) {
+  // Code 105 (POR preset) lands in segment 6: high current but below the
+  // maximum, matching the "about 40% of maximum consumption" statement
+  // (M(105) / M(127) = 1096/1984 greater current ratio is tamed by the
+  // prescaler; the code itself is below full scale).
+  const ControlSignals s = encode_control(105);
+  EXPECT_EQ(segment_of(105), 6);
+  EXPECT_EQ(prescale_factor(s.osc_d), 8);
+  EXPECT_LT(multiplication_factor(105), multiplication_factor(127));
+}
+
+}  // namespace
+}  // namespace lcosc::dac

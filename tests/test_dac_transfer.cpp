@@ -1,0 +1,159 @@
+// The PWL exponential transfer (Figs. 3-4) and the alternative control
+// laws used by the ablation benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "dac/dac_variants.h"
+#include "dac/exponential_dac.h"
+
+namespace lcosc::dac {
+namespace {
+
+TEST(PwlDac, Fig3Endpoints) {
+  const PwlExponentialDac dac;
+  EXPECT_EQ(dac.multiplication(0), 0);
+  EXPECT_EQ(dac.multiplication(127), 1984);
+  // Log-scale span of Fig. 3: from 1 (code 1) to 1984, over 3 decades.
+  EXPECT_EQ(dac.multiplication(1), 1);
+  EXPECT_GT(std::log10(1984.0), 3.0);
+}
+
+TEST(PwlDac, Fig3SegmentBoundaries) {
+  const PwlExponentialDac dac;
+  // First code of each segment (Fig. 3 x-axis grid lines).
+  const int expected[] = {0, 16, 32, 64, 128, 256, 512, 1024};
+  for (int seg = 0; seg < 8; ++seg) {
+    EXPECT_EQ(dac.multiplication(seg * 16), expected[seg]) << "segment " << seg;
+  }
+}
+
+TEST(PwlDac, Fig4RelativeStepBounds) {
+  // "For codes above 16 the amplitude step varies between 3.23% and 6.25%."
+  const PwlExponentialDac dac;
+  for (int code = 16; code < 127; ++code) {
+    const double step = dac.relative_step(code);
+    EXPECT_GE(step, 0.0322) << "code " << code;
+    EXPECT_LE(step, 0.0626) << "code " << code;
+  }
+  EXPECT_NEAR(dac.max_relative_step(16), 0.0625, 1e-9);
+  EXPECT_NEAR(dac.min_relative_step(16), 2.0 / 62.0, 1e-9);  // 3.226%
+}
+
+TEST(PwlDac, Fig4WorstStepsAtSegmentStart) {
+  const PwlExponentialDac dac;
+  // 6.25% occurs right at the start of segments (e.g. 32 -> 34 over 32).
+  EXPECT_NEAR(dac.relative_step(32), 0.0625, 1e-12);
+  EXPECT_NEAR(dac.relative_step(64), 0.0625, 1e-12);
+  // 3.23% at the carry into the next segment (62 -> 64 over 62).
+  EXPECT_NEAR(dac.relative_step(47), 2.0 / 62.0, 1e-12);
+}
+
+TEST(PwlDac, LowCodesHaveLargeRelativeSteps) {
+  // Below code 16 the relative step exceeds the regulation window -- this
+  // is why the losses ensure operation stays above code 16 (Section 3).
+  const PwlExponentialDac dac;
+  EXPECT_DOUBLE_EQ(dac.relative_step(1), 1.0);     // 1 -> 2: 100%
+  EXPECT_GT(dac.relative_step(8), 0.12);
+}
+
+TEST(PwlDac, CurrentScalesWithUnit) {
+  const PwlExponentialDac dac(12.5e-6);
+  EXPECT_NEAR(dac.current(127), 1984 * 12.5e-6, 1e-12);  // 24.8 mA full scale
+  EXPECT_NEAR(dac.current(1), 12.5e-6, 1e-15);
+  const PwlExponentialDac dac2(25e-6);
+  EXPECT_NEAR(dac2.current(127) / dac.current(127), 2.0, 1e-12);
+}
+
+TEST(PwlDac, MonotonicIdealTransfer) {
+  EXPECT_TRUE(PwlExponentialDac().is_monotonic());
+}
+
+TEST(PwlDac, TransferTableComplete) {
+  const auto table = PwlExponentialDac().transfer_table();
+  ASSERT_EQ(table.size(), 128u);
+  EXPECT_EQ(table.front().code, 0);
+  EXPECT_EQ(table.back().multiplication, 1984);
+  // Relative step column is zero at the undefined endpoints.
+  EXPECT_DOUBLE_EQ(table.front().relative_step, 0.0);
+  EXPECT_DOUBLE_EQ(table.back().relative_step, 0.0);
+}
+
+TEST(PwlDac, ApproximatesExponentialWithin5Percent) {
+  // The whole point of the PWL approximation (Eq. 6 / Fig. 3): M(n)
+  // hugs an exponential above code 16.
+  const PwlExponentialDac dac;
+  const double delta = dac.fitted_growth_ratio();
+  EXPECT_GT(delta, 0.035);
+  EXPECT_LT(delta, 0.055);
+  EXPECT_LT(dac.max_exponential_deviation(), 0.05);
+}
+
+TEST(PwlDac, EquivalentLinearResolution) {
+  // 0..1984 needs an 11-bit linear DAC ("corresponding to a 11-bit
+  // linear DAC").
+  EXPECT_LE(kDacFullScaleUnits, (1 << kDacEquivalentLinearBits) - 1);
+  EXPECT_GT(kDacFullScaleUnits, (1 << (kDacEquivalentLinearBits - 1)) - 1);
+}
+
+TEST(PwlDac, InvalidArguments) {
+  const PwlExponentialDac dac;
+  EXPECT_THROW(dac.relative_step(0), ConfigError);
+  EXPECT_THROW(dac.relative_step(127), ConfigError);
+  EXPECT_THROW(PwlExponentialDac(0.0), ConfigError);
+}
+
+// --- control law variants (ablation inputs) --------------------------------
+
+TEST(LinearLaw, FullScaleMatchesPwl) {
+  const LinearLaw lin;
+  const PwlExponentialLaw pwl;
+  EXPECT_NEAR(lin.current(127), pwl.current(127), 1e-12);
+}
+
+TEST(LinearLaw, RelativeStepExplodesAtLowCodes) {
+  const LinearLaw lin;
+  // Step from code 1 to 2 is 100%; from 16 to 17 is 6.25%; the law cannot
+  // keep the step below the 6.25% bound over the full range.
+  EXPECT_NEAR((lin.current(2) - lin.current(1)) / lin.current(1), 1.0, 1e-12);
+  EXPECT_GT(lin.max_relative_step(1), 0.5);
+}
+
+TEST(LinearLaw, StepIsUniformAbsolute) {
+  const LinearLaw lin;
+  const double s1 = lin.current(10) - lin.current(9);
+  const double s2 = lin.current(100) - lin.current(99);
+  EXPECT_NEAR(s1, s2, 1e-15);
+}
+
+TEST(IdealExponentialLaw, MatchesPwlAnchors) {
+  const IdealExponentialLaw exp_law;
+  const PwlExponentialLaw pwl;
+  EXPECT_NEAR(exp_law.current(16), pwl.current(16), 1e-12);
+  EXPECT_NEAR(exp_law.current(127), pwl.current(127), pwl.current(127) * 1e-9);
+  EXPECT_DOUBLE_EQ(exp_law.current(0), 0.0);
+}
+
+TEST(IdealExponentialLaw, ConstantRelativeStep) {
+  const IdealExponentialLaw exp_law;
+  const double r = exp_law.growth_ratio();
+  for (int code = 20; code < 126; code += 13) {
+    const double step = (exp_law.current(code + 1) - exp_law.current(code)) /
+                        exp_law.current(code);
+    EXPECT_NEAR(step, r - 1.0, 1e-12) << "code " << code;
+  }
+  // ~4.44% per code: between the PWL extremes of Fig. 4.
+  EXPECT_GT(r - 1.0, kMinRelativeStepAbove16);
+  EXPECT_LT(r - 1.0, kMaxRelativeStepAbove16);
+}
+
+TEST(ControlLawFactory, ProducesAllKinds) {
+  EXPECT_EQ(make_control_law(ControlLawKind::PwlExponential)->name(), "pwl-exponential");
+  EXPECT_EQ(make_control_law(ControlLawKind::Linear)->name(), "linear");
+  EXPECT_EQ(make_control_law(ControlLawKind::IdealExponential)->name(), "ideal-exponential");
+}
+
+}  // namespace
+}  // namespace lcosc::dac

@@ -1,0 +1,199 @@
+// Tests for the behavioral device macro-models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "devices/bandgap.h"
+#include "devices/charge_pump.h"
+#include "devices/comparator.h"
+#include "devices/lowpass.h"
+#include "devices/rectifier.h"
+#include "devices/vref_buffer.h"
+
+namespace lcosc::devices {
+namespace {
+
+TEST(Comparator, BasicThreshold) {
+  Comparator c;
+  EXPECT_FALSE(c.update(0.0, -0.1));
+  EXPECT_TRUE(c.update(1.0, 0.1));
+  EXPECT_FALSE(c.update(2.0, -0.1));
+}
+
+TEST(Comparator, HysteresisHoldsState) {
+  Comparator c({.hysteresis = 0.2});
+  EXPECT_FALSE(c.update(0.0, 0.05));   // below +0.1 rise threshold
+  EXPECT_TRUE(c.update(1.0, 0.15));    // crosses +0.1
+  EXPECT_TRUE(c.update(2.0, -0.05));   // stays high above -0.1
+  EXPECT_FALSE(c.update(3.0, -0.15));  // falls below -0.1
+}
+
+TEST(Comparator, PropagationDelay) {
+  Comparator c({.delay = 1e-6});
+  EXPECT_FALSE(c.update(0.0, 1.0));       // edge scheduled for t=1us
+  EXPECT_FALSE(c.update(0.5e-6, 1.0));    // still propagating
+  EXPECT_TRUE(c.update(1.5e-6, 1.0));     // arrived
+}
+
+TEST(Comparator, TimeMustNotGoBackwards) {
+  Comparator c;
+  c.update(1.0, 0.0);
+  EXPECT_THROW(c.update(0.5, 0.0), ConfigError);
+}
+
+TEST(Comparator, ResetRestoresState) {
+  Comparator c;
+  c.update(0.0, 1.0);
+  c.reset(false);
+  EXPECT_FALSE(c.output());
+}
+
+TEST(WindowComparator, ThreeStates) {
+  WindowComparator w({.low_threshold = 1.0, .high_threshold = 2.0});
+  EXPECT_EQ(w.update(0.5), WindowState::Below);
+  EXPECT_EQ(w.update(1.5), WindowState::Inside);
+  EXPECT_EQ(w.update(2.5), WindowState::Above);
+  EXPECT_EQ(w.update(1.5), WindowState::Inside);
+}
+
+TEST(WindowComparator, HysteresisNearThreshold) {
+  WindowComparator w({.low_threshold = 1.0, .high_threshold = 2.0, .hysteresis = 0.2});
+  EXPECT_EQ(w.update(0.5), WindowState::Below);
+  // Needs low+h/2 = 1.1 to enter the window.
+  EXPECT_EQ(w.update(1.05), WindowState::Below);
+  EXPECT_EQ(w.update(1.15), WindowState::Inside);
+  // Needs low-h/2 = 0.9 to fall back out.
+  EXPECT_EQ(w.update(0.95), WindowState::Inside);
+  EXPECT_EQ(w.update(0.85), WindowState::Below);
+}
+
+TEST(WindowComparator, InvalidConfigRejected) {
+  EXPECT_THROW(WindowComparator({.low_threshold = 2.0, .high_threshold = 1.0}), ConfigError);
+  EXPECT_THROW(
+      WindowComparator({.low_threshold = 1.0, .high_threshold = 1.5, .hysteresis = 0.6}),
+      ConfigError);
+}
+
+TEST(LowPass, ExactExponentialStep) {
+  LowPassFilter f(1e-3);
+  f.step(1e-3, 1.0);  // one tau towards 1.0
+  EXPECT_NEAR(f.output(), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(LowPass, UnconditionallyStable) {
+  LowPassFilter f(1e-6);
+  // Step 1000x the time constant: lands exactly on the input, no blowup.
+  f.step(1e-3, 2.0);
+  EXPECT_NEAR(f.output(), 2.0, 1e-9);
+}
+
+TEST(LowPass, TracksSlowRamp) {
+  LowPassFilter f(1e-6);
+  double x = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    x = i * 1e-3;
+    f.step(1e-6, x);
+  }
+  EXPECT_NEAR(f.output(), x, 0.01);
+}
+
+TEST(Rectifier, FullWaveAverageOfSine) {
+  FullWaveRectifierFilter r({.forward_drop = 0.0, .filter_tau = 100e-6});
+  const double f = 1e5;
+  const double dt = 1e-8;
+  double t = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    r.step(dt, std::sin(kTwoPi * f * t));
+    t += dt;
+  }
+  // Mean of |sin| = 2/pi.
+  EXPECT_NEAR(r.output(), 2.0 / kPi, 0.02);
+}
+
+TEST(Rectifier, ForwardDropSubtracts) {
+  FullWaveRectifierFilter r({.forward_drop = 0.3, .filter_tau = 1e-6});
+  EXPECT_DOUBLE_EQ(r.rectify(1.0), 0.7);
+  EXPECT_DOUBLE_EQ(r.rectify(-1.0), 0.7);
+  EXPECT_DOUBLE_EQ(r.rectify(0.2), 0.0);  // below the drop
+}
+
+TEST(SynchronousRectifier, InPhaseSignalGivesDc) {
+  SynchronousRectifierFilter r(100e-6);
+  const double f = 1e5;
+  const double dt = 1e-8;
+  double t = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    const double s = std::sin(kTwoPi * f * t);
+    r.step(dt, 0.5 * s, s);  // in phase, half amplitude
+    t += dt;
+  }
+  EXPECT_NEAR(r.output(), 0.5 * 2.0 / kPi, 0.02);
+}
+
+TEST(SynchronousRectifier, QuadratureAveragesToZero) {
+  SynchronousRectifierFilter r(100e-6);
+  const double f = 1e5;
+  const double dt = 1e-8;
+  double t = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    r.step(dt, std::cos(kTwoPi * f * t), std::sin(kTwoPi * f * t));
+    t += dt;
+  }
+  EXPECT_NEAR(r.output(), 0.0, 0.02);
+}
+
+TEST(Bandgap, NominalAndCurvature) {
+  BandgapReference bg;
+  EXPECT_NEAR(bg.nominal(), 1.205, 1e-9);
+  EXPECT_DOUBLE_EQ(bg.voltage(300.0), bg.nominal());
+  // Curvature: both hot and cold are below nominal for negative curvature.
+  EXPECT_LT(bg.voltage(233.0), bg.nominal());
+  EXPECT_LT(bg.voltage(423.0), bg.nominal());
+  // Automotive range drift stays in the tens of mV.
+  EXPECT_NEAR(bg.voltage(423.0), bg.nominal(), 0.01);
+}
+
+TEST(Bandgap, TrimError) {
+  BandgapConfig cfg;
+  cfg.trim_error = 0.01;
+  BandgapReference bg(cfg);
+  EXPECT_NEAR(bg.nominal(), 1.205 * 1.01, 1e-9);
+}
+
+TEST(VrefBuffer, LinearRegion) {
+  VrefBuffer buf;
+  EXPECT_DOUBLE_EQ(buf.voltage(0.0), 2.5);
+  // 120 uA load (the paper's dual-system coupling current).
+  EXPECT_NEAR(buf.voltage(120e-6), 2.5 - 120e-6 * 50.0, 1e-9);
+  EXPECT_FALSE(buf.overloaded(120e-6));
+}
+
+TEST(VrefBuffer, ClassALimit) {
+  VrefBuffer buf;
+  EXPECT_TRUE(buf.overloaded(500e-6));
+  // Beyond the limit the droop grows catastrophically.
+  const double droop_ok = 2.5 - buf.voltage(350e-6);
+  const double droop_over = 2.5 - buf.voltage(450e-6);
+  EXPECT_GT(droop_over, droop_ok * 10.0);
+}
+
+TEST(ChargePump, RampsToTargetWhenEnabled) {
+  NegativeChargePump cp;
+  cp.set_enabled(true);
+  for (int i = 0; i < 100; ++i) cp.step(1e-6);
+  EXPECT_NEAR(cp.output(), -1.2, 0.01);
+}
+
+TEST(ChargePump, DecaysWhenDisabled) {
+  NegativeChargePump cp;
+  cp.set_enabled(true);
+  for (int i = 0; i < 100; ++i) cp.step(1e-6);
+  cp.set_enabled(false);
+  for (int i = 0; i < 100; ++i) cp.step(1e-6);
+  EXPECT_NEAR(cp.output(), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lcosc::devices

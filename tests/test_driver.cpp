@@ -1,0 +1,190 @@
+// The oscillator driver macro-model: code -> current limit / gm mapping,
+// cross-coupled outputs, amplitude prediction (Eq. 4), supply current.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "common/units.h"
+#include "dac/exponential_dac.h"
+#include "driver/oscillator_driver.h"
+#include "tank/rlc_tank.h"
+
+namespace lcosc::driver {
+namespace {
+
+using namespace lcosc::literals;
+
+TEST(Driver, CurrentLimitFollowsIdealDac) {
+  OscillatorDriver drv;
+  const dac::PwlExponentialDac ideal;
+  for (int code = 0; code <= 127; code += 17) {
+    drv.set_code(code);
+    EXPECT_NEAR(drv.current_limit(), ideal.current(code), 1e-15);
+  }
+}
+
+TEST(Driver, EquivalentGmScalesWithActiveStages) {
+  DriverConfig cfg;
+  cfg.gm_per_stage = 1.1_mS;
+  OscillatorDriver drv(cfg);
+  drv.set_code(0);  // 1 stage
+  EXPECT_NEAR(drv.equivalent_gm(), 1.1e-3, 1e-12);
+  drv.set_code(127);  // 9 stages -> ~10 mS, the paper's max
+  EXPECT_NEAR(drv.equivalent_gm(), 9.9e-3, 1e-12);
+  EXPECT_LE(drv.equivalent_gm(), kMaxEquivalentTransconductance * 1.05);
+}
+
+TEST(Driver, CrossCoupledOutputSigns) {
+  OscillatorDriver drv;
+  drv.set_code(64);
+  // v1 positive, v2 negative: stage sensing v2 pushes current INTO LC1.
+  const NodeCurrents out = drv.output(0.1, -0.1);
+  EXPECT_GT(out.into_lc1, 0.0);
+  EXPECT_LT(out.into_lc2, 0.0);
+  // Regenerative: power delivered into the differential port is positive.
+  EXPECT_GT(out.into_lc1 * 0.1 + out.into_lc2 * -0.1, 0.0);
+}
+
+TEST(Driver, OutputLimitedByDacCurrent) {
+  OscillatorDriver drv;
+  drv.set_code(32);
+  const double limit = drv.current_limit();
+  // Well inside the rail-compliance range: full limited drive available.
+  const NodeCurrents out = drv.output(1.0, -1.0);
+  EXPECT_NEAR(std::abs(out.into_lc1), limit, 1e-15);
+  EXPECT_NEAR(std::abs(out.into_lc2), limit, 1e-15);
+}
+
+TEST(Driver, OutputComplianceCollapsesAtTheRail) {
+  // The stage cannot push a pin past its supply rail: the outward current
+  // rolls off to zero at rail_headroom, while pulling back stays intact.
+  OscillatorDriver drv;
+  drv.set_code(64);
+  const double rail = DriverConfig{}.rail_headroom;
+  const NodeCurrents at_rail = drv.output(rail + 0.1, -(rail + 0.1));
+  EXPECT_DOUBLE_EQ(at_rail.into_lc1, 0.0);  // outward push gone
+  EXPECT_DOUBLE_EQ(at_rail.into_lc2, 0.0);
+  // A pin parked at the rail can still be pulled back toward Vref: with
+  // LC2 positive, the stage sinks current out of LC1 (inward), which the
+  // compliance must not block even with LC1 at the rail.
+  const NodeCurrents pull_back = drv.output(rail + 0.1, 0.5);
+  EXPECT_LT(pull_back.into_lc1, 0.0);
+}
+
+TEST(Driver, DisabledDriverIsDead) {
+  OscillatorDriver drv;
+  drv.set_code(64);
+  drv.set_enabled(false);
+  const NodeCurrents out = drv.output(1.0, -1.0);
+  EXPECT_DOUBLE_EQ(out.into_lc1, 0.0);
+  EXPECT_DOUBLE_EQ(out.into_lc2, 0.0);
+  EXPECT_DOUBLE_EQ(drv.current_limit(), 0.0);
+  EXPECT_DOUBLE_EQ(drv.supply_current(1.0), 0.0);
+}
+
+TEST(Driver, InvalidCodeRejected) {
+  OscillatorDriver drv;
+  EXPECT_THROW(drv.set_code(-1), ConfigError);
+  EXPECT_THROW(drv.set_code(128), ConfigError);
+}
+
+TEST(Driver, PredictedAmplitudeProportionalToCurrentLimit) {
+  // Eq. 4/5: V ~ I_M, so doubling M doubles the amplitude (deep limiting).
+  const tank::RlcTank tk(tank::design_tank(4.0_MHz, 50.0, 100.0_uH));
+  OscillatorDriver drv;
+  drv.set_code(48);  // M = 64
+  const auto a1 = drv.predicted_amplitude(tk);
+  drv.set_code(64);  // M = 128
+  const auto a2 = drv.predicted_amplitude(tk);
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_NEAR(*a2 / *a1, 2.0, 0.15);
+}
+
+TEST(Driver, PredictedAmplitudeMatchesEq4ShapeFactor) {
+  // Deep limiting: A ~ k * Im * Rp with k in [0.9, 4/pi].
+  const tank::RlcTank tk(tank::design_tank(4.0_MHz, 50.0, 100.0_uH));
+  OscillatorDriver drv;
+  drv.set_code(64);
+  const auto a = drv.predicted_amplitude(tk);
+  ASSERT_TRUE(a.has_value());
+  const double k = *a / (drv.current_limit() * tk.parallel_resistance());
+  EXPECT_GT(k, 0.85);
+  EXPECT_LT(k, kDriverShapeFactorSquare + 0.01);
+}
+
+TEST(Driver, NoOscillationBelowCriticalGm) {
+  // A very lossy tank whose Gm0 exceeds the driver's equivalent gm.
+  const tank::RlcTank lossy(tank::design_tank(4.0_MHz, 0.2, 100.0_uH));
+  OscillatorDriver drv;
+  drv.set_code(16);  // low code -> 2 stages only
+  EXPECT_GT(lossy.critical_gm(), drv.equivalent_gm());
+  EXPECT_FALSE(drv.predicted_amplitude(lossy).has_value());
+}
+
+TEST(Driver, OscillatesAboveCriticalGm) {
+  const tank::RlcTank good(tank::design_tank(4.0_MHz, 100.0, 100.0_uH));
+  OscillatorDriver drv;
+  drv.set_code(16);
+  EXPECT_LT(good.critical_gm(), drv.equivalent_gm());
+  EXPECT_TRUE(drv.predicted_amplitude(good).has_value());
+}
+
+TEST(Driver, FundamentalPortCurrentHalvesGm) {
+  OscillatorDriver drv;
+  drv.set_code(127);
+  // Small amplitude: port current = (gm/2) * A.
+  const double a = 1e-4;
+  EXPECT_NEAR(drv.fundamental_port_current(a), 0.5 * drv.equivalent_gm() * a,
+              0.5 * drv.equivalent_gm() * a * 1e-6);
+}
+
+TEST(Driver, SupplyCurrentRangeMatchesSection9) {
+  // "Current consumption of the driver ... varies from 250 uA to 30 mA."
+  OscillatorDriver drv;
+  // High-Q tank: regulation settles at a low code.
+  drv.set_code(8);
+  const double low_q_current = drv.supply_current(2.7);
+  EXPECT_LT(low_q_current, 500e-6);
+  EXPECT_GT(low_q_current, 100e-6);
+  // Full code, deeply driven (saturation voltage at code 127 is ~5 V, so
+  // the clipped regime needs a large swing): tens of mA.
+  drv.set_code(127);
+  const double high = drv.supply_current(12.0);
+  EXPECT_GT(high, 10e-3);
+  EXPECT_LT(high, 35e-3);
+}
+
+TEST(Driver, SupplyCurrentMonotoneInCode) {
+  OscillatorDriver drv;
+  double prev = -1.0;
+  for (int code = 1; code <= 127; code += 9) {
+    drv.set_code(code);
+    const double i = drv.supply_current(2.7);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Driver, MismatchedDacChangesLimit) {
+  OscillatorDriver drv;
+  drv.set_code(96);
+  const double ideal = drv.current_limit();
+  auto dac = std::make_shared<const dac::CurrentLimitationDac>(
+      kDacUnitCurrent, dac::MismatchConfig{}, 12345u);
+  drv.use_mismatched_dac(dac);
+  EXPECT_NE(drv.current_limit(), ideal);
+  EXPECT_NEAR(drv.current_limit(), ideal, ideal * 0.15);
+}
+
+TEST(Driver, ControlLawOverride) {
+  OscillatorDriver drv;
+  drv.use_control_law(std::make_shared<const dac::LinearLaw>());
+  drv.set_code(64);
+  EXPECT_NEAR(drv.current_limit(), 64.0 / 127.0 * kDacUnitCurrent * kDacFullScaleUnits,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace lcosc::driver

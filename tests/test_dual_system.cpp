@@ -1,0 +1,170 @@
+// The redundant dual system (Fig. 9 / Section 8): losing one supply must
+// not load the other system when the Fig. 11 output stage is used, and
+// visibly does with the Fig. 10a stage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "system/dual_system.h"
+#include "waveform/measurements.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+DualSystemConfig dual_config() {
+  DualSystemConfig cfg;
+  cfg.tanks.tank1 = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.tanks.tank2 = cfg.tanks.tank1;
+  cfg.tanks.coupling = 0.15;
+  cfg.regulation.tick_period = 0.2e-3;
+  return cfg;
+}
+
+// Synthetic dead-chip I-V curves standing in for the spice extraction
+// (shape-matched; the spice-extracted versions are exercised in
+// test_output_stage and the dual-redundancy bench).
+PwlTable fig11_like_iv() {
+  // Essentially open within +-1.5 V, soft conduction beyond.
+  return PwlTable({{-3.0, -0.7e-3}, {-1.5, -20e-6}, {0.0, 0.0}, {1.5, 20e-6}, {3.0, 0.7e-3}});
+}
+
+PwlTable fig10a_like_iv() {
+  // Diode clamps at +-0.7 V with low series impedance.
+  return PwlTable({{-3.0, -45e-3}, {-0.7, -0.1e-3}, {0.0, 0.0}, {0.7, 0.1e-3}, {3.0, 45e-3}});
+}
+
+TEST(DualSystem, BothSystemsRegulateWhenHealthy) {
+  DualSystem sys(dual_config());
+  const DualRunResult r = sys.run(16e-3);
+  const double a1 = r.mean_envelope1(14e-3, 16e-3);
+  EXPECT_NEAR(a1, 2.7, 2.7 * 0.10);
+  ASSERT_FALSE(r.codes2.empty());
+  EXPECT_GE(r.codes2.back(), 0);  // still alive
+}
+
+TEST(DualSystem, SupplyLossWithBulkSwitchedStageIsBenign) {
+  DualSystem sys(dual_config());
+  sys.schedule_supply_loss(16e-3, fig11_like_iv());
+  const DualRunResult r = sys.run(24e-3);
+  const double before = r.mean_envelope1(14e-3, 16e-3);
+  const double after = r.mean_envelope1(21e-3, 24e-3);
+  // "the unsupplied system does not significantly influence the other".
+  EXPECT_NEAR(after, before, before * 0.10);
+  EXPECT_NEAR(after, 2.7, 2.7 * 0.10);
+}
+
+TEST(DualSystem, SupplyLossWithStandardStageLoadsTheSurvivor) {
+  DualSystem fig11_sys(dual_config());
+  fig11_sys.schedule_supply_loss(12e-3, fig11_like_iv());
+  const DualRunResult r11 = fig11_sys.run(20e-3);
+
+  DualSystem fig10_sys(dual_config());
+  fig10_sys.schedule_supply_loss(12e-3, fig10a_like_iv());
+  const DualRunResult r10 = fig10_sys.run(20e-3);
+
+  // The dead chip's clamped pins kill its own tank swing, which reflects
+  // into the live tank through the coupling: the surviving system must be
+  // visibly worse off with the standard stage.
+  const double dead_env_11 = [&] {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < r11.envelope2.size(); ++i) {
+      if (r11.envelope2.time(i) > 16e-3) {
+        acc += r11.envelope2.value(i);
+        ++n;
+      }
+    }
+    return n ? acc / n : 0.0;
+  }();
+  const double dead_env_10 = [&] {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < r10.envelope2.size(); ++i) {
+      if (r10.envelope2.time(i) > 16e-3) {
+        acc += r10.envelope2.value(i);
+        ++n;
+      }
+    }
+    return n ? acc / n : 0.0;
+  }();
+  EXPECT_LT(dead_env_10, 0.7 * dead_env_11);
+
+  // And the survivor has to burn more current (higher code) or lose
+  // amplitude with the clamping stage.
+  const double a10 = r10.mean_envelope1(17e-3, 20e-3);
+  const double a11 = r11.mean_envelope1(17e-3, 20e-3);
+  const int code10 = r10.codes1.back();
+  const int code11 = r11.codes1.back();
+  EXPECT_TRUE(a10 < a11 * 0.97 || code10 > code11)
+      << "a10 " << a10 << " a11 " << a11 << " code10 " << code10 << " code11 " << code11;
+}
+
+TEST(DualSystem, DeadSystemStopsRegulating) {
+  DualSystem sys(dual_config());
+  sys.schedule_supply_loss(5e-3, fig11_like_iv());
+  const DualRunResult r = sys.run(10e-3);
+  EXPECT_EQ(r.codes2.back(), -1);
+  EXPECT_EQ(r.event_time, 5e-3);
+}
+
+TEST(DualSystem, CouplingInjectionLocksFrequencies) {
+  // With coupled coils both envelopes coexist without beating artifacts:
+  // both regulate near target.
+  DualSystemConfig cfg = dual_config();
+  cfg.tanks.coupling = 0.25;
+  DualSystem sys(cfg);
+  const DualRunResult r = sys.run(16e-3);
+  double acc2 = 0.0;
+  std::size_t n2 = 0;
+  for (std::size_t i = 0; i < r.envelope2.size(); ++i) {
+    if (r.envelope2.time(i) > 14e-3) {
+      acc2 += r.envelope2.value(i);
+      ++n2;
+    }
+  }
+  ASSERT_GT(n2, 0u);
+  EXPECT_NEAR(acc2 / n2, 2.7, 2.7 * 0.15);
+}
+
+TEST(DualSystem, InjectionLockingInsideLockRange) {
+  // 1% tank detuning at k=0.15: the pair locks to one common frequency
+  // (paper Section 8: "the two systems are running at the same frequency").
+  DualSystemConfig cfg = dual_config();
+  cfg.tanks.tank2 = tank::design_tank(4.0_MHz * 1.01, 40.0, 3.3_uH);
+  cfg.waveform_decimation = 1;
+  DualSystem sys(cfg);
+  const DualRunResult r = sys.run(4e-3);
+  const double t_end = r.differential1.end_time();
+  const auto f1 = estimate_frequency(r.differential1.window(t_end - 100e-6, t_end));
+  const auto f2 = estimate_frequency(r.differential2.window(t_end - 100e-6, t_end));
+  ASSERT_TRUE(f1 && f2);
+  EXPECT_LT(std::abs(*f1 - *f2), 1e3);
+}
+
+TEST(DualSystem, BeatsOutsideLockRange) {
+  // 8% detuning at weak coupling: no lock, the oscillators run apart.
+  DualSystemConfig cfg = dual_config();
+  cfg.tanks.coupling = 0.04;
+  cfg.tanks.tank2 = tank::design_tank(4.0_MHz * 1.08, 40.0, 3.3_uH);
+  cfg.waveform_decimation = 1;
+  DualSystem sys(cfg);
+  const DualRunResult r = sys.run(4e-3);
+  const double t_end = r.differential1.end_time();
+  const auto f1 = estimate_frequency(r.differential1.window(t_end - 100e-6, t_end));
+  const auto f2 = estimate_frequency(r.differential2.window(t_end - 100e-6, t_end));
+  ASSERT_TRUE(f1 && f2);
+  EXPECT_GT(std::abs(*f1 - *f2), 50e3);
+}
+
+TEST(DualSystem, SupplyLossRequiresIvTable) {
+  DualSystem sys(dual_config());
+  sys.schedule_supply_loss(1e-3, PwlTable());
+  EXPECT_THROW(sys.run(2e-3), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::system

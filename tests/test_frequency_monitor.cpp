@@ -1,0 +1,107 @@
+// Oscillation-frequency supervision (out-of-band detection).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "safety/frequency_monitor.h"
+#include "safety/safety_controller.h"
+
+namespace lcosc::safety {
+namespace {
+
+void drive_freq(FrequencyMonitor& mon, double freq, double t0, double t1, double amplitude) {
+  const double dt = 1.0 / (freq * 64.0);
+  for (double t = t0; t < t1; t += dt) {
+    mon.step(t, amplitude * std::sin(kTwoPi * freq * t));
+  }
+}
+
+TEST(FrequencyMonitor, InBandIsQuiet) {
+  FrequencyMonitor mon;
+  drive_freq(mon, 4.0e6, 0.0, 200e-6, 2.7);
+  EXPECT_FALSE(mon.fault());
+  EXPECT_NEAR(mon.measured_frequency(), 4.0e6, 4.0e6 * 0.01);
+}
+
+TEST(FrequencyMonitor, BandEdgesAreFine) {
+  for (const double f : {2.1e6, 4.9e6}) {
+    FrequencyMonitor mon;
+    drive_freq(mon, f, 0.0, 200e-6, 2.7);
+    EXPECT_FALSE(mon.fault()) << f;
+    EXPECT_NEAR(mon.measured_frequency(), f, f * 0.01);
+  }
+}
+
+TEST(FrequencyMonitor, HighFrequencyFaults) {
+  // Missing Cosc pushes the resonance several times higher.
+  FrequencyMonitor mon;
+  drive_freq(mon, 20.0e6, 0.0, 300e-6, 2.7);
+  EXPECT_TRUE(mon.fault());
+  EXPECT_NEAR(mon.measured_frequency(), 20.0e6, 20.0e6 * 0.02);
+}
+
+TEST(FrequencyMonitor, LowFrequencyFaults) {
+  FrequencyMonitor mon;
+  drive_freq(mon, 0.5e6, 0.0, 600e-6, 2.7);
+  EXPECT_TRUE(mon.fault());
+}
+
+TEST(FrequencyMonitor, BriefGlitchRidesThrough) {
+  FrequencyMonitor mon({.persistence = 100e-6});
+  drive_freq(mon, 4.0e6, 0.0, 200e-6, 2.7);
+  // 20 us of off-frequency (shorter than persistence), then back.
+  drive_freq(mon, 10.0e6, 200e-6, 220e-6, 2.7);
+  drive_freq(mon, 4.0e6, 220e-6, 500e-6, 2.7);
+  EXPECT_FALSE(mon.fault());
+}
+
+TEST(FrequencyMonitor, NoEdgesNoVerdict) {
+  // A dead oscillation is the watchdog's job; the monitor stays silent.
+  FrequencyMonitor mon;
+  for (double t = 0.0; t < 1e-3; t += 1e-7) mon.step(t, 0.0);
+  EXPECT_FALSE(mon.fault());
+  EXPECT_DOUBLE_EQ(mon.measured_frequency(), 0.0);
+}
+
+TEST(FrequencyMonitor, ResetClears) {
+  FrequencyMonitor mon;
+  drive_freq(mon, 20.0e6, 0.0, 300e-6, 2.7);
+  EXPECT_TRUE(mon.fault());
+  mon.reset(300e-6);
+  EXPECT_FALSE(mon.fault());
+  EXPECT_DOUBLE_EQ(mon.measured_frequency(), 0.0);
+}
+
+TEST(FrequencyMonitor, ConfigValidated) {
+  FrequencyMonitorConfig bad;
+  bad.min_frequency = 5e6;
+  bad.max_frequency = 2e6;
+  EXPECT_THROW(FrequencyMonitor{bad}, ConfigError);
+  FrequencyMonitorConfig bad2;
+  bad2.averaging_edges = 1;
+  EXPECT_THROW(FrequencyMonitor{bad2}, ConfigError);
+}
+
+TEST(SafetyControllerFrequency, IntegratedChannel) {
+  SafetyController ctl;
+  // Healthy 4 MHz past the 2 ms arm delay, then the tank jumps to 25 MHz
+  // (missing capacitor resonance shift).
+  const double dt = 1.0 / (4.0e6 * 64.0);
+  for (double t = 0.0; t < 5e-3; t += dt) {
+    const double vd = 2.7 * std::sin(kTwoPi * 4.0e6 * t);
+    ctl.step(t, dt, 0.5 * vd, -0.5 * vd);
+  }
+  EXPECT_FALSE(ctl.flags().frequency_out_of_band);
+  const double dt2 = 1.0 / (25.0e6 * 64.0);
+  for (double t = 5e-3; t < 5.5e-3; t += dt2) {
+    const double vd = 2.7 * std::sin(kTwoPi * 25.0e6 * t);
+    ctl.step(t, dt2, 0.5 * vd, -0.5 * vd);
+  }
+  EXPECT_TRUE(ctl.flags().frequency_out_of_band);
+  EXPECT_TRUE(ctl.safe_state_requested());
+}
+
+}  // namespace
+}  // namespace lcosc::safety

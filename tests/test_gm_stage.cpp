@@ -1,0 +1,114 @@
+// The current-limited Gm stage (paper Fig. 2) and its describing function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "driver/gm_stage.h"
+
+namespace lcosc::driver {
+namespace {
+
+TEST(GmStage, Fig2HardCharacteristic) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  // Linear region.
+  EXPECT_DOUBLE_EQ(st.output_current(0.5), 0.5e-3);
+  EXPECT_DOUBLE_EQ(st.output_current(-0.5), -0.5e-3);
+  // Clipped at +-Im.
+  EXPECT_DOUBLE_EQ(st.output_current(5.0), 1e-3);
+  EXPECT_DOUBLE_EQ(st.output_current(-5.0), -1e-3);
+  EXPECT_DOUBLE_EQ(st.saturation_voltage(), 1.0);
+}
+
+TEST(GmStage, TanhIsSmoothAndBounded) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Tanh});
+  EXPECT_NEAR(st.output_current(0.01), 0.01e-3, 1e-8);  // small-signal gm
+  EXPECT_LT(st.output_current(100.0), 1e-3 + 1e-12);
+  EXPECT_GT(st.output_current(100.0), 0.999e-3);
+}
+
+TEST(GmStage, ZeroLimitKillsOutput) {
+  GmStage st({.gm = 1e-3, .current_limit = 0.0, .shape = LimitShape::Hard});
+  EXPECT_DOUBLE_EQ(st.output_current(3.0), 0.0);
+  GmStage st_tanh({.gm = 1e-3, .current_limit = 0.0, .shape = LimitShape::Tanh});
+  EXPECT_DOUBLE_EQ(st_tanh.output_current(3.0), 0.0);
+}
+
+TEST(GmStage, DescribingGainSmallSignal) {
+  GmStage st({.gm = 2e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  // Below saturation (A < Im/gm = 0.5) the gain is exactly gm.
+  EXPECT_DOUBLE_EQ(st.describing_gain(0.4), 2e-3);
+  EXPECT_DOUBLE_EQ(st.describing_gain(0.0), 2e-3);
+}
+
+TEST(GmStage, DescribingGainDeepLimitAsymptote) {
+  GmStage st({.gm = 2e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  // N(A) -> 4 Im / (pi A) deep in limiting.
+  const double a = 100.0;
+  EXPECT_NEAR(st.describing_gain(a), 4.0 * 1e-3 / (kPi * a), 1e-9);
+}
+
+TEST(GmStage, DescribingGainMonotoneDecreasing) {
+  GmStage st({.gm = 1e-3, .current_limit = 0.5e-3, .shape = LimitShape::Hard});
+  double prev = st.describing_gain(0.1);
+  for (double a = 0.6; a < 20.0; a *= 1.5) {
+    const double n = st.describing_gain(a);
+    EXPECT_LE(n, prev + 1e-15);
+    prev = n;
+  }
+}
+
+TEST(GmStage, FundamentalCurrentSaturates) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  // Fundamental of a fully clipped drive: (4/pi) Im.
+  EXPECT_NEAR(st.fundamental_current(1000.0), kDriverShapeFactorSquare * 1e-3, 1e-8);
+}
+
+TEST(GmStage, ShapeFactorRangeCoversPaperK) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  // The paper quotes k ~ 0.9 for the linear approximation at moderate
+  // overdrive; the shape factor must pass through that value.
+  const double k_mild = st.shape_factor(1.2);   // barely clipping
+  const double k_deep = st.shape_factor(50.0);  // deep clipping
+  EXPECT_LT(k_mild, 1.2);
+  EXPECT_GT(k_deep, 1.25);
+  bool crossed_09 = false;
+  for (double a = 0.2; a < 50.0; a *= 1.05) {
+    const double k = st.shape_factor(a);
+    if (k >= 0.895 && k <= 0.95) crossed_09 = true;
+  }
+  EXPECT_TRUE(crossed_09);
+}
+
+TEST(GmStage, TanhDescribingGainNumericallyConsistent) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Tanh});
+  // Small signal: approaches gm.
+  EXPECT_NEAR(st.describing_gain(1e-3), 1e-3, 2e-5);
+  // Deep limiting: approaches the square-wave asymptote.
+  EXPECT_NEAR(st.describing_gain(200.0), 4.0 * 1e-3 / (kPi * 200.0), 1e-8);
+}
+
+TEST(GmStage, HardAndTanhAgreeInLimits) {
+  GmStage hard({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  GmStage tanh({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Tanh});
+  EXPECT_NEAR(hard.fundamental_current(300.0), tanh.fundamental_current(300.0), 1e-6);
+}
+
+TEST(GmStage, SettersValidate) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  st.set_current_limit(2e-3);
+  EXPECT_DOUBLE_EQ(st.output_current(10.0), 2e-3);
+  st.set_gm(5e-3);
+  EXPECT_DOUBLE_EQ(st.output_current(0.1), 0.5e-3);
+  EXPECT_THROW(st.set_current_limit(-1.0), ConfigError);
+  EXPECT_THROW(st.set_gm(0.0), ConfigError);
+}
+
+TEST(GmStage, NegativeAmplitudeRejected) {
+  GmStage st({.gm = 1e-3, .current_limit = 1e-3, .shape = LimitShape::Hard});
+  EXPECT_THROW(st.describing_gain(-1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::driver

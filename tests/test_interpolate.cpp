@@ -1,0 +1,58 @@
+// Tests for PWL interpolation tables.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "numeric/interpolate.h"
+
+namespace lcosc {
+namespace {
+
+TEST(PwlTable, InterpolatesInside) {
+  const PwlTable t({{0.0, 0.0}, {1.0, 2.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(t(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(t(1.0), 2.0);
+}
+
+TEST(PwlTable, ExtrapolatesLinearly) {
+  const PwlTable t({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(t(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(t(-1.0), -1.0);
+}
+
+TEST(PwlTable, Derivative) {
+  const PwlTable t({{0.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(t.derivative(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.derivative(2.0), 0.0);
+  // Extrapolation uses the edge segments.
+  EXPECT_DOUBLE_EQ(t.derivative(-5.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.derivative(10.0), 0.0);
+}
+
+TEST(PwlTable, EndpointsExact) {
+  const PwlTable t({{-2.0, 5.0}, {3.0, -1.0}});
+  EXPECT_DOUBLE_EQ(t(-2.0), 5.0);
+  EXPECT_DOUBLE_EQ(t(3.0), -1.0);
+  EXPECT_DOUBLE_EQ(t.min_x(), -2.0);
+  EXPECT_DOUBLE_EQ(t.max_x(), 3.0);
+}
+
+TEST(PwlTable, RejectsBadInput) {
+  EXPECT_THROW(PwlTable({{0.0, 0.0}}), ConfigError);
+  EXPECT_THROW(PwlTable({{0.0, 0.0}, {0.0, 1.0}}), ConfigError);
+  EXPECT_THROW(PwlTable({{1.0, 0.0}, {0.0, 1.0}}), ConfigError);
+}
+
+TEST(PwlTable, DefaultIsEmpty) {
+  const PwlTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t(0.0), ConfigError);
+}
+
+TEST(Lerp, Basics) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(lerp(-1.0, 1.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,91 @@
+// Tests for LU decomposition with partial pivoting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "numeric/lu.h"
+
+namespace lcosc {
+namespace {
+
+TEST(Lu, SolvesSimpleSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, IdentityReturnsRhs) {
+  const LuDecomposition lu(Matrix::identity(4));
+  const Vector x = lu.solve({1.0, 2.0, 3.0, 4.0});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], static_cast<double>(i + 1));
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularDetected) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_THROW(lu.solve({1.0, 1.0}), ConvergenceError);
+  Vector x;
+  EXPECT_FALSE(lu.try_solve({1.0, 1.0}, x));
+}
+
+TEST(Lu, Determinant) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 6.0, 1e-12);
+  // Permutation sign: swapping rows flips the determinant.
+  Matrix b{{0.0, 3.0}, {2.0, 0.0}};
+  EXPECT_NEAR(LuDecomposition(b).determinant(), -6.0, 1e-12);
+}
+
+TEST(Lu, DeterminantOfSingularIsZero) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(LuDecomposition(a).determinant(), 0.0);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), ConfigError);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  const LuDecomposition lu(Matrix::identity(2));
+  EXPECT_THROW(lu.solve({1.0, 2.0, 3.0}), ConfigError);
+}
+
+// Property: random well-conditioned systems round-trip A*x = b.
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += 4.0;  // diagonally dominant => well conditioned
+    }
+    Vector x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-10.0, 10.0);
+    const Vector b = a.multiply(x_true);
+    const Vector x = solve_linear_system(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Lu, PivotRatioReflectsConditioning) {
+  const LuDecomposition good(Matrix::identity(3));
+  EXPECT_NEAR(good.pivot_ratio(), 1.0, 1e-12);
+  Matrix bad{{1.0, 0.0}, {0.0, 1e-12}};
+  EXPECT_LT(LuDecomposition(bad).pivot_ratio(), 1e-11);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,108 @@
+// Tests for the dense matrix / vector helpers.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "numeric/matrix.h"
+
+namespace lcosc {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, InitializerListRaggedThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ConfigError);
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ConfigError);
+  EXPECT_THROW(m.at(0, 2), ConfigError);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.multiply(Vector{1.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, MatrixVectorSizeMismatchThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.multiply(Vector{1.0, 2.0, 3.0}), ConfigError);
+}
+
+TEST(Matrix, MatrixMatrixProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, SetZeroAndMaxAbs) {
+  Matrix m{{-5.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 5.0);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m.max_abs(), 0.0);
+}
+
+TEST(VectorOps, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+}
+
+TEST(VectorOps, SubtractAddScaledDot) {
+  const Vector a{1.0, 2.0};
+  const Vector b{0.5, -1.0};
+  const Vector d = subtract(a, b);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  const Vector s = add_scaled(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), -1.5);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  EXPECT_THROW(subtract(Vector{1.0}, Vector{1.0, 2.0}), ConfigError);
+  EXPECT_THROW(dot(Vector{1.0}, Vector{1.0, 2.0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,149 @@
+// Tests for waveform measurements (the "bench instruments").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "waveform/measurements.h"
+
+namespace lcosc {
+namespace {
+
+Trace sine(double amplitude, double freq, double duration, double rate, double offset = 0.0) {
+  Trace t("sine");
+  const double dt = 1.0 / rate;
+  for (double time = 0.0; time <= duration; time += dt) {
+    t.append(time + 1e-15 * t.size(), offset + amplitude * std::sin(kTwoPi * freq * time));
+  }
+  return t;
+}
+
+Trace square(double amplitude, double freq, double duration, double rate) {
+  Trace t("square");
+  const double dt = 1.0 / rate;
+  for (double time = 0.0; time <= duration; time += dt) {
+    const double phase = std::fmod(time * freq, 1.0);
+    t.append(time + 1e-15 * t.size(), phase < 0.5 ? amplitude : -amplitude);
+  }
+  return t;
+}
+
+TEST(Measurements, PeakAmplitude) {
+  const Trace t = sine(2.7, 1000.0, 0.01, 1e6);
+  EXPECT_NEAR(peak_amplitude(t), 2.7, 1e-3);
+}
+
+TEST(Measurements, PeakAmplitudeTail) {
+  Trace t;
+  // Growing envelope: tail peak exceeds early peak.
+  for (int i = 0; i < 1000; ++i) {
+    const double time = i * 1e-5;
+    t.append(time, (0.1 + time * 100.0) * std::sin(kTwoPi * 1000.0 * time));
+  }
+  const double all = peak_amplitude(t);
+  const double tail = peak_amplitude_tail(t, 2e-3);
+  EXPECT_NEAR(tail, all, all * 0.05);
+  EXPECT_GT(tail, 0.5 * all);
+}
+
+TEST(Measurements, PeakToPeakOfOffsetSine) {
+  const Trace t = sine(1.0, 500.0, 0.01, 1e6, 10.0);
+  EXPECT_NEAR(peak_to_peak(t), 2.0, 1e-3);
+}
+
+TEST(Measurements, RmsOfSine) {
+  const Trace t = sine(2.0, 1000.0, 0.01, 1e6);
+  EXPECT_NEAR(rms(t), 2.0 / std::sqrt(2.0), 2e-3);
+}
+
+TEST(Measurements, RmsOfSquare) {
+  const Trace t = square(1.5, 1000.0, 0.01, 1e6);
+  EXPECT_NEAR(rms(t), 1.5, 2e-3);
+}
+
+TEST(Measurements, MeanOfOffsetSine) {
+  const Trace t = sine(1.0, 1000.0, 0.01, 1e6, 0.75);
+  EXPECT_NEAR(mean(t), 0.75, 2e-3);
+}
+
+TEST(Measurements, RisingCrossingsCount) {
+  const Trace t = sine(1.0, 1000.0, 0.01, 1e6);
+  const auto crossings = rising_crossings(t);
+  EXPECT_NEAR(static_cast<double>(crossings.size()), 10.0, 1.0);
+}
+
+TEST(Measurements, FrequencyEstimate) {
+  const Trace t = sine(1.0, 4.0e6, 10e-6, 4e6 * 64);
+  const auto f = estimate_frequency(t);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 4.0e6, 4.0e6 * 1e-3);
+}
+
+TEST(Measurements, FrequencyTail) {
+  const Trace t = sine(1.0, 2.0e6, 20e-6, 2e6 * 64);
+  const auto f = estimate_frequency_tail(t, 5e-6);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 2.0e6, 2.0e6 * 2e-3);
+}
+
+TEST(Measurements, FrequencyOfDcIsNull) {
+  Trace t;
+  t.append(0.0, 1.0);
+  t.append(1.0, 1.0);
+  EXPECT_FALSE(estimate_frequency(t).has_value());
+}
+
+TEST(Measurements, EnvelopeOfModulatedSine) {
+  Trace t;
+  const double f = 1e5;
+  for (int i = 0; i < 20000; ++i) {
+    const double time = i * 1e-7;
+    const double env = 1.0 + 0.5 * time * 1000.0;  // slow ramp
+    t.append(time, env * std::sin(kTwoPi * f * time));
+  }
+  const Trace env = extract_envelope(t);
+  ASSERT_GT(env.size(), 100u);
+  // The envelope should follow the ramp within a few percent.
+  const double expected_end = 1.0 + 0.5 * env.end_time() * 1000.0;
+  EXPECT_NEAR(env.value(env.size() - 1), expected_end, expected_end * 0.05);
+}
+
+TEST(Measurements, SettlingTime) {
+  Trace t;
+  for (int i = 0; i <= 1000; ++i) {
+    const double time = i * 1e-3;
+    t.append(time, 1.0 - std::exp(-time * 10.0));
+  }
+  const auto ts = settling_time(t, 1.0, 0.05);
+  ASSERT_TRUE(ts.has_value());
+  // 1 - exp(-10 t) = 0.95 at t = ln(20)/10 ~ 0.2996.
+  EXPECT_NEAR(*ts, std::log(20.0) / 10.0, 0.01);
+}
+
+TEST(Measurements, SettlingNeverReached) {
+  Trace t;
+  t.append(0.0, 0.0);
+  t.append(1.0, 0.1);
+  EXPECT_FALSE(settling_time(t, 1.0, 0.05).has_value());
+}
+
+TEST(Measurements, FourierMagnitudeOfPureSine) {
+  const Trace t = sine(1.2, 1000.0, 0.02, 1e6);
+  EXPECT_NEAR(fourier_magnitude(t, 1000.0), 1.2, 0.02);
+  EXPECT_NEAR(fourier_magnitude(t, 3000.0), 0.0, 0.02);
+}
+
+TEST(Measurements, ThdOfSquareWave) {
+  // Ideal square THD (through 9th harmonic) = sqrt(sum 1/n^2)/1 for odd n:
+  // sqrt(1/9 + 1/25 + 1/49 + 1/81) ~ 0.4291.
+  const Trace t = square(1.0, 1000.0, 0.05, 2e6);
+  EXPECT_NEAR(total_harmonic_distortion(t, 1000.0, 9), 0.4291, 0.02);
+}
+
+TEST(Measurements, ThdOfSineIsSmall) {
+  const Trace t = sine(1.0, 1000.0, 0.05, 2e6);
+  EXPECT_LT(total_harmonic_distortion(t, 1000.0), 0.02);
+}
+
+}  // namespace
+}  // namespace lcosc

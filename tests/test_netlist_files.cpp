@@ -1,0 +1,68 @@
+// The shipped .sp netlists (the paper's output-stage topologies as text)
+// must parse and reproduce the Fig. 17 behaviour of the C++-built
+// testbenches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "spice/netlist_parser.h"
+#include "spice/sweep.h"
+
+#ifndef LCOSC_NETLIST_DIR
+#define LCOSC_NETLIST_DIR "netlists"
+#endif
+
+namespace lcosc::spice {
+namespace {
+
+std::string netlist_path(const char* file) {
+  return std::string(LCOSC_NETLIST_DIR) + "/" + file;
+}
+
+double pin_current_at(Circuit& circuit, double vd) {
+  auto* src = circuit.find_as<VoltageSource>("Vdiff");
+  EXPECT_NE(src, nullptr);
+  DcOptions options;
+  options.max_iterations = 500;
+  // Continuation from 0 to the target.
+  const auto grid = linspace(0.0, vd, 31);
+  const SweepResult r = dc_sweep(circuit, *src, grid, options);
+  EXPECT_TRUE(r.points.back().converged);
+  StampContext ctx;
+  return -src->branch_current(r.points.back().solution.x, ctx);
+}
+
+TEST(NetlistFiles, Fig10aParsesAndClamps) {
+  auto circuit = parse_netlist_file(netlist_path("fig10a_unsupplied.sp"));
+  // Structural spot checks: two scoped pin drivers.
+  EXPECT_NE(circuit->find("X1.Mp1"), nullptr);
+  EXPECT_NE(circuit->find("X2.Mn1"), nullptr);
+  // Heavy conduction at +3 V differential (the Fig. 10a failure).
+  const double i = pin_current_at(*circuit, 3.0);
+  EXPECT_GT(i, 5e-3);
+}
+
+TEST(NetlistFiles, Fig11ParsesAndStaysQuiet) {
+  auto circuit = parse_netlist_file(netlist_path("fig11_output_stage.sp"));
+  EXPECT_NE(circuit->find("X1.Mn5"), nullptr);
+  EXPECT_NE(circuit->find("Mn6"), nullptr);
+  const double i3 = pin_current_at(*circuit, 3.0);
+  // Bounded like Fig. 17 (sub-mA at +3 V)...
+  EXPECT_LT(std::abs(i3), 1.5e-3);
+  // ...and near-zero inside the 2.7 Vpp operating range.
+  auto circuit2 = parse_netlist_file(netlist_path("fig11_output_stage.sp"));
+  const double i_op = pin_current_at(*circuit2, 1.35);
+  EXPECT_LT(std::abs(i_op), 60e-6);
+}
+
+TEST(NetlistFiles, TopologiesDiffer) {
+  auto fig10a = parse_netlist_file(netlist_path("fig10a_unsupplied.sp"));
+  auto fig11 = parse_netlist_file(netlist_path("fig11_output_stage.sp"));
+  const double i10a = std::abs(pin_current_at(*fig10a, 2.7));
+  const double i11 = std::abs(pin_current_at(*fig11, 2.7));
+  EXPECT_GT(i10a, 10.0 * i11);  // who wins, from the text netlists alone
+}
+
+}  // namespace
+}  // namespace lcosc::spice

@@ -1,0 +1,288 @@
+// SPICE-flavoured netlist parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "spice/ac_solver.h"
+#include "spice/dc_solver.h"
+#include "spice/mutual_coupling.h"
+#include "spice/netlist_parser.h"
+
+namespace lcosc::spice {
+namespace {
+
+TEST(EngineeringValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_engineering_value("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("1e-9"), 1e-9);
+}
+
+TEST(EngineeringValue, Suffixes) {
+  EXPECT_DOUBLE_EQ(parse_engineering_value("3.3u"), 3.3e-6);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("2k"), 2e3);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("100n"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("15p"), 15e-12);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("2.5m"), 2.5e-3);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("4f"), 4e-15);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("1t"), 1e12);
+}
+
+TEST(EngineeringValue, UnitDecorationIgnored) {
+  EXPECT_DOUBLE_EQ(parse_engineering_value("12.5uA"), 12.5e-6);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("100nF"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("2kohm"), 2e3);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("5V"), 5.0);  // 'V' is not a suffix
+}
+
+TEST(EngineeringValue, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(parse_engineering_value("2K"), 2e3);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_engineering_value("3.3U"), 3.3e-6);
+}
+
+TEST(EngineeringValue, MalformedRejected) {
+  EXPECT_THROW(parse_engineering_value(""), NetlistError);
+  EXPECT_THROW(parse_engineering_value("abc"), NetlistError);
+  EXPECT_THROW(parse_engineering_value("1.2.3"), NetlistError);
+  EXPECT_THROW(parse_engineering_value("3u3"), NetlistError);
+}
+
+TEST(NetlistParser, VoltageDivider) {
+  const auto circuit = parse_netlist(R"(
+* a comment
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "mid"), 7.5, 1e-6);
+}
+
+TEST(NetlistParser, ContinuationLines) {
+  const auto circuit = parse_netlist("V1 in 0\n+ 5\nR1 in 0 1k\n");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "in"), 5.0, 1e-9);
+}
+
+TEST(NetlistParser, InlineCommentsStripped) {
+  const auto circuit = parse_netlist("V1 in 0 2 ; the supply\nR1 in 0 1k\n");
+  EXPECT_NE(circuit->find("V1"), nullptr);
+}
+
+TEST(NetlistParser, DiodeWithOptions) {
+  const auto circuit = parse_netlist(R"(
+V1 in 0 5
+R1 in a 1k
+D1 a 0 is=1e-12 n=1.5
+)");
+  const auto* d = circuit->find_as<Diode>("D1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->params().saturation_current, 1e-12);
+  EXPECT_DOUBLE_EQ(d->params().emission_coefficient, 1.5);
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_GT(s.voltage(*circuit, "a"), 0.5);
+}
+
+TEST(NetlistParser, MosfetInverter) {
+  const auto circuit = parse_netlist(R"(
+Vdd vdd 0 5
+Vin g 0 5
+RL vdd d 10k
+M1 d g 0 0 nmos wl=10
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LT(s.voltage(*circuit, "d"), 0.4);
+}
+
+TEST(NetlistParser, MosfetParameterOverrides) {
+  const auto circuit = parse_netlist("M1 d g s b pmos wl=20 vt=0.7 lambda=0.02 gamma=0\n");
+  const auto* m = circuit->find_as<Mosfet>("M1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->params().type, MosType::Pmos);
+  EXPECT_DOUBLE_EQ(m->params().threshold_voltage, 0.7);
+  EXPECT_DOUBLE_EQ(m->params().lambda, 0.02);
+  EXPECT_DOUBLE_EQ(m->params().gamma, 0.0);
+  EXPECT_NEAR(m->params().transconductance, 58e-6 * 20.0, 1e-12);
+}
+
+TEST(NetlistParser, ControlledSourcesAndSwitch) {
+  const auto circuit = parse_netlist(R"(
+Vin in 0 0.1
+G1 0 out in 0 1m
+RL out 0 10k
+E1 buf 0 out 0 2
+Rb buf 0 1k
+Vc ctl 0 5
+S1 out 0 ctl 0 ron=1meg roff=1g
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "out"), 1.0, 0.05);
+  EXPECT_NEAR(s.voltage(*circuit, "buf"), 2.0 * s.voltage(*circuit, "out"), 1e-6);
+}
+
+TEST(NetlistParser, AcMagnitudeAndSweep) {
+  const auto circuit = parse_netlist(R"(
+V1 in 0 0 ac=1
+R1 in out 1k
+C1 out 0 1n
+)");
+  const Vector dc_op(circuit->unknown_count(), 0.0);
+  const auto points = ac_sweep(*circuit, dc_op, {1.0});
+  ASSERT_TRUE(points[0].ok);
+  EXPECT_NEAR(std::abs(points[0].voltage(*circuit, "out")), 1.0, 1e-3);
+}
+
+TEST(NetlistParser, InitialConditionsParsed) {
+  const auto circuit = parse_netlist("C1 a 0 1n ic=2.5\nL1 a 0 1u ic=1m\n");
+  const auto* l = circuit->find_as<Inductor>("L1");
+  ASSERT_NE(l, nullptr);
+  EXPECT_DOUBLE_EQ(l->initial_current(), 1e-3);
+}
+
+TEST(NetlistParser, DotEndStopsParsing) {
+  const auto circuit = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 2k\n");
+  EXPECT_NE(circuit->find("R1"), nullptr);
+  EXPECT_EQ(circuit->find("R2"), nullptr);
+}
+
+TEST(NetlistParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_netlist("R1 a 0 1k\nX1 a 0 1k\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(NetlistParser, MalformedCardsRejected) {
+  EXPECT_THROW((void)parse_netlist("R1 a 0\n"), NetlistError);           // missing value
+  EXPECT_THROW((void)parse_netlist("M1 d g s b bjt\n"), NetlistError);   // bad model
+  EXPECT_THROW((void)parse_netlist("D1 a 0 bogus=1\n"), NetlistError);   // unknown option
+  EXPECT_THROW((void)parse_netlist("+ continuation\n"), NetlistError);   // dangling +
+}
+
+TEST(NetlistParser, MissingFileThrows) {
+  EXPECT_THROW((void)parse_netlist_file("/nonexistent/netlist.sp"), NetlistError);
+}
+
+TEST(NetlistParser, MutualCouplingCard) {
+  const auto circuit = parse_netlist(R"(
+L1 a 0 100u
+L2 b 0 400u
+K1 L1 L2 0.5
+)");
+  const auto* k = circuit->find_as<MutualCoupling>("K1");
+  ASSERT_NE(k, nullptr);
+  EXPECT_DOUBLE_EQ(k->coupling(), 0.5);
+  EXPECT_NEAR(k->mutual_inductance(), 0.5 * std::sqrt(100e-6 * 400e-6), 1e-12);
+}
+
+TEST(NetlistParser, MutualCouplingUnknownInductorRejected) {
+  EXPECT_THROW((void)parse_netlist("L1 a 0 1u\nK1 L1 Lx 0.5\n"), NetlistError);
+}
+
+TEST(NetlistParser, ZenerCard) {
+  const auto circuit = parse_netlist("Z1 a 0 vz=6.2 is=1e-13\n");
+  const auto* z = circuit->find_as<ZenerDiode>("Z1");
+  ASSERT_NE(z, nullptr);
+  EXPECT_DOUBLE_EQ(z->params().breakdown_voltage, 6.2);
+  EXPECT_DOUBLE_EQ(z->params().junction.saturation_current, 1e-13);
+}
+
+TEST(NetlistParser, SubcircuitInstantiation) {
+  const auto circuit = parse_netlist(R"(
+.subckt divider in out
+Rtop in out 1k
+Rbot out 0 1k
+.ends
+V1 a 0 8
+X1 a mid divider
+X2 mid lo divider
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  // Two cascaded dividers: mid carries a loaded division of 8 V.
+  // X2 loads X1: v(mid) = 8 * (2k/3k) / (1 + 2/3)... solve directly:
+  // mid node: (8-m)/1k = m/1k... with X2 input impedance 2k:
+  // m = 8 * (2k || 2k ... ) -- just assert the structural facts instead.
+  EXPECT_GT(s.voltage(*circuit, "mid"), 3.0);
+  EXPECT_LT(s.voltage(*circuit, "mid"), 8.0);
+  // Scoped elements and internal nodes exist.
+  EXPECT_NE(circuit->find("X1.Rtop"), nullptr);
+  EXPECT_NE(circuit->find("X2.Rbot"), nullptr);
+  // The two instances share nothing internally.
+  EXPECT_NE(s.voltage(*circuit, "mid"), s.voltage(*circuit, "lo"));
+}
+
+TEST(NetlistParser, SubcircuitGroundIsGlobal) {
+  const auto circuit = parse_netlist(R"(
+.subckt shunt a
+R1 a 0 1k
+.ends
+V1 in 0 2
+Rs in n 1k
+X1 n shunt
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "n"), 1.0, 1e-6);  // divider through the subckt shunt
+}
+
+TEST(NetlistParser, NestedSubcircuits) {
+  const auto circuit = parse_netlist(R"(
+.subckt leaf a b
+R1 a b 1k
+.ends
+.subckt pair a b
+X1 a m leaf
+X2 m b leaf
+.ends
+V1 in 0 2
+X1 in out pair
+Rload out 0 2k
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  // 2k series (two 1k leaves) into 2k load: out = 1 V.
+  EXPECT_NEAR(s.voltage(*circuit, "out"), 1.0, 1e-6);
+  EXPECT_NE(circuit->find("X1.X1.R1"), nullptr);
+}
+
+TEST(NetlistParser, SubcircuitErrors) {
+  EXPECT_THROW((void)parse_netlist(".subckt a in\nR1 in 0 1k\n"), NetlistError);  // no .ends
+  EXPECT_THROW((void)parse_netlist(".ends\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("X1 a b nosuch\n"), NetlistError);
+  EXPECT_THROW(
+      (void)parse_netlist(".subckt s in out\nR1 in out 1k\n.ends\nX1 a s\n"),
+      NetlistError);  // port count mismatch
+}
+
+TEST(NetlistParser, Fig10aTopologyFromText) {
+  // The standard CMOS output stage as a netlist file would express it.
+  const auto circuit = parse_netlist(R"(
+* Fig. 10a unsupplied stage, one pin
+Vd lc1 0 3
+Rrail vdd 0 2k
+Mp1 lc1 ngp vdd vdd pmos wl=1000
+Mn1 lc1 ngn 0 0 nmos wl=400
+Rgp ngp 0 200k
+Rgn ngn 0 200k
+)");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  // The MP1 bulk diode lifts the floating rail below the pin.
+  EXPECT_GT(s.voltage(*circuit, "vdd"), 1.0);
+  EXPECT_LT(s.voltage(*circuit, "vdd"), 3.0);
+}
+
+}  // namespace
+}  // namespace lcosc::spice

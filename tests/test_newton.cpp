@@ -1,0 +1,91 @@
+// Tests for the damped Newton solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/newton.h"
+
+namespace lcosc {
+namespace {
+
+TEST(Newton, Scalar) {
+  // x^2 = 4.
+  const NewtonSystem system = [](const Vector& x, Vector& f, Matrix& jac) {
+    f[0] = x[0] * x[0] - 4.0;
+    jac(0, 0) = 2.0 * x[0];
+  };
+  const NewtonResult r = solve_newton(system, {1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.solution[0], 2.0, 1e-8);
+}
+
+TEST(Newton, TwoDimensional) {
+  // Intersection of a circle and a line: x^2 + y^2 = 2, x = y.
+  const NewtonSystem system = [](const Vector& x, Vector& f, Matrix& jac) {
+    f[0] = x[0] * x[0] + x[1] * x[1] - 2.0;
+    f[1] = x[0] - x[1];
+    jac(0, 0) = 2.0 * x[0];
+    jac(0, 1) = 2.0 * x[1];
+    jac(1, 0) = 1.0;
+    jac(1, 1) = -1.0;
+  };
+  const NewtonResult r = solve_newton(system, {2.0, 0.5});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.solution[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.solution[1], 1.0, 1e-8);
+}
+
+TEST(Newton, ExponentialNeedsDampingOrClamp) {
+  // exp(x) = 1e6: naive Newton from 0 overshoots badly without damping.
+  const NewtonSystem system = [](const Vector& x, Vector& f, Matrix& jac) {
+    f[0] = std::exp(x[0]) - 1e6;
+    jac(0, 0) = std::exp(x[0]);
+  };
+  NewtonOptions options;
+  options.max_step = 2.0;
+  options.max_iterations = 200;
+  options.residual_tolerance = 1e-3;  // residual scale is 1e6
+  const NewtonResult r = solve_newton(system, {0.0}, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.solution[0], std::log(1e6), 1e-6);
+}
+
+TEST(Newton, ReportsNonConvergence) {
+  // No real root: x^2 + 1 = 0.
+  const NewtonSystem system = [](const Vector& x, Vector& f, Matrix& jac) {
+    f[0] = x[0] * x[0] + 1.0;
+    jac(0, 0) = 2.0 * x[0];
+  };
+  NewtonOptions options;
+  options.max_iterations = 30;
+  const NewtonResult r = solve_newton(system, {3.0}, options);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Newton, AlreadyAtSolution) {
+  const NewtonSystem system = [](const Vector& x, Vector& f, Matrix& jac) {
+    f[0] = x[0] - 5.0;
+    jac(0, 0) = 1.0;
+  };
+  const NewtonResult r = solve_newton(system, {5.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Newton, SingularJacobianRegularized) {
+  // f(x) = x^3 has a zero-derivative root at 0; the solver should still
+  // creep in (slow linear convergence) rather than blow up.
+  const NewtonSystem system = [](const Vector& x, Vector& f, Matrix& jac) {
+    f[0] = x[0] * x[0] * x[0];
+    jac(0, 0) = 3.0 * x[0] * x[0];
+  };
+  NewtonOptions options;
+  options.max_iterations = 500;
+  options.residual_tolerance = 1e-9;
+  const NewtonResult r = solve_newton(system, {1.0}, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.solution[0], 0.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace lcosc

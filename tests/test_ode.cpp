@@ -1,0 +1,136 @@
+// Tests for the ODE integrators: accuracy on closed-form problems,
+// convergence order, observer control, energy behaviour on the harmonic
+// oscillator (the core of the tank transient engine).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "numeric/ode.h"
+
+namespace lcosc {
+namespace {
+
+// dx/dt = -x, x(0)=1 -> x(t) = exp(-t).
+const OdeRhs kDecay = [](double, const Vector& x, Vector& d) { d[0] = -x[0]; };
+
+// Harmonic oscillator x'' = -w^2 x as a 2-state system.
+OdeRhs harmonic(double w) {
+  return [w](double, const Vector& x, Vector& d) {
+    d[0] = x[1];
+    d[1] = -w * w * x[0];
+  };
+}
+
+TEST(Rk4, ExponentialDecayAccuracy) {
+  const OdeResult r = integrate_rk4(kDecay, 0.0, 1.0, {1.0}, {.step = 1e-3});
+  EXPECT_NEAR(r.state[0], std::exp(-1.0), 1e-10);
+  EXPECT_EQ(r.steps_taken, 1000u);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  auto error_at = [](double h) {
+    const OdeResult r = integrate_rk4(kDecay, 0.0, 1.0, {1.0}, {.step = h});
+    return std::abs(r.state[0] - std::exp(-1.0));
+  };
+  const double e1 = error_at(1e-2);
+  const double e2 = error_at(5e-3);
+  // Halving the step should cut the error ~16x for a 4th order method.
+  EXPECT_NEAR(e1 / e2, 16.0, 3.0);
+}
+
+TEST(Rk4, HarmonicOscillatorEnergyStable) {
+  const double w = kTwoPi * 1.0;  // 1 Hz
+  // 100 periods at 200 steps/period.
+  const OdeResult r = integrate_rk4(harmonic(w), 0.0, 100.0, {1.0, 0.0}, {.step = 1.0 / 200});
+  const double energy = w * w * r.state[0] * r.state[0] + r.state[1] * r.state[1];
+  EXPECT_NEAR(energy, w * w, w * w * 1e-4);
+}
+
+TEST(Rk4, ObserverStopsEarly) {
+  std::size_t calls = 0;
+  const OdeObserver observer = [&](double t, const Vector&) {
+    ++calls;
+    return t < 0.5;
+  };
+  const OdeResult r = integrate_rk4(kDecay, 0.0, 1.0, {1.0}, {.step = 1e-2}, observer);
+  EXPECT_LT(r.t_end, 0.6);
+  EXPECT_GT(calls, 10u);
+}
+
+TEST(Rk4, FinalPartialStepLandsExactly) {
+  const OdeResult r = integrate_rk4(kDecay, 0.0, 0.95e-2, {1.0}, {.step = 1e-2});
+  EXPECT_DOUBLE_EQ(r.t_end, 0.95e-2);
+}
+
+TEST(Rkf45, AdaptiveDecay) {
+  Rkf45Options options;
+  options.abs_tolerance = 1e-10;
+  options.rel_tolerance = 1e-10;
+  options.max_step = 0.1;
+  const OdeResult r = integrate_rkf45(kDecay, 0.0, 1.0, {1.0}, options);
+  EXPECT_NEAR(r.state[0], std::exp(-1.0), 1e-8);
+  // Should need far fewer steps than fixed-step RK4 at similar accuracy.
+  EXPECT_LT(r.steps_taken, 500u);
+}
+
+TEST(Rkf45, StepRejectionHappensOnSharpFeatures) {
+  // A steep sigmoid transition forces rejections with a large max_step.
+  const OdeRhs rhs = [](double t, const Vector& x, Vector& d) {
+    (void)x;
+    d[0] = 1.0 / (1.0 + std::exp(-200.0 * (t - 0.5)));
+  };
+  Rkf45Options options;
+  options.initial_step = 0.25;
+  options.max_step = 0.25;
+  options.abs_tolerance = 1e-10;
+  options.rel_tolerance = 1e-10;
+  const OdeResult r = integrate_rkf45(rhs, 0.0, 1.0, {0.0}, options);
+  EXPECT_GT(r.steps_rejected, 0u);
+  EXPECT_NEAR(r.state[0], 0.5, 1e-2);  // integral of the sigmoid over [0,1]
+}
+
+TEST(Rkf45, HarmonicAgainstClosedForm) {
+  const double w = kTwoPi * 3.0;
+  Rkf45Options options;
+  options.abs_tolerance = 1e-9;
+  options.rel_tolerance = 1e-9;
+  options.max_step = 1e-2;
+  const OdeResult r = integrate_rkf45(harmonic(w), 0.0, 2.0, {1.0, 0.0}, options);
+  EXPECT_NEAR(r.state[0], std::cos(w * 2.0), 1e-5);
+  EXPECT_NEAR(r.state[1], -w * std::sin(w * 2.0), w * 1e-5);
+}
+
+TEST(Trapezoidal, DecayAccuracy) {
+  const OdeResult r = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, {.step = 1e-3});
+  EXPECT_NEAR(r.state[0], std::exp(-1.0), 1e-7);
+}
+
+TEST(Trapezoidal, AStableOnStiffDecay) {
+  // lambda = -1e6 with a step far beyond the explicit stability limit.
+  const OdeRhs stiff = [](double, const Vector& x, Vector& d) { d[0] = -1e6 * x[0]; };
+  const OdeResult r = integrate_trapezoidal(stiff, 0.0, 1e-3, {1.0},
+                                            {.step = 1e-5, .max_corrector_iterations = 200});
+  EXPECT_TRUE(std::isfinite(r.state[0]));
+  EXPECT_LT(std::abs(r.state[0]), 1.0);
+}
+
+TEST(Trapezoidal, SecondOrderConvergence) {
+  auto error_at = [](double h) {
+    const OdeResult r = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, {.step = h});
+    return std::abs(r.state[0] - std::exp(-1.0));
+  };
+  const double e1 = error_at(1e-2);
+  const double e2 = error_at(5e-3);
+  EXPECT_NEAR(e1 / e2, 4.0, 1.0);
+}
+
+TEST(OdeOptions, InvalidArgumentsThrow) {
+  EXPECT_THROW(integrate_rk4(kDecay, 0.0, 1.0, {1.0}, {.step = 0.0}), ConfigError);
+  EXPECT_THROW(integrate_rk4(kDecay, 1.0, 0.0, {1.0}, {.step = 1e-3}), ConfigError);
+  EXPECT_THROW(integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, {.step = -1.0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,138 @@
+// Property tests pinning the cycle-accurate transient engine to the
+// paper's theory (Section 2): oscillation condition (Eq. 1), amplitude
+// law (Eq. 4), and the resonance frequency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "common/units.h"
+#include "numeric/roots.h"
+#include "system/oscillator_system.h"
+#include "waveform/measurements.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+// Minimal free-running transient: fixed code, regulation effectively
+// disabled by pinning the window at the startup code.
+OscillatorSystemConfig fixed_code_config(const tank::TankConfig& tk, int code,
+                                         double gm_per_stage = 1.1e-3) {
+  OscillatorSystemConfig cfg;
+  cfg.tank = tk;
+  cfg.driver.gm_per_stage = gm_per_stage;
+  cfg.regulation.startup_code = code;
+  cfg.regulation.nvm_code = code;
+  // Pin the code: the collapsed range makes every tick a no-op.
+  cfg.regulation.min_code = code;
+  cfg.regulation.max_code = code;
+  // Keep safety from forcing max current.
+  cfg.safety.low_amplitude.persistence = 1.0;
+  cfg.safety.watchdog.timeout = 1.0;
+  cfg.waveform_decimation = 1;
+  return cfg;
+}
+
+// Does a fixed-code run sustain oscillation?
+bool sustains(const tank::TankConfig& tk, int code, double gm_per_stage) {
+  OscillatorSystem sys(fixed_code_config(tk, code, gm_per_stage));
+  const double f0 = tank::RlcTank(tk).resonance_frequency();
+  const double duration = 400.0 / f0;  // 400 cycles
+  const SimulationResult r = sys.run(duration);
+  // Compare the late envelope with the startup kick.
+  const double late = peak_amplitude_tail(r.differential, 40.0 / f0);
+  return late > 0.06;  // grew beyond the 50 mV kick
+}
+
+struct QCase {
+  double frequency;
+  double quality;
+};
+
+class OscillationCondition : public ::testing::TestWithParam<QCase> {};
+
+TEST_P(OscillationCondition, CriticalGmMatchesEq1) {
+  const QCase p = GetParam();
+  const tank::TankConfig tk = tank::design_tank(p.frequency, p.quality, 3.3_uH);
+  const tank::RlcTank model(tk);
+  const double gm0 = model.critical_gm();
+
+  // Fixed code 16: 2 active stages, so gm_per_stage = gm_equiv / 2.
+  const int code = 16;
+  const auto sustains_at = [&](double gm_equiv) {
+    return sustains(tk, code, gm_equiv / 2.0);
+  };
+  // The threshold found by bisection must sit within ~20% of Eq. 1.
+  ASSERT_FALSE(sustains_at(gm0 * 0.25));
+  ASSERT_TRUE(sustains_at(gm0 * 4.0));
+  const double threshold = bisect_threshold(sustains_at, gm0 * 0.25, gm0 * 4.0, gm0 * 0.02);
+  EXPECT_NEAR(threshold, gm0, gm0 * 0.20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QSweep, OscillationCondition,
+    ::testing::Values(QCase{4.0e6, 10.0}, QCase{4.0e6, 40.0}, QCase{2.0e6, 20.0},
+                      QCase{5.0e6, 20.0}),
+    [](const ::testing::TestParamInfo<QCase>& info) {
+      return "f" + std::to_string(static_cast<int>(info.param.frequency / 1e6)) + "MHz_Q" +
+             std::to_string(static_cast<int>(info.param.quality));
+    });
+
+TEST(OscillationFrequency, MatchesTankResonance) {
+  for (const double f : {2.0e6, 3.5e6, 5.0e6}) {
+    const tank::TankConfig tk = tank::design_tank(f, 30.0, 3.3_uH);
+    OscillatorSystem sys(fixed_code_config(tk, 32));
+    const SimulationResult r = sys.run(300.0 / f);
+    const auto measured = estimate_frequency_tail(r.differential, 50.0 / f);
+    ASSERT_TRUE(measured.has_value());
+    EXPECT_NEAR(*measured, f, f * 0.02) << "f0 = " << f;
+  }
+}
+
+TEST(AmplitudeLaw, SimulationMatchesDescribingFunction) {
+  // Eq. 4: steady amplitude = the describing-function balance, across
+  // codes (current limits) and tank quality.
+  const tank::TankConfig tk = tank::design_tank(4.0e6, 60.0, 3.3_uH);
+  for (const int code : {24, 32, 40}) {
+    OscillatorSystem sys(fixed_code_config(tk, code));
+    driver::OscillatorDriver drv(fixed_code_config(tk, code).driver);
+    drv.set_code(code);
+    const auto pred = drv.predicted_amplitude(tank::RlcTank(tk));
+    ASSERT_TRUE(pred.has_value());
+
+    const SimulationResult r = sys.run(1200.0 / 4.0e6);
+    const double measured = peak_amplitude_tail(r.differential, 80.0 / 4.0e6);
+    EXPECT_NEAR(measured, *pred, *pred * 0.08) << "code " << code;
+  }
+}
+
+TEST(AmplitudeLaw, AmplitudeScalesWithCurrentLimit) {
+  // Doubling M roughly doubles the amplitude (exponential control is what
+  // makes equal relative voltage steps possible, Eq. 5).
+  const tank::TankConfig tk = tank::design_tank(4.0e6, 60.0, 3.3_uH);
+  auto settled = [&](int code) {
+    OscillatorSystem sys(fixed_code_config(tk, code));
+    const SimulationResult r = sys.run(1500.0 / 4.0e6);
+    return peak_amplitude_tail(r.differential, 80.0 / 4.0e6);
+  };
+  const double a32 = settled(32);  // M = 32
+  const double a48 = settled(48);  // M = 64
+  EXPECT_NEAR(a48 / a32, 2.0, 0.25);
+}
+
+TEST(AmplitudeLaw, HigherLossNeedsMoreCurrent) {
+  // Same code, worse tank -> smaller amplitude.
+  auto settled = [&](double q) {
+    const tank::TankConfig tk = tank::design_tank(4.0e6, q, 3.3_uH);
+    OscillatorSystem sys(fixed_code_config(tk, 32));
+    const SimulationResult r = sys.run(1200.0 / 4.0e6);
+    return peak_amplitude_tail(r.differential, 80.0 / 4.0e6);
+  };
+  EXPECT_GT(settled(80.0), 1.5 * settled(20.0));
+}
+
+}  // namespace
+}  // namespace lcosc::system

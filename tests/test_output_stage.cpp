@@ -1,0 +1,150 @@
+// The floating-supply output-stage testbench (Figs. 10/11 -> 17/18):
+// the bulk-switched topology must not load the pins within the operating
+// range, while the standard CMOS stage clamps a diode drop away.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "driver/output_stage.h"
+
+namespace lcosc::driver {
+namespace {
+
+// Sweeps are moderately expensive; share them across tests.
+class UnsuppliedSweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    standard_ = new UnsuppliedSweep(
+        UnsuppliedDriverTestbench(OutputStageTopology::StandardCmos).sweep(-3.0, 3.0, 61));
+    series_ = new UnsuppliedSweep(
+        UnsuppliedDriverTestbench(OutputStageTopology::SeriesPmos).sweep(-3.0, 3.0, 61));
+    bulk_ = new UnsuppliedSweep(
+        UnsuppliedDriverTestbench(OutputStageTopology::BulkSwitched).sweep(-3.0, 3.0, 61));
+  }
+  static void TearDownTestSuite() {
+    delete standard_;
+    delete series_;
+    delete bulk_;
+    standard_ = series_ = bulk_ = nullptr;
+  }
+
+  static const UnsuppliedSweep* standard_;
+  static const UnsuppliedSweep* series_;
+  static const UnsuppliedSweep* bulk_;
+};
+
+const UnsuppliedSweep* UnsuppliedSweepTest::standard_ = nullptr;
+const UnsuppliedSweep* UnsuppliedSweepTest::series_ = nullptr;
+const UnsuppliedSweep* UnsuppliedSweepTest::bulk_ = nullptr;
+
+TEST_F(UnsuppliedSweepTest, AllPointsConverge) {
+  for (const auto* sweep : {standard_, series_, bulk_}) {
+    std::size_t converged = 0;
+    for (const auto& p : sweep->points) {
+      if (p.converged) ++converged;
+    }
+    EXPECT_GE(converged, sweep->points.size() - 2)
+        << to_string(sweep->topology);
+  }
+}
+
+TEST_F(UnsuppliedSweepTest, ZeroBiasZeroCurrent) {
+  for (const auto* sweep : {standard_, series_, bulk_}) {
+    for (const auto& p : sweep->points) {
+      if (std::abs(p.differential_voltage) < 1e-9) {
+        EXPECT_LT(std::abs(p.pin_current), 1e-6) << to_string(sweep->topology);
+      }
+    }
+  }
+}
+
+TEST_F(UnsuppliedSweepTest, Fig17BulkSwitchedQuietInOperatingRange) {
+  // "For maximum operating amplitude, which is 2.7 Vpp, the unsupplied
+  // system does not significantly influence the other system."
+  EXPECT_LT(bulk_->max_abs_current_within(1.35), 50e-6);
+}
+
+TEST_F(UnsuppliedSweepTest, Fig17BulkSwitchedBoundedAtFullSweep) {
+  // Fig. 17 y-range: below ~1 mA at +-3 V.
+  EXPECT_LT(bulk_->max_abs_current(), 1.5e-3);
+}
+
+TEST_F(UnsuppliedSweepTest, StandardCmosClampsHard) {
+  // The Fig. 10a stage conducts heavily within the operating range:
+  // an order of magnitude above the bulk-switched stage's bound.
+  EXPECT_GT(standard_->max_abs_current_within(1.35), 10.0 * 50e-6);
+  EXPECT_GT(standard_->max_abs_current_within(2.7),
+            20.0 * bulk_->max_abs_current_within(2.7));
+}
+
+TEST_F(UnsuppliedSweepTest, SeriesPmosFixesNegativeSide) {
+  // Fig. 10b: the pin "can go negative" -- negative-side current far below
+  // the standard stage's.
+  auto worst_negative = [](const UnsuppliedSweep& s) {
+    double worst = 0.0;
+    for (const auto& p : s.points) {
+      if (p.differential_voltage < -0.5) worst = std::max(worst, std::abs(p.pin_current));
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_negative(*series_), 0.2 * worst_negative(*standard_));
+}
+
+TEST_F(UnsuppliedSweepTest, CurrentIsOddIsh) {
+  // The topologies are symmetric per pin; the I-V must change sign with
+  // the drive (not necessarily perfectly odd because the two pin circuits
+  // see different polarities).
+  auto at = [](const UnsuppliedSweep& s, double v) {
+    for (const auto& p : s.points) {
+      if (std::abs(p.differential_voltage - v) < 1e-6) return p.pin_current;
+    }
+    ADD_FAILURE() << "sweep point not found";
+    return 0.0;
+  };
+  EXPECT_GT(at(*standard_, 3.0), 0.0);
+  EXPECT_LT(at(*standard_, -3.0), 0.0);
+}
+
+TEST_F(UnsuppliedSweepTest, Fig18FloatingVddFollowsPositiveOverdrive) {
+  // "For positive overdrive on LCx bulk diode of MP1 is activated": the
+  // floating Vdd rail gets pulled up roughly a diode below the high pin.
+  double vdd_at_3 = 0.0;
+  double lc1_at_3 = 0.0;
+  for (const auto& p : bulk_->points) {
+    if (std::abs(p.differential_voltage - 3.0) < 1e-6) {
+      vdd_at_3 = p.v_vdd;
+      lc1_at_3 = p.v_lc1;
+    }
+  }
+  EXPECT_GT(lc1_at_3, 0.5);
+  EXPECT_GT(vdd_at_3, 0.05);
+  EXPECT_LT(vdd_at_3, lc1_at_3);
+}
+
+TEST_F(UnsuppliedSweepTest, Fig18PinsSplitTheDifferential) {
+  for (const auto& p : bulk_->points) {
+    if (!p.converged) continue;
+    EXPECT_NEAR(p.v_lc1 - p.v_lc2, p.differential_voltage, 1e-6);
+  }
+}
+
+TEST(OutputStage, ExtractIvMonotoneGrid) {
+  UnsuppliedDriverTestbench tb(OutputStageTopology::BulkSwitched);
+  const PwlTable iv = tb.extract_iv(-3.0, 3.0, 31);
+  EXPECT_GE(iv.size(), 25u);
+  EXPECT_NEAR(iv(0.0), 0.0, 1e-6);
+  // Evaluation anywhere in range is finite.
+  for (double v = -3.0; v <= 3.0; v += 0.37) {
+    EXPECT_TRUE(std::isfinite(iv(v)));
+  }
+}
+
+TEST(OutputStage, TopologyNames) {
+  EXPECT_EQ(to_string(OutputStageTopology::StandardCmos), "fig10a-standard-cmos");
+  EXPECT_EQ(to_string(OutputStageTopology::SeriesPmos), "fig10b-series-pmos");
+  EXPECT_EQ(to_string(OutputStageTopology::BulkSwitched), "fig11-bulk-switched");
+}
+
+}  // namespace
+}  // namespace lcosc::driver

@@ -1,0 +1,190 @@
+// Amplitude detector (Fig. 8) and regulation FSM (Section 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+
+namespace lcosc::regulation {
+namespace {
+
+using devices::WindowState;
+
+void drive_sine(AmplitudeDetector& det, double amplitude, double freq, double duration) {
+  const double dt = 1.0 / (freq * 64.0);
+  double t = 0.0;
+  while (t < duration) {
+    const double vd = amplitude * std::sin(kTwoPi * freq * t);
+    det.step(dt, 0.5 * vd, -0.5 * vd);
+    t += dt;
+  }
+}
+
+TEST(AmplitudeDetector, Vdc1SettlesToAOverPi) {
+  AmplitudeDetector det;
+  drive_sine(det, 2.7, 4e6, 300e-6);
+  EXPECT_NEAR(det.vdc1(), 2.7 / kPi, 2.7 / kPi * 0.03);
+}
+
+TEST(AmplitudeDetector, AmplitudeMappingRoundTrip) {
+  EXPECT_NEAR(AmplitudeDetector::vdc1_to_amplitude(AmplitudeDetector::amplitude_to_vdc1(2.7)),
+              2.7, 1e-12);
+}
+
+TEST(AmplitudeDetector, WindowCentersOnTarget) {
+  AmplitudeDetector det;
+  EXPECT_NEAR(0.5 * (det.amplitude_low() + det.amplitude_high()), 2.7, 1e-9);
+  // Window width 10% of target.
+  EXPECT_NEAR(det.amplitude_high() - det.amplitude_low(), 0.27, 1e-9);
+}
+
+TEST(AmplitudeDetector, WindowWiderThanWorstDacStep) {
+  // The design rule of Section 4: window wider than 6.25%.
+  AmplitudeDetector det;
+  const double rel_width = (det.vr4() - det.vr3()) / (0.5 * (det.vr3() + det.vr4()));
+  EXPECT_GT(rel_width, kMaxRelativeStepAbove16);
+}
+
+TEST(AmplitudeDetector, ClassifiesAmplitudes) {
+  AmplitudeDetector det;
+  drive_sine(det, 1.0, 4e6, 300e-6);  // well below target 2.7
+  EXPECT_EQ(det.window_state(), WindowState::Below);
+  det.reset();
+  drive_sine(det, 2.7, 4e6, 300e-6);
+  EXPECT_EQ(det.window_state(), WindowState::Inside);
+  det.reset();
+  drive_sine(det, 4.0, 4e6, 300e-6);
+  EXPECT_EQ(det.window_state(), WindowState::Above);
+}
+
+TEST(AmplitudeDetector, BandgapFractionsAreSubUnity) {
+  // VR3/VR4 are built as fractions of the bandgap (Fig. 8).
+  AmplitudeDetector det;
+  EXPECT_GT(det.vr3_bandgap_fraction(), 0.3);
+  EXPECT_LT(det.vr4_bandgap_fraction(), 1.1);
+  EXPECT_LT(det.vr3_bandgap_fraction(), det.vr4_bandgap_fraction());
+}
+
+TEST(AmplitudeDetector, InvalidConfigRejected) {
+  AmplitudeDetectorConfig bad;
+  bad.window_width = 0.0;
+  EXPECT_THROW(AmplitudeDetector{bad}, ConfigError);
+  bad.window_width = 1.5;
+  EXPECT_THROW(AmplitudeDetector{bad}, ConfigError);
+}
+
+// --- FSM ----------------------------------------------------------------------
+
+TEST(RegulationFsm, PowerOnPresetIs105) {
+  RegulationFsm fsm;
+  EXPECT_EQ(fsm.code(), 105);
+  EXPECT_EQ(fsm.mode(), RegulationMode::PowerOnReset);
+}
+
+TEST(RegulationFsm, TickMovesOneStep) {
+  RegulationFsm fsm;
+  EXPECT_EQ(fsm.tick(WindowState::Below), 106);
+  EXPECT_EQ(fsm.tick(WindowState::Below), 107);
+  EXPECT_EQ(fsm.tick(WindowState::Above), 106);
+  EXPECT_EQ(fsm.tick(WindowState::Inside), 106);
+  EXPECT_EQ(fsm.tick_count(), 4);
+}
+
+TEST(RegulationFsm, ClampsAtRangeEnds) {
+  RegulationConfig cfg;
+  cfg.startup_code = 126;
+  RegulationFsm fsm(cfg);
+  fsm.tick(WindowState::Below);
+  fsm.tick(WindowState::Below);
+  EXPECT_EQ(fsm.code(), 127);
+  RegulationConfig cfg2;
+  cfg2.startup_code = 1;
+  RegulationFsm fsm2(cfg2);
+  fsm2.tick(WindowState::Above);
+  fsm2.tick(WindowState::Above);
+  EXPECT_EQ(fsm2.code(), 0);
+}
+
+TEST(RegulationFsm, NvmPresetSpeedsSettling) {
+  RegulationConfig cfg;
+  cfg.nvm_code = 42;
+  RegulationFsm fsm(cfg);
+  EXPECT_EQ(fsm.code(), 105);  // POR value first
+  fsm.apply_nvm_preset();
+  EXPECT_EQ(fsm.code(), 42);
+  EXPECT_EQ(fsm.mode(), RegulationMode::Regulating);
+}
+
+TEST(RegulationFsm, NvmDisabledKeepsCode) {
+  RegulationFsm fsm;  // nvm_code = -1
+  fsm.apply_nvm_preset();
+  EXPECT_EQ(fsm.code(), 105);
+}
+
+TEST(RegulationFsm, SafeStateForcesMaxCurrent) {
+  RegulationFsm fsm;
+  fsm.enter_safe_state();
+  EXPECT_EQ(fsm.code(), 127);
+  EXPECT_EQ(fsm.mode(), RegulationMode::SafeState);
+  // Ticks are ignored in safe state.
+  fsm.tick(WindowState::Above);
+  EXPECT_EQ(fsm.code(), 127);
+  // NVM preset is also ignored.
+  fsm.apply_nvm_preset();
+  EXPECT_EQ(fsm.mode(), RegulationMode::SafeState);
+}
+
+TEST(RegulationFsm, ClearSafeStateResumes) {
+  RegulationFsm fsm;
+  fsm.enter_safe_state();
+  fsm.clear_safe_state();
+  EXPECT_EQ(fsm.mode(), RegulationMode::Regulating);
+  fsm.tick(WindowState::Above);
+  EXPECT_EQ(fsm.code(), 126);
+}
+
+TEST(RegulationFsm, PorResetRestoresStartup) {
+  RegulationFsm fsm;
+  fsm.tick(WindowState::Below);
+  fsm.por_reset();
+  EXPECT_EQ(fsm.code(), 105);
+  EXPECT_EQ(fsm.tick_count(), 0);
+}
+
+TEST(RegulationFsm, ConfigValidated) {
+  RegulationConfig bad;
+  bad.startup_code = 200;
+  EXPECT_THROW(RegulationFsm{bad}, ConfigError);
+  RegulationConfig bad2;
+  bad2.nvm_code = 500;
+  EXPECT_THROW(RegulationFsm{bad2}, ConfigError);
+  RegulationConfig bad3;
+  bad3.tick_period = 0.0;
+  EXPECT_THROW(RegulationFsm{bad3}, ConfigError);
+}
+
+// Property: the window rule of Section 4.  Because the window (10%) is
+// wider than the worst DAC step (6.25%), a single regulation step starting
+// inside the window can never jump across it.
+TEST(RegulationProperty, StepCannotJumpAcrossWindow) {
+  AmplitudeDetector det;
+  const double lo = det.amplitude_low();
+  const double hi = det.amplitude_high();
+  // Worst case: amplitude scales with the DAC step (Eq. 5).
+  for (double a = lo; a <= hi; a += (hi - lo) / 50.0) {
+    const double worst_up = a * (1.0 + kMaxRelativeStepAbove16);
+    const double worst_down = a / (1.0 + kMaxRelativeStepAbove16);
+    // From inside, one step up cannot exceed the high edge by more than
+    // the step itself AND one step cannot swap sides entirely.
+    EXPECT_FALSE(a >= lo && a <= hi && worst_up < lo);
+    EXPECT_FALSE(a >= lo && a <= hi && worst_down > hi);
+    // A step from the low edge stays below the high edge.
+    if (a == lo) EXPECT_LT(worst_up, hi);
+  }
+}
+
+}  // namespace
+}  // namespace lcosc::regulation

@@ -1,0 +1,73 @@
+// Tests for scalar root finding / minimization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numeric/roots.h"
+
+namespace lcosc {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double r = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, NoSignChangeThrows) {
+  EXPECT_THROW(bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0), ConfigError);
+}
+
+TEST(Bisect, UnorderedIntervalThrows) {
+  EXPECT_THROW(bisect_root([](double x) { return x; }, 1.0, -1.0), ConfigError);
+}
+
+TEST(Brent, FindsCosRoot) {
+  const double r = brent_root([](double x) { return std::cos(x); }, 1.0, 2.0);
+  EXPECT_NEAR(r, std::acos(0.0), 1e-10);
+}
+
+TEST(Brent, HardFlatFunction) {
+  // x^9 is extremely flat near the root; Brent must still converge.
+  const double r = brent_root([](double x) { return std::pow(x, 9.0); }, -1.0, 1.5,
+                              {.x_tolerance = 1e-12, .f_tolerance = 0.0, .max_iterations = 500});
+  EXPECT_NEAR(r, 0.0, 1e-3);
+}
+
+TEST(Brent, MatchesBisectOnPolynomial) {
+  auto f = [](double x) { return x * x * x - x - 2.0; };
+  const double b = bisect_root(f, 1.0, 2.0);
+  const double br = brent_root(f, 1.0, 2.0);
+  EXPECT_NEAR(b, br, 1e-8);
+}
+
+TEST(Threshold, FindsTransition) {
+  const double edge = 0.73;
+  const double r = bisect_threshold([edge](double x) { return x >= edge; }, 0.0, 1.0, 1e-9);
+  EXPECT_NEAR(r, edge, 1e-8);
+}
+
+TEST(Threshold, PreconditionsChecked) {
+  EXPECT_THROW(bisect_threshold([](double) { return true; }, 0.0, 1.0), ConfigError);
+  EXPECT_THROW(bisect_threshold([](double) { return false; }, 0.0, 1.0), ConfigError);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double m = golden_section_minimize([](double x) { return (x - 0.3) * (x - 0.3); },
+                                           -1.0, 2.0, 1e-10);
+  EXPECT_NEAR(m, 0.3, 1e-8);
+}
+
+TEST(GoldenSection, AsymmetricUnimodal) {
+  const double m = golden_section_minimize(
+      [](double x) { return std::exp(x) - 3.0 * x; }, 0.0, 3.0, 1e-10);
+  EXPECT_NEAR(m, std::log(3.0), 1e-7);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,160 @@
+// Safety detectors (Section 7): watchdog, low amplitude, asymmetry, and
+// the aggregating controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "safety/safety_controller.h"
+
+namespace lcosc::safety {
+namespace {
+
+constexpr double kFreq = 4e6;
+constexpr double kDt = 1.0 / (kFreq * 64.0);
+
+// Drive a detector-style step function with a differential sine of the
+// given amplitude between [t0, t1].
+template <typename StepFn>
+void drive(StepFn&& fn, double t0, double t1, double amplitude) {
+  for (double t = t0; t < t1; t += kDt) {
+    const double vd = amplitude * std::sin(kTwoPi * kFreq * t);
+    fn(t, vd);
+  }
+}
+
+TEST(Watchdog, HealthyOscillationNeverFaults) {
+  OscillationWatchdog wd;
+  drive([&](double t, double vd) { wd.step(t, vd); }, 0.0, 200e-6, 2.7);
+  EXPECT_FALSE(wd.fault());
+  EXPECT_GT(wd.edge_count(), 700);
+}
+
+TEST(Watchdog, StoppedClockFaultsAfterTimeout) {
+  OscillationWatchdog wd;
+  drive([&](double t, double vd) { wd.step(t, vd); }, 0.0, 100e-6, 2.7);
+  EXPECT_FALSE(wd.fault());
+  // Oscillation dies: feed DC.
+  drive([&](double t, double) { wd.step(t, 0.0); }, 100e-6, 150e-6, 0.0);
+  EXPECT_TRUE(wd.fault());
+}
+
+TEST(Watchdog, TinyAmplitudeBelowHysteresisCountsAsMissing) {
+  OscillationWatchdog wd({.comparator_hysteresis = 50e-3, .timeout = 20e-6});
+  drive([&](double t, double vd) { wd.step(t, vd); }, 0.0, 100e-6, 0.01);
+  EXPECT_TRUE(wd.fault());
+}
+
+TEST(Watchdog, LatencyWithinTimeoutPlusDecay) {
+  OscillationWatchdog wd({.comparator_hysteresis = 50e-3, .timeout = 20e-6});
+  drive([&](double t, double vd) { wd.step(t, vd); }, 0.0, 50e-6, 2.7);
+  double fault_time = -1.0;
+  for (double t = 50e-6; t < 200e-6; t += kDt) {
+    if (wd.step(t, 0.0)) {
+      fault_time = t;
+      break;
+    }
+  }
+  ASSERT_GT(fault_time, 0.0);
+  EXPECT_LT(fault_time - 50e-6, 25e-6);
+}
+
+TEST(Watchdog, ResetClearsFault) {
+  OscillationWatchdog wd;
+  drive([&](double t, double) { wd.step(t, 0.0); }, 0.0, 100e-6, 0.0);
+  EXPECT_TRUE(wd.fault());
+  wd.reset(100e-6);
+  EXPECT_FALSE(wd.fault());
+}
+
+TEST(LowAmplitude, HealthyAmplitudePasses) {
+  LowAmplitudeDetector det;
+  drive([&](double t, double vd) { det.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 5e-3, 2.7);
+  EXPECT_FALSE(det.fault());
+}
+
+TEST(LowAmplitude, DegradedAmplitudeFaultsAfterPersistence) {
+  LowAmplitudeDetector det;  // threshold = 50% of 2.7
+  drive([&](double t, double vd) { det.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 5e-3, 1.0);
+  EXPECT_TRUE(det.fault());
+}
+
+TEST(LowAmplitude, ShortDipRidesThrough) {
+  LowAmplitudeDetector det;
+  drive([&](double t, double vd) { det.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 4e-3, 2.7);
+  // 1 ms dip, shorter than the 3 ms persistence.
+  drive([&](double t, double vd) { det.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 4e-3, 5e-3, 0.5);
+  drive([&](double t, double vd) { det.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 5e-3, 8e-3, 2.7);
+  EXPECT_FALSE(det.fault());
+}
+
+TEST(Asymmetry, SymmetricTankIsQuiet) {
+  AsymmetryDetector det;
+  drive([&](double t, double vd) { det.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 3e-3, 2.7);
+  EXPECT_FALSE(det.fault());
+  EXPECT_NEAR(det.detector_output(), 0.0, 5e-3);
+}
+
+TEST(Asymmetry, UnequalPinSwingsFault) {
+  // Missing Cosc2: LC1 swings 0.9 of the differential, LC2 only 0.1 -> the
+  // midpoint oscillates in phase with the differential.
+  AsymmetryDetector det;
+  for (double t = 0.0; t < 3e-3; t += kDt) {
+    const double vd = 2.7 * std::sin(kTwoPi * kFreq * t);
+    det.step(t, kDt, 0.9 * vd, -0.1 * vd);
+  }
+  EXPECT_TRUE(det.fault());
+  EXPECT_GT(std::abs(det.detector_output()), 60e-3);
+}
+
+TEST(Asymmetry, SignIdentifiesFailedSide) {
+  AsymmetryDetector det1;
+  AsymmetryDetector det2;
+  for (double t = 0.0; t < 2e-3; t += kDt) {
+    const double vd = 2.7 * std::sin(kTwoPi * kFreq * t);
+    det1.step(t, kDt, 0.9 * vd, -0.1 * vd);  // LC1 side dominates
+    det2.step(t, kDt, 0.1 * vd, -0.9 * vd);  // LC2 side dominates
+  }
+  EXPECT_GT(det1.detector_output(), 0.0);
+  EXPECT_LT(det2.detector_output(), 0.0);
+}
+
+TEST(Controller, CleanRunRaisesNothing) {
+  SafetyController ctl;
+  drive([&](double t, double vd) { ctl.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 8e-3, 2.7);
+  EXPECT_FALSE(ctl.safe_state_requested());
+  EXPECT_EQ(ctl.flags(), FaultFlags{});
+}
+
+TEST(Controller, BlankingSuppressesStartupFaults) {
+  SafetyController ctl;
+  // During the first 1 ms amplitude is tiny (startup); detectors must not
+  // latch because of it.
+  drive([&](double t, double vd) { ctl.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 1e-3, 0.3);
+  drive([&](double t, double vd) { ctl.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 1e-3, 9e-3, 2.7);
+  EXPECT_FALSE(ctl.flags().low_amplitude);
+}
+
+TEST(Controller, AggregatesAllChannels) {
+  SafetyController ctl;
+  // Healthy, then dead oscillation -> watchdog fires, then the filtered
+  // amplitude collapses -> low amplitude fires too.
+  drive([&](double t, double vd) { ctl.step(t, kDt, 0.5 * vd, -0.5 * vd); }, 0.0, 5e-3, 2.7);
+  drive([&](double t, double) { ctl.step(t, kDt, 0.0, 0.0); }, 5e-3, 15e-3, 0.0);
+  EXPECT_TRUE(ctl.flags().missing_oscillation);
+  EXPECT_TRUE(ctl.flags().low_amplitude);
+  EXPECT_TRUE(ctl.safe_state_requested());
+  EXPECT_TRUE(ctl.outputs_safe());
+}
+
+TEST(Controller, ResetClearsEverything) {
+  SafetyController ctl;
+  drive([&](double t, double) { ctl.step(t, kDt, 0.0, 0.0); }, 0.0, 10e-3, 0.0);
+  EXPECT_TRUE(ctl.safe_state_requested());
+  ctl.reset(10e-3);
+  EXPECT_FALSE(ctl.safe_state_requested());
+}
+
+}  // namespace
+}  // namespace lcosc::safety

@@ -1,0 +1,92 @@
+// Harmonic spectrum analysis (the EMC view).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "waveform/spectrum.h"
+
+namespace lcosc {
+namespace {
+
+Trace make_square(double amplitude, double freq, double duration, double rate) {
+  Trace t("sq");
+  const double dt = 1.0 / rate;
+  for (double time = 0.0; time <= duration; time += dt) {
+    t.append(time, std::fmod(time * freq, 1.0) < 0.5 ? amplitude : -amplitude);
+  }
+  return t;
+}
+
+Trace make_sine(double amplitude, double freq, double duration, double rate) {
+  Trace t("sin");
+  const double dt = 1.0 / rate;
+  for (double time = 0.0; time <= duration; time += dt) {
+    t.append(time, amplitude * std::sin(kTwoPi * freq * time));
+  }
+  return t;
+}
+
+TEST(Spectrum, SquareWaveOddHarmonics) {
+  const Trace t = make_square(1.0, 1e3, 0.05, 2e6);
+  const auto spec = harmonic_spectrum(t, 1e3, 9);
+  ASSERT_EQ(spec.size(), 9u);
+  // Fundamental of a square wave: 4/pi.
+  EXPECT_NEAR(spec[0].amplitude, 4.0 / kPi, 0.02);
+  // 3rd harmonic: fundamental/3; even harmonics vanish.
+  EXPECT_NEAR(spec[2].amplitude, 4.0 / (3.0 * kPi), 0.02);
+  EXPECT_NEAR(spec[1].amplitude, 0.0, 0.02);
+  EXPECT_NEAR(spec[3].amplitude, 0.0, 0.02);
+  // 3rd harmonic level: -9.54 dBc.
+  EXPECT_NEAR(spec[2].dbc, -9.54, 0.3);
+}
+
+TEST(Spectrum, PureSineIsClean) {
+  const Trace t = make_sine(2.0, 1e3, 0.05, 2e6);
+  const auto spec = harmonic_spectrum(t, 1e3, 9);
+  EXPECT_NEAR(spec[0].amplitude, 2.0, 0.02);
+  EXPECT_LT(worst_harmonic_dbc(spec), -40.0);
+  EXPECT_LT(harmonic_power_ratio(spec), 1e-3);
+}
+
+TEST(Spectrum, WorstHarmonicPicksLargest) {
+  const Trace t = make_square(1.0, 1e3, 0.05, 2e6);
+  const auto spec = harmonic_spectrum(t, 1e3, 9);
+  // For a square wave the 3rd harmonic is the worst offender.
+  double best = -500.0;
+  int best_h = 0;
+  for (const auto& line : spec) {
+    if (line.harmonic >= 2 && line.dbc > best) {
+      best = line.dbc;
+      best_h = line.harmonic;
+    }
+  }
+  EXPECT_EQ(best_h, 3);
+  EXPECT_NEAR(worst_harmonic_dbc(spec), best, 1e-12);
+}
+
+TEST(Spectrum, HarmonicPowerRatioIsThdSquared) {
+  const Trace t = make_square(1.0, 1e3, 0.05, 2e6);
+  const auto spec = harmonic_spectrum(t, 1e3, 9);
+  // THD through 9th harmonic ~ 0.4291 -> power ratio ~ 0.184.
+  EXPECT_NEAR(harmonic_power_ratio(spec), 0.4291 * 0.4291, 0.02);
+}
+
+TEST(Spectrum, FrequencyColumnsAreMultiples) {
+  const Trace t = make_sine(1.0, 5e3, 0.01, 2e6);
+  const auto spec = harmonic_spectrum(t, 5e3, 4);
+  for (int h = 1; h <= 4; ++h) {
+    EXPECT_DOUBLE_EQ(spec[static_cast<std::size_t>(h - 1)].frequency, 5e3 * h);
+    EXPECT_EQ(spec[static_cast<std::size_t>(h - 1)].harmonic, h);
+  }
+}
+
+TEST(Spectrum, InvalidArgumentsThrow) {
+  const Trace t = make_sine(1.0, 1e3, 0.01, 1e6);
+  EXPECT_THROW(harmonic_spectrum(t, 0.0, 5), ConfigError);
+  EXPECT_THROW(harmonic_spectrum(t, 1e3, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc

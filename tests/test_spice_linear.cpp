@@ -1,0 +1,157 @@
+// DC analysis of linear circuits: divider, bridges, sources, controlled
+// sources, inductor/capacitor DC behaviour, floating nodes.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+
+namespace lcosc::spice {
+namespace {
+
+TEST(DcLinear, VoltageDivider) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 10.0);
+  c.resistor("R1", "in", "mid", 1e3);
+  c.resistor("R2", "mid", "0", 3e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "mid"), 7.5, 1e-6);
+}
+
+TEST(DcLinear, SourceBranchCurrent) {
+  Circuit c;
+  auto& v1 = c.voltage_source("V1", "a", "0", 5.0);
+  c.resistor("R1", "a", "0", 1e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  // Current into the + terminal is negative when sourcing (SPICE sign).
+  StampContext ctx;
+  EXPECT_NEAR(v1.branch_current(s.x, ctx), -5e-3, 1e-9);
+}
+
+TEST(DcLinear, CurrentSourceIntoResistor) {
+  Circuit c;
+  c.current_source("I1", "0", "out", 2e-3);
+  c.resistor("R1", "out", "0", 500.0);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "out"), 1.0, 1e-6);
+}
+
+TEST(DcLinear, InductorIsDcShort) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 1.0);
+  c.resistor("R1", "in", "a", 1e3);
+  auto& l1 = c.inductor("L1", "a", "b", 1e-3);
+  c.resistor("R2", "b", "0", 1e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "a"), s.voltage(c, "b"), 1e-9);
+  StampContext ctx;
+  EXPECT_NEAR(l1.branch_current(s.x, ctx), 0.5e-3, 1e-9);
+}
+
+TEST(DcLinear, CapacitorIsDcOpen) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 1.0);
+  c.resistor("R1", "in", "a", 1e3);
+  c.capacitor("C1", "a", "0", 1e-9);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  // No DC path through the capacitor: node a sits at the source voltage.
+  EXPECT_NEAR(s.voltage(c, "a"), 1.0, 1e-5);
+}
+
+TEST(DcLinear, FloatingNodeSolvedByGmin) {
+  Circuit c;
+  c.voltage_source("V1", "a", "0", 1.0);
+  c.resistor("R1", "a", "b", 1e3);
+  c.add_node("orphan");  // totally unconnected node
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "orphan"), 0.0, 1e-6);
+  EXPECT_NEAR(s.voltage(c, "b"), 1.0, 1e-3);  // through gmin only
+}
+
+TEST(DcLinear, WheatstoneBridge) {
+  Circuit c;
+  c.voltage_source("V1", "top", "0", 10.0);
+  c.resistor("R1", "top", "left", 1e3);
+  c.resistor("R2", "top", "right", 2e3);
+  c.resistor("R3", "left", "0", 2e3);
+  c.resistor("R4", "right", "0", 4e3);
+  c.resistor("Rg", "left", "right", 5e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  // Balanced bridge: no current through Rg, both mid nodes at 20/3 V.
+  EXPECT_NEAR(s.voltage(c, "left"), s.voltage(c, "right"), 1e-6);
+  EXPECT_NEAR(s.voltage(c, "left"), 10.0 * 2.0 / 3.0, 1e-5);
+}
+
+TEST(DcLinear, VccsAmplifier) {
+  Circuit c;
+  c.voltage_source("Vin", "in", "0", 0.1);
+  c.vccs("G1", "0", "out", "in", "0", 1e-3);  // pushes gm*vin into out
+  c.resistor("RL", "out", "0", 10e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "out"), 1.0, 1e-6);
+}
+
+TEST(DcLinear, VcvsGain) {
+  Circuit c;
+  c.voltage_source("Vin", "in", "0", 0.25);
+  c.add<Vcvs>("E1", c.node_or_create("out"), Circuit::ground(), c.node("in"),
+              Circuit::ground(), 4.0);
+  c.resistor("RL", "out", "0", 1e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "out"), 1.0, 1e-9);
+}
+
+TEST(DcLinear, SeriesVoltageSourcesSum) {
+  Circuit c;
+  c.voltage_source("V1", "a", "0", 1.5);
+  c.voltage_source("V2", "b", "a", 2.5);
+  c.resistor("R1", "b", "0", 1e3);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "b"), 4.0, 1e-9);
+}
+
+TEST(Circuit, DuplicateNamesRejected) {
+  Circuit c;
+  c.resistor("R1", "a", "0", 1.0);
+  EXPECT_THROW(c.resistor("R1", "b", "0", 1.0), NetlistError);
+  c.add_node("x");
+  EXPECT_THROW(c.add_node("x"), NetlistError);
+}
+
+TEST(Circuit, UnknownNodeLookupThrows) {
+  Circuit c;
+  EXPECT_THROW(c.node("nope"), NetlistError);
+  EXPECT_EQ(c.node(std::string("0")), Circuit::ground());
+  EXPECT_EQ(c.node("gnd"), Circuit::ground());
+}
+
+TEST(Circuit, FindElements) {
+  Circuit c;
+  c.resistor("R1", "a", "0", 1e3);
+  EXPECT_NE(c.find("R1"), nullptr);
+  EXPECT_EQ(c.find("R2"), nullptr);
+  EXPECT_NE(c.find_as<Resistor>("R1"), nullptr);
+  EXPECT_EQ(c.find_as<Capacitor>("R1"), nullptr);
+}
+
+TEST(Circuit, NonlinearDetection) {
+  Circuit linear;
+  linear.resistor("R1", "a", "0", 1.0);
+  EXPECT_FALSE(linear.is_nonlinear());
+  Circuit nl;
+  nl.diode("D1", "a", "0");
+  EXPECT_TRUE(nl.is_nonlinear());
+}
+
+}  // namespace
+}  // namespace lcosc::spice

@@ -1,0 +1,264 @@
+// DC analysis of nonlinear circuits: diodes, MOSFETs (all regions, both
+// polarities, bulk diodes), switches, and convergence continuation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+
+namespace lcosc::spice {
+namespace {
+
+TEST(Junction, ExponentialAndLimiting) {
+  DiodeParams p;
+  const JunctionEval low = evaluate_junction(0.3, p);
+  const JunctionEval mid = evaluate_junction(0.6, p);
+  EXPECT_GT(mid.current, low.current * 100.0);  // exponential region
+  // Above the limit voltage the extension is linear in v.
+  const JunctionEval a = evaluate_junction(p.limit_voltage + 1.0, p);
+  const JunctionEval b = evaluate_junction(p.limit_voltage + 2.0, p);
+  EXPECT_NEAR(b.current - a.current, a.conductance, a.conductance * 1e-6);
+  EXPECT_TRUE(std::isfinite(evaluate_junction(100.0, p).current));
+}
+
+TEST(Junction, ReverseLeakageIsGmin) {
+  DiodeParams p;
+  const JunctionEval rev = evaluate_junction(-5.0, p);
+  EXPECT_NEAR(rev.current, -p.saturation_current + p.gmin * -5.0, 1e-12);
+}
+
+TEST(DcDiode, ForwardDropAboutSixHundredMillivolts) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 5.0);
+  c.resistor("R1", "in", "a", 1e3);
+  c.diode("D1", "a", "0");
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  const double vd = s.voltage(c, "a");
+  EXPECT_GT(vd, 0.55);
+  EXPECT_LT(vd, 0.75);
+}
+
+TEST(DcDiode, ReverseBlocksCurrent) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", -5.0);
+  c.resistor("R1", "in", "a", 1e3);
+  c.diode("D1", "a", "0");
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "a"), -5.0, 1e-3);
+}
+
+TEST(DcDiode, SixtyMillivoltPerDecade) {
+  // Two bias points a decade apart in current differ by ~ln(10)*nVt.
+  auto drop_at = [](double i_bias) {
+    Circuit c;
+    c.current_source("I1", "0", "a", i_bias);
+    c.diode("D1", "a", "0");
+    const DcSolution s = solve_dc(c);
+    EXPECT_TRUE(s.converged);
+    return s.voltage(c, "a");
+  };
+  const double dv = drop_at(1e-3) - drop_at(1e-4);
+  EXPECT_NEAR(dv, std::log(10.0) * 0.02585, 0.002);
+}
+
+TEST(MosfetEval, Regions) {
+  MosfetParams p = nmos_035um(10.0);
+  p.gamma = 0.0;
+  // Cutoff.
+  const MosfetEval off = Mosfet::evaluate_channel(1.0, 0.2, 0.0, 0.0, p);
+  EXPECT_DOUBLE_EQ(off.ids, 0.0);
+  // Saturation: vds > vgs - vt.
+  const MosfetEval sat = Mosfet::evaluate_channel(3.0, 1.5, 0.0, 0.0, p);
+  EXPECT_TRUE(sat.saturated);
+  const double vov = 1.5 - p.threshold_voltage;
+  EXPECT_NEAR(sat.ids, 0.5 * p.transconductance * vov * vov * (1.0 + p.lambda * 3.0),
+              sat.ids * 1e-9);
+  // Triode: vds small.
+  const MosfetEval tri = Mosfet::evaluate_channel(0.05, 2.0, 0.0, 0.0, p);
+  EXPECT_FALSE(tri.saturated);
+  EXPECT_GT(tri.gds, sat.gds);
+}
+
+TEST(MosfetEval, SymmetricSwap) {
+  MosfetParams p = nmos_035um(10.0);
+  p.gamma = 0.0;
+  p.lambda = 0.0;
+  const MosfetEval fwd = Mosfet::evaluate_channel(2.0, 1.5, 0.0, 0.0, p);
+  // Same terminal potentials with drain and source exchanged: the model
+  // must normalize (swap) and report the same channel current.
+  const MosfetEval rev = Mosfet::evaluate_channel(0.0, 1.5, 2.0, 0.0, p);
+  EXPECT_TRUE(rev.swapped);
+  EXPECT_NEAR(fwd.ids, rev.ids, fwd.ids * 1e-9);
+}
+
+TEST(MosfetEval, BodyEffectRaisesThreshold) {
+  MosfetParams p = nmos_035um(10.0);  // gamma > 0
+  const MosfetEval no_bias = Mosfet::evaluate_channel(3.0, 1.2, 0.0, 0.0, p);
+  const MosfetEval back_bias = Mosfet::evaluate_channel(3.0, 1.2, 0.0, -2.0, p);
+  EXPECT_LT(back_bias.ids, no_bias.ids);
+  EXPECT_GT(back_bias.gmb, 0.0);
+}
+
+TEST(DcMosfet, NmosInverterRails) {
+  auto vtc_point = [](double vin) {
+    Circuit c;
+    c.voltage_source("Vdd", "vdd", "0", 5.0);
+    c.voltage_source("Vin", "in", "0", vin);
+    c.resistor("RL", "vdd", "out", 10e3);
+    c.mosfet("M1", "out", "in", "0", "0", nmos_035um(10.0));
+    const DcSolution s = solve_dc(c);
+    EXPECT_TRUE(s.converged);
+    return s.voltage(c, "out");
+  };
+  EXPECT_NEAR(vtc_point(0.0), 5.0, 0.01);   // off: output at the rail
+  EXPECT_LT(vtc_point(5.0), 0.4);           // hard on: output near ground
+  // Monotone decreasing VTC.
+  EXPECT_GT(vtc_point(1.0), vtc_point(1.5));
+}
+
+TEST(DcMosfet, PmosSourceFollowsPolarity) {
+  Circuit c;
+  c.voltage_source("Vdd", "vdd", "0", 5.0);
+  c.voltage_source("Vg", "g", "0", 0.0);
+  c.resistor("RL", "out", "0", 10e3);
+  c.mosfet("M1", "out", "g", "vdd", "vdd", pmos_035um(20.0));
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  // Gate low, PMOS on: output pulled towards Vdd.
+  EXPECT_GT(s.voltage(c, "out"), 4.0);
+}
+
+TEST(DcMosfet, PmosOffWhenGateHigh) {
+  Circuit c;
+  c.voltage_source("Vdd", "vdd", "0", 5.0);
+  c.voltage_source("Vg", "g", "0", 5.0);
+  c.resistor("RL", "out", "0", 10e3);
+  c.mosfet("M1", "out", "g", "vdd", "vdd", pmos_035um(20.0));
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LT(s.voltage(c, "out"), 0.1);
+}
+
+TEST(DcMosfet, BulkDiodeConductsWhenDrainBelowBulk) {
+  // NMOS with grounded bulk: pulling the drain negative forward-biases
+  // the bulk-drain junction (this is exactly the Fig. 10a failure path).
+  Circuit c;
+  c.voltage_source("V1", "d", "0", -2.0);
+  // Series resistor so the junction current is observable via the drop.
+  Circuit c2;
+  c2.voltage_source("V1", "in", "0", -2.0);
+  c2.resistor("Rs", "in", "d", 1e3);
+  c2.mosfet("M1", "d", "0", "0", "0", nmos_035um(100.0));
+  const DcSolution s = solve_dc(c2);
+  ASSERT_TRUE(s.converged);
+  // Junction clamps the drain near -0.6..-0.8 V.
+  EXPECT_GT(s.voltage(c2, "d"), -0.9);
+  EXPECT_LT(s.voltage(c2, "d"), -0.4);
+}
+
+TEST(DcMosfet, CascadeNeedsContinuation) {
+  // Three-stage resistor-loaded chain: a harder Newton problem that should
+  // still converge (possibly via gmin stepping).
+  Circuit c;
+  c.voltage_source("Vdd", "vdd", "0", 5.0);
+  c.voltage_source("Vin", "in", "0", 1.2);
+  std::string prev = "in";
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::string out = "o" + std::to_string(stage);
+    c.resistor("R" + std::to_string(stage), "vdd", out, 20e3);
+    c.mosfet("M" + std::to_string(stage), out, prev, "0", "0", nmos_035um(5.0));
+    prev = out;
+  }
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  for (int stage = 0; stage < 3; ++stage) {
+    const double v = s.voltage(c, "o" + std::to_string(stage));
+    EXPECT_GE(v, -0.1);
+    EXPECT_LE(v, 5.1);
+  }
+}
+
+TEST(Zener, ForwardLikeNormalDiode) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 5.0);
+  c.resistor("R1", "in", "a", 1e3);
+  c.add<ZenerDiode>("Z1", c.node_or_create("a"), Circuit::ground(), ZenerParams{});
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_GT(s.voltage(c, "a"), 0.55);
+  EXPECT_LT(s.voltage(c, "a"), 0.75);
+}
+
+TEST(Zener, ReverseBreakdownClampsAtVz) {
+  ZenerParams zp;
+  zp.breakdown_voltage = 5.5;
+  Circuit c;
+  c.voltage_source("V1", "in", "0", -12.0);
+  c.resistor("R1", "in", "a", 1e3);
+  // Anode at node a, cathode at ground: node a negative = reverse bias.
+  c.add<ZenerDiode>("Z1", c.node_or_create("a"), Circuit::ground(), zp);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "a"), -5.5, 0.4);
+}
+
+TEST(Zener, BlocksBelowBreakdown) {
+  ZenerParams zp;
+  zp.breakdown_voltage = 5.5;
+  Circuit c;
+  c.voltage_source("V1", "in", "0", -3.0);
+  c.resistor("R1", "in", "a", 1e3);
+  c.add<ZenerDiode>("Z1", c.node_or_create("a"), Circuit::ground(), zp);
+  const DcSolution s = solve_dc(c);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(c, "a"), -3.0, 1e-2);
+}
+
+TEST(Zener, CharacteristicIsMonotone) {
+  Circuit c;
+  auto& z = c.add<ZenerDiode>("Z1", c.node_or_create("a"), Circuit::ground(), ZenerParams{});
+  double prev = z.evaluate(-8.0).current;
+  for (double v = -7.9; v <= 1.0; v += 0.1) {
+    const double i = z.evaluate(v).current;
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(DcSwitch, OnOffStates) {
+  Switch::Params sp;
+  sp.r_on = 100.0;
+  sp.r_off = 1e9;
+  sp.threshold = 1.0;
+  auto out_at = [&](double vctl) {
+    Circuit c;
+    c.voltage_source("V1", "in", "0", 2.0);
+    c.voltage_source("Vc", "ctl", "0", vctl);
+    c.resistor("R1", "in", "a", 100.0);
+    c.sw("S1", "a", "0", "ctl", "0", sp);
+    const DcSolution s = solve_dc(c);
+    EXPECT_TRUE(s.converged);
+    return s.voltage(c, "a");
+  };
+  EXPECT_NEAR(out_at(2.0), 1.0, 0.01);  // on: divider 100/100
+  EXPECT_NEAR(out_at(0.0), 2.0, 0.01);  // off
+}
+
+TEST(DcSwitch, ConductanceTransitionIsSmooth) {
+  Switch::Params sp;
+  Circuit c;
+  auto& s1 = c.sw("S1", "a", "0", "ctl", "0", sp);
+  const double g_below = s1.conductance_at(-1.0);
+  const double g_mid = s1.conductance_at(0.0);
+  const double g_above = s1.conductance_at(1.0);
+  EXPECT_LT(g_below, g_mid);
+  EXPECT_LT(g_mid, g_above);
+  EXPECT_NEAR(g_mid, 0.5 * (1.0 / sp.r_on + 1.0 / sp.r_off), 1e-6);
+}
+
+}  // namespace
+}  // namespace lcosc::spice

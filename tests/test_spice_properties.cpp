@@ -1,0 +1,140 @@
+// Physics-law property tests of the MNA solver on randomized networks:
+// superposition, reciprocity and power balance must hold for any linear
+// circuit the generator produces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+
+namespace lcosc::spice {
+namespace {
+
+// Build a random connected resistor network over `nodes` nodes (node 0 is
+// ground), with a spanning chain plus extra random edges.
+void build_random_resistor_network(Circuit& c, Rng& rng, int nodes, int extra_edges) {
+  auto node_name = [](int i) { return i == 0 ? std::string("0") : "n" + std::to_string(i); };
+  int edge = 0;
+  for (int i = 1; i <= nodes; ++i) {
+    c.resistor("Rchain" + std::to_string(edge++), node_name(i - 1), node_name(i),
+               rng.uniform(100.0, 10e3));
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    const int a = rng.uniform_int(0, nodes);
+    int b = rng.uniform_int(0, nodes);
+    if (a == b) b = (b + 1) % (nodes + 1);
+    c.resistor("Rx" + std::to_string(edge++), node_name(a), node_name(b),
+               rng.uniform(100.0, 10e3));
+  }
+}
+
+TEST(SpiceProperties, SuperpositionHolds) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nodes = rng.uniform_int(4, 9);
+
+    auto solve_with = [&](double i1, double i2, Vector& out) {
+      Circuit c;
+      Rng net_rng(1000 + trial);  // identical network each time
+      build_random_resistor_network(c, net_rng, nodes, nodes);
+      c.current_source("I1", "0", "n1", i1);
+      c.current_source("I2", "0", "n" + std::to_string(nodes), i2);
+      const DcSolution s = solve_dc(c);
+      ASSERT_TRUE(s.converged);
+      out = s.x;
+    };
+
+    Vector both, only1, only2;
+    solve_with(1e-3, 2e-3, both);
+    solve_with(1e-3, 0.0, only1);
+    solve_with(0.0, 2e-3, only2);
+    ASSERT_EQ(both.size(), only1.size());
+    for (std::size_t i = 0; i < both.size(); ++i) {
+      EXPECT_NEAR(both[i], only1[i] + only2[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SpiceProperties, ReciprocityHolds) {
+  // For a passive resistive network: V at j due to a current source at i
+  // equals V at i due to the same source at j.
+  Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nodes = rng.uniform_int(4, 9);
+    const int inject = 1;
+    const int measure = nodes;
+
+    auto transfer = [&](int src_node, int probe_node) {
+      Circuit c;
+      Rng net_rng(2000 + trial);
+      build_random_resistor_network(c, net_rng, nodes, nodes);
+      c.current_source("Isrc", "0", "n" + std::to_string(src_node), 1e-3);
+      const DcSolution s = solve_dc(c);
+      EXPECT_TRUE(s.converged);
+      return s.voltage(c, "n" + std::to_string(probe_node));
+    };
+
+    EXPECT_NEAR(transfer(inject, measure), transfer(measure, inject), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(SpiceProperties, PowerBalanceHolds) {
+  // Total power delivered by sources equals total dissipated in resistors.
+  Rng rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nodes = rng.uniform_int(4, 8);
+    Circuit c;
+    Rng net_rng(3000 + trial);
+    build_random_resistor_network(c, net_rng, nodes, nodes);
+    auto& v1 = c.voltage_source("V1", "n1", "0", rng.uniform(1.0, 10.0));
+    c.current_source("I1", "0", "n" + std::to_string(nodes), rng.uniform(1e-4, 5e-3));
+    const DcSolution s = solve_dc(c);
+    ASSERT_TRUE(s.converged);
+
+    StampContext ctx;
+    double dissipated = 0.0;
+    double delivered = 0.0;
+    for (const auto& e : c.elements()) {
+      if (const auto* r = dynamic_cast<const Resistor*>(e.get())) {
+        const double i = r->branch_current(s.x, ctx);
+        dissipated += i * i * r->resistance();
+      } else if (const auto* vs = dynamic_cast<const VoltageSource*>(e.get())) {
+        // Current INTO the + terminal is negative when sourcing power.
+        delivered += -vs->branch_current(s.x, ctx) * vs->value();
+      } else if (const auto* is = dynamic_cast<const CurrentSource*>(e.get())) {
+        delivered += is->value() * s.voltage(c, "n" + std::to_string(nodes));
+      }
+    }
+    (void)v1;
+    EXPECT_NEAR(dissipated, delivered, std::max(1e-9, dissipated * 1e-6))
+        << "trial " << trial;
+  }
+}
+
+TEST(SpiceProperties, GroundedNetworkHasBoundedVoltages) {
+  // No node in a passive divider network can exceed the source voltage.
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nodes = rng.uniform_int(4, 9);
+    Circuit c;
+    Rng net_rng(4000 + trial);
+    build_random_resistor_network(c, net_rng, nodes, nodes);
+    const double vs = rng.uniform(1.0, 10.0);
+    c.voltage_source("V1", "n1", "0", vs);
+    const DcSolution s = solve_dc(c);
+    ASSERT_TRUE(s.converged);
+    for (int n = 1; n <= nodes; ++n) {
+      const double v = s.voltage(c, "n" + std::to_string(n));
+      EXPECT_GE(v, -1e-9);
+      EXPECT_LE(v, vs + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcosc::spice

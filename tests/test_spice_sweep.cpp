@@ -1,0 +1,89 @@
+// DC sweeps with continuation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "spice/circuit.h"
+#include "spice/sweep.h"
+
+namespace lcosc::spice {
+namespace {
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(-1.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), -1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+}
+
+TEST(Logspace, EndpointsAndRatio) {
+  const auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+  EXPECT_THROW(logspace(0.0, 1.0, 3), ConfigError);
+}
+
+TEST(DcSweep, LinearResistorIsOhmic) {
+  Circuit c;
+  auto& v1 = c.voltage_source("V1", "in", "0", 0.0);
+  c.resistor("R1", "in", "0", 2e3);
+  const SweepResult r = dc_sweep(c, v1, linspace(-1.0, 1.0, 11));
+  EXPECT_EQ(r.converged_count(), 11u);
+  StampContext ctx;
+  for (const auto& p : r.points) {
+    ASSERT_TRUE(p.converged);
+    EXPECT_NEAR(v1.branch_current(p.solution.x, ctx), -p.value / 2e3, 1e-9);
+  }
+}
+
+TEST(DcSweep, DiodeIvIsExponential) {
+  Circuit c;
+  auto& v1 = c.voltage_source("V1", "a", "0", 0.0);
+  c.diode("D1", "a", "0");
+  const SweepResult r = dc_sweep(c, v1, linspace(0.40, 0.62, 23));
+  EXPECT_EQ(r.converged_count(), 23u);
+  // log(I) vs V is a straight line with slope 1/nVt in the exponential
+  // region; check two well-separated points.
+  StampContext ctx;
+  const double i_low = -v1.branch_current(r.points.front().solution.x, ctx);
+  const double i_high = -v1.branch_current(r.points.back().solution.x, ctx);
+  const double slope = std::log(i_high / i_low) / (0.62 - 0.40);
+  EXPECT_NEAR(slope, 1.0 / 0.02585, 1.0 / 0.02585 * 0.02);
+}
+
+TEST(DcSweep, RestoresOriginalSourceValue) {
+  Circuit c;
+  auto& v1 = c.voltage_source("V1", "a", "0", 1.25);
+  c.resistor("R1", "a", "0", 1e3);
+  (void)dc_sweep(c, v1, linspace(0.0, 1.0, 5));
+  EXPECT_DOUBLE_EQ(v1.value(), 1.25);
+}
+
+TEST(DcSweep, CurrentSourceSweep) {
+  Circuit c;
+  auto& i1 = c.current_source("I1", "0", "a", 0.0);
+  c.resistor("R1", "a", "0", 1e3);
+  const SweepResult r = dc_sweep(c, i1, linspace(0.0, 1e-3, 5));
+  EXPECT_EQ(r.converged_count(), 5u);
+  EXPECT_NEAR(r.points.back().solution.voltage(c, "a"), 1.0, 1e-6);
+}
+
+TEST(DcSweep, ContinuationHelpsStiffCircuit) {
+  // Diode stack with a tiny series resistor: each point uses the previous
+  // solution; all must converge.
+  Circuit c;
+  auto& v1 = c.voltage_source("V1", "in", "0", 0.0);
+  c.resistor("Rs", "in", "d1", 10.0);
+  c.diode("D1", "d1", "d2");
+  c.diode("D2", "d2", "d3");
+  c.diode("D3", "d3", "0");
+  const SweepResult r = dc_sweep(c, v1, linspace(0.0, 3.0, 61));
+  EXPECT_EQ(r.converged_count(), 61u);
+}
+
+}  // namespace
+}  // namespace lcosc::spice

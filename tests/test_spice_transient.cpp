@@ -1,0 +1,231 @@
+// Transient (backward Euler) analysis cross-checks against closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "spice/circuit.h"
+#include "spice/mutual_coupling.h"
+#include "spice/transient_solver.h"
+#include "waveform/measurements.h"
+
+namespace lcosc::spice {
+namespace {
+
+TEST(Transient, RcCharge) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 1.0);
+  c.resistor("R1", "in", "out", 1e3);
+  c.capacitor("C1", "out", "0", 1e-6);  // tau = 1 ms
+  TransientOptions opt;
+  opt.t_stop = 5e-3;
+  opt.dt = 5e-6;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"out"});
+  EXPECT_TRUE(r.converged);
+  const Trace& out = r.trace("out");
+  // After 1 tau: 63.2%; after 5 tau: ~99.3%.
+  EXPECT_NEAR(out.sample_at(1e-3), 1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(out.sample_at(5e-3), 1.0, 0.01);
+}
+
+TEST(Transient, RlCurrentRise) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 1.0);
+  c.resistor("R1", "in", "out", 100.0);
+  c.inductor("L1", "out", "0", 10e-3);  // tau = L/R = 100 us
+  TransientOptions opt;
+  opt.t_stop = 500e-6;
+  opt.dt = 1e-6;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"out"});
+  EXPECT_TRUE(r.converged);
+  // v(out) = V exp(-t/tau) across the inductor.
+  EXPECT_NEAR(r.trace("out").sample_at(100e-6), std::exp(-1.0), 0.02);
+}
+
+TEST(Transient, LcRingingFrequency) {
+  Circuit c;
+  // Pre-charged capacitor rings into an inductor.
+  c.capacitor("C1", "a", "0", 1e-9, /*initial_voltage=*/1.0);
+  c.inductor("L1", "a", "0", 1e-6);
+  // f0 = 1/(2 pi sqrt(LC)) ~ 5.03 MHz.
+  TransientOptions opt;
+  opt.t_stop = 2e-6;
+  opt.dt = 1e-9;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"a"});
+  EXPECT_TRUE(r.converged);
+  const auto f = estimate_frequency(r.trace("a"));
+  ASSERT_TRUE(f.has_value());
+  const double f0 = 1.0 / (kTwoPi * std::sqrt(1e-6 * 1e-9));
+  EXPECT_NEAR(*f, f0, f0 * 0.05);
+}
+
+TEST(Transient, StartFromDcIsQuiet) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 2.0);
+  c.resistor("R1", "in", "out", 1e3);
+  c.capacitor("C1", "out", "0", 1e-6);
+  TransientOptions opt;
+  opt.t_stop = 1e-3;
+  opt.dt = 10e-6;
+  opt.start_from_dc = true;
+  const TransientResult r = run_transient(c, opt, {"out"});
+  EXPECT_TRUE(r.converged);
+  // Already at the operating point: stays there.
+  EXPECT_NEAR(peak_to_peak(r.trace("out")), 0.0, 1e-3);
+}
+
+TEST(Transient, DiodeRectifiesTransient) {
+  // Half-wave rectifier driven by a pre-charged capacitor through the
+  // diode into a load: output never goes significantly negative.
+  Circuit c;
+  c.capacitor("Csrc", "a", "0", 1e-6, 3.0);
+  c.inductor("L1", "a", "0", 1e-3);  // rings, swinging a negative
+  c.diode("D1", "a", "out");
+  c.resistor("RL", "out", "0", 1e4);
+  c.capacitor("CL", "out", "0", 1e-8);
+  TransientOptions opt;
+  opt.t_stop = 1e-4;
+  opt.dt = 1e-7;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"a", "out"});
+  EXPECT_TRUE(r.converged);
+  double min_out = 1e9;
+  for (const double v : r.trace("out").values()) min_out = std::min(min_out, v);
+  EXPECT_GT(min_out, -0.1);
+  EXPECT_GT(peak_amplitude(r.trace("out")), 1.0);
+}
+
+TEST(TransientTrapezoidal, SecondOrderBeatsBackwardEuler) {
+  // Ring-down of a lossless LC: backward Euler damps the amplitude
+  // numerically; trapezoidal preserves it.
+  auto ring_amplitude = [](Integration method) {
+    Circuit c;
+    c.capacitor("C1", "a", "0", 1e-9, /*initial_voltage=*/1.0);
+    c.inductor("L1", "a", "0", 1e-6);
+    TransientOptions opt;
+    opt.t_stop = 3e-6;  // ~15 ring cycles
+    opt.dt = 2e-9;
+    opt.integration = method;
+    opt.start_from_dc = false;
+    const TransientResult r = run_transient(c, opt, {"a"});
+    EXPECT_TRUE(r.converged);
+    const Trace tail = r.trace("a").window(2.5e-6, 3e-6);
+    return peak_amplitude(tail);
+  };
+  const double be = ring_amplitude(Integration::BackwardEuler);
+  const double trap = ring_amplitude(Integration::Trapezoidal);
+  EXPECT_GT(trap, 0.95);          // energy preserved
+  EXPECT_LT(be, 0.8 * trap);      // BE visibly damped
+}
+
+TEST(TransientTrapezoidal, RcAccuracy) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 1.0);
+  c.resistor("R1", "in", "out", 1e3);
+  c.capacitor("C1", "out", "0", 1e-6);
+  TransientOptions opt;
+  opt.t_stop = 2e-3;
+  opt.dt = 20e-6;
+  opt.integration = Integration::Trapezoidal;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"out"});
+  EXPECT_TRUE(r.converged);
+  // Trapezoidal at a coarse step still tracks the exponential closely;
+  // the residual error is the classic cold start through the t=0 step
+  // input (i_hist starts at zero), not accumulation.
+  EXPECT_NEAR(r.trace("out").sample_at(1e-3), 1.0 - std::exp(-1.0), 5e-3);
+}
+
+TEST(TransientTrapezoidal, RlCurrentRamp) {
+  Circuit c;
+  c.voltage_source("V1", "in", "0", 1.0);
+  c.resistor("R1", "in", "out", 100.0);
+  c.inductor("L1", "out", "0", 10e-3);
+  TransientOptions opt;
+  opt.t_stop = 500e-6;
+  opt.dt = 2e-6;
+  opt.integration = Integration::Trapezoidal;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"out"});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.trace("out").sample_at(100e-6), std::exp(-1.0), 5e-3);
+}
+
+TEST(TransientCoupling, TransformerVoltageRatio) {
+  // Ideal-ish transformer: drive L1 with a sine through a source resistor
+  // and observe the open-circuit secondary: v2 ~ k sqrt(L2/L1) v(L1).
+  Circuit c;
+  auto& vs = c.voltage_source("V1", "in", "0", 0.0);
+  (void)vs;
+  c.resistor("Rs", "in", "p", 50.0);
+  auto& l1 = c.inductor("L1", "p", "0", 100e-6);
+  auto& l2 = c.inductor("L2", "s", "0", 400e-6);
+  c.resistor("Rload", "s", "0", 1e6);  // near-open secondary
+  c.add<MutualCoupling>("K1", l1, l2, 0.9);
+  c.finalize();
+
+  // Replace the DC source with a transient sine by manually stepping: use
+  // the sweep-style approach -- run BE transient while updating V1 per step
+  // is not supported, so instead excite with an initial capacitor. Simpler:
+  // drive via initial current in L1 and watch the coupled ring-down.
+  Circuit c2;
+  auto& l1b = c2.inductor("L1", "p", "0", 100e-6, /*ic=*/10e-3);
+  c2.capacitor("C1", "p", "0", 1e-9);
+  auto& l2b = c2.inductor("L2", "s", "0", 400e-6);
+  c2.resistor("Rload", "s", "0", 1e6);
+  c2.capacitor("Cs", "s", "0", 1e-12);
+  c2.add<MutualCoupling>("K1", l1b, l2b, 0.9);
+  TransientOptions opt;
+  opt.t_stop = 4e-6;
+  opt.dt = 1e-9;
+  opt.integration = Integration::Trapezoidal;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c2, opt, {"p", "s"});
+  EXPECT_TRUE(r.converged);
+  const double vp = peak_amplitude(r.trace("p"));
+  const double vs_peak = peak_amplitude(r.trace("s"));
+  // Voltage transformation: k * sqrt(L2/L1) = 0.9 * 2 = 1.8.
+  EXPECT_NEAR(vs_peak / vp, 1.8, 0.15);
+}
+
+TEST(TransientCoupling, ZeroCouplingIsolates) {
+  Circuit c;
+  auto& l1 = c.inductor("L1", "p", "0", 100e-6, 10e-3);
+  c.capacitor("C1", "p", "0", 1e-9);
+  auto& l2 = c.inductor("L2", "s", "0", 100e-6);
+  c.resistor("Rload", "s", "0", 1e3);
+  c.add<MutualCoupling>("K1", l1, l2, 1e-6);
+  TransientOptions opt;
+  opt.t_stop = 2e-6;
+  opt.dt = 1e-9;
+  opt.start_from_dc = false;
+  const TransientResult r = run_transient(c, opt, {"p", "s"});
+  EXPECT_GT(peak_amplitude(r.trace("p")), 0.5);
+  EXPECT_LT(peak_amplitude(r.trace("s")), 1e-3);
+}
+
+TEST(TransientCoupling, InvalidCouplingRejected) {
+  Circuit c;
+  auto& l1 = c.inductor("L1", "a", "0", 1e-6);
+  auto& l2 = c.inductor("L2", "b", "0", 1e-6);
+  EXPECT_THROW(c.add<MutualCoupling>("K1", l1, l2, 1.0), ConfigError);
+  EXPECT_THROW(c.add<MutualCoupling>("K2", l1, l1, 0.5), ConfigError);
+}
+
+TEST(Transient, UnknownProbeThrows) {
+  Circuit c;
+  c.resistor("R1", "a", "0", 1.0);
+  TransientOptions opt;
+  opt.t_stop = 1e-6;
+  opt.dt = 1e-7;
+  EXPECT_THROW(run_transient(c, opt, {"zzz"}), NetlistError);
+  const TransientResult r = run_transient(c, opt, {"a"});
+  EXPECT_THROW(r.trace("zzz"), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::spice

@@ -1,0 +1,104 @@
+// Power-up sequencing: POR -> charge pump -> driver enable -> NVM.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "regulation/startup_sequencer.h"
+
+namespace lcosc::regulation {
+namespace {
+
+// Run the sequencer from power-on at t=0 until `duration`.
+StartupPhase run_until(StartupSequencer& seq, double duration, double dt = 0.1e-6) {
+  StartupPhase phase = seq.phase();
+  for (double t = 0.0; t < duration; t += dt) phase = seq.step(t, dt);
+  return phase;
+}
+
+TEST(StartupSequencer, FullSequenceOrder) {
+  StartupSequencer seq;
+  seq.power_on(0.0);
+  run_until(seq, 50e-6);
+  ASSERT_GE(seq.events().size(), 4u);
+  EXPECT_EQ(seq.events()[0].phase, StartupPhase::PorDelay);
+  EXPECT_EQ(seq.events()[1].phase, StartupPhase::ChargePumpRamp);
+  EXPECT_EQ(seq.events()[2].phase, StartupPhase::DriverEnabled);
+  EXPECT_EQ(seq.events()[3].phase, StartupPhase::Running);
+  // Monotone event times.
+  for (std::size_t i = 1; i < seq.events().size(); ++i) {
+    EXPECT_GE(seq.events()[i].time, seq.events()[i - 1].time);
+  }
+}
+
+TEST(StartupSequencer, TimingBudget) {
+  StartupSequencer seq;
+  seq.power_on(0.0);
+  run_until(seq, 100e-6);
+  const double total = seq.startup_time();
+  ASSERT_GT(total, 0.0);
+  // POR 2 us + pump ramp (tau 5 us to 80%: ~8 us) + NVM 8 us: tens of us.
+  EXPECT_GT(total, 10e-6);
+  EXPECT_LT(total, 40e-6);
+}
+
+TEST(StartupSequencer, DriverWaitsForChargePump) {
+  StartupSequencerConfig cfg;
+  cfg.charge_pump.startup_time = 20e-6;  // slow pump
+  StartupSequencer seq(cfg);
+  seq.power_on(0.0);
+  run_until(seq, 5e-6);
+  EXPECT_FALSE(seq.driver_enabled());
+  EXPECT_EQ(seq.phase(), StartupPhase::ChargePumpRamp);
+  run_until(seq, 120e-6);
+  EXPECT_TRUE(seq.driver_enabled());
+  // The pump rail really is near its target when the driver goes live.
+  EXPECT_LT(seq.charge_pump_voltage(), 0.8 * cfg.charge_pump.target_voltage + 1e-3);
+}
+
+TEST(StartupSequencer, NvmDelayAfterEnable) {
+  StartupSequencer seq;
+  seq.power_on(0.0);
+  run_until(seq, 100e-6);
+  double t_enable = -1.0;
+  double t_running = -1.0;
+  for (const auto& e : seq.events()) {
+    if (e.phase == StartupPhase::DriverEnabled) t_enable = e.time;
+    if (e.phase == StartupPhase::Running) t_running = e.time;
+  }
+  ASSERT_GT(t_enable, 0.0);
+  ASSERT_GT(t_running, 0.0);
+  EXPECT_NEAR(t_running - t_enable, StartupSequencerConfig{}.nvm_delay, 0.5e-6);
+}
+
+TEST(StartupSequencer, PowerOffResetsEverything) {
+  StartupSequencer seq;
+  seq.power_on(0.0);
+  run_until(seq, 50e-6);
+  EXPECT_TRUE(seq.nvm_applied());
+  seq.power_off(50e-6);
+  EXPECT_EQ(seq.phase(), StartupPhase::PowerOff);
+  EXPECT_FALSE(seq.driver_enabled());
+  // The pump decays once disabled.
+  for (double t = 50e-6; t < 80e-6; t += 0.1e-6) seq.step(t, 0.1e-6);
+  EXPECT_GT(seq.charge_pump_voltage(), -0.1);
+}
+
+TEST(StartupSequencer, DoublePowerOnRejected) {
+  StartupSequencer seq;
+  seq.power_on(0.0);
+  EXPECT_THROW(seq.power_on(1e-6), ConfigError);
+}
+
+TEST(StartupSequencer, PhaseNames) {
+  EXPECT_EQ(to_string(StartupPhase::PowerOff), "power-off");
+  EXPECT_EQ(to_string(StartupPhase::Running), "running");
+}
+
+TEST(StartupSequencer, StartupTimeUnreachedIsNegative) {
+  StartupSequencer seq;
+  seq.power_on(0.0);
+  run_until(seq, 1e-6);  // still in POR
+  EXPECT_LT(seq.startup_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace lcosc::regulation

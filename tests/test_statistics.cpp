@@ -1,0 +1,75 @@
+// Descriptive statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/statistics.h"
+
+namespace lcosc {
+namespace {
+
+TEST(Statistics, SummaryOfKnownSample) {
+  const SummaryStatistics s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Statistics, SingleSample) {
+  const SummaryStatistics s = summarize({7.5});
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p05, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+}
+
+TEST(Statistics, EmptySampleThrows) {
+  EXPECT_THROW(summarize({}), ConfigError);
+  EXPECT_THROW(quantile({}, 0.5), ConfigError);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+  EXPECT_THROW(quantile(v, 1.5), ConfigError);
+}
+
+TEST(Statistics, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(Statistics, NormalSampleMoments) {
+  Rng rng(5);
+  std::vector<double> v(50000);
+  for (auto& x : v) x = rng.normal(10.0, 2.0);
+  const SummaryStatistics s = summarize(v);
+  EXPECT_NEAR(s.mean, 10.0, 0.05);
+  EXPECT_NEAR(s.stddev, 2.0, 0.05);
+  // Normal p05/p95 ~ mean -+ 1.645 sigma.
+  EXPECT_NEAR(s.p05, 10.0 - 1.645 * 2.0, 0.1);
+  EXPECT_NEAR(s.p95, 10.0 + 1.645 * 2.0, 0.1);
+}
+
+TEST(Statistics, HistogramBinsAndClamping) {
+  const auto h = histogram({0.1, 0.2, 0.55, 0.9, -5.0, 5.0}, 0.0, 1.0, 4);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 3u);  // 0.1, 0.2 and the clamped -5.0
+  EXPECT_EQ(h[1], 0u);
+  EXPECT_EQ(h[2], 1u);  // 0.55
+  EXPECT_EQ(h[3], 2u);  // 0.9 and the clamped 5.0
+}
+
+TEST(Statistics, HistogramValidation) {
+  EXPECT_THROW(histogram({1.0}, 1.0, 0.0, 4), ConfigError);
+  EXPECT_THROW(histogram({1.0}, 0.0, 1.0, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,80 @@
+// SVG figure writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "waveform/svg_plot.h"
+
+namespace lcosc {
+namespace {
+
+SvgSeries make_series(const char* label, int n, double slope) {
+  SvgSeries s;
+  s.label = label;
+  for (int i = 0; i < n; ++i) s.points.emplace_back(i, slope * i);
+  return s;
+}
+
+TEST(SvgPlot, ProducesValidDocument) {
+  const std::string svg =
+      render_svg_plot({make_series("a", 20, 1.0), make_series("b", 20, -0.5)},
+                      {.title = "test & demo", .x_label = "x", .y_label = "y"});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Both series drawn, title escaped.
+  EXPECT_EQ(std::count(svg.begin(), svg.end(), 'M') >= 2, true);
+  EXPECT_NE(svg.find("test &amp; demo"), std::string::npos);
+  EXPECT_NE(svg.find(">a</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">b</text>"), std::string::npos);
+}
+
+TEST(SvgPlot, LogScaleSkipsNonPositive) {
+  SvgSeries s;
+  s.label = "log";
+  s.points = {{0.0, 1.0}, {1.0, 0.0}, {2.0, 100.0}};  // zero must be skipped
+  const std::string svg = render_svg_plot({s}, {.title = "log", .log_y = true});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  // The path restarts (two 'M' commands) around the skipped point.
+  const std::size_t path_start = svg.find("<path");
+  const std::string path = svg.substr(path_start, svg.find("/>", path_start) - path_start);
+  EXPECT_EQ(std::count(path.begin(), path.end(), 'M'), 2);
+}
+
+TEST(SvgPlot, FromTrace) {
+  Trace t("sig");
+  for (int i = 0; i < 10; ++i) t.append(i * 1e-3, std::sin(i * 0.5));
+  const SvgSeries s = SvgSeries::from_trace(t);
+  EXPECT_EQ(s.label, "sig");
+  EXPECT_EQ(s.points.size(), 10u);
+  EXPECT_DOUBLE_EQ(s.points[3].first, 3e-3);
+}
+
+TEST(SvgPlot, WritesFileAndCreatesDirectory) {
+  const std::string path = "/tmp/lcosc_svg_test/sub/plot.svg";
+  std::remove(path.c_str());
+  write_svg_plot(path, {make_series("x", 5, 2.0)}, {.title = "file"});
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_NE(line.find("<svg"), std::string::npos);
+}
+
+TEST(SvgPlot, EmptyInputsRejected) {
+  EXPECT_THROW(render_svg_plot({}, {}), ConfigError);
+  SvgSeries empty;
+  empty.label = "none";
+  EXPECT_THROW(render_svg_plot({empty}, {}), ConfigError);
+}
+
+TEST(SvgPlot, MarkersOption) {
+  const std::string svg =
+      render_svg_plot({make_series("m", 5, 1.0)}, {.title = "m", .markers = true});
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,238 @@
+// End-to-end single-system behaviour: startup, regulation into the window,
+// fault injection and the safety reaction (Sections 4, 7, 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/constants.h"
+#include "common/units.h"
+#include "system/fmea_campaign.h"
+#include "system/oscillator_system.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+OscillatorSystemConfig default_config(double quality = 40.0) {
+  OscillatorSystemConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, quality, 3.3_uH);
+  // A faster regulation tick keeps run times short; the loop dynamics are
+  // unchanged (one +-1 step per tick, window rule intact).
+  cfg.regulation.tick_period = 0.25e-3;
+  cfg.safety.low_amplitude.persistence = 2e-3;
+  cfg.waveform_decimation = 0;  // envelopes and ticks only: faster, smaller
+  return cfg;
+}
+
+TEST(System, StartupSettlesIntoRegulationWindow) {
+  OscillatorSystem sys(default_config());
+  const SimulationResult r = sys.run(25e-3);
+  ASSERT_FALSE(r.ticks.empty());
+  const double settled = r.settled_amplitude();
+  // Regulation target 2.7 V differential peak, window +-5%.
+  EXPECT_NEAR(settled, 2.7, 2.7 * 0.08);
+  EXPECT_FALSE(r.final_faults.any());
+  EXPECT_EQ(r.final_mode, regulation::RegulationMode::Regulating);
+}
+
+TEST(System, RegulationCodeMovesAtMostOnePerTick) {
+  OscillatorSystem sys(default_config());
+  const SimulationResult r = sys.run(15e-3);
+  for (std::size_t i = 1; i < r.ticks.size(); ++i) {
+    EXPECT_LE(std::abs(r.ticks[i].code - r.ticks[i - 1].code), 1);
+  }
+}
+
+TEST(System, SteadyStateDoesNotLimitCycleAcrossWindow) {
+  // The Section-4 design rule: because the window is wider than the worst
+  // step, steady state toggles by at most one code around the target.
+  OscillatorSystem sys(default_config());
+  const SimulationResult r = sys.run(25e-3);
+  ASSERT_GT(r.ticks.size(), 15u);
+  int min_code = 127;
+  int max_code = 0;
+  for (std::size_t i = r.ticks.size() - 8; i < r.ticks.size(); ++i) {
+    min_code = std::min(min_code, r.ticks[i].code);
+    max_code = std::max(max_code, r.ticks[i].code);
+  }
+  EXPECT_LE(max_code - min_code, 1);
+}
+
+TEST(System, StartupFromCode105FasterThanFromZero) {
+  // The POR preset exists to cut startup time (Section 4 / Fig. 16).
+  auto settle_ticks = [](int startup_code) {
+    OscillatorSystemConfig cfg = default_config(15.0);
+    cfg.regulation.startup_code = startup_code;
+    OscillatorSystem sys(cfg);
+    const SimulationResult r = sys.run(40e-3);
+    // First tick whose amplitude-equivalent is within 10% of the target.
+    for (std::size_t i = 0; i < r.ticks.size(); ++i) {
+      const double a = regulation::AmplitudeDetector::vdc1_to_amplitude(r.ticks[i].vdc1);
+      if (std::abs(a - 2.7) < 0.27) return static_cast<int>(i);
+    }
+    return static_cast<int>(r.ticks.size());
+  };
+  EXPECT_LT(settle_ticks(105), settle_ticks(5));
+}
+
+TEST(System, NvmPresetSpeedsSettlingFurther) {
+  OscillatorSystemConfig cfg = default_config();
+  OscillatorSystem baseline(cfg);
+  const SimulationResult rb = baseline.run(20e-3);
+  const int settled_code = rb.final_code;
+
+  OscillatorSystemConfig with_nvm = cfg;
+  with_nvm.regulation.nvm_code = settled_code;
+  OscillatorSystem nvm_sys(with_nvm);
+  const SimulationResult rn = nvm_sys.run(20e-3);
+  // With the NVM preset at the settled code, the code trajectory barely
+  // moves after the preset.
+  int moves = 0;
+  for (std::size_t i = 1; i < rn.ticks.size(); ++i) {
+    if (rn.ticks[i].code != rn.ticks[i - 1].code) ++moves;
+  }
+  EXPECT_LE(moves, 3);
+}
+
+TEST(System, MismatchedNonMonotonicDacStillRegulates) {
+  // Section 4: "the converter can even be non-monotonic".
+  const std::uint64_t seed = dac::find_seed_with_single_negative_step(96);
+  OscillatorSystemConfig cfg = default_config();
+  OscillatorSystem sys(cfg);
+  sys.driver().use_mismatched_dac(std::make_shared<const dac::CurrentLimitationDac>(
+      kDacUnitCurrent, dac::MismatchConfig{}, seed));
+  const SimulationResult r = sys.run(25e-3);
+  EXPECT_NEAR(r.settled_amplitude(), 2.7, 2.7 * 0.08);
+  EXPECT_FALSE(r.final_faults.any());
+}
+
+TEST(System, SupplyCurrentScalesInverselyWithQuality) {
+  // Section 9: 250 uA (good tank) .. 30 mA (poor tank).
+  auto steady_current = [](double q) {
+    OscillatorSystem sys(default_config(q));
+    const SimulationResult r = sys.run(30e-3);
+    return r.ticks.back().supply_current;
+  };
+  const double high_q = steady_current(150.0);
+  const double low_q = steady_current(3.0);
+  EXPECT_LT(high_q, 2e-3);
+  EXPECT_GT(low_q, 5.0 * high_q);
+}
+
+TEST(System, EnvelopeIsRecordedEvenWithoutWaveforms) {
+  OscillatorSystemConfig cfg = default_config();
+  cfg.waveform_decimation = 0;
+  OscillatorSystem sys(cfg);
+  const SimulationResult r = sys.run(3e-3);
+  EXPECT_TRUE(r.differential.empty());
+  EXPECT_GT(r.envelope.size(), 1000u);
+}
+
+TEST(System, SlowDriverWastesCurrent) {
+  // Section 5: the driver must be much faster than the oscillation; a
+  // driver pole at f0 turns drive current reactive and costs extra code.
+  auto settle = [](double bandwidth) {
+    OscillatorSystemConfig cfg = default_config();
+    cfg.driver_bandwidth = bandwidth;
+    cfg.steps_per_period = 128;
+    OscillatorSystem sys(cfg);
+    return sys.run(25e-3);
+  };
+  const SimulationResult ideal = settle(0.0);
+  const SimulationResult slow = settle(4.0e6);  // pole right at f0
+  // Both regulate to target...
+  EXPECT_NEAR(ideal.settled_amplitude(), 2.7, 2.7 * 0.08);
+  EXPECT_NEAR(slow.settled_amplitude(), 2.7, 2.7 * 0.08);
+  // ...but the slow driver needs substantially more current limit.
+  EXPECT_GE(slow.final_code, ideal.final_code + 8);
+  EXPECT_GT(slow.ticks.back().supply_current, 1.4 * ideal.ticks.back().supply_current);
+}
+
+// --- fault injection ---------------------------------------------------------
+
+TEST(FaultInjection, OpenCoilTripsWatchdogAndSafeState) {
+  OscillatorSystem sys(default_config());
+  sys.schedule_fault(tank::TankFault::OpenCoil, 8e-3);
+  const SimulationResult r = sys.run(16e-3);
+  EXPECT_TRUE(r.final_faults.missing_oscillation);
+  EXPECT_EQ(r.final_mode, regulation::RegulationMode::SafeState);
+  // Safety reaction: maximum output current (Section 9).
+  EXPECT_EQ(r.final_code, 127);
+}
+
+TEST(FaultInjection, ShortToGroundTripsWatchdog) {
+  OscillatorSystem sys(default_config());
+  sys.schedule_fault(tank::TankFault::CoilShortToGround, 8e-3);
+  const SimulationResult r = sys.run(16e-3);
+  EXPECT_TRUE(r.final_faults.missing_oscillation);
+}
+
+TEST(FaultInjection, IncreasedResistanceTripsLowAmplitude) {
+  OscillatorSystem sys(default_config(20.0));
+  tank::FaultSeverity sev;
+  sev.resistance_factor = 30.0;  // drags the reachable amplitude way down
+  sys.schedule_fault(tank::TankFault::IncreasedResistance, 8e-3, sev);
+  const SimulationResult r = sys.run(20e-3);
+  EXPECT_TRUE(r.final_faults.low_amplitude);
+  EXPECT_EQ(r.final_mode, regulation::RegulationMode::SafeState);
+}
+
+TEST(FaultInjection, MissingCapacitorTripsAsymmetry) {
+  OscillatorSystem sys(default_config());
+  sys.schedule_fault(tank::TankFault::MissingCosc1, 8e-3);
+  const SimulationResult r = sys.run(16e-3);
+  EXPECT_TRUE(r.final_faults.asymmetry);
+}
+
+TEST(FaultInjection, HealthyRunStaysClean) {
+  OscillatorSystem sys(default_config());
+  const SimulationResult r = sys.run(16e-3);
+  EXPECT_FALSE(r.final_faults.any());
+  EXPECT_EQ(r.first_fault_tick(), -1);
+}
+
+// --- FMEA campaign ------------------------------------------------------------
+
+TEST(Fmea, AllFaultClassesDetected) {
+  FmeaCampaignConfig cfg;
+  cfg.system = default_config();
+  // Parametric faults must be severe enough that even maximum drive
+  // current cannot reach the low-amplitude threshold -- otherwise the
+  // regulation loop rightly compensates and nothing is flagged.
+  cfg.severity.resistance_factor = 30.0;
+  cfg.severity.shorted_turn_fraction = 0.9;
+  const FmeaReport report = run_fmea_campaign(cfg);
+  ASSERT_EQ(report.rows.size(), fmea_fault_list().size());
+  for (const auto& row : report.rows) {
+    EXPECT_TRUE(row.detected) << tank::to_string(row.fault);
+    EXPECT_TRUE(row.safe_state_entered) << tank::to_string(row.fault);
+  }
+  EXPECT_TRUE(report.all_detected());
+}
+
+TEST(Fmea, ExpectedChannelsMostlyHit) {
+  FmeaCampaignConfig cfg;
+  cfg.system = default_config();
+  cfg.severity.resistance_factor = 30.0;
+  cfg.severity.shorted_turn_fraction = 0.9;
+  const FmeaReport report = run_fmea_campaign(cfg);
+  // Every fault must at least fire its designated channel.
+  EXPECT_EQ(report.expected_channel_count(), report.rows.size());
+}
+
+TEST(Fmea, ControlCaseIsCleanAndLatencyRecorded) {
+  FmeaCampaignConfig cfg;
+  cfg.system = default_config();
+  const FmeaRow control = run_fmea_case(cfg, tank::TankFault::None);
+  EXPECT_FALSE(control.detected);
+  EXPECT_TRUE(control.expected_channel_hit);
+
+  const FmeaRow open = run_fmea_case(cfg, tank::TankFault::OpenCoil);
+  EXPECT_GT(open.detection_latency, 0.0);
+  EXPECT_LT(open.detection_latency, 5e-3);
+}
+
+}  // namespace
+}  // namespace lcosc::system

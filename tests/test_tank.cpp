@@ -1,0 +1,213 @@
+// Tank physics (paper Section 2) and fault transformations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "tank/coupled_tanks.h"
+#include "tank/rlc_tank.h"
+#include "tank/tank_faults.h"
+
+namespace lcosc::tank {
+namespace {
+
+using namespace lcosc::literals;
+
+TEST(RlcTank, EffectiveCapacitanceSeries) {
+  RlcTank t({.inductance = 100.0_uH,
+             .capacitance1 = 2.0_nF,
+             .capacitance2 = 2.0_nF,
+             .series_resistance = 10.0});
+  EXPECT_NEAR(t.effective_capacitance(), 1.0e-9, 1e-15);
+}
+
+TEST(RlcTank, AsymmetricCapacitors) {
+  RlcTank t({.inductance = 100.0_uH,
+             .capacitance1 = 1.0_nF,
+             .capacitance2 = 3.0_nF,
+             .series_resistance = 10.0});
+  EXPECT_NEAR(t.effective_capacitance(), 0.75e-9, 1e-15);
+}
+
+TEST(RlcTank, ResonanceFormula) {
+  // w0 = sqrt(2/(L C)) for symmetric capacitors.
+  const TankConfig cfg{.inductance = 100.0_uH,
+                       .capacitance1 = 2.0_nF,
+                       .capacitance2 = 2.0_nF,
+                       .series_resistance = 10.0};
+  RlcTank t(cfg);
+  const double expected = std::sqrt(2.0 / (cfg.inductance * cfg.capacitance1));
+  EXPECT_NEAR(t.angular_resonance(), expected, expected * 1e-12);
+}
+
+TEST(RlcTank, ParallelResistanceAndCriticalGm) {
+  // Rp = 2L/(C Rs) and Gm0 = Rs C / L = 2/Rp (Eq. 1).
+  const TankConfig cfg{.inductance = 100.0_uH,
+                       .capacitance1 = 2.0_nF,
+                       .capacitance2 = 2.0_nF,
+                       .series_resistance = 10.0};
+  RlcTank t(cfg);
+  const double rp = 2.0 * cfg.inductance / (cfg.capacitance1 * cfg.series_resistance);
+  EXPECT_NEAR(t.parallel_resistance(), rp, rp * 1e-12);
+  EXPECT_NEAR(t.critical_gm(), 2.0 / rp, 1e-15);
+  EXPECT_NEAR(t.critical_gm(),
+              cfg.series_resistance * cfg.capacitance1 / cfg.inductance, 1e-15);
+}
+
+TEST(RlcTank, QualityFactorDefinition) {
+  const TankConfig cfg = design_tank(4.0_MHz, 50.0, 100.0_uH);
+  RlcTank t(cfg);
+  EXPECT_NEAR(t.quality_factor(), 50.0, 50.0 * 1e-9);
+}
+
+TEST(DesignTank, RoundTripsFrequencyAndQ) {
+  for (const double f : {2.0e6, 3.0e6, 5.0e6}) {
+    for (const double q : {1.0, 10.0, 100.0}) {
+      RlcTank t(design_tank(f, q, 47.0_uH));
+      EXPECT_NEAR(t.resonance_frequency(), f, f * 1e-9);
+      EXPECT_NEAR(t.quality_factor(), q, q * 1e-9);
+    }
+  }
+}
+
+TEST(DesignTank, TwoDecadesOfQSpanPaperRange) {
+  // "Quality factor of the external LC network can vary two decades."
+  RlcTank low(typical_low_q_tank());
+  RlcTank high(typical_high_q_tank());
+  EXPECT_GE(high.quality_factor() / low.quality_factor(), 50.0);
+  EXPECT_GE(low.resonance_frequency(), kMinOscFrequency);
+  EXPECT_LE(high.resonance_frequency(), kMaxOscFrequency);
+}
+
+TEST(RlcTank, EnergyAndPower) {
+  RlcTank t(design_tank(4.0_MHz, 20.0, 100.0_uH));
+  const double a = 2.7;
+  EXPECT_NEAR(t.stored_energy(a), 0.5 * t.effective_capacitance() * a * a, 1e-18);
+  // Eq. 2: P = V_rms^2 * Gm0 / 2 with V_rms = a/sqrt(2) and Gm0 = 2/Rp.
+  const double p_expected = 0.5 * a * a / t.parallel_resistance();
+  EXPECT_NEAR(t.dissipated_power(a), p_expected, p_expected * 1e-12);
+}
+
+TEST(RlcTank, InvalidConfigRejected) {
+  EXPECT_THROW(RlcTank({.inductance = 0.0,
+                        .capacitance1 = 1e-9,
+                        .capacitance2 = 1e-9,
+                        .series_resistance = 1.0}),
+               ConfigError);
+  EXPECT_THROW(RlcTank({.inductance = 1e-4,
+                        .capacitance1 = -1e-9,
+                        .capacitance2 = 1e-9,
+                        .series_resistance = 1.0}),
+               ConfigError);
+}
+
+// --- faults ---------------------------------------------------------------
+
+TEST(TankFaults, OpenCoilIsStructural) {
+  const FaultedTank f = apply_fault(typical_mid_q_tank(), TankFault::OpenCoil);
+  EXPECT_TRUE(f.loop_open);
+  EXPECT_FALSE(f.pin1_grounded);
+}
+
+TEST(TankFaults, Shorts) {
+  EXPECT_TRUE(apply_fault(typical_mid_q_tank(), TankFault::CoilShortToGround).pin1_grounded);
+  EXPECT_TRUE(apply_fault(typical_mid_q_tank(), TankFault::CoilShortToSupply).pin1_to_supply);
+}
+
+TEST(TankFaults, ShortedTurnsDegradeQ) {
+  const TankConfig healthy = typical_mid_q_tank();
+  const FaultedTank f = apply_fault(healthy, TankFault::ShortedTurns);
+  RlcTank before(healthy);
+  RlcTank after(f.config);
+  EXPECT_LT(after.quality_factor(), before.quality_factor());
+  EXPECT_LT(f.config.inductance, healthy.inductance);
+}
+
+TEST(TankFaults, IncreasedResistanceScalesRs) {
+  FaultSeverity sev;
+  sev.resistance_factor = 8.0;
+  const TankConfig healthy = typical_mid_q_tank();
+  const FaultedTank f = apply_fault(healthy, TankFault::IncreasedResistance, sev);
+  EXPECT_NEAR(f.config.series_resistance, healthy.series_resistance * 8.0, 1e-12);
+}
+
+TEST(TankFaults, MissingCapacitorLeavesParasitic) {
+  const TankConfig healthy = typical_mid_q_tank();
+  const FaultedTank f = apply_fault(healthy, TankFault::MissingCosc1);
+  EXPECT_NEAR(f.config.capacitance1, 10e-12, 1e-15);
+  EXPECT_DOUBLE_EQ(f.config.capacitance2, healthy.capacitance2);
+}
+
+TEST(TankFaults, ExpectedDetectionChannels) {
+  EXPECT_EQ(expected_detection(TankFault::OpenCoil), DetectionChannel::MissingOscillation);
+  EXPECT_EQ(expected_detection(TankFault::IncreasedResistance),
+            DetectionChannel::LowAmplitude);
+  EXPECT_EQ(expected_detection(TankFault::MissingCosc2), DetectionChannel::Asymmetry);
+  EXPECT_EQ(expected_detection(TankFault::None), DetectionChannel::NoneExpected);
+}
+
+TEST(TankFaults, Names) {
+  EXPECT_EQ(to_string(TankFault::OpenCoil), "open-coil");
+  EXPECT_EQ(to_string(DetectionChannel::Asymmetry), "asymmetry");
+}
+
+// --- coupled tanks -----------------------------------------------------------
+
+TEST(CoupledTanks, MutualInductance) {
+  CoupledTanksConfig cfg;
+  cfg.tank1 = design_tank(4.0_MHz, 20.0, 100.0_uH);
+  cfg.tank2 = design_tank(4.0_MHz, 20.0, 400.0_uH);
+  cfg.coupling = 0.25;
+  CoupledTanks ct(cfg);
+  EXPECT_NEAR(ct.mutual_inductance(), 0.25 * std::sqrt(100.0_uH * 400.0_uH), 1e-12);
+}
+
+TEST(CoupledTanks, ZeroCouplingDecouples) {
+  CoupledTanksConfig cfg;
+  cfg.tank1 = design_tank(4.0_MHz, 20.0, 100.0_uH);
+  cfg.tank2 = cfg.tank1;
+  cfg.coupling = 0.0;
+  CoupledTanks ct(cfg);
+  const auto d = ct.current_derivatives(1.0, 0.0);
+  EXPECT_NEAR(d[0], 1.0 / cfg.tank1.inductance, 1e-3);
+  EXPECT_NEAR(d[1], 0.0, 1e-12);
+}
+
+TEST(CoupledTanks, InverseInductanceMatrix) {
+  CoupledTanksConfig cfg;
+  cfg.tank1 = design_tank(4.0_MHz, 20.0, 100.0_uH);
+  cfg.tank2 = cfg.tank1;
+  cfg.coupling = 0.3;
+  CoupledTanks ct(cfg);
+  // L * (di/dt) must reproduce the applied voltages.
+  const auto d = ct.current_derivatives(1.0, -0.5);
+  const double l = cfg.tank1.inductance;
+  const double m = ct.mutual_inductance();
+  EXPECT_NEAR(l * d[0] + m * d[1], 1.0, 1e-9);
+  EXPECT_NEAR(m * d[0] + l * d[1], -0.5, 1e-9);
+}
+
+TEST(CoupledTanks, ModeSplit) {
+  CoupledTanksConfig cfg;
+  cfg.tank1 = design_tank(4.0_MHz, 20.0, 100.0_uH);
+  cfg.tank2 = cfg.tank1;
+  cfg.coupling = 0.2;
+  CoupledTanks ct(cfg);
+  const auto modes = ct.coupled_mode_frequencies();
+  EXPECT_LT(modes[0], 4.0e6);
+  EXPECT_GT(modes[1], 4.0e6);
+  EXPECT_NEAR(modes[0], 4.0e6 / std::sqrt(1.2), 1e3);
+}
+
+TEST(CoupledTanks, RejectsUnityCoupling) {
+  CoupledTanksConfig cfg;
+  cfg.tank1 = design_tank(4.0_MHz, 20.0, 100.0_uH);
+  cfg.tank2 = cfg.tank1;
+  cfg.coupling = 1.0;
+  EXPECT_THROW(CoupledTanks{cfg}, ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::tank

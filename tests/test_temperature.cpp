@@ -1,0 +1,93 @@
+// Temperature behaviour: the regulation window thresholds are bandgap
+// fractions (Fig. 8), so they drift with the bandgap curvature over the
+// automotive range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "devices/bandgap.h"
+#include "regulation/amplitude_detector.h"
+
+namespace lcosc::regulation {
+namespace {
+
+TEST(Temperature, NominalAt300K) {
+  AmplitudeDetector det;
+  EXPECT_DOUBLE_EQ(det.temperature(), 300.0);
+  EXPECT_NEAR(0.5 * (det.amplitude_low() + det.amplitude_high()), 2.7, 1e-9);
+}
+
+TEST(Temperature, ThresholdsTrackBandgap) {
+  AmplitudeDetector det;
+  const double vr3_nominal = det.vr3();
+  const devices::BandgapReference bg;
+
+  for (const double t : {233.0, 273.0, 300.0, 398.0, 423.0}) {
+    det.set_temperature(t);
+    const double expected_scale = bg.voltage(t) / bg.nominal();
+    EXPECT_NEAR(det.vr3() / vr3_nominal, expected_scale, 1e-12) << "T = " << t;
+  }
+}
+
+TEST(Temperature, FractionsAreTemperatureInvariant) {
+  // The resistor-divider fractions are fixed at design; only VBG moves.
+  AmplitudeDetector det;
+  const double f3 = det.vr3_bandgap_fraction();
+  const double f4 = det.vr4_bandgap_fraction();
+  det.set_temperature(233.0);
+  // vrX_bandgap_fraction divides by the *nominal* bandgap, so it reports
+  // the drifted threshold against the nominal reference.
+  const devices::BandgapReference bg;
+  const double scale = bg.voltage(233.0) / bg.nominal();
+  EXPECT_NEAR(det.vr3_bandgap_fraction(), f3 * scale, 1e-12);
+  EXPECT_NEAR(det.vr4_bandgap_fraction(), f4 * scale, 1e-12);
+}
+
+TEST(Temperature, AmplitudeDriftBoundedOverAutomotiveRange) {
+  // -40..150 C: the curvature-only bandgap drifts tens of mV, so the
+  // regulated amplitude target moves by well under 2%.
+  AmplitudeDetector det;
+  const double nominal_mid = 0.5 * (det.amplitude_low() + det.amplitude_high());
+  double worst = 0.0;
+  for (double t = 233.0; t <= 423.0; t += 10.0) {
+    det.set_temperature(t);
+    const double mid = 0.5 * (det.amplitude_low() + det.amplitude_high());
+    worst = std::max(worst, std::abs(mid - nominal_mid) / nominal_mid);
+  }
+  EXPECT_LT(worst, 0.02);
+  EXPECT_GT(worst, 1e-5);  // but it does move (curvature is modeled)
+}
+
+TEST(Temperature, WindowWidthRatioPreserved) {
+  // Both thresholds scale together: the relative window width (the
+  // anti-limit-cycling rule) is temperature independent.
+  AmplitudeDetector det;
+  const double width_nominal =
+      (det.vr4() - det.vr3()) / (0.5 * (det.vr3() + det.vr4()));
+  det.set_temperature(233.0);
+  const double width_cold = (det.vr4() - det.vr3()) / (0.5 * (det.vr3() + det.vr4()));
+  EXPECT_NEAR(width_cold, width_nominal, 1e-12);
+}
+
+TEST(Temperature, TrimErrorShiftsTarget) {
+  devices::BandgapConfig bg;
+  bg.trim_error = 0.02;  // +2% untrimmed reference
+  AmplitudeDetector det({}, bg);
+  // Thresholds are sized from the *actual* nominal voltage at build time,
+  // so the window still centers on the target; what changes is the
+  // bandgap fraction needed.
+  EXPECT_NEAR(0.5 * (det.amplitude_low() + det.amplitude_high()), 2.7, 1e-9);
+  AmplitudeDetector reference;
+  EXPECT_LT(det.vr3_bandgap_fraction(), reference.vr3_bandgap_fraction());
+}
+
+TEST(Temperature, InvalidTemperatureRejected) {
+  AmplitudeDetector det;
+  EXPECT_THROW(det.set_temperature(0.0), ConfigError);
+  EXPECT_THROW(det.set_temperature(-10.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::regulation

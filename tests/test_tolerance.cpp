@@ -1,0 +1,112 @@
+// Monte-Carlo tolerance analysis over external component spread.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "system/tolerance_analysis.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+ToleranceConfig base_config(int samples = 40) {
+  ToleranceConfig cfg;
+  cfg.nominal.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.nominal.regulation.tick_period = 0.25e-3;
+  cfg.samples = samples;
+  cfg.run_duration = 40e-3;
+  return cfg;
+}
+
+TEST(Tolerance, FullYieldAtTenPercentComponents) {
+  // The headline claim: the regulation absorbs component spread.
+  const ToleranceReport report = run_tolerance_analysis(base_config());
+  EXPECT_EQ(report.samples.size(), 40u);
+  EXPECT_DOUBLE_EQ(report.yield(), 1.0);
+  // All samples inside the amplitude acceptance band.
+  EXPECT_GT(report.min_amplitude(), 2.7 * 0.9);
+  EXPECT_LT(report.max_amplitude(), 2.7 * 1.1);
+}
+
+TEST(Tolerance, CodesSpreadWithComponents) {
+  const ToleranceReport report = run_tolerance_analysis(base_config());
+  // Rs varies +-30%: the settled code must move to compensate.
+  EXPECT_GT(report.max_code() - report.min_code(), 2);
+  // But stays inside the code range with margin.
+  EXPECT_GT(report.min_code(), 16);
+  EXPECT_LT(report.max_code(), 127);
+}
+
+TEST(Tolerance, DeterministicFromSeed) {
+  const ToleranceReport a = run_tolerance_analysis(base_config(10));
+  const ToleranceReport b = run_tolerance_analysis(base_config(10));
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].settled_amplitude, b.samples[i].settled_amplitude);
+    EXPECT_EQ(a.samples[i].settled_code, b.samples[i].settled_code);
+  }
+}
+
+TEST(Tolerance, SeedChangesSamples) {
+  ToleranceConfig cfg = base_config(10);
+  cfg.seed = 2;
+  const ToleranceReport a = run_tolerance_analysis(base_config(10));
+  const ToleranceReport b = run_tolerance_analysis(cfg);
+  bool different = false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    if (a.samples[i].settled_code != b.samples[i].settled_code) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Tolerance, ZeroToleranceIsNominal) {
+  ToleranceConfig cfg = base_config(5);
+  cfg.inductance_tolerance = 0.0;
+  cfg.capacitance_tolerance = 0.0;
+  cfg.resistance_tolerance = 0.0;
+  cfg.include_dac_mismatch = false;
+  const ToleranceReport report = run_tolerance_analysis(cfg);
+  for (std::size_t i = 1; i < report.samples.size(); ++i) {
+    EXPECT_EQ(report.samples[i].settled_code, report.samples[0].settled_code);
+    EXPECT_DOUBLE_EQ(report.samples[i].settled_amplitude,
+                     report.samples[0].settled_amplitude);
+  }
+}
+
+TEST(Tolerance, ResonanceAndQRecorded) {
+  const ToleranceReport report = run_tolerance_analysis(base_config(10));
+  for (const auto& s : report.samples) {
+    EXPECT_GT(s.resonance_frequency, 3.0e6);
+    EXPECT_LT(s.resonance_frequency, 5.0e6);
+    EXPECT_GT(s.quality_factor, 20.0);
+    EXPECT_LT(s.quality_factor, 80.0);
+    EXPECT_GT(s.supply_current, 0.0);
+  }
+}
+
+TEST(Tolerance, ExtremeSpreadDegradesYield) {
+  // Sanity: blow the tolerance up until some samples fall outside the
+  // acceptance band (e.g. the driver runs out of code range).
+  // Start from a marginal tank (Q=8) so the worst Rs/L/C corners push the
+  // required drive beyond the code range / gm envelope.
+  ToleranceConfig cfg = base_config(30);
+  cfg.nominal.tank = tank::design_tank(4.0_MHz, 8.0, 3.3_uH);
+  cfg.resistance_tolerance = 0.9;
+  cfg.capacitance_tolerance = 0.4;
+  cfg.inductance_tolerance = 0.4;
+  cfg.amplitude_tolerance = 0.05;
+  const ToleranceReport report = run_tolerance_analysis(cfg);
+  EXPECT_LT(report.yield(), 1.0);
+}
+
+TEST(Tolerance, InvalidConfigRejected) {
+  ToleranceConfig cfg = base_config(0);
+  EXPECT_THROW(run_tolerance_analysis(cfg), ConfigError);
+  ToleranceConfig cfg2 = base_config(5);
+  cfg2.resistance_tolerance = 1.5;
+  EXPECT_THROW(run_tolerance_analysis(cfg2), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::system

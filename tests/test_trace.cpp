@@ -1,0 +1,118 @@
+// Tests for the Trace container and CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "waveform/csv_io.h"
+#include "waveform/trace.h"
+
+namespace lcosc {
+namespace {
+
+Trace ramp(std::size_t n) {
+  Trace t("ramp");
+  for (std::size_t i = 0; i < n; ++i) t.append(static_cast<double>(i), 2.0 * i);
+  return t;
+}
+
+TEST(Trace, AppendAndAccess) {
+  Trace t("x");
+  t.append(0.0, 1.0);
+  t.append(1.0, 3.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.time(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.value(1), 3.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 1.0);
+}
+
+TEST(Trace, MonotonicTimeEnforced) {
+  Trace t;
+  t.append(0.0, 1.0);
+  EXPECT_THROW(t.append(0.0, 2.0), ConfigError);
+  EXPECT_THROW(t.append(-1.0, 2.0), ConfigError);
+}
+
+TEST(Trace, SampleAtInterpolates) {
+  Trace t;
+  t.append(0.0, 0.0);
+  t.append(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(1.0), 2.0);
+  // Clamped outside.
+  EXPECT_DOUBLE_EQ(t.sample_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(5.0), 4.0);
+}
+
+TEST(Trace, Window) {
+  const Trace t = ramp(10);
+  const Trace w = t.window(2.0, 5.0);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w.start_time(), 2.0);
+  EXPECT_DOUBLE_EQ(w.end_time(), 5.0);
+}
+
+TEST(Trace, DecimatedKeepsLastSample) {
+  const Trace t = ramp(10);  // times 0..9
+  const Trace d = t.decimated(4);
+  // Keeps 0, 4, 8 and the final sample 9.
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.time(3), 9.0);
+}
+
+TEST(Trace, DecimationByOneIsIdentity) {
+  const Trace t = ramp(5);
+  const Trace d = t.decimated(1);
+  EXPECT_EQ(d.size(), t.size());
+}
+
+TEST(Trace, EmptyAccessorsThrow) {
+  const Trace t;
+  EXPECT_THROW(t.start_time(), ConfigError);
+  EXPECT_THROW(t.sample_at(0.0), ConfigError);
+}
+
+TEST(Trace, ClearAndReserve) {
+  Trace t = ramp(5);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  t.reserve(100);
+  t.append(0.0, 1.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CsvIo, SingleTrace) {
+  Trace t("sig");
+  t.append(0.0, 1.5);
+  t.append(1.0, -2.5);
+  std::ostringstream os;
+  write_trace_csv(os, t);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time,sig"), std::string::npos);
+  EXPECT_NE(csv.find("-2.5"), std::string::npos);
+}
+
+TEST(CsvIo, MultiTraceUnionGrid) {
+  Trace a("a");
+  a.append(0.0, 0.0);
+  a.append(2.0, 2.0);
+  Trace b("b");
+  b.append(1.0, 10.0);
+  std::ostringstream os;
+  write_traces_csv(os, {a, b});
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time,a,b"), std::string::npos);
+  // The union grid has 3 rows: t=0, 1, 2 (plus header).
+  int lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(CsvIo, EmptyListThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(write_traces_csv(os, {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc
