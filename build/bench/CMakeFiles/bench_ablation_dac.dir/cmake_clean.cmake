@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dac.dir/bench_ablation_dac.cpp.o"
+  "CMakeFiles/bench_ablation_dac.dir/bench_ablation_dac.cpp.o.d"
+  "bench_ablation_dac"
+  "bench_ablation_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

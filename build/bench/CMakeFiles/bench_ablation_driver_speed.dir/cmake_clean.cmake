@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_driver_speed.dir/bench_ablation_driver_speed.cpp.o"
+  "CMakeFiles/bench_ablation_driver_speed.dir/bench_ablation_driver_speed.cpp.o.d"
+  "bench_ablation_driver_speed"
+  "bench_ablation_driver_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_driver_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

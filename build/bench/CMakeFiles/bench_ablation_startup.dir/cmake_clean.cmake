@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_startup.dir/bench_ablation_startup.cpp.o"
+  "CMakeFiles/bench_ablation_startup.dir/bench_ablation_startup.cpp.o.d"
+  "bench_ablation_startup"
+  "bench_ablation_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

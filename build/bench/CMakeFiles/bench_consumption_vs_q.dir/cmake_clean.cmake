@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consumption_vs_q.dir/bench_consumption_vs_q.cpp.o"
+  "CMakeFiles/bench_consumption_vs_q.dir/bench_consumption_vs_q.cpp.o.d"
+  "bench_consumption_vs_q"
+  "bench_consumption_vs_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consumption_vs_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

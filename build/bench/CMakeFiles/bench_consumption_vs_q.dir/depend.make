@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_consumption_vs_q.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dual_redundancy.dir/bench_dual_redundancy.cpp.o"
+  "CMakeFiles/bench_dual_redundancy.dir/bench_dual_redundancy.cpp.o.d"
+  "bench_dual_redundancy"
+  "bench_dual_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dual_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emc_spectrum.dir/bench_emc_spectrum.cpp.o"
+  "CMakeFiles/bench_emc_spectrum.dir/bench_emc_spectrum.cpp.o.d"
+  "bench_emc_spectrum"
+  "bench_emc_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emc_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

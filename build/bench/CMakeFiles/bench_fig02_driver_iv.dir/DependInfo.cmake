@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_driver_iv.cpp" "bench/CMakeFiles/bench_fig02_driver_iv.dir/bench_fig02_driver_iv.cpp.o" "gcc" "bench/CMakeFiles/bench_fig02_driver_iv.dir/bench_fig02_driver_iv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcosc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/lcosc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/lcosc_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulation/CMakeFiles/lcosc_regulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/lcosc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tank/CMakeFiles/lcosc_tank.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/lcosc_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lcosc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lcosc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/lcosc_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_driver_iv.dir/bench_fig02_driver_iv.cpp.o"
+  "CMakeFiles/bench_fig02_driver_iv.dir/bench_fig02_driver_iv.cpp.o.d"
+  "bench_fig02_driver_iv"
+  "bench_fig02_driver_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_driver_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_current_limitation.dir/bench_fig13_current_limitation.cpp.o"
+  "CMakeFiles/bench_fig13_current_limitation.dir/bench_fig13_current_limitation.cpp.o.d"
+  "bench_fig13_current_limitation"
+  "bench_fig13_current_limitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_current_limitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_measured_step.dir/bench_fig14_measured_step.cpp.o"
+  "CMakeFiles/bench_fig14_measured_step.dir/bench_fig14_measured_step.cpp.o.d"
+  "bench_fig14_measured_step"
+  "bench_fig14_measured_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_measured_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_unsupplied_current.dir/bench_fig17_unsupplied_current.cpp.o"
+  "CMakeFiles/bench_fig17_unsupplied_current.dir/bench_fig17_unsupplied_current.cpp.o.d"
+  "bench_fig17_unsupplied_current"
+  "bench_fig17_unsupplied_current.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_unsupplied_current.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

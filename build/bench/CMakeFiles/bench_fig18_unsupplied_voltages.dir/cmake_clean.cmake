@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_unsupplied_voltages.dir/bench_fig18_unsupplied_voltages.cpp.o"
+  "CMakeFiles/bench_fig18_unsupplied_voltages.dir/bench_fig18_unsupplied_voltages.cpp.o.d"
+  "bench_fig18_unsupplied_voltages"
+  "bench_fig18_unsupplied_voltages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_unsupplied_voltages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fmea_coverage.dir/bench_fmea_coverage.cpp.o"
+  "CMakeFiles/bench_fmea_coverage.dir/bench_fmea_coverage.cpp.o.d"
+  "bench_fmea_coverage"
+  "bench_fmea_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmea_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

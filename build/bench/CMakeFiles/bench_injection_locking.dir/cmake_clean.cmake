@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_injection_locking.dir/bench_injection_locking.cpp.o"
+  "CMakeFiles/bench_injection_locking.dir/bench_injection_locking.cpp.o.d"
+  "bench_injection_locking"
+  "bench_injection_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_injection_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

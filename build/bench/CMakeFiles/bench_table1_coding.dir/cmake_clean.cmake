@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_coding.dir/bench_table1_coding.cpp.o"
+  "CMakeFiles/bench_table1_coding.dir/bench_table1_coding.cpp.o.d"
+  "bench_table1_coding"
+  "bench_table1_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tank_impedance.dir/bench_tank_impedance.cpp.o"
+  "CMakeFiles/bench_tank_impedance.dir/bench_tank_impedance.cpp.o.d"
+  "bench_tank_impedance"
+  "bench_tank_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tank_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tank_impedance.
+# This may be replaced when dependencies are built.

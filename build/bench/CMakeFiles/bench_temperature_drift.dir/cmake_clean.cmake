@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temperature_drift.dir/bench_temperature_drift.cpp.o"
+  "CMakeFiles/bench_temperature_drift.dir/bench_temperature_drift.cpp.o.d"
+  "bench_temperature_drift"
+  "bench_temperature_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temperature_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_explorer.dir/dac_explorer.cpp.o"
+  "CMakeFiles/dac_explorer.dir/dac_explorer.cpp.o.d"
+  "dac_explorer"
+  "dac_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

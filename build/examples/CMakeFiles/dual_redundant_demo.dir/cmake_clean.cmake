@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_redundant_demo.dir/dual_redundant_demo.cpp.o"
+  "CMakeFiles/dual_redundant_demo.dir/dual_redundant_demo.cpp.o.d"
+  "dual_redundant_demo"
+  "dual_redundant_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_redundant_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/position_sensing.dir/position_sensing.cpp.o"
+  "CMakeFiles/position_sensing.dir/position_sensing.cpp.o.d"
+  "position_sensing"
+  "position_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/position_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulation_tuning.dir/regulation_tuning.cpp.o"
+  "CMakeFiles/regulation_tuning.dir/regulation_tuning.cpp.o.d"
+  "regulation_tuning"
+  "regulation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("numeric")
+subdirs("waveform")
+subdirs("spice")
+subdirs("devices")
+subdirs("dac")
+subdirs("tank")
+subdirs("driver")
+subdirs("regulation")
+subdirs("safety")
+subdirs("system")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/lcosc_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/lcosc_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/lcosc_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/lcosc_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/lcosc_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/lcosc_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/si_format.cpp" "src/common/CMakeFiles/lcosc_common.dir/si_format.cpp.o" "gcc" "src/common/CMakeFiles/lcosc_common.dir/si_format.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/common/CMakeFiles/lcosc_common.dir/statistics.cpp.o" "gcc" "src/common/CMakeFiles/lcosc_common.dir/statistics.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/common/CMakeFiles/lcosc_common.dir/table_printer.cpp.o" "gcc" "src/common/CMakeFiles/lcosc_common.dir/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_common.dir/error.cpp.o"
+  "CMakeFiles/lcosc_common.dir/error.cpp.o.d"
+  "CMakeFiles/lcosc_common.dir/logging.cpp.o"
+  "CMakeFiles/lcosc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lcosc_common.dir/random.cpp.o"
+  "CMakeFiles/lcosc_common.dir/random.cpp.o.d"
+  "CMakeFiles/lcosc_common.dir/si_format.cpp.o"
+  "CMakeFiles/lcosc_common.dir/si_format.cpp.o.d"
+  "CMakeFiles/lcosc_common.dir/statistics.cpp.o"
+  "CMakeFiles/lcosc_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/lcosc_common.dir/table_printer.cpp.o"
+  "CMakeFiles/lcosc_common.dir/table_printer.cpp.o.d"
+  "liblcosc_common.a"
+  "liblcosc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

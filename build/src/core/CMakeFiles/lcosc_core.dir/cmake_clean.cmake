@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_core.dir/lc_oscillator.cpp.o"
+  "CMakeFiles/lcosc_core.dir/lc_oscillator.cpp.o.d"
+  "liblcosc_core.a"
+  "liblcosc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

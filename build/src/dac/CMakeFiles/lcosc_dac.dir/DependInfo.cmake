@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dac/control_code.cpp" "src/dac/CMakeFiles/lcosc_dac.dir/control_code.cpp.o" "gcc" "src/dac/CMakeFiles/lcosc_dac.dir/control_code.cpp.o.d"
+  "/root/repo/src/dac/current_mirror.cpp" "src/dac/CMakeFiles/lcosc_dac.dir/current_mirror.cpp.o" "gcc" "src/dac/CMakeFiles/lcosc_dac.dir/current_mirror.cpp.o.d"
+  "/root/repo/src/dac/dac_variants.cpp" "src/dac/CMakeFiles/lcosc_dac.dir/dac_variants.cpp.o" "gcc" "src/dac/CMakeFiles/lcosc_dac.dir/dac_variants.cpp.o.d"
+  "/root/repo/src/dac/exponential_dac.cpp" "src/dac/CMakeFiles/lcosc_dac.dir/exponential_dac.cpp.o" "gcc" "src/dac/CMakeFiles/lcosc_dac.dir/exponential_dac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

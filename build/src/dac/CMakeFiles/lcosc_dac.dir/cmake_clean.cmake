@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_dac.dir/control_code.cpp.o"
+  "CMakeFiles/lcosc_dac.dir/control_code.cpp.o.d"
+  "CMakeFiles/lcosc_dac.dir/current_mirror.cpp.o"
+  "CMakeFiles/lcosc_dac.dir/current_mirror.cpp.o.d"
+  "CMakeFiles/lcosc_dac.dir/dac_variants.cpp.o"
+  "CMakeFiles/lcosc_dac.dir/dac_variants.cpp.o.d"
+  "CMakeFiles/lcosc_dac.dir/exponential_dac.cpp.o"
+  "CMakeFiles/lcosc_dac.dir/exponential_dac.cpp.o.d"
+  "liblcosc_dac.a"
+  "liblcosc_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

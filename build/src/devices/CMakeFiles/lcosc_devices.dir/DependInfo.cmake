@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/bandgap.cpp" "src/devices/CMakeFiles/lcosc_devices.dir/bandgap.cpp.o" "gcc" "src/devices/CMakeFiles/lcosc_devices.dir/bandgap.cpp.o.d"
+  "/root/repo/src/devices/charge_pump.cpp" "src/devices/CMakeFiles/lcosc_devices.dir/charge_pump.cpp.o" "gcc" "src/devices/CMakeFiles/lcosc_devices.dir/charge_pump.cpp.o.d"
+  "/root/repo/src/devices/comparator.cpp" "src/devices/CMakeFiles/lcosc_devices.dir/comparator.cpp.o" "gcc" "src/devices/CMakeFiles/lcosc_devices.dir/comparator.cpp.o.d"
+  "/root/repo/src/devices/lowpass.cpp" "src/devices/CMakeFiles/lcosc_devices.dir/lowpass.cpp.o" "gcc" "src/devices/CMakeFiles/lcosc_devices.dir/lowpass.cpp.o.d"
+  "/root/repo/src/devices/rectifier.cpp" "src/devices/CMakeFiles/lcosc_devices.dir/rectifier.cpp.o" "gcc" "src/devices/CMakeFiles/lcosc_devices.dir/rectifier.cpp.o.d"
+  "/root/repo/src/devices/vref_buffer.cpp" "src/devices/CMakeFiles/lcosc_devices.dir/vref_buffer.cpp.o" "gcc" "src/devices/CMakeFiles/lcosc_devices.dir/vref_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_devices.dir/bandgap.cpp.o"
+  "CMakeFiles/lcosc_devices.dir/bandgap.cpp.o.d"
+  "CMakeFiles/lcosc_devices.dir/charge_pump.cpp.o"
+  "CMakeFiles/lcosc_devices.dir/charge_pump.cpp.o.d"
+  "CMakeFiles/lcosc_devices.dir/comparator.cpp.o"
+  "CMakeFiles/lcosc_devices.dir/comparator.cpp.o.d"
+  "CMakeFiles/lcosc_devices.dir/lowpass.cpp.o"
+  "CMakeFiles/lcosc_devices.dir/lowpass.cpp.o.d"
+  "CMakeFiles/lcosc_devices.dir/rectifier.cpp.o"
+  "CMakeFiles/lcosc_devices.dir/rectifier.cpp.o.d"
+  "CMakeFiles/lcosc_devices.dir/vref_buffer.cpp.o"
+  "CMakeFiles/lcosc_devices.dir/vref_buffer.cpp.o.d"
+  "liblcosc_devices.a"
+  "liblcosc_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

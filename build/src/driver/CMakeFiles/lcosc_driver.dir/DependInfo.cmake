@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/gm_stage.cpp" "src/driver/CMakeFiles/lcosc_driver.dir/gm_stage.cpp.o" "gcc" "src/driver/CMakeFiles/lcosc_driver.dir/gm_stage.cpp.o.d"
+  "/root/repo/src/driver/oscillator_driver.cpp" "src/driver/CMakeFiles/lcosc_driver.dir/oscillator_driver.cpp.o" "gcc" "src/driver/CMakeFiles/lcosc_driver.dir/oscillator_driver.cpp.o.d"
+  "/root/repo/src/driver/output_stage.cpp" "src/driver/CMakeFiles/lcosc_driver.dir/output_stage.cpp.o" "gcc" "src/driver/CMakeFiles/lcosc_driver.dir/output_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/lcosc_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/tank/CMakeFiles/lcosc_tank.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lcosc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/lcosc_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

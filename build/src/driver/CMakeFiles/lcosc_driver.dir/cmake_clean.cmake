@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_driver.dir/gm_stage.cpp.o"
+  "CMakeFiles/lcosc_driver.dir/gm_stage.cpp.o.d"
+  "CMakeFiles/lcosc_driver.dir/oscillator_driver.cpp.o"
+  "CMakeFiles/lcosc_driver.dir/oscillator_driver.cpp.o.d"
+  "CMakeFiles/lcosc_driver.dir/output_stage.cpp.o"
+  "CMakeFiles/lcosc_driver.dir/output_stage.cpp.o.d"
+  "liblcosc_driver.a"
+  "liblcosc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_numeric.dir/complex_lu.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/complex_lu.cpp.o.d"
+  "CMakeFiles/lcosc_numeric.dir/interpolate.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/interpolate.cpp.o.d"
+  "CMakeFiles/lcosc_numeric.dir/lu.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/lu.cpp.o.d"
+  "CMakeFiles/lcosc_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/lcosc_numeric.dir/newton.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/newton.cpp.o.d"
+  "CMakeFiles/lcosc_numeric.dir/ode.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/ode.cpp.o.d"
+  "CMakeFiles/lcosc_numeric.dir/roots.cpp.o"
+  "CMakeFiles/lcosc_numeric.dir/roots.cpp.o.d"
+  "liblcosc_numeric.a"
+  "liblcosc_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regulation/amplitude_detector.cpp" "src/regulation/CMakeFiles/lcosc_regulation.dir/amplitude_detector.cpp.o" "gcc" "src/regulation/CMakeFiles/lcosc_regulation.dir/amplitude_detector.cpp.o.d"
+  "/root/repo/src/regulation/regulation_fsm.cpp" "src/regulation/CMakeFiles/lcosc_regulation.dir/regulation_fsm.cpp.o" "gcc" "src/regulation/CMakeFiles/lcosc_regulation.dir/regulation_fsm.cpp.o.d"
+  "/root/repo/src/regulation/startup_sequencer.cpp" "src/regulation/CMakeFiles/lcosc_regulation.dir/startup_sequencer.cpp.o" "gcc" "src/regulation/CMakeFiles/lcosc_regulation.dir/startup_sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lcosc_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_regulation.dir/amplitude_detector.cpp.o"
+  "CMakeFiles/lcosc_regulation.dir/amplitude_detector.cpp.o.d"
+  "CMakeFiles/lcosc_regulation.dir/regulation_fsm.cpp.o"
+  "CMakeFiles/lcosc_regulation.dir/regulation_fsm.cpp.o.d"
+  "CMakeFiles/lcosc_regulation.dir/startup_sequencer.cpp.o"
+  "CMakeFiles/lcosc_regulation.dir/startup_sequencer.cpp.o.d"
+  "liblcosc_regulation.a"
+  "liblcosc_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

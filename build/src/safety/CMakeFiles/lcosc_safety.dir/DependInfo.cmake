@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safety/asymmetry_detector.cpp" "src/safety/CMakeFiles/lcosc_safety.dir/asymmetry_detector.cpp.o" "gcc" "src/safety/CMakeFiles/lcosc_safety.dir/asymmetry_detector.cpp.o.d"
+  "/root/repo/src/safety/frequency_monitor.cpp" "src/safety/CMakeFiles/lcosc_safety.dir/frequency_monitor.cpp.o" "gcc" "src/safety/CMakeFiles/lcosc_safety.dir/frequency_monitor.cpp.o.d"
+  "/root/repo/src/safety/low_amplitude_detector.cpp" "src/safety/CMakeFiles/lcosc_safety.dir/low_amplitude_detector.cpp.o" "gcc" "src/safety/CMakeFiles/lcosc_safety.dir/low_amplitude_detector.cpp.o.d"
+  "/root/repo/src/safety/oscillation_watchdog.cpp" "src/safety/CMakeFiles/lcosc_safety.dir/oscillation_watchdog.cpp.o" "gcc" "src/safety/CMakeFiles/lcosc_safety.dir/oscillation_watchdog.cpp.o.d"
+  "/root/repo/src/safety/safety_controller.cpp" "src/safety/CMakeFiles/lcosc_safety.dir/safety_controller.cpp.o" "gcc" "src/safety/CMakeFiles/lcosc_safety.dir/safety_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lcosc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulation/CMakeFiles/lcosc_regulation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_safety.dir/asymmetry_detector.cpp.o"
+  "CMakeFiles/lcosc_safety.dir/asymmetry_detector.cpp.o.d"
+  "CMakeFiles/lcosc_safety.dir/frequency_monitor.cpp.o"
+  "CMakeFiles/lcosc_safety.dir/frequency_monitor.cpp.o.d"
+  "CMakeFiles/lcosc_safety.dir/low_amplitude_detector.cpp.o"
+  "CMakeFiles/lcosc_safety.dir/low_amplitude_detector.cpp.o.d"
+  "CMakeFiles/lcosc_safety.dir/oscillation_watchdog.cpp.o"
+  "CMakeFiles/lcosc_safety.dir/oscillation_watchdog.cpp.o.d"
+  "CMakeFiles/lcosc_safety.dir/safety_controller.cpp.o"
+  "CMakeFiles/lcosc_safety.dir/safety_controller.cpp.o.d"
+  "liblcosc_safety.a"
+  "liblcosc_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac_solver.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/ac_solver.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/ac_solver.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/dc_solver.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/dc_solver.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/dc_solver.cpp.o.d"
+  "/root/repo/src/spice/diode.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/diode.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/diode.cpp.o.d"
+  "/root/repo/src/spice/element.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/element.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/element.cpp.o.d"
+  "/root/repo/src/spice/elements_linear.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/elements_linear.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/elements_linear.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/mutual_coupling.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/mutual_coupling.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/mutual_coupling.cpp.o.d"
+  "/root/repo/src/spice/netlist_parser.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/netlist_parser.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/spice/sweep.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/sweep.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/sweep.cpp.o.d"
+  "/root/repo/src/spice/transient_solver.cpp" "src/spice/CMakeFiles/lcosc_spice.dir/transient_solver.cpp.o" "gcc" "src/spice/CMakeFiles/lcosc_spice.dir/transient_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/lcosc_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_spice.dir/ac_solver.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/ac_solver.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/circuit.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/dc_solver.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/dc_solver.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/diode.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/diode.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/element.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/element.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/elements_linear.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/elements_linear.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/mutual_coupling.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/mutual_coupling.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/netlist_parser.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/sweep.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/sweep.cpp.o.d"
+  "CMakeFiles/lcosc_spice.dir/transient_solver.cpp.o"
+  "CMakeFiles/lcosc_spice.dir/transient_solver.cpp.o.d"
+  "liblcosc_spice.a"
+  "liblcosc_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

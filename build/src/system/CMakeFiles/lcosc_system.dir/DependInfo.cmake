@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/dual_system.cpp" "src/system/CMakeFiles/lcosc_system.dir/dual_system.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/dual_system.cpp.o.d"
+  "/root/repo/src/system/envelope_simulator.cpp" "src/system/CMakeFiles/lcosc_system.dir/envelope_simulator.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/envelope_simulator.cpp.o.d"
+  "/root/repo/src/system/fmea_campaign.cpp" "src/system/CMakeFiles/lcosc_system.dir/fmea_campaign.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/fmea_campaign.cpp.o.d"
+  "/root/repo/src/system/magnetic_sensor.cpp" "src/system/CMakeFiles/lcosc_system.dir/magnetic_sensor.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/magnetic_sensor.cpp.o.d"
+  "/root/repo/src/system/oscillator_system.cpp" "src/system/CMakeFiles/lcosc_system.dir/oscillator_system.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/oscillator_system.cpp.o.d"
+  "/root/repo/src/system/position_sensor.cpp" "src/system/CMakeFiles/lcosc_system.dir/position_sensor.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/position_sensor.cpp.o.d"
+  "/root/repo/src/system/receiver.cpp" "src/system/CMakeFiles/lcosc_system.dir/receiver.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/receiver.cpp.o.d"
+  "/root/repo/src/system/sensor_system.cpp" "src/system/CMakeFiles/lcosc_system.dir/sensor_system.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/sensor_system.cpp.o.d"
+  "/root/repo/src/system/tolerance_analysis.cpp" "src/system/CMakeFiles/lcosc_system.dir/tolerance_analysis.cpp.o" "gcc" "src/system/CMakeFiles/lcosc_system.dir/tolerance_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/lcosc_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/tank/CMakeFiles/lcosc_tank.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/lcosc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulation/CMakeFiles/lcosc_regulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/lcosc_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/lcosc_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lcosc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/lcosc_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_system.dir/dual_system.cpp.o"
+  "CMakeFiles/lcosc_system.dir/dual_system.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/envelope_simulator.cpp.o"
+  "CMakeFiles/lcosc_system.dir/envelope_simulator.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/fmea_campaign.cpp.o"
+  "CMakeFiles/lcosc_system.dir/fmea_campaign.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/magnetic_sensor.cpp.o"
+  "CMakeFiles/lcosc_system.dir/magnetic_sensor.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/oscillator_system.cpp.o"
+  "CMakeFiles/lcosc_system.dir/oscillator_system.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/position_sensor.cpp.o"
+  "CMakeFiles/lcosc_system.dir/position_sensor.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/receiver.cpp.o"
+  "CMakeFiles/lcosc_system.dir/receiver.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/sensor_system.cpp.o"
+  "CMakeFiles/lcosc_system.dir/sensor_system.cpp.o.d"
+  "CMakeFiles/lcosc_system.dir/tolerance_analysis.cpp.o"
+  "CMakeFiles/lcosc_system.dir/tolerance_analysis.cpp.o.d"
+  "liblcosc_system.a"
+  "liblcosc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

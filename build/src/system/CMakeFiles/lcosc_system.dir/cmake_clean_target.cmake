@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcosc_system.a"
+)

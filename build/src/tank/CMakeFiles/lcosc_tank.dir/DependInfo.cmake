@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tank/coupled_tanks.cpp" "src/tank/CMakeFiles/lcosc_tank.dir/coupled_tanks.cpp.o" "gcc" "src/tank/CMakeFiles/lcosc_tank.dir/coupled_tanks.cpp.o.d"
+  "/root/repo/src/tank/inductance_matrix.cpp" "src/tank/CMakeFiles/lcosc_tank.dir/inductance_matrix.cpp.o" "gcc" "src/tank/CMakeFiles/lcosc_tank.dir/inductance_matrix.cpp.o.d"
+  "/root/repo/src/tank/rlc_tank.cpp" "src/tank/CMakeFiles/lcosc_tank.dir/rlc_tank.cpp.o" "gcc" "src/tank/CMakeFiles/lcosc_tank.dir/rlc_tank.cpp.o.d"
+  "/root/repo/src/tank/tank_faults.cpp" "src/tank/CMakeFiles/lcosc_tank.dir/tank_faults.cpp.o" "gcc" "src/tank/CMakeFiles/lcosc_tank.dir/tank_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

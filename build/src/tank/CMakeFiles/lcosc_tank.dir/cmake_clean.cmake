@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_tank.dir/coupled_tanks.cpp.o"
+  "CMakeFiles/lcosc_tank.dir/coupled_tanks.cpp.o.d"
+  "CMakeFiles/lcosc_tank.dir/inductance_matrix.cpp.o"
+  "CMakeFiles/lcosc_tank.dir/inductance_matrix.cpp.o.d"
+  "CMakeFiles/lcosc_tank.dir/rlc_tank.cpp.o"
+  "CMakeFiles/lcosc_tank.dir/rlc_tank.cpp.o.d"
+  "CMakeFiles/lcosc_tank.dir/tank_faults.cpp.o"
+  "CMakeFiles/lcosc_tank.dir/tank_faults.cpp.o.d"
+  "liblcosc_tank.a"
+  "liblcosc_tank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_tank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

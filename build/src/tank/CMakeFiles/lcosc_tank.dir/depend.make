@@ -1,0 +1,2 @@
+# Empty dependencies file for lcosc_tank.
+# This may be replaced when dependencies are built.

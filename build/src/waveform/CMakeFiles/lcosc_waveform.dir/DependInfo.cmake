@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waveform/csv_io.cpp" "src/waveform/CMakeFiles/lcosc_waveform.dir/csv_io.cpp.o" "gcc" "src/waveform/CMakeFiles/lcosc_waveform.dir/csv_io.cpp.o.d"
+  "/root/repo/src/waveform/measurements.cpp" "src/waveform/CMakeFiles/lcosc_waveform.dir/measurements.cpp.o" "gcc" "src/waveform/CMakeFiles/lcosc_waveform.dir/measurements.cpp.o.d"
+  "/root/repo/src/waveform/spectrum.cpp" "src/waveform/CMakeFiles/lcosc_waveform.dir/spectrum.cpp.o" "gcc" "src/waveform/CMakeFiles/lcosc_waveform.dir/spectrum.cpp.o.d"
+  "/root/repo/src/waveform/svg_plot.cpp" "src/waveform/CMakeFiles/lcosc_waveform.dir/svg_plot.cpp.o" "gcc" "src/waveform/CMakeFiles/lcosc_waveform.dir/svg_plot.cpp.o.d"
+  "/root/repo/src/waveform/trace.cpp" "src/waveform/CMakeFiles/lcosc_waveform.dir/trace.cpp.o" "gcc" "src/waveform/CMakeFiles/lcosc_waveform.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lcosc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/lcosc_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

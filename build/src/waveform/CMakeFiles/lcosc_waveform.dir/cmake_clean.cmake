@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcosc_waveform.dir/csv_io.cpp.o"
+  "CMakeFiles/lcosc_waveform.dir/csv_io.cpp.o.d"
+  "CMakeFiles/lcosc_waveform.dir/measurements.cpp.o"
+  "CMakeFiles/lcosc_waveform.dir/measurements.cpp.o.d"
+  "CMakeFiles/lcosc_waveform.dir/spectrum.cpp.o"
+  "CMakeFiles/lcosc_waveform.dir/spectrum.cpp.o.d"
+  "CMakeFiles/lcosc_waveform.dir/svg_plot.cpp.o"
+  "CMakeFiles/lcosc_waveform.dir/svg_plot.cpp.o.d"
+  "CMakeFiles/lcosc_waveform.dir/trace.cpp.o"
+  "CMakeFiles/lcosc_waveform.dir/trace.cpp.o.d"
+  "liblcosc_waveform.a"
+  "liblcosc_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcosc_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

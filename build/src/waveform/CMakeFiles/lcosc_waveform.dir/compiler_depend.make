@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lcosc_waveform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac_analysis.dir/test_ac_analysis.cpp.o"
+  "CMakeFiles/test_ac_analysis.dir/test_ac_analysis.cpp.o.d"
+  "test_ac_analysis"
+  "test_ac_analysis.pdb"
+  "test_ac_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dac_coding.dir/test_dac_coding.cpp.o"
+  "CMakeFiles/test_dac_coding.dir/test_dac_coding.cpp.o.d"
+  "test_dac_coding"
+  "test_dac_coding.pdb"
+  "test_dac_coding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dac_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

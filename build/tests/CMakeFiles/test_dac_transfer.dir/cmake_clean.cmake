@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dac_transfer.dir/test_dac_transfer.cpp.o"
+  "CMakeFiles/test_dac_transfer.dir/test_dac_transfer.cpp.o.d"
+  "test_dac_transfer"
+  "test_dac_transfer.pdb"
+  "test_dac_transfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dac_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

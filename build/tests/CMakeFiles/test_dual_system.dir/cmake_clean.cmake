@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_system.dir/test_dual_system.cpp.o"
+  "CMakeFiles/test_dual_system.dir/test_dual_system.cpp.o.d"
+  "test_dual_system"
+  "test_dual_system.pdb"
+  "test_dual_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_monitor.dir/test_frequency_monitor.cpp.o"
+  "CMakeFiles/test_frequency_monitor.dir/test_frequency_monitor.cpp.o.d"
+  "test_frequency_monitor"
+  "test_frequency_monitor.pdb"
+  "test_frequency_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gm_stage.dir/test_gm_stage.cpp.o"
+  "CMakeFiles/test_gm_stage.dir/test_gm_stage.cpp.o.d"
+  "test_gm_stage"
+  "test_gm_stage.pdb"
+  "test_gm_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gm_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_magnetic_sensor.dir/test_magnetic_sensor.cpp.o"
+  "CMakeFiles/test_magnetic_sensor.dir/test_magnetic_sensor.cpp.o.d"
+  "test_magnetic_sensor"
+  "test_magnetic_sensor.pdb"
+  "test_magnetic_sensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_magnetic_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

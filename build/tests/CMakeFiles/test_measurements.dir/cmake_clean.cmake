@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurements.dir/test_measurements.cpp.o"
+  "CMakeFiles/test_measurements.dir/test_measurements.cpp.o.d"
+  "test_measurements"
+  "test_measurements.pdb"
+  "test_measurements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

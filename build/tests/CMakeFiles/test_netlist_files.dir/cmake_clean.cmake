@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_files.dir/test_netlist_files.cpp.o"
+  "CMakeFiles/test_netlist_files.dir/test_netlist_files.cpp.o.d"
+  "test_netlist_files"
+  "test_netlist_files.pdb"
+  "test_netlist_files[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_parser.dir/test_netlist_parser.cpp.o"
+  "CMakeFiles/test_netlist_parser.dir/test_netlist_parser.cpp.o.d"
+  "test_netlist_parser"
+  "test_netlist_parser.pdb"
+  "test_netlist_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oscillation_theory.dir/test_oscillation_theory.cpp.o"
+  "CMakeFiles/test_oscillation_theory.dir/test_oscillation_theory.cpp.o.d"
+  "test_oscillation_theory"
+  "test_oscillation_theory.pdb"
+  "test_oscillation_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oscillation_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

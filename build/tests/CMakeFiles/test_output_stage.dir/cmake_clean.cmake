@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_stage.dir/test_output_stage.cpp.o"
+  "CMakeFiles/test_output_stage.dir/test_output_stage.cpp.o.d"
+  "test_output_stage"
+  "test_output_stage.pdb"
+  "test_output_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

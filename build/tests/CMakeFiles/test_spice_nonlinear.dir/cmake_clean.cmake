@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_nonlinear.dir/test_spice_nonlinear.cpp.o"
+  "CMakeFiles/test_spice_nonlinear.dir/test_spice_nonlinear.cpp.o.d"
+  "test_spice_nonlinear"
+  "test_spice_nonlinear.pdb"
+  "test_spice_nonlinear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

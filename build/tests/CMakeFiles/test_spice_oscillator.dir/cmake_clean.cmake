@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_oscillator.dir/test_spice_oscillator.cpp.o"
+  "CMakeFiles/test_spice_oscillator.dir/test_spice_oscillator.cpp.o.d"
+  "test_spice_oscillator"
+  "test_spice_oscillator.pdb"
+  "test_spice_oscillator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_sweep.dir/test_spice_sweep.cpp.o"
+  "CMakeFiles/test_spice_sweep.dir/test_spice_sweep.cpp.o.d"
+  "test_spice_sweep"
+  "test_spice_sweep.pdb"
+  "test_spice_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

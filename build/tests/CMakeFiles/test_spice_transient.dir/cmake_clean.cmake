@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_transient.dir/test_spice_transient.cpp.o"
+  "CMakeFiles/test_spice_transient.dir/test_spice_transient.cpp.o.d"
+  "test_spice_transient"
+  "test_spice_transient.pdb"
+  "test_spice_transient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

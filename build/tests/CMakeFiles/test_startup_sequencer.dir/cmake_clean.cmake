@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_startup_sequencer.dir/test_startup_sequencer.cpp.o"
+  "CMakeFiles/test_startup_sequencer.dir/test_startup_sequencer.cpp.o.d"
+  "test_startup_sequencer"
+  "test_startup_sequencer.pdb"
+  "test_startup_sequencer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_startup_sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

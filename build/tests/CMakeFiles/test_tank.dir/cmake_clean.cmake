@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tank.dir/test_tank.cpp.o"
+  "CMakeFiles/test_tank.dir/test_tank.cpp.o.d"
+  "test_tank"
+  "test_tank.pdb"
+  "test_tank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

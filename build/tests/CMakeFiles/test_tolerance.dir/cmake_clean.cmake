@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tolerance.dir/test_tolerance.cpp.o"
+  "CMakeFiles/test_tolerance.dir/test_tolerance.cpp.o.d"
+  "test_tolerance"
+  "test_tolerance.pdb"
+  "test_tolerance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
