@@ -3,7 +3,9 @@
 // 30 mA."  Sweep the tank quality across the operable range and report
 // the settled regulation code and supply current (envelope engine).
 #include <iostream>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/si_format.h"
 #include "common/table_printer.h"
 #include "common/units.h"
@@ -23,24 +25,44 @@ int main() {
   SvgSeries consumption;
   consumption.label = "supply current [mA]";
 
-  double i_min = 1e9;
-  double i_max = 0.0;
-  for (const double q : spice::logspace(5.0, 320.0, 10)) {
+  // The Q sweep is a tank parameter sweep with one independent envelope
+  // run per point: fan it out over the parallel campaign engine and
+  // collect the rows in sweep order.
+  struct QPoint {
+    double q = 0.0;
+    double rp = 0.0;
+    double gm0 = 0.0;
+    int code = 0;
+    double amplitude = 0.0;
+    double supply = 0.0;
+  };
+  const std::vector<double> qs = spice::logspace(5.0, 320.0, 10);
+  const std::vector<QPoint> points = parallel_map(qs.size(), [&](std::size_t i) {
     EnvelopeSimConfig cfg;
-    cfg.tank = tank::design_tank(4.0_MHz, q, 3.3_uH);
+    cfg.tank = tank::design_tank(4.0_MHz, qs[i], 3.3_uH);
     cfg.regulation.tick_period = 0.25e-3;
     EnvelopeSimulator sim(cfg);
     const EnvelopeRunResult r = sim.run(40e-3);
     const tank::RlcTank tk(cfg.tank);
+    QPoint p;
+    p.q = qs[i];
+    p.rp = tk.parallel_resistance();
+    p.gm0 = tk.critical_gm();
+    p.code = r.final_code;
+    p.amplitude = r.settled_amplitude();
+    p.supply = r.ticks.back().supply_current;
+    return p;
+  });
 
-    const double supply = r.ticks.back().supply_current;
-    consumption.points.emplace_back(q, supply * 1e3);
-    i_min = std::min(i_min, supply);
-    i_max = std::max(i_max, supply);
-    table.add_values(format_significant(q, 3),
-                     format_significant(tk.parallel_resistance(), 4),
-                     format_significant(tk.critical_gm() * 1e3, 3), r.final_code,
-                     format_significant(r.settled_amplitude(), 3), si_format(supply, "A"));
+  double i_min = 1e9;
+  double i_max = 0.0;
+  for (const QPoint& p : points) {
+    consumption.points.emplace_back(p.q, p.supply * 1e3);
+    i_min = std::min(i_min, p.supply);
+    i_max = std::max(i_max, p.supply);
+    table.add_values(format_significant(p.q, 3), format_significant(p.rp, 4),
+                     format_significant(p.gm0 * 1e3, 3), p.code,
+                     format_significant(p.amplitude, 3), si_format(p.supply, "A"));
   }
   table.print(std::cout);
 

@@ -1,0 +1,182 @@
+// Serial-vs-parallel wall time of the campaign-shaped workloads driven
+// by common/parallel.h: the Monte-Carlo tolerance campaign, the FMEA
+// fault sweep, and the AC impedance sweep.  Prints a table and writes a
+// machine-readable BENCH_campaigns.json so later PRs can track the perf
+// trajectory (speedup is ~1x on single-core hosts; the JSON records the
+// hardware concurrency so runs are comparable).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/si_format.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "spice/ac_solver.h"
+#include "spice/circuit.h"
+#include "spice/sweep.h"
+#include "system/fmea_campaign.h"
+#include "system/tolerance_analysis.h"
+
+using namespace lcosc;
+using namespace lcosc::literals;
+
+namespace {
+
+struct CampaignTiming {
+  std::string name;
+  std::size_t items = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;  // parallel result matches the serial one
+
+  [[nodiscard]] double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+CampaignTiming bench_tolerance() {
+  system::ToleranceConfig cfg;
+  cfg.nominal.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.nominal.regulation.tick_period = 0.25e-3;
+  cfg.samples = 48;
+  cfg.run_duration = 20e-3;
+
+  CampaignTiming t;
+  t.name = "tolerance_monte_carlo";
+  t.items = static_cast<std::size_t>(cfg.samples);
+
+  system::ToleranceReport serial;
+  system::ToleranceReport parallel;
+  cfg.workers = 1;
+  t.serial_ms = time_ms([&] { serial = run_tolerance_analysis(cfg); });
+  cfg.workers = 0;
+  t.parallel_ms = time_ms([&] { parallel = run_tolerance_analysis(cfg); });
+
+  t.identical = serial.samples.size() == parallel.samples.size();
+  for (std::size_t i = 0; t.identical && i < serial.samples.size(); ++i) {
+    t.identical = serial.samples[i].settled_amplitude == parallel.samples[i].settled_amplitude &&
+                  serial.samples[i].settled_code == parallel.samples[i].settled_code &&
+                  serial.samples[i].supply_current == parallel.samples[i].supply_current;
+  }
+  return t;
+}
+
+CampaignTiming bench_fmea() {
+  system::FmeaCampaignConfig cfg;
+  cfg.system.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.system.regulation.tick_period = 0.25e-3;
+  cfg.system.waveform_decimation = 0;
+
+  CampaignTiming t;
+  t.name = "fmea_fault_sweep";
+  t.items = system::fmea_fault_list().size();
+
+  system::FmeaReport serial;
+  system::FmeaReport parallel;
+  cfg.workers = 1;
+  t.serial_ms = time_ms([&] { serial = run_fmea_campaign(cfg); });
+  cfg.workers = 0;
+  t.parallel_ms = time_ms([&] { parallel = run_fmea_campaign(cfg); });
+
+  t.identical = serial.rows.size() == parallel.rows.size();
+  for (std::size_t i = 0; t.identical && i < serial.rows.size(); ++i) {
+    t.identical = serial.rows[i].fault == parallel.rows[i].fault &&
+                  serial.rows[i].detected == parallel.rows[i].detected &&
+                  serial.rows[i].final_code == parallel.rows[i].final_code &&
+                  serial.rows[i].detection_latency == parallel.rows[i].detection_latency;
+  }
+  return t;
+}
+
+CampaignTiming bench_ac_sweep() {
+  const tank::TankConfig tk = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  spice::Circuit c;
+  c.inductor("L", "a", "b", tk.inductance);
+  c.resistor("Rs", "b", "0", tk.series_resistance);
+  c.capacitor("C1", "a", "0", tk.capacitance1);
+  c.capacitor("C2", "a", "0", tk.capacitance2);
+  spice::CurrentSource& probe = c.current_source("Iprobe", "0", "a", 0.0);
+  c.finalize();
+  const Vector dc_op(c.unknown_count(), 0.0);
+  const std::vector<double> freqs = spice::logspace(1.0_MHz, 16.0_MHz, 2000);
+
+  CampaignTiming t;
+  t.name = "ac_impedance_sweep";
+  t.items = freqs.size();
+
+  std::vector<spice::ImpedancePoint> serial;
+  std::vector<spice::ImpedancePoint> parallel;
+  t.serial_ms =
+      time_ms([&] { serial = measure_impedance(c, probe, "a", "0", dc_op, freqs, 1); });
+  t.parallel_ms =
+      time_ms([&] { parallel = measure_impedance(c, probe, "a", "0", dc_op, freqs, 0); });
+
+  t.identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; t.identical && i < serial.size(); ++i) {
+    t.identical = serial[i].impedance == parallel[i].impedance;
+  }
+  return t;
+}
+
+void write_json(const std::string& path, const std::vector<CampaignTiming>& timings) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"bench_perf_campaigns\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"default_worker_count\": " << default_worker_count() << ",\n"
+      << "  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const CampaignTiming& t = timings[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"items\": " << t.items << ",\n"
+        << "      \"serial_ms\": " << t.serial_ms << ",\n"
+        << "      \"parallel_ms\": " << t.parallel_ms << ",\n"
+        << "      \"speedup\": " << t.speedup() << ",\n"
+        << "      \"identical_results\": " << (t.identical ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Campaign engine: serial vs parallel wall time ===\n\n"
+            << "hardware threads: " << std::thread::hardware_concurrency()
+            << ", default workers: " << default_worker_count() << "\n\n";
+
+  const std::vector<CampaignTiming> timings = {
+      bench_tolerance(), bench_fmea(), bench_ac_sweep()};
+
+  TablePrinter table({"campaign", "items", "serial [ms]", "parallel [ms]", "speedup",
+                      "identical"});
+  for (const CampaignTiming& t : timings) {
+    table.add_values(t.name, t.items, format_significant(t.serial_ms, 4),
+                     format_significant(t.parallel_ms, 4), format_significant(t.speedup(), 3),
+                     t.identical);
+  }
+  table.print(std::cout);
+
+  write_json("BENCH_campaigns.json", timings);
+  std::cout << "\n(machine-readable record: BENCH_campaigns.json)\n"
+            << "\nShape checks:\n"
+            << "  - identical=true on every row: the parallel campaigns are\n"
+            << "    byte-identical to serial (per-index Rng forking, order-preserving\n"
+            << "    parallel_map);\n"
+            << "  - speedup approaches the worker count on multi-core hosts and ~1.0\n"
+            << "    on a single core (the engine adds no meaningful overhead).\n";
+  return 0;
+}

@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Tier-1 verify: the exact command from ROADMAP.md, runnable from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -1,0 +1,97 @@
+// Shared parallel-execution substrate for campaign-shaped workloads
+// (Monte-Carlo tolerance analysis, FMEA fault sweeps, AC/parameter
+// sweeps, and the evaluation benches).
+//
+// Contract:
+//  - `parallel_map(n, fn)` evaluates fn(0) .. fn(n-1), placing each result
+//    at its index, so the output is identical regardless of worker count.
+//    Every index is attempted even when another index throws; the
+//    exception from the lowest failing index is rethrown in the caller
+//    once all workers have drained.  `fn` must not share mutable state
+//    across indices -- stochastic work derives a per-index stream via
+//    `Rng::fork(stream_id)` from a generator created before the call.
+//  - Worker count resolution: an explicit `workers` argument > 0 wins,
+//    else the LCOSC_THREADS environment variable, else
+//    std::thread::hardware_concurrency().  `LCOSC_THREADS=1` (or
+//    workers == 1) forces fully-inline deterministic execution: no thread
+//    is ever spawned and no pool is created.
+//  - Nested calls from inside a pool worker run inline, so library code
+//    may call parallel_map freely without risking pool starvation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace lcosc {
+
+// Worker count used when a caller passes workers == 0: LCOSC_THREADS if
+// set to a positive integer, else hardware_concurrency (min 1).
+[[nodiscard]] std::size_t default_worker_count();
+
+// Fixed-size worker pool with a FIFO task queue.  Campaign code should
+// prefer parallel_map / parallel_for; the pool is exposed for callers
+// that need to schedule heterogeneous background work.
+class ThreadPool {
+ public:
+  // Spawns exactly `workers` threads (0 is allowed: tasks then only run
+  // when drained by another mechanism; the shared pool never does this).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  // Enqueue a task.  Tasks must not throw: exceptions cannot be routed
+  // back to a caller from here, so they are swallowed (parallel_for
+  // routes per-index exceptions itself before they reach the pool).
+  void submit(std::function<void()> task);
+
+  // Process-wide pool, lazily created with default_worker_count() - 1
+  // threads (the caller of parallel_for is the remaining worker).  Never
+  // constructed while the default worker count is 1.
+  static ThreadPool& shared();
+
+  // True when the calling thread is one of a ThreadPool's workers.
+  [[nodiscard]] static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+// Run fn(0) .. fn(n-1) on up to `workers` threads (see file header for
+// the count resolution and exception contract).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t workers = 0);
+
+// Order-preserving map: returns {fn(0), ..., fn(n-1)}.  The result type
+// must be default-constructible (results are written into a pre-sized
+// vector so completion order never matters).
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn, std::size_t workers = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map results are placed by index into a pre-sized "
+                "vector and must be default-constructible");
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, workers);
+  return out;
+}
+
+}  // namespace lcosc

@@ -5,6 +5,7 @@
 
 #include "common/constants.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace lcosc::spice {
 
@@ -17,44 +18,50 @@ Complex AcPoint::voltage(NodeId node) const {
 }
 
 std::vector<AcPoint> ac_sweep(Circuit& circuit, const Vector& dc_op,
-                              const std::vector<double>& frequencies) {
+                              const std::vector<double>& frequencies,
+                              std::size_t workers) {
   circuit.finalize();
   const std::size_t n = circuit.unknown_count();
   LCOSC_REQUIRE(dc_op.size() == n, "DC operating point size mismatch");
-
-  std::vector<AcPoint> result;
-  result.reserve(frequencies.size());
-
-  ComplexMatrix a(n, n);
-  ComplexVector b(n);
   for (const double f : frequencies) {
     LCOSC_REQUIRE(f >= 0.0, "AC frequency must be non-negative");
-    const double omega = kTwoPi * f;
-    a.set_zero();
-    std::fill(b.begin(), b.end(), Complex{});
-    AcStamper stamper(a, b);
-    for (const auto& element : circuit.elements()) element->stamp_ac(stamper, omega, dc_op);
-    // The same gmin floor as DC keeps floating nodes solvable.
-    for (std::size_t i = 0; i < circuit.node_count() - 1; ++i) {
-      a(i, i) += Complex{1e-12, 0.0};
-    }
-
-    AcPoint point;
-    point.frequency = f;
-    const ComplexLu lu(a);
-    point.ok = lu.try_solve(b, point.x);
-    result.push_back(std::move(point));
   }
-  return result;
+
+  // Every frequency point is an independent complex solve against the
+  // finalized (read-only from here) circuit: stamp_ac is const on all
+  // elements and each point owns its matrix, so the sweep parallelizes
+  // with results independent of worker count.
+  return parallel_map(
+      frequencies.size(),
+      [&](std::size_t i) {
+        const double f = frequencies[i];
+        const double omega = kTwoPi * f;
+        ComplexMatrix a(n, n);
+        ComplexVector b(n);
+        AcStamper stamper(a, b);
+        for (const auto& element : circuit.elements()) element->stamp_ac(stamper, omega, dc_op);
+        // The same gmin floor as DC keeps floating nodes solvable.
+        for (std::size_t d = 0; d < circuit.node_count() - 1; ++d) {
+          a(d, d) += Complex{1e-12, 0.0};
+        }
+
+        AcPoint point;
+        point.frequency = f;
+        const ComplexLu lu(a);
+        point.ok = lu.try_solve(b, point.x);
+        return point;
+      },
+      workers);
 }
 
 std::vector<ImpedancePoint> measure_impedance(Circuit& circuit, CurrentSource& probe,
                                               const std::string& positive,
                                               const std::string& negative, const Vector& dc_op,
-                                              const std::vector<double>& frequencies) {
+                                              const std::vector<double>& frequencies,
+                                              std::size_t workers) {
   const double original = probe.ac_magnitude();
   probe.set_ac_magnitude(1.0);
-  const std::vector<AcPoint> points = ac_sweep(circuit, dc_op, frequencies);
+  const std::vector<AcPoint> points = ac_sweep(circuit, dc_op, frequencies, workers);
   probe.set_ac_magnitude(original);
 
   const NodeId pos = circuit.node(positive);

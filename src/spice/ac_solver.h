@@ -6,6 +6,7 @@
 // tank arithmetic against the transistor-level view.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "numeric/complex_lu.h"
@@ -24,9 +25,12 @@ struct AcPoint {
 
 // Solve the small-signal response at each frequency.  `dc_op` is the
 // operating point the nonlinear elements are linearized at (pass an
-// all-zero vector for a linear circuit).
+// all-zero vector for a linear circuit).  Frequency points are solved in
+// parallel (workers: 0 = default_worker_count(), 1 = serial); every
+// point is independent, so results do not depend on the worker count.
 [[nodiscard]] std::vector<AcPoint> ac_sweep(Circuit& circuit, const Vector& dc_op,
-                                            const std::vector<double>& frequencies);
+                                            const std::vector<double>& frequencies,
+                                            std::size_t workers = 0);
 
 struct ImpedancePoint {
   double frequency = 0.0;
@@ -39,7 +43,7 @@ struct ImpedancePoint {
 [[nodiscard]] std::vector<ImpedancePoint> measure_impedance(
     Circuit& circuit, CurrentSource& probe, const std::string& positive,
     const std::string& negative, const Vector& dc_op,
-    const std::vector<double>& frequencies);
+    const std::vector<double>& frequencies, std::size_t workers = 0);
 
 // Resonance characterization of an impedance curve: peak frequency, peak
 // magnitude, and quality factor from the -3 dB bandwidth.

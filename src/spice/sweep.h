@@ -23,6 +23,13 @@ struct SweepResult {
 // Sweep an independent voltage source through `values` (in order), seeding
 // each point's Newton iteration with the previous solution.  The source's
 // original value is restored afterwards.
+//
+// The DC sweep is intentionally serial: the continuation chain is a
+// point-to-point data dependency (and the swept source mutates the shared
+// circuit), so it cannot be split across workers without changing which
+// Newton basins hard nonlinear points land in.  Independent-point sweeps
+// (AC / tank impedance) parallelize instead -- see spice::ac_sweep and
+// common/parallel.h.
 [[nodiscard]] SweepResult dc_sweep(Circuit& circuit, VoltageSource& source,
                                    const std::vector<double>& values,
                                    const DcOptions& options = {});

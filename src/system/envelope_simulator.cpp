@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/constants.h"
 #include "common/error.h"
@@ -75,14 +76,24 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
   result.amplitude.set_name("amplitude");
 
   double a = config_.initial_amplitude;
-  double t = 0.0;
   bool nvm_applied = false;
-  double next_tick = fsm_.config().tick_period;
   const double dt = config_.dt;
-  result.amplitude.reserve(static_cast<std::size_t>(duration / dt) + 2);
+  // Index the loop by step count instead of accumulating t += dt: over a
+  // 40 ms run at a 2 us step the accumulated sum drifts by ~1e4 ulp,
+  // which can drop the final step (and with it the regulation tick that
+  // lands exactly on `duration`).  Durations within one part in 1e12 of
+  // an integer step count are treated as exact.
+  const auto steps =
+      static_cast<std::int64_t>(std::ceil(duration / dt * (1.0 - 1e-12)));
+  // Tick times are likewise computed as tick_index * tick_period; the
+  // same relative slack absorbs the ulp mismatch between the two grids.
+  const double tick_period = fsm_.config().tick_period;
+  std::int64_t tick_index = 1;
+  result.amplitude.reserve(static_cast<std::size_t>(steps) + 2);
 
-  while (t < duration) {
-    if (!nvm_applied && t >= fsm_.config().nvm_delay) {
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const double t_step = static_cast<double>(step) * dt;
+    if (!nvm_applied && t_step >= fsm_.config().nvm_delay) {
       fsm_.apply_nvm_preset();
       driver_.set_code(fsm_.code());
       nvm_applied = true;
@@ -113,13 +124,13 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
       a = std::clamp(a * std::exp(lam * h), 1e-9, 1e3);
       remaining -= h;
     }
-    t += dt;
+    const double t = static_cast<double>(step + 1) * dt;
 
     // Detector: rectified mean of the pin swing is A/pi.
     vdc1.step(dt, a / kPi);
     result.amplitude.append(t, a);
 
-    if (t >= next_tick) {
+    if (t >= static_cast<double>(tick_index) * tick_period * (1.0 - 1e-12)) {
       // Window verdict directly on the filtered VDC1.
       devices::WindowState window = devices::WindowState::Inside;
       if (vdc1.output() < detector.vr3()) window = devices::WindowState::Below;
@@ -134,7 +145,7 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
       tick.vdc1 = vdc1.output();
       tick.supply_current = driver_.supply_current(a);
       result.ticks.push_back(tick);
-      next_tick += fsm_.config().tick_period;
+      ++tick_index;
     }
   }
   result.final_code = fsm_.code();

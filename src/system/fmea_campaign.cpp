@@ -1,6 +1,7 @@
 #include "system/fmea_campaign.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace lcosc::system {
 
@@ -70,10 +71,14 @@ FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
 }
 
 FmeaReport run_fmea_campaign(const FmeaCampaignConfig& config) {
+  // Each fault case builds its own OscillatorSystem from the shared
+  // const config, so the per-fault work is independent and the report is
+  // identical for any worker count.
+  const std::vector<tank::TankFault> faults = fmea_fault_list();
   FmeaReport report;
-  for (const tank::TankFault fault : fmea_fault_list()) {
-    report.rows.push_back(run_fmea_case(config, fault));
-  }
+  report.rows = parallel_map(
+      faults.size(), [&](std::size_t i) { return run_fmea_case(config, faults[i]); },
+      config.workers);
   return report;
 }
 

@@ -3,6 +3,7 @@
 // reaction engaged, and compare against the expected detection channel.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@ struct FmeaCampaignConfig {
   // Observation window after the fault.
   double observe_time = 10e-3;
   tank::FaultSeverity severity{};
+  // Worker threads for the per-fault sweep: 0 = default_worker_count(),
+  // 1 = serial.  The report is identical for any value.
+  std::size_t workers = 0;
 };
 
 // Run the campaign over all fault classes (excluding TankFault::None,

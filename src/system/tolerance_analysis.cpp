@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace lcosc::system {
@@ -18,31 +19,36 @@ double ToleranceReport::yield() const {
 }
 
 double ToleranceReport::min_amplitude() const {
-  double v = 1e300;
+  LCOSC_REQUIRE(!samples.empty(), "min_amplitude on an empty report");
+  double v = samples.front().settled_amplitude;
   for (const auto& s : samples) v = std::min(v, s.settled_amplitude);
   return v;
 }
 
 double ToleranceReport::max_amplitude() const {
-  double v = 0.0;
+  LCOSC_REQUIRE(!samples.empty(), "max_amplitude on an empty report");
+  double v = samples.front().settled_amplitude;
   for (const auto& s : samples) v = std::max(v, s.settled_amplitude);
   return v;
 }
 
 int ToleranceReport::min_code() const {
-  int v = 127;
+  LCOSC_REQUIRE(!samples.empty(), "min_code on an empty report");
+  int v = samples.front().settled_code;
   for (const auto& s : samples) v = std::min(v, s.settled_code);
   return v;
 }
 
 int ToleranceReport::max_code() const {
-  int v = 0;
+  LCOSC_REQUIRE(!samples.empty(), "max_code on an empty report");
+  int v = samples.front().settled_code;
   for (const auto& s : samples) v = std::max(v, s.settled_code);
   return v;
 }
 
 double ToleranceReport::max_supply_current() const {
-  double v = 0.0;
+  LCOSC_REQUIRE(!samples.empty(), "max_supply_current on an empty report");
+  double v = samples.front().supply_current;
   for (const auto& s : samples) v = std::max(v, s.supply_current);
   return v;
 }
@@ -69,45 +75,50 @@ ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
                     config.resistance_tolerance >= 0.0 && config.resistance_tolerance < 1.0,
                 "tolerances must be in [0,1)");
 
-  Rng master(config.seed);
-  ToleranceReport report;
-  report.samples.reserve(static_cast<std::size_t>(config.samples));
-
+  // Every sample forks its own stream from the (never advanced) master,
+  // so the per-index work is pure and the report is byte-identical for
+  // any worker count.
+  const Rng master(config.seed);
   const double target = config.nominal.detector.target_amplitude;
 
-  for (int i = 0; i < config.samples; ++i) {
-    Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
+  ToleranceReport report;
+  report.samples = parallel_map(
+      static_cast<std::size_t>(config.samples),
+      [&](std::size_t idx) {
+        const int i = static_cast<int>(idx);
+        Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
 
-    EnvelopeSimConfig cfg = config.nominal;
-    cfg.tank.inductance *=
-        1.0 + rng.uniform(-config.inductance_tolerance, config.inductance_tolerance);
-    cfg.tank.capacitance1 *=
-        1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
-    cfg.tank.capacitance2 *=
-        1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
-    cfg.tank.series_resistance *=
-        1.0 + rng.uniform(-config.resistance_tolerance, config.resistance_tolerance);
+        EnvelopeSimConfig cfg = config.nominal;
+        cfg.tank.inductance *=
+            1.0 + rng.uniform(-config.inductance_tolerance, config.inductance_tolerance);
+        cfg.tank.capacitance1 *=
+            1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
+        cfg.tank.capacitance2 *=
+            1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
+        cfg.tank.series_resistance *=
+            1.0 + rng.uniform(-config.resistance_tolerance, config.resistance_tolerance);
 
-    EnvelopeSimulator sim(cfg);
-    if (config.include_dac_mismatch) {
-      sim.driver().use_mismatched_dac(std::make_shared<const dac::CurrentLimitationDac>(
-          cfg.driver.unit_current, config.mismatch, master.fork(0x1000 + i)()));
-    }
-    const EnvelopeRunResult run = sim.run(config.run_duration);
+        EnvelopeSimulator sim(cfg);
+        if (config.include_dac_mismatch) {
+          sim.driver().use_mismatched_dac(std::make_shared<const dac::CurrentLimitationDac>(
+              cfg.driver.unit_current, config.mismatch, master.fork(0x1000 + i)()));
+        }
+        const EnvelopeRunResult run = sim.run(config.run_duration);
 
-    const tank::RlcTank tk(cfg.tank);
-    ToleranceSample sample;
-    sample.tank = cfg.tank;
-    sample.resonance_frequency = tk.resonance_frequency();
-    sample.quality_factor = tk.quality_factor();
-    sample.settled_code = run.final_code;
-    sample.settled_amplitude = run.settled_amplitude();
-    sample.supply_current =
-        run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
-    sample.in_window =
-        std::abs(sample.settled_amplitude - target) <= config.amplitude_tolerance * target;
-    report.samples.push_back(sample);
-  }
+        const tank::RlcTank tk(cfg.tank);
+        ToleranceSample sample;
+        sample.tank = cfg.tank;
+        sample.resonance_frequency = tk.resonance_frequency();
+        sample.quality_factor = tk.quality_factor();
+        sample.settled_code = run.final_code;
+        sample.settled_amplitude = run.settled_amplitude();
+        sample.supply_current =
+            run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
+        sample.in_window =
+            std::abs(sample.settled_amplitude - target) <= config.amplitude_tolerance * target;
+        return sample;
+      },
+      config.workers);
   return report;
 }
 

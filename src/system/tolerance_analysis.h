@@ -9,6 +9,7 @@
 // fraction of samples that regulate correctly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,10 @@ struct ToleranceConfig {
   double run_duration = 40e-3;
   // Acceptance band around the target amplitude.
   double amplitude_tolerance = 0.10;
+  // Worker threads for the sample sweep: 0 = default_worker_count()
+  // (LCOSC_THREADS / hardware), 1 = serial.  The report is byte-identical
+  // for any value (per-sample Rng streams are forked from the seed).
+  std::size_t workers = 0;
 };
 
 struct ToleranceSample {
@@ -50,6 +55,8 @@ struct ToleranceSample {
 struct ToleranceReport {
   std::vector<ToleranceSample> samples;
 
+  // yield() of an empty report is 0; the min/max accessors require at
+  // least one sample (LCOSC_REQUIRE) instead of returning sentinels.
   [[nodiscard]] double yield() const;
   [[nodiscard]] double min_amplitude() const;
   [[nodiscard]] double max_amplitude() const;

@@ -138,15 +138,32 @@ double fourier_component(const Trace& trace, double frequency_hz) {
   if (whole <= 0.0) return 0.0;
   const double t_begin = trace.end_time() - whole;
 
+  std::size_t first = 0;
+  while (first < trace.size() && trace.time(first) < t_begin) ++first;
+  if (first == trace.size()) return 0.0;
+
   double re = 0.0;
   double im = 0.0;
   double prev_t = 0.0;
   double prev_re = 0.0;
   double prev_im = 0.0;
   bool primed = false;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
+  if (first > 0 && trace.time(first) > t_begin) {
+    // The window boundary falls between two samples: interpolate the
+    // value at t_begin so the partial trapezoid is integrated instead of
+    // dropped (dropping it biases magnitudes low on coarse traces).
+    const double t0 = trace.time(first - 1);
+    const double t1 = trace.time(first);
+    const double frac = (t_begin - t0) / (t1 - t0);
+    const double v = trace.value(first - 1) + frac * (trace.value(first) - trace.value(first - 1));
+    const double w = kTwoPi * frequency_hz * t_begin;
+    prev_t = t_begin;
+    prev_re = v * std::cos(w);
+    prev_im = v * std::sin(w);
+    primed = true;
+  }
+  for (std::size_t i = first; i < trace.size(); ++i) {
     const double t = trace.time(i);
-    if (t < t_begin) continue;
     const double w = kTwoPi * frequency_hz * t;
     const double vre = trace.value(i) * std::cos(w);
     const double vim = trace.value(i) * std::sin(w);

@@ -110,6 +110,33 @@ TEST(Envelope, GrowthFromSmallKick) {
   EXPECT_GT(r.settled_amplitude(), 1.0);
 }
 
+TEST(Envelope, FinalTickAtDurationBoundaryNotSkipped) {
+  // Regression: the run loop used to accumulate t += dt in floating
+  // point, so the drift over thousands of steps could skip the final
+  // regulation tick when `duration` is an exact multiple of the tick
+  // period.  20 ms / 0.25 ms = 80 ticks, the last one exactly at 20 ms.
+  EnvelopeSimConfig cfg = envelope_config();
+  EnvelopeSimulator sim(cfg);
+  const double duration = 20e-3;
+  const EnvelopeRunResult r = sim.run(duration);
+  ASSERT_FALSE(r.ticks.empty());
+  EXPECT_EQ(r.ticks.size(), 80u);
+  EXPECT_NEAR(r.ticks.back().time, duration, cfg.dt * 0.5);
+  // The amplitude trace also ends on the duration boundary.
+  EXPECT_NEAR(r.amplitude.end_time(), duration, cfg.dt * 0.5);
+}
+
+TEST(Envelope, StepCountExactForMultipleDurations) {
+  // t = i * dt indexing: no duplicated or dropped steps across run lengths.
+  EnvelopeSimConfig cfg = envelope_config();
+  for (const double duration : {1e-3, 7.5e-3, 40e-3}) {
+    EnvelopeSimulator sim(cfg);
+    const EnvelopeRunResult r = sim.run(duration);
+    const auto expected = static_cast<std::size_t>(std::llround(duration / cfg.dt));
+    EXPECT_EQ(r.amplitude.size(), expected) << "duration " << duration;
+  }
+}
+
 TEST(Envelope, TickRecordsSupplyCurrent) {
   EnvelopeSimulator sim(envelope_config());
   const EnvelopeRunResult r = sim.run(10e-3);

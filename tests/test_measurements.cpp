@@ -133,6 +133,26 @@ TEST(Measurements, FourierMagnitudeOfPureSine) {
   EXPECT_NEAR(fourier_magnitude(t, 3000.0), 0.0, 0.02);
 }
 
+TEST(Measurements, FourierBoundaryPartialSegmentInterpolated) {
+  // A coarsely-sampled sine whose integer-period analysis window starts
+  // between two samples: the partial trapezoid straddling t_begin must be
+  // interpolated, not dropped.  At 7.9 samples per period over 1.31
+  // periods the dropped segment used to bias the magnitude ~16% low
+  // (1.007 instead of 1.2).
+  const Trace t = sine(1.2, 1000.0, 1.31e-3, 7.9e3);
+  EXPECT_NEAR(fourier_magnitude(t, 1000.0), 1.2, 0.02);
+}
+
+TEST(Measurements, FourierStableUnderWindowPhase) {
+  // Analytic sine measured through windows whose start falls at varying
+  // sub-sample offsets: with the boundary sample interpolated the
+  // magnitude stays put; dropping it erred by 0.06..0.19 on these.
+  for (const double duration : {1.31e-3, 1.45e-3, 1.62e-3, 1.88e-3}) {
+    const Trace t = sine(1.2, 1000.0, duration, 7.9e3);
+    EXPECT_NEAR(fourier_magnitude(t, 1000.0), 1.2, 0.02) << "duration " << duration;
+  }
+}
+
 TEST(Measurements, ThdOfSquareWave) {
   // Ideal square THD (through 9th harmonic) = sqrt(sum 1/n^2)/1 for odd n:
   // sqrt(1/9 + 1/25 + 1/49 + 1/81) ~ 0.4291.

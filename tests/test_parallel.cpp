@@ -1,0 +1,195 @@
+// The parallel campaign engine: order preservation, worker-count
+// invariance (byte-identical campaign reports), exception propagation,
+// nesting, and the thread pool itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/units.h"
+#include "system/fmea_campaign.h"
+#include "system/tolerance_analysis.h"
+
+namespace lcosc {
+namespace {
+
+using namespace lcosc::literals;
+
+TEST(Parallel, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(Parallel, MapPreservesOrder) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const std::vector<std::size_t> out =
+        parallel_map(1000, [](std::size_t i) { return i * i; }, workers);
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * i) << "workers = " << workers;
+    }
+  }
+}
+
+TEST(Parallel, EmptyMapIsEmpty) {
+  const std::vector<int> out = parallel_map(0, [](std::size_t) { return 1; }, 4);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Parallel, ForVisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(257);
+  parallel_for(visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ExceptionFromWorkerPropagates) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_THROW(
+        parallel_for(
+            100,
+            [](std::size_t i) {
+              if (i == 37) throw std::runtime_error("index 37 failed");
+            },
+            workers),
+        std::runtime_error)
+        << "workers = " << workers;
+  }
+}
+
+TEST(Parallel, LowestFailingIndexWins) {
+  // Deterministic choice among several failures, for any worker count.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 11 || i == 73) throw std::runtime_error(std::to_string(i));
+          },
+          workers);
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "11") << "workers = " << workers;
+    }
+  }
+}
+
+TEST(Parallel, AllIndicesRunDespiteEarlyFailure) {
+  // The parallel contract attempts every index even when one throws.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(
+                   50,
+                   [&](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 0) throw std::runtime_error("first");
+                   },
+                   1),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(Parallel, NestedMapsRunCorrectly) {
+  // Inner calls from pool workers fall back to inline execution instead
+  // of deadlocking on the shared pool.
+  const std::vector<std::size_t> out = parallel_map(
+      16,
+      [](std::size_t i) {
+        const std::vector<std::size_t> inner =
+            parallel_map(8, [&](std::size_t j) { return i * 8 + j; }, 4);
+        std::size_t sum = 0;
+        for (const std::size_t v : inner) sum += v;
+        return sum;
+      },
+      4);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::size_t expected = 0;
+    for (std::size_t j = 0; j < 8; ++j) expected += i * 8 + j;
+    EXPECT_EQ(out[i], expected);
+  }
+}
+
+TEST(Parallel, ThreadPoolExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_count(), 2u);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++completed;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] { return completed == 10; }));
+}
+
+TEST(Parallel, ToleranceReportIdenticalForAnyWorkerCount) {
+  // The campaign's per-sample Rng streams are forked from a never-advanced
+  // master, so the report must be byte-identical for 1, 2 and N workers.
+  system::ToleranceConfig cfg;
+  cfg.nominal.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.nominal.regulation.tick_period = 0.25e-3;
+  cfg.samples = 8;
+  cfg.run_duration = 10e-3;
+
+  cfg.workers = 1;
+  const system::ToleranceReport serial = run_tolerance_analysis(cfg);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    cfg.workers = workers;
+    const system::ToleranceReport report = run_tolerance_analysis(cfg);
+    ASSERT_EQ(report.samples.size(), serial.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      const system::ToleranceSample& a = serial.samples[i];
+      const system::ToleranceSample& b = report.samples[i];
+      EXPECT_EQ(a.tank.inductance, b.tank.inductance);
+      EXPECT_EQ(a.tank.capacitance1, b.tank.capacitance1);
+      EXPECT_EQ(a.tank.capacitance2, b.tank.capacitance2);
+      EXPECT_EQ(a.tank.series_resistance, b.tank.series_resistance);
+      EXPECT_EQ(a.resonance_frequency, b.resonance_frequency);
+      EXPECT_EQ(a.quality_factor, b.quality_factor);
+      EXPECT_EQ(a.settled_code, b.settled_code);
+      EXPECT_EQ(a.settled_amplitude, b.settled_amplitude);
+      EXPECT_EQ(a.supply_current, b.supply_current);
+      EXPECT_EQ(a.in_window, b.in_window);
+    }
+  }
+}
+
+TEST(Parallel, FmeaReportIdenticalForAnyWorkerCount) {
+  system::FmeaCampaignConfig cfg;
+  cfg.system.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.system.regulation.tick_period = 0.25e-3;
+  cfg.system.waveform_decimation = 0;
+  cfg.settle_time = 3e-3;
+  cfg.observe_time = 4e-3;
+
+  cfg.workers = 1;
+  const system::FmeaReport serial = run_fmea_campaign(cfg);
+  cfg.workers = 4;
+  const system::FmeaReport parallel = run_fmea_campaign(cfg);
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const system::FmeaRow& a = serial.rows[i];
+    const system::FmeaRow& b = parallel.rows[i];
+    EXPECT_EQ(a.fault, b.fault);
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.expected_channel_hit, b.expected_channel_hit);
+    EXPECT_EQ(a.safe_state_entered, b.safe_state_entered);
+    EXPECT_EQ(a.detection_latency, b.detection_latency);
+    EXPECT_EQ(a.final_code, b.final_code);
+  }
+}
+
+}  // namespace
+}  // namespace lcosc

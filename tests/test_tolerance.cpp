@@ -100,6 +100,28 @@ TEST(Tolerance, ExtremeSpreadDegradesYield) {
   EXPECT_LT(report.yield(), 1.0);
 }
 
+TEST(Tolerance, EmptyReportAccessorsAreWellDefined) {
+  // Regression: the min/max accessors used to return garbage sentinels
+  // (1e300 / 127 / 0) on an empty report; they now require samples.
+  const ToleranceReport empty;
+  EXPECT_DOUBLE_EQ(empty.yield(), 0.0);
+  EXPECT_THROW((void)empty.min_amplitude(), Error);
+  EXPECT_THROW((void)empty.max_amplitude(), Error);
+  EXPECT_THROW((void)empty.min_code(), Error);
+  EXPECT_THROW((void)empty.max_code(), Error);
+  EXPECT_THROW((void)empty.max_supply_current(), Error);
+}
+
+TEST(Tolerance, SingleSampleAccessorsAgree) {
+  const ToleranceReport report = run_tolerance_analysis(base_config(1));
+  ASSERT_EQ(report.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.min_amplitude(), report.samples[0].settled_amplitude);
+  EXPECT_DOUBLE_EQ(report.max_amplitude(), report.samples[0].settled_amplitude);
+  EXPECT_EQ(report.min_code(), report.samples[0].settled_code);
+  EXPECT_EQ(report.max_code(), report.samples[0].settled_code);
+  EXPECT_DOUBLE_EQ(report.max_supply_current(), report.samples[0].supply_current);
+}
+
 TEST(Tolerance, InvalidConfigRejected) {
   ToleranceConfig cfg = base_config(0);
   EXPECT_THROW(run_tolerance_analysis(cfg), ConfigError);
