@@ -26,14 +26,14 @@ int main() {
   const FmeaReport report = run_fmea_campaign(cfg);
 
   TablePrinter table({"fault", "expected channel", "missing-osc", "low-amp", "asymmetry",
-                      "latency", "safe state", "final code"});
+                      "latency", "safe state", "final code", "outcome"});
   for (const auto& row : report.rows) {
     table.add_values(tank::to_string(row.fault), tank::to_string(row.expected),
                      row.observed.missing_oscillation, row.observed.low_amplitude,
                      row.observed.asymmetry,
-                     row.detection_latency >= 0 ? si_format(row.detection_latency, "s")
-                                                : std::string("-"),
-                     row.safe_state_entered, row.final_code);
+                     row.detection_latency ? si_format(*row.detection_latency, "s")
+                                           : std::string("-"),
+                     row.safe_state_entered, row.final_code, to_string(row.status.outcome));
   }
   table.print(std::cout);
 

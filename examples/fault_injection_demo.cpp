@@ -35,8 +35,8 @@ int main() {
     if (row.observed.asymmetry) std::cout << " asymmetry";
     if (!row.detected) std::cout << " (none)";
     std::cout << "\n";
-    if (row.detection_latency >= 0.0) {
-      std::cout << "    latency          : " << si_format(row.detection_latency, "s") << "\n";
+    if (row.detection_latency) {
+      std::cout << "    latency          : " << si_format(*row.detection_latency, "s") << "\n";
     }
     std::cout << "    reaction         : "
               << (row.safe_state_entered

@@ -1,5 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify: the exact command from ROADMAP.md, runnable from anywhere.
+#
+#   scripts/tier1.sh              full build + complete test suite
+#   scripts/tier1.sh --sanitize   ASan+UBSan build of the fault-injection
+#                                 and campaign suites (separate build dir)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  # Build the whole tree: gtest discovery registers a NOT_BUILT placeholder
+  # per missing binary, which ctest would report as a failure.
+  cmake --build build-asan -j
+  cd build-asan
+  # gtest_discover_tests registers Suite.Case names; match the suites of
+  # the fault-injection and campaign binaries.  (-R must precede the bare
+  # -j or ctest parses it as the job count.)
+  ctest --output-on-failure \
+    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System)' -j
+  exit 0
+fi
+
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -1,0 +1,19 @@
+#include "common/campaign.h"
+
+namespace lcosc {
+
+std::string to_string(CaseOutcome outcome) {
+  switch (outcome) {
+    case CaseOutcome::Ok:
+      return "ok";
+    case CaseOutcome::Undetected:
+      return "undetected";
+    case CaseOutcome::SimulationError:
+      return "simulation-error";
+    case CaseOutcome::Timeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+}  // namespace lcosc

@@ -1,0 +1,72 @@
+// Shared per-case bookkeeping for campaign-shaped workloads (FMEA fault
+// sweeps, Monte-Carlo tolerance analysis).
+//
+// A hardened campaign never aborts on a failing case: each case runs
+// through run_guarded_case, which converts exceptions into a recorded
+// outcome (with the message and the retry count) so the remaining cases
+// complete and the report stays index-stable for any worker count.
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+enum class CaseOutcome {
+  Ok,               // the case ran to completion (detection may still differ)
+  Undetected,       // ran, but the expected detection channel never fired
+  SimulationError,  // the simulation threw; `error` holds the message
+  Timeout,          // the per-case step/wall budget was exceeded
+};
+
+[[nodiscard]] std::string to_string(CaseOutcome outcome);
+
+struct CampaignCase {
+  CaseOutcome outcome = CaseOutcome::Ok;
+  std::string error;  // exception message for SimulationError / Timeout
+  int retries = 0;    // re-runs performed before reaching this outcome
+
+  // The simulation produced a result row (possibly an undetected one).
+  [[nodiscard]] bool completed() const {
+    return outcome == CaseOutcome::Ok || outcome == CaseOutcome::Undetected;
+  }
+  friend bool operator==(const CampaignCase&, const CampaignCase&) = default;
+};
+
+// Run `attempt(k)` with graceful degradation.  k is the attempt index:
+// 0 is the nominal run; on ConvergenceError the case is re-run with
+// k+1 (the caller tightens its solver options per k) up to `max_retries`
+// times.  BudgetExceededError maps to Timeout (no retry: budgets are
+// deterministic).  Any other exception fails the case immediately.  The
+// returned status is Ok on success; fault campaigns may downgrade it to
+// Undetected after inspecting the result.
+template <typename Fn>
+[[nodiscard]] CampaignCase run_guarded_case(Fn&& attempt, int max_retries = 1) {
+  CampaignCase status;
+  for (int k = 0;; ++k) {
+    status.retries = k;
+    try {
+      attempt(k);
+      return status;
+    } catch (const BudgetExceededError& e) {
+      status.outcome = CaseOutcome::Timeout;
+      status.error = e.what();
+      return status;
+    } catch (const ConvergenceError& e) {
+      if (k >= max_retries) {
+        status.outcome = CaseOutcome::SimulationError;
+        status.error = e.what();
+        return status;
+      }
+      // Retry with tightened options.
+    } catch (const std::exception& e) {
+      status.outcome = CaseOutcome::SimulationError;
+      status.error = e.what();
+      return status;
+    }
+  }
+}
+
+}  // namespace lcosc

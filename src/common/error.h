@@ -36,6 +36,14 @@ class NetlistError : public Error {
   explicit NetlistError(const std::string& what) : Error(what) {}
 };
 
+// A bounded computation (per-case step or wall budget of a campaign
+// simulation) ran out of budget before finishing.  Campaign runners map
+// this to a Timeout outcome instead of a hard failure.
+class BudgetExceededError : public Error {
+ public:
+  explicit BudgetExceededError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_requirement_failure(const char* condition, const char* file, int line,
                                             const std::string& message);

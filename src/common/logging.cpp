@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace lcosc {
 namespace {
@@ -33,7 +34,12 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   if (message.empty()) return;
-  std::cerr << "[lcosc:" << level_tag(level) << "] " << message << '\n';
+  // Compose the full line first and emit it under a mutex so lines from
+  // parallel campaign workers never interleave mid-line.
+  const std::string line = "[lcosc:" + std::string(level_tag(level)) + "] " + message + "\n";
+  static std::mutex sink_mutex;
+  const std::lock_guard<std::mutex> lock(sink_mutex);
+  std::cerr << line;
 }
 
 }  // namespace lcosc

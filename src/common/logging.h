@@ -1,7 +1,9 @@
 // Minimal leveled logging used by solvers to report convergence trouble.
 //
 // Logging is off by default (level Warn) so library output stays clean;
-// benches and examples may raise the level for diagnostics.
+// benches and examples may raise the level for diagnostics.  Sink
+// emission is serialized under a mutex, so concurrent LCOSC_LOG_* lines
+// from parallel campaign workers never interleave mid-line.
 #pragma once
 
 #include <sstream>

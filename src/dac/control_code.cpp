@@ -65,6 +65,11 @@ int prescale_factor(std::uint8_t osc_d) {
   return static_cast<int>(osc_d) + 1;
 }
 
+int prescale_factor_raw(std::uint8_t osc_d) {
+  LCOSC_REQUIRE(osc_d < 8, "OscD is a 3-bit bus");
+  return 1 + (osc_d & 1) + 2 * ((osc_d >> 1) & 1) + 4 * ((osc_d >> 2) & 1);
+}
+
 int fixed_mirror_units(std::uint8_t osc_e) {
   LCOSC_REQUIRE(osc_e < 16, "OscE is a 4-bit bus");
   return 16 * (osc_e & 1) + 16 * ((osc_e >> 1) & 1) + 32 * ((osc_e >> 2) & 1) +

@@ -48,6 +48,12 @@ struct ControlSignals {
 // for the thermometer codes used by encode_control.
 [[nodiscard]] int prescale_factor(std::uint8_t osc_d);
 
+// Prescaler ratio for an arbitrary (possibly faulted) OscD pattern: each
+// enabled line adds its mirror ratio (bit0 +1, bit1 +2, bit2 +4), which
+// reproduces 1/2/4/8 on the healthy thermometer codes and defines the
+// hardware behaviour when a stuck line breaks the thermometer coding.
+[[nodiscard]] int prescale_factor_raw(std::uint8_t osc_d);
+
 // Sum of the fixed mirror taps (units of Iref2) enabled by OscE:
 // bit0 -> 16 (I16a), bit1 -> 16 (I16b), bit2 -> 32, bit3 -> 64.
 [[nodiscard]] int fixed_mirror_units(std::uint8_t osc_e);

@@ -10,6 +10,20 @@ PwlExponentialDac::PwlExponentialDac(double unit_current) : unit_current_(unit_c
   LCOSC_REQUIRE(unit_current > 0.0, "unit current must be positive");
 }
 
+int PwlExponentialDac::multiplication(int code) const {
+  if (fault_bus_ == nullptr || !fault_bus_->active()) return multiplication_factor(code);
+  // Faulted path: re-derive M from the control buses after the stuck-line
+  // masks, using the raw prescaler law (a stuck OscD line can break the
+  // thermometer coding the healthy decoder assumes).
+  ControlSignals s = encode_control(code);
+  s.osc_d = fault_bus_->apply_stuck(faults::DacBus::OscD, s.osc_d);
+  s.osc_e = fault_bus_->apply_stuck(faults::DacBus::OscE, s.osc_e);
+  s.osc_f = fault_bus_->apply_stuck(faults::DacBus::OscF, s.osc_f);
+  if (fault_bus_->segment_dead(segment_of(code))) s.osc_f = 0;
+  return prescale_factor_raw(s.osc_d) *
+         (fixed_mirror_units(s.osc_e) + static_cast<int>(s.osc_f));
+}
+
 double PwlExponentialDac::current(int code) const {
   return unit_current_ * multiplication(code);
 }

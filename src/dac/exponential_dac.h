@@ -6,6 +6,7 @@
 
 #include "common/constants.h"
 #include "dac/control_code.h"
+#include "faults/fault_bus.h"
 
 namespace lcosc::dac {
 
@@ -25,8 +26,13 @@ class PwlExponentialDac {
   [[nodiscard]] int code_count() const { return kDacCodeCount; }
   [[nodiscard]] double unit_current() const { return unit_current_; }
 
-  // Multiplication factor M(code).
-  [[nodiscard]] int multiplication(int code) const { return multiplication_factor(code); }
+  // Observe an internal-fault bus (nullptr detaches).  While a DAC fault
+  // is active the transfer reflects the stuck control lines / dead
+  // segment; the healthy path is a single pointer check.
+  void attach_fault_bus(const faults::FaultBus* bus) { fault_bus_ = bus; }
+
+  // Multiplication factor M(code), including any active bus fault.
+  [[nodiscard]] int multiplication(int code) const;
 
   // Output (current limitation) for a code [A].
   [[nodiscard]] double current(int code) const;
@@ -57,6 +63,7 @@ class PwlExponentialDac {
 
  private:
   double unit_current_;
+  const faults::FaultBus* fault_bus_ = nullptr;
 };
 
 }  // namespace lcosc::dac

@@ -27,6 +27,11 @@ void OscillatorDriver::use_control_law(std::shared_ptr<const dac::AmplitudeContr
   mirror_dac_.reset();
 }
 
+void OscillatorDriver::attach_fault_bus(const faults::FaultBus* bus) {
+  fault_bus_ = bus;
+  ideal_dac_.attach_fault_bus(bus);
+}
+
 void OscillatorDriver::set_code(int code) {
   LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "amplitude code out of range 0..127");
   code_ = code;
@@ -40,8 +45,13 @@ double OscillatorDriver::current_limit() const {
 }
 
 double OscillatorDriver::equivalent_gm() const {
-  const dac::ControlSignals signals = dac::encode_control(code_);
-  return config_.gm_per_stage * dac::active_gm_stages(signals.osc_e);
+  dac::ControlSignals signals = dac::encode_control(code_);
+  double scale = 1.0;
+  if (fault_bus_ != nullptr && fault_bus_->active()) {
+    signals.osc_e = fault_bus_->apply_stuck(faults::DacBus::OscE, signals.osc_e);
+    scale = fault_bus_->gm_scale();
+  }
+  return scale * config_.gm_per_stage * dac::active_gm_stages(signals.osc_e);
 }
 
 GmStage OscillatorDriver::stage() const {

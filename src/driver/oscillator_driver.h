@@ -9,6 +9,7 @@
 #include "dac/current_mirror.h"
 #include "dac/dac_variants.h"
 #include "driver/gm_stage.h"
+#include "faults/fault_bus.h"
 #include "tank/rlc_tank.h"
 
 namespace lcosc::driver {
@@ -46,6 +47,12 @@ class OscillatorDriver {
 
   // Use an alternative control law (ablation studies).
   void use_control_law(std::shared_ptr<const dac::AmplitudeControlLaw> law);
+
+  // Observe an internal-fault bus (nullptr detaches): stuck DAC control
+  // lines and dead segments reshape the ideal-DAC current limit, stuck
+  // OscE lines change the active Gm stage count, and a gm-collapse fault
+  // scales the transconductance.
+  void attach_fault_bus(const faults::FaultBus* bus);
 
   // Amplitude regulation code (0..127).
   void set_code(int code);
@@ -89,6 +96,7 @@ class OscillatorDriver {
   std::shared_ptr<const dac::CurrentLimitationDac> mirror_dac_;
   std::shared_ptr<const dac::AmplitudeControlLaw> law_;
   dac::PwlExponentialDac ideal_dac_;
+  const faults::FaultBus* fault_bus_ = nullptr;
 };
 
 }  // namespace lcosc::driver

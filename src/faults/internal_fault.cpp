@@ -1,0 +1,196 @@
+#include "faults/internal_fault.h"
+
+#include "common/error.h"
+
+namespace lcosc::faults {
+
+namespace {
+
+int bus_width(DacBus bus) {
+  switch (bus) {
+    case DacBus::OscD:
+      return 3;
+    case DacBus::OscE:
+      return 4;
+    case DacBus::OscF:
+      return 7;
+  }
+  return 0;
+}
+
+}  // namespace
+
+InternalFault make_line_stuck(DacBus bus, int bit, bool stuck_high) {
+  LCOSC_REQUIRE(bit >= 0 && bit < bus_width(bus), "stuck line outside the bus width");
+  InternalFault f;
+  f.kind = InternalFaultKind::DacLineStuck;
+  f.bus = bus;
+  f.bit = bit;
+  f.stuck_high = stuck_high;
+  return f;
+}
+
+InternalFault make_segment_dead(int segment) {
+  LCOSC_REQUIRE(segment >= 0 && segment < 8, "DAC segment out of range 0..7");
+  InternalFault f;
+  f.kind = InternalFaultKind::DacSegmentDead;
+  f.segment = segment;
+  return f;
+}
+
+InternalFault make_gm_collapse(double gm_factor) {
+  LCOSC_REQUIRE(gm_factor >= 0.0 && gm_factor < 1.0, "gm collapse factor must be in [0,1)");
+  InternalFault f;
+  f.kind = InternalFaultKind::GmCollapse;
+  f.gm_factor = gm_factor;
+  return f;
+}
+
+InternalFault make_fault(InternalFaultKind kind) {
+  InternalFault f;
+  f.kind = kind;
+  return f;
+}
+
+DetectionChannel expected_detection(const InternalFault& fault) {
+  switch (fault.kind) {
+    case InternalFaultKind::WindowStuckHigh:
+      // The FSM walks the code to the minimum; the amplitude drops below
+      // the low-amplitude threshold long before the oscillation dies.
+      return DetectionChannel::LowAmplitude;
+    case InternalFaultKind::GmCollapse:
+      // Below the oscillation condition the swing decays under the
+      // watchdog comparator hysteresis and the clock stops.
+      return DetectionChannel::MissingOscillation;
+    case InternalFaultKind::None:
+    case InternalFaultKind::DacLineStuck:
+    case InternalFaultKind::DacSegmentDead:
+    case InternalFaultKind::WindowStuckLow:
+    case InternalFaultKind::RectifierDead:
+    case InternalFaultKind::FsmFrozen:
+    case InternalFaultKind::WatchdogDead:
+    case InternalFaultKind::SelfTestThrow:
+    case InternalFaultKind::SelfTestStall:
+      return DetectionChannel::None;
+  }
+  return DetectionChannel::None;
+}
+
+std::string gap_note(const InternalFault& fault) {
+  switch (fault.kind) {
+    case InternalFaultKind::DacLineStuck:
+      return "regulation loop re-converges on another code or drives the amplitude "
+             "above the window; no modeled channel observes the DAC buses or the "
+             "supply current";
+    case InternalFaultKind::DacSegmentDead:
+      return "regulation loop escapes the flat segment within a few ticks; "
+             "transient dip is shorter than the low-amplitude persistence";
+    case InternalFaultKind::WindowStuckLow:
+      return "overdrive: code runs to maximum, amplitude clamps at the rails; "
+             "only a supply-current monitor (not modeled) would observe it";
+    case InternalFaultKind::RectifierDead:
+      return "VDC1 collapse reads as 'below window' and overdrives the tank; "
+             "same supply-current gap as the stuck-low comparator";
+    case InternalFaultKind::FsmFrozen:
+      return "latent: the frozen code keeps the settled amplitude inside the "
+             "window until conditions drift; needs a periodic code self-test";
+    case InternalFaultKind::WatchdogDead:
+      return "latent loss of the primary supervision channel; only observable "
+             "together with a second fault or via a watchdog self-test";
+    case InternalFaultKind::None:
+    case InternalFaultKind::WindowStuckHigh:
+    case InternalFaultKind::GmCollapse:
+    case InternalFaultKind::SelfTestThrow:
+    case InternalFaultKind::SelfTestStall:
+      return {};
+  }
+  return {};
+}
+
+std::string to_string(DacBus bus) {
+  switch (bus) {
+    case DacBus::OscD:
+      return "oscd";
+    case DacBus::OscE:
+      return "osce";
+    case DacBus::OscF:
+      return "oscf";
+  }
+  return "?";
+}
+
+std::string to_string(InternalFaultKind kind) {
+  switch (kind) {
+    case InternalFaultKind::None:
+      return "none";
+    case InternalFaultKind::DacLineStuck:
+      return "dac-line-stuck";
+    case InternalFaultKind::DacSegmentDead:
+      return "dac-segment-dead";
+    case InternalFaultKind::WindowStuckHigh:
+      return "window-comparator-stuck-high";
+    case InternalFaultKind::WindowStuckLow:
+      return "window-comparator-stuck-low";
+    case InternalFaultKind::RectifierDead:
+      return "rectifier-dead";
+    case InternalFaultKind::FsmFrozen:
+      return "fsm-frozen";
+    case InternalFaultKind::WatchdogDead:
+      return "watchdog-dead";
+    case InternalFaultKind::GmCollapse:
+      return "gm-collapse";
+    case InternalFaultKind::SelfTestThrow:
+      return "selftest-throw";
+    case InternalFaultKind::SelfTestStall:
+      return "selftest-stall";
+  }
+  return "?";
+}
+
+std::string to_string(DetectionChannel channel) {
+  switch (channel) {
+    case DetectionChannel::None:
+      return "none";
+    case DetectionChannel::MissingOscillation:
+      return "missing-oscillation";
+    case DetectionChannel::LowAmplitude:
+      return "low-amplitude";
+    case DetectionChannel::Asymmetry:
+      return "asymmetry";
+    case DetectionChannel::FrequencyOutOfBand:
+      return "frequency-out-of-band";
+  }
+  return "?";
+}
+
+std::string to_string(const InternalFault& fault) {
+  switch (fault.kind) {
+    case InternalFaultKind::DacLineStuck:
+      return to_string(fault.bus) + "<" + std::to_string(fault.bit) + ">-stuck-" +
+             (fault.stuck_high ? "1" : "0");
+    case InternalFaultKind::DacSegmentDead:
+      return "segment" + std::to_string(fault.segment) + "-dead";
+    default:
+      return to_string(fault.kind);
+  }
+}
+
+std::vector<InternalFault> internal_fault_list() {
+  std::vector<InternalFault> list;
+  for (const DacBus bus : {DacBus::OscD, DacBus::OscE, DacBus::OscF}) {
+    for (int bit = 0; bit < bus_width(bus); ++bit) {
+      list.push_back(make_line_stuck(bus, bit, false));
+      list.push_back(make_line_stuck(bus, bit, true));
+    }
+  }
+  for (int segment = 0; segment < 8; ++segment) list.push_back(make_segment_dead(segment));
+  list.push_back(make_fault(InternalFaultKind::WindowStuckHigh));
+  list.push_back(make_fault(InternalFaultKind::WindowStuckLow));
+  list.push_back(make_fault(InternalFaultKind::RectifierDead));
+  list.push_back(make_fault(InternalFaultKind::FsmFrozen));
+  list.push_back(make_fault(InternalFaultKind::WatchdogDead));
+  list.push_back(make_gm_collapse());
+  return list;
+}
+
+}  // namespace lcosc::faults

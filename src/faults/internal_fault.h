@@ -1,0 +1,111 @@
+// Internal (on-chip) single-point fault taxonomy, complementing the
+// external tank faults of paper Section 7 (src/tank/tank_faults.h).  The
+// paper's safety argument is that the window-comparator regulation loop,
+// the three detectors and the watchdog catch single-point failures inside
+// the chip as well as outside; this taxonomy enumerates the failures of
+// the digital/analog blocks we model so the FMEA campaign can exercise
+// them and report honest coverage, including the uncovered gaps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lcosc::faults {
+
+// The three hardware control buses of the current limitation DAC
+// (Table 1): OscD<2:0> prescaler, OscE<3:0> Gm switching, OscF<6:0>
+// binary-weighted mirror.
+enum class DacBus { OscD, OscE, OscF };
+
+enum class InternalFaultKind {
+  None,
+  // One line of a DAC control bus stuck at 0 or 1 (metal short / open
+  // gate).  The regulation loop usually re-converges on a different code
+  // (masked) or drives the amplitude out of the window high-side.
+  DacLineStuck,
+  // The binary mirror bank of one PWL segment is dead: OscF contributes
+  // nothing while the code is inside that segment, flattening the
+  // transfer until the loop escapes to the next segment.
+  DacSegmentDead,
+  // Window comparator output stuck at the "amplitude above window" level:
+  // the FSM decrements to the minimum code and the oscillation collapses.
+  WindowStuckHigh,
+  // Stuck at the "amplitude below window" level: the FSM increments to
+  // the maximum code and overdrives the tank.
+  WindowStuckLow,
+  // The full-wave rectifier of the amplitude detection chain is dead:
+  // VDC1 decays to zero, which the comparator reads as "below window".
+  RectifierDead,
+  // The regulation FSM is frozen: its code output latches the value held
+  // at injection time (clock loss / latched scan chain).  The safe-state
+  // mode latch still operates but cannot move the code either.
+  FsmFrozen,
+  // The missing-oscillation watchdog never times out: loss of the
+  // primary supervision channel (latent until a second fault).
+  WatchdogDead,
+  // Transconductance collapse of the Gm output stages (bias loss): with
+  // the default severity the oscillation condition gm*Rp > 1 fails and
+  // the oscillation dies.
+  GmCollapse,
+  // Harness self-tests (not part of the standard campaign list): used to
+  // prove the campaign runner degrades gracefully.  SelfTestThrow makes
+  // the simulation throw ConvergenceError at the injection instant;
+  // SelfTestStall freezes simulated time so the per-case step budget
+  // trips deterministically.
+  SelfTestThrow,
+  SelfTestStall,
+};
+
+// Primary detection channel expected for an internal fault.  `None` means
+// the fault is masked by the regulation loop or latent: the campaign
+// reports it as an uncovered gap (see gap_note) instead of a detection.
+enum class DetectionChannel {
+  None,
+  MissingOscillation,
+  LowAmplitude,
+  Asymmetry,
+  FrequencyOutOfBand,
+};
+
+struct InternalFault {
+  InternalFaultKind kind = InternalFaultKind::None;
+  // DacLineStuck parameters.
+  DacBus bus = DacBus::OscF;
+  int bit = 0;
+  bool stuck_high = false;
+  // DacSegmentDead parameter.
+  int segment = 0;
+  // GmCollapse severity: remaining fraction of the healthy gm.
+  double gm_factor = 0.05;
+
+  friend bool operator==(const InternalFault&, const InternalFault&) = default;
+};
+
+// Factories for the common cases.
+[[nodiscard]] InternalFault make_line_stuck(DacBus bus, int bit, bool stuck_high);
+[[nodiscard]] InternalFault make_segment_dead(int segment);
+[[nodiscard]] InternalFault make_gm_collapse(double gm_factor = 0.05);
+[[nodiscard]] InternalFault make_fault(InternalFaultKind kind);
+
+// Expected primary detection channel (the paper's Section 7/9 reasoning
+// applied to the on-chip blocks; the campaign measures the truth).
+[[nodiscard]] DetectionChannel expected_detection(const InternalFault& fault);
+
+// For faults with expected_detection == None: why no modeled channel
+// observes them.  Empty for faults with an expected channel.
+[[nodiscard]] std::string gap_note(const InternalFault& fault);
+
+// Stable machine-readable label, e.g. "oscf<3>-stuck-1", "segment4-dead",
+// "window-comparator-stuck-high".
+[[nodiscard]] std::string to_string(const InternalFault& fault);
+[[nodiscard]] std::string to_string(InternalFaultKind kind);
+[[nodiscard]] std::string to_string(DetectionChannel channel);
+[[nodiscard]] std::string to_string(DacBus bus);
+
+// The standard internal campaign list: every bus line stuck 0/1
+// (3 + 4 + 7 lines x 2), all eight dead segments, both comparator stuck
+// levels, dead rectifier, frozen FSM, dead watchdog and gm collapse.
+// Self-test kinds are excluded.
+[[nodiscard]] std::vector<InternalFault> internal_fault_list();
+
+}  // namespace lcosc::faults

@@ -51,9 +51,24 @@ void AmplitudeDetector::set_temperature(double temperature_kelvin) {
 void AmplitudeDetector::step(double dt, double v_lc1, double v_lc2) {
   // Full wave rectification of the pin voltage against the midpoint VR1:
   // |v1 - (v1+v2)/2| = |v1 - v2| / 2.
-  const double pin_swing = 0.5 * (v_lc1 - v_lc2);
+  double pin_swing = 0.5 * (v_lc1 - v_lc2);
+  if (fault_bus_ != nullptr && fault_bus_->rectifier_dead()) pin_swing = 0.0;
   rectifier_.step(dt, pin_swing);
   state_ = window_.update(rectifier_.output());
+}
+
+devices::WindowState AmplitudeDetector::window_state() const {
+  if (fault_bus_ != nullptr && fault_bus_->active()) {
+    switch (fault_bus_->window_override()) {
+      case faults::WindowOverride::ForceBelow:
+        return devices::WindowState::Below;
+      case faults::WindowOverride::ForceAbove:
+        return devices::WindowState::Above;
+      case faults::WindowOverride::None:
+        break;
+    }
+  }
+  return state_;
 }
 
 double AmplitudeDetector::vr3_bandgap_fraction() const { return vr3_ / bandgap_.nominal(); }

@@ -12,6 +12,7 @@
 #include "devices/bandgap.h"
 #include "devices/comparator.h"
 #include "devices/rectifier.h"
+#include "faults/fault_bus.h"
 
 namespace lcosc::regulation {
 
@@ -35,14 +36,20 @@ class AmplitudeDetector {
   explicit AmplitudeDetector(AmplitudeDetectorConfig config = {},
                              devices::BandgapConfig bandgap = {});
 
+  // Observe an internal-fault bus (nullptr detaches): a dead rectifier
+  // zeroes the sensed pin swing, a stuck window comparator output
+  // overrides the reported window state.
+  void attach_fault_bus(const faults::FaultBus* bus) { fault_bus_ = bus; }
+
   // Advance by dt with instantaneous pin voltages (relative to Vref).
   void step(double dt, double v_lc1, double v_lc2);
 
   // Filtered rectified output (the VDC1 node).
   [[nodiscard]] double vdc1() const { return rectifier_.output(); }
 
-  // Window comparator verdict for the present VDC1.
-  [[nodiscard]] devices::WindowState window_state() const { return state_; }
+  // Window comparator verdict for the present VDC1 (including any active
+  // stuck-output comparator fault).
+  [[nodiscard]] devices::WindowState window_state() const;
 
   // Thresholds in VDC1 domain.
   [[nodiscard]] double vr3() const { return vr3_; }
@@ -86,6 +93,7 @@ class AmplitudeDetector {
   double vr3_fraction_ = 0.0;
   double vr4_fraction_ = 0.0;
   double temperature_ = 300.0;
+  const faults::FaultBus* fault_bus_ = nullptr;
 };
 
 }  // namespace lcosc::regulation

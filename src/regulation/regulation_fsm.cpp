@@ -30,7 +30,7 @@ void RegulationFsm::por_reset() {
 
 void RegulationFsm::apply_nvm_preset() {
   if (mode_ == RegulationMode::SafeState) return;
-  if (config_.nvm_code >= 0) code_ = config_.nvm_code;
+  if (config_.nvm_code >= 0 && !frozen()) code_ = config_.nvm_code;
   mode_ = RegulationMode::Regulating;
 }
 
@@ -38,6 +38,7 @@ int RegulationFsm::tick(devices::WindowState window) {
   ++ticks_;
   if (mode_ == RegulationMode::SafeState) return code_;
   mode_ = RegulationMode::Regulating;
+  if (frozen()) return code_;
   switch (window) {
     case devices::WindowState::Below:
       code_ = std::min(code_ + 1, config_.max_code);
@@ -53,7 +54,7 @@ int RegulationFsm::tick(devices::WindowState window) {
 
 void RegulationFsm::enter_safe_state() {
   mode_ = RegulationMode::SafeState;
-  code_ = config_.max_code;
+  if (!frozen()) code_ = config_.max_code;
 }
 
 void RegulationFsm::clear_safe_state() {

@@ -8,6 +8,7 @@
 
 #include "common/constants.h"
 #include "devices/comparator.h"
+#include "faults/fault_bus.h"
 
 namespace lcosc::regulation {
 
@@ -27,6 +28,13 @@ enum class RegulationMode { PowerOnReset, Regulating, SafeState };
 class RegulationFsm {
  public:
   explicit RegulationFsm(RegulationConfig config = {});
+
+  // Observe an internal-fault bus (nullptr detaches).  A frozen-FSM fault
+  // keeps the code latched at its pre-fault value: ticks, NVM presets and
+  // the safe-state reaction no longer move the code (the mode latch still
+  // records requests, modelling a clock-gated digital block whose output
+  // register is stuck).
+  void attach_fault_bus(const faults::FaultBus* bus) { fault_bus_ = bus; }
 
   // Power-on reset: code := startup_code, mode := PowerOnReset.
   void por_reset();
@@ -52,10 +60,15 @@ class RegulationFsm {
   [[nodiscard]] const RegulationConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] bool frozen() const {
+    return fault_bus_ != nullptr && fault_bus_->fsm_frozen();
+  }
+
   RegulationConfig config_;
   int code_;
   RegulationMode mode_ = RegulationMode::PowerOnReset;
   long ticks_ = 0;
+  const faults::FaultBus* fault_bus_ = nullptr;
 };
 
 }  // namespace lcosc::regulation

@@ -20,7 +20,8 @@ bool SafetyController::step(double t, double dt, double v_lc1, double v_lc2) {
 }
 
 FaultFlags SafetyController::flags() const {
-  return {.missing_oscillation = watchdog_.fault(),
+  const bool watchdog_dead = fault_bus_ != nullptr && fault_bus_->watchdog_dead();
+  return {.missing_oscillation = !watchdog_dead && watchdog_.fault(),
           .low_amplitude = low_amplitude_.fault(),
           .asymmetry = asymmetry_.fault(),
           .frequency_out_of_band = frequency_.fault()};

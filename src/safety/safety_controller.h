@@ -7,6 +7,7 @@
 // faults.
 #pragma once
 
+#include "faults/fault_bus.h"
 #include "safety/asymmetry_detector.h"
 #include "safety/frequency_monitor.h"
 #include "safety/low_amplitude_detector.h"
@@ -40,6 +41,11 @@ class SafetyController {
  public:
   explicit SafetyController(SafetyControllerConfig config = {});
 
+  // Observe an internal-fault bus (nullptr detaches).  A dead-watchdog
+  // fault suppresses the missing-oscillation flag: the timer never fires,
+  // so the supervision channel is silently lost.
+  void attach_fault_bus(const faults::FaultBus* bus) { fault_bus_ = bus; }
+
   // Advance with the instantaneous pin voltages (relative to Vref).
   // Returns true while the safety reaction is requested.
   bool step(double t, double dt, double v_lc1, double v_lc2);
@@ -64,6 +70,7 @@ class SafetyController {
   AsymmetryDetector asymmetry_;
   FrequencyMonitor frequency_;
   double reset_time_ = 0.0;
+  const faults::FaultBus* fault_bus_ = nullptr;
 };
 
 }  // namespace lcosc::safety

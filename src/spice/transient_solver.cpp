@@ -107,22 +107,41 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   double t = 0.0;
   bool first_step = true;
   while (t < options.t_stop) {
-    const double dt = std::min(options.dt, options.t_stop - t);
-    ctx.dt = dt;
-    ctx.time = t + dt;
     // On the very first step (when not starting from a DC solution) the
     // reactive elements read their explicit initial conditions instead of
     // the all-zero state vector.
     ctx.x_prev = (first_step && !options.start_from_dc) ? nullptr : &x_prev;
 
+    // Newton retry with halved dt: a failed step is re-solved from the
+    // same accepted state with a smaller step (bounded), and the run only
+    // accepts the stale iterate once the halvings are exhausted.  The
+    // accepted (possibly reduced) step advances time, so subsequent steps
+    // return to the nominal dt.
+    double h = std::min(options.dt, options.t_stop - t);
     Vector x_next = x;  // predictor: previous solution
-    if (!newton_time_step(circuit, ctx, x_next, options)) {
+    int halvings = 0;
+    bool step_ok = false;
+    while (true) {
+      ctx.dt = h;
+      ctx.time = t + h;
+      x_next = x;
+      if (newton_time_step(circuit, ctx, x_next, options)) {
+        step_ok = true;
+        break;
+      }
+      if (halvings >= options.max_step_halvings) break;
+      ++halvings;
+      h *= 0.5;
+    }
+    if (!step_ok) {
       result.converged = false;
-      LCOSC_LOG_WARN << "transient step at t=" << ctx.time << " failed to converge";
+      ++result.failed_steps;
+      LCOSC_LOG_WARN << "transient step at t=" << ctx.time << " failed to converge after "
+                     << halvings << " dt halvings";
     }
     x_prev = x_next;
     x = x_next;
-    t += dt;
+    t += h;
     ++result.steps;
     first_step = false;
     for (const auto& element : circuit.elements()) element->transient_commit(x, ctx);

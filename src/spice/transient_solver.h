@@ -29,6 +29,9 @@ struct TransientOptions {
   double reltol = 1e-4;
   double voltage_step_limit = 1.0;
   double gmin = 1e-12;
+  // On per-step Newton non-convergence, retry the step with a halved dt
+  // up to this many times before accepting the stale iterate.
+  int max_step_halvings = 3;
   // Start from a DC operating point (true) or from all-zero state with
   // element initial conditions (false).
   bool start_from_dc = true;
@@ -36,7 +39,10 @@ struct TransientOptions {
 
 struct TransientResult {
   bool converged = true;       // false if any time step failed to converge
+                               // even after the dt-halving retries
   std::size_t steps = 0;
+  // Steps that exhausted the halving retries and accepted a stale iterate.
+  std::size_t failed_steps = 0;
   std::vector<Trace> traces;   // one per requested probe, in request order
 
   [[nodiscard]] const Trace& trace(const std::string& name) const;

@@ -124,6 +124,10 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
       a = std::clamp(a * std::exp(lam * h), 1e-9, 1e3);
       remaining -= h;
     }
+    if (!std::isfinite(a)) {
+      throw ConvergenceError("envelope diverged (non-finite amplitude) at t=" +
+                             std::to_string(static_cast<double>(step + 1) * dt));
+    }
     const double t = static_cast<double>(step + 1) * dt;
 
     // Detector: rectified mean of the pin swing is A/pi.

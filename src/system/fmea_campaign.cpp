@@ -1,5 +1,7 @@
 #include "system/fmea_campaign.h"
 
+#include <cmath>
+
 #include "common/error.h"
 #include "common/parallel.h"
 
@@ -30,42 +32,74 @@ std::vector<tank::TankFault> fmea_fault_list() {
           tank::TankFault::MissingCosc2,    tank::TankFault::DegradedCosc1};
 }
 
+namespace {
+
+// Auto step budget: 4x the nominal step count of the run, so a retry with
+// doubled steps_per_period still fits inside the same budget.
+std::size_t auto_step_budget(const OscillatorSystemConfig& sys_cfg, double duration) {
+  const tank::RlcTank healthy(sys_cfg.tank);
+  const double dt = 1.0 / (healthy.resonance_frequency() * sys_cfg.steps_per_period);
+  return 4 * static_cast<std::size_t>(std::ceil(duration / dt));
+}
+
+}  // namespace
+
 FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
-  OscillatorSystem sys(config.system);
-  if (fault != tank::TankFault::None) {
-    sys.schedule_fault(fault, config.settle_time, config.severity);
-  }
-  const SimulationResult sim = sys.run(config.settle_time + config.observe_time);
+  const double duration = config.settle_time + config.observe_time;
 
   FmeaRow row;
   row.fault = fault;
   row.expected = tank::expected_detection(fault);
-  row.observed = sim.final_faults;
-  row.detected = sim.final_faults.any();
-  row.safe_state_entered = sim.final_mode == regulation::RegulationMode::SafeState;
-  row.final_code = sim.final_code;
 
-  switch (row.expected) {
-    case tank::DetectionChannel::NoneExpected:
-      row.expected_channel_hit = !row.detected;
-      break;
-    case tank::DetectionChannel::MissingOscillation:
-      row.expected_channel_hit = sim.final_faults.missing_oscillation;
-      break;
-    case tank::DetectionChannel::LowAmplitude:
-      row.expected_channel_hit = sim.final_faults.low_amplitude;
-      break;
-    case tank::DetectionChannel::Asymmetry:
-      row.expected_channel_hit = sim.final_faults.asymmetry;
-      break;
-  }
+  row.status = run_guarded_case(
+      [&](int attempt) {
+        OscillatorSystemConfig sys_cfg = config.system;
+        // Retry after a convergence failure with a tightened integrator.
+        for (int k = 0; k < attempt; ++k) sys_cfg.steps_per_period *= 2;
+        sys_cfg.step_budget = config.step_budget > 0
+                                  ? config.step_budget
+                                  : auto_step_budget(config.system, duration);
 
-  // Detection latency: first tick at/after injection with a flag.
-  for (const auto& tick : sim.ticks) {
-    if (tick.time >= config.settle_time && tick.faults.any()) {
-      row.detection_latency = tick.time - config.settle_time;
-      break;
-    }
+        OscillatorSystem sys(sys_cfg);
+        if (fault != tank::TankFault::None) {
+          sys.schedule_fault(fault, config.settle_time, config.severity);
+        }
+        const SimulationResult sim = sys.run(duration);
+
+        row.observed = sim.final_faults;
+        row.detected = sim.final_faults.any();
+        row.safe_state_entered = sim.final_mode == regulation::RegulationMode::SafeState;
+        row.final_code = sim.final_code;
+
+        switch (row.expected) {
+          case tank::DetectionChannel::NoneExpected:
+            row.expected_channel_hit = !row.detected;
+            break;
+          case tank::DetectionChannel::MissingOscillation:
+            row.expected_channel_hit = sim.final_faults.missing_oscillation;
+            break;
+          case tank::DetectionChannel::LowAmplitude:
+            row.expected_channel_hit = sim.final_faults.low_amplitude;
+            break;
+          case tank::DetectionChannel::Asymmetry:
+            row.expected_channel_hit = sim.final_faults.asymmetry;
+            break;
+        }
+
+        // Detection latency: first tick at/after injection with a flag.
+        row.detection_latency.reset();
+        for (const auto& tick : sim.ticks) {
+          if (tick.time >= config.settle_time && tick.faults.any()) {
+            row.detection_latency = tick.time - config.settle_time;
+            break;
+          }
+        }
+      },
+      config.max_retries);
+
+  if (row.status.outcome == CaseOutcome::Ok &&
+      row.expected != tank::DetectionChannel::NoneExpected && !row.expected_channel_hit) {
+    row.status.outcome = CaseOutcome::Undetected;
   }
   return row;
 }

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/campaign.h"
 #include "system/oscillator_system.h"
 #include "tank/tank_faults.h"
 
@@ -19,8 +21,12 @@ struct FmeaRow {
   bool detected = false;        // any detector fired
   bool expected_channel_hit = false;
   bool safe_state_entered = false;
-  double detection_latency = -1.0;  // fault injection -> first flagged tick
+  // Fault injection -> first flagged tick; nullopt if never flagged.
+  std::optional<double> detection_latency;
   int final_code = 0;
+  // Per-case outcome: a throwing or over-budget simulation yields a
+  // SimulationError / Timeout row instead of aborting the campaign.
+  CampaignCase status{};
 };
 
 struct FmeaReport {
@@ -40,6 +46,13 @@ struct FmeaCampaignConfig {
   // Worker threads for the per-fault sweep: 0 = default_worker_count(),
   // 1 = serial.  The report is identical for any value.
   std::size_t workers = 0;
+  // Bounded retry: a ConvergenceError case is re-run this many times with
+  // tightened solver options (doubled steps_per_period) before the row is
+  // recorded as SimulationError.
+  int max_retries = 1;
+  // Per-case integration step budget; 0 = auto (4x the nominal step count
+  // of the run, so a tightened retry still fits).
+  std::size_t step_budget = 0;
 };
 
 // Run the campaign over all fault classes (excluding TankFault::None,

@@ -1,0 +1,163 @@
+#include "system/internal_fmea.h"
+
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace lcosc::system {
+
+namespace {
+
+std::size_t channel_index(faults::DetectionChannel channel) {
+  return static_cast<std::size_t>(channel);
+}
+
+std::size_t auto_step_budget(const OscillatorSystemConfig& sys_cfg, double duration) {
+  const tank::RlcTank healthy(sys_cfg.tank);
+  const double dt = 1.0 / (healthy.resonance_frequency() * sys_cfg.steps_per_period);
+  return 4 * static_cast<std::size_t>(std::ceil(duration / dt));
+}
+
+bool channel_hit(const safety::FaultFlags& flags, faults::DetectionChannel expected) {
+  switch (expected) {
+    case faults::DetectionChannel::None:
+      return !flags.any();
+    case faults::DetectionChannel::MissingOscillation:
+      return flags.missing_oscillation;
+    case faults::DetectionChannel::LowAmplitude:
+      return flags.low_amplitude;
+    case faults::DetectionChannel::Asymmetry:
+      return flags.asymmetry;
+    case faults::DetectionChannel::FrequencyOutOfBand:
+      return flags.frequency_out_of_band;
+  }
+  return false;
+}
+
+}  // namespace
+
+faults::DetectionChannel InternalFmeaRow::observed_channel() const {
+  if (observed.missing_oscillation) return faults::DetectionChannel::MissingOscillation;
+  if (observed.low_amplitude) return faults::DetectionChannel::LowAmplitude;
+  if (observed.asymmetry) return faults::DetectionChannel::Asymmetry;
+  if (observed.frequency_out_of_band) return faults::DetectionChannel::FrequencyOutOfBand;
+  return faults::DetectionChannel::None;
+}
+
+std::size_t InternalFmeaReport::detected_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) {
+    if (r.status.completed() && r.detected) ++n;
+  }
+  return n;
+}
+
+std::size_t InternalFmeaReport::completed_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) {
+    if (r.status.completed()) ++n;
+  }
+  return n;
+}
+
+std::size_t InternalFmeaReport::error_count() const {
+  return rows.size() - completed_count();
+}
+
+double InternalFmeaReport::diagnostic_coverage() const {
+  const std::size_t completed = completed_count();
+  if (completed == 0) return 0.0;
+  return static_cast<double>(detected_count()) / static_cast<double>(completed);
+}
+
+std::vector<CoverageEntry> InternalFmeaReport::coverage_matrix() const {
+  std::vector<CoverageEntry> matrix;
+  for (const auto& row : rows) {
+    CoverageEntry* entry = nullptr;
+    for (auto& e : matrix) {
+      if (e.kind == row.fault.kind) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      matrix.push_back(CoverageEntry{.kind = row.fault.kind});
+      entry = &matrix.back();
+    }
+    ++entry->total;
+    if (!row.status.completed()) {
+      ++entry->errors;
+    } else {
+      ++entry->by_channel[channel_index(row.observed_channel())];
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::string> InternalFmeaReport::uncovered_gaps() const {
+  std::vector<std::string> gaps;
+  for (const auto& row : rows) {
+    if (!row.status.completed() || row.detected) continue;
+    std::string note = faults::gap_note(row.fault);
+    if (note.empty()) note = "no modeled detection channel fired";
+    gaps.push_back(faults::to_string(row.fault) + ": " + note);
+  }
+  return gaps;
+}
+
+InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
+                                       const faults::InternalFault& fault) {
+  const double duration = config.settle_time + config.observe_time;
+
+  InternalFmeaRow row;
+  row.fault = fault;
+  row.expected = faults::expected_detection(fault);
+
+  row.status = run_guarded_case(
+      [&](int attempt) {
+        OscillatorSystemConfig sys_cfg = config.system;
+        // Retry after a convergence failure with a tightened integrator.
+        for (int k = 0; k < attempt; ++k) sys_cfg.steps_per_period *= 2;
+        sys_cfg.step_budget = config.step_budget > 0
+                                  ? config.step_budget
+                                  : auto_step_budget(config.system, duration);
+
+        OscillatorSystem sys(sys_cfg);
+        sys.schedule_internal_fault(fault, config.settle_time);
+        const SimulationResult sim = sys.run(duration);
+
+        row.observed = sim.final_faults;
+        row.detected = sim.final_faults.any();
+        row.expected_channel_hit = channel_hit(sim.final_faults, row.expected);
+        row.safe_state_entered = sim.final_mode == regulation::RegulationMode::SafeState;
+        row.final_code = sim.final_code;
+
+        row.detection_latency.reset();
+        for (const auto& tick : sim.ticks) {
+          if (tick.time >= config.settle_time && tick.faults.any()) {
+            row.detection_latency = tick.time - config.settle_time;
+            break;
+          }
+        }
+      },
+      config.max_retries);
+
+  if (row.status.outcome == CaseOutcome::Ok &&
+      row.expected != faults::DetectionChannel::None && !row.expected_channel_hit) {
+    row.status.outcome = CaseOutcome::Undetected;
+  }
+  return row;
+}
+
+InternalFmeaReport run_internal_fmea_campaign(const InternalFmeaConfig& config) {
+  const std::vector<faults::InternalFault> faults =
+      config.faults.empty() ? faults::internal_fault_list() : config.faults;
+  InternalFmeaReport report;
+  report.rows = parallel_map(
+      faults.size(),
+      [&](std::size_t i) { return run_internal_fmea_case(config, faults[i]); },
+      config.workers);
+  return report;
+}
+
+}  // namespace lcosc::system

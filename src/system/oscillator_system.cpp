@@ -42,11 +42,24 @@ OscillatorSystem::OscillatorSystem(OscillatorSystemConfig config)
   LCOSC_REQUIRE(config_.startup_kick > 0.0, "startup kick must be positive");
   // Validate the tank through its invariants.
   (void)tank::RlcTank(config_.tank);
+  attach_fault_bus();
+}
+
+void OscillatorSystem::attach_fault_bus() {
+  driver_.attach_fault_bus(&fault_bus_);
+  detector_.attach_fault_bus(&fault_bus_);
+  fsm_.attach_fault_bus(&fault_bus_);
+  safety_.attach_fault_bus(&fault_bus_);
 }
 
 void OscillatorSystem::schedule_fault(tank::TankFault fault, double at_time,
                                       const tank::FaultSeverity& severity) {
   schedule_event(at_time, FaultEvent{fault, severity});
+}
+
+void OscillatorSystem::schedule_internal_fault(const faults::InternalFault& fault,
+                                               double at_time) {
+  schedule_event(at_time, InternalFaultEvent{fault});
 }
 
 void OscillatorSystem::schedule_event(double at_time, ScenarioAction action) {
@@ -107,6 +120,19 @@ SimulationResult OscillatorSystem::run(double duration) {
   const tank::RlcTank healthy(config_.tank);
   const double dt = 1.0 / (healthy.resonance_frequency() * config_.steps_per_period);
 
+  // Re-attach and clear the fault bus (a copied system would otherwise
+  // still observe the bus of the instance it was copied from).
+  attach_fault_bus();
+  fault_bus_.clear();
+  for (const TimedEvent& ev : events_) {
+    if (const auto* ie = std::get_if<InternalFaultEvent>(&ev.action)) {
+      LCOSC_REQUIRE(
+          ie->fault.kind != faults::InternalFaultKind::SelfTestStall ||
+              config_.step_budget > 0,
+          "a stall fault needs a positive step_budget to terminate the run");
+    }
+  }
+
   // Reset all subsystems.
   detector_.reset();
   safety_.reset(0.0);
@@ -165,7 +191,13 @@ SimulationResult OscillatorSystem::run(double duration) {
   };
 
   double t = 0.0;
+  std::size_t steps_taken = 0;
   for (std::size_t step = 0; step < total_steps; ++step) {
+    ++steps_taken;
+    if (config_.step_budget > 0 && steps_taken > config_.step_budget) {
+      throw BudgetExceededError("integration step budget exceeded (" +
+                                std::to_string(config_.step_budget) + " steps)");
+    }
     // Discrete events at the step boundary.
     if (!nvm_applied && t >= fsm_.config().nvm_delay) {
       fsm_.apply_nvm_preset();
@@ -202,14 +234,30 @@ SimulationResult OscillatorSystem::run(double duration) {
         }
       } else if (const auto* te = std::get_if<TemperatureEvent>(&action)) {
         detector_.set_temperature(te->kelvin);
+      } else if (const auto* ie = std::get_if<InternalFaultEvent>(&action)) {
+        fault_bus_.inject(ie->fault);
+        if (ie->fault.kind == faults::InternalFaultKind::SelfTestThrow) {
+          throw ConvergenceError("self-test fault: injected convergence failure at t=" +
+                                 std::to_string(t));
+        }
       }
       ++next_event;
+    }
+
+    if (fault_bus_.stalled()) {
+      // Frozen simulation clock: t no longer advances, so the loop can
+      // only end through the step budget (enforced above).
+      --step;
+      continue;
     }
 
     rk4_step(active);
     t += dt;
 
     const double vd = s.v1 - s.v2;
+    if (!std::isfinite(vd) || !std::isfinite(s.il)) {
+      throw ConvergenceError("tank state diverged (non-finite) at t=" + std::to_string(t));
+    }
     detector_.step(dt, s.v1, s.v2);
     safety_.step(t, dt, s.v1, s.v2);
 

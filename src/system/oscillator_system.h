@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "driver/oscillator_driver.h"
+#include "faults/fault_bus.h"
+#include "faults/internal_fault.h"
 #include "regulation/amplitude_detector.h"
 #include "regulation/regulation_fsm.h"
 #include "safety/safety_controller.h"
@@ -47,6 +49,11 @@ struct OscillatorSystemConfig {
 
   // Waveform recording: 0 disables; otherwise record every n-th sample.
   int waveform_decimation = 1;
+
+  // Per-run integration step budget; 0 = unlimited.  When exceeded run()
+  // throws BudgetExceededError.  Campaign runners use this to bound a
+  // runaway case (e.g. a stalled simulation) instead of hanging.
+  std::size_t step_budget = 0;
 };
 
 // Snapshot of the discrete state at each regulation tick.
@@ -93,7 +100,12 @@ struct RecoveryEvent {};
 struct TemperatureEvent {
   double kelvin = 300.0;
 };
-using ScenarioAction = std::variant<FaultEvent, RecoveryEvent, TemperatureEvent>;
+// Internal (on-chip) single-point fault injected on the fault bus.
+struct InternalFaultEvent {
+  faults::InternalFault fault{};
+};
+using ScenarioAction =
+    std::variant<FaultEvent, RecoveryEvent, TemperatureEvent, InternalFaultEvent>;
 
 class OscillatorSystem {
  public:
@@ -103,6 +115,11 @@ class OscillatorSystem {
   // start).  Call before run().
   void schedule_fault(tank::TankFault fault, double at_time,
                       const tank::FaultSeverity& severity = {});
+
+  // Inject an internal (on-chip) fault after `at_time`.  Call before
+  // run().  A SelfTestStall event requires a positive step_budget (the
+  // frozen clock would otherwise never let the run finish).
+  void schedule_internal_fault(const faults::InternalFault& fault, double at_time);
 
   // General scenario scripting: apply `action` at `at_time`.  Events are
   // applied in time order; multiple events are allowed.
@@ -137,11 +154,16 @@ class OscillatorSystem {
 
   [[nodiscard]] TankState derivatives(const TankState& s, const ActiveTank& t) const;
 
+  // Subsystems observe the bus through const pointers; run() re-attaches
+  // them so copied systems never alias another instance's bus.
+  void attach_fault_bus();
+
   OscillatorSystemConfig config_;
   driver::OscillatorDriver driver_;
   regulation::AmplitudeDetector detector_;
   regulation::RegulationFsm fsm_;
   safety::SafetyController safety_;
+  faults::FaultBus fault_bus_;
 
   struct TimedEvent {
     double time = 0.0;

@@ -18,6 +18,14 @@ double ToleranceReport::yield() const {
   return static_cast<double>(ok) / static_cast<double>(samples.size());
 }
 
+std::size_t ToleranceReport::error_count() const {
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (!s.status.completed()) ++n;
+  }
+  return n;
+}
+
 double ToleranceReport::min_amplitude() const {
   LCOSC_REQUIRE(!samples.empty(), "min_amplitude on an empty report");
   double v = samples.front().settled_amplitude;
@@ -86,36 +94,47 @@ ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
       static_cast<std::size_t>(config.samples),
       [&](std::size_t idx) {
         const int i = static_cast<int>(idx);
-        Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
 
-        EnvelopeSimConfig cfg = config.nominal;
-        cfg.tank.inductance *=
-            1.0 + rng.uniform(-config.inductance_tolerance, config.inductance_tolerance);
-        cfg.tank.capacitance1 *=
-            1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
-        cfg.tank.capacitance2 *=
-            1.0 + rng.uniform(-config.capacitance_tolerance, config.capacitance_tolerance);
-        cfg.tank.series_resistance *=
-            1.0 + rng.uniform(-config.resistance_tolerance, config.resistance_tolerance);
-
-        EnvelopeSimulator sim(cfg);
-        if (config.include_dac_mismatch) {
-          sim.driver().use_mismatched_dac(std::make_shared<const dac::CurrentLimitationDac>(
-              cfg.driver.unit_current, config.mismatch, master.fork(0x1000 + i)()));
-        }
-        const EnvelopeRunResult run = sim.run(config.run_duration);
-
-        const tank::RlcTank tk(cfg.tank);
         ToleranceSample sample;
-        sample.tank = cfg.tank;
-        sample.resonance_frequency = tk.resonance_frequency();
-        sample.quality_factor = tk.quality_factor();
-        sample.settled_code = run.final_code;
-        sample.settled_amplitude = run.settled_amplitude();
-        sample.supply_current =
-            run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
-        sample.in_window =
-            std::abs(sample.settled_amplitude - target) <= config.amplitude_tolerance * target;
+        sample.status = run_guarded_case(
+            [&](int attempt) {
+              // Re-fork the stream per attempt: the draws stay identical,
+              // so a retry only tightens the integrator.
+              Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
+
+              EnvelopeSimConfig cfg = config.nominal;
+              cfg.tank.inductance *= 1.0 + rng.uniform(-config.inductance_tolerance,
+                                                       config.inductance_tolerance);
+              cfg.tank.capacitance1 *= 1.0 + rng.uniform(-config.capacitance_tolerance,
+                                                         config.capacitance_tolerance);
+              cfg.tank.capacitance2 *= 1.0 + rng.uniform(-config.capacitance_tolerance,
+                                                         config.capacitance_tolerance);
+              cfg.tank.series_resistance *= 1.0 + rng.uniform(-config.resistance_tolerance,
+                                                              config.resistance_tolerance);
+              // Retry after a convergence failure with a halved time step.
+              for (int k = 0; k < attempt; ++k) cfg.dt *= 0.5;
+
+              EnvelopeSimulator sim(cfg);
+              if (config.include_dac_mismatch) {
+                sim.driver().use_mismatched_dac(
+                    std::make_shared<const dac::CurrentLimitationDac>(
+                        cfg.driver.unit_current, config.mismatch, master.fork(0x1000 + i)()));
+              }
+              const EnvelopeRunResult run = sim.run(config.run_duration);
+
+              const tank::RlcTank tk(cfg.tank);
+              sample.tank = cfg.tank;
+              sample.resonance_frequency = tk.resonance_frequency();
+              sample.quality_factor = tk.quality_factor();
+              sample.settled_code = run.final_code;
+              sample.settled_amplitude = run.settled_amplitude();
+              sample.supply_current =
+                  run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
+              sample.in_window = std::abs(sample.settled_amplitude - target) <=
+                                 config.amplitude_tolerance * target;
+            },
+            config.max_retries);
+        if (!sample.status.completed()) sample.in_window = false;
         return sample;
       },
       config.workers);

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/campaign.h"
 #include "common/statistics.h"
 #include "dac/current_mirror.h"
 #include "system/envelope_simulator.h"
@@ -40,6 +41,10 @@ struct ToleranceConfig {
   // (LCOSC_THREADS / hardware), 1 = serial.  The report is byte-identical
   // for any value (per-sample Rng streams are forked from the seed).
   std::size_t workers = 0;
+  // Bounded retry: a ConvergenceError sample is re-run this many times
+  // with a halved envelope time step before the sample is recorded as
+  // SimulationError instead of aborting the whole sweep.
+  int max_retries = 1;
 };
 
 struct ToleranceSample {
@@ -50,6 +55,9 @@ struct ToleranceSample {
   double settled_amplitude = 0.0;
   double supply_current = 0.0;
   bool in_window = false;
+  // Per-sample outcome: a sample whose simulation throws is recorded as
+  // SimulationError (in_window = false) instead of aborting the sweep.
+  CampaignCase status{};
 };
 
 struct ToleranceReport {
@@ -58,6 +66,8 @@ struct ToleranceReport {
   // yield() of an empty report is 0; the min/max accessors require at
   // least one sample (LCOSC_REQUIRE) instead of returning sentinels.
   [[nodiscard]] double yield() const;
+  // Samples whose simulation failed (SimulationError / Timeout).
+  [[nodiscard]] std::size_t error_count() const;
   [[nodiscard]] double min_amplitude() const;
   [[nodiscard]] double max_amplitude() const;
   [[nodiscard]] int min_code() const;

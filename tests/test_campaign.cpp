@@ -1,0 +1,90 @@
+// Graceful-degradation contract of the shared campaign runner
+// (common/campaign.h): exceptions become recorded outcomes, bounded
+// retry applies only to convergence failures, budgets never retry.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/campaign.h"
+#include "common/error.h"
+
+namespace lcosc {
+namespace {
+
+TEST(Campaign, SuccessFirstAttemptIsOkWithZeroRetries) {
+  int calls = 0;
+  const CampaignCase status = run_guarded_case([&](int attempt) {
+    ++calls;
+    EXPECT_EQ(attempt, 0);
+  });
+  EXPECT_EQ(status.outcome, CaseOutcome::Ok);
+  EXPECT_EQ(status.retries, 0);
+  EXPECT_TRUE(status.error.empty());
+  EXPECT_TRUE(status.completed());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Campaign, ConvergenceErrorRetriesWithIncrementedAttempt) {
+  int calls = 0;
+  const CampaignCase status = run_guarded_case([&](int attempt) {
+    ++calls;
+    if (attempt == 0) throw ConvergenceError("first attempt diverged");
+  });
+  EXPECT_EQ(status.outcome, CaseOutcome::Ok);
+  EXPECT_EQ(status.retries, 1);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Campaign, PersistentConvergenceErrorBecomesSimulationError) {
+  int calls = 0;
+  const CampaignCase status = run_guarded_case(
+      [&](int) {
+        ++calls;
+        throw ConvergenceError("always diverges");
+      },
+      2);
+  EXPECT_EQ(status.outcome, CaseOutcome::SimulationError);
+  EXPECT_EQ(status.retries, 2);
+  EXPECT_EQ(status.error, "always diverges");
+  EXPECT_FALSE(status.completed());
+  EXPECT_EQ(calls, 3);  // nominal + 2 retries
+}
+
+TEST(Campaign, BudgetExceededBecomesTimeoutWithoutRetry) {
+  int calls = 0;
+  const CampaignCase status = run_guarded_case(
+      [&](int) {
+        ++calls;
+        throw BudgetExceededError("step budget exceeded");
+      },
+      3);
+  EXPECT_EQ(status.outcome, CaseOutcome::Timeout);
+  EXPECT_EQ(status.retries, 0);
+  EXPECT_EQ(status.error, "step budget exceeded");
+  EXPECT_FALSE(status.completed());
+  EXPECT_EQ(calls, 1);  // budgets are deterministic: retry is pointless
+}
+
+TEST(Campaign, OtherExceptionsFailImmediately) {
+  int calls = 0;
+  const CampaignCase status = run_guarded_case(
+      [&](int) {
+        ++calls;
+        throw std::runtime_error("unexpected");
+      },
+      3);
+  EXPECT_EQ(status.outcome, CaseOutcome::SimulationError);
+  EXPECT_EQ(status.retries, 0);
+  EXPECT_EQ(status.error, "unexpected");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Campaign, OutcomeLabels) {
+  EXPECT_EQ(to_string(CaseOutcome::Ok), "ok");
+  EXPECT_EQ(to_string(CaseOutcome::Undetected), "undetected");
+  EXPECT_EQ(to_string(CaseOutcome::SimulationError), "simulation-error");
+  EXPECT_EQ(to_string(CaseOutcome::Timeout), "timeout");
+}
+
+}  // namespace
+}  // namespace lcosc

@@ -1,0 +1,272 @@
+// Internal fault taxonomy and the FaultBus hooks through the DAC, the
+// driver, the detector chain, the regulation FSM and the safety
+// controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "dac/control_code.h"
+#include "dac/exponential_dac.h"
+#include "driver/oscillator_driver.h"
+#include "faults/fault_bus.h"
+#include "faults/internal_fault.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+#include "safety/safety_controller.h"
+
+namespace lcosc {
+namespace {
+
+using faults::DacBus;
+using faults::FaultBus;
+using faults::InternalFault;
+using faults::InternalFaultKind;
+
+TEST(InternalFaultTaxonomy, StandardListCoversEveryLineSegmentAndBlock) {
+  const std::vector<InternalFault> list = faults::internal_fault_list();
+  // (3 + 4 + 7) lines x stuck-0/1, 8 segments, 2 comparator levels,
+  // rectifier, FSM, watchdog, gm collapse.
+  EXPECT_EQ(list.size(), 2u * 14u + 8u + 6u);
+  for (const InternalFault& f : list) {
+    EXPECT_NE(f.kind, InternalFaultKind::SelfTestThrow);
+    EXPECT_NE(f.kind, InternalFaultKind::SelfTestStall);
+    EXPECT_NE(f.kind, InternalFaultKind::None);
+    // Every fault either names an expected channel or explains its gap.
+    if (faults::expected_detection(f) == faults::DetectionChannel::None) {
+      EXPECT_FALSE(faults::gap_note(f).empty()) << faults::to_string(f);
+    } else {
+      EXPECT_TRUE(faults::gap_note(f).empty()) << faults::to_string(f);
+    }
+  }
+}
+
+TEST(InternalFaultTaxonomy, ExpectedDetectionMapping) {
+  EXPECT_EQ(faults::expected_detection(faults::make_fault(InternalFaultKind::WindowStuckHigh)),
+            faults::DetectionChannel::LowAmplitude);
+  EXPECT_EQ(faults::expected_detection(faults::make_gm_collapse()),
+            faults::DetectionChannel::MissingOscillation);
+  EXPECT_EQ(faults::expected_detection(faults::make_fault(InternalFaultKind::WatchdogDead)),
+            faults::DetectionChannel::None);
+  EXPECT_EQ(faults::expected_detection(faults::make_line_stuck(DacBus::OscF, 3, true)),
+            faults::DetectionChannel::None);
+}
+
+TEST(InternalFaultTaxonomy, Labels) {
+  EXPECT_EQ(faults::to_string(faults::make_line_stuck(DacBus::OscF, 3, true)),
+            "oscf<3>-stuck-1");
+  EXPECT_EQ(faults::to_string(faults::make_line_stuck(DacBus::OscD, 2, false)),
+            "oscd<2>-stuck-0");
+  EXPECT_EQ(faults::to_string(faults::make_segment_dead(4)), "segment4-dead");
+  EXPECT_EQ(faults::to_string(faults::make_fault(InternalFaultKind::WindowStuckHigh)),
+            "window-comparator-stuck-high");
+}
+
+TEST(InternalFaultTaxonomy, FactoriesValidateArguments) {
+  EXPECT_THROW(faults::make_line_stuck(DacBus::OscD, 3, true), ConfigError);
+  EXPECT_THROW(faults::make_segment_dead(8), ConfigError);
+  EXPECT_THROW(faults::make_gm_collapse(1.5), ConfigError);
+}
+
+TEST(FaultBusTest, StuckLineMasksApplyOnlyToTheirBus) {
+  FaultBus bus;
+  EXPECT_FALSE(bus.active());
+  bus.inject(faults::make_line_stuck(DacBus::OscF, 2, true));
+  EXPECT_TRUE(bus.active());
+  EXPECT_EQ(bus.apply_stuck(DacBus::OscF, 0b0000000), 0b0000100);
+  EXPECT_EQ(bus.apply_stuck(DacBus::OscD, 0b000), 0b000);  // other bus untouched
+  bus.inject(faults::make_line_stuck(DacBus::OscE, 0, false));
+  EXPECT_EQ(bus.apply_stuck(DacBus::OscE, 0b1111), 0b1110);
+  EXPECT_EQ(bus.apply_stuck(DacBus::OscF, 0b1111111), 0b1111111);  // previous fault cleared
+  bus.clear();
+  EXPECT_FALSE(bus.active());
+  EXPECT_EQ(bus.apply_stuck(DacBus::OscE, 0b1111), 0b1111);
+}
+
+TEST(FaultBusTest, FlagKindsAnswerFromTheInjectedFault) {
+  FaultBus bus;
+  EXPECT_FALSE(bus.rectifier_dead());
+  EXPECT_FALSE(bus.fsm_frozen());
+  EXPECT_FALSE(bus.watchdog_dead());
+  EXPECT_FALSE(bus.stalled());
+  bus.inject(faults::make_fault(InternalFaultKind::RectifierDead));
+  EXPECT_TRUE(bus.rectifier_dead());
+  bus.inject(faults::make_fault(InternalFaultKind::FsmFrozen));
+  EXPECT_TRUE(bus.fsm_frozen());
+  EXPECT_FALSE(bus.rectifier_dead());
+  bus.inject(faults::make_fault(InternalFaultKind::WatchdogDead));
+  EXPECT_TRUE(bus.watchdog_dead());
+  bus.inject(faults::make_fault(InternalFaultKind::SelfTestStall));
+  EXPECT_TRUE(bus.stalled());
+  bus.inject(faults::make_gm_collapse(0.1));
+  EXPECT_DOUBLE_EQ(bus.gm_scale(), 0.1);
+  bus.inject(faults::make_fault(InternalFaultKind::WindowStuckHigh));
+  EXPECT_EQ(bus.window_override(), faults::WindowOverride::ForceAbove);
+  bus.inject(faults::make_fault(InternalFaultKind::WindowStuckLow));
+  EXPECT_EQ(bus.window_override(), faults::WindowOverride::ForceBelow);
+  bus.inject(faults::make_fault(InternalFaultKind::None));
+  EXPECT_FALSE(bus.active());
+}
+
+TEST(FaultBusTest, RawPrescalerCoversNonThermometerPatterns) {
+  // Physical mirror ratios 1 + b0 + 2 b1 + 4 b2; agrees with the healthy
+  // decoder on the four thermometer codes.
+  EXPECT_EQ(dac::prescale_factor_raw(0b000), 1);
+  EXPECT_EQ(dac::prescale_factor_raw(0b001), 2);
+  EXPECT_EQ(dac::prescale_factor_raw(0b011), 4);
+  EXPECT_EQ(dac::prescale_factor_raw(0b111), 8);
+  // Faulted (non-thermometer) patterns do not throw.
+  EXPECT_EQ(dac::prescale_factor_raw(0b010), 3);
+  EXPECT_EQ(dac::prescale_factor_raw(0b100), 5);
+  EXPECT_EQ(dac::prescale_factor_raw(0b101), 6);
+  EXPECT_EQ(dac::prescale_factor_raw(0b110), 7);
+}
+
+TEST(FaultedDac, InactiveOrNoneFaultMatchesHealthyTransfer) {
+  dac::PwlExponentialDac healthy;
+  dac::PwlExponentialDac faulted;
+  FaultBus bus;
+  faulted.attach_fault_bus(&bus);
+  bus.inject(faults::make_fault(InternalFaultKind::None));
+  for (int code = 0; code < kDacCodeCount; ++code) {
+    EXPECT_EQ(faulted.multiplication(code), healthy.multiplication(code)) << code;
+  }
+}
+
+TEST(FaultedDac, StuckOscFLineReshapesTheTransfer) {
+  dac::PwlExponentialDac dut;
+  FaultBus bus;
+  dut.attach_fault_bus(&bus);
+  bus.inject(faults::make_line_stuck(DacBus::OscF, 0, true));
+  // Code 16 (segment 1, OscF = 0): bit 0 stuck high adds one unit.
+  EXPECT_EQ(dut.multiplication(16), dac::multiplication_factor(16) + 1);
+  // Code 17 (OscF = 1): the stuck line is already set, no change.
+  EXPECT_EQ(dut.multiplication(17), dac::multiplication_factor(17));
+}
+
+TEST(FaultedDac, StuckOscDLineUsesRawPrescalerInsteadOfThrowing) {
+  dac::PwlExponentialDac dut;
+  FaultBus bus;
+  dut.attach_fault_bus(&bus);
+  bus.inject(faults::make_line_stuck(DacBus::OscD, 2, true));
+  // Code 16: healthy OscD=000 -> faulted 100 (not a thermometer code);
+  // raw prescale 5 instead of 1.
+  EXPECT_EQ(dut.multiplication(16), 5 * dac::multiplication_factor(16));
+}
+
+TEST(FaultedDac, DeadSegmentZeroesTheBinaryContribution) {
+  dac::PwlExponentialDac dut;
+  FaultBus bus;
+  dut.attach_fault_bus(&bus);
+  bus.inject(faults::make_segment_dead(2));
+  // Inside segment 2 the OscF bank contributes nothing: transfer is flat
+  // at prescale * fixed units.
+  EXPECT_EQ(dut.multiplication(32), dut.multiplication(47));
+  EXPECT_LT(dut.multiplication(47), dac::multiplication_factor(47));
+  // Other segments unaffected.
+  EXPECT_EQ(dut.multiplication(16), dac::multiplication_factor(16));
+}
+
+TEST(FaultedDriver, GmCollapseScalesTransconductance) {
+  driver::OscillatorDriver healthy;
+  driver::OscillatorDriver dut;
+  FaultBus bus;
+  dut.attach_fault_bus(&bus);
+  healthy.set_code(45);
+  dut.set_code(45);
+  EXPECT_DOUBLE_EQ(dut.equivalent_gm(), healthy.equivalent_gm());
+  bus.inject(faults::make_gm_collapse(0.05));
+  EXPECT_DOUBLE_EQ(dut.equivalent_gm(), 0.05 * healthy.equivalent_gm());
+}
+
+TEST(FaultedDriver, StuckOscELineChangesActiveStages) {
+  driver::OscillatorDriver dut;
+  FaultBus bus;
+  dut.attach_fault_bus(&bus);
+  dut.set_code(0);  // healthy OscE = 0000 -> 1 stage
+  const double gm_one_stage = dut.equivalent_gm();
+  bus.inject(faults::make_line_stuck(DacBus::OscE, 3, true));
+  // Bit 3 stuck high adds 4 stages.
+  EXPECT_DOUBLE_EQ(dut.equivalent_gm(), 5.0 * gm_one_stage);
+}
+
+// Feed a differential sinusoid of amplitude `a` for `steps` samples; the
+// filtered rectified mean settles to a/pi (mid-window at the target).
+void drive_sinusoid(regulation::AmplitudeDetector& det, double a, int steps) {
+  const double dt = 1e-8;
+  for (int i = 0; i < steps; ++i) {
+    const double v = 0.5 * a * std::sin(kTwoPi * 4e6 * (i * dt));
+    det.step(dt, v, -v);
+  }
+}
+
+TEST(FaultedDetector, WindowOverrideForcesTheReportedState) {
+  regulation::AmplitudeDetector det;
+  FaultBus bus;
+  det.attach_fault_bus(&bus);
+  // Settle the rectifier output inside the window.
+  drive_sinusoid(det, det.config().target_amplitude, 20000);
+  EXPECT_EQ(det.window_state(), devices::WindowState::Inside);
+  bus.inject(faults::make_fault(InternalFaultKind::WindowStuckHigh));
+  EXPECT_EQ(det.window_state(), devices::WindowState::Above);
+  bus.inject(faults::make_fault(InternalFaultKind::WindowStuckLow));
+  EXPECT_EQ(det.window_state(), devices::WindowState::Below);
+  bus.clear();
+  EXPECT_EQ(det.window_state(), devices::WindowState::Inside);
+}
+
+TEST(FaultedDetector, DeadRectifierDecaysVdc1ToZero) {
+  regulation::AmplitudeDetector det;
+  FaultBus bus;
+  det.attach_fault_bus(&bus);
+  drive_sinusoid(det, det.config().target_amplitude, 20000);
+  EXPECT_GT(det.vdc1(), det.vr3());
+  bus.inject(faults::make_fault(InternalFaultKind::RectifierDead));
+  // Same pin swing, but the rectifier no longer sees it: VDC1 decays.
+  drive_sinusoid(det, det.config().target_amplitude, 20000);
+  EXPECT_LT(det.vdc1(), 0.05 * det.vr3());
+  EXPECT_EQ(det.window_state(), devices::WindowState::Below);
+}
+
+TEST(FaultedFsm, FrozenFsmLatchesTheCode) {
+  regulation::RegulationFsm fsm;
+  FaultBus bus;
+  fsm.attach_fault_bus(&bus);
+  fsm.por_reset();
+  const int startup = fsm.code();
+  bus.inject(faults::make_fault(InternalFaultKind::FsmFrozen));
+  EXPECT_EQ(fsm.tick(devices::WindowState::Below), startup);
+  EXPECT_EQ(fsm.tick(devices::WindowState::Above), startup);
+  fsm.apply_nvm_preset();
+  EXPECT_EQ(fsm.code(), startup);
+  fsm.enter_safe_state();
+  EXPECT_EQ(fsm.mode(), regulation::RegulationMode::SafeState);
+  EXPECT_EQ(fsm.code(), startup);  // reaction cannot move the stuck register
+  bus.clear();
+  fsm.clear_safe_state();
+  EXPECT_EQ(fsm.tick(devices::WindowState::Below), startup + 1);
+}
+
+TEST(FaultedSafety, DeadWatchdogMasksMissingOscillation) {
+  safety::SafetyController healthy;
+  safety::SafetyController dut;
+  FaultBus bus;
+  dut.attach_fault_bus(&bus);
+  bus.inject(faults::make_fault(InternalFaultKind::WatchdogDead));
+  healthy.reset(0.0);
+  dut.reset(0.0);
+  // Flat differential voltage well past the watchdog timeout.
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t += 1e-7;
+    healthy.step(t, 1e-7, 0.0, 0.0);
+    dut.step(t, 1e-7, 0.0, 0.0);
+  }
+  EXPECT_TRUE(healthy.flags().missing_oscillation);
+  EXPECT_FALSE(dut.flags().missing_oscillation);
+  EXPECT_FALSE(dut.safe_state_requested());
+}
+
+}  // namespace
+}  // namespace lcosc

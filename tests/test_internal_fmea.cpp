@@ -1,0 +1,161 @@
+// Internal FMEA campaign: hard on-chip faults are detected (or honestly
+// reported as gaps), and the hardened runner degrades gracefully -- a
+// throwing case and an over-budget case become recorded rows while the
+// rest of the campaign completes identically for any worker count.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "system/internal_fmea.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+InternalFmeaConfig fast_config() {
+  InternalFmeaConfig cfg;
+  cfg.system.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  // Faster ticks shorten the code walks; dynamics per tick are unchanged.
+  cfg.system.regulation.tick_period = 0.25e-3;
+  // NVM preset near the settled code (paper Section 4): the loop is
+  // regulating well before the fault injects at settle_time.
+  cfg.system.regulation.nvm_code = 45;
+  cfg.system.waveform_decimation = 0;
+  cfg.settle_time = 6e-3;
+  cfg.observe_time = 4e-3;
+  return cfg;
+}
+
+TEST(InternalFmea, GmCollapseTripsTheWatchdog) {
+  const InternalFmeaConfig cfg = fast_config();
+  const InternalFmeaRow row = run_internal_fmea_case(cfg, faults::make_gm_collapse());
+  EXPECT_EQ(row.status.outcome, CaseOutcome::Ok);
+  EXPECT_TRUE(row.detected);
+  EXPECT_TRUE(row.observed.missing_oscillation);
+  EXPECT_TRUE(row.expected_channel_hit);
+  EXPECT_TRUE(row.safe_state_entered);
+  ASSERT_TRUE(row.detection_latency.has_value());
+  EXPECT_LT(*row.detection_latency, 2e-3);
+}
+
+TEST(InternalFmea, WindowStuckHighWalksIntoLowAmplitude) {
+  InternalFmeaConfig cfg = fast_config();
+  // The code walks down one step per 0.25 ms tick and then the 3 ms
+  // low-amplitude persistence must elapse.
+  cfg.observe_time = 10e-3;
+  const InternalFmeaRow row = run_internal_fmea_case(
+      cfg, faults::make_fault(faults::InternalFaultKind::WindowStuckHigh));
+  EXPECT_EQ(row.status.outcome, CaseOutcome::Ok);
+  EXPECT_TRUE(row.detected);
+  EXPECT_TRUE(row.observed.low_amplitude);
+  EXPECT_TRUE(row.expected_channel_hit);
+  EXPECT_TRUE(row.safe_state_entered);
+  ASSERT_TRUE(row.detection_latency.has_value());
+}
+
+TEST(InternalFmea, LatentFaultsAreHonestGaps) {
+  const InternalFmeaConfig cfg = fast_config();
+  for (const auto kind : {faults::InternalFaultKind::FsmFrozen,
+                          faults::InternalFaultKind::WatchdogDead}) {
+    const InternalFmeaRow row = run_internal_fmea_case(cfg, faults::make_fault(kind));
+    EXPECT_EQ(row.status.outcome, CaseOutcome::Ok) << faults::to_string(kind);
+    EXPECT_FALSE(row.detected) << faults::to_string(kind);
+    EXPECT_FALSE(row.detection_latency.has_value()) << faults::to_string(kind);
+    EXPECT_FALSE(faults::gap_note(row.fault).empty()) << faults::to_string(kind);
+  }
+}
+
+TEST(InternalFmea, ThrowingAndStallingCasesDegradeGracefully) {
+  InternalFmeaConfig cfg = fast_config();
+  cfg.observe_time = 2e-3;
+  cfg.faults = {faults::make_fault(faults::InternalFaultKind::SelfTestThrow),
+                faults::make_fault(faults::InternalFaultKind::SelfTestStall),
+                faults::make_fault(faults::InternalFaultKind::None)};
+  const InternalFmeaReport report = run_internal_fmea_campaign(cfg);
+  ASSERT_EQ(report.rows.size(), 3u);
+
+  // The always-throwing case: retried once (tightened integrator), then
+  // recorded as a simulation error with the exception message.
+  const InternalFmeaRow& thrown = report.rows[0];
+  EXPECT_EQ(thrown.status.outcome, CaseOutcome::SimulationError);
+  EXPECT_EQ(thrown.status.retries, cfg.max_retries);
+  EXPECT_NE(thrown.status.error.find("self-test fault"), std::string::npos);
+
+  // The stalled case: the frozen simulation clock trips the step budget.
+  const InternalFmeaRow& stalled = report.rows[1];
+  EXPECT_EQ(stalled.status.outcome, CaseOutcome::Timeout);
+  EXPECT_EQ(stalled.status.retries, 0);
+  EXPECT_NE(stalled.status.error.find("budget"), std::string::npos);
+
+  // The rest of the campaign completed normally.
+  const InternalFmeaRow& control = report.rows[2];
+  EXPECT_EQ(control.status.outcome, CaseOutcome::Ok);
+  EXPECT_FALSE(control.detected);
+  EXPECT_EQ(report.completed_count(), 1u);
+  EXPECT_EQ(report.error_count(), 2u);
+}
+
+TEST(InternalFmea, ReportIdenticalForAnyWorkerCount) {
+  InternalFmeaConfig cfg = fast_config();
+  cfg.observe_time = 2e-3;
+  cfg.faults = {faults::make_fault(faults::InternalFaultKind::SelfTestThrow),
+                faults::make_fault(faults::InternalFaultKind::SelfTestStall),
+                faults::make_gm_collapse(),
+                faults::make_fault(faults::InternalFaultKind::None),
+                faults::make_line_stuck(faults::DacBus::OscF, 3, true)};
+
+  cfg.workers = 1;
+  const InternalFmeaReport serial = run_internal_fmea_campaign(cfg);
+  cfg.workers = 4;
+  const InternalFmeaReport parallel = run_internal_fmea_campaign(cfg);
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const InternalFmeaRow& a = serial.rows[i];
+    const InternalFmeaRow& b = parallel.rows[i];
+    EXPECT_EQ(a.fault, b.fault);
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.observed, b.observed);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.expected_channel_hit, b.expected_channel_hit);
+    EXPECT_EQ(a.safe_state_entered, b.safe_state_entered);
+    EXPECT_EQ(a.detection_latency, b.detection_latency);
+    EXPECT_EQ(a.final_code, b.final_code);
+    EXPECT_EQ(a.status, b.status);
+  }
+}
+
+TEST(InternalFmea, CoverageMatrixBucketsEveryRow) {
+  InternalFmeaConfig cfg = fast_config();
+  cfg.observe_time = 2e-3;
+  cfg.faults = {faults::make_gm_collapse(),
+                faults::make_fault(faults::InternalFaultKind::SelfTestThrow),
+                faults::make_line_stuck(faults::DacBus::OscF, 0, true),
+                faults::make_line_stuck(faults::DacBus::OscF, 1, true)};
+  const InternalFmeaReport report = run_internal_fmea_campaign(cfg);
+  const std::vector<CoverageEntry> matrix = report.coverage_matrix();
+  std::size_t total = 0;
+  for (const CoverageEntry& e : matrix) {
+    std::size_t bucketed = e.errors;
+    for (const std::size_t n : e.by_channel) bucketed += n;
+    EXPECT_EQ(bucketed, e.total) << faults::to_string(e.kind);
+    total += e.total;
+  }
+  EXPECT_EQ(total, report.rows.size());
+  // Both stuck lines collapse into one matrix entry.
+  ASSERT_EQ(matrix.size(), 3u);
+}
+
+TEST(InternalFmea, StallWithoutBudgetIsRejectedUpFront) {
+  OscillatorSystemConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.waveform_decimation = 0;
+  OscillatorSystem sys(cfg);
+  sys.schedule_internal_fault(
+      faults::make_fault(faults::InternalFaultKind::SelfTestStall), 1e-4);
+  EXPECT_THROW((void)sys.run(1e-3), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc::system

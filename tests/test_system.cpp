@@ -230,8 +230,11 @@ TEST(Fmea, ControlCaseIsCleanAndLatencyRecorded) {
   EXPECT_TRUE(control.expected_channel_hit);
 
   const FmeaRow open = run_fmea_case(cfg, tank::TankFault::OpenCoil);
-  EXPECT_GT(open.detection_latency, 0.0);
-  EXPECT_LT(open.detection_latency, 5e-3);
+  ASSERT_TRUE(open.detection_latency.has_value());
+  EXPECT_GT(*open.detection_latency, 0.0);
+  EXPECT_LT(*open.detection_latency, 5e-3);
+  EXPECT_EQ(open.status.outcome, CaseOutcome::Ok);
+  EXPECT_EQ(open.status.retries, 0);
 }
 
 }  // namespace
