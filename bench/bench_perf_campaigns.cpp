@@ -1,9 +1,10 @@
 // Serial-vs-parallel wall time of the campaign-shaped workloads driven
-// by common/parallel.h: the Monte-Carlo tolerance campaign, the FMEA
-// fault sweep, and the AC impedance sweep.  Prints a table and writes a
-// machine-readable BENCH_campaigns.json so later PRs can track the perf
-// trajectory (speedup is ~1x on single-core hosts; the JSON records the
-// hardware concurrency so runs are comparable).
+// by common/parallel.h (the Monte-Carlo tolerance campaign, the FMEA
+// fault sweep, and the AC impedance sweep) plus the cached-vs-uncached
+// spice transient hot path with its solver counters.  Prints tables and
+// writes a machine-readable BENCH_campaigns.json so later PRs can track
+// the perf trajectory (speedup is ~1x on single-core hosts; the JSON
+// records the hardware concurrency so runs are comparable).
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -18,6 +19,7 @@
 #include "spice/ac_solver.h"
 #include "spice/circuit.h"
 #include "spice/sweep.h"
+#include "spice/transient_solver.h"
 #include "system/fmea_campaign.h"
 #include "system/tolerance_analysis.h"
 
@@ -130,7 +132,78 @@ CampaignTiming bench_ac_sweep() {
   return t;
 }
 
-void write_json(const std::string& path, const std::vector<CampaignTiming>& timings) {
+// Cached-vs-uncached transient solve of one circuit (identical traces
+// required), with the solver counters of the cached run.
+struct TransientTiming {
+  std::string name;
+  double cached_ms = 0.0;
+  double uncached_ms = 0.0;
+  bool identical = false;  // cached traces match the uncached ones exactly
+  spice::TransientStats stats;  // counters of the cached run
+
+  [[nodiscard]] double speedup() const {
+    return cached_ms > 0.0 ? uncached_ms / cached_ms : 0.0;
+  }
+};
+
+// Series-RLC tank driven by a sine source: fully linear, so the cached
+// path factors once and only re-solves the rhs each step.
+void build_linear_rlc(spice::Circuit& c) {
+  const tank::TankConfig tk = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  spice::VoltageSource& vs = c.voltage_source("Vs", "in", "0", 0.0);
+  vs.set_sine({.offset = 0.0, .amplitude = 1.0, .frequency = 4.0_MHz, .phase_deg = 0.0});
+  c.resistor("Rs", "in", "a", 5.0);
+  c.inductor("L", "a", "b", tk.inductance);
+  c.resistor("Rl", "b", "0", tk.series_resistance);
+  c.capacitor("C1", "a", "0", tk.capacitance1);
+  c.capacitor("C2", "a", "0", tk.capacitance2);
+}
+
+// The same tank with a diode clamp: the nonlinear overlay is re-stamped
+// per Newton iteration on top of the cached linear base.
+void build_clamped_rlc(spice::Circuit& c) {
+  build_linear_rlc(c);
+  c.diode("Dclamp", "a", "0");
+}
+
+TransientTiming bench_transient(const std::string& name, bool nonlinear) {
+  spice::TransientOptions options;
+  options.dt = 1.0 / (4.0_MHz * 64.0);
+  options.t_stop = 2000.0 * options.dt;
+  options.start_from_dc = false;
+
+  TransientTiming t;
+  t.name = name;
+
+  spice::TransientResult cached;
+  spice::TransientResult uncached;
+  // A fresh circuit per run: element transient history must not leak
+  // between the A and B runs.
+  auto run = [&](bool reuse) {
+    spice::Circuit c;
+    if (nonlinear) build_clamped_rlc(c);
+    else build_linear_rlc(c);
+    options.reuse_lu = reuse;
+    return run_transient(c, options, {"a", "b"});
+  };
+  t.uncached_ms = time_ms([&] { uncached = run(false); });
+  t.cached_ms = time_ms([&] { cached = run(true); });
+  t.stats = cached.stats;
+
+  t.identical = cached.traces.size() == uncached.traces.size();
+  for (std::size_t p = 0; t.identical && p < cached.traces.size(); ++p) {
+    const Trace& a = cached.traces[p];
+    const Trace& b = uncached.traces[p];
+    t.identical = a.size() == b.size();
+    for (std::size_t i = 0; t.identical && i < a.size(); ++i) {
+      t.identical = a.time(i) == b.time(i) && a.value(i) == b.value(i);
+    }
+  }
+  return t;
+}
+
+void write_json(const std::string& path, const std::vector<CampaignTiming>& timings,
+                const std::vector<TransientTiming>& transients) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"bench\": \"bench_perf_campaigns\",\n"
@@ -147,6 +220,33 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"speedup\": " << t.speedup() << ",\n"
         << "      \"identical_results\": " << (t.identical ? "true" : "false") << "\n"
         << "    }" << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"transient_solver\": [\n";
+  for (std::size_t i = 0; i < transients.size(); ++i) {
+    const TransientTiming& t = transients[i];
+    const spice::TransientStats& s = t.stats;
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"cached_ms\": " << t.cached_ms << ",\n"
+        << "      \"uncached_ms\": " << t.uncached_ms << ",\n"
+        << "      \"speedup\": " << t.speedup() << ",\n"
+        << "      \"identical_traces\": " << (t.identical ? "true" : "false") << ",\n"
+        << "      \"matrix_stamps\": " << s.matrix_stamps << ",\n"
+        << "      \"rhs_stamps\": " << s.rhs_stamps << ",\n"
+        << "      \"factorizations\": " << s.factorizations << ",\n"
+        << "      \"rhs_solves\": " << s.rhs_solves << ",\n"
+        << "      \"newton_iterations\": " << s.newton_iterations << ",\n"
+        << "      \"retried_steps\": " << s.retried_steps << ",\n"
+        << "      \"halvings\": " << s.halvings << ",\n"
+        << "      \"newton_histogram\": [";
+    for (std::size_t b = 0; b < s.newton_histogram.size(); ++b) {
+      out << s.newton_histogram[b] << (b + 1 < s.newton_histogram.size() ? ", " : "");
+    }
+    out << "],\n"
+        << "      \"stamp_seconds\": " << s.stamp_seconds << ",\n"
+        << "      \"factor_seconds\": " << s.factor_seconds << ",\n"
+        << "      \"solve_seconds\": " << s.solve_seconds << "\n"
+        << "    }" << (i + 1 < transients.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -170,7 +270,21 @@ int main() {
   }
   table.print(std::cout);
 
-  write_json("BENCH_campaigns.json", timings);
+  std::cout << "\n=== Transient solver: cached base + LU reuse vs full re-stamp ===\n\n";
+  const std::vector<TransientTiming> transients = {
+      bench_transient("transient_linear_rlc", false),
+      bench_transient("transient_clamped_rlc", true)};
+  TablePrinter ttable({"circuit", "uncached [ms]", "cached [ms]", "speedup", "identical",
+                       "factorizations", "rhs solves", "newton iters"});
+  for (const TransientTiming& t : transients) {
+    ttable.add_values(t.name, format_significant(t.uncached_ms, 4),
+                      format_significant(t.cached_ms, 4), format_significant(t.speedup(), 3),
+                      t.identical, t.stats.factorizations, t.stats.rhs_solves,
+                      t.stats.newton_iterations);
+  }
+  ttable.print(std::cout);
+
+  write_json("BENCH_campaigns.json", timings, transients);
   std::cout << "\n(machine-readable record: BENCH_campaigns.json)\n"
             << "\nShape checks:\n"
             << "  - identical=true on every row: the parallel campaigns are\n"

@@ -9,6 +9,7 @@
 #include "numeric/ode.h"
 #include "spice/circuit.h"
 #include "spice/dc_solver.h"
+#include "spice/transient_solver.h"
 #include "system/envelope_simulator.h"
 #include "system/oscillator_system.h"
 
@@ -65,6 +66,58 @@ void BM_DcOperatingPointMosfetChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DcOperatingPointMosfetChain);
+
+// Transient hot path with and without the cached-base / kept-LU reuse
+// (state.range(0): 0 = uncached reference, 1 = reuse).  The two modes
+// must produce bit-identical traces; the interesting number is the ratio.
+void BM_TransientLinearRlc(benchmark::State& state) {
+  using namespace lcosc::spice;
+  TransientOptions options;
+  options.dt = 1.0 / (4.0_MHz * 64.0);
+  options.t_stop = 500.0 * options.dt;
+  options.start_from_dc = false;
+  options.reuse_lu = state.range(0) != 0;
+  const tank::TankConfig tk = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  for (auto _ : state) {
+    Circuit c;
+    VoltageSource& vs = c.voltage_source("Vs", "in", "0", 0.0);
+    vs.set_sine({.offset = 0.0, .amplitude = 1.0, .frequency = 4.0_MHz, .phase_deg = 0.0});
+    c.resistor("Rs", "in", "a", 5.0);
+    c.inductor("L", "a", "b", tk.inductance);
+    c.resistor("Rl", "b", "0", tk.series_resistance);
+    c.capacitor("C1", "a", "0", tk.capacitance1);
+    c.capacitor("C2", "a", "0", tk.capacitance2);
+    const TransientResult r = run_transient(c, options, {"a"});
+    benchmark::DoNotOptimize(r.stats.rhs_solves);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_TransientLinearRlc)->Arg(0)->Arg(1);
+
+void BM_TransientDiodeClamp(benchmark::State& state) {
+  using namespace lcosc::spice;
+  TransientOptions options;
+  options.dt = 1.0 / (4.0_MHz * 64.0);
+  options.t_stop = 500.0 * options.dt;
+  options.start_from_dc = false;
+  options.reuse_lu = state.range(0) != 0;
+  const tank::TankConfig tk = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  for (auto _ : state) {
+    Circuit c;
+    VoltageSource& vs = c.voltage_source("Vs", "in", "0", 0.0);
+    vs.set_sine({.offset = 0.0, .amplitude = 1.0, .frequency = 4.0_MHz, .phase_deg = 0.0});
+    c.resistor("Rs", "in", "a", 5.0);
+    c.inductor("L", "a", "b", tk.inductance);
+    c.resistor("Rl", "b", "0", tk.series_resistance);
+    c.capacitor("C1", "a", "0", tk.capacitance1);
+    c.capacitor("C2", "a", "0", tk.capacitance2);
+    c.diode("Dclamp", "a", "0");
+    const TransientResult r = run_transient(c, options, {"a"});
+    benchmark::DoNotOptimize(r.stats.newton_iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_TransientDiodeClamp)->Arg(0)->Arg(1);
 
 void BM_MismatchedDacFullTransfer(benchmark::State& state) {
   const dac::CurrentLimitationDac mirror(kDacUnitCurrent, dac::MismatchConfig{}, 42);

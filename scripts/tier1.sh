@@ -24,3 +24,9 @@ if [[ "${1:-}" == "--sanitize" ]]; then
 fi
 
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+
+# Smoke step: the transient solver's cached-base/LU-reuse path must be
+# bit-identical to the full re-stamp reference on linear, time-varying
+# and nonlinear circuits (the *BitIdentical* suites compare every trace
+# sample with exact equality).
+./tests/test_spice_reuse --gtest_filter='TransientReuse.*BitIdentical*'

@@ -57,13 +57,15 @@ struct Batch {
 
 }  // namespace
 
+std::size_t resolve_worker_count(std::size_t env_override, unsigned hardware) {
+  const std::size_t hw = hardware > 0 ? static_cast<std::size_t>(hardware) : std::size_t{1};
+  if (env_override > 0) return std::min(env_override, hw * kMaxWorkerOversubscription);
+  return hw;
+}
+
 std::size_t default_worker_count() {
-  static const std::size_t count = [] {
-    const std::size_t env = env_worker_override();
-    if (env > 0) return env;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<std::size_t>(hw) : std::size_t{1};
-  }();
+  static const std::size_t count =
+      resolve_worker_count(env_worker_override(), std::thread::hardware_concurrency());
   return count;
 }
 

@@ -10,8 +10,10 @@
 //    once all workers have drained.  `fn` must not share mutable state
 //    across indices -- stochastic work derives a per-index stream via
 //    `Rng::fork(stream_id)` from a generator created before the call.
-//  - Worker count resolution: an explicit `workers` argument > 0 wins,
-//    else the LCOSC_THREADS environment variable, else
+//  - Worker count resolution: an explicit `workers` argument > 0 wins
+//    (uncapped -- tests and benches may deliberately oversubscribe), else
+//    the LCOSC_THREADS environment variable clamped to a sane
+//    oversubscription ceiling relative to the hardware thread count, else
 //    std::thread::hardware_concurrency().  `LCOSC_THREADS=1` (or
 //    workers == 1) forces fully-inline deterministic execution: no thread
 //    is ever spawned and no pool is created.
@@ -31,9 +33,26 @@
 
 namespace lcosc {
 
+// Ceiling on how far the LCOSC_THREADS override may oversubscribe the
+// hardware: a stale `LCOSC_THREADS=64` from a big build box must not
+// spawn 64 workers on a 1-core container (each worker owns a thread for
+// the process lifetime, and campaign throughput collapses under the
+// context-switch load).  Modest oversubscription stays allowed because
+// the verify/bench scripts use it to exercise the pool on small hosts.
+inline constexpr std::size_t kMaxWorkerOversubscription = 4;
+
 // Worker count used when a caller passes workers == 0: LCOSC_THREADS if
-// set to a positive integer, else hardware_concurrency (min 1).
+// set to a positive integer (clamped, see kMaxWorkerOversubscription),
+// else hardware_concurrency (min 1).  The first resolution is cached for
+// the process lifetime.
 [[nodiscard]] std::size_t default_worker_count();
+
+// Pure resolution rule behind default_worker_count(), exposed for tests
+// (the cached static above makes the env-dependent path untestable in
+// process).  `env_override` is the parsed LCOSC_THREADS value (0 = unset
+// or invalid); `hardware` is std::thread::hardware_concurrency() (0 =
+// unknown, treated as 1).
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t env_override, unsigned hardware);
 
 // Fixed-size worker pool with a FIFO task queue.  Campaign code should
 // prefer parallel_map / parallel_for; the pool is exposed for callers

@@ -2,6 +2,8 @@
 // three-state window comparator used by the amplitude regulation loop.
 #pragma once
 
+#include "common/error.h"
+
 namespace lcosc::devices {
 
 struct ComparatorConfig {
@@ -18,8 +20,35 @@ class Comparator {
   explicit Comparator(ComparatorConfig config = {});
 
   // Evaluate at time t with differential input v_diff = v(+) - v(-);
-  // returns the (delay-filtered) output state at time t.
-  bool update(double t, double v_diff);
+  // returns the (delay-filtered) output state at time t.  Inline: the
+  // detectors call this once per integration step.
+  bool update(double t, double v_diff) {
+    LCOSC_REQUIRE(first_update_ || t >= last_time_, "comparator time must not go backwards");
+    first_update_ = false;
+    last_time_ = t;
+
+    // Hysteresis thresholds around the offset.
+    const double rise_at = config_.offset + 0.5 * config_.hysteresis;
+    const double fall_at = config_.offset - 0.5 * config_.hysteresis;
+    const bool new_raw = raw_ ? (v_diff > fall_at) : (v_diff > rise_at);
+
+    if (new_raw != raw_) {
+      raw_ = new_raw;
+      if (config_.delay == 0.0) {
+        output_ = raw_;
+        pending_valid_ = false;
+      } else {
+        pending_state_ = raw_;
+        pending_time_ = t + config_.delay;
+        pending_valid_ = true;
+      }
+    }
+    if (pending_valid_ && t >= pending_time_) {
+      output_ = pending_state_;
+      pending_valid_ = false;
+    }
+    return output_;
+  }
 
   [[nodiscard]] bool output() const { return output_; }
   void reset(bool state = false);
@@ -49,7 +78,33 @@ class WindowComparator {
   explicit WindowComparator(WindowComparatorConfig config);
 
   // Evaluate the window state for input v (stateful due to hysteresis).
-  WindowState update(double v);
+  // Inline: the regulation detector calls this once per integration step.
+  WindowState update(double v) {
+    const double h = 0.5 * config_.hysteresis;
+    if (first_update_) {
+      first_update_ = false;
+      if (v < config_.low_threshold) state_ = WindowState::Below;
+      else if (v > config_.high_threshold) state_ = WindowState::Above;
+      else state_ = WindowState::Inside;
+      return state_;
+    }
+
+    switch (state_) {
+      case WindowState::Below:
+        if (v > config_.high_threshold + h) state_ = WindowState::Above;
+        else if (v > config_.low_threshold + h) state_ = WindowState::Inside;
+        break;
+      case WindowState::Inside:
+        if (v < config_.low_threshold - h) state_ = WindowState::Below;
+        else if (v > config_.high_threshold + h) state_ = WindowState::Above;
+        break;
+      case WindowState::Above:
+        if (v < config_.low_threshold - h) state_ = WindowState::Below;
+        else if (v < config_.high_threshold - h) state_ = WindowState::Inside;
+        break;
+    }
+    return state_;
+  }
 
   [[nodiscard]] WindowState state() const { return state_; }
   [[nodiscard]] const WindowComparatorConfig& config() const { return config_; }

@@ -1,7 +1,5 @@
 #include "devices/lowpass.h"
 
-#include <cmath>
-
 #include "common/error.h"
 
 namespace lcosc::devices {
@@ -11,11 +9,8 @@ LowPassFilter::LowPassFilter(double tau, double initial_output)
   LCOSC_REQUIRE(tau > 0.0, "low-pass time constant must be positive");
 }
 
-double LowPassFilter::step(double dt, double x) {
+void LowPassFilter::check_dt(double dt) {
   LCOSC_REQUIRE(dt >= 0.0, "time step must be non-negative");
-  const double alpha = std::exp(-dt / tau_);
-  y_ = x + (y_ - x) * alpha;
-  return y_;
 }
 
 }  // namespace lcosc::devices

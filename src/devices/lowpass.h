@@ -1,6 +1,8 @@
 // First-order RC low-pass filter with an exact exponential step update.
 #pragma once
 
+#include <cmath>
+
 namespace lcosc::devices {
 
 // y(t) tracks x with time constant tau.  The update is the exact solution
@@ -12,15 +14,35 @@ class LowPassFilter {
   explicit LowPassFilter(double tau, double initial_output = 0.0);
 
   // Advance by dt with (held) input x; returns the new output.
-  double step(double dt, double x);
+  //
+  // The decay factor exp(-dt/tau) is memoized on dt: fixed-step callers
+  // (the RK4 system loop calls this tens of millions of times with one
+  // dt) skip the transcendental entirely, and the cached value is the
+  // exact double exp() returned for that dt, so results are bit-identical
+  // to the uncached evaluation.
+  double step(double dt, double x) {
+    if (dt != cached_dt_) {
+      check_dt(dt);
+      cached_alpha_ = std::exp(-dt / tau_);
+      cached_dt_ = dt;
+    }
+    y_ = x + (y_ - x) * cached_alpha_;
+    return y_;
+  }
 
   [[nodiscard]] double output() const { return y_; }
   [[nodiscard]] double tau() const { return tau_; }
   void reset(double output = 0.0) { y_ = output; }
 
  private:
+  // Validates dt (throws on negative); out of line to keep step() lean.
+  static void check_dt(double dt);
+
   double tau_;
   double y_;
+  // NaN sentinel: never compares equal, so the first step() computes.
+  double cached_dt_ = std::nan("");
+  double cached_alpha_ = 1.0;
 };
 
 }  // namespace lcosc::devices

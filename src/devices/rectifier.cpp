@@ -11,20 +11,6 @@ FullWaveRectifierFilter::FullWaveRectifierFilter(RectifierConfig config)
   LCOSC_REQUIRE(config_.forward_drop >= 0.0, "forward drop must be non-negative");
 }
 
-double FullWaveRectifierFilter::rectify(double v) const {
-  const double magnitude = std::abs(v) - config_.forward_drop;
-  return magnitude > 0.0 ? magnitude : 0.0;
-}
-
-double FullWaveRectifierFilter::step(double dt, double v) {
-  return filter_.step(dt, rectify(v));
-}
-
 SynchronousRectifierFilter::SynchronousRectifierFilter(double filter_tau) : filter_(filter_tau) {}
-
-double SynchronousRectifierFilter::step(double dt, double v, double v_ref) {
-  const double mixed = (v_ref >= 0.0) ? v : -v;
-  return filter_.step(dt, mixed);
-}
 
 }  // namespace lcosc::devices

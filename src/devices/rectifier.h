@@ -1,6 +1,8 @@
 // Rectifier macro-models for the amplitude detection path (paper Fig. 8).
 #pragma once
 
+#include <cmath>
+
 #include "devices/lowpass.h"
 
 namespace lcosc::devices {
@@ -19,14 +21,18 @@ class FullWaveRectifierFilter {
   explicit FullWaveRectifierFilter(RectifierConfig config = {});
 
   // Advance by dt with instantaneous input voltage v (already referenced
-  // to the midpoint); returns the filtered rectified output.
-  double step(double dt, double v);
+  // to the midpoint); returns the filtered rectified output.  Inline with
+  // rectify(): one call per integration step per detector.
+  double step(double dt, double v) { return filter_.step(dt, rectify(v)); }
 
   [[nodiscard]] double output() const { return filter_.output(); }
   void reset(double output = 0.0) { filter_.reset(output); }
 
   // The static rectification function (exposed for tests).
-  [[nodiscard]] double rectify(double v) const;
+  [[nodiscard]] double rectify(double v) const {
+    const double magnitude = std::abs(v) - config_.forward_drop;
+    return magnitude > 0.0 ? magnitude : 0.0;
+  }
 
  private:
   RectifierConfig config_;
@@ -43,7 +49,10 @@ class SynchronousRectifierFilter {
   explicit SynchronousRectifierFilter(double filter_tau);
 
   // Advance by dt: v is the signal, v_ref the phase reference.
-  double step(double dt, double v, double v_ref);
+  double step(double dt, double v, double v_ref) {
+    const double mixed = (v_ref >= 0.0) ? v : -v;
+    return filter_.step(dt, mixed);
+  }
 
   [[nodiscard]] double output() const { return filter_.output(); }
   void reset(double output = 0.0) { filter_.reset(output); }

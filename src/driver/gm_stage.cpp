@@ -23,17 +23,6 @@ void GmStage::set_gm(double gm) {
   config_.gm = gm;
 }
 
-double GmStage::output_current(double v) const {
-  const double im = config_.current_limit;
-  switch (config_.shape) {
-    case LimitShape::Hard:
-      return std::clamp(config_.gm * v, -im, im);
-    case LimitShape::Tanh:
-      return im > 0.0 ? im * std::tanh(config_.gm * v / im) : 0.0;
-  }
-  return 0.0;
-}
-
 double GmStage::saturation_voltage() const { return config_.current_limit / config_.gm; }
 
 double GmStage::describing_gain(double amplitude) const {

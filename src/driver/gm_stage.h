@@ -2,6 +2,9 @@
 // the oscillation amplitude (paper Fig. 2 and Section 2).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 namespace lcosc::driver {
 
 // Shape of the limiting V-I characteristic.
@@ -24,8 +27,19 @@ class GmStage {
   void set_current_limit(double limit);
   void set_gm(double gm);
 
-  // Static output current for input voltage v (Fig. 2).
-  [[nodiscard]] double output_current(double v) const;
+  // Static output current for input voltage v (Fig. 2).  Inline: this is
+  // the innermost call of the RK4 system loop (four derivative
+  // evaluations per step, two stages each).
+  [[nodiscard]] double output_current(double v) const {
+    const double im = config_.current_limit;
+    switch (config_.shape) {
+      case LimitShape::Hard:
+        return std::clamp(config_.gm * v, -im, im);
+      case LimitShape::Tanh:
+        return im > 0.0 ? im * std::tanh(config_.gm * v / im) : 0.0;
+    }
+    return 0.0;
+  }
 
   // Input voltage at which limiting starts (Hard shape): Im / gm.
   [[nodiscard]] double saturation_voltage() const;

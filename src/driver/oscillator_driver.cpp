@@ -20,21 +20,25 @@ void OscillatorDriver::use_mismatched_dac(
     std::shared_ptr<const dac::CurrentLimitationDac> mirror_dac) {
   mirror_dac_ = std::move(mirror_dac);
   law_.reset();
+  stage_cache_valid_ = false;
 }
 
 void OscillatorDriver::use_control_law(std::shared_ptr<const dac::AmplitudeControlLaw> law) {
   law_ = std::move(law);
   mirror_dac_.reset();
+  stage_cache_valid_ = false;
 }
 
 void OscillatorDriver::attach_fault_bus(const faults::FaultBus* bus) {
   fault_bus_ = bus;
   ideal_dac_.attach_fault_bus(bus);
+  stage_cache_valid_ = false;
 }
 
 void OscillatorDriver::set_code(int code) {
   LCOSC_REQUIRE(code >= 0 && code <= kDacCodeMax, "amplitude code out of range 0..127");
   code_ = code;
+  stage_cache_valid_ = false;
 }
 
 double OscillatorDriver::current_limit() const {
@@ -54,28 +58,11 @@ double OscillatorDriver::equivalent_gm() const {
   return scale * config_.gm_per_stage * dac::active_gm_stages(signals.osc_e);
 }
 
-GmStage OscillatorDriver::stage() const {
-  return GmStage({.gm = equivalent_gm(), .current_limit = current_limit(),
-                  .shape = config_.shape});
-}
-
-NodeCurrents OscillatorDriver::output(double v1, double v2) const {
-  if (!enabled_) return {};
-  const GmStage st = stage();
-  // Output compliance: a stage pushing current outward loses headroom as
-  // the pin approaches its rail (the mirror devices drop out of
-  // saturation); pulling back towards Vref is unaffected.
-  const auto comply = [&](double i, double v) {
-    const double w = config_.compliance_width;
-    if (i > 0.0) {
-      return i * std::clamp((config_.rail_headroom - v) / w, 0.0, 1.0);
-    }
-    return i * std::clamp((v + config_.rail_headroom) / w, 0.0, 1.0);
-  };
-  // Cross-coupled inverting stages referenced to Vref (v are deviations
-  // from Vref): each stage senses the opposite pin.
-  return {.into_lc1 = comply(st.output_current(-v2), v1),
-          .into_lc2 = comply(st.output_current(-v1), v2)};
+void OscillatorDriver::refresh_stage_cache(std::uint64_t revision) const {
+  stage_cache_ = GmStage({.gm = equivalent_gm(), .current_limit = current_limit(),
+                          .shape = config_.shape});
+  stage_cache_revision_ = revision;
+  stage_cache_valid_ = true;
 }
 
 double OscillatorDriver::fundamental_port_current(double amplitude) const {

@@ -3,6 +3,8 @@
 // through the current limitation DAC (Figs. 5-7, Table 1).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -59,7 +61,10 @@ class OscillatorDriver {
   [[nodiscard]] int code() const { return code_; }
 
   // Enable/disable the driver output stages (startup, safe state).
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    stage_cache_valid_ = false;
+  }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   // Current limit selected by the present code [A].
@@ -70,7 +75,37 @@ class OscillatorDriver {
   [[nodiscard]] double equivalent_gm() const;
 
   // Cross-coupled static output: i(LC1) = f(-v2), i(LC2) = f(-v1).
-  [[nodiscard]] NodeCurrents output(double v1, double v2) const;
+  //
+  // Hot path: the behavioral RK4 loop evaluates this four times per step
+  // for tens of millions of steps, so the effective GmStage parameters
+  // (DAC decode, fault-bus hooks) are cached and only recomputed when a
+  // setter runs or the attached fault bus changes revision.  The cached
+  // parameters are the exact values equivalent_gm()/current_limit()
+  // return, so results are bit-identical to the uncached evaluation.
+  // Defined inline so the system's derivative evaluation can absorb it.
+  [[nodiscard]] NodeCurrents output(double v1, double v2) const {
+    if (!enabled_) return {};
+    const GmStage& st = stage();
+    // Output compliance: a stage pushing current outward loses headroom as
+    // the pin approaches its rail (the mirror devices drop out of
+    // saturation); pulling back towards Vref is unaffected.
+    const auto comply = [&](double i, double v) {
+      const double w = config_.compliance_width;
+      // Fast path: a pin at least one transition width away from both
+      // rails has both clamp arguments >= 1, so the factor is exactly 1.0
+      // and i * 1.0 == i bit-for-bit -- skip the division.  (NaN inputs
+      // fail both comparisons and fall through to the exact slow path.)
+      if (v <= config_.rail_headroom - w && v >= w - config_.rail_headroom) return i;
+      if (i > 0.0) {
+        return i * std::clamp((config_.rail_headroom - v) / w, 0.0, 1.0);
+      }
+      return i * std::clamp((v + config_.rail_headroom) / w, 0.0, 1.0);
+    };
+    // Cross-coupled inverting stages referenced to Vref (v are deviations
+    // from Vref): each stage senses the opposite pin.
+    return {.into_lc1 = comply(st.output_current(-v2), v1),
+            .into_lc2 = comply(st.output_current(-v1), v2)};
+  }
 
   // Fundamental drive current delivered into the differential port for a
   // differential oscillation amplitude A (describing-function view; feeds
@@ -88,7 +123,14 @@ class OscillatorDriver {
   [[nodiscard]] const DriverConfig& config() const { return config_; }
 
  private:
-  [[nodiscard]] GmStage stage() const;
+  // Cached effective stage for output(); revalidated against the setters
+  // and the fault-bus revision (see output() above).
+  [[nodiscard]] const GmStage& stage() const {
+    const std::uint64_t rev = fault_bus_ != nullptr ? fault_bus_->revision() : 0;
+    if (!stage_cache_valid_ || rev != stage_cache_revision_) refresh_stage_cache(rev);
+    return stage_cache_;
+  }
+  void refresh_stage_cache(std::uint64_t revision) const;
 
   DriverConfig config_;
   int code_ = 0;
@@ -97,6 +139,10 @@ class OscillatorDriver {
   std::shared_ptr<const dac::AmplitudeControlLaw> law_;
   dac::PwlExponentialDac ideal_dac_;
   const faults::FaultBus* fault_bus_ = nullptr;
+
+  mutable GmStage stage_cache_{GmStageConfig{}};
+  mutable bool stage_cache_valid_ = false;
+  mutable std::uint64_t stage_cache_revision_ = 0;
 };
 
 }  // namespace lcosc::driver

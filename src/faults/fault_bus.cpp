@@ -3,6 +3,7 @@
 namespace lcosc::faults {
 
 void FaultBus::clear() {
+  ++revision_;
   fault_ = InternalFault{};
   active_ = false;
   for (BusMask& m : masks_) m = BusMask{};

@@ -27,6 +27,12 @@ class FaultBus {
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] const InternalFault& fault() const { return fault_; }
 
+  // Monotonic change counter, bumped by every inject()/clear().  Blocks
+  // that cache fault-dependent derived state (e.g. the driver's effective
+  // Gm-stage parameters) compare this against the revision they cached at
+  // instead of re-reading the bus on every evaluation.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
   // --- hooks (identity / false when inactive) -----------------------------
 
   // Stuck-line transform of a DAC control bus value.
@@ -73,6 +79,7 @@ class FaultBus {
   int dead_segment_ = -1;
   double gm_scale_ = 1.0;
   WindowOverride window_override_ = WindowOverride::None;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace lcosc::faults

@@ -11,10 +11,21 @@ constexpr double kSingularThreshold = 1e-300;
 }
 
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  (void)factor_in_place();
+}
+
+bool LuDecomposition::factor(const Matrix& a) {
+  lu_ = a;  // copy-assign reuses the existing storage when sizes match
+  return factor_in_place();
+}
+
+bool LuDecomposition::factor_in_place() {
   LCOSC_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  singular_ = false;
+  permutation_sign_ = 1;
 
   double min_pivot = std::numeric_limits<double>::infinity();
   double max_pivot = 0.0;
@@ -39,7 +50,7 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
     if (std::abs(pivot) < kSingularThreshold) {
       singular_ = true;
       pivot_ratio_ = 0.0;
-      return;
+      return false;
     }
     min_pivot = std::min(min_pivot, std::abs(pivot));
     max_pivot = std::max(max_pivot, std::abs(pivot));
@@ -52,6 +63,7 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
     }
   }
   pivot_ratio_ = (max_pivot > 0.0) ? min_pivot / max_pivot : 0.0;
+  return true;
 }
 
 bool LuDecomposition::try_solve(const Vector& b, Vector& x) const {

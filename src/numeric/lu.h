@@ -8,11 +8,27 @@ namespace lcosc {
 
 // Factorization of a square matrix A as P*A = L*U.  Construction performs
 // the decomposition; solve() then back-substitutes for arbitrary rhs.
+//
+// For solver hot loops the object doubles as a reusable workspace: a
+// default-constructed instance can be re-factored in place with factor(),
+// which recycles the packed storage and permutation vector across calls
+// (no allocation once the size is stable).  Callers that keep the factor
+// alive can re-solve any number of right-hand sides against it -- the
+// keep-factor path behind the transient solver's LU reuse.
 class LuDecomposition {
  public:
+  // Empty workspace; factor() must be called before solving.
+  LuDecomposition() = default;
+
   explicit LuDecomposition(Matrix a);
 
-  // True if a pivot fell below the singularity threshold.
+  // (Re)factor `a` in place, reusing the internal storage.  Returns true
+  // on success, false if a pivot fell below the singularity threshold
+  // (the factor is then unusable until the next successful factor()).
+  bool factor(const Matrix& a);
+
+  // True if a pivot fell below the singularity threshold (or no matrix
+  // has been factored yet).
   [[nodiscard]] bool singular() const { return singular_; }
 
   // Estimated reciprocal condition indicator: min |pivot| / max |pivot|.
@@ -31,9 +47,11 @@ class LuDecomposition {
   [[nodiscard]] std::size_t size() const { return lu_.rows(); }
 
  private:
+  bool factor_in_place();
+
   Matrix lu_;                    // packed L (unit diagonal) and U
   std::vector<std::size_t> perm_;
-  bool singular_ = false;
+  bool singular_ = true;         // nothing factored yet
   int permutation_sign_ = 1;
   double pivot_ratio_ = 0.0;
 };

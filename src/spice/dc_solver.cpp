@@ -19,6 +19,10 @@ bool newton_pass(Circuit& circuit, Vector& x, double gmin, double source_scale,
 
   Matrix a(n, n);
   Vector b(n, 0.0);
+  // One LU workspace reused across iterations: factor() re-factors in
+  // place without reallocating the pivot/matrix storage.
+  LuDecomposition lu;
+  Vector x_new;
   StampContext ctx;
   ctx.gmin = gmin;
   ctx.source_scale = source_scale;
@@ -34,13 +38,12 @@ bool newton_pass(Circuit& circuit, Vector& x, double gmin, double source_scale,
     // gmin from every node to ground keeps floating subcircuits solvable.
     for (std::size_t i = 0; i < voltage_count; ++i) a(i, i) += gmin;
 
-    LuDecomposition lu(a);
-    Vector x_new;
+    lu.factor(a);
     if (!lu.try_solve(b, x_new)) {
       // Singular even with gmin: bump the diagonal once and retry.
       for (std::size_t i = 0; i < n; ++i) a(i, i) += 1e-9;
-      LuDecomposition lu2(a);
-      if (!lu2.try_solve(b, x_new)) return false;
+      lu.factor(a);
+      if (!lu.try_solve(b, x_new)) return false;
     }
 
     // Damped update with per-variable limiting on the voltage variables.

@@ -22,12 +22,30 @@ constexpr NodeId kGround = 0;
 // Integration scheme used when stamping reactive elements in transient.
 enum class Integration { BackwardEuler, Trapezoidal };
 
+// How an element's transient stamp depends on the solver state, used by
+// run_transient() to partition the circuit at setup:
+//  - TimeInvariantLinear: matrix AND rhs entries depend only on
+//    (dt, integration) -- both can be stamped once per step size.
+//  - TimeVaryingLinear: matrix entries depend only on (dt, integration),
+//    but the rhs changes every step (companion history, time-dependent
+//    sources) -- the matrix is cacheable, the rhs is not.
+//  - Nonlinear: matrix and rhs depend on the current Newton iterate and
+//    must be re-stamped every iteration.
+enum class TransientClass { TimeInvariantLinear, TimeVaryingLinear, Nonlinear };
+
 // Write access to the MNA matrix and right-hand side during a stamp pass.
 // Rows/columns are MNA indices; ground maps to the sentinel -1 and is
 // silently discarded, which keeps element stamping code branch-free.
+//
+// Either target may be null: the transient solver stamps the cached base
+// matrix with a matrix-only pass (RHS writes discarded) and rebuilds the
+// RHS each step with a vector-only pass, without elements having to split
+// their stamp() into two methods.
 class Stamper {
  public:
-  Stamper(Matrix& a, Vector& b) : a_(a), b_(b) {}
+  Stamper(Matrix& a, Vector& b) : a_(&a), b_(&b) {}
+  static Stamper matrix_only(Matrix& a) { return Stamper(&a, nullptr); }
+  static Stamper rhs_only(Vector& b) { return Stamper(nullptr, &b); }
 
   // Conductance g between MNA rows n1 and n2 (either may be -1 = ground).
   void conductance(int n1, int n2, double g) {
@@ -53,17 +71,19 @@ class Stamper {
 
   // Raw matrix / rhs entries (for branch-current rows of sources).
   void add(int row, int col, double v) {
-    if (row < 0 || col < 0) return;
-    a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+    if (a_ == nullptr || row < 0 || col < 0) return;
+    (*a_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
   }
   void add_rhs(int row, double v) {
-    if (row < 0) return;
-    b_[static_cast<std::size_t>(row)] += v;
+    if (b_ == nullptr || row < 0) return;
+    (*b_)[static_cast<std::size_t>(row)] += v;
   }
 
  private:
-  Matrix& a_;
-  Vector& b_;
+  Stamper(Matrix* a, Vector* b) : a_(a), b_(b) {}
+
+  Matrix* a_;
+  Vector* b_;
 };
 
 // Context passed to stamp(): where we are in time (transient) and the
@@ -136,6 +156,13 @@ class Element {
   virtual void set_extra_variable_base(int base) { extra_base_ = base; }
 
   [[nodiscard]] virtual bool is_nonlinear() const { return false; }
+
+  // Transient stamp dependence (see TransientClass).  The conservative
+  // default keeps unknown linear elements on the per-step rhs path;
+  // nonlinear elements are always re-stamped per Newton iteration.
+  [[nodiscard]] virtual TransientClass transient_class() const {
+    return is_nonlinear() ? TransientClass::Nonlinear : TransientClass::TimeVaryingLinear;
+  }
 
   // Stamp the (linearized) element into the MNA system.
   virtual void stamp(Stamper& s, const StampContext& ctx) const = 0;

@@ -9,6 +9,9 @@ namespace lcosc::spice {
 class Resistor : public Element {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double resistance);
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeInvariantLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
@@ -26,6 +29,10 @@ class Capacitor : public Element {
  public:
   Capacitor(std::string name, NodeId a, NodeId b, double capacitance,
             double initial_voltage = 0.0);
+  // Companion rhs tracks the previous step; the geq matrix part is fixed.
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeVaryingLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void transient_begin(const Vector* x0) override;
@@ -48,6 +55,9 @@ class Inductor : public Element {
  public:
   Inductor(std::string name, NodeId a, NodeId b, double inductance, double initial_current = 0.0);
   [[nodiscard]] int extra_variable_count() const override { return 1; }
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeVaryingLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void transient_begin(const Vector* x0) override;
@@ -92,6 +102,12 @@ class VoltageSource : public Element {
  public:
   VoltageSource(std::string name, NodeId positive, NodeId negative, double value);
   [[nodiscard]] int extra_variable_count() const override { return 1; }
+  // A plain DC source has a constant transient rhs; SIN/PULSE stimuli
+  // re-evaluate the level every step.
+  [[nodiscard]] TransientClass transient_class() const override {
+    return stimulus_ == Stimulus::Dc ? TransientClass::TimeInvariantLinear
+                                     : TransientClass::TimeVaryingLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   // Small-signal stimulus amplitude (0 = AC ground, the default).
@@ -127,6 +143,9 @@ class VoltageSource : public Element {
 class CurrentSource : public Element {
  public:
   CurrentSource(std::string name, NodeId from, NodeId to, double value);
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeInvariantLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void set_ac_magnitude(double magnitude) { ac_magnitude_ = magnitude; }
@@ -146,6 +165,9 @@ class CurrentSource : public Element {
 class Vccs : public Element {
  public:
   Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId ctl_p, NodeId ctl_n, double gm);
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeInvariantLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
@@ -165,6 +187,9 @@ class Vcvs : public Element {
  public:
   Vcvs(std::string name, NodeId out_p, NodeId out_n, NodeId ctl_p, NodeId ctl_n, double gain);
   [[nodiscard]] int extra_variable_count() const override { return 1; }
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeInvariantLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;

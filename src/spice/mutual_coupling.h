@@ -20,6 +20,10 @@ class MutualCoupling : public Element {
   // |coupling| must be < 1.
   MutualCoupling(std::string name, Inductor& first, Inductor& second, double coupling);
 
+  // The -M/dt off-diagonal terms are fixed per dt; the history rhs is not.
+  [[nodiscard]] TransientClass transient_class() const override {
+    return TransientClass::TimeVaryingLinear;
+  }
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void transient_begin(const Vector* x0) override;

@@ -1,13 +1,32 @@
 #include "spice/transient_solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
 #include "common/logging.h"
 #include "numeric/lu.h"
 
 namespace lcosc::spice {
+
+TransientStats& TransientStats::operator+=(const TransientStats& other) {
+  matrix_stamps += other.matrix_stamps;
+  rhs_stamps += other.rhs_stamps;
+  factorizations += other.factorizations;
+  rhs_solves += other.rhs_solves;
+  newton_iterations += other.newton_iterations;
+  retried_steps += other.retried_steps;
+  halvings += other.halvings;
+  for (std::size_t i = 0; i < newton_histogram.size(); ++i) {
+    newton_histogram[i] += other.newton_histogram[i];
+  }
+  stamp_seconds += other.stamp_seconds;
+  factor_seconds += other.factor_seconds;
+  solve_seconds += other.solve_seconds;
+  return *this;
+}
 
 const Trace& TransientResult::trace(const std::string& name) const {
   for (const auto& t : traces) {
@@ -18,47 +37,194 @@ const Trace& TransientResult::trace(const std::string& name) const {
 
 namespace {
 
-bool newton_time_step(Circuit& circuit, const StampContext& base_ctx, Vector& x,
-                      const TransientOptions& options) {
-  const std::size_t n = circuit.unknown_count();
-  const std::size_t voltage_count = circuit.node_count() - 1;
+using Clock = std::chrono::steady_clock;
 
-  Matrix a(n, n);
-  Vector b(n, 0.0);
-  StampContext ctx = base_ctx;
-  ctx.x = &x;
-
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    a.set_zero();
-    std::fill(b.begin(), b.end(), 0.0);
-    Stamper stamper(a, b);
-    for (const auto& element : circuit.elements()) element->stamp(stamper, ctx);
-    for (std::size_t i = 0; i < voltage_count; ++i) a(i, i) += options.gmin;
-
-    LuDecomposition lu(a);
-    Vector x_new;
-    if (!lu.try_solve(b, x_new)) return false;
-
-    bool converged = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      double delta = x_new[i] - x[i];
-      if (!std::isfinite(delta)) return false;
-      const bool is_voltage = i < voltage_count;
-      if (is_voltage && options.voltage_step_limit > 0.0) {
-        delta = std::clamp(delta, -options.voltage_step_limit, options.voltage_step_limit);
-      }
-      const double abstol = is_voltage ? options.voltage_abstol : options.current_abstol;
-      const double scale = std::max(std::abs(x[i]), std::abs(x[i] + delta));
-      if (std::abs(delta) > abstol + options.reltol * scale) converged = false;
-      x[i] += delta;
-    }
-    if (converged) return true;
-    // Linear circuits converge in one pass; give them a second stamp so the
-    // first-iteration guard in the DC solver is not needed here.
-    if (!circuit.is_nonlinear()) return true;
-  }
-  return false;
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Per-run workspace: the element partition, the cached linear base system,
+// the Newton work buffers, and the reusable LU factor.  Everything lives
+// for one run_transient call, so element parameter changes between runs
+// can never be observed through a stale cache.
+class TransientWorkspace {
+ public:
+  TransientWorkspace(Circuit& circuit, const TransientOptions& options)
+      : options_(options),
+        n_(circuit.unknown_count()),
+        voltage_count_(circuit.node_count() - 1) {
+    for (const auto& e : circuit.elements()) {
+      switch (e->transient_class()) {
+        case TransientClass::TimeInvariantLinear:
+          invariant_.push_back(e.get());
+          break;
+        case TransientClass::TimeVaryingLinear:
+          varying_.push_back(e.get());
+          break;
+        case TransientClass::Nonlinear:
+          nonlinear_.push_back(e.get());
+          break;
+      }
+    }
+    a_base_.resize(n_, n_);
+    b_base_.assign(n_, 0.0);
+    b_step_.assign(n_, 0.0);
+    if (!nonlinear_.empty()) {
+      a_work_.resize(n_, n_);
+      b_work_.assign(n_, 0.0);
+    }
+  }
+
+  [[nodiscard]] bool linear() const { return nonlinear_.empty(); }
+
+  // One transient step at ctx.dt / ctx.time: Newton iteration for
+  // nonlinear circuits, a single cached-factor solve for linear ones.
+  // x holds the previous accepted state on entry and the new iterate on
+  // return (converged or not).
+  bool solve_step(StampContext ctx, Vector& x, TransientStats& stats) {
+    ctx.x = &x;
+    ensure_base(ctx, stats);
+    assemble_step_rhs(ctx, stats);
+
+    if (linear()) {
+      ++stats.newton_iterations;
+      if (!factor_valid_) {
+        const auto t0 = Clock::now();
+        const bool ok = lu_.factor(a_base_);
+        stats.factor_seconds += seconds_since(t0);
+        ++stats.factorizations;
+        if (!ok) return false;
+        factor_valid_ = true;
+      }
+      const auto t0 = Clock::now();
+      const bool solved = lu_.try_solve(b_step_, x_new_);
+      stats.solve_seconds += seconds_since(t0);
+      ++stats.rhs_solves;
+      if (!solved) return false;
+      // Linear circuits converge in one pass; the update keeps the same
+      // voltage-step clamp as the Newton path so both paths share one
+      // update rule.
+      if (!apply_update(x, nullptr)) return false;
+      ++stats.newton_histogram[0];
+      return true;
+    }
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      ++stats.newton_iterations;
+      if (!options_.reuse_lu && iter > 0) {
+        // Reference path: rebuild the base from scratch every iteration,
+        // exactly as an unpartitioned solver would.
+        ensure_base(ctx, stats);
+        assemble_step_rhs(ctx, stats);
+      }
+      auto t0 = Clock::now();
+      a_work_ = a_base_;
+      b_work_ = b_step_;
+      Stamper overlay(a_work_, b_work_);
+      for (const Element* e : nonlinear_) e->stamp(overlay, ctx);
+      stats.stamp_seconds += seconds_since(t0);
+
+      t0 = Clock::now();
+      const bool factored = lu_.factor(a_work_);
+      stats.factor_seconds += seconds_since(t0);
+      ++stats.factorizations;
+      factor_valid_ = false;  // the base factor is gone
+      if (!factored) return false;
+
+      t0 = Clock::now();
+      const bool solved = lu_.try_solve(b_work_, x_new_);
+      stats.solve_seconds += seconds_since(t0);
+      ++stats.rhs_solves;
+      if (!solved) return false;
+
+      bool converged = true;
+      if (!apply_update(x, &converged)) return false;
+      if (converged) {
+        const std::size_t bucket =
+            std::min(static_cast<std::size_t>(iter), kNewtonHistogramBuckets - 1);
+        ++stats.newton_histogram[bucket];
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  // Rebuild the cached base (linear matrix block + gmin diagonal +
+  // time-invariant rhs) when the step size changed -- or on every call
+  // when reuse is disabled.
+  void ensure_base(const StampContext& ctx, TransientStats& stats) {
+    if (options_.reuse_lu && base_valid_ && ctx.dt == base_dt_) return;
+    const auto t0 = Clock::now();
+    a_base_.set_zero();
+    std::fill(b_base_.begin(), b_base_.end(), 0.0);
+    Stamper full(a_base_, b_base_);
+    for (const Element* e : invariant_) e->stamp(full, ctx);
+    Stamper matrix_pass = Stamper::matrix_only(a_base_);
+    for (const Element* e : varying_) e->stamp(matrix_pass, ctx);
+    for (std::size_t i = 0; i < voltage_count_; ++i) a_base_(i, i) += options_.gmin;
+    base_dt_ = ctx.dt;
+    base_valid_ = true;
+    factor_valid_ = false;
+    ++stats.matrix_stamps;
+    stats.stamp_seconds += seconds_since(t0);
+  }
+
+  // Per-step rhs: invariant base plus the time-varying linear stamps
+  // (companion histories, SIN/PULSE source levels).
+  void assemble_step_rhs(const StampContext& ctx, TransientStats& stats) {
+    const auto t0 = Clock::now();
+    b_step_ = b_base_;
+    Stamper rhs_pass = Stamper::rhs_only(b_step_);
+    for (const Element* e : varying_) e->stamp(rhs_pass, ctx);
+    ++stats.rhs_stamps;
+    stats.stamp_seconds += seconds_since(t0);
+  }
+
+  // Damped update from x_new_ into x.  The convergence test uses the
+  // *unclamped* Newton delta: a voltage_step_limit at or below the
+  // tolerance window must not fake convergence on a still-moving iterate.
+  // Returns false on a non-finite delta.  `converged` may be null when the
+  // caller does not need the test (linear one-pass path).
+  bool apply_update(Vector& x, bool* converged) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double delta = x_new_[i] - x[i];
+      if (!std::isfinite(delta)) return false;
+      const bool is_voltage = i < voltage_count_;
+      double applied = delta;
+      if (is_voltage && options_.voltage_step_limit > 0.0) {
+        applied = std::clamp(delta, -options_.voltage_step_limit, options_.voltage_step_limit);
+      }
+      if (converged != nullptr) {
+        const double abstol = is_voltage ? options_.voltage_abstol : options_.current_abstol;
+        const double scale = std::max(std::abs(x[i]), std::abs(x[i] + delta));
+        if (std::abs(delta) > abstol + options_.reltol * scale) *converged = false;
+      }
+      x[i] += applied;
+    }
+    return true;
+  }
+
+  const TransientOptions& options_;
+  std::size_t n_;
+  std::size_t voltage_count_;
+
+  std::vector<const Element*> invariant_;
+  std::vector<const Element*> varying_;
+  std::vector<const Element*> nonlinear_;
+
+  Matrix a_base_;   // cached linear matrix block (+ gmin diagonal)
+  Vector b_base_;   // cached time-invariant rhs
+  Vector b_step_;   // per-step rhs (base + time-varying linear)
+  Matrix a_work_;   // per-iteration system with the nonlinear overlay
+  Vector b_work_;
+  Vector x_new_;
+  LuDecomposition lu_;  // reusable factor workspace
+
+  double base_dt_ = 0.0;
+  bool base_valid_ = false;
+  bool factor_valid_ = false;  // lu_ currently holds the base factor
+};
 
 }  // namespace
 
@@ -89,9 +255,11 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
       result.traces[p].append(t, Circuit::voltage(state, probes[p]));
     }
   };
-  // The t=0 sample is recorded at a slightly negative time stamp so the
-  // strictly-increasing trace invariant holds for the first real step.
-  record(-options.dt * 1e-6, x);
+  // The initial state is a genuine sample of the run: record it at
+  // exactly t = 0.  Every accepted step advances time by at least
+  // dt / 2^max_step_halvings, so the strictly-increasing trace invariant
+  // holds without the historical negative-epsilon hack.
+  record(0.0, x);
 
   StampContext ctx;
   ctx.dt = options.dt;
@@ -103,10 +271,24 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     element->transient_begin(options.start_from_dc ? &x : nullptr);
   }
 
+  TransientWorkspace ws(circuit, options);
+
   Vector x_prev = x;
-  double t = 0.0;
+  const double dt = options.dt;
+  // Step-indexed time: full-size steps advance an integer counter and
+  // reduced (halved or final partial) steps accumulate separately, so a
+  // long run cannot drift against t_stop through repeated t += h rounding
+  // (same fix as the EnvelopeSimulator step loop).
+  std::int64_t nominal_steps = 0;
+  double reduced_time = 0.0;
+  // Guard against ulp-level residue masquerading as one more step.
+  const double time_eps = dt * 1e-9;
   bool first_step = true;
-  while (t < options.t_stop) {
+  for (;;) {
+    const double t = reduced_time + static_cast<double>(nominal_steps) * dt;
+    const double remaining = options.t_stop - t;
+    if (remaining <= time_eps) break;
+
     // On the very first step (when not starting from a DC solution) the
     // reactive elements read their explicit initial conditions instead of
     // the all-zero state vector.
@@ -117,22 +299,30 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     // accepts the stale iterate once the halvings are exhausted.  The
     // accepted (possibly reduced) step advances time, so subsequent steps
     // return to the nominal dt.
-    double h = std::min(options.dt, options.t_stop - t);
-    Vector x_next = x;  // predictor: previous solution
+    const double h_full = std::min(dt, remaining);
+    const bool full_size = h_full >= dt;
+    double h = h_full;
     int halvings = 0;
     bool step_ok = false;
+    Vector x_next = x;  // predictor: previous solution
+    double t_next = 0.0;
     while (true) {
       ctx.dt = h;
-      ctx.time = t + h;
+      t_next = (full_size && halvings == 0)
+                   ? reduced_time + static_cast<double>(nominal_steps + 1) * dt
+                   : t + h;
+      ctx.time = t_next;
       x_next = x;
-      if (newton_time_step(circuit, ctx, x_next, options)) {
+      if (ws.solve_step(ctx, x_next, result.stats)) {
         step_ok = true;
         break;
       }
       if (halvings >= options.max_step_halvings) break;
       ++halvings;
+      ++result.stats.halvings;
       h *= 0.5;
     }
+    if (halvings > 0) ++result.stats.retried_steps;
     if (!step_ok) {
       result.converged = false;
       ++result.failed_steps;
@@ -141,11 +331,15 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     }
     x_prev = x_next;
     x = x_next;
-    t += h;
+    if (full_size && halvings == 0) {
+      ++nominal_steps;
+    } else {
+      reduced_time += h;
+    }
     ++result.steps;
     first_step = false;
     for (const auto& element : circuit.elements()) element->transient_commit(x, ctx);
-    record(t, x);
+    record(t_next, x);
   }
   return result;
 }

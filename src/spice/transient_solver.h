@@ -6,8 +6,20 @@
 // order.  The spice transient exists to cross-check the behavioral
 // macro-models on small support circuits, not to run long RF transients
 // (the ODE engines in src/numeric do that at a fraction of the cost).
+//
+// Hot-path structure (see DESIGN.md §9): elements are partitioned at
+// setup into time-invariant-linear / time-varying-linear / nonlinear
+// sets.  The linear matrix block (plus gmin diagonal) is stamped once per
+// (dt, integration) pair into a cached base matrix; each step only the
+// right-hand side is rebuilt, and nonlinear elements re-stamp their
+// partials on top of a copy of the base.  Linear circuits keep the LU
+// factorization of the base across steps and only re-solve the rhs.  The
+// uncached reference path (reuse_lu = false) performs the identical
+// floating-point operations with the base rebuilt every iteration, so
+// traces are bit-identical between the two modes.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -35,6 +47,42 @@ struct TransientOptions {
   // Start from a DC operating point (true) or from all-zero state with
   // element initial conditions (false).
   bool start_from_dc = true;
+  // Reuse the cached linear base matrix and (for linear circuits) the LU
+  // factorization across steps.  false re-stamps and re-factors from
+  // scratch every Newton iteration -- the A/B reference path, which must
+  // produce bit-identical traces.
+  bool reuse_lu = true;
+};
+
+// Newton-iteration histogram bucket count: bucket i counts steps that
+// converged in i+1 iterations; the last bucket also absorbs every step
+// that needed kNewtonHistogramBuckets or more.
+inline constexpr std::size_t kNewtonHistogramBuckets = 8;
+
+// Solver observability: what the transient hot path actually did.
+struct TransientStats {
+  // Rebuilds of the cached linear base (matrix + invariant rhs).  One per
+  // distinct step size when reuse is on; one per Newton iteration when off.
+  std::size_t matrix_stamps = 0;
+  // Per-step rhs assembly passes (time-varying linear elements).
+  std::size_t rhs_stamps = 0;
+  // LU factorizations (one per step size for linear circuits with reuse).
+  std::size_t factorizations = 0;
+  // Forward/back substitutions against a kept factor.
+  std::size_t rhs_solves = 0;
+  // Total Newton iterations across all steps and retries.
+  std::size_t newton_iterations = 0;
+  // Steps that needed at least one dt halving, and total halvings.
+  std::size_t retried_steps = 0;
+  std::size_t halvings = 0;
+  // Converged-step iteration histogram (see kNewtonHistogramBuckets).
+  std::array<std::size_t, kNewtonHistogramBuckets> newton_histogram{};
+  // Wall time per phase [s].
+  double stamp_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  TransientStats& operator+=(const TransientStats& other);
 };
 
 struct TransientResult {
@@ -44,6 +92,7 @@ struct TransientResult {
   // Steps that exhausted the halving retries and accepted a stale iterate.
   std::size_t failed_steps = 0;
   std::vector<Trace> traces;   // one per requested probe, in request order
+  TransientStats stats;        // solver counters for this run
 
   [[nodiscard]] const Trace& trace(const std::string& name) const;
 };

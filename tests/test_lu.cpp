@@ -80,6 +80,60 @@ TEST(Lu, RandomRoundTrip) {
   }
 }
 
+TEST(Lu, DefaultConstructedIsSingularUntilFactored) {
+  LuDecomposition lu;
+  EXPECT_TRUE(lu.singular());
+  Vector x;
+  EXPECT_FALSE(lu.try_solve({}, x));
+}
+
+// The workspace path behind the transient solver's LU reuse: re-factoring
+// different matrices into one instance must match fresh decompositions.
+TEST(Lu, FactorReusesWorkspaceAcrossMatrices) {
+  LuDecomposition lu;
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  ASSERT_TRUE(lu.factor(a));
+  Vector x;
+  ASSERT_TRUE(lu.try_solve({5.0, 10.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+
+  // Same size, different values: storage is recycled, result is fresh.
+  Matrix b{{4.0, 0.0}, {0.0, 5.0}};
+  ASSERT_TRUE(lu.factor(b));
+  ASSERT_TRUE(lu.try_solve({8.0, 10.0}, x));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, FactorRecoversAfterSingularMatrix) {
+  LuDecomposition lu;
+  ASSERT_TRUE(lu.factor(Matrix::identity(2)));
+  // Singular input poisons the factor...
+  EXPECT_FALSE(lu.factor(Matrix{{1.0, 2.0}, {2.0, 4.0}}));
+  EXPECT_TRUE(lu.singular());
+  Vector x;
+  EXPECT_FALSE(lu.try_solve({1.0, 1.0}, x));
+  // ...until the next successful factor().
+  ASSERT_TRUE(lu.factor(Matrix{{3.0, 0.0}, {0.0, 3.0}}));
+  ASSERT_TRUE(lu.try_solve({6.0, 9.0}, x));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, KeptFactorSolvesManyRhs) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  LuDecomposition lu;
+  ASSERT_TRUE(lu.factor(a));
+  Vector x;
+  for (int k = 1; k <= 5; ++k) {
+    const Vector b{5.0 * k, 10.0 * k};
+    ASSERT_TRUE(lu.try_solve(b, x));
+    EXPECT_NEAR(x[0], 1.0 * k, 1e-12);
+    EXPECT_NEAR(x[1], 3.0 * k, 1e-12);
+  }
+}
+
 TEST(Lu, PivotRatioReflectsConditioning) {
   const LuDecomposition good(Matrix::identity(3));
   EXPECT_NEAR(good.pivot_ratio(), 1.0, 1e-12);

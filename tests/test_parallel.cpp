@@ -26,6 +26,28 @@ TEST(Parallel, DefaultWorkerCountIsPositive) {
   EXPECT_GE(default_worker_count(), 1u);
 }
 
+TEST(Parallel, ResolveWorkerCountDefaultsToHardware) {
+  EXPECT_EQ(resolve_worker_count(0, 4), 4u);
+  EXPECT_EQ(resolve_worker_count(0, 1), 1u);
+}
+
+TEST(Parallel, ResolveWorkerCountFallsBackWhenHardwareUnknown) {
+  // hardware_concurrency() may legitimately return 0.
+  EXPECT_EQ(resolve_worker_count(0, 0), 1u);
+  EXPECT_EQ(resolve_worker_count(64, 0), kMaxWorkerOversubscription);
+}
+
+TEST(Parallel, ResolveWorkerCountClampsEnvOverride) {
+  // LCOSC_THREADS=64 on a 1-core host must not spawn 64 threads.
+  EXPECT_EQ(resolve_worker_count(64, 1), 1u * kMaxWorkerOversubscription);
+  EXPECT_EQ(resolve_worker_count(64, 4), 4u * kMaxWorkerOversubscription);
+}
+
+TEST(Parallel, ResolveWorkerCountHonoursModestOverride) {
+  EXPECT_EQ(resolve_worker_count(2, 8), 2u);
+  EXPECT_EQ(resolve_worker_count(64, 16), 64u);
+}
+
 TEST(Parallel, MapPreservesOrder) {
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     const std::vector<std::size_t> out =

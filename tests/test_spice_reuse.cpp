@@ -1,0 +1,235 @@
+// Transient-solver reuse path: the cached linear base + kept LU factor
+// must be bit-identical to the full-re-stamp reference, the solver
+// counters must reflect the claimed work savings, and the step/trace
+// bookkeeping fixes (t=0 first sample, step-indexed time, unclamped
+// Newton convergence) must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.h"
+#include "spice/transient_solver.h"
+
+namespace lcosc::spice {
+namespace {
+
+constexpr double kDt = 1.0 / (4e6 * 64.0);
+
+// Time-invariant linear only: resistive divider driven by a DC source.
+void build_invariant(Circuit& c) {
+  c.voltage_source("Vs", "in", "0", 5.0);
+  c.resistor("R1", "in", "a", 1e3);
+  c.resistor("R2", "a", "0", 2e3);
+}
+
+// Adds reactive elements (time-varying linear rhs) and a sine stimulus.
+void build_varying(Circuit& c) {
+  VoltageSource& vs = c.voltage_source("Vs", "in", "0", 0.0);
+  vs.set_sine({.offset = 0.0, .amplitude = 1.0, .frequency = 4e6, .phase_deg = 0.0});
+  c.resistor("Rs", "in", "a", 5.0);
+  c.inductor("L", "a", "b", 3.3e-6);
+  c.resistor("Rl", "b", "0", 2.0);
+  c.capacitor("C1", "a", "0", 0.5e-9);
+  c.capacitor("C2", "a", "0", 0.5e-9);
+}
+
+// Nonlinear on top: a diode clamp forces per-iteration re-stamping.
+void build_nonlinear(Circuit& c) {
+  build_varying(c);
+  c.diode("Dclamp", "a", "0");
+}
+
+TransientResult run(void (*build)(Circuit&), const TransientOptions& options) {
+  Circuit c;
+  build(c);
+  return run_transient(c, options, {"a"});
+}
+
+void expect_identical_traces(const TransientResult& a, const TransientResult& b) {
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  ASSERT_EQ(a.steps, b.steps);
+  for (std::size_t p = 0; p < a.traces.size(); ++p) {
+    ASSERT_EQ(a.traces[p].size(), b.traces[p].size());
+    for (std::size_t i = 0; i < a.traces[p].size(); ++i) {
+      // Bit-identity, not tolerance: the cached path must perform the
+      // same floating-point operations as the reference.
+      ASSERT_EQ(a.traces[p].time(i), b.traces[p].time(i)) << "sample " << i;
+      ASSERT_EQ(a.traces[p].value(i), b.traces[p].value(i)) << "sample " << i;
+    }
+  }
+}
+
+TransientOptions base_options() {
+  TransientOptions options;
+  options.dt = kDt;
+  options.t_stop = 300.0 * kDt;
+  options.start_from_dc = false;
+  return options;
+}
+
+TEST(TransientReuse, InvariantCircuitBitIdenticalAB) {
+  TransientOptions options = base_options();
+  options.reuse_lu = true;
+  const TransientResult cached = run(build_invariant, options);
+  options.reuse_lu = false;
+  const TransientResult uncached = run(build_invariant, options);
+  EXPECT_TRUE(cached.converged);
+  expect_identical_traces(cached, uncached);
+}
+
+TEST(TransientReuse, TimeVaryingCircuitBitIdenticalAB) {
+  TransientOptions options = base_options();
+  options.reuse_lu = true;
+  const TransientResult cached = run(build_varying, options);
+  options.reuse_lu = false;
+  const TransientResult uncached = run(build_varying, options);
+  EXPECT_TRUE(cached.converged);
+  expect_identical_traces(cached, uncached);
+}
+
+TEST(TransientReuse, NonlinearCircuitBitIdenticalAB) {
+  TransientOptions options = base_options();
+  options.reuse_lu = true;
+  const TransientResult cached = run(build_nonlinear, options);
+  options.reuse_lu = false;
+  const TransientResult uncached = run(build_nonlinear, options);
+  EXPECT_TRUE(cached.converged);
+  expect_identical_traces(cached, uncached);
+}
+
+TEST(TransientReuse, TrapezoidalBitIdenticalAB) {
+  TransientOptions options = base_options();
+  options.integration = Integration::Trapezoidal;
+  options.reuse_lu = true;
+  const TransientResult cached = run(build_varying, options);
+  options.reuse_lu = false;
+  const TransientResult uncached = run(build_varying, options);
+  expect_identical_traces(cached, uncached);
+}
+
+// Counter tests use a binary-exact dt so N*dt is exact and the final
+// step is a full step; with the default dt the last remaining interval
+// differs from dt by an ulp and (correctly) costs a second base stamp.
+TransientOptions exact_options() {
+  TransientOptions options;
+  options.dt = std::ldexp(1.0, -28);  // 2^-28 s ~ 3.7 ns, exactly representable
+  options.t_stop = 300.0 * options.dt;
+  options.start_from_dc = false;
+  return options;
+}
+
+TEST(TransientReuse, LinearCircuitFactorsOncePerStepSize) {
+  TransientOptions options = exact_options();
+  options.reuse_lu = true;
+  const TransientResult r = run(build_varying, options);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.stats.halvings, 0u);
+  // One step size for the whole run: one base stamp, one factorization.
+  EXPECT_EQ(r.stats.matrix_stamps, 1u);
+  EXPECT_EQ(r.stats.factorizations, 1u);
+  // One rhs assembly and one substitution per accepted step.
+  EXPECT_EQ(r.stats.rhs_stamps, r.steps);
+  EXPECT_EQ(r.stats.rhs_solves, r.steps);
+  EXPECT_EQ(r.stats.newton_iterations, r.steps);
+  // Every step "converged" in one pass.
+  EXPECT_EQ(r.stats.newton_histogram[0], r.steps);
+}
+
+TEST(TransientReuse, UncachedReferenceRestampsEveryStep) {
+  TransientOptions options = base_options();
+  options.reuse_lu = false;
+  const TransientResult r = run(build_varying, options);
+  ASSERT_TRUE(r.converged);
+  // The reference path rebuilds the base and re-factors per iteration.
+  EXPECT_EQ(r.stats.matrix_stamps, r.stats.newton_iterations);
+  EXPECT_EQ(r.stats.factorizations, r.stats.newton_iterations);
+}
+
+TEST(TransientReuse, NonlinearRefactorsPerIterationButStampsBaseOnce) {
+  TransientOptions options = exact_options();
+  options.reuse_lu = true;
+  const TransientResult r = run(build_nonlinear, options);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.stats.matrix_stamps, 1u);
+  EXPECT_EQ(r.stats.factorizations, r.stats.newton_iterations);
+  EXPECT_EQ(r.stats.rhs_solves, r.stats.newton_iterations);
+  // The diode needs Newton: more total iterations than steps.
+  EXPECT_GT(r.stats.newton_iterations, r.steps);
+}
+
+// Satellite regression: the first recorded sample sits at exactly t = 0
+// (the historical implementation used a negative epsilon timestamp).
+TEST(TransientReuse, FirstSampleAtExactlyTimeZero) {
+  TransientOptions options = base_options();
+  const TransientResult r = run(build_varying, options);
+  ASSERT_GT(r.traces[0].size(), 0u);
+  EXPECT_EQ(r.traces[0].time(0), 0.0);
+  for (std::size_t i = 0; i < r.traces[0].size(); ++i) {
+    EXPECT_GE(r.traces[0].time(i), 0.0);
+  }
+}
+
+// Satellite regression: step-indexed time cannot drift against t_stop.
+// 10000 accumulating additions of this dt land visibly off the grid; the
+// step-indexed clock lands the final sample exactly on t_stop.
+TEST(TransientReuse, StepIndexedTimeLandsExactlyOnStop) {
+  TransientOptions options;
+  options.dt = 1e-9;
+  options.t_stop = 10000.0 * options.dt;
+  options.start_from_dc = false;
+  const TransientResult r = run(build_varying, options);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.steps, 10000u);
+  const Trace& tr = r.traces[0];
+  EXPECT_EQ(tr.time(tr.size() - 1), options.t_stop);
+}
+
+// A t_stop off the dt grid gets one reduced final step that lands on
+// t_stop (within float addition of the remainder), not an extra step.
+TEST(TransientReuse, PartialFinalStepLandsOnStop) {
+  TransientOptions options = base_options();
+  options.t_stop = 100.5 * options.dt;
+  const TransientResult r = run(build_varying, options);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.steps, 101u);
+  const Trace& tr = r.traces[0];
+  EXPECT_NEAR(tr.time(tr.size() - 1), options.t_stop, 1e-12 * options.t_stop);
+}
+
+// Satellite regression: convergence is judged on the *unclamped* Newton
+// delta.  With a voltage step limit far below the tolerance window, a
+// still-moving iterate must not be accepted as converged -- the clamped
+// update would always look "small enough".
+TEST(TransientReuse, ConvergenceTestsUnclampedDelta) {
+  TransientOptions options = base_options();
+  options.t_stop = 50.0 * options.dt;
+  // Step limit below voltage_abstol: the clamped delta can never exceed
+  // the tolerance, so a clamped-delta test would accept after one pass.
+  options.voltage_step_limit = 0.5e-6;
+  options.max_iterations = 400;
+  const TransientResult limited = run(build_nonlinear, options);
+  // The true per-step voltage changes are ~mV: resolving them through a
+  // 0.5 uV clamp requires many genuine Newton iterations per step.
+  EXPECT_GT(limited.stats.newton_iterations, 10u * limited.steps);
+}
+
+TEST(TransientReuse, CountersAggregateWithPlusEquals) {
+  TransientStats a;
+  a.matrix_stamps = 1;
+  a.rhs_solves = 2;
+  a.newton_histogram[0] = 3;
+  a.stamp_seconds = 0.5;
+  TransientStats b;
+  b.matrix_stamps = 10;
+  b.rhs_solves = 20;
+  b.newton_histogram[0] = 30;
+  b.stamp_seconds = 0.25;
+  a += b;
+  EXPECT_EQ(a.matrix_stamps, 11u);
+  EXPECT_EQ(a.rhs_solves, 22u);
+  EXPECT_EQ(a.newton_histogram[0], 33u);
+  EXPECT_DOUBLE_EQ(a.stamp_seconds, 0.75);
+}
+
+}  // namespace
+}  // namespace lcosc::spice
