@@ -16,6 +16,8 @@
 #include "common/si_format.h"
 #include "common/table_printer.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 #include "system/internal_fmea.h"
 
 using namespace lcosc;
@@ -103,12 +105,27 @@ void write_json(const std::string& path, const InternalFmeaReport& report,
         << ", \"error\": \"" << json_escape(r.status.error) << "\"}"
         << (i + 1 < hardening.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+
+  // Telemetry: the registry snapshot includes the per-fault detection
+  // latency histogram (internal_fmea.detection_latency_ms) recorded by
+  // the campaign runner.
+  out << "  \"telemetry\": {\n"
+      << "    \"metrics_enabled\": " << (obs::metrics_enabled() ? "true" : "false") << ",\n"
+      << "    \"trace_enabled\": " << (obs::trace_enabled() ? "true" : "false") << ",\n"
+      << "    \"trace_events\": " << obs::trace_event_count() << ",\n"
+      << "    \"metrics\": " << obs::MetricsRegistry::instance().snapshot().to_json(4)
+      << "\n  }\n}\n";
 }
 
 }  // namespace
 
 int main() {
+  // Metrics on by default so the JSON gets the detection-latency
+  // histogram; tracing is opt-in via LCOSC_TRACE=1.
+  lcosc::obs::set_metrics_enabled(lcosc::obs::env_flag("LCOSC_METRICS", true));
+  lcosc::obs::set_trace_enabled(lcosc::obs::env_flag("LCOSC_TRACE", false));
+
   std::cout << "=== Internal single-point fault coverage (on-chip FMEA) ===\n\n";
 
   const InternalFmeaConfig cfg = campaign_config();
@@ -164,6 +181,11 @@ int main() {
   hard_table.print(std::cout);
 
   write_json("BENCH_fault_coverage.json", report, hard.rows);
+  if (lcosc::obs::trace_enabled()) {
+    lcosc::obs::write_chrome_trace("artifacts/trace_fault_coverage.json");
+    std::cout << "\n(trace: artifacts/trace_fault_coverage.json, "
+              << lcosc::obs::trace_event_count() << " events)\n";
+  }
   std::cout << "\n(machine-readable record: BENCH_fault_coverage.json)\n"
             << "\nShape checks:\n"
             << "  - gm collapse -> missing-oscillation and window-comparator-stuck-high\n"

@@ -16,6 +16,8 @@
 #include "common/si_format.h"
 #include "common/table_printer.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 #include "spice/ac_solver.h"
 #include "spice/circuit.h"
 #include "spice/sweep.h"
@@ -248,12 +250,43 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"solve_seconds\": " << s.solve_seconds << "\n"
         << "    }" << (i + 1 < transients.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+
+  // Telemetry: a flat phase->milliseconds map (the drift checker's
+  // contract, scripts/check_bench_drift.py), the full metrics snapshot
+  // and the span accounting of this run.
+  out << "  \"telemetry\": {\n    \"phases\": {\n";
+  bool first = true;
+  auto phase = [&](const std::string& name, double ms) {
+    out << (first ? "" : ",\n") << "      \"" << name << "\": " << ms;
+    first = false;
+  };
+  for (const CampaignTiming& t : timings) {
+    phase(t.name + ".serial", t.serial_ms);
+    phase(t.name + ".parallel", t.parallel_ms);
+  }
+  for (const TransientTiming& t : transients) {
+    phase(t.name + ".uncached", t.uncached_ms);
+    phase(t.name + ".cached", t.cached_ms);
+  }
+  out << "\n    },\n"
+      << "    \"metrics_enabled\": " << (obs::metrics_enabled() ? "true" : "false") << ",\n"
+      << "    \"trace_enabled\": " << (obs::trace_enabled() ? "true" : "false") << ",\n"
+      << "    \"trace_events\": " << obs::trace_event_count() << ",\n"
+      << "    \"trace_dropped\": " << obs::trace_dropped_count() << ",\n"
+      << "    \"metrics\": " << obs::MetricsRegistry::instance().snapshot().to_json(4)
+      << "\n  }\n}\n";
 }
 
 }  // namespace
 
 int main() {
+  // Telemetry defaults for the bench: metrics on (they cost one relaxed
+  // atomic per event and feed the "telemetry" JSON section), tracing off
+  // (opt in with LCOSC_TRACE=1 to get a Perfetto-loadable span file).
+  obs::set_metrics_enabled(obs::env_flag("LCOSC_METRICS", true));
+  obs::set_trace_enabled(obs::env_flag("LCOSC_TRACE", false));
+
   std::cout << "=== Campaign engine: serial vs parallel wall time ===\n\n"
             << "hardware threads: " << std::thread::hardware_concurrency()
             << ", default workers: " << default_worker_count() << "\n\n";
@@ -285,6 +318,11 @@ int main() {
   ttable.print(std::cout);
 
   write_json("BENCH_campaigns.json", timings, transients);
+  if (obs::trace_enabled()) {
+    obs::write_chrome_trace("artifacts/trace_campaigns.json");
+    std::cout << "\n(trace: artifacts/trace_campaigns.json, "
+              << obs::trace_event_count() << " events)\n";
+  }
   std::cout << "\n(machine-readable record: BENCH_campaigns.json)\n"
             << "\nShape checks:\n"
             << "  - identical=true on every row: the parallel campaigns are\n"

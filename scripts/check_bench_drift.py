@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare the telemetry.phases timings of two BENCH_campaigns.json files.
+
+Usage:
+    scripts/check_bench_drift.py BASELINE.json CANDIDATE.json [--threshold 0.25]
+
+Every named phase present in both files is compared; the script fails
+(exit 1) when any phase's wall time regressed by more than the threshold
+(default 25 %).  Phases only present in one file are reported but never
+fail the check (benches gain and lose phases across PRs).
+
+Stdlib only -- safe to run on a bare CI image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_phases(path: str) -> dict[str, float]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    phases = doc.get("telemetry", {}).get("phases")
+    if not isinstance(phases, dict) or not phases:
+        sys.exit(
+            f"error: {path} has no telemetry.phases section "
+            "(re-run bench_perf_campaigns from this PR or newer)"
+        )
+    out: dict[str, float] = {}
+    for name, value in phases.items():
+        if not isinstance(value, (int, float)):
+            sys.exit(f"error: {path}: phase {name!r} is not a number: {value!r}")
+        out[name] = float(value)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="BENCH_campaigns.json of the reference run")
+    parser.add_argument("candidate", help="BENCH_campaigns.json of the run under test")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed relative wall-time regression per phase (default 0.25)",
+    )
+    # Phases faster than this are dominated by timer noise on any host; a
+    # ratio over a sub-millisecond baseline is meaningless.
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=1.0,
+        help="ignore phases whose baseline is below this many ms (default 1.0)",
+    )
+    args = parser.parse_args()
+
+    base = load_phases(args.baseline)
+    cand = load_phases(args.candidate)
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(base) | set(cand)))
+    print(f"{'phase':<{width}}  {'baseline':>10}  {'candidate':>10}  {'delta':>8}")
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>10}  {cand[name]:>8.2f}ms   (new)")
+            continue
+        if name not in cand:
+            print(f"{name:<{width}}  {base[name]:>8.2f}ms  {'-':>10}   (removed)")
+            continue
+        b, c = base[name], cand[name]
+        if b < args.min_ms:
+            print(f"{name:<{width}}  {b:>8.2f}ms  {c:>8.2f}ms   (below --min-ms, skipped)")
+            continue
+        delta = (c - b) / b
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, b, c, delta))
+        print(f"{name:<{width}}  {b:>8.2f}ms  {c:>8.2f}ms  {delta:>+7.1%}{marker}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} phase(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, b, c, delta in regressions:
+            print(f"  {name}: {b:.2f}ms -> {c:.2f}ms ({delta:+.1%})", file=sys.stderr)
+        return 1
+    print(f"\nOK: no phase regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@
 #   scripts/tier1.sh              full build + complete test suite
 #   scripts/tier1.sh --sanitize   ASan+UBSan build of the fault-injection
 #                                 and campaign suites (separate build dir)
+#   scripts/tier1.sh --tsan       ThreadSanitizer build of the telemetry,
+#                                 parallel-engine and campaign suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,22 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   # -j or ctest parses it as the job count.)
   ctest --output-on-failure \
     -R '^(Campaign|Internal|Fault|Fmea|Parallel|System)' -j
+  exit 0
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # ThreadSanitizer pass over everything that runs worker threads: the
+  # telemetry layer (sharded metrics, per-thread trace buffers, the event
+  # log mutex), the thread-pool engine and the campaign runners.  IPO is
+  # off: TSan instrumentation and LTO interact badly on some toolchains.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLCOSC_ENABLE_IPO=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+  cmake --build build-tsan -j
+  cd build-tsan
+  ctest --output-on-failure \
+    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System)' -j
   exit 0
 fi
 

@@ -1,8 +1,13 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "obs/event_log.h"
 
 namespace lcosc {
 namespace {
@@ -25,15 +30,53 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+// Apply LCOSC_LOG_LEVEL once, at the first threshold query, so an env
+// override works without any programmatic setup (an explicit
+// set_log_level call afterwards still wins).
+bool apply_env_level() {
+  const char* env = std::getenv("LCOSC_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const std::optional<LogLevel> parsed = parse_log_level(env)) {
+      g_level.store(*parsed, std::memory_order_relaxed);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string v(name);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn" || v == "warning") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off" || v == "none") return LogLevel::Off;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  log_level();  // ensure the env default is applied first, then override
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  static const bool env_applied = apply_env_level();
+  (void)env_applied;
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   if (message.empty()) return;
+  // Structured mode: route the line into the JSONL event log as a typed
+  // event (machine-readable campaign runs) instead of free-text stderr.
+  if (obs::events_enabled()) {
+    obs::Event("log").str("level", level_tag(level)).str("message", message);
+    return;
+  }
   // Compose the full line first and emit it under a mutex so lines from
   // parallel campaign workers never interleave mid-line.
   const std::string line = "[lcosc:" + std::string(level_tag(level)) + "] " + message + "\n";

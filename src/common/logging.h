@@ -1,13 +1,19 @@
 // Minimal leveled logging used by solvers to report convergence trouble.
 //
 // Logging is off by default (level Warn) so library output stays clean;
-// benches and examples may raise the level for diagnostics.  Sink
-// emission is serialized under a mutex, so concurrent LCOSC_LOG_* lines
-// from parallel campaign workers never interleave mid-line.
+// benches and examples may raise the level for diagnostics, and the
+// LCOSC_LOG_LEVEL environment variable (debug/info/warn/error/off) is
+// honoured at first use.  Sink emission is serialized under a mutex, so
+// concurrent LCOSC_LOG_* lines from parallel campaign workers never
+// interleave mid-line.  When the structured event log (obs/event_log.h)
+// has a sink installed, passing messages are emitted there as typed
+// "log" events instead of free text on stderr.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace lcosc {
 
@@ -17,7 +23,14 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-// Emit one line to stderr with a level tag if `level` passes the threshold.
+// Parse a level name ("debug", "info", "warn"/"warning", "error", "off";
+// case-insensitive); nullopt for anything else.  Exposed for tests of
+// the LCOSC_LOG_LEVEL handling.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
+// Emit one line to stderr with a level tag if `level` passes the
+// threshold -- or, when the structured event log is on, a JSONL "log"
+// event carrying the level and message.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -6,8 +6,24 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace lcosc {
 namespace {
+
+// Pool telemetry (DESIGN.md §10).  Gauges, not counters: instantaneous
+// pool state depends on the worker count and scheduling, so it is
+// deliberately outside the cross-worker determinism contract that the
+// campaign counters/histograms satisfy.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::instance().gauge("pool.queue_depth");
+  return g;
+}
+
+obs::Gauge& busy_workers_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::instance().gauge("pool.busy_workers");
+  return g;
+}
 
 thread_local bool t_on_pool_worker = false;
 
@@ -70,6 +86,7 @@ std::size_t default_worker_count() {
 }
 
 ThreadPool::ThreadPool(std::size_t workers) {
+  obs::MetricsRegistry::instance().gauge("pool.workers").set(static_cast<double>(workers));
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -89,6 +106,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -103,13 +121,16 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop requested and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
+    busy_workers_gauge().add(1.0);
     try {
       task();
     } catch (...) {
       // Contract: submitted tasks must not throw (parallel_for catches
       // per-index exceptions before they reach the pool).
     }
+    busy_workers_gauge().add(-1.0);
   }
 }
 

@@ -1,0 +1,196 @@
+#include "obs/event_log.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace lcosc::obs {
+namespace {
+
+std::atomic<bool> g_events_enabled{false};
+std::atomic<std::uint64_t> g_sequence{0};
+
+// Innermost context label of the calling thread (nullptr = none).
+thread_local const std::string* t_context = nullptr;
+
+struct Sink {
+  std::mutex mutex;
+  std::ofstream file;
+  bool file_open = false;
+  std::vector<std::string>* capture = nullptr;
+};
+
+Sink& sink() {
+  static Sink* s = new Sink();  // leaked: emission may outlive static teardown
+  return *s;
+}
+
+void update_enabled_locked(const Sink& s) {
+  g_events_enabled.store(s.file_open || s.capture != nullptr, std::memory_order_relaxed);
+}
+
+bool open_file_locked(Sink& s, const std::string& path) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  if (s.file_open) s.file.close();
+  s.file.open(path, std::ios::trunc);
+  s.file_open = static_cast<bool>(s.file);
+  update_enabled_locked(s);
+  return s.file_open;
+}
+
+bool apply_events_env() {
+  const char* path = std::getenv("LCOSC_EVENTS");
+  if (path != nullptr && *path != '\0') {
+    Sink& s = sink();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    open_file_locked(s, path);
+  }
+  return true;
+}
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void emit_line(const std::string& line) {
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.file_open) {
+    s.file << line << '\n';
+    s.file.flush();
+  }
+  if (s.capture != nullptr) s.capture->push_back(line);
+}
+
+}  // namespace
+
+bool events_enabled() {
+  static const bool init = apply_events_env();
+  (void)init;
+  return g_events_enabled.load(std::memory_order_relaxed);
+}
+
+bool open_event_log(const std::string& path) {
+  (void)events_enabled();  // force the env read first
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return open_file_locked(s, path);
+}
+
+void close_event_log() {
+  (void)events_enabled();
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.file_open) s.file.close();
+  s.file_open = false;
+  update_enabled_locked(s);
+}
+
+void set_event_capture(std::vector<std::string>* capture) {
+  (void)events_enabled();
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.capture = capture;
+  update_enabled_locked(s);
+}
+
+Event::Event(std::string_view type) {
+  line_.reserve(96);
+  line_ += "{\"type\": \"";
+  append_escaped(line_, type);
+  line_ += "\", \"seq\": ";
+  line_ += std::to_string(g_sequence.fetch_add(1, std::memory_order_relaxed));
+}
+
+Event& Event::num(std::string_view key, double value) {
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": ";
+  if (std::isfinite(value)) {
+    std::ostringstream v;
+    v << value;
+    line_ += v.str();
+  } else {
+    line_ += "null";
+  }
+  return *this;
+}
+
+Event& Event::integer(std::string_view key, long long value) {
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": ";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::str(std::string_view key, std::string_view value) {
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": \"";
+  append_escaped(line_, value);
+  line_ += "\"";
+  return *this;
+}
+
+Event& Event::boolean(std::string_view key, bool value) {
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += value ? "\": true" : "\": false";
+  return *this;
+}
+
+Event::~Event() {
+  if (t_context != nullptr) {
+    line_ += ", \"ctx\": \"";
+    append_escaped(line_, *t_context);
+    line_ += "\"";
+  }
+  line_ += "}";
+  emit_line(line_);
+}
+
+EventContext::EventContext(std::string label)
+    : previous_(t_context), label_(std::move(label)) {
+  t_context = &label_;
+}
+
+EventContext::~EventContext() { t_context = previous_; }
+
+}  // namespace lcosc::obs

@@ -1,0 +1,74 @@
+// Structured campaign event log: typed events serialized as one JSON
+// object per line (JSONL), replacing free-text stderr diagnostics for
+// machine-readable runs.
+//
+//   if (obs::events_enabled()) {
+//     obs::Event("safety.trip").str("channel", "low_amplitude").num("t", t);
+//   }
+//
+// Each line carries the event type, a global sequence number, the
+// emitting thread's trace id and the innermost EventContext label (the
+// campaign runner tags each case, so a detector trip deep inside the
+// solver is attributable to its fault id).  The sink is either a JSONL
+// file (open_event_log / LCOSC_EVENTS=<path>) or an in-memory capture
+// vector for tests; emission is serialized under one mutex and flushed
+// per line, so concurrent campaign workers never interleave and a
+// crashed run keeps every event up to the crash.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcosc::obs {
+
+// True when any sink is installed.  First call applies the LCOSC_EVENTS
+// environment variable (a JSONL file path); later calls are one relaxed
+// atomic load, so instrumented hot paths may guard on it freely.
+[[nodiscard]] bool events_enabled();
+
+// Open a JSONL file sink (truncating).  Returns false if the file cannot
+// be opened.  Parent directories are created.
+bool open_event_log(const std::string& path);
+void close_event_log();
+
+// Route events into *sink (one JSONL line per event) instead of /
+// alongside the file sink; nullptr detaches.  Test hook.
+void set_event_capture(std::vector<std::string>* sink);
+
+// Builder for one event; the destructor serializes and emits the line.
+// Construct only behind an events_enabled() check to keep disabled paths
+// allocation-free.
+class Event {
+ public:
+  explicit Event(std::string_view type);
+  ~Event();
+
+  Event& num(std::string_view key, double value);
+  Event& integer(std::string_view key, long long value);
+  Event& str(std::string_view key, std::string_view value);
+  Event& boolean(std::string_view key, bool value);
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+ private:
+  std::string line_;
+};
+
+// RAII thread-local context label attached to every event emitted while
+// in scope (innermost wins).  Campaign runners scope one per case.
+class EventContext {
+ public:
+  explicit EventContext(std::string label);
+  ~EventContext();
+
+  EventContext(const EventContext&) = delete;
+  EventContext& operator=(const EventContext&) = delete;
+
+ private:
+  const std::string* previous_;
+  std::string label_;
+};
+
+}  // namespace lcosc::obs

@@ -1,0 +1,227 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms for the simulation engines and campaign runners.
+//
+// Design constraints (DESIGN.md §10):
+//  - The disabled path is a branch-predictable no-op: every mutator first
+//    reads one relaxed atomic flag and returns.  Campaign hot loops may
+//    therefore keep their instrumentation compiled in unconditionally.
+//  - Counters and histograms use per-thread sharded storage (a fixed
+//    array of cacheline-padded atomic slots indexed by a thread-local
+//    shard id), so parallel campaign workers never contend on a shared
+//    cell.  Aggregation happens only at snapshot time, and every merge
+//    (integer sums, min/max) is order-independent, so the merged totals
+//    are identical for any LCOSC_THREADS worker count.
+//  - Gauges model instantaneous pool/engine state (queue depth, busy
+//    workers); they are single atomic cells with a peak watermark and are
+//    exempt from the cross-worker determinism contract.
+//
+// Enablement: the LCOSC_METRICS environment variable (1/0, true/false,
+// on/off) is read once at first use; set_metrics_enabled() overrides it
+// programmatically at any time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcosc::obs {
+
+// --- enablement -----------------------------------------------------------
+
+// True when metric mutations are recorded.  First call applies the
+// LCOSC_METRICS environment variable; later calls are one relaxed load.
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+// Parse a boolean environment flag: unset -> `fallback`; "1"/"true"/"on"
+// (case-insensitive) -> true; "0"/"false"/"off" -> false; anything else
+// -> `fallback`.  Shared by the LCOSC_METRICS / LCOSC_TRACE toggles and
+// exposed so benches can default a toggle on while still honouring an
+// explicit =0 from the user.
+[[nodiscard]] bool env_flag(const char* name, bool fallback);
+
+// --- storage geometry -----------------------------------------------------
+
+// Number of per-thread shards per counter/histogram.  Thread shard ids
+// are assigned round-robin; two threads may share a slot (updates stay
+// atomic), so this bounds memory, not correctness.
+inline constexpr std::size_t kMetricShards = 32;
+
+// Upper bound on histogram bucket-boundary count (buckets = bounds + 1
+// including the overflow bucket).
+inline constexpr std::size_t kMaxHistogramBounds = 23;
+
+namespace detail {
+// Shard index of the calling thread (stable per thread).
+[[nodiscard]] std::size_t thread_shard();
+}  // namespace detail
+
+// --- metric kinds ---------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if (!metrics_enabled()) return;
+    shards_[detail::thread_shard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset();
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+// Instantaneous value with a peak watermark.  set() overwrites (last
+// writer wins); add() adjusts atomically, so paired add(+1)/add(-1) from
+// many threads track a live level (e.g. busy workers).
+class Gauge {
+ public:
+  void set(double value);
+  void add(double delta);
+
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double peak() const { return peak_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset();
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void raise_peak(double candidate);
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> peak_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts samples <= bounds[i]; the last
+// bucket absorbs everything above bounds.back().  Bucket counts and the
+// observed min/max merge order-independently across shards.
+class Histogram {
+ public:
+  void record(double value) { record_many(value, 1); }
+  void record_many(double value, std::uint64_t count);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  // Smallest / largest recorded sample; +inf / -inf when empty.
+  [[nodiscard]] double min_seen() const { return min_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double max_seen() const { return max_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  [[nodiscard]] std::size_t bucket_of(double value) const;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxHistogramBounds + 1> counts{};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::array<Shard, kMetricShards> shards_{};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// --- snapshot -------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+  friend bool operator==(const CounterSnapshot&, const CounterSnapshot&) = default;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+  double peak = 0.0;
+  friend bool operator==(const GaugeSnapshot&, const GaugeSnapshot&) = default;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double min = 0.0;  // only meaningful when count > 0
+  double max = 0.0;
+  friend bool operator==(const HistogramSnapshot&, const HistogramSnapshot&) = default;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<GaugeSnapshot> gauges;          // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  [[nodiscard]] const CounterSnapshot* find_counter(std::string_view name) const;
+  [[nodiscard]] const GaugeSnapshot* find_gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(std::string_view name) const;
+
+  // JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  // with each line indented by `indent` spaces (benches embed this into
+  // their BENCH_*.json "telemetry" section).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+// --- registry -------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  // Process-wide instance (never destroyed, so instrumented code may run
+  // during static teardown).
+  static MetricsRegistry& instance();
+
+  // Find-or-create by name; returned references stay valid for the
+  // process lifetime, so hot paths cache them in function-local statics.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `bounds` must be non-empty, ascending and at most kMaxHistogramBounds
+  // long; a second registration of the same name ignores the bounds and
+  // returns the existing histogram.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  // Zero every value; definitions (names, bucket bounds) survive.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lcosc::obs

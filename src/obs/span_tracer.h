@@ -1,0 +1,83 @@
+// Scoped span tracer emitting Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+//   LCOSC_SPAN("transient.step");             // RAII span over this scope
+//   obs::trace_instant("safety.trip:low_amplitude");
+//   obs::write_chrome_trace("artifacts/trace_campaigns.json");
+//
+// Spans record a name, the thread id (small sequential integer) and wall
+// time in microseconds since process start (steady clock, so timestamps
+// are monotone per thread).  Storage is a per-thread buffer merged and
+// sorted at write time; a process-wide event cap bounds memory on long
+// campaigns (overflow is counted, never silently dropped from the
+// metadata).
+//
+// Enablement mirrors the metrics registry: the LCOSC_TRACE environment
+// variable is read once at first use, set_trace_enabled() overrides it.
+// A disabled span is a branch-predictable no-op (one relaxed atomic load).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcosc::obs {
+
+// True when spans/instants are recorded.  First call applies LCOSC_TRACE.
+[[nodiscard]] bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+// Hard cap on buffered events; past it events are counted as dropped.
+// Adjustable before a run (not thread-safe against concurrent tracing).
+void set_trace_event_limit(std::size_t limit);
+
+class Span {
+ public:
+  // `name` must outlive the span (string literals); the overhead when
+  // tracing is disabled is one atomic load and a branch.
+  explicit Span(const char* name);
+  // Dynamic label (campaign case names).
+  explicit Span(std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  const char* literal_ = nullptr;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+// Zero-duration "i" event (detector trips, mode latches).
+void trace_instant(std::string name);
+
+struct TraceEventRecord {
+  std::string name;
+  char phase = 'X';  // 'X' complete span, 'i' instant
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // 0 for instants
+
+  friend bool operator==(const TraceEventRecord&, const TraceEventRecord&) = default;
+};
+
+// Merged copy of every buffered event, sorted by (tid, ts_us).
+[[nodiscard]] std::vector<TraceEventRecord> trace_snapshot();
+[[nodiscard]] std::size_t trace_event_count();
+[[nodiscard]] std::size_t trace_dropped_count();
+void clear_trace();
+
+// Write {"traceEvents": [...]} to `path`, creating parent directories.
+// Returns false when the file cannot be opened.  The buffer is left
+// intact (call clear_trace() to start a fresh capture).
+bool write_chrome_trace(const std::string& path);
+
+#define LCOSC_OBS_CONCAT_IMPL(a, b) a##b
+#define LCOSC_OBS_CONCAT(a, b) LCOSC_OBS_CONCAT_IMPL(a, b)
+#define LCOSC_SPAN(name) \
+  const ::lcosc::obs::Span LCOSC_OBS_CONCAT(lcosc_span_, __LINE__)(name)
+
+}  // namespace lcosc::obs

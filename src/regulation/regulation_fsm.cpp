@@ -3,8 +3,41 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::regulation {
+namespace {
+
+const char* mode_name(RegulationMode mode) {
+  switch (mode) {
+    case RegulationMode::PowerOnReset:
+      return "power_on_reset";
+    case RegulationMode::Regulating:
+      return "regulating";
+    case RegulationMode::SafeState:
+      return "safe_state";
+  }
+  return "?";
+}
+
+obs::Counter& ticks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("fsm.ticks");
+  return c;
+}
+
+obs::Counter& code_changes_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("fsm.code_changes");
+  return c;
+}
+
+obs::Counter& safe_entries_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("fsm.safe_state_entries");
+  return c;
+}
+
+}  // namespace
 
 RegulationFsm::RegulationFsm(RegulationConfig config)
     : config_(config), code_(config.startup_code) {
@@ -31,14 +64,22 @@ void RegulationFsm::por_reset() {
 void RegulationFsm::apply_nvm_preset() {
   if (mode_ == RegulationMode::SafeState) return;
   if (config_.nvm_code >= 0 && !frozen()) code_ = config_.nvm_code;
+  if (mode_ != RegulationMode::Regulating && obs::events_enabled()) {
+    obs::Event("fsm.mode")
+        .str("from", mode_name(mode_))
+        .str("to", "regulating")
+        .integer("code", code_);
+  }
   mode_ = RegulationMode::Regulating;
 }
 
 int RegulationFsm::tick(devices::WindowState window) {
   ++ticks_;
+  ticks_counter().add(1);
   if (mode_ == RegulationMode::SafeState) return code_;
   mode_ = RegulationMode::Regulating;
   if (frozen()) return code_;
+  const int previous = code_;
   switch (window) {
     case devices::WindowState::Below:
       code_ = std::min(code_ + 1, config_.max_code);
@@ -49,16 +90,42 @@ int RegulationFsm::tick(devices::WindowState window) {
     case devices::WindowState::Inside:
       break;
   }
+  if (code_ != previous) {
+    code_changes_counter().add(1);
+    if (obs::events_enabled()) {
+      obs::Event("fsm.code")
+          .integer("tick", ticks_)
+          .integer("from", previous)
+          .integer("to", code_);
+    }
+  }
   return code_;
 }
 
 void RegulationFsm::enter_safe_state() {
+  if (mode_ != RegulationMode::SafeState) {
+    safe_entries_counter().add(1);
+    obs::trace_instant("fsm.safe_state");
+    if (obs::events_enabled()) {
+      obs::Event("fsm.mode")
+          .str("from", mode_name(mode_))
+          .str("to", "safe_state")
+          .integer("tick", ticks_)
+          .integer("code", frozen() ? code_ : config_.max_code);
+    }
+  }
   mode_ = RegulationMode::SafeState;
   if (!frozen()) code_ = config_.max_code;
 }
 
 void RegulationFsm::clear_safe_state() {
-  if (mode_ == RegulationMode::SafeState) mode_ = RegulationMode::Regulating;
+  if (mode_ == RegulationMode::SafeState) {
+    if (obs::events_enabled()) {
+      obs::Event("fsm.mode").str("from", "safe_state").str("to", "regulating").integer(
+          "code", code_);
+    }
+    mode_ = RegulationMode::Regulating;
+  }
 }
 
 }  // namespace lcosc::regulation

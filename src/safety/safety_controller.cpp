@@ -1,6 +1,31 @@
 #include "safety/safety_controller.h"
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+
 namespace lcosc::safety {
+namespace {
+
+obs::Counter& trips_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("safety.trips");
+  return c;
+}
+
+// One rising-edge report per channel per armed period: a structured
+// event (with the simulation time, attributable to the running case via
+// the campaign's EventContext), a trace instant and a per-channel
+// counter.
+void report_trip(const char* channel, double t) {
+  trips_counter().add(1);
+  obs::MetricsRegistry::instance().counter(std::string("safety.trips.") + channel).add(1);
+  obs::trace_instant(std::string("safety.trip:") + channel);
+  if (obs::events_enabled()) {
+    obs::Event("safety.trip").str("channel", channel).num("t", t);
+  }
+}
+
+}  // namespace
 
 SafetyController::SafetyController(SafetyControllerConfig config)
     : config_(config),
@@ -16,7 +41,22 @@ bool SafetyController::step(double t, double dt, double v_lc1, double v_lc2) {
     asymmetry_.step(t, dt, v_lc1, v_lc2);
     frequency_.step(t, v_lc1 - v_lc2);
   }
-  return safe_state_requested();
+  const FaultFlags now = flags();
+  // Rising-edge trip reporting; the cheap common path (no telemetry sink,
+  // no new flag) is two relaxed loads and a comparison.
+  if (now != tripped_ &&
+      (obs::metrics_enabled() || obs::trace_enabled() || obs::events_enabled())) {
+    if (now.missing_oscillation && !tripped_.missing_oscillation) {
+      report_trip("missing_oscillation", t);
+    }
+    if (now.low_amplitude && !tripped_.low_amplitude) report_trip("low_amplitude", t);
+    if (now.asymmetry && !tripped_.asymmetry) report_trip("asymmetry", t);
+    if (now.frequency_out_of_band && !tripped_.frequency_out_of_band) {
+      report_trip("frequency_out_of_band", t);
+    }
+  }
+  tripped_ = now;
+  return now.any();
 }
 
 FaultFlags SafetyController::flags() const {
@@ -33,6 +73,7 @@ void SafetyController::reset(double t) {
   low_amplitude_.reset(t);
   asymmetry_.reset(t);
   frequency_.reset(t);
+  tripped_ = {};
 }
 
 }  // namespace lcosc::safety

@@ -47,7 +47,9 @@ class SafetyController {
   void attach_fault_bus(const faults::FaultBus* bus) { fault_bus_ = bus; }
 
   // Advance with the instantaneous pin voltages (relative to Vref).
-  // Returns true while the safety reaction is requested.
+  // Returns true while the safety reaction is requested.  A rising edge
+  // on any detector channel emits a "safety.trip" structured event and a
+  // trace instant carrying the simulation time (obs/, DESIGN.md §10).
   bool step(double t, double dt, double v_lc1, double v_lc2);
 
   [[nodiscard]] FaultFlags flags() const;
@@ -70,6 +72,7 @@ class SafetyController {
   AsymmetryDetector asymmetry_;
   FrequencyMonitor frequency_;
   double reset_time_ = 0.0;
+  FaultFlags tripped_{};  // channels already reported since the last reset
   const faults::FaultBus* fault_bus_ = nullptr;
 };
 

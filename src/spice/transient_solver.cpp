@@ -8,8 +8,61 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "numeric/lu.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::spice {
+namespace {
+
+// Mirror one run's TransientStats into the process-wide registry.  The
+// struct stays the per-run snapshot view (benches and tests read it from
+// TransientResult); the registry aggregates across runs and campaign
+// workers.  Flushing once per run keeps the per-step hot path free of
+// registry traffic, and every flushed quantity is an order-independent
+// sum, so campaign totals are identical for any worker count.
+void flush_stats_to_registry(const TransientStats& stats, std::size_t steps,
+                             std::size_t failed_steps) {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& runs = registry.counter("transient.runs");
+  static obs::Counter& step_count = registry.counter("transient.steps");
+  static obs::Counter& failed = registry.counter("transient.failed_steps");
+  static obs::Counter& matrix_stamps = registry.counter("transient.matrix_stamps");
+  static obs::Counter& rhs_stamps = registry.counter("transient.rhs_stamps");
+  static obs::Counter& factorizations = registry.counter("transient.factorizations");
+  static obs::Counter& rhs_solves = registry.counter("transient.rhs_solves");
+  static obs::Counter& newton_iterations = registry.counter("transient.newton_iterations");
+  static obs::Counter& retried_steps = registry.counter("transient.retried_steps");
+  static obs::Counter& halvings = registry.counter("transient.halvings");
+  // Converged-step Newton iteration histogram: bucket i of the stats
+  // array holds steps that converged in i+1 iterations.
+  static obs::Histogram& newton_hist = registry.histogram(
+      "transient.newton_iterations_per_step", {1, 2, 3, 4, 5, 6, 7});
+  // Wall time is run-to-run noise, not a deterministic quantity: gauges.
+  static obs::Gauge& stamp_seconds = registry.gauge("transient.stamp_seconds");
+  static obs::Gauge& factor_seconds = registry.gauge("transient.factor_seconds");
+  static obs::Gauge& solve_seconds = registry.gauge("transient.solve_seconds");
+
+  runs.add(1);
+  step_count.add(steps);
+  failed.add(failed_steps);
+  matrix_stamps.add(stats.matrix_stamps);
+  rhs_stamps.add(stats.rhs_stamps);
+  factorizations.add(stats.factorizations);
+  rhs_solves.add(stats.rhs_solves);
+  newton_iterations.add(stats.newton_iterations);
+  retried_steps.add(stats.retried_steps);
+  halvings.add(stats.halvings);
+  for (std::size_t i = 0; i < stats.newton_histogram.size(); ++i) {
+    newton_hist.record_many(static_cast<double>(i + 1), stats.newton_histogram[i]);
+  }
+  stamp_seconds.add(stats.stamp_seconds);
+  factor_seconds.add(stats.factor_seconds);
+  solve_seconds.add(stats.solve_seconds);
+}
+
+}  // namespace
 
 TransientStats& TransientStats::operator+=(const TransientStats& other) {
   matrix_stamps += other.matrix_stamps;
@@ -230,6 +283,7 @@ class TransientWorkspace {
 
 TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
                               const std::vector<std::string>& probe_nodes) {
+  LCOSC_SPAN("transient.run");
   LCOSC_REQUIRE(options.dt > 0.0, "transient dt must be positive");
   LCOSC_REQUIRE(options.t_stop > 0.0, "transient t_stop must be positive");
   circuit.finalize();
@@ -288,6 +342,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     const double t = reduced_time + static_cast<double>(nominal_steps) * dt;
     const double remaining = options.t_stop - t;
     if (remaining <= time_eps) break;
+    LCOSC_SPAN("transient.step");
 
     // On the very first step (when not starting from a DC solution) the
     // reactive elements read their explicit initial conditions instead of
@@ -320,12 +375,18 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
       if (halvings >= options.max_step_halvings) break;
       ++halvings;
       ++result.stats.halvings;
+      if (obs::events_enabled()) {
+        obs::Event("newton.halving").num("t", ctx.time).num("dt", h).integer("halvings", halvings);
+      }
       h *= 0.5;
     }
     if (halvings > 0) ++result.stats.retried_steps;
     if (!step_ok) {
       result.converged = false;
       ++result.failed_steps;
+      if (obs::events_enabled()) {
+        obs::Event("newton.step_failed").num("t", ctx.time).integer("halvings", halvings);
+      }
       LCOSC_LOG_WARN << "transient step at t=" << ctx.time << " failed to converge after "
                      << halvings << " dt halvings";
     }
@@ -341,6 +402,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     for (const auto& element : circuit.elements()) element->transient_commit(x, ctx);
     record(t_next, x);
   }
+  flush_stats_to_registry(result.stats, result.steps, result.failed_steps);
   return result;
 }
 

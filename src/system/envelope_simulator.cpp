@@ -7,6 +7,8 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "devices/comparator.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::system {
 
@@ -60,6 +62,7 @@ EnvelopeSimulator::EnvelopeSimulator(EnvelopeSimConfig config)
 }
 
 EnvelopeRunResult EnvelopeSimulator::run(double duration) {
+  LCOSC_SPAN("envelope.run");
   LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
 
   const double rp = tank_.parallel_resistance();
@@ -91,6 +94,10 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
   std::int64_t tick_index = 1;
   result.amplitude.reserve(static_cast<std::size_t>(steps) + 2);
 
+  // Engine counters accumulate locally and flush once per run, keeping
+  // the per-step loop free of registry traffic.
+  std::uint64_t substeps = 0;
+
   for (std::int64_t step = 0; step < steps; ++step) {
     const double t_step = static_cast<double>(step) * dt;
     if (!nvm_applied && t_step >= fsm_.config().nvm_delay) {
@@ -112,6 +119,7 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
     double remaining = dt;
     int guard = 0;
     while (remaining > 0.0 && guard++ < 400) {
+      ++substeps;
       const double lam = lambda_of(a);
       // Local sensitivity d(lambda)/d(ln A): the update is explicit Euler
       // in log amplitude, so the step must also respect this slope or it
@@ -153,6 +161,17 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
     }
   }
   result.final_code = fsm_.code();
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& runs = registry.counter("envelope.runs");
+    static obs::Counter& step_count = registry.counter("envelope.steps");
+    static obs::Counter& substep_count = registry.counter("envelope.substeps");
+    static obs::Counter& tick_count = registry.counter("envelope.ticks");
+    runs.add(1);
+    step_count.add(static_cast<std::uint64_t>(steps));
+    substep_count.add(substeps);
+    tick_count.add(result.ticks.size());
+  }
   return result;
 }
 

@@ -1,9 +1,13 @@
 #include "system/fmea_campaign.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::system {
 
@@ -46,6 +50,12 @@ std::size_t auto_step_budget(const OscillatorSystemConfig& sys_cfg, double durat
 
 FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
   const double duration = config.settle_time + config.observe_time;
+
+  // Label everything the case emits (trace span, safety/FSM events) with
+  // the fault under test so a mixed log remains attributable.
+  const std::string label = "fmea:" + tank::to_string(fault);
+  const obs::EventContext event_ctx(label);
+  const obs::Span span(label);
 
   FmeaRow row;
   row.fault = fault;
@@ -100,6 +110,32 @@ FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
   if (row.status.outcome == CaseOutcome::Ok &&
       row.expected != tank::DetectionChannel::NoneExpected && !row.expected_channel_hit) {
     row.status.outcome = CaseOutcome::Undetected;
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("campaign.cases").add(1);
+    registry.counter("campaign.cases." + to_string(row.status.outcome)).add(1);
+    if (row.status.retries > 0) {
+      registry.counter("campaign.retries")
+          .add(static_cast<std::uint64_t>(row.status.retries));
+    }
+    if (row.detection_latency.has_value()) {
+      static obs::Histogram& latency = registry.histogram(
+          "fmea.detection_latency_ms", {0.5, 1, 2, 3, 4, 5, 7.5, 10, 15, 20});
+      latency.record(*row.detection_latency * 1e3);
+    }
+  }
+  if (obs::events_enabled()) {
+    obs::Event event("campaign.case");
+    event.str("campaign", "fmea")
+        .str("fault", tank::to_string(fault))
+        .str("outcome", to_string(row.status.outcome))
+        .integer("retries", row.status.retries)
+        .boolean("detected", row.detected);
+    if (row.detection_latency.has_value()) {
+      event.num("detection_latency_ms", *row.detection_latency * 1e3);
+    }
   }
   return row;
 }

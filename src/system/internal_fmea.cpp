@@ -1,8 +1,12 @@
 #include "system/internal_fmea.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/parallel.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::system {
 
@@ -109,6 +113,12 @@ InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
                                        const faults::InternalFault& fault) {
   const double duration = config.settle_time + config.observe_time;
 
+  // Label everything the case emits (trace span, safety/FSM events) with
+  // the fault under test so a mixed log remains attributable.
+  const std::string label = "internal_fmea:" + faults::to_string(fault);
+  const obs::EventContext event_ctx(label);
+  const obs::Span span(label);
+
   InternalFmeaRow row;
   row.fault = fault;
   row.expected = faults::expected_detection(fault);
@@ -145,6 +155,32 @@ InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
   if (row.status.outcome == CaseOutcome::Ok &&
       row.expected != faults::DetectionChannel::None && !row.expected_channel_hit) {
     row.status.outcome = CaseOutcome::Undetected;
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("campaign.cases").add(1);
+    registry.counter("campaign.cases." + to_string(row.status.outcome)).add(1);
+    if (row.status.retries > 0) {
+      registry.counter("campaign.retries")
+          .add(static_cast<std::uint64_t>(row.status.retries));
+    }
+    if (row.detection_latency.has_value()) {
+      static obs::Histogram& latency = registry.histogram(
+          "internal_fmea.detection_latency_ms", {0.5, 1, 2, 3, 4, 5, 7.5, 10, 15, 20});
+      latency.record(*row.detection_latency * 1e3);
+    }
+  }
+  if (obs::events_enabled()) {
+    obs::Event event("campaign.case");
+    event.str("campaign", "internal_fmea")
+        .str("fault", faults::to_string(fault))
+        .str("outcome", to_string(row.status.outcome))
+        .integer("retries", row.status.retries)
+        .boolean("detected", row.detected);
+    if (row.detection_latency.has_value()) {
+      event.num("detection_latency_ms", *row.detection_latency * 1e3);
+    }
   }
   return row;
 }

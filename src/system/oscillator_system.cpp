@@ -5,6 +5,8 @@
 
 #include "common/constants.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::system {
 
@@ -115,6 +117,7 @@ OscillatorSystem::TankState OscillatorSystem::derivatives(const TankState& s,
 }
 
 SimulationResult OscillatorSystem::run(double duration) {
+  LCOSC_SPAN("system.run");
   LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
 
   const tank::RlcTank healthy(config_.tank);
@@ -310,6 +313,15 @@ SimulationResult OscillatorSystem::run(double duration) {
   result.final_faults = safety_.flags();
   result.final_code = fsm_.code();
   result.final_mode = fsm_.mode();
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    static obs::Counter& runs = registry.counter("system.runs");
+    static obs::Counter& steps = registry.counter("system.steps");
+    static obs::Counter& ticks = registry.counter("system.ticks");
+    runs.add(1);
+    steps.add(total_steps);
+    ticks.add(result.ticks.size());
+  }
   return result;
 }
 

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace lcosc::system {
 
@@ -95,6 +100,10 @@ ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
       [&](std::size_t idx) {
         const int i = static_cast<int>(idx);
 
+        const std::string label = "tolerance:sample_" + std::to_string(i);
+        const obs::EventContext event_ctx(label);
+        const obs::Span span(label);
+
         ToleranceSample sample;
         sample.status = run_guarded_case(
             [&](int attempt) {
@@ -135,6 +144,28 @@ ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
             },
             config.max_retries);
         if (!sample.status.completed()) sample.in_window = false;
+
+        if (obs::metrics_enabled()) {
+          auto& registry = obs::MetricsRegistry::instance();
+          registry.counter("campaign.cases").add(1);
+          registry.counter("campaign.cases." + to_string(sample.status.outcome)).add(1);
+          if (sample.status.retries > 0) {
+            registry.counter("campaign.retries")
+                .add(static_cast<std::uint64_t>(sample.status.retries));
+          }
+        }
+        if (obs::events_enabled()) {
+          obs::Event event("campaign.case");
+          event.str("campaign", "tolerance")
+              .integer("sample", i)
+              .str("outcome", to_string(sample.status.outcome))
+              .integer("retries", sample.status.retries)
+              .boolean("in_window", sample.in_window);
+          if (sample.status.completed()) {
+            event.num("settled_amplitude", sample.settled_amplitude)
+                .integer("settled_code", sample.settled_code);
+          }
+        }
         return sample;
       },
       config.workers);

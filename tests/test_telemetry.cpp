@@ -1,0 +1,316 @@
+// End-to-end telemetry checks over the campaign engines (ISSUE
+// acceptance): the metrics snapshot of a campaign is identical for 1 and
+// 8 workers (counters and histograms; gauges model instantaneous pool
+// state and are exempt by design), and the Chrome trace JSON written
+// with tracing on is well-formed with monotone timestamps per thread.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+#include "spice/circuit.h"
+#include "spice/transient_solver.h"
+#include "system/internal_fmea.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+InternalFmeaConfig small_campaign() {
+  InternalFmeaConfig cfg;
+  cfg.system.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.system.regulation.tick_period = 0.25e-3;
+  cfg.system.regulation.nvm_code = 45;
+  cfg.system.waveform_decimation = 0;
+  cfg.settle_time = 6e-3;
+  cfg.observe_time = 2e-3;
+  // A detected fault, an overdrive fault, a dead rectifier and the
+  // control case: enough to exercise safety trips, FSM transitions and
+  // the detection-latency histogram.
+  cfg.faults = {faults::make_gm_collapse(),
+                faults::make_fault(faults::InternalFaultKind::WindowStuckLow),
+                faults::make_fault(faults::InternalFaultKind::RectifierDead),
+                faults::make_fault(faults::InternalFaultKind::None)};
+  return cfg;
+}
+
+// --- minimal JSON well-formedness validator -------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string text) : text_(std::move(text)) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string_view(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    return digits && pos_ > start;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (pos_ < text_.size()) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (pos_ < text_.size()) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonValidatorSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidator(R"({"a": [1, -2.5e3, "x\"y"], "b": {"c": true}})").valid());
+  EXPECT_TRUE(JsonValidator("[]").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a": })").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a": 1,})").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a": 1} trailing)").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a" 1})").valid());
+}
+
+// --- acceptance: metrics determinism across worker counts -----------------
+
+TEST(TelemetryDeterminism, CampaignSnapshotsIdenticalForOneAndEightWorkers) {
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(true);
+  auto& registry = obs::MetricsRegistry::instance();
+
+  InternalFmeaConfig cfg = small_campaign();
+
+  cfg.workers = 1;
+  registry.reset();
+  const InternalFmeaReport serial = run_internal_fmea_campaign(cfg);
+  const obs::MetricsSnapshot snap1 = registry.snapshot();
+
+  cfg.workers = 8;
+  registry.reset();
+  const InternalFmeaReport parallel = run_internal_fmea_campaign(cfg);
+  const obs::MetricsSnapshot snap8 = registry.snapshot();
+
+  obs::set_metrics_enabled(false);
+
+  // The campaign itself must agree before the metrics can.
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].detected, parallel.rows[i].detected) << "row " << i;
+    EXPECT_EQ(serial.rows[i].detection_latency, parallel.rows[i].detection_latency)
+        << "row " << i;
+  }
+
+  // Counters and histograms merge order-independently, so the snapshots
+  // are identical for any LCOSC_THREADS (gauges track live pool state
+  // and are exempt from this contract by design, DESIGN.md §10).
+  ASSERT_EQ(snap1.counters.size(), snap8.counters.size());
+  for (std::size_t i = 0; i < snap1.counters.size(); ++i) {
+    EXPECT_EQ(snap1.counters[i], snap8.counters[i])
+        << "counter " << snap1.counters[i].name;
+  }
+  ASSERT_EQ(snap1.histograms.size(), snap8.histograms.size());
+  for (std::size_t i = 0; i < snap1.histograms.size(); ++i) {
+    EXPECT_EQ(snap1.histograms[i], snap8.histograms[i])
+        << "histogram " << snap1.histograms[i].name;
+  }
+
+  // The campaign recorded the expected shape: one case counter per row
+  // and a detection latency for each detected fault.
+  const obs::CounterSnapshot* cases = snap8.find_counter("campaign.cases");
+  ASSERT_NE(cases, nullptr);
+  EXPECT_EQ(cases->value, cfg.faults.size());
+  const obs::HistogramSnapshot* latency =
+      snap8.find_histogram("internal_fmea.detection_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, static_cast<std::uint64_t>(parallel.detected_count()));
+}
+
+// --- acceptance: trace JSON validity --------------------------------------
+
+TEST(TelemetryTrace, ChromeTraceIsWellFormedWithMonotoneTimestamps) {
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  // Keep the capture bounded: the per-step solver spans of even a short
+  // campaign are plentiful.
+  obs::set_trace_event_limit(200000);
+
+  InternalFmeaConfig cfg = small_campaign();
+  cfg.faults = {faults::make_gm_collapse()};
+  cfg.settle_time = 2e-3;
+  cfg.observe_time = 2e-3;
+  cfg.workers = 2;
+  (void)run_internal_fmea_campaign(cfg);
+
+  // The system-level campaign uses its own fixed-step integrator; run a
+  // short spice transient too so the solver-step spans land in the same
+  // trace.
+  {
+    spice::Circuit c;
+    spice::VoltageSource& vs = c.voltage_source("Vs", "in", "0", 0.0);
+    vs.set_sine({.offset = 0.0, .amplitude = 1.0, .frequency = 4.0_MHz, .phase_deg = 0.0});
+    c.resistor("R", "in", "a", 50.0);
+    c.capacitor("C", "a", "0", 1e-9);
+    spice::TransientOptions options;
+    options.dt = 1.0 / (4.0_MHz * 32.0);
+    options.t_stop = 100.0 * options.dt;
+    options.start_from_dc = false;
+    (void)run_transient(c, options, {"a"});
+  }
+
+  obs::set_trace_enabled(false);
+  const std::vector<obs::TraceEventRecord> events = obs::trace_snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Monotone timestamps per thread in snapshot (= file) order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i - 1].tid != events[i].tid) continue;
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us) << "event " << i;
+  }
+
+  // The expected span names all made it in.
+  auto has = [&](const std::string& name) {
+    for (const auto& e : events) {
+      if (e.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("internal_fmea:gm-collapse"));
+  EXPECT_TRUE(has("system.run"));
+  EXPECT_TRUE(has("transient.run"));
+  EXPECT_TRUE(has("transient.step"));
+
+  const std::string path = "telemetry_test_artifacts/trace_campaign.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  obs::clear_trace();
+  obs::set_trace_event_limit(1u << 20);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_TRUE(JsonValidator(json).valid()) << "trace JSON is not well-formed";
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"transient.step\""), std::string::npos);
+  std::filesystem::remove_all("telemetry_test_artifacts");
+}
+
+}  // namespace
+}  // namespace lcosc::system
