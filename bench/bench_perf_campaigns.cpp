@@ -5,7 +5,9 @@
 // writes a machine-readable BENCH_campaigns.json so later PRs can track
 // the perf trajectory (speedup is ~1x on single-core hosts; the JSON
 // records the hardware concurrency so runs are comparable).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,6 +24,7 @@
 #include "spice/circuit.h"
 #include "spice/sweep.h"
 #include "spice/transient_solver.h"
+#include "system/envelope_simulator.h"
 #include "system/fmea_campaign.h"
 #include "system/tolerance_analysis.h"
 
@@ -204,8 +207,155 @@ TransientTiming bench_transient(const std::string& name, bool nonlinear) {
   return t;
 }
 
+// Fixed-grid vs adaptive LTE-controlled stepping of the same workload.
+// The adaptive run must stay inside a reltol-scaled band of the fixed
+// trace; the interesting numbers are the accepted-step reduction and the
+// wall-time ratio.
+struct AdaptiveTiming {
+  std::string name;
+  double fixed_ms = 0.0;
+  double adaptive_ms = 0.0;
+  std::size_t fixed_steps = 0;
+  std::size_t adaptive_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+  double max_deviation = 0.0;  // against the fixed trace, same grid
+  double tolerance = 0.0;      // acceptance band for max_deviation
+  bool within_tolerance = false;
+
+  [[nodiscard]] double speedup() const {
+    return adaptive_ms > 0.0 ? fixed_ms / adaptive_ms : 0.0;
+  }
+  [[nodiscard]] double step_reduction() const {
+    return adaptive_steps > 0 ? static_cast<double>(fixed_steps) / adaptive_steps : 0.0;
+  }
+};
+
+// Startup-shaped spice transient: an RC charging edge resolved on a grid
+// fine enough for the initial slope, where the LTE controller coarsens
+// by ~2 orders of magnitude once the exponential flattens.
+AdaptiveTiming bench_transient_startup() {
+  spice::TransientOptions options;
+  options.dt = 1e-6;
+  options.t_stop = 4000.0 * options.dt;  // 4 time constants
+  options.start_from_dc = false;
+  auto run = [&](bool adaptive) {
+    spice::Circuit c;
+    c.voltage_source("Vs", "in", "0", 5.0);
+    c.resistor("R", "in", "out", 1e3);
+    c.capacitor("C", "out", "0", 1e-6);
+    options.adaptive = adaptive;
+    return run_transient(c, options, {"out"});
+  };
+
+  AdaptiveTiming t;
+  t.name = "transient_startup_rc";
+  spice::TransientResult fixed;
+  spice::TransientResult adaptive;
+  t.fixed_ms = time_ms([&] { fixed = run(false); });
+  t.adaptive_ms = time_ms([&] { adaptive = run(true); });
+  t.fixed_steps = fixed.steps;
+  t.adaptive_steps = adaptive.stats.accepted_steps;
+  t.rejected_steps = adaptive.stats.rejected_steps;
+  t.cache_hits = adaptive.stats.base_cache_hits;
+  t.cache_misses = adaptive.stats.base_cache_misses;
+  t.cache_evictions = adaptive.stats.base_cache_evictions;
+
+  const Trace& a = adaptive.traces[0];
+  const Trace& b = fixed.traces[0];
+  double scale = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) scale = std::max(scale, std::abs(b.value(i)));
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    t.max_deviation = std::max(t.max_deviation, std::abs(a.value(i) - b.value(i)));
+  }
+  t.tolerance = 0.01 * scale;  // 10x the default lte_reltol, same as the tests
+  t.within_tolerance = a.size() == b.size() && t.max_deviation <= t.tolerance;
+  return t;
+}
+
+// The envelope regulation campaign run: fixed dt grid vs adaptive macro
+// stepping (implicit log-Euler trials on power-of-two multiples of dt).
+AdaptiveTiming bench_envelope_regulation() {
+  const double duration = 30e-3;
+  auto make_config = [](bool adaptive) {
+    system::EnvelopeSimConfig cfg;
+    cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+    cfg.regulation.tick_period = 0.25e-3;
+    cfg.adaptive = adaptive;
+    return cfg;
+  };
+
+  AdaptiveTiming t;
+  t.name = "envelope_regulation";
+  system::EnvelopeRunResult fixed;
+  system::EnvelopeRunResult adaptive;
+  t.fixed_ms = time_ms([&] {
+    system::EnvelopeSimulator sim(make_config(false));
+    fixed = sim.run(duration);
+  });
+  t.adaptive_ms = time_ms([&] {
+    system::EnvelopeSimulator sim(make_config(true));
+    adaptive = sim.run(duration);
+  });
+  t.fixed_steps = fixed.macro_steps;
+  t.adaptive_steps = adaptive.macro_steps;
+  t.rejected_steps = adaptive.rejected_steps;
+
+  double scale = 0.0;
+  for (std::size_t i = 0; i < fixed.amplitude.size(); ++i) {
+    scale = std::max(scale, std::abs(fixed.amplitude.value(i)));
+  }
+  const std::size_t n = std::min(fixed.amplitude.size(), adaptive.amplitude.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    t.max_deviation =
+        std::max(t.max_deviation, std::abs(adaptive.amplitude.value(i) - fixed.amplitude.value(i)));
+  }
+  // The regulation loop quantizes through the DAC code, so a one-tick
+  // code shift is legitimate; 2% of full scale absorbs it (same band as
+  // tests/test_envelope.cpp).
+  t.tolerance = 0.02 * scale;
+  t.within_tolerance =
+      fixed.amplitude.size() == adaptive.amplitude.size() && t.max_deviation <= t.tolerance;
+  return t;
+}
+
+// The tolerance Monte-Carlo campaign with its envelope engine flipped to
+// adaptive: the yield and per-sample settle amplitudes must hold, which
+// is the evidence for running the campaign adaptively by default.
+AdaptiveTiming bench_tolerance_adaptive() {
+  system::ToleranceConfig cfg;
+  cfg.nominal.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.nominal.regulation.tick_period = 0.25e-3;
+  cfg.samples = 48;
+  cfg.run_duration = 20e-3;
+  cfg.workers = 1;  // serial: wall time comparable across hosts
+
+  AdaptiveTiming t;
+  t.name = "tolerance_monte_carlo_adaptive";
+  system::ToleranceReport fixed;
+  system::ToleranceReport adaptive;
+  t.fixed_ms = time_ms([&] { fixed = run_tolerance_analysis(cfg); });
+  cfg.nominal.adaptive = true;
+  t.adaptive_ms = time_ms([&] { adaptive = run_tolerance_analysis(cfg); });
+
+  const double target = cfg.nominal.detector.target_amplitude;
+  bool ok = fixed.samples.size() == adaptive.samples.size() && fixed.yield() == adaptive.yield();
+  for (std::size_t i = 0; ok && i < fixed.samples.size(); ++i) {
+    t.max_deviation = std::max(
+        t.max_deviation,
+        std::abs(adaptive.samples[i].settled_amplitude - fixed.samples[i].settled_amplitude));
+    ok = adaptive.samples[i].in_window == fixed.samples[i].in_window;
+  }
+  t.tolerance = 0.02 * target;
+  t.within_tolerance = ok && t.max_deviation <= t.tolerance;
+  return t;
+}
+
 void write_json(const std::string& path, const std::vector<CampaignTiming>& timings,
-                const std::vector<TransientTiming>& transients) {
+                const std::vector<TransientTiming>& transients,
+                const std::vector<AdaptiveTiming>& adaptives) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"bench\": \"bench_perf_campaigns\",\n"
@@ -250,6 +400,26 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"solve_seconds\": " << s.solve_seconds << "\n"
         << "    }" << (i + 1 < transients.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"adaptive\": [\n";
+  for (std::size_t i = 0; i < adaptives.size(); ++i) {
+    const AdaptiveTiming& t = adaptives[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"fixed_ms\": " << t.fixed_ms << ",\n"
+        << "      \"adaptive_ms\": " << t.adaptive_ms << ",\n"
+        << "      \"speedup\": " << t.speedup() << ",\n"
+        << "      \"fixed_steps\": " << t.fixed_steps << ",\n"
+        << "      \"adaptive_steps\": " << t.adaptive_steps << ",\n"
+        << "      \"step_reduction\": " << t.step_reduction() << ",\n"
+        << "      \"rejected_steps\": " << t.rejected_steps << ",\n"
+        << "      \"base_cache_hits\": " << t.cache_hits << ",\n"
+        << "      \"base_cache_misses\": " << t.cache_misses << ",\n"
+        << "      \"base_cache_evictions\": " << t.cache_evictions << ",\n"
+        << "      \"max_deviation\": " << t.max_deviation << ",\n"
+        << "      \"tolerance\": " << t.tolerance << ",\n"
+        << "      \"within_tolerance\": " << (t.within_tolerance ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < adaptives.size() ? "," : "") << "\n";
+  }
   out << "  ],\n";
 
   // Telemetry: a flat phase->milliseconds map (the drift checker's
@@ -268,6 +438,10 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
   for (const TransientTiming& t : transients) {
     phase(t.name + ".uncached", t.uncached_ms);
     phase(t.name + ".cached", t.cached_ms);
+  }
+  for (const AdaptiveTiming& t : adaptives) {
+    phase(t.name + ".fixed", t.fixed_ms);
+    phase(t.name + ".adaptive", t.adaptive_ms);
   }
   out << "\n    },\n"
       << "    \"metrics_enabled\": " << (obs::metrics_enabled() ? "true" : "false") << ",\n"
@@ -317,7 +491,26 @@ int main() {
   }
   ttable.print(std::cout);
 
-  write_json("BENCH_campaigns.json", timings, transients);
+  // Fixed-vs-adaptive A/B (skip with LCOSC_ADAPTIVE=0, e.g. to time the
+  // classic sections alone; the drift checker tolerates missing phases).
+  std::vector<AdaptiveTiming> adaptives;
+  if (obs::env_flag("LCOSC_ADAPTIVE", true)) {
+    std::cout << "\n=== Adaptive LTE stepping vs fixed grid ===\n\n";
+    adaptives = {bench_transient_startup(), bench_envelope_regulation(),
+                 bench_tolerance_adaptive()};
+    TablePrinter atable({"workload", "fixed [ms]", "adaptive [ms]", "speedup", "steps",
+                         "adaptive steps", "rejected", "max dev", "ok"});
+    for (const AdaptiveTiming& t : adaptives) {
+      atable.add_values(t.name, format_significant(t.fixed_ms, 4),
+                        format_significant(t.adaptive_ms, 4),
+                        format_significant(t.speedup(), 3), t.fixed_steps, t.adaptive_steps,
+                        t.rejected_steps, format_significant(t.max_deviation, 3),
+                        t.within_tolerance);
+    }
+    atable.print(std::cout);
+  }
+
+  write_json("BENCH_campaigns.json", timings, transients, adaptives);
   if (obs::trace_enabled()) {
     obs::write_chrome_trace("artifacts/trace_campaigns.json");
     std::cout << "\n(trace: artifacts/trace_campaigns.json, "
@@ -329,6 +522,9 @@ int main() {
             << "    byte-identical to serial (per-index Rng forking, order-preserving\n"
             << "    parallel_map);\n"
             << "  - speedup approaches the worker count on multi-core hosts and ~1.0\n"
-            << "    on a single core (the engine adds no meaningful overhead).\n";
+            << "    on a single core (the engine adds no meaningful overhead);\n"
+            << "  - ok=true on every adaptive row: the LTE-controlled runs stay inside\n"
+            << "    the reltol-scaled band of their fixed-grid references while cutting\n"
+            << "    the accepted-step count (>= 3x on the startup and regulation rows).\n";
   return 0;
 }

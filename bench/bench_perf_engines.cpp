@@ -119,6 +119,29 @@ void BM_TransientDiodeClamp(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientDiodeClamp)->Arg(0)->Arg(1);
 
+// Startup-shaped RC transient, fixed grid vs adaptive LTE stepping
+// (state.range(0): 0 = fixed, 1 = adaptive).  The adaptive run resolves
+// the charging edge and then rides the 64x step ceiling, so the ratio
+// tracks the accepted-step reduction.
+void BM_TransientStartupRc(benchmark::State& state) {
+  using namespace lcosc::spice;
+  TransientOptions options;
+  options.dt = 1e-6;
+  options.t_stop = 4000.0 * options.dt;
+  options.start_from_dc = false;
+  options.adaptive = state.range(0) != 0;
+  for (auto _ : state) {
+    Circuit c;
+    c.voltage_source("Vs", "in", "0", 5.0);
+    c.resistor("R", "in", "out", 1e3);
+    c.capacitor("C", "out", "0", 1e-6);
+    const TransientResult r = run_transient(c, options, {"out"});
+    benchmark::DoNotOptimize(r.stats.rhs_solves);
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_TransientStartupRc)->Arg(0)->Arg(1);
+
 void BM_MismatchedDacFullTransfer(benchmark::State& state) {
   const dac::CurrentLimitationDac mirror(kDacUnitCurrent, dac::MismatchConfig{}, 42);
   for (auto _ : state) {
@@ -130,15 +153,17 @@ void BM_MismatchedDacFullTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_MismatchedDacFullTransfer);
 
+// state.range(0): 0 = fixed dt grid, 1 = adaptive macro stepping.
 void BM_EnvelopeSimMillisecond(benchmark::State& state) {
   system::EnvelopeSimConfig cfg;
   cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.adaptive = state.range(0) != 0;
   for (auto _ : state) {
     system::EnvelopeSimulator sim(cfg);
     benchmark::DoNotOptimize(sim.run(1e-3).final_code);
   }
 }
-BENCHMARK(BM_EnvelopeSimMillisecond);
+BENCHMARK(BM_EnvelopeSimMillisecond)->Arg(0)->Arg(1);
 
 void BM_CycleAccurateSimMillisecond(benchmark::State& state) {
   system::OscillatorSystemConfig cfg;

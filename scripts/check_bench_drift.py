@@ -62,6 +62,15 @@ def main() -> int:
     base = load_phases(args.baseline)
     cand = load_phases(args.candidate)
 
+    # One-sided phases (benches gain and lose sections across PRs) are
+    # reported but tolerated; zero overlap means the files do not describe
+    # the same bench at all, which is a wiring error, not drift.
+    if not set(base) & set(cand):
+        sys.exit(
+            f"error: {args.baseline} and {args.candidate} share no phase names; "
+            "wrong baseline file?"
+        )
+
     regressions = []
     width = max(len(n) for n in sorted(set(base) | set(cand)))
     print(f"{'phase':<{width}}  {'baseline':>10}  {'candidate':>10}  {'delta':>8}")
@@ -73,7 +82,8 @@ def main() -> int:
             print(f"{name:<{width}}  {base[name]:>8.2f}ms  {'-':>10}   (removed)")
             continue
         b, c = base[name], cand[name]
-        if b < args.min_ms:
+        # The b <= 0 guard also protects the ratio when --min-ms is 0.
+        if b <= 0.0 or b < args.min_ms:
             print(f"{name:<{width}}  {b:>8.2f}ms  {c:>8.2f}ms   (below --min-ms, skipped)")
             continue
         delta = (c - b) / b

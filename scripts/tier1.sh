@@ -6,8 +6,36 @@
 #                                 and campaign suites (separate build dir)
 #   scripts/tier1.sh --tsan       ThreadSanitizer build of the telemetry,
 #                                 parallel-engine and campaign suites
+#   scripts/tier1.sh --bench      run bench_perf_campaigns and check the
+#                                 telemetry.phases timings against the
+#                                 committed per-host baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--bench" ]]; then
+  cmake -B build -S . && cmake --build build -j --target bench_perf_campaigns
+  # bench_perf_campaigns writes BENCH_campaigns.json into the cwd; run it
+  # from the repo root so the committed record is the one refreshed.
+  ./build/bench/bench_perf_campaigns
+  # Baselines are tagged by OS + core count: wall times are only
+  # comparable on similar hosts.  First run on a new host seeds the
+  # baseline instead of failing.
+  tag="$(uname -s | tr '[:upper:]' '[:lower:]')-$(nproc)c"
+  baseline="bench/baselines/${tag}.json"
+  if [[ ! -f "$baseline" ]]; then
+    mkdir -p bench/baselines
+    cp BENCH_campaigns.json "$baseline"
+    echo "no baseline for host tag '${tag}'; seeded ${baseline} from this run"
+    exit 0
+  fi
+  # Single-digit-millisecond phases flap by tens of percent from timer
+  # noise alone on small hosts, and back-to-back identical runs differ by
+  # ~30% under container CPU contention; gate only phases long enough to
+  # mean something, and only against step-change regressions.  Tighter
+  # tracking belongs on a quiet dedicated host with its own baseline tag.
+  scripts/check_bench_drift.py "$baseline" BENCH_campaigns.json --min-ms 5 --threshold 0.6
+  exit 0
+fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then
   cmake -B build-asan -S . \
@@ -48,3 +76,8 @@ cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-f
 # and nonlinear circuits (the *BitIdentical* suites compare every trace
 # sample with exact equality).
 ./tests/test_spice_reuse --gtest_filter='TransientReuse.*BitIdentical*'
+
+# Smoke step: with adaptive stepping off (the default) the solver must
+# reproduce the pre-adaptive golden trace byte for byte (hexfloat dump
+# committed in tests/data/transient_fixed_reference.txt).
+./tests/test_spice_adaptive --gtest_filter='TransientAdaptive.FixedPathMatchesPrePrGoldenTrace'

@@ -13,10 +13,15 @@ NegativeChargePump::NegativeChargePump(ChargePumpConfig config) : config_(config
 }
 
 double NegativeChargePump::step(double dt) {
-  LCOSC_REQUIRE(dt >= 0.0, "time step must be non-negative");
   const double target = enabled_ ? config_.target_voltage : 0.0;
   const double tau = enabled_ ? config_.startup_time : config_.decay_time;
-  output_ = target + (output_ - target) * std::exp(-dt / tau);
+  if (dt != cached_dt_ || tau != cached_tau_) {
+    LCOSC_REQUIRE(dt >= 0.0, "time step must be non-negative");
+    cached_decay_ = std::exp(-dt / tau);
+    cached_dt_ = dt;
+    cached_tau_ = tau;
+  }
+  output_ = target + (output_ - target) * cached_decay_;
   return output_;
 }
 

@@ -7,6 +7,8 @@
 // paths.  The model is a rate-limited target follower.
 #pragma once
 
+#include <cmath>
+
 namespace lcosc::devices {
 
 struct ChargePumpConfig {
@@ -32,6 +34,12 @@ class NegativeChargePump {
   ChargePumpConfig config_;
   bool enabled_ = false;
   double output_ = 0.0;
+  // Memoized exp(-dt/tau), keyed on (dt, tau) like LowPassFilter::step:
+  // the effective tau switches with enabled_, so dt alone is not a valid
+  // key.  NaN sentinels force the first step() to compute.
+  double cached_dt_ = std::nan("");
+  double cached_tau_ = std::nan("");
+  double cached_decay_ = 1.0;
 };
 
 }  // namespace lcosc::devices

@@ -9,6 +9,11 @@ LowPassFilter::LowPassFilter(double tau, double initial_output)
   LCOSC_REQUIRE(tau > 0.0, "low-pass time constant must be positive");
 }
 
+void LowPassFilter::set_tau(double tau) {
+  LCOSC_REQUIRE(tau > 0.0, "low-pass time constant must be positive");
+  tau_ = tau;
+}
+
 void LowPassFilter::check_dt(double dt) {
   LCOSC_REQUIRE(dt >= 0.0, "time step must be non-negative");
 }

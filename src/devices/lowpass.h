@@ -15,16 +15,18 @@ class LowPassFilter {
 
   // Advance by dt with (held) input x; returns the new output.
   //
-  // The decay factor exp(-dt/tau) is memoized on dt: fixed-step callers
-  // (the RK4 system loop calls this tens of millions of times with one
-  // dt) skip the transcendental entirely, and the cached value is the
-  // exact double exp() returned for that dt, so results are bit-identical
-  // to the uncached evaluation.
+  // The decay factor exp(-dt/tau) is memoized on the (dt, tau) pair:
+  // fixed-step callers (the RK4 system loop calls this tens of millions
+  // of times with one dt) skip the transcendental entirely, and the
+  // cached value is the exact double exp() returned for that pair, so
+  // results are bit-identical to the uncached evaluation.  Keying on tau
+  // as well keeps the cache correct across set_tau() retuning.
   double step(double dt, double x) {
-    if (dt != cached_dt_) {
+    if (dt != cached_dt_ || tau_ != cached_tau_) {
       check_dt(dt);
       cached_alpha_ = std::exp(-dt / tau_);
       cached_dt_ = dt;
+      cached_tau_ = tau_;
     }
     y_ = x + (y_ - x) * cached_alpha_;
     return y_;
@@ -32,6 +34,9 @@ class LowPassFilter {
 
   [[nodiscard]] double output() const { return y_; }
   [[nodiscard]] double tau() const { return tau_; }
+  // Retune the time constant; the output state is kept.  The next step()
+  // recomputes the decay factor (the memo key includes tau).
+  void set_tau(double tau);
   void reset(double output = 0.0) { y_ = output; }
 
  private:
@@ -40,8 +45,9 @@ class LowPassFilter {
 
   double tau_;
   double y_;
-  // NaN sentinel: never compares equal, so the first step() computes.
+  // NaN sentinels: never compare equal, so the first step() computes.
   double cached_dt_ = std::nan("");
+  double cached_tau_ = std::nan("");
   double cached_alpha_ = 1.0;
 };
 

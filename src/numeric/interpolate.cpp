@@ -28,6 +28,48 @@ double PwlTable::operator()(double x) const {
   return y0 + (y1 - y0) * t;
 }
 
+void SampledCurve::reserve(std::size_t n) {
+  xs_.reserve(n);
+  ys_.reserve(n);
+}
+
+void SampledCurve::append(double x, double y) {
+  LCOSC_REQUIRE(xs_.empty() || x > xs_.back(),
+                "SampledCurve abscissa must be strictly increasing");
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+void SampledCurve::clear() {
+  xs_.clear();
+  ys_.clear();
+}
+
+double SampledCurve::front_x() const {
+  LCOSC_REQUIRE(!xs_.empty(), "SampledCurve is empty");
+  return xs_.front();
+}
+
+double SampledCurve::back_x() const {
+  LCOSC_REQUIRE(!xs_.empty(), "SampledCurve is empty");
+  return xs_.back();
+}
+
+double SampledCurve::operator()(double x) const {
+  LCOSC_REQUIRE(!xs_.empty(), "SampledCurve is empty");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  // First knot strictly greater than x; the clamps above guarantee an
+  // interior segment.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const double x0 = xs_[hi - 1];
+  const double x1 = xs_[hi];
+  // Exact-knot hit: return the stored ordinate, not x0 + 0 * slope.
+  if (x == x0) return ys_[hi - 1];
+  return ys_[hi - 1] + (ys_[hi] - ys_[hi - 1]) * ((x - x0) / (x1 - x0));
+}
+
 double PwlTable::derivative(double x) const {
   LCOSC_REQUIRE(!points_.empty(), "PWL table is empty");
   auto it = std::upper_bound(points_.begin(), points_.end(), x,

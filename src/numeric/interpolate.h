@@ -40,4 +40,43 @@ class PwlTable {
 // Linear interpolation between two scalars.
 [[nodiscard]] constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
 
+// Dense-output sampler over an irregularly spaced abscissa: linear
+// interpolation between knots with CLAMPED (not extrapolated) ends.
+//
+// The adaptive transient engines accept internal steps wherever the LTE
+// controller lands them and then resample the solution onto the caller's
+// fixed output grid through this class.  Semantics the dense-output path
+// relies on (and tests pin down):
+//   - evaluation at a knot abscissa returns exactly the stored ordinate
+//     (accepted solver states pass through the resampling bit-for-bit);
+//   - evaluation outside [front, back] clamps to the end ordinates (the
+//     output grid's last point may sit an ulp past the last accepted
+//     step);
+//   - a single-knot table is the constant function (a run that ends on
+//     its first accepted step is still sampleable);
+//   - an empty table cannot be evaluated (ConfigError);
+//   - a non-strictly-increasing abscissa is rejected at append time
+//     (ConfigError), never silently reordered.
+class SampledCurve {
+ public:
+  SampledCurve() = default;
+
+  void reserve(std::size_t n);
+  // Append a knot; x must be strictly greater than the previous knot's.
+  void append(double x, double y);
+  void clear();
+
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] double front_x() const;
+  [[nodiscard]] double back_x() const;
+
+  // Clamped piecewise-linear evaluation (see the contract above).
+  [[nodiscard]] double operator()(double x) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
 }  // namespace lcosc

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "numeric/lu.h"
+#include "numeric/step_control.h"
 
 namespace lcosc {
 namespace {
@@ -141,16 +143,158 @@ OdeResult integrate_rkf45(const OdeRhs& rhs, double t0, double t1, Vector x0,
   return result;
 }
 
+namespace {
+
+// One trapezoidal step from (t, x) with rhs value f_old at x: predictor
+// (forward Euler) plus Newton corrector, writing the new state into
+// x_out and the rhs at x_out into f_out.  Shared verbatim by the fixed
+// loop and the adaptive step-doubling trials so both paths perform the
+// identical floating-point sequence per step.
+class TrapezoidalStepper {
+ public:
+  TrapezoidalStepper(const OdeRhs& rhs, const TrapezoidalOptions& options, std::size_t n)
+      : rhs_(rhs),
+        options_(options),
+        n_(n),
+        guess_(n),
+        residual_(n),
+        f_pert_(n),
+        delta_x_(n),
+        jac_(n, n) {}
+
+  void step(double t, const Vector& x, double h, const Vector& f_old, Vector& x_out,
+            Vector& f_out) {
+    // Predictor: forward Euler.
+    for (std::size_t i = 0; i < n_; ++i) guess_[i] = x[i] + h * f_old[i];
+
+    // Corrector: Newton on G(y) = y - x - h/2 (f_old + f(y)) with a
+    // finite-difference Jacobian.  Newton (rather than fixed-point
+    // iteration) keeps the corrector convergent for stiff systems where
+    // |h * df/dy| >> 1 -- which is the reason to use an A-stable rule.
+    for (int it = 0; it < options_.max_corrector_iterations; ++it) {
+      rhs_(t + h, guess_, f_out);
+      double res_norm = 0.0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        residual_[i] = guess_[i] - x[i] - 0.5 * h * (f_old[i] + f_out[i]);
+        res_norm = std::max(res_norm, std::abs(residual_[i]));
+      }
+      if (res_norm <= options_.corrector_tolerance) break;
+
+      // J = I - h/2 * df/dy (forward differences, column by column).
+      for (std::size_t j = 0; j < n_; ++j) {
+        const double eps = 1e-8 * (1.0 + std::abs(guess_[j]));
+        const double saved = guess_[j];
+        guess_[j] += eps;
+        rhs_(t + h, guess_, f_pert_);
+        guess_[j] = saved;
+        for (std::size_t i = 0; i < n_; ++i) {
+          jac_(i, j) = (i == j ? 1.0 : 0.0) - 0.5 * h * (f_pert_[i] - f_out[i]) / eps;
+        }
+      }
+      const LuDecomposition lu(jac_);
+      if (!lu.try_solve(residual_, delta_x_)) break;
+      for (std::size_t i = 0; i < n_; ++i) guess_[i] -= delta_x_[i];
+    }
+
+    rhs_(t + h, guess_, f_out);
+    x_out = guess_;
+  }
+
+ private:
+  const OdeRhs& rhs_;
+  const TrapezoidalOptions& options_;
+  std::size_t n_;
+  Vector guess_, residual_, f_pert_, delta_x_;
+  Matrix jac_;
+};
+
+OdeResult integrate_trapezoidal_adaptive(const OdeRhs& rhs, double t0, double t1, Vector x0,
+                                         const TrapezoidalOptions& options,
+                                         const OdeObserver& observer) {
+  const std::size_t n = x0.size();
+  OdeResult result;
+  result.state = std::move(x0);
+  TrapezoidalStepper stepper(rhs, options, n);
+  Vector f_old(n), f_full(n), f_mid(n), f_half(n);
+  Vector x_full(n), x_mid(n), x_half(n);
+
+  const double h_min = options.min_step > 0.0 ? options.min_step : options.step / 4096.0;
+  const double h_max_raw = options.max_step > 0.0 ? options.max_step : 64.0 * options.step;
+  LCOSC_REQUIRE(h_min <= h_max_raw, "trapezoidal min_step must not exceed max_step");
+  const StepGrid grid(options.step_grid_per_octave);
+  // Quantizing rounds the ceiling down; never let it cross the floor.
+  const double h_max = std::max(grid.quantize(h_max_raw), h_min);
+  StepControlOptions sc;
+  sc.order = 2;  // trapezoidal rule
+  PiStepController controller(sc);
+
+  auto clamp_to_grid = [&](double h) {
+    h = std::clamp(h, h_min, h_max);
+    const double q = grid.quantize(h);
+    return q >= h_min ? q : h_min;
+  };
+
+  double t = t0;
+  if (observer && !observer(t, result.state)) {
+    result.t_end = t;
+    return result;
+  }
+  rhs(t, result.state, f_old);
+  double h = clamp_to_grid(std::min(options.step, std::max(t1 - t0, h_min)));
+  const double time_eps = options.step * 1e-9;
+  while (t1 - t > time_eps) {
+    const double h_try = std::min(h, t1 - t);
+    const Vector& x = result.state;
+
+    // Step doubling: one step of h_try against two of h_try / 2; the
+    // Richardson difference over 2^p - 1 = 3 bounds the half-step LTE.
+    stepper.step(t, x, h_try, f_old, x_full, f_full);
+    stepper.step(t, x, 0.5 * h_try, f_old, x_mid, f_mid);
+    stepper.step(t + 0.5 * h_try, x_mid, 0.5 * h_try, f_mid, x_half, f_half);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lte = (x_half[i] - x_full[i]) / 3.0;
+      const double scale =
+          options.abs_tolerance +
+          options.rel_tolerance * std::max(std::abs(x[i]), std::abs(x_half[i]));
+      err = std::max(err, std::abs(lte) / scale);
+    }
+    if (!std::isfinite(err)) err = std::numeric_limits<double>::infinity();
+
+    const bool at_floor = h_try <= h_min * (1.0 + 1e-12);
+    if (err > 1.0 && !at_floor) {
+      ++result.steps_rejected;
+      h = clamp_to_grid(h_try * controller.propose_factor(err, false));
+      continue;
+    }
+
+    result.state = x_half;
+    f_old = f_half;
+    t += h_try;
+    ++result.steps_taken;
+    if (observer && !observer(t, result.state)) break;
+    h = clamp_to_grid(h_try * controller.propose_factor(err, true));
+  }
+  result.t_end = t;
+  return result;
+}
+
+}  // namespace
+
 OdeResult integrate_trapezoidal(const OdeRhs& rhs, double t0, double t1, Vector x0,
                                 const TrapezoidalOptions& options, const OdeObserver& observer) {
   LCOSC_REQUIRE(options.step > 0.0, "trapezoidal step must be positive");
   LCOSC_REQUIRE(t1 >= t0, "integration interval must be forward in time");
+  if (options.adaptive) {
+    return integrate_trapezoidal_adaptive(rhs, t0, t1, std::move(x0), options, observer);
+  }
   const std::size_t n = x0.size();
 
   OdeResult result;
   result.state = std::move(x0);
-  Vector f_old(n), f_new(n), guess(n), residual(n), f_pert(n), delta_x(n);
-  Matrix jac(n, n);
+  TrapezoidalStepper stepper(rhs, options, n);
+  Vector f_old(n), f_new(n), x_new(n);
 
   double t = t0;
   if (observer && !observer(t, result.state)) {
@@ -161,42 +305,8 @@ OdeResult integrate_trapezoidal(const OdeRhs& rhs, double t0, double t1, Vector 
   rhs(t, result.state, f_old);
   while (t < t1) {
     const double h = std::min(options.step, t1 - t);
-    const Vector& x = result.state;
-
-    // Predictor: forward Euler.
-    for (std::size_t i = 0; i < n; ++i) guess[i] = x[i] + h * f_old[i];
-
-    // Corrector: Newton on G(y) = y - x - h/2 (f_old + f(y)) with a
-    // finite-difference Jacobian.  Newton (rather than fixed-point
-    // iteration) keeps the corrector convergent for stiff systems where
-    // |h * df/dy| >> 1 -- which is the reason to use an A-stable rule.
-    for (int it = 0; it < options.max_corrector_iterations; ++it) {
-      rhs(t + h, guess, f_new);
-      double res_norm = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        residual[i] = guess[i] - x[i] - 0.5 * h * (f_old[i] + f_new[i]);
-        res_norm = std::max(res_norm, std::abs(residual[i]));
-      }
-      if (res_norm <= options.corrector_tolerance) break;
-
-      // J = I - h/2 * df/dy (forward differences, column by column).
-      for (std::size_t j = 0; j < n; ++j) {
-        const double eps = 1e-8 * (1.0 + std::abs(guess[j]));
-        const double saved = guess[j];
-        guess[j] += eps;
-        rhs(t + h, guess, f_pert);
-        guess[j] = saved;
-        for (std::size_t i = 0; i < n; ++i) {
-          jac(i, j) = (i == j ? 1.0 : 0.0) - 0.5 * h * (f_pert[i] - f_new[i]) / eps;
-        }
-      }
-      const LuDecomposition lu(jac);
-      if (!lu.try_solve(residual, delta_x)) break;
-      for (std::size_t i = 0; i < n; ++i) guess[i] -= delta_x[i];
-    }
-
-    rhs(t + h, guess, f_new);
-    result.state = guess;
+    stepper.step(t, result.state, h, f_old, x_new, f_new);
+    result.state = x_new;
     f_old = f_new;
     t += h;
     ++result.steps_taken;

@@ -60,6 +60,18 @@ struct TrapezoidalOptions {
   double step = 1e-9;
   int max_corrector_iterations = 50;
   double corrector_tolerance = 1e-12;
+
+  // Adaptive LTE control (default off: the fixed-step loop is unchanged).
+  // When on, `step` is the initial/output-scale step; the actual step is
+  // chosen by step doubling with a 2nd-order PI controller and quantized
+  // onto a power-of-two geometric grid.  The observer then sees accepted
+  // internal steps (variable spacing) instead of the fixed grid.
+  bool adaptive = false;
+  double abs_tolerance = 1e-9;
+  double rel_tolerance = 1e-6;
+  double min_step = 0.0;  // 0 = step / 4096
+  double max_step = 0.0;  // 0 = 64 * step
+  int step_grid_per_octave = 4;
 };
 
 OdeResult integrate_trapezoidal(const OdeRhs& rhs, double t0, double t1, Vector x0,

@@ -1,0 +1,76 @@
+#include "numeric/step_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+PiStepController::PiStepController(const StepControlOptions& options) : options_(options) {
+  LCOSC_REQUIRE(options.order >= 1, "step controller order must be >= 1");
+  LCOSC_REQUIRE(options.safety > 0.0 && options.safety <= 1.0,
+                "step controller safety must be in (0, 1]");
+  LCOSC_REQUIRE(options.min_factor > 0.0 && options.min_factor < 1.0,
+                "step controller min_factor must be in (0, 1)");
+  LCOSC_REQUIRE(options.max_factor > 1.0, "step controller max_factor must be > 1");
+}
+
+double PiStepController::propose_factor(double error_ratio, bool accepted) {
+  const double expo = 1.0 / static_cast<double>(options_.order + 1);
+  double factor;
+  if (!(error_ratio > 0.0) || !std::isfinite(error_ratio)) {
+    // A non-finite or failed step (diverged Newton, NaN state) carries no
+    // usable error information: back off hard.
+    factor = error_ratio == 0.0 ? options_.max_factor : options_.min_factor;
+  } else {
+    factor = options_.safety * std::pow(error_ratio, -options_.k_i * expo) *
+             std::pow(previous_error_, options_.k_p * expo);
+  }
+  factor = std::clamp(factor, options_.min_factor, options_.max_factor);
+  if (accepted) {
+    // Right after a rejection the proposal may not grow: the controller
+    // just learned the local error constant the hard way, and growing
+    // immediately re-enters the rejection region on the next step.
+    if (had_rejection_) factor = std::min(factor, 1.0);
+    had_rejection_ = false;
+    previous_error_ = std::max(error_ratio, 1e-10);
+  } else {
+    had_rejection_ = true;
+    // A rejected step must shrink.
+    factor = std::min(factor, 0.9);
+  }
+  return factor;
+}
+
+void PiStepController::reset() {
+  previous_error_ = 1.0;
+  had_rejection_ = false;
+}
+
+StepGrid::StepGrid(int steps_per_octave) : steps_per_octave_(steps_per_octave) {
+  LCOSC_REQUIRE(steps_per_octave >= 1, "step grid needs at least one step per octave");
+}
+
+double StepGrid::quantize(double h) const {
+  LCOSC_REQUIRE(h > 0.0 && std::isfinite(h), "step to quantize must be positive and finite");
+  const double m = static_cast<double>(steps_per_octave_);
+  double k = std::floor(std::log2(h) * m);
+  double q = std::exp2(k / m);
+  // log2/exp2 rounding can land one grid point high; step down until the
+  // conservative contract (q <= h) holds.
+  while (q > h) {
+    k -= 1.0;
+    q = std::exp2(k / m);
+  }
+  // ...or one low: take the next grid point up when it still fits.
+  for (;;) {
+    const double up = std::exp2((k + 1.0) / m);
+    if (up > h) break;
+    k += 1.0;
+    q = up;
+  }
+  return q;
+}
+
+}  // namespace lcosc

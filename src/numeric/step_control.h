@@ -1,0 +1,83 @@
+// Shared machinery for local-truncation-error-controlled adaptive time
+// stepping: a PI step-size controller and a power-of-two geometric step
+// grid.
+//
+// Every adaptive engine in the tree (the spice transient solver, the
+// envelope simulator, the implicit ODE integrator) estimates its LTE by
+// step doubling -- advance once with h and twice with h/2 from the same
+// state, so the Richardson difference bounds the error of the half-step
+// solution -- and feeds the scaled error ratio into one of these
+// controllers.  Centralizing the controller keeps the accept/reject
+// policy and the (well-tested) growth clamps identical across engines.
+#pragma once
+
+#include <cstddef>
+
+namespace lcosc {
+
+struct StepControlOptions {
+  // Order of the underlying method (BE = 1, trapezoidal = 2).  The
+  // controller exponents scale with 1/(order + 1) because the LTE of a
+  // method of order p behaves like h^(p+1).
+  int order = 1;
+  // Multiplied into every proposal so the next step does not sit exactly
+  // on the acceptance boundary.
+  double safety = 0.9;
+  // Clamp on the per-step growth/shrink factor.  The lower clamp bounds
+  // the rework after a badly failed step; the upper clamp stops the
+  // controller from leaping over a smooth region straight into the next
+  // transient.
+  double min_factor = 0.2;
+  double max_factor = 4.0;
+  // PI gains (Gustafsson): proposal ~ err^-kI * err_prev^kP, both scaled
+  // by 1/(order+1).  kP = 0 reduces to the classic elementary controller.
+  double k_i = 0.7;
+  double k_p = 0.4;
+};
+
+// PI step-size controller on the scaled error ratio
+//   err = max_i |lte_i| / (abstol_i + reltol * |x_i|),
+// where err <= 1 means "accept".  Stateful: it remembers the error of
+// the previous accepted step (the integral part) and whether the last
+// proposal followed a rejection (growth after a rejection is suppressed
+// so the controller cannot oscillate accept/reject/accept).
+class PiStepController {
+ public:
+  explicit PiStepController(const StepControlOptions& options);
+
+  // Scale factor for the next step given this step's error ratio; call
+  // exactly once per attempted step with accepted = (err <= 1).
+  [[nodiscard]] double propose_factor(double error_ratio, bool accepted);
+
+  // Forget controller history (fresh integration interval).
+  void reset();
+
+ private:
+  StepControlOptions options_;
+  double previous_error_ = 1.0;  // error ratio of the last accepted step
+  bool had_rejection_ = false;   // last attempt was rejected
+};
+
+// Power-of-two geometric step grid with `steps_per_octave` points per
+// octave: grid values are 2^(k / m) for integer k.  Quantizing proposed
+// steps onto this grid collapses the continuum of controller outputs
+// into a handful of distinct dt values, which is what makes a dt-keyed
+// LU/base-matrix cache effective.  Halving a grid value lands on the
+// grid again (k -> k - m), so step-doubling LTE probes stay cacheable.
+class StepGrid {
+ public:
+  // steps_per_octave must be >= 1; 4 gives a ~19% ratio between
+  // neighbouring steps.
+  explicit StepGrid(int steps_per_octave);
+
+  // Largest grid value <= h (conservative: quantization never grows the
+  // step the controller asked for).  h must be positive and finite.
+  [[nodiscard]] double quantize(double h) const;
+
+  [[nodiscard]] int steps_per_octave() const { return steps_per_octave_; }
+
+ private:
+  int steps_per_octave_;
+};
+
+}  // namespace lcosc

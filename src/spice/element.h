@@ -182,6 +182,15 @@ class Element {
     (void)ctx;
   }
 
+  // Speculative-step support for the adaptive solver: `transient_push`
+  // snapshots the committed history (one level deep), `transient_pop`
+  // restores it after a rejected trial step.  Elements without history
+  // need not override.  A push may be followed by any number of commits
+  // before the matching pop; an accepted trial simply abandons the
+  // snapshot (the next push overwrites it).
+  virtual void transient_push() {}
+  virtual void transient_pop() {}
+
   // Current through the element (positive from its first to second
   // terminal) evaluated at solution x; default 0 for elements where the
   // notion does not apply.

@@ -72,6 +72,16 @@ void Capacitor::transient_commit(const Vector& x, const StampContext& ctx) {
   v_hist_ = v_now;
 }
 
+void Capacitor::transient_push() {
+  v_hist_saved_ = v_hist_;
+  i_hist_saved_ = i_hist_;
+}
+
+void Capacitor::transient_pop() {
+  v_hist_ = v_hist_saved_;
+  i_hist_ = i_hist_saved_;
+}
+
 double Capacitor::branch_current(const Vector& x, const StampContext& ctx) const {
   if (ctx.is_dc()) return 0.0;
   const double v_now = node_voltage(x, a_) - node_voltage(x, b_);
@@ -144,6 +154,16 @@ void Inductor::transient_commit(const Vector& x, const StampContext& ctx) {
   const int k = extra_base();
   i_hist_ = x[static_cast<std::size_t>(k)];
   v_hist_ = node_voltage(x, a_) - node_voltage(x, b_);
+}
+
+void Inductor::transient_push() {
+  i_hist_saved_ = i_hist_;
+  v_hist_saved_ = v_hist_;
+}
+
+void Inductor::transient_pop() {
+  i_hist_ = i_hist_saved_;
+  v_hist_ = v_hist_saved_;
 }
 
 double Inductor::branch_current(const Vector& x, const StampContext&) const {

@@ -37,6 +37,8 @@ class Capacitor : public Element {
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void transient_begin(const Vector* x0) override;
   void transient_commit(const Vector& x, const StampContext& ctx) override;
+  void transient_push() override;
+  void transient_pop() override;
   [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
   [[nodiscard]] double capacitance() const { return capacitance_; }
 
@@ -45,9 +47,12 @@ class Capacitor : public Element {
   NodeId b_;
   double capacitance_;
   double initial_voltage_;
-  // Trapezoidal history (previous accepted voltage and current).
+  // Trapezoidal history (previous accepted voltage and current), plus the
+  // adaptive solver's one-deep trial snapshot.
   double v_hist_ = 0.0;
   double i_hist_ = 0.0;
+  double v_hist_saved_ = 0.0;
+  double i_hist_saved_ = 0.0;
 };
 
 // Inductor: carries a branch-current extra variable; 0 V source in DC.
@@ -62,6 +67,8 @@ class Inductor : public Element {
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void transient_begin(const Vector* x0) override;
   void transient_commit(const Vector& x, const StampContext& ctx) override;
+  void transient_push() override;
+  void transient_pop() override;
   [[nodiscard]] double branch_current(const Vector& x, const StampContext& ctx) const override;
   [[nodiscard]] double inductance() const { return inductance_; }
   [[nodiscard]] double initial_current() const { return initial_current_; }
@@ -73,9 +80,12 @@ class Inductor : public Element {
   NodeId b_;
   double inductance_;
   double initial_current_;
-  // Trapezoidal history (previous accepted current and branch voltage).
+  // Trapezoidal history (previous accepted current and branch voltage),
+  // plus the adaptive solver's one-deep trial snapshot.
   double i_hist_ = 0.0;
   double v_hist_ = 0.0;
+  double i_hist_saved_ = 0.0;
+  double v_hist_saved_ = 0.0;
 };
 
 // Time-dependent stimulus shapes for independent sources (SPICE SIN and

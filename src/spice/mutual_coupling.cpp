@@ -65,4 +65,14 @@ void MutualCoupling::transient_commit(const Vector& x, const StampContext& ctx) 
   i2_hist_ = x[static_cast<std::size_t>(second_.branch_index())];
 }
 
+void MutualCoupling::transient_push() {
+  i1_hist_saved_ = i1_hist_;
+  i2_hist_saved_ = i2_hist_;
+}
+
+void MutualCoupling::transient_pop() {
+  i1_hist_ = i1_hist_saved_;
+  i2_hist_ = i2_hist_saved_;
+}
+
 }  // namespace lcosc::spice

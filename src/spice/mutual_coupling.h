@@ -28,6 +28,8 @@ class MutualCoupling : public Element {
   void stamp_ac(AcStamper& s, double omega, const Vector& dc_op) const override;
   void transient_begin(const Vector* x0) override;
   void transient_commit(const Vector& x, const StampContext& ctx) override;
+  void transient_push() override;
+  void transient_pop() override;
 
   [[nodiscard]] double mutual_inductance() const { return mutual_; }
   [[nodiscard]] double coupling() const { return coupling_; }
@@ -37,9 +39,12 @@ class MutualCoupling : public Element {
   Inductor& second_;
   double coupling_;
   double mutual_;
-  // History of the partner currents (trapezoidal / BE companion).
+  // History of the partner currents (trapezoidal / BE companion), plus
+  // the adaptive solver's one-deep trial snapshot.
   double i1_hist_ = 0.0;
   double i2_hist_ = 0.0;
+  double i1_hist_saved_ = 0.0;
+  double i2_hist_saved_ = 0.0;
 };
 
 }  // namespace lcosc::spice

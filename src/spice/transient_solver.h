@@ -52,12 +52,48 @@ struct TransientOptions {
   // scratch every Newton iteration -- the A/B reference path, which must
   // produce bit-identical traces.
   bool reuse_lu = true;
+
+  // --- adaptive LTE-controlled stepping ------------------------------------
+  //
+  // Default OFF: with adaptive = false the solver below is bit-identical
+  // to the historical fixed-step implementation (enforced by the golden
+  // trace in tests/test_spice_adaptive.cpp and the tier1.sh smoke step).
+  //
+  // When ON, the solver chooses its own internal step: the local
+  // truncation error is estimated by step doubling (one step of h versus
+  // two steps of h/2 from the same state, Richardson-scaled to the method
+  // order), a PI controller accepts/rejects and proposes the next h, the
+  // proposal is quantized onto a power-of-two geometric grid, and the
+  // cached base matrix / LU factor is kept per quantized dt in a small
+  // LRU so step-size changes do not re-stamp from scratch.  Output traces
+  // are still emitted on the fixed `dt` grid (dense-output resampling),
+  // so callers see the same trace shape either way.
+  bool adaptive = false;
+  // LTE acceptance per unknown: |lte| <= abstol(kind) + lte_reltol * |x|.
+  double lte_reltol = 1e-3;
+  double lte_voltage_abstol = 1e-6;
+  double lte_current_abstol = 1e-9;
+  // Internal step bounds; 0 = derive from dt (dt / 4096 and 64 * dt).
+  double dt_min = 0.0;
+  double dt_max = 0.0;
+  // Resolution of the geometric dt grid (points per octave).  Coarser
+  // grids mean fewer distinct step sizes and better base/LU cache reuse.
+  int dt_steps_per_octave = 4;
+  // Capacity of the dt-keyed base-matrix/LU LRU cache (min 1).
+  std::size_t base_cache_capacity = 16;
 };
 
 // Newton-iteration histogram bucket count: bucket i counts steps that
 // converged in i+1 iterations; the last bucket also absorbs every step
 // that needed kNewtonHistogramBuckets or more.
 inline constexpr std::size_t kNewtonHistogramBuckets = 8;
+
+// Adaptive dt histogram: bucket i counts accepted steps whose size fell
+// in octave i - kDtHistogramZeroBucket relative to the output dt, i.e.
+// bucket 6 is [dt, 2 dt), bucket 5 is [dt/2, dt), and the end buckets
+// absorb everything beyond the covered range.
+inline constexpr std::size_t kDtHistogramBuckets = 16;
+inline constexpr std::size_t kDtHistogramZeroBucket = 6;
 
 // Solver observability: what the transient hot path actually did.
 struct TransientStats {
@@ -75,8 +111,19 @@ struct TransientStats {
   // Steps that needed at least one dt halving, and total halvings.
   std::size_t retried_steps = 0;
   std::size_t halvings = 0;
+  // Adaptive stepping: accepted / LTE-rejected macro steps (0 when the
+  // fixed-step path ran).
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  // dt-keyed base/LU cache traffic (reuse_lu = true only).
+  std::size_t base_cache_hits = 0;
+  std::size_t base_cache_misses = 0;
+  std::size_t base_cache_evictions = 0;
   // Converged-step iteration histogram (see kNewtonHistogramBuckets).
   std::array<std::size_t, kNewtonHistogramBuckets> newton_histogram{};
+  // Accepted-step size histogram in octaves relative to the output dt
+  // (see kDtHistogramBuckets); populated by the adaptive path only.
+  std::array<std::size_t, kDtHistogramBuckets> dt_histogram{};
   // Wall time per phase [s].
   double stamp_seconds = 0.0;
   double factor_seconds = 0.0;

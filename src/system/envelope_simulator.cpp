@@ -7,6 +7,8 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "devices/comparator.h"
+#include "numeric/interpolate.h"
+#include "numeric/step_control.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
 
@@ -52,6 +54,95 @@ double EnvelopeRunResult::steady_ripple(double tail_fraction) const {
   return hi > lo ? hi - lo : 0.0;
 }
 
+namespace {
+
+// Exponential (log-domain) update of the envelope equation
+//   dA/dt = (I_fund(A) - A/Rp) / (2 Ceff) = lambda(A) * A
+// over an interval h.  The tank envelope time constant 2 Rp Ceff drops
+// below the step for low-Q tanks; the exponential integrator is
+// unconditionally stable and exact at the balance point, with
+// sub-stepping so each update moves at most ~20% in log amplitude.
+double advance_envelope(driver::OscillatorDriver& driver, double rp, double ceff, double a,
+                        double h, std::uint64_t& substeps) {
+  auto lambda_of = [&](double amp) {
+    const double n_eff = driver.fundamental_port_current(amp) / amp;
+    return (n_eff - 1.0 / rp) / (2.0 * ceff);
+  };
+  double remaining = h;
+  int guard = 0;
+  while (remaining > 0.0 && guard++ < 400) {
+    ++substeps;
+    const double lam = lambda_of(a);
+    // Local sensitivity d(lambda)/d(ln A): the update is explicit Euler
+    // in log amplitude, so the step must also respect this slope or it
+    // rings (period-2) around the balance point at marginal gm.
+    const double eps = 1e-3;
+    const double slope = (lambda_of(a * (1.0 + eps)) - lam) / eps;
+    double hs = remaining;
+    if (std::abs(lam) * hs > 0.2) hs = 0.2 / std::abs(lam);
+    if (std::abs(slope) * hs > 0.5) hs = 0.5 / std::abs(slope);
+    a = std::clamp(a * std::exp(lam * hs), 1e-9, 1e3);
+    remaining -= hs;
+  }
+  return a;
+}
+
+// Implicit (backward) log-Euler advance over h: solve
+//   u' = u + h * lambda(exp(u')),   u = ln A,
+// by Newton with the finite-difference slope d(lambda)/d(ln A).  Being
+// L-stable it needs no stability substepping, so a macro step costs a
+// handful of driver evaluations regardless of h -- the explicit guarded
+// integrator above pays ~h / min(0.2/|lam|, 0.5/|slope|) substeps, which
+// near the regulated balance point is one substep per microsecond no
+// matter the step.  Accuracy is the caller's job (step-doubling LTE);
+// this routine only promises stability.  Falls back to the explicit
+// integrator if Newton stalls (e.g. right after a large code change).
+double advance_envelope_implicit(driver::OscillatorDriver& driver, double rp, double ceff,
+                                 double a, double h, std::uint64_t& substeps) {
+  auto lambda_of = [&](double amp) {
+    const double n_eff = driver.fundamental_port_current(amp) / amp;
+    return (n_eff - 1.0 / rp) / (2.0 * ceff);
+  };
+  const double u0 = std::log(a);
+  double u = u0;  // predictor: constant amplitude
+  for (int iter = 0; iter < 25; ++iter) {
+    ++substeps;
+    const double ai = std::clamp(std::exp(u), 1e-9, 1e3);
+    const double lam = lambda_of(ai);
+    const double eps = 1e-3;
+    const double slope = (lambda_of(ai * (1.0 + eps)) - lam) / eps;
+    const double residual = u - u0 - h * lam;
+    double jacobian = 1.0 - h * slope;
+    // Keep Newton descending when the expanding region makes the
+    // Jacobian tiny or negative.
+    if (std::abs(jacobian) < 1e-3) jacobian = jacobian < 0.0 ? -1e-3 : 1e-3;
+    // Trust region of half a decade in log amplitude per iteration.
+    const double du = std::clamp(-residual / jacobian, -0.5, 0.5);
+    u += du;
+    if (std::abs(du) < 1e-12) {
+      return std::clamp(std::exp(u), 1e-9, 1e3);
+    }
+  }
+  return advance_envelope(driver, rp, ceff, a, h, substeps);
+}
+
+void flush_envelope_metrics(const EnvelopeRunResult& result) {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& runs = registry.counter("envelope.runs");
+  static obs::Counter& step_count = registry.counter("envelope.steps");
+  static obs::Counter& substep_count = registry.counter("envelope.substeps");
+  static obs::Counter& tick_count = registry.counter("envelope.ticks");
+  static obs::Counter& rejected = registry.counter("envelope.adaptive.rejected_steps");
+  runs.add(1);
+  step_count.add(result.macro_steps);
+  substep_count.add(result.substeps);
+  tick_count.add(result.ticks.size());
+  rejected.add(result.rejected_steps);
+}
+
+}  // namespace
+
 EnvelopeSimulator::EnvelopeSimulator(EnvelopeSimConfig config)
     : config_(config),
       tank_(config.tank),
@@ -59,12 +150,16 @@ EnvelopeSimulator::EnvelopeSimulator(EnvelopeSimConfig config)
       fsm_(config.regulation) {
   LCOSC_REQUIRE(config_.dt > 0.0, "envelope step must be positive");
   LCOSC_REQUIRE(config_.initial_amplitude > 0.0, "initial amplitude must be positive");
+  LCOSC_REQUIRE(config_.max_step_multiple >= 1, "envelope max_step_multiple must be >= 1");
 }
 
 EnvelopeRunResult EnvelopeSimulator::run(double duration) {
   LCOSC_SPAN("envelope.run");
   LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
+  return config_.adaptive ? run_adaptive(duration) : run_fixed(duration);
+}
 
+EnvelopeRunResult EnvelopeSimulator::run_fixed(double duration) {
   const double rp = tank_.parallel_resistance();
   const double ceff = tank_.effective_capacitance();
 
@@ -106,32 +201,7 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
       nvm_applied = true;
     }
 
-    // Exponential (log-domain) update of the envelope equation
-    //   dA/dt = (I_fund(A) - A/Rp) / (2 Ceff) = lambda(A) * A.
-    // The tank envelope time constant 2 Rp Ceff drops below the step for
-    // low-Q tanks; the exponential integrator is unconditionally stable
-    // and exact at the balance point, with sub-stepping so each update
-    // moves at most ~20% in log amplitude.
-    auto lambda_of = [&](double amp) {
-      const double n_eff = driver_.fundamental_port_current(amp) / amp;
-      return (n_eff - 1.0 / rp) / (2.0 * ceff);
-    };
-    double remaining = dt;
-    int guard = 0;
-    while (remaining > 0.0 && guard++ < 400) {
-      ++substeps;
-      const double lam = lambda_of(a);
-      // Local sensitivity d(lambda)/d(ln A): the update is explicit Euler
-      // in log amplitude, so the step must also respect this slope or it
-      // rings (period-2) around the balance point at marginal gm.
-      const double eps = 1e-3;
-      const double slope = (lambda_of(a * (1.0 + eps)) - lam) / eps;
-      double h = remaining;
-      if (std::abs(lam) * h > 0.2) h = 0.2 / std::abs(lam);
-      if (std::abs(slope) * h > 0.5) h = 0.5 / std::abs(slope);
-      a = std::clamp(a * std::exp(lam * h), 1e-9, 1e3);
-      remaining -= h;
-    }
+    a = advance_envelope(driver_, rp, ceff, a, dt, substeps);
     if (!std::isfinite(a)) {
       throw ConvergenceError("envelope diverged (non-finite amplitude) at t=" +
                              std::to_string(static_cast<double>(step + 1) * dt));
@@ -161,17 +231,185 @@ EnvelopeRunResult EnvelopeSimulator::run(double duration) {
     }
   }
   result.final_code = fsm_.code();
-  if (obs::metrics_enabled()) {
-    auto& registry = obs::MetricsRegistry::instance();
-    static obs::Counter& runs = registry.counter("envelope.runs");
-    static obs::Counter& step_count = registry.counter("envelope.steps");
-    static obs::Counter& substep_count = registry.counter("envelope.substeps");
-    static obs::Counter& tick_count = registry.counter("envelope.ticks");
-    runs.add(1);
-    step_count.add(static_cast<std::uint64_t>(steps));
-    substep_count.add(substeps);
-    tick_count.add(result.ticks.size());
+  result.macro_steps = static_cast<std::size_t>(steps);
+  result.substeps = static_cast<std::size_t>(substeps);
+  flush_envelope_metrics(result);
+  return result;
+}
+
+EnvelopeRunResult EnvelopeSimulator::run_adaptive(double duration) {
+  const double rp = tank_.parallel_resistance();
+  const double ceff = tank_.effective_capacitance();
+
+  fsm_.por_reset();
+  driver_.set_code(fsm_.code());
+  driver_.set_enabled(true);
+
+  regulation::AmplitudeDetector detector(config_.detector);
+  devices::LowPassFilter vdc1(config_.detector.filter_tau);
+
+  EnvelopeRunResult result;
+  result.amplitude.set_name("amplitude");
+
+  double a = config_.initial_amplitude;
+  const double dt = config_.dt;
+  const auto steps =
+      static_cast<std::int64_t>(std::ceil(duration / dt * (1.0 - 1e-12)));
+  const double tick_period = fsm_.config().tick_period;
+  std::int64_t tick_index = 1;
+
+  // Macro steps are integer multiples n * dt with n a power of two, so
+  // every accepted step lands exactly on the fixed grid: tick decisions
+  // and the NVM preset read the state at the same times as the fixed
+  // loop, and the trace resampling below hits accepted samples exactly.
+  int n_max = 1;
+  while (n_max * 2 <= config_.max_step_multiple) n_max *= 2;
+
+  // Smallest step index s with s * dt at-or-after the target time,
+  // matching the fixed loop's comparison (`cmp` reproduces its slack).
+  auto first_index = [&](auto cmp) {
+    std::int64_t s = 0;
+    while (s < steps && !cmp(static_cast<double>(s) * dt)) ++s;
+    return s;
+  };
+  const double nvm_delay = fsm_.config().nvm_delay;
+  std::int64_t s_nvm = first_index([&](double t) { return t >= nvm_delay; });
+  auto tick_target = [&] {
+    const double threshold = static_cast<double>(tick_index) * tick_period * (1.0 - 1e-12);
+    std::int64_t s = std::max<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(threshold / dt)) - 1, 1);
+    while (s < steps && static_cast<double>(s) * dt < threshold) ++s;
+    return s;
+  };
+  std::int64_t s_tick = tick_target();
+
+  // The log-Euler advance is 1st order in the macro step; step doubling
+  // gives LTE = a_half - a_full.
+  StepControlOptions sc;
+  sc.order = 1;
+  PiStepController controller(sc);
+
+  // Internal accepted samples; resampled onto the fixed grid afterwards
+  // so the result trace has the fixed path's shape.
+  SampledCurve curve;
+  curve.reserve(static_cast<std::size_t>(std::min<std::int64_t>(steps, 4096)) + 2);
+  curve.append(0.0, a);
+
+  std::uint64_t substeps = 0;
+  bool nvm_applied = false;
+  std::int64_t s = 0;
+  int n = 1;
+  while (s < steps) {
+    if (!nvm_applied && s >= s_nvm) {
+      fsm_.apply_nvm_preset();
+      driver_.set_code(fsm_.code());
+      nvm_applied = true;
+    }
+    // Cap the step at the run end and at the next exact-time boundary.
+    std::int64_t limit = steps - s;
+    if (!nvm_applied) limit = std::min(limit, s_nvm - s);
+    limit = std::min(limit, std::max<std::int64_t>(s_tick - s, 1));
+    const int n_try = static_cast<int>(std::min<std::int64_t>(n, limit));
+    const double h = static_cast<double>(n_try) * dt;
+
+    // Step doubling: one macro step against two halves from the same state.
+    const double a_full = advance_envelope_implicit(driver_, rp, ceff, a, h, substeps);
+    const double a_mid = advance_envelope_implicit(driver_, rp, ceff, a, 0.5 * h, substeps);
+    const double a_half = advance_envelope_implicit(driver_, rp, ceff, a_mid, 0.5 * h, substeps);
+    if (!std::isfinite(a_full) || !std::isfinite(a_half)) {
+      throw ConvergenceError("envelope diverged (non-finite amplitude) at t=" +
+                             std::to_string(static_cast<double>(s) * dt + h));
+    }
+    // Two error sources bound the accepted step.  The Richardson term
+    // |a_half - a_full| is the integrator LTE -- it goes quiet when the
+    // advance is internally substep-limited (both trials resolve the
+    // dynamics), which is exactly when the second term matters: the
+    // midpoint-versus-chord deviation bounds what the piecewise-linear
+    // dense output loses across the macro step (post-tick exponential
+    // relaxations have strong curvature and must stay resolved).
+    const double richardson = std::abs(a_half - a_full);
+    const double curvature = std::abs(a_mid - 0.5 * (a + a_half));
+    const double err = std::max(richardson, curvature) /
+                       (config_.lte_abstol +
+                        config_.lte_reltol * std::max(std::abs(a), std::abs(a_half)));
+
+    if (err > 1.0 && n_try > 1) {
+      ++result.rejected_steps;
+      const double factor = controller.propose_factor(err, false);
+      int shrunk = n_try;
+      while (shrunk > 1 && static_cast<double>(shrunk) > static_cast<double>(n_try) * factor) {
+        shrunk /= 2;
+      }
+      n = std::max(shrunk, 1);
+      continue;
+    }
+
+    const double t_mid = static_cast<double>(s) * dt + 0.5 * h;
+    if (err > 1.0) {
+      // At the floor (n_try == 1) with the tolerance still violated the
+      // dynamics outrun a dt-sized implicit step -- the startup growth
+      // phase.  Advance exactly like the fixed path does, with the
+      // guarded explicit integrator over one dt; the controller's
+      // post-rejection cap keeps n at 1 until the error settles.
+      a = advance_envelope(driver_, rp, ceff, a, h, substeps);
+      if (!std::isfinite(a)) {
+        throw ConvergenceError("envelope diverged (non-finite amplitude) at t=" +
+                               std::to_string(static_cast<double>(s) * dt + h));
+      }
+    } else {
+      // Accept the implicit half-step solution; keep the midpoint sample
+      // (already paid for), halving the dense-output segment length.
+      a = a_half;
+      curve.append(t_mid, a_mid);
+    }
+    s += n_try;
+    const double t = static_cast<double>(s) * dt;
+    // One ZOH filter update over the whole macro step: exact for the
+    // first-order filter under piecewise-constant input, and the input
+    // a / pi moves by less than the LTE tolerance per accepted step.
+    vdc1.step(h, a / kPi);
+    curve.append(t, a);
+    ++result.macro_steps;
+
+    if (s >= s_tick && static_cast<double>(s) * dt >=
+                           static_cast<double>(tick_index) * tick_period * (1.0 - 1e-12)) {
+      devices::WindowState window = devices::WindowState::Inside;
+      if (vdc1.output() < detector.vr3()) window = devices::WindowState::Below;
+      else if (vdc1.output() > detector.vr4()) window = devices::WindowState::Above;
+      fsm_.tick(window);
+      driver_.set_code(fsm_.code());
+
+      EnvelopeTick tick;
+      tick.time = t;
+      tick.code = fsm_.code();
+      tick.amplitude = a;
+      tick.vdc1 = vdc1.output();
+      tick.supply_current = driver_.supply_current(a);
+      result.ticks.push_back(tick);
+      ++tick_index;
+      s_tick = tick_target();
+    }
+
+    const double factor = controller.propose_factor(err, true);
+    int grown = n_try;
+    while (grown * 2 <= n_max &&
+           static_cast<double>(grown * 2) <= static_cast<double>(n_try) * factor) {
+      grown *= 2;
+    }
+    n = grown;
   }
+
+  result.final_code = fsm_.code();
+  result.substeps = static_cast<std::size_t>(substeps);
+
+  // Resample onto the fixed output grid: one sample per dt at
+  // (step + 1) * dt, exactly the fixed loop's sample times.
+  result.amplitude.reserve(static_cast<std::size_t>(steps) + 2);
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step + 1) * dt;
+    result.amplitude.append(t, curve(t));
+  }
+  flush_envelope_metrics(result);
   return result;
 }
 

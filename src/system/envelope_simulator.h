@@ -29,6 +29,24 @@ struct EnvelopeSimConfig {
   regulation::RegulationConfig regulation{};
   double dt = 2e-6;             // envelope integration step
   double initial_amplitude = 50e-3;
+
+  // --- adaptive LTE-controlled macro stepping ------------------------------
+  //
+  // Default OFF: the fixed-dt loop below is unchanged.  When ON, the
+  // envelope advances in macro steps of n * dt (n a power of two, n <= 64
+  // by default) chosen by step-doubling LTE control, capped so every
+  // regulation tick and the NVM preset still land on their exact fixed-grid
+  // times.  The amplitude trace is resampled onto the fixed dt grid, so
+  // result shapes (sample count, tick times) match the fixed path; only
+  // the work drops.  Settled runs coarsen ~50x; fast startup regions fall
+  // back to n = 1, which is exactly the fixed step.
+  bool adaptive = false;
+  // Accept when |lte| <= lte_abstol + lte_reltol * |A|.
+  double lte_reltol = 1e-3;
+  double lte_abstol = 1e-6;
+  // Macro-step ceiling as a multiple of dt (rounded down to a power of
+  // two, min 1).
+  int max_step_multiple = 64;
 };
 
 struct EnvelopeTick {
@@ -43,6 +61,12 @@ struct EnvelopeRunResult {
   Trace amplitude;               // A(t), sampled at the envelope step
   std::vector<EnvelopeTick> ticks;
   int final_code = 0;
+  // Work counters: envelope macro steps actually advanced (== the fixed
+  // grid count when adaptive is off), LTE-rejected trials, and integrator
+  // substeps.
+  std::size_t macro_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t substeps = 0;
 
   [[nodiscard]] double settled_amplitude(double tail_fraction = 0.2) const;
   // Index of the first tick whose amplitude is inside [lo, hi] and stays
@@ -62,6 +86,9 @@ class EnvelopeSimulator {
   [[nodiscard]] EnvelopeRunResult run(double duration);
 
  private:
+  EnvelopeRunResult run_fixed(double duration);
+  EnvelopeRunResult run_adaptive(double duration);
+
   EnvelopeSimConfig config_;
   tank::RlcTank tank_;
   driver::OscillatorDriver driver_;

@@ -99,6 +99,39 @@ TEST(LowPass, TracksSlowRamp) {
   EXPECT_NEAR(f.output(), x, 0.01);
 }
 
+TEST(LowPass, MemoizedStepIsBitIdenticalAcrossDtChanges) {
+  // The (dt, tau)-keyed memo must return the exact same doubles as a
+  // fresh filter computing exp() every step, including when dt changes
+  // mid-run (the adaptive envelope path varies the macro step).
+  LowPassFilter memoized(1e-3);
+  LowPassFilter reference(1e-3);
+  const double dts[] = {1e-6, 1e-6, 4e-6, 1e-6, 32e-6, 32e-6};
+  double x = 0.0;
+  for (const double dt : dts) {
+    x += 0.25;
+    memoized.step(dt, x);
+    // Fresh filter per step: same state, recomputed decay.
+    LowPassFilter fresh(1e-3, reference.output());
+    fresh.step(dt, x);
+    reference.reset(fresh.output());
+    EXPECT_EQ(memoized.output(), reference.output()) << "dt=" << dt;
+  }
+}
+
+TEST(LowPass, SetTauInvalidatesCachedDecay) {
+  // Regression: the memo used to key on dt alone, so a tau change with
+  // an unchanged dt kept using the stale exp(-dt/tau_old).
+  LowPassFilter f(1e-3);
+  f.step(1e-3, 1.0);
+  EXPECT_NEAR(f.output(), 1.0 - std::exp(-1.0), 1e-12);
+  f.set_tau(0.5e-3);
+  const double y0 = f.output();
+  f.step(1e-3, 2.0);  // same dt, new tau: two taus towards 2.0
+  EXPECT_NEAR(f.output(), 2.0 + (y0 - 2.0) * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(f.tau(), 0.5e-3);
+  EXPECT_THROW(f.set_tau(0.0), ConfigError);
+}
+
 TEST(Rectifier, FullWaveAverageOfSine) {
   FullWaveRectifierFilter r({.forward_drop = 0.0, .filter_tau = 100e-6});
   const double f = 1e5;
@@ -193,6 +226,29 @@ TEST(ChargePump, DecaysWhenDisabled) {
   cp.set_enabled(false);
   for (int i = 0; i < 100; ++i) cp.step(1e-6);
   EXPECT_NEAR(cp.output(), 0.0, 0.01);
+}
+
+TEST(ChargePump, MemoizedDecayTracksEnableToggles) {
+  // The memo key is (dt, tau) and tau switches with enabled_: toggling
+  // enable with an unchanged dt must recompute, not reuse the stale
+  // factor.  Compare one step in each mode against the closed form.
+  const ChargePumpConfig config{};
+  NegativeChargePump cp(config);
+  cp.set_enabled(true);
+  const double dt = 1e-6;
+  cp.step(dt);
+  const double up = config.target_voltage * (1.0 - std::exp(-dt / config.startup_time));
+  EXPECT_NEAR(cp.output(), up, 1e-15);
+  cp.set_enabled(false);
+  cp.step(dt);
+  EXPECT_NEAR(cp.output(), up * std::exp(-dt / config.decay_time), 1e-15);
+  // Back to enabled: the startup factor applies again.
+  cp.set_enabled(true);
+  const double before = cp.output();
+  cp.step(dt);
+  const double target = config.target_voltage;
+  EXPECT_NEAR(cp.output(), target + (before - target) * std::exp(-dt / config.startup_time),
+              1e-15);
 }
 
 }  // namespace

@@ -147,5 +147,72 @@ TEST(Envelope, TickRecordsSupplyCurrent) {
   }
 }
 
+TEST(EnvelopeAdaptive, MatchesFixedPathWithinTolerance) {
+  // Same run, adaptive macro stepping on: identical trace shape and tick
+  // schedule, amplitude within a reltol-scaled band of the fixed result.
+  const double duration = 30e-3;
+  EnvelopeSimulator fixed(envelope_config());
+  const EnvelopeRunResult fr = fixed.run(duration);
+
+  EnvelopeSimConfig cfg = envelope_config();
+  cfg.adaptive = true;
+  EnvelopeSimulator adaptive(cfg);
+  const EnvelopeRunResult ar = adaptive.run(duration);
+
+  ASSERT_EQ(ar.amplitude.size(), fr.amplitude.size());
+  double scale = 0.0;
+  for (std::size_t i = 0; i < fr.amplitude.size(); ++i) {
+    scale = std::max(scale, std::abs(fr.amplitude.value(i)));
+  }
+  for (std::size_t i = 0; i < fr.amplitude.size(); ++i) {
+    ASSERT_EQ(ar.amplitude.time(i), fr.amplitude.time(i)) << "sample " << i;
+    // The regulation loop quantizes through the DAC code, so small LTE
+    // differences can shift a code step by one tick; 2% of full scale
+    // absorbs that while still pinning the trajectory.
+    ASSERT_NEAR(ar.amplitude.value(i), fr.amplitude.value(i), 0.02 * scale) << "sample " << i;
+  }
+  ASSERT_EQ(ar.ticks.size(), fr.ticks.size());
+  for (std::size_t i = 0; i < fr.ticks.size(); ++i) {
+    EXPECT_EQ(ar.ticks[i].time, fr.ticks[i].time) << "tick " << i;
+  }
+  EXPECT_NEAR(ar.settled_amplitude(), fr.settled_amplitude(), fr.settled_amplitude() * 0.02);
+  EXPECT_NEAR(ar.final_code, fr.final_code, 1.0);
+}
+
+TEST(EnvelopeAdaptive, CutsMacroStepsAtLeastThreefold) {
+  // The ISSUE acceptance floor: a settled regulation run must coarsen by
+  // at least 3x (in practice far more: most of the run sits at the step
+  // ceiling once amplitude and code have settled).
+  const double duration = 30e-3;
+  EnvelopeSimulator fixed(envelope_config());
+  const EnvelopeRunResult fr = fixed.run(duration);
+
+  EnvelopeSimConfig cfg = envelope_config();
+  cfg.adaptive = true;
+  EnvelopeSimulator adaptive(cfg);
+  const EnvelopeRunResult ar = adaptive.run(duration);
+
+  EXPECT_GE(fr.macro_steps, 3 * ar.macro_steps)
+      << "fixed " << fr.macro_steps << " vs adaptive " << ar.macro_steps;
+  // Substeps (the actual integrator work) must drop too, despite the 3x
+  // step-doubling overhead per macro step.
+  EXPECT_GT(fr.substeps, ar.substeps);
+}
+
+TEST(EnvelopeAdaptive, AdaptiveIsOffByDefaultAndFloorsAtFixedGrid) {
+  EXPECT_FALSE(EnvelopeSimConfig{}.adaptive);
+  // max_step_multiple = 1 degenerates to the fixed grid: every macro step
+  // is one dt, and nothing is ever rejected (n = 1 always accepts).
+  EnvelopeSimConfig cfg = envelope_config();
+  cfg.adaptive = true;
+  cfg.max_step_multiple = 1;
+  EnvelopeSimulator sim(cfg);
+  const EnvelopeRunResult r = sim.run(5e-3);
+  const auto expected = static_cast<std::size_t>(std::llround(5e-3 / cfg.dt));
+  EXPECT_EQ(r.macro_steps, expected);
+  EXPECT_EQ(r.rejected_steps, 0u);
+  EXPECT_EQ(r.amplitude.size(), expected);
+}
+
 }  // namespace
 }  // namespace lcosc::system

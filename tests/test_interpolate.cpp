@@ -1,6 +1,8 @@
 // Tests for PWL interpolation tables.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "numeric/interpolate.h"
 
@@ -52,6 +54,81 @@ TEST(PwlTable, DefaultIsEmpty) {
 TEST(Lerp, Basics) {
   EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
   EXPECT_DOUBLE_EQ(lerp(-1.0, 1.0, 0.5), 0.0);
+}
+
+TEST(SampledCurve, EmptyCurveCannotBeEvaluated) {
+  const SampledCurve c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_THROW(c(0.0), ConfigError);
+  EXPECT_THROW(c.front_x(), ConfigError);
+  EXPECT_THROW(c.back_x(), ConfigError);
+}
+
+TEST(SampledCurve, SingleKnotIsConstant) {
+  SampledCurve c;
+  c.append(2.0, 7.5);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c(2.0), 7.5);
+  EXPECT_DOUBLE_EQ(c(-100.0), 7.5);
+  EXPECT_DOUBLE_EQ(c(100.0), 7.5);
+}
+
+TEST(SampledCurve, KnotHitsReturnStoredOrdinatesExactly) {
+  // The dense-output path relies on accepted solver states surviving the
+  // resampling bit-for-bit, including irrational ordinates.
+  SampledCurve c;
+  const double y0 = 1.0 / 3.0;
+  const double y1 = std::sqrt(2.0);
+  const double y2 = -7.0 / 11.0;
+  c.append(0.0, y0);
+  c.append(0.1, y1);
+  c.append(0.3, y2);
+  EXPECT_EQ(c(0.0), y0);
+  EXPECT_EQ(c(0.1), y1);
+  EXPECT_EQ(c(0.3), y2);
+}
+
+TEST(SampledCurve, InteriorPointsInterpolateLinearly) {
+  SampledCurve c;
+  c.append(0.0, 0.0);
+  c.append(2.0, 4.0);
+  c.append(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(c(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(c(2.5), 2.5);
+}
+
+TEST(SampledCurve, OutOfRangeClampsToEndOrdinates) {
+  // Clamped, not extrapolated: the output grid's end points may sit an
+  // ulp outside the accepted-step range.
+  SampledCurve c;
+  c.append(0.0, 1.0);
+  c.append(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(c(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(c(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(c(std::nextafter(1.0, 2.0)), 3.0);
+}
+
+TEST(SampledCurve, RejectsNonMonotoneAbscissa) {
+  SampledCurve c;
+  c.append(0.0, 1.0);
+  EXPECT_THROW(c.append(0.0, 2.0), ConfigError);   // duplicate x
+  EXPECT_THROW(c.append(-1.0, 2.0), ConfigError);  // decreasing x
+  // The failed appends must not have corrupted the curve.
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c(0.0), 1.0);
+}
+
+TEST(SampledCurve, ClearResetsToEmpty) {
+  SampledCurve c;
+  c.append(0.0, 1.0);
+  c.append(1.0, 2.0);
+  c.clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_THROW(c(0.5), ConfigError);
+  // Reusable after clear, including x values below the old range.
+  c.append(-5.0, 9.0);
+  EXPECT_DOUBLE_EQ(c(-5.0), 9.0);
 }
 
 }  // namespace

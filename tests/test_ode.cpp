@@ -126,6 +126,88 @@ TEST(Trapezoidal, SecondOrderConvergence) {
   EXPECT_NEAR(e1 / e2, 4.0, 1.0);
 }
 
+TEST(TrapezoidalAdaptive, OffByDefaultAndFixedPathUnchanged) {
+  EXPECT_FALSE(TrapezoidalOptions{}.adaptive);
+  // The adaptive flag must not perturb the default path: identical
+  // doubles with and without the (defaulted) new fields present.
+  const OdeResult a = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, {.step = 1e-3});
+  TrapezoidalOptions opts;
+  opts.step = 1e-3;
+  opts.adaptive = false;
+  const OdeResult b = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, opts);
+  EXPECT_EQ(a.state[0], b.state[0]);
+  EXPECT_EQ(a.steps_taken, b.steps_taken);
+  EXPECT_EQ(b.steps_rejected, 0u);
+}
+
+TEST(TrapezoidalAdaptive, MatchesClosedFormWithFewerSteps) {
+  // Smooth decay: the controller should coarsen far beyond the nominal
+  // step while holding the reltol-scaled accuracy target.
+  TrapezoidalOptions opts;
+  opts.step = 1e-3;
+  opts.adaptive = true;
+  opts.abs_tolerance = 1e-9;
+  opts.rel_tolerance = 1e-6;
+  const OdeResult r = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, opts);
+  EXPECT_NEAR(r.t_end, 1.0, 1e-9);
+  EXPECT_NEAR(r.state[0], std::exp(-1.0), 1e-4);
+  const OdeResult fixed = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, {.step = 1e-3});
+  EXPECT_GE(fixed.steps_taken, 3 * r.steps_taken)
+      << "fixed " << fixed.steps_taken << " adaptive " << r.steps_taken;
+}
+
+TEST(TrapezoidalAdaptive, StiffDetectorStateRefinesThenCoarsens) {
+  // An RC detector state driven by a step at t = 0: fast initial
+  // transient (tau = 10 us) followed by a flat tail.  The controller
+  // must reject steps during the edge and ride the ceiling afterwards.
+  const double tau = 10e-6;
+  const OdeRhs detector = [tau](double, const Vector& x, Vector& d) {
+    d[0] = (1.0 - x[0]) / tau;
+  };
+  TrapezoidalOptions opts;
+  opts.step = 20e-6;  // deliberately coarse against the transient
+  opts.adaptive = true;
+  opts.abs_tolerance = 1e-9;
+  opts.rel_tolerance = 1e-5;
+  const OdeResult r = integrate_trapezoidal(detector, 0.0, 20e-3, {0.0}, opts);
+  EXPECT_NEAR(r.state[0], 1.0, 1e-6);
+  EXPECT_GT(r.steps_rejected, 0u);
+  // Resolving the edge takes ~100 refined steps, but the flat tail rides
+  // the 64x ceiling, so the total still beats the 1000 fixed steps 3x.
+  const OdeResult fixed = integrate_trapezoidal(detector, 0.0, 20e-3, {0.0}, {.step = 20e-6});
+  EXPECT_GE(fixed.steps_taken, 3 * r.steps_taken)
+      << "fixed " << fixed.steps_taken << " adaptive " << r.steps_taken;
+}
+
+TEST(TrapezoidalAdaptive, ObserverSeesMonotoneTimesAndCanStop) {
+  TrapezoidalOptions opts;
+  opts.step = 1e-3;
+  opts.adaptive = true;
+  double last_t = -1.0;
+  std::size_t calls = 0;
+  const OdeObserver observer = [&](double t, const Vector&) {
+    EXPECT_GT(t, last_t);
+    last_t = t;
+    ++calls;
+    return t < 0.5;
+  };
+  const OdeResult r = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, opts, observer);
+  EXPECT_GE(r.t_end, 0.5);
+  EXPECT_LT(r.t_end, 1.0);
+  EXPECT_EQ(calls, r.steps_taken + 1);  // initial sample plus accepted steps
+}
+
+TEST(TrapezoidalAdaptive, RespectsExplicitStepBounds) {
+  TrapezoidalOptions opts;
+  opts.step = 1e-3;
+  opts.adaptive = true;
+  opts.min_step = 1e-3;
+  opts.max_step = 1e-3;  // degenerate bounds: behaves like the fixed grid
+  const OdeResult r = integrate_trapezoidal(kDecay, 0.0, 1.0, {1.0}, opts);
+  EXPECT_NEAR(r.state[0], std::exp(-1.0), 1e-6);
+  EXPECT_NEAR(static_cast<double>(r.steps_taken), 1000.0, 2.0);
+}
+
 TEST(OdeOptions, InvalidArgumentsThrow) {
   EXPECT_THROW(integrate_rk4(kDecay, 0.0, 1.0, {1.0}, {.step = 0.0}), ConfigError);
   EXPECT_THROW(integrate_rk4(kDecay, 1.0, 0.0, {1.0}, {.step = 1e-3}), ConfigError);

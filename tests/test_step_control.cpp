@@ -1,0 +1,133 @@
+// PI step controller and power-of-two step grid: the accept/reject
+// policy shared by every adaptive engine in the tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "numeric/step_control.h"
+
+namespace lcosc {
+namespace {
+
+TEST(PiStepController, SmallErrorGrowsStep) {
+  PiStepController c{StepControlOptions{}};
+  const double f = c.propose_factor(1e-4, true);
+  EXPECT_GT(f, 1.0);
+  EXPECT_LE(f, StepControlOptions{}.max_factor);
+}
+
+TEST(PiStepController, LargeErrorShrinksStep) {
+  PiStepController c{StepControlOptions{}};
+  const double f = c.propose_factor(100.0, false);
+  EXPECT_LT(f, 1.0);
+  EXPECT_GE(f, StepControlOptions{}.min_factor);
+}
+
+TEST(PiStepController, BoundaryErrorShrinksViaSafety) {
+  // err slightly above 1: rejection must propose a genuinely smaller step.
+  PiStepController c{StepControlOptions{}};
+  EXPECT_LT(c.propose_factor(1.01, false), 1.0);
+}
+
+TEST(PiStepController, NoGrowthImmediatelyAfterRejection) {
+  PiStepController c{StepControlOptions{}};
+  (void)c.propose_factor(10.0, false);
+  // The very next accepted step may not grow, however small its error:
+  // growing right after shrinking re-triggers the rejection.
+  EXPECT_LE(c.propose_factor(1e-8, true), 1.0);
+  // Once a step was accepted without a preceding rejection, growth is
+  // allowed again.
+  EXPECT_GT(c.propose_factor(1e-8, true), 1.0);
+}
+
+TEST(PiStepController, NonFiniteErrorHitsMinFactor) {
+  PiStepController c{StepControlOptions{}};
+  EXPECT_EQ(c.propose_factor(std::numeric_limits<double>::infinity(), false),
+            StepControlOptions{}.min_factor);
+  EXPECT_EQ(c.propose_factor(std::numeric_limits<double>::quiet_NaN(), false),
+            StepControlOptions{}.min_factor);
+}
+
+TEST(PiStepController, ZeroErrorHitsMaxFactor) {
+  PiStepController c{StepControlOptions{}};
+  EXPECT_EQ(c.propose_factor(0.0, true), StepControlOptions{}.max_factor);
+}
+
+TEST(PiStepController, HigherOrderReactsMoreGently) {
+  // The same error ratio must move a 2nd-order method's step less than a
+  // 1st-order method's (exponents scale with 1/(order+1)).
+  StepControlOptions be;
+  be.order = 1;
+  StepControlOptions trap;
+  trap.order = 2;
+  PiStepController c1{be};
+  PiStepController c2{trap};
+  const double f1 = c1.propose_factor(0.01, true);
+  const double f2 = c2.propose_factor(0.01, true);
+  EXPECT_GT(f1, f2);
+  EXPECT_GT(f2, 1.0);
+}
+
+TEST(PiStepController, ResetForgetsRejectionState) {
+  PiStepController c{StepControlOptions{}};
+  (void)c.propose_factor(10.0, false);
+  c.reset();
+  EXPECT_GT(c.propose_factor(1e-8, true), 1.0);
+}
+
+TEST(PiStepController, RejectsInvalidOptions) {
+  StepControlOptions bad;
+  bad.min_factor = 2.0;
+  bad.max_factor = 1.0;
+  EXPECT_THROW(PiStepController{bad}, ConfigError);
+  StepControlOptions bad_order;
+  bad_order.order = 0;
+  EXPECT_THROW(PiStepController{bad_order}, ConfigError);
+}
+
+TEST(StepGrid, PowersOfTwoAreFixedPoints) {
+  const StepGrid grid(4);
+  for (int e = -30; e <= 10; ++e) {
+    const double h = std::ldexp(1.0, e);
+    EXPECT_EQ(grid.quantize(h), h) << "2^" << e;
+  }
+}
+
+TEST(StepGrid, QuantizationNeverGrows) {
+  const StepGrid grid(4);
+  for (double h : {1.3e-9, 2.7e-6, 0.99, 5.01, 123.456}) {
+    const double q = grid.quantize(h);
+    EXPECT_LE(q, h);
+    // Never more than one grid ratio below the request.
+    EXPECT_GE(q, h / std::exp2(1.0 / 4.0) * (1.0 - 1e-12));
+  }
+}
+
+TEST(StepGrid, HalvingStaysOnGrid) {
+  // Step doubling probes h/2; the grid must treat it as a grid value so
+  // the half-step base matrix is cacheable too.
+  const StepGrid grid(4);
+  const double h = grid.quantize(3.7e-7);
+  EXPECT_EQ(grid.quantize(0.5 * h), 0.5 * h);
+}
+
+TEST(StepGrid, CoarserGridCollapsesMoreValues) {
+  const StepGrid fine(8);
+  const StepGrid coarse(1);
+  // On a 1-point-per-octave grid everything quantizes to a power of two.
+  const double q = coarse.quantize(3.7e-7);
+  int exponent = 0;
+  const double mantissa = std::frexp(q, &exponent);
+  EXPECT_EQ(mantissa, 0.5);
+  EXPECT_LE(coarse.quantize(3.7e-7), fine.quantize(3.7e-7));
+}
+
+TEST(StepGrid, RejectsBadResolution) {
+  EXPECT_THROW(StepGrid(0), ConfigError);
+  EXPECT_THROW(StepGrid(-3), ConfigError);
+}
+
+}  // namespace
+}  // namespace lcosc
