@@ -46,10 +46,10 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake --build build-asan -j
   cd build-asan
   # gtest_discover_tests registers Suite.Case names; match the suites of
-  # the fault-injection and campaign binaries.  (-R must precede the bare
-  # -j or ctest parses it as the job count.)
+  # the fault-injection, campaign and batched-lockstep binaries.  (-R must
+  # precede the bare -j or ctest parses it as the job count.)
   ctest --output-on-failure \
-    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System)' -j
+    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks)' -j
   exit 0
 fi
 
@@ -81,3 +81,11 @@ cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-f
 # reproduce the pre-adaptive golden trace byte for byte (hexfloat dump
 # committed in tests/data/transient_fixed_reference.txt).
 ./tests/test_spice_adaptive --gtest_filter='TransientAdaptive.FixedPathMatchesPrePrGoldenTrace'
+
+# Smoke step: the batched lockstep engines must be byte-identical to the
+# serial reference — the tolerance campaign (report-level diff across
+# engines and worker counts) and the batched transient/envelope paths
+# (per-sample trace equality, shared-LU on and off).
+./tests/test_tolerance --gtest_filter='ToleranceBatched.*:ToleranceSeeding.*'
+./tests/test_spice_batch
+./tests/test_batched_envelope --gtest_filter='BatchedEnvelope.*'

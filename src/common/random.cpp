@@ -24,7 +24,11 @@ void Rng::reseed(std::uint64_t seed) {
   // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
   // zero outputs in a row, but guard anyway.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  // Drop any cached Marsaglia polar deviate: a stale second normal leaking
+  // across reseed() would make the post-reseed stream depend on history,
+  // breaking the per-case determinism the Monte-Carlo engines rely on.
   has_cached_normal_ = false;
+  cached_normal_ = 0.0;
 }
 
 std::uint64_t Rng::operator()() {

@@ -1,0 +1,24 @@
+#include "devices/batched_blocks.h"
+
+#include "common/error.h"
+
+namespace lcosc::devices {
+
+LowPassBank::LowPassBank(double tau, std::size_t lanes, double initial_output)
+    : tau_(tau), y_(lanes, initial_output) {
+  LCOSC_REQUIRE(tau > 0.0, "low-pass tau must be positive");
+  LCOSC_REQUIRE(lanes > 0, "low-pass bank needs at least one lane");
+}
+
+void LowPassBank::step(double dt, std::span<const double> x) {
+  LCOSC_REQUIRE(x.size() == y_.size(), "input size must match the lane count");
+  if (dt != cached_dt_) {
+    LCOSC_REQUIRE(dt >= 0.0, "dt must be non-negative");
+    cached_alpha_ = std::exp(-dt / tau_);
+    cached_dt_ = dt;
+  }
+  const double alpha = cached_alpha_;
+  for (std::size_t i = 0; i < y_.size(); ++i) y_[i] = x[i] + (y_[i] - x[i]) * alpha;
+}
+
+}  // namespace lcosc::devices

@@ -1,0 +1,66 @@
+// Per-lane banks of the behavioral blocks the batched Monte-Carlo engine
+// steps in lockstep: rectified-mean sensing, the detector low-pass, and
+// the regulation window comparator.  Each bank applies the exact scalar
+// update expression of its single-lane counterpart over a contiguous
+// lane array (stride-1, branch-free where the scalar block is), so a
+// bank's lane k is bit-identical to stepping a standalone block with lane
+// k's inputs -- the invariant the batched-vs-serial report byte-diff
+// rests on.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/constants.h"
+#include "devices/comparator.h"
+
+namespace lcosc::devices {
+
+// Rectified-mean sensing bank: the detector sees the rectified mean of
+// the pin swing, A / pi per lane (same expression as the serial envelope
+// loop's `a / kPi`).
+inline void rectified_mean_bank(std::span<const double> amplitudes, std::span<double> out) {
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) out[i] = amplitudes[i] / kPi;
+}
+
+// Bank of first-order RC low-pass filters sharing one time constant (the
+// detector filter tau is a design constant, not a Monte-Carlo variable).
+// The decay factor exp(-dt/tau) is memoized on dt exactly like
+// LowPassFilter::step, and the per-lane update is the same
+// `x + (y - x) * alpha` expression, so lane outputs match a scalar
+// LowPassFilter stepped with the same inputs bit for bit.
+class LowPassBank {
+ public:
+  LowPassBank(double tau, std::size_t lanes, double initial_output = 0.0);
+
+  // Advance every lane by dt with per-lane held inputs x.
+  void step(double dt, std::span<const double> x);
+
+  [[nodiscard]] double output(std::size_t lane) const { return y_[lane]; }
+  [[nodiscard]] std::span<const double> outputs() const { return y_; }
+  [[nodiscard]] double tau() const { return tau_; }
+  [[nodiscard]] std::size_t lanes() const { return y_.size(); }
+
+ private:
+  double tau_;
+  std::vector<double> y_;
+  // NaN sentinel: never compares equal, so the first step() computes.
+  double cached_dt_ = std::nan("");
+  double cached_alpha_ = 1.0;
+};
+
+// Regulation window verdict per lane against per-lane thresholds, using
+// the serial envelope loop's exact comparison order: strictly below vr3
+// wins, else strictly above vr4, else inside.
+inline void window_verdict_bank(std::span<const double> vdc1, std::span<const double> vr3,
+                                std::span<const double> vr4, std::span<WindowState> out) {
+  for (std::size_t i = 0; i < vdc1.size(); ++i) {
+    WindowState window = WindowState::Inside;
+    if (vdc1[i] < vr3[i]) window = WindowState::Below;
+    else if (vdc1[i] > vr4[i]) window = WindowState::Above;
+    out[i] = window;
+  }
+}
+
+}  // namespace lcosc::devices

@@ -65,13 +65,17 @@ void OscillatorDriver::refresh_stage_cache(std::uint64_t revision) const {
   stage_cache_valid_ = true;
 }
 
-double OscillatorDriver::fundamental_port_current(double amplitude) const {
-  if (!enabled_) return 0.0;
+GmStage OscillatorDriver::differential_port_stage() const {
   // Differential port view: i_port = clamp((Gm/2) * vd, +-Im), because a
   // stage with transconductance Gm sensing a single-ended pin sees only
   // half the differential swing.
-  GmStage port({.gm = 0.5 * equivalent_gm(), .current_limit = current_limit(),
-                .shape = config_.shape});
+  return GmStage({.gm = 0.5 * equivalent_gm(), .current_limit = current_limit(),
+                  .shape = config_.shape});
+}
+
+double OscillatorDriver::fundamental_port_current(double amplitude) const {
+  if (!enabled_) return 0.0;
+  GmStage port = differential_port_stage();
   return port.fundamental_current(amplitude);
 }
 
@@ -96,16 +100,18 @@ double OscillatorDriver::supply_current(double amplitude) const {
   // One conduction path per half cycle: Vdd -> top mirror -> LC1 -> tank
   // -> LC2 -> bottom mirror -> ground, so the supply sees the average
   // rectified port current plus the bias.
-  GmStage port({.gm = 0.5 * equivalent_gm(), .current_limit = current_limit(),
-                .shape = config_.shape});
+  GmStage port = differential_port_stage();
+  return config_.quiescent_current + average_rectified_port_current(port, amplitude);
+}
+
+double average_rectified_port_current(const GmStage& port, double amplitude) {
   constexpr int kPoints = 256;
   double acc = 0.0;
   for (int i = 0; i < kPoints; ++i) {
     const double theta = (i + 0.5) * (0.5 * kPi) / kPoints;
     acc += port.output_current(amplitude * std::sin(theta));
   }
-  const double average_rectified = acc * (2.0 / kPi) * (0.5 * kPi / kPoints);
-  return config_.quiescent_current + average_rectified;
+  return acc * (2.0 / kPi) * (0.5 * kPi / kPoints);
 }
 
 }  // namespace lcosc::driver

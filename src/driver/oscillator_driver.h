@@ -120,6 +120,14 @@ class OscillatorDriver {
   // quiescent plus the average rectified stage output currents.
   [[nodiscard]] double supply_current(double amplitude) const;
 
+  // The effective differential-port stage at the present code: half the
+  // equivalent transconductance with the DAC current limit -- exactly the
+  // stage fundamental_port_current() and supply_current() construct per
+  // call.  The batched envelope engine caches this per lane (refreshing
+  // on code changes), so the cached stage equals the serial per-call
+  // construction bit for bit.
+  [[nodiscard]] GmStage differential_port_stage() const;
+
   [[nodiscard]] const DriverConfig& config() const { return config_; }
 
  private:
@@ -144,5 +152,11 @@ class OscillatorDriver {
   mutable bool stage_cache_valid_ = false;
   mutable std::uint64_t stage_cache_revision_ = 0;
 };
+
+// Average rectified output current of `port` over a half oscillation
+// cycle at differential amplitude A -- the quadrature inside
+// OscillatorDriver::supply_current(), exposed so the batched envelope
+// engine computes bit-identical supply figures from its cached port.
+[[nodiscard]] double average_rectified_port_current(const GmStage& port, double amplitude);
 
 }  // namespace lcosc::driver

@@ -1,0 +1,25 @@
+#include "numeric/batched_state.h"
+
+#include "common/error.h"
+
+namespace lcosc {
+
+BatchedState::BatchedState(std::size_t channels, std::size_t lanes)
+    : channels_(channels),
+      lanes_(lanes),
+      data_(channels * lanes, 0.0),
+      active_(lanes, 1),
+      active_count_(lanes) {
+  LCOSC_REQUIRE(channels > 0, "batched state needs at least one channel");
+  LCOSC_REQUIRE(lanes > 0, "batched state needs at least one lane");
+}
+
+void BatchedState::deactivate(std::size_t lane) {
+  LCOSC_REQUIRE(lane < lanes_, "lane index out of range");
+  if (active_[lane] != 0) {
+    active_[lane] = 0;
+    --active_count_;
+  }
+}
+
+}  // namespace lcosc

@@ -1,0 +1,57 @@
+// Structure-of-arrays state for lockstep Monte-Carlo batching.
+//
+// A batched engine advances N variants ("lanes") through one time loop;
+// each per-variant scalar (node voltage, envelope amplitude, filter
+// state...) becomes a channel: a contiguous array indexed by lane, so the
+// per-step inner loops are stride-1 sweeps the vectorizer can handle.
+// Lanes that stop early (divergence, per-lane failure) are deactivated --
+// their slots stay allocated so channel indexing never shifts, but
+// engines skip them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lcosc {
+
+class BatchedState {
+ public:
+  // All channels start zero-filled, all lanes active.
+  BatchedState(std::size_t channels, std::size_t lanes);
+
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+
+  // Contiguous per-lane values of one channel.
+  [[nodiscard]] std::span<double> channel(std::size_t c) {
+    return {data_.data() + c * lanes_, lanes_};
+  }
+  [[nodiscard]] std::span<const double> channel(std::size_t c) const {
+    return {data_.data() + c * lanes_, lanes_};
+  }
+
+  [[nodiscard]] double& at(std::size_t c, std::size_t lane) {
+    return data_[c * lanes_ + lane];
+  }
+  [[nodiscard]] double at(std::size_t c, std::size_t lane) const {
+    return data_[c * lanes_ + lane];
+  }
+
+  // Lane activity: a deactivated lane keeps its slot (indexing is stable)
+  // but engines skip it in the lockstep loop.
+  [[nodiscard]] bool active(std::size_t lane) const { return active_[lane] != 0; }
+  void deactivate(std::size_t lane);
+  [[nodiscard]] std::size_t active_count() const { return active_count_; }
+  [[nodiscard]] bool any_active() const { return active_count_ > 0; }
+
+ private:
+  std::size_t channels_;
+  std::size_t lanes_;
+  std::vector<double> data_;          // channel-major: [channel][lane]
+  std::vector<std::uint8_t> active_;  // not vector<bool>: needs addressable bytes
+  std::size_t active_count_;
+};
+
+}  // namespace lcosc

@@ -58,14 +58,21 @@ struct Scope {
 
 constexpr int kMaxSubcircuitDepth = 8;
 
+// Case-alias guard: lowercased node name -> first spelling seen.  Node
+// names are case-sensitive, so "N1" after "n1" would silently create a
+// second, floating node -- the classic netlist typo.  We reject it
+// instead of guessing which spelling was meant.
+using NodeSpellings = std::map<std::string, std::string>;
+
 void process_cards(Circuit& circuit, const std::vector<Card>& cards,
                    const std::map<std::string, Subcircuit>& subckts, const Scope& scope,
-                   int depth);
+                   NodeSpellings& spellings, int depth);
 
-// Resolve a node token inside a scope: ground is global, ports map to the
-// caller's nodes, everything else becomes a scoped internal node.
+// Resolve a node token inside a scope: ground is global (any casing of
+// "gnd"), ports map to the caller's nodes, everything else becomes a
+// scoped internal node.
 std::string resolve_node(const Scope& scope, const std::string& token) {
-  if (token == "0" || token == "gnd") return "0";
+  if (token == "0" || to_lower(token) == "gnd") return "0";
   const auto it = scope.nodes.find(token);
   if (it != scope.nodes.end()) return it->second;
   return scope.prefix + token;
@@ -73,7 +80,7 @@ std::string resolve_node(const Scope& scope, const std::string& token) {
 
 void process_card(Circuit& circuit, const Card& card,
                   const std::map<std::string, Subcircuit>& subckts, const Scope& scope,
-                  int depth) {
+                  NodeSpellings& spellings, int depth) {
   const std::vector<std::string> t = tokenize(card.text);
   if (t.empty()) return;
   const std::string name = scope.prefix + t[0];
@@ -82,11 +89,24 @@ void process_card(Circuit& circuit, const Card& card,
   auto need = [&](std::size_t n, const char* what) {
     if (t.size() < n) fail(card.line, std::string("expected ") + what);
   };
-  auto node = [&](std::size_t i) { return resolve_node(scope, t[i]); };
+  // Fixed-arity cards take no trailing options; a stray token is a typo
+  // (e.g. a value split by a space), not something to silently drop.
+  auto exact = [&](std::size_t n, const char* what) {
+    if (t.size() != n) fail(card.line, std::string("expected exactly ") + what);
+  };
+  auto node = [&](std::size_t i) {
+    std::string resolved = resolve_node(scope, t[i]);
+    const auto [it, inserted] = spellings.emplace(to_lower(resolved), resolved);
+    if (!inserted && it->second != resolved) {
+      fail(card.line, "node '" + resolved + "' differs only in case from earlier '" +
+                          it->second + "'");
+    }
+    return resolved;
+  };
 
   switch (kind) {
     case 'r': {
-      need(4, "R<name> n1 n2 value");
+      exact(4, "R<name> n1 n2 value");
       circuit.resistor(name, node(1), node(2), parse_engineering_value(t[3]));
       break;
     }
@@ -178,12 +198,12 @@ void process_card(Circuit& circuit, const Card& card,
       break;
     }
     case 'g': {
-      need(6, "G<name> out+ out- ctl+ ctl- gm");
+      exact(6, "G<name> out+ out- ctl+ ctl- gm");
       circuit.vccs(name, node(1), node(2), node(3), node(4), parse_engineering_value(t[5]));
       break;
     }
     case 'e': {
-      need(6, "E<name> out+ out- ctl+ ctl- gain");
+      exact(6, "E<name> out+ out- ctl+ ctl- gain");
       circuit.add<Vcvs>(name, circuit.node_or_create(node(1)), circuit.node_or_create(node(2)),
                         circuit.node_or_create(node(3)), circuit.node_or_create(node(4)),
                         parse_engineering_value(t[5]));
@@ -203,7 +223,7 @@ void process_card(Circuit& circuit, const Card& card,
       break;
     }
     case 'k': {
-      need(4, "K<name> <L1> <L2> <k>");
+      exact(4, "K<name> <L1> <L2> <k>");
       auto* l1 = circuit.find_as<Inductor>(scope.prefix + t[1]);
       auto* l2 = circuit.find_as<Inductor>(scope.prefix + t[2]);
       if (l1 == nullptr || l2 == nullptr) {
@@ -229,7 +249,7 @@ void process_card(Circuit& circuit, const Card& card,
       for (std::size_t p = 0; p < sub.ports.size(); ++p) {
         inner.nodes[sub.ports[p]] = node(p + 1);
       }
-      process_cards(circuit, sub.body, subckts, inner, depth + 1);
+      process_cards(circuit, sub.body, subckts, inner, spellings, depth + 1);
       break;
     }
     default:
@@ -239,8 +259,10 @@ void process_card(Circuit& circuit, const Card& card,
 
 void process_cards(Circuit& circuit, const std::vector<Card>& cards,
                    const std::map<std::string, Subcircuit>& subckts, const Scope& scope,
-                   int depth) {
-  for (const Card& card : cards) process_card(circuit, card, subckts, scope, depth);
+                   NodeSpellings& spellings, int depth) {
+  for (const Card& card : cards) {
+    process_card(circuit, card, subckts, scope, spellings, depth);
+  }
 }
 
 }  // namespace
@@ -300,33 +322,45 @@ std::unique_ptr<Circuit> parse_netlist(const std::string& text) {
   bool ended = false;
   while (std::getline(is, raw) && !ended) {
     ++line_no;
-    // Strip inline comments (';' style) and trim.
+    // Strip inline comments (';' style) and trim both ends.  Trailing
+    // trim also removes the '\r' a CRLF netlist leaves behind, so DOS
+    // line endings parse identically to Unix ones.
     const std::size_t semi = raw.find(';');
     if (semi != std::string::npos) raw.erase(semi);
     const std::size_t first = raw.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;
     raw.erase(0, first);
+    raw.erase(raw.find_last_not_of(" \t\r") + 1);
     if (raw.front() == '*') continue;
 
-    const std::string lower = to_lower(raw);
-    if (lower.rfind(".subckt", 0) == 0) {
-      if (open_subckt != nullptr) fail(line_no, "nested .subckt definitions not supported");
+    if (raw.front() == '.') {
+      // Directives match on the exact first token: ".endsx" is a typo,
+      // not a ".ends" -- prefix matching would silently swallow it.
       const auto tokens = tokenize(raw);
-      if (tokens.size() < 3) fail(line_no, "expected .subckt <name> <ports...>");
-      open_name = to_lower(tokens[1]);
-      if (subckts.contains(open_name)) fail(line_no, "duplicate subcircuit " + tokens[1]);
-      Subcircuit sub;
-      sub.ports.assign(tokens.begin() + 2, tokens.end());
-      open_subckt = &subckts.emplace(open_name, std::move(sub)).first->second;
-      continue;
-    }
-    if (lower.rfind(".ends", 0) == 0) {
-      if (open_subckt == nullptr) fail(line_no, ".ends without .subckt");
-      open_subckt = nullptr;
-      continue;
-    }
-    if (lower.rfind(".end", 0) == 0) {
-      ended = true;
+      const std::string directive = to_lower(tokens.front());
+      if (directive == ".subckt") {
+        if (open_subckt != nullptr) fail(line_no, "nested .subckt definitions not supported");
+        if (tokens.size() < 3) fail(line_no, "expected .subckt <name> <ports...>");
+        open_name = to_lower(tokens[1]);
+        if (subckts.contains(open_name)) fail(line_no, "duplicate subcircuit " + tokens[1]);
+        Subcircuit sub;
+        sub.ports.assign(tokens.begin() + 2, tokens.end());
+        for (std::size_t p = 1; p < sub.ports.size(); ++p) {
+          for (std::size_t q = 0; q < p; ++q) {
+            if (to_lower(sub.ports[p]) == to_lower(sub.ports[q])) {
+              fail(line_no, "duplicate .subckt port " + sub.ports[p]);
+            }
+          }
+        }
+        open_subckt = &subckts.emplace(open_name, std::move(sub)).first->second;
+      } else if (directive == ".ends") {
+        if (open_subckt == nullptr) fail(line_no, ".ends without .subckt");
+        open_subckt = nullptr;
+      } else if (directive == ".end") {
+        ended = true;
+      } else {
+        fail(line_no, "unknown directive " + tokens.front());
+      }
       continue;
     }
 
@@ -342,7 +376,9 @@ std::unique_ptr<Circuit> parse_netlist(const std::string& text) {
     throw NetlistError("unterminated .subckt " + open_name + " (missing .ends)");
   }
 
-  process_cards(*circuit, top_level, subckts, Scope{}, 0);
+  const Scope top_scope{};
+  NodeSpellings spellings;
+  process_cards(*circuit, top_level, subckts, top_scope, spellings, 0);
   circuit->finalize();
   return circuit;
 }

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <deque>
 #include <limits>
+#include <memory>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -43,6 +46,7 @@ void flush_stats_to_registry(const TransientStats& stats, std::size_t steps,
   static obs::Counter& cache_hits = registry.counter("transient.base_cache.hits");
   static obs::Counter& cache_misses = registry.counter("transient.base_cache.misses");
   static obs::Counter& cache_evictions = registry.counter("transient.base_cache.evictions");
+  static obs::Counter& shared_hits = registry.counter("transient.shared_factor.hits");
   // Converged-step Newton iteration histogram: bucket i of the stats
   // array holds steps that converged in i+1 iterations.
   static obs::Histogram& newton_hist = registry.histogram(
@@ -72,6 +76,7 @@ void flush_stats_to_registry(const TransientStats& stats, std::size_t steps,
   cache_hits.add(stats.base_cache_hits);
   cache_misses.add(stats.base_cache_misses);
   cache_evictions.add(stats.base_cache_evictions);
+  shared_hits.add(stats.shared_factor_hits);
   for (std::size_t i = 0; i < stats.newton_histogram.size(); ++i) {
     newton_hist.record_many(static_cast<double>(i + 1), stats.newton_histogram[i]);
   }
@@ -100,6 +105,7 @@ TransientStats& TransientStats::operator+=(const TransientStats& other) {
   base_cache_hits += other.base_cache_hits;
   base_cache_misses += other.base_cache_misses;
   base_cache_evictions += other.base_cache_evictions;
+  shared_factor_hits += other.shared_factor_hits;
   for (std::size_t i = 0; i < newton_histogram.size(); ++i) {
     newton_histogram[i] += other.newton_histogram[i];
   }
@@ -127,14 +133,74 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Bit-exact matrix equality.  Plain == would be almost right, but LU with
+// partial pivoting is a pure function of the matrix BYTES: treating
+// +0.0 == -0.0 entries as "the same system" could hand a variant a factor
+// whose sign-of-zero products differ from what its own factorization
+// would produce.  Sharing only on byte equality keeps the shared-factor
+// solve bit-identical to the unshared one by construction.
+bool same_matrix_bits(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double xv = x(r, c);
+      const double yv = y(r, c);
+      std::uint64_t xb = 0;
+      std::uint64_t yb = 0;
+      std::memcpy(&xb, &xv, sizeof(xb));
+      std::memcpy(&yb, &yv, sizeof(yb));
+      if (xb != yb) return false;
+    }
+  }
+  return true;
+}
+
+// Batch-wide pool of linear base factorizations, keyed (dt, base-matrix
+// bytes).  The first variant to factor a given system publishes a copy of
+// its LU; later variants with a bit-identical base reuse it instead of
+// refactoring -- the cross-case extension of the per-run dt-keyed cache.
+// Deque storage keeps published factors at stable addresses while the
+// pool grows.  Lookup is a linear scan: batches hold at most a handful of
+// distinct base systems (that is the point of sharing), so a scan beats
+// hashing matrix bytes.  Single-threaded by design: the lockstep batch
+// loop advances variants sequentially.
+class SharedFactorPool {
+ public:
+  [[nodiscard]] const LuDecomposition* find(double dt, const Matrix& a) const {
+    for (const auto& entry : entries_) {
+      if (entry.dt == dt && same_matrix_bits(entry.a, a)) return &entry.lu;
+    }
+    return nullptr;
+  }
+
+  void publish(double dt, const Matrix& a, const LuDecomposition& lu) {
+    entries_.push_back({dt, a, lu});
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    double dt = 0.0;
+    Matrix a;
+    LuDecomposition lu;
+  };
+  std::deque<Entry> entries_;
+};
+
 // Per-run workspace: the element partition, the dt-keyed cache of linear
 // base systems, the Newton work buffers, and the reusable LU factors.
 // Everything lives for one run_transient call, so element parameter
 // changes between runs can never be observed through a stale cache.
 class TransientWorkspace {
  public:
-  TransientWorkspace(Circuit& circuit, const TransientOptions& options)
+  // `pool` is the optional batch-wide shared-factor pool (run_transient_batch
+  // with reuse_lu = true); single-run transients pass nullptr and behave
+  // exactly as before.
+  TransientWorkspace(Circuit& circuit, const TransientOptions& options,
+                     SharedFactorPool* pool = nullptr)
       : options_(options),
+        pool_(pool),
         n_(circuit.unknown_count()),
         voltage_count_(circuit.node_count() - 1),
         cache_capacity_(std::max<std::size_t>(options.base_cache_capacity, 1)) {
@@ -175,15 +241,32 @@ class TransientWorkspace {
     if (linear()) {
       ++stats.newton_iterations;
       if (!current_->factor_valid) {
-        const auto t0 = Clock::now();
-        const bool ok = current_->lu.factor(current_->a);
-        stats.factor_seconds += seconds_since(t0);
-        ++stats.factorizations;
-        if (!ok) return false;
-        current_->factor_valid = true;
+        // Batched runs: another variant may already have factored this
+        // exact (dt, base-matrix bytes) system.  LU with partial pivoting
+        // is a pure function of the matrix bytes, so reusing the
+        // published factor is bit-identical to factoring our own copy.
+        const LuDecomposition* shared =
+            pool_ != nullptr ? pool_->find(current_->dt, current_->a) : nullptr;
+        if (shared != nullptr) {
+          current_->shared = shared;
+          current_->factor_valid = true;
+          ++stats.shared_factor_hits;
+        } else {
+          const auto t0 = Clock::now();
+          const bool ok = current_->lu.factor(current_->a);
+          stats.factor_seconds += seconds_since(t0);
+          ++stats.factorizations;
+          if (!ok) return false;
+          current_->factor_valid = true;
+          // Publish first-wins: later variants with the same base reuse
+          // this factor for the rest of the batch.
+          if (pool_ != nullptr) pool_->publish(current_->dt, current_->a, current_->lu);
+        }
       }
+      const LuDecomposition& lu =
+          current_->shared != nullptr ? *current_->shared : current_->lu;
       const auto t0 = Clock::now();
-      const bool solved = current_->lu.try_solve(b_step_, x_new_);
+      const bool solved = lu.try_solve(b_step_, x_new_);
       stats.solve_seconds += seconds_since(t0);
       ++stats.rhs_solves;
       if (!solved) return false;
@@ -243,6 +326,10 @@ class TransientWorkspace {
     Matrix a;
     Vector b;
     LuDecomposition lu;
+    // Batch-shared factor borrowed from the SharedFactorPool instead of
+    // lu; non-null implies factor_valid.  Pool entries are address-stable
+    // (deque) and outlive every workspace in the batch.
+    const LuDecomposition* shared = nullptr;
     bool factor_valid = false;
     std::uint64_t last_use = 0;
   };
@@ -295,6 +382,7 @@ class TransientWorkspace {
     for (std::size_t i = 0; i < voltage_count_; ++i) entry.a(i, i) += options_.gmin;
     entry.dt = ctx.dt;
     entry.factor_valid = false;
+    entry.shared = nullptr;
     entry.last_use = ++use_tick_;
     ++stats.matrix_stamps;
     stats.stamp_seconds += seconds_since(t0);
@@ -336,6 +424,7 @@ class TransientWorkspace {
   }
 
   const TransientOptions& options_;
+  SharedFactorPool* pool_;  // batch-wide factor pool, or nullptr
   std::size_t n_;
   std::size_t voltage_count_;
   std::size_t cache_capacity_;
@@ -367,102 +456,140 @@ struct RunSetup {
 
 // --- fixed-step loop (the historical solver; bit-identical contract) --------
 
-void run_fixed(RunSetup& setup, TransientWorkspace& ws, TransientResult& result) {
-  Circuit& circuit = *setup.circuit;
-  const TransientOptions& options = *setup.options;
-  Vector x = std::move(setup.x);
+// Resumable fixed-step loop: construction performs everything run_fixed
+// did before its first iteration, and each advance() call executes
+// exactly one iteration of the historical loop body.  run_fixed drains
+// the stepper to completion; run_transient_batch interleaves one
+// advance() per variant so the whole batch moves through time in
+// lockstep (which is what lets the shared-factor pool fill before most
+// variants reach their first factorization).  The operation sequence per
+// variant is byte-for-byte the old loop, so traces are bit-identical.
+class FixedStepper {
+ public:
+  FixedStepper(RunSetup& setup, TransientWorkspace& ws, TransientResult& result)
+      : circuit_(*setup.circuit),
+        options_(*setup.options),
+        probes_(setup.probes),
+        ws_(ws),
+        result_(result),
+        x_(std::move(setup.x)),
+        x_prev_(x_),
+        dt_(options_.dt),
+        // Guard against ulp-level residue masquerading as one more step.
+        time_eps_(dt_ * 1e-9) {
+    // The initial state is a genuine sample of the run: record it at
+    // exactly t = 0.  Every accepted step advances time by at least
+    // dt / 2^max_step_halvings, so the strictly-increasing trace
+    // invariant holds without the historical negative-epsilon hack.
+    record(0.0, x_);
+    ctx_.dt = options_.dt;
+    ctx_.integration = options_.integration;
+    ctx_.gmin = options_.gmin;
+  }
 
-  auto record = [&](double t, const Vector& state) {
-    for (std::size_t p = 0; p < setup.probes.size(); ++p) {
-      result.traces[p].append(t, Circuit::voltage(state, setup.probes[p]));
-    }
-  };
-  // The initial state is a genuine sample of the run: record it at
-  // exactly t = 0.  Every accepted step advances time by at least
-  // dt / 2^max_step_halvings, so the strictly-increasing trace invariant
-  // holds without the historical negative-epsilon hack.
-  record(0.0, x);
+  [[nodiscard]] bool done() const {
+    const double t =
+        reduced_time_ + static_cast<double>(nominal_steps_) * dt_;
+    return options_.t_stop - t <= time_eps_;
+  }
 
-  StampContext ctx;
-  ctx.dt = options.dt;
-  ctx.integration = options.integration;
-  ctx.gmin = options.gmin;
-
-  Vector x_prev = x;
-  const double dt = options.dt;
-  // Step-indexed time: full-size steps advance an integer counter and
-  // reduced (halved or final partial) steps accumulate separately, so a
-  // long run cannot drift against t_stop through repeated t += h rounding
-  // (same fix as the EnvelopeSimulator step loop).
-  std::int64_t nominal_steps = 0;
-  double reduced_time = 0.0;
-  // Guard against ulp-level residue masquerading as one more step.
-  const double time_eps = dt * 1e-9;
-  bool first_step = true;
-  for (;;) {
-    const double t = reduced_time + static_cast<double>(nominal_steps) * dt;
-    const double remaining = options.t_stop - t;
-    if (remaining <= time_eps) break;
+  // One accepted (or stale-accepted) time step, including the dt-halving
+  // retries.  No-op once done().
+  void advance() {
+    const double t = reduced_time_ + static_cast<double>(nominal_steps_) * dt_;
+    const double remaining = options_.t_stop - t;
+    if (remaining <= time_eps_) return;
     LCOSC_SPAN("transient.step");
 
     // On the very first step (when not starting from a DC solution) the
     // reactive elements read their explicit initial conditions instead of
     // the all-zero state vector.
-    ctx.x_prev = (first_step && !options.start_from_dc) ? nullptr : &x_prev;
+    ctx_.x_prev = (first_step_ && !options_.start_from_dc) ? nullptr : &x_prev_;
 
     // Newton retry with halved dt: a failed step is re-solved from the
     // same accepted state with a smaller step (bounded), and the run only
     // accepts the stale iterate once the halvings are exhausted.  The
     // accepted (possibly reduced) step advances time, so subsequent steps
     // return to the nominal dt.
-    const double h_full = std::min(dt, remaining);
-    const bool full_size = h_full >= dt;
+    const double h_full = std::min(dt_, remaining);
+    const bool full_size = h_full >= dt_;
     double h = h_full;
     int halvings = 0;
     bool step_ok = false;
-    Vector x_next = x;  // predictor: previous solution
+    Vector x_next = x_;  // predictor: previous solution
     double t_next = 0.0;
     while (true) {
-      ctx.dt = h;
+      ctx_.dt = h;
       t_next = (full_size && halvings == 0)
-                   ? reduced_time + static_cast<double>(nominal_steps + 1) * dt
+                   ? reduced_time_ + static_cast<double>(nominal_steps_ + 1) * dt_
                    : t + h;
-      ctx.time = t_next;
-      x_next = x;
-      if (ws.solve_step(ctx, x_next, result.stats)) {
+      ctx_.time = t_next;
+      x_next = x_;
+      if (ws_.solve_step(ctx_, x_next, result_.stats)) {
         step_ok = true;
         break;
       }
-      if (halvings >= options.max_step_halvings) break;
+      if (halvings >= options_.max_step_halvings) break;
       ++halvings;
-      ++result.stats.halvings;
+      ++result_.stats.halvings;
       if (obs::events_enabled()) {
-        obs::Event("newton.halving").num("t", ctx.time).num("dt", h).integer("halvings", halvings);
+        obs::Event("newton.halving").num("t", ctx_.time).num("dt", h).integer("halvings", halvings);
       }
       h *= 0.5;
     }
-    if (halvings > 0) ++result.stats.retried_steps;
+    if (halvings > 0) ++result_.stats.retried_steps;
     if (!step_ok) {
-      result.converged = false;
-      ++result.failed_steps;
+      result_.converged = false;
+      ++result_.failed_steps;
       if (obs::events_enabled()) {
-        obs::Event("newton.step_failed").num("t", ctx.time).integer("halvings", halvings);
+        obs::Event("newton.step_failed").num("t", ctx_.time).integer("halvings", halvings);
       }
-      LCOSC_LOG_WARN << "transient step at t=" << ctx.time << " failed to converge after "
+      LCOSC_LOG_WARN << "transient step at t=" << ctx_.time << " failed to converge after "
                      << halvings << " dt halvings";
     }
-    x_prev = x_next;
-    x = x_next;
+    x_prev_ = x_next;
+    x_ = x_next;
     if (full_size && halvings == 0) {
-      ++nominal_steps;
+      ++nominal_steps_;
     } else {
-      reduced_time += h;
+      reduced_time_ += h;
     }
-    ++result.steps;
-    first_step = false;
-    for (const auto& element : circuit.elements()) element->transient_commit(x, ctx);
-    record(t_next, x);
+    ++result_.steps;
+    first_step_ = false;
+    for (const auto& element : circuit_.elements()) element->transient_commit(x_, ctx_);
+    record(t_next, x_);
   }
+
+ private:
+  void record(double t, const Vector& state) {
+    for (std::size_t p = 0; p < probes_.size(); ++p) {
+      result_.traces[p].append(t, Circuit::voltage(state, probes_[p]));
+    }
+  }
+
+  Circuit& circuit_;
+  const TransientOptions& options_;
+  const std::vector<NodeId>& probes_;
+  TransientWorkspace& ws_;
+  TransientResult& result_;
+
+  StampContext ctx_;
+  Vector x_;
+  Vector x_prev_;
+  const double dt_;
+  const double time_eps_;
+  // Step-indexed time: full-size steps advance an integer counter and
+  // reduced (halved or final partial) steps accumulate separately, so a
+  // long run cannot drift against t_stop through repeated t += h rounding
+  // (same fix as the EnvelopeSimulator step loop).
+  std::int64_t nominal_steps_ = 0;
+  double reduced_time_ = 0.0;
+  bool first_step_ = true;
+};
+
+void run_fixed(RunSetup& setup, TransientWorkspace& ws, TransientResult& result) {
+  FixedStepper stepper(setup, ws, result);
+  while (!stepper.done()) stepper.advance();
 }
 
 // --- adaptive LTE-controlled loop -------------------------------------------
@@ -676,6 +803,81 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   }
   flush_stats_to_registry(result.stats, result.steps, result.failed_steps);
   return result;
+}
+
+std::vector<TransientResult> run_transient_batch(const std::vector<Circuit*>& circuits,
+                                                 const TransientOptions& options,
+                                                 const std::vector<std::string>& probe_nodes) {
+  LCOSC_SPAN("transient.batch_run");
+  LCOSC_REQUIRE(!options.adaptive, "run_transient_batch supports fixed-step runs only");
+  LCOSC_REQUIRE(options.dt > 0.0, "transient dt must be positive");
+  LCOSC_REQUIRE(options.t_stop > 0.0, "transient t_stop must be positive");
+  for (Circuit* circuit : circuits) {
+    LCOSC_REQUIRE(circuit != nullptr, "run_transient_batch circuit must not be null");
+  }
+
+  const std::size_t count = circuits.size();
+  std::vector<TransientResult> results(count);
+  if (count == 0) return results;
+
+  // Cross-case sharing only makes sense on the cached path; the
+  // reuse_lu = false reference re-factors every iteration by contract.
+  SharedFactorPool pool;
+  SharedFactorPool* pool_ptr = options.reuse_lu ? &pool : nullptr;
+
+  // Per-variant preamble, identical to run_transient: DC operating point,
+  // transient history init, private workspace.  Workspaces and steppers
+  // live in unique_ptrs because they hold references into their setup.
+  std::vector<RunSetup> setups(count);
+  std::vector<std::unique_ptr<TransientWorkspace>> workspaces;
+  std::vector<std::unique_ptr<FixedStepper>> steppers;
+  workspaces.reserve(count);
+  steppers.reserve(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    Circuit& circuit = *circuits[v];
+    circuit.finalize();
+    const std::size_t n = circuit.unknown_count();
+
+    RunSetup& setup = setups[v];
+    setup.circuit = &circuit;
+    setup.options = &options;
+    setup.probes.reserve(probe_nodes.size());
+    for (const auto& name : probe_nodes) setup.probes.push_back(circuit.node(name));
+
+    TransientResult& result = results[v];
+    result.traces.reserve(probe_nodes.size());
+    for (const auto& name : probe_nodes) result.traces.emplace_back(name);
+
+    setup.x.assign(n, 0.0);
+    if (options.start_from_dc) {
+      const DcSolution op = solve_dc(circuit);
+      if (op.converged) setup.x = op.x;
+    }
+    for (const auto& element : circuit.elements()) {
+      element->transient_begin(options.start_from_dc ? &setup.x : nullptr);
+    }
+
+    workspaces.push_back(std::make_unique<TransientWorkspace>(circuit, options, pool_ptr));
+    steppers.push_back(std::make_unique<FixedStepper>(setups[v], *workspaces.back(), result));
+  }
+
+  // Lockstep round-robin: one step per variant per sweep.  All variants
+  // share the same (dt, t_stop), so they finish together; the loop shape
+  // only matters for how early the factor pool fills.
+  bool any_running = true;
+  while (any_running) {
+    any_running = false;
+    for (auto& stepper : steppers) {
+      if (stepper->done()) continue;
+      stepper->advance();
+      any_running = true;
+    }
+  }
+
+  for (const auto& result : results) {
+    flush_stats_to_registry(result.stats, result.steps, result.failed_steps);
+  }
+  return results;
 }
 
 }  // namespace lcosc::spice

@@ -1,0 +1,234 @@
+#include "system/batched_envelope.h"
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "common/error.h"
+#include "devices/batched_blocks.h"
+#include "driver/oscillator_driver.h"
+#include "numeric/batched_state.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+#include "regulation/amplitude_detector.h"
+#include "regulation/regulation_fsm.h"
+#include "system/envelope_kernel.h"
+#include "tank/rlc_tank.h"
+
+namespace lcosc::system {
+
+namespace {
+
+// Cold per-lane state: everything the hot loop touches at most once per
+// regulation tick.  The per-substep state (amplitude, rectified mean)
+// lives in the BatchedState channels instead.
+struct Lane {
+  double rp = 0.0;
+  double ceff = 0.0;
+  double quiescent = 0.0;
+  std::optional<driver::OscillatorDriver> driver;
+  std::optional<regulation::RegulationFsm> fsm;
+  // Cached differential-port stage; equals the stage the serial path
+  // constructs per call (refreshed on every code change).
+  std::optional<driver::GmStage> port;
+  std::uint64_t substeps = 0;
+  double tail_acc = 0.0;
+  std::uint64_t tail_n = 0;
+  double last_tick_amp = 0.0;
+  int last_tick_code = 0;
+  bool has_tick = false;
+  bool ok = false;
+};
+
+void refresh_port(Lane& lane) { lane.port = lane.driver->differential_port_stage(); }
+
+}  // namespace
+
+std::vector<BatchedLaneResult> run_batched_envelope(
+    const std::vector<BatchedEnvelopeLane>& lanes, double duration) {
+  LCOSC_SPAN("envelope.batched_run");
+  LCOSC_REQUIRE(!lanes.empty(), "batched envelope needs at least one lane");
+  LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
+
+  // The lockstep loop shares one time grid: dt, the regulation tick
+  // schedule, and the NVM preset time must agree across lanes (they are
+  // design constants, not Monte-Carlo variables).  The detector filter
+  // tau is shared for the same reason (one LowPassBank decay factor).
+  const EnvelopeSimConfig& ref = lanes.front().config;
+  for (const auto& lane : lanes) {
+    const EnvelopeSimConfig& cfg = lane.config;
+    LCOSC_REQUIRE(!cfg.adaptive, "batched envelope engine is fixed-step only");
+    LCOSC_REQUIRE(cfg.dt == ref.dt, "all lanes must share the envelope dt");
+    LCOSC_REQUIRE(cfg.regulation.tick_period == ref.regulation.tick_period,
+                  "all lanes must share the regulation tick period");
+    LCOSC_REQUIRE(cfg.regulation.nvm_delay == ref.regulation.nvm_delay,
+                  "all lanes must share the NVM preset delay");
+    LCOSC_REQUIRE(cfg.detector.filter_tau == ref.detector.filter_tau,
+                  "all lanes must share the detector filter tau");
+  }
+  LCOSC_REQUIRE(ref.dt > 0.0, "envelope step must be positive");
+
+  const std::size_t n = lanes.size();
+  std::vector<BatchedLaneResult> results(n);
+  std::vector<Lane> state(n);
+
+  // Channels: 0 = amplitude A, 1 = rectified-mean detector input A/pi.
+  BatchedState soa(2, n);
+  const auto amp = soa.channel(0);
+  const auto rect = soa.channel(1);
+  devices::LowPassBank vdc1(ref.detector.filter_tau, n);
+  std::vector<double> vr3(n, 0.0);
+  std::vector<double> vr4(n, 0.0);
+  std::vector<devices::WindowState> verdicts(n, devices::WindowState::Inside);
+
+  // Per-lane setup mirrors EnvelopeSimulator's constructor + run preamble;
+  // a throwing lane is handed back for the serial fallback instead of
+  // failing the whole batch.
+  for (std::size_t l = 0; l < n; ++l) {
+    try {
+      const EnvelopeSimConfig& cfg = lanes[l].config;
+      LCOSC_REQUIRE(cfg.initial_amplitude > 0.0, "initial amplitude must be positive");
+      LCOSC_REQUIRE(cfg.max_step_multiple >= 1, "envelope max_step_multiple must be >= 1");
+      const tank::RlcTank tk(cfg.tank);
+      Lane& lane = state[l];
+      lane.rp = tk.parallel_resistance();
+      lane.ceff = tk.effective_capacitance();
+      lane.quiescent = cfg.driver.quiescent_current;
+      lane.driver.emplace(cfg.driver);
+      lane.fsm.emplace(cfg.regulation);
+      if (lanes[l].mismatch_dac != nullptr) {
+        lane.driver->use_mismatched_dac(lanes[l].mismatch_dac);
+      }
+      const regulation::AmplitudeDetector detector(cfg.detector);
+      vr3[l] = detector.vr3();
+      vr4[l] = detector.vr4();
+
+      lane.fsm->por_reset();
+      lane.driver->set_code(lane.fsm->code());
+      lane.driver->set_enabled(true);
+      refresh_port(lane);
+      amp[l] = cfg.initial_amplitude;
+      lane.ok = true;
+    } catch (const std::exception&) {
+      results[l].setup_failed = true;
+      soa.deactivate(l);
+    }
+  }
+
+  const double dt = ref.dt;
+  const auto steps = static_cast<std::int64_t>(std::ceil(duration / dt * (1.0 - 1e-12)));
+  const double tick_period = ref.regulation.tick_period;
+  const double nvm_delay = ref.regulation.nvm_delay;
+  std::int64_t tick_index = 1;
+  bool nvm_applied = false;
+
+  // Settled-amplitude tail window over the fixed output grid, computed
+  // exactly like EnvelopeRunResult::settled_amplitude(): trace samples
+  // run from 1*dt to steps*dt, and the tail keeps times >= t0.
+  constexpr double kTailFraction = 0.2;
+  const double trace_start = 1.0 * dt;
+  const double trace_end = static_cast<double>(steps) * dt;
+  const double t0 = trace_end - kTailFraction * (trace_end - trace_start);
+
+  std::uint64_t macro_steps = 0;
+  std::uint64_t tick_count = 0;
+
+  for (std::int64_t step = 0; step < steps && soa.any_active(); ++step) {
+    const double t_step = static_cast<double>(step) * dt;
+    if (!nvm_applied && t_step >= nvm_delay) {
+      for (std::size_t l = 0; l < n; ++l) {
+        if (!soa.active(l)) continue;
+        Lane& lane = state[l];
+        lane.fsm->apply_nvm_preset();
+        lane.driver->set_code(lane.fsm->code());
+        refresh_port(lane);
+      }
+      nvm_applied = true;
+    }
+
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!soa.active(l)) continue;
+      Lane& lane = state[l];
+      // The same growth-rate evaluation the serial path performs via
+      // fundamental_port_current(), against the cached port stage.
+      const driver::GmStage& port = *lane.port;
+      const double rp = lane.rp;
+      const double ceff = lane.ceff;
+      auto lambda_of = [&](double a) {
+        const double n_eff = port.fundamental_current(a) / a;
+        return (n_eff - 1.0 / rp) / (2.0 * ceff);
+      };
+      amp[l] = advance_envelope_guarded(lambda_of, amp[l], dt, lane.substeps);
+      if (!std::isfinite(amp[l])) {
+        // The serial path throws ConvergenceError here; the lane drops
+        // out and the caller replays it serially (retries included).
+        results[l].diverged = true;
+        soa.deactivate(l);
+      }
+    }
+    ++macro_steps;
+    const double t = static_cast<double>(step + 1) * dt;
+
+    // Detector chain in bank form: rectified mean then the shared-tau
+    // low-pass.  Inactive lanes ride along (their values are never read).
+    devices::rectified_mean_bank(amp, rect);
+    vdc1.step(dt, rect);
+
+    if (t >= t0) {
+      for (std::size_t l = 0; l < n; ++l) {
+        if (!soa.active(l)) continue;
+        state[l].tail_acc += amp[l];
+        ++state[l].tail_n;
+      }
+    }
+
+    if (t >= static_cast<double>(tick_index) * tick_period * (1.0 - 1e-12)) {
+      window_verdict_bank(vdc1.outputs(), vr3, vr4, verdicts);
+      for (std::size_t l = 0; l < n; ++l) {
+        if (!soa.active(l)) continue;
+        Lane& lane = state[l];
+        lane.fsm->tick(verdicts[l]);
+        lane.driver->set_code(lane.fsm->code());
+        refresh_port(lane);
+        lane.last_tick_amp = amp[l];
+        lane.last_tick_code = lane.fsm->code();
+        lane.has_tick = true;
+      }
+      ++tick_index;
+      ++tick_count;
+    }
+  }
+
+  std::uint64_t total_substeps = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    Lane& lane = state[l];
+    BatchedLaneResult& r = results[l];
+    r.substeps = lane.substeps;
+    total_substeps += lane.substeps;
+    if (!lane.ok || r.diverged) continue;
+    r.final_code = lane.fsm->code();
+    r.settled_amplitude =
+        lane.tail_n > 0 ? lane.tail_acc / static_cast<double>(lane.tail_n) : 0.0;
+    if (lane.has_tick) {
+      // The serial path evaluates supply_current at each tick with the
+      // post-tick code; only the last tick's value is consumed, and the
+      // evaluation is pure, so one call at the recorded (code, amplitude)
+      // reproduces it.  (An NVM preset after the last tick could have
+      // moved the code, hence the explicit restore.)
+      lane.driver->set_code(lane.last_tick_code);
+      r.supply_current = lane.driver->supply_current(lane.last_tick_amp);
+    }
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("envelope.batched.runs").add(1);
+    registry.counter("envelope.batched.lanes").add(n);
+    registry.counter("envelope.batched.steps").add(macro_steps);
+    registry.counter("envelope.batched.substeps").add(total_substeps);
+    registry.counter("envelope.batched.ticks").add(tick_count);
+  }
+  return results;
+}
+
+}  // namespace lcosc::system

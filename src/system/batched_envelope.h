@@ -1,0 +1,62 @@
+// Lockstep batched envelope engine for Monte-Carlo campaigns.
+//
+// Advances N sampled variants ("lanes") of the regulated oscillator
+// through ONE fixed-dt envelope time loop instead of N independent
+// EnvelopeSimulator runs.  Per-lane hot state (amplitude, rectified-mean
+// input, detector filter) lives in structure-of-arrays channels; the
+// per-lane effective Gm port stage -- which the serial path rebuilds from
+// the DAC decode on every integrator substep -- is cached per lane and
+// refreshed only when that lane's code changes.  All arithmetic flows
+// through the same compiled kernels as the serial path
+// (advance_envelope_guarded, GmStage::fundamental_current, the LowPass
+// update expression), so every lane's numbers are bit-identical to an
+// EnvelopeSimulator run of the same config (DESIGN.md §12).
+//
+// Lanes must share the time grid (dt, tick_period, nvm_delay) and the
+// detector filter tau; everything else (tank, driver, DAC mismatch,
+// detector thresholds, initial amplitude) varies per lane.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dac/current_mirror.h"
+#include "system/envelope_simulator.h"
+
+namespace lcosc::system {
+
+// One Monte-Carlo variant for the lockstep engine.
+struct BatchedEnvelopeLane {
+  EnvelopeSimConfig config{};
+  // Optional mismatched current-limitation DAC, applied exactly like the
+  // serial path's driver().use_mismatched_dac().
+  std::shared_ptr<const dac::CurrentLimitationDac> mismatch_dac;
+};
+
+// Per-lane result carrying exactly what campaign code consumes from
+// EnvelopeRunResult (settled tail mean, final code, last-tick supply);
+// full traces are not materialized, which is what lets the engine scale
+// to 10k-variant sweeps.
+struct BatchedLaneResult {
+  // Lane setup threw (invalid per-lane config): the caller re-runs the
+  // case serially to reproduce the serial error handling byte for byte.
+  bool setup_failed = false;
+  // Amplitude went non-finite mid-run -- where the serial path throws
+  // ConvergenceError; the caller's serial fallback reproduces the
+  // retry-with-halved-dt semantics.
+  bool diverged = false;
+  int final_code = 0;
+  // Tail mean over the trailing 20% of the run, bit-identical to
+  // EnvelopeRunResult::settled_amplitude().
+  double settled_amplitude = 0.0;
+  // Supply current at the last regulation tick (0 if the run ticks never
+  // fired), matching `ticks.back().supply_current`.
+  double supply_current = 0.0;
+  std::uint64_t substeps = 0;
+};
+
+[[nodiscard]] std::vector<BatchedLaneResult> run_batched_envelope(
+    const std::vector<BatchedEnvelopeLane>& lanes, double duration);
+
+}  // namespace lcosc::system

@@ -1,0 +1,49 @@
+// Shared guarded envelope integrator.
+//
+// Exponential (log-domain) update of the envelope equation
+//   dA/dt = (I_fund(A) - A/Rp) / (2 Ceff) = lambda(A) * A
+// over an interval h.  The tank envelope time constant 2 Rp Ceff drops
+// below the step for low-Q tanks; the exponential integrator is
+// unconditionally stable and exact at the balance point, with
+// sub-stepping so each update moves at most ~20% in log amplitude.
+//
+// Both the serial EnvelopeSimulator and the batched lockstep engine call
+// this one template with their own lambda evaluator, so the operation
+// sequence -- and therefore every bit of the result -- is shared between
+// the two paths (same discipline as the transient solver's reuse_lu
+// reference).  Keep the body free of fused-multiply-add-contractible
+// `a * b + c` shapes: the serial/batched identity relies on both
+// instantiations compiling to the same arithmetic.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace lcosc::system {
+
+// `lambda_of(amp)` evaluates the instantaneous log-amplitude growth rate
+// lambda(A) = (I_fund(A)/A - 1/Rp) / (2 Ceff).
+template <typename LambdaFn>
+double advance_envelope_guarded(LambdaFn&& lambda_of, double a, double h,
+                                std::uint64_t& substeps) {
+  double remaining = h;
+  int guard = 0;
+  while (remaining > 0.0 && guard++ < 400) {
+    ++substeps;
+    const double lam = lambda_of(a);
+    // Local sensitivity d(lambda)/d(ln A): the update is explicit Euler
+    // in log amplitude, so the step must also respect this slope or it
+    // rings (period-2) around the balance point at marginal gm.
+    const double eps = 1e-3;
+    const double slope = (lambda_of(a * (1.0 + eps)) - lam) / eps;
+    double hs = remaining;
+    if (std::abs(lam) * hs > 0.2) hs = 0.2 / std::abs(lam);
+    if (std::abs(slope) * hs > 0.5) hs = 0.5 / std::abs(slope);
+    a = std::clamp(a * std::exp(lam * hs), 1e-9, 1e3);
+    remaining -= hs;
+  }
+  return a;
+}
+
+}  // namespace lcosc::system

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "devices/comparator.h"
 #include "numeric/interpolate.h"
+#include "system/envelope_kernel.h"
 #include "numeric/step_control.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
@@ -56,35 +57,15 @@ double EnvelopeRunResult::steady_ripple(double tail_fraction) const {
 
 namespace {
 
-// Exponential (log-domain) update of the envelope equation
-//   dA/dt = (I_fund(A) - A/Rp) / (2 Ceff) = lambda(A) * A
-// over an interval h.  The tank envelope time constant 2 Rp Ceff drops
-// below the step for low-Q tanks; the exponential integrator is
-// unconditionally stable and exact at the balance point, with
-// sub-stepping so each update moves at most ~20% in log amplitude.
+// Guarded explicit advance; the integrator body lives in
+// envelope_kernel.h, shared verbatim with the batched lockstep engine.
 double advance_envelope(driver::OscillatorDriver& driver, double rp, double ceff, double a,
                         double h, std::uint64_t& substeps) {
   auto lambda_of = [&](double amp) {
     const double n_eff = driver.fundamental_port_current(amp) / amp;
     return (n_eff - 1.0 / rp) / (2.0 * ceff);
   };
-  double remaining = h;
-  int guard = 0;
-  while (remaining > 0.0 && guard++ < 400) {
-    ++substeps;
-    const double lam = lambda_of(a);
-    // Local sensitivity d(lambda)/d(ln A): the update is explicit Euler
-    // in log amplitude, so the step must also respect this slope or it
-    // rings (period-2) around the balance point at marginal gm.
-    const double eps = 1e-3;
-    const double slope = (lambda_of(a * (1.0 + eps)) - lam) / eps;
-    double hs = remaining;
-    if (std::abs(lam) * hs > 0.2) hs = 0.2 / std::abs(lam);
-    if (std::abs(slope) * hs > 0.5) hs = 0.5 / std::abs(slope);
-    a = std::clamp(a * std::exp(lam * hs), 1e-9, 1e3);
-    remaining -= hs;
-  }
-  return a;
+  return advance_envelope_guarded(lambda_of, a, h, substeps);
 }
 
 // Implicit (backward) log-Euler advance over h: solve

@@ -11,6 +11,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
+#include "system/batched_envelope.h"
 
 namespace lcosc::system {
 
@@ -31,54 +32,253 @@ std::size_t ToleranceReport::error_count() const {
   return n;
 }
 
-double ToleranceReport::min_amplitude() const {
-  LCOSC_REQUIRE(!samples.empty(), "min_amplitude on an empty report");
-  double v = samples.front().settled_amplitude;
-  for (const auto& s : samples) v = std::min(v, s.settled_amplitude);
+namespace {
+
+// Extremum over the completed samples only.  A failed sample carries
+// zero-initialized result fields (amplitude 0, code 0, supply 0); folding
+// those into min/max/percentiles poisons the extrema of an otherwise
+// healthy report, and an all-failed report has no meaningful extremum at
+// all -- hence the REQUIRE on at least one completed sample.
+template <typename T, typename Get, typename Fold>
+T fold_completed(const std::vector<ToleranceSample>& samples, const char* what, Get get,
+                 Fold fold) {
+  bool found = false;
+  T v{};
+  for (const auto& s : samples) {
+    if (!s.status.completed()) continue;
+    v = found ? fold(v, get(s)) : get(s);
+    found = true;
+  }
+  LCOSC_REQUIRE(found, std::string(what) + " requires at least one completed sample");
   return v;
+}
+
+}  // namespace
+
+double ToleranceReport::min_amplitude() const {
+  return fold_completed<double>(
+      samples, "min_amplitude", [](const ToleranceSample& s) { return s.settled_amplitude; },
+      [](double a, double b) { return std::min(a, b); });
 }
 
 double ToleranceReport::max_amplitude() const {
-  LCOSC_REQUIRE(!samples.empty(), "max_amplitude on an empty report");
-  double v = samples.front().settled_amplitude;
-  for (const auto& s : samples) v = std::max(v, s.settled_amplitude);
-  return v;
+  return fold_completed<double>(
+      samples, "max_amplitude", [](const ToleranceSample& s) { return s.settled_amplitude; },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 int ToleranceReport::min_code() const {
-  LCOSC_REQUIRE(!samples.empty(), "min_code on an empty report");
-  int v = samples.front().settled_code;
-  for (const auto& s : samples) v = std::min(v, s.settled_code);
-  return v;
+  return fold_completed<int>(
+      samples, "min_code", [](const ToleranceSample& s) { return s.settled_code; },
+      [](int a, int b) { return std::min(a, b); });
 }
 
 int ToleranceReport::max_code() const {
-  LCOSC_REQUIRE(!samples.empty(), "max_code on an empty report");
-  int v = samples.front().settled_code;
-  for (const auto& s : samples) v = std::max(v, s.settled_code);
-  return v;
+  return fold_completed<int>(
+      samples, "max_code", [](const ToleranceSample& s) { return s.settled_code; },
+      [](int a, int b) { return std::max(a, b); });
 }
 
 double ToleranceReport::max_supply_current() const {
-  LCOSC_REQUIRE(!samples.empty(), "max_supply_current on an empty report");
-  double v = samples.front().supply_current;
-  for (const auto& s : samples) v = std::max(v, s.supply_current);
-  return v;
+  return fold_completed<double>(
+      samples, "max_supply_current", [](const ToleranceSample& s) { return s.supply_current; },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 SummaryStatistics ToleranceReport::amplitude_statistics() const {
   std::vector<double> values;
   values.reserve(samples.size());
-  for (const auto& s : samples) values.push_back(s.settled_amplitude);
+  for (const auto& s : samples) {
+    if (s.status.completed()) values.push_back(s.settled_amplitude);
+  }
+  LCOSC_REQUIRE(!values.empty(),
+                "amplitude_statistics requires at least one completed sample");
   return summarize(std::move(values));
 }
 
 SummaryStatistics ToleranceReport::supply_statistics() const {
   std::vector<double> values;
   values.reserve(samples.size());
-  for (const auto& s : samples) values.push_back(s.supply_current);
+  for (const auto& s : samples) {
+    if (s.status.completed()) values.push_back(s.supply_current);
+  }
+  LCOSC_REQUIRE(!values.empty(),
+                "supply_statistics requires at least one completed sample");
   return summarize(std::move(values));
 }
+
+namespace {
+
+// The sampled per-case system.  draw_case is the single place both
+// engines draw from: a case's sampled (L, C1, C2, Rs) and DAC-mismatch
+// seed depend only on (campaign seed, case index) -- never on execution
+// order, worker count, batch size, or engine (locked by the
+// ToleranceSeeding tests).  The master Rng is never advanced; every case
+// forks its own stream.
+struct CaseDraw {
+  EnvelopeSimConfig cfg{};
+  std::uint64_t dac_seed = 0;
+};
+
+CaseDraw draw_case(const Rng& master, int i, const ToleranceConfig& config) {
+  Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
+
+  CaseDraw draw;
+  draw.cfg = config.nominal;
+  draw.cfg.tank.inductance *= 1.0 + rng.uniform(-config.inductance_tolerance,
+                                                config.inductance_tolerance);
+  draw.cfg.tank.capacitance1 *= 1.0 + rng.uniform(-config.capacitance_tolerance,
+                                                  config.capacitance_tolerance);
+  draw.cfg.tank.capacitance2 *= 1.0 + rng.uniform(-config.capacitance_tolerance,
+                                                  config.capacitance_tolerance);
+  draw.cfg.tank.series_resistance *= 1.0 + rng.uniform(-config.resistance_tolerance,
+                                                       config.resistance_tolerance);
+  if (config.include_dac_mismatch) {
+    draw.dac_seed = master.fork(static_cast<std::uint64_t>(0x1000 + i))();
+  }
+  return draw;
+}
+
+void record_sample_telemetry(int i, const ToleranceSample& sample) {
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("campaign.cases").add(1);
+    registry.counter("campaign.cases." + to_string(sample.status.outcome)).add(1);
+    if (sample.status.retries > 0) {
+      registry.counter("campaign.retries")
+          .add(static_cast<std::uint64_t>(sample.status.retries));
+    }
+  }
+  if (obs::events_enabled()) {
+    obs::Event event("campaign.case");
+    event.str("campaign", "tolerance")
+        .integer("sample", i)
+        .str("outcome", to_string(sample.status.outcome))
+        .integer("retries", sample.status.retries)
+        .boolean("in_window", sample.in_window);
+    if (sample.status.completed()) {
+      event.num("settled_amplitude", sample.settled_amplitude)
+          .integer("settled_code", sample.settled_code);
+    }
+  }
+}
+
+// One case through its own EnvelopeSimulator: the bit-exact reference,
+// and the fallback for batched lanes that diverge (reproducing the
+// retry-with-halved-dt semantics exactly).
+ToleranceSample run_serial_sample(const Rng& master, int i, const ToleranceConfig& config,
+                                  double target) {
+  const std::string label = "tolerance:sample_" + std::to_string(i);
+  const obs::EventContext event_ctx(label);
+  const obs::Span span(label);
+
+  ToleranceSample sample;
+  sample.status = run_guarded_case(
+      [&](int attempt) {
+        // Re-draw per attempt: the draws stay identical, so a retry only
+        // tightens the integrator.
+        CaseDraw draw = draw_case(master, i, config);
+        EnvelopeSimConfig cfg = draw.cfg;
+        // Retry after a convergence failure with a halved time step.
+        for (int k = 0; k < attempt; ++k) cfg.dt *= 0.5;
+
+        EnvelopeSimulator sim(cfg);
+        if (config.include_dac_mismatch) {
+          sim.driver().use_mismatched_dac(std::make_shared<const dac::CurrentLimitationDac>(
+              cfg.driver.unit_current, config.mismatch, draw.dac_seed));
+        }
+        const EnvelopeRunResult run = sim.run(config.run_duration);
+
+        const tank::RlcTank tk(cfg.tank);
+        sample.tank = cfg.tank;
+        sample.resonance_frequency = tk.resonance_frequency();
+        sample.quality_factor = tk.quality_factor();
+        sample.settled_code = run.final_code;
+        sample.settled_amplitude = run.settled_amplitude();
+        sample.supply_current = run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
+        sample.in_window = std::abs(sample.settled_amplitude - target) <=
+                           config.amplitude_tolerance * target;
+      },
+      config.max_retries);
+  if (!sample.status.completed()) sample.in_window = false;
+  record_sample_telemetry(i, sample);
+  return sample;
+}
+
+// Lockstep sweep: contiguous fixed-size chunks of cases go through the
+// batched envelope engine.  The chunk size is a constant of the engine
+// (never derived from the worker count) and every lane's numbers are pure
+// in the case index, so the report is byte-identical for any `workers` --
+// and to the serial engine.
+std::vector<ToleranceSample> run_batched_sweep(const Rng& master, const ToleranceConfig& config,
+                                               double target) {
+  constexpr std::size_t kLanesPerBatch = 64;
+  const auto n = static_cast<std::size_t>(config.samples);
+  const std::size_t batches = (n + kLanesPerBatch - 1) / kLanesPerBatch;
+
+  auto chunks = parallel_map(
+      batches,
+      [&](std::size_t b) {
+        const std::size_t lo = b * kLanesPerBatch;
+        const std::size_t hi = std::min(n, lo + kLanesPerBatch);
+        const std::string label = "tolerance:batch_" + std::to_string(b);
+        const obs::EventContext event_ctx(label);
+        const obs::Span span(label);
+
+        std::vector<CaseDraw> draws;
+        std::vector<BatchedEnvelopeLane> lanes;
+        draws.reserve(hi - lo);
+        lanes.reserve(hi - lo);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          draws.push_back(draw_case(master, static_cast<int>(idx), config));
+          BatchedEnvelopeLane lane;
+          lane.config = draws.back().cfg;
+          if (config.include_dac_mismatch) {
+            lane.mismatch_dac = std::make_shared<const dac::CurrentLimitationDac>(
+                lane.config.driver.unit_current, config.mismatch, draws.back().dac_seed);
+          }
+          lanes.push_back(std::move(lane));
+        }
+        const std::vector<BatchedLaneResult> results =
+            run_batched_envelope(lanes, config.run_duration);
+
+        std::vector<ToleranceSample> out(hi - lo);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t l = idx - lo;
+          const BatchedLaneResult& r = results[l];
+          if (r.setup_failed || r.diverged) {
+            // The serial path throws here (invalid config / divergence):
+            // replay the case serially so the recorded outcome -- error
+            // message, retries, halved-dt re-runs -- matches byte for
+            // byte.
+            out[l] = run_serial_sample(master, static_cast<int>(idx), config, target);
+            continue;
+          }
+          ToleranceSample& sample = out[l];
+          const tank::RlcTank tk(draws[l].cfg.tank);
+          sample.tank = draws[l].cfg.tank;
+          sample.resonance_frequency = tk.resonance_frequency();
+          sample.quality_factor = tk.quality_factor();
+          sample.settled_code = r.final_code;
+          sample.settled_amplitude = r.settled_amplitude;
+          sample.supply_current = r.supply_current;
+          sample.in_window = std::abs(sample.settled_amplitude - target) <=
+                             config.amplitude_tolerance * target;
+          record_sample_telemetry(static_cast<int>(idx), sample);
+        }
+        return out;
+      },
+      config.workers);
+
+  std::vector<ToleranceSample> samples;
+  samples.reserve(n);
+  for (auto& chunk : chunks) {
+    for (auto& sample : chunk) samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace
 
 ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
   LCOSC_REQUIRE(config.samples > 0, "sample count must be positive");
@@ -88,85 +288,23 @@ ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
                     config.resistance_tolerance >= 0.0 && config.resistance_tolerance < 1.0,
                 "tolerances must be in [0,1)");
 
-  // Every sample forks its own stream from the (never advanced) master,
-  // so the per-index work is pure and the report is byte-identical for
-  // any worker count.
   const Rng master(config.seed);
   const double target = config.nominal.detector.target_amplitude;
 
+  // Adaptive nominal configs route to the serial path: the lockstep
+  // engine is fixed-step only.
+  const bool batched =
+      config.engine == ToleranceEngine::Batched && !config.nominal.adaptive;
+
   ToleranceReport report;
+  if (batched) {
+    report.samples = run_batched_sweep(master, config, target);
+    return report;
+  }
   report.samples = parallel_map(
       static_cast<std::size_t>(config.samples),
       [&](std::size_t idx) {
-        const int i = static_cast<int>(idx);
-
-        const std::string label = "tolerance:sample_" + std::to_string(i);
-        const obs::EventContext event_ctx(label);
-        const obs::Span span(label);
-
-        ToleranceSample sample;
-        sample.status = run_guarded_case(
-            [&](int attempt) {
-              // Re-fork the stream per attempt: the draws stay identical,
-              // so a retry only tightens the integrator.
-              Rng rng = master.fork(static_cast<std::uint64_t>(i) + 1);
-
-              EnvelopeSimConfig cfg = config.nominal;
-              cfg.tank.inductance *= 1.0 + rng.uniform(-config.inductance_tolerance,
-                                                       config.inductance_tolerance);
-              cfg.tank.capacitance1 *= 1.0 + rng.uniform(-config.capacitance_tolerance,
-                                                         config.capacitance_tolerance);
-              cfg.tank.capacitance2 *= 1.0 + rng.uniform(-config.capacitance_tolerance,
-                                                         config.capacitance_tolerance);
-              cfg.tank.series_resistance *= 1.0 + rng.uniform(-config.resistance_tolerance,
-                                                              config.resistance_tolerance);
-              // Retry after a convergence failure with a halved time step.
-              for (int k = 0; k < attempt; ++k) cfg.dt *= 0.5;
-
-              EnvelopeSimulator sim(cfg);
-              if (config.include_dac_mismatch) {
-                sim.driver().use_mismatched_dac(
-                    std::make_shared<const dac::CurrentLimitationDac>(
-                        cfg.driver.unit_current, config.mismatch, master.fork(0x1000 + i)()));
-              }
-              const EnvelopeRunResult run = sim.run(config.run_duration);
-
-              const tank::RlcTank tk(cfg.tank);
-              sample.tank = cfg.tank;
-              sample.resonance_frequency = tk.resonance_frequency();
-              sample.quality_factor = tk.quality_factor();
-              sample.settled_code = run.final_code;
-              sample.settled_amplitude = run.settled_amplitude();
-              sample.supply_current =
-                  run.ticks.empty() ? 0.0 : run.ticks.back().supply_current;
-              sample.in_window = std::abs(sample.settled_amplitude - target) <=
-                                 config.amplitude_tolerance * target;
-            },
-            config.max_retries);
-        if (!sample.status.completed()) sample.in_window = false;
-
-        if (obs::metrics_enabled()) {
-          auto& registry = obs::MetricsRegistry::instance();
-          registry.counter("campaign.cases").add(1);
-          registry.counter("campaign.cases." + to_string(sample.status.outcome)).add(1);
-          if (sample.status.retries > 0) {
-            registry.counter("campaign.retries")
-                .add(static_cast<std::uint64_t>(sample.status.retries));
-          }
-        }
-        if (obs::events_enabled()) {
-          obs::Event event("campaign.case");
-          event.str("campaign", "tolerance")
-              .integer("sample", i)
-              .str("outcome", to_string(sample.status.outcome))
-              .integer("retries", sample.status.retries)
-              .boolean("in_window", sample.in_window);
-          if (sample.status.completed()) {
-            event.num("settled_amplitude", sample.settled_amplitude)
-                .integer("settled_code", sample.settled_code);
-          }
-        }
-        return sample;
+        return run_serial_sample(master, static_cast<int>(idx), config, target);
       },
       config.workers);
   return report;

@@ -21,6 +21,15 @@
 
 namespace lcosc::system {
 
+// Execution engine for the sample sweep.  Batched (the default) advances
+// all samples in lockstep through the structure-of-arrays envelope engine
+// (DESIGN.md §12); Serial runs each sample through its own
+// EnvelopeSimulator.  The two produce byte-identical reports -- the
+// serial path is the bit-exact reference the batched path is tested and
+// smoke-checked against (tier1.sh).  Adaptive nominal configs always run
+// serially (the lockstep engine is fixed-step only).
+enum class ToleranceEngine { Serial, Batched };
+
 struct ToleranceConfig {
   // Nominal system.
   EnvelopeSimConfig nominal{};
@@ -45,6 +54,7 @@ struct ToleranceConfig {
   // with a halved envelope time step before the sample is recorded as
   // SimulationError instead of aborting the whole sweep.
   int max_retries = 1;
+  ToleranceEngine engine = ToleranceEngine::Batched;
 };
 
 struct ToleranceSample {
@@ -63,8 +73,13 @@ struct ToleranceSample {
 struct ToleranceReport {
   std::vector<ToleranceSample> samples;
 
-  // yield() of an empty report is 0; the min/max accessors require at
-  // least one sample (LCOSC_REQUIRE) instead of returning sentinels.
+  // yield() of an empty report is 0.  The min/max accessors and the
+  // distribution summaries range over COMPLETED samples only -- a failed
+  // sample carries zero-initialized result fields that would otherwise
+  // poison the extrema -- and require at least one completed sample
+  // (LCOSC_REQUIRE): an empty or all-failed (zero-yield) report has no
+  // meaningful extremum, so asking for one throws instead of returning a
+  // sentinel.
   [[nodiscard]] double yield() const;
   // Samples whose simulation failed (SimulationError / Timeout).
   [[nodiscard]] std::size_t error_count() const;

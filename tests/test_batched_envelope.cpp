@@ -1,0 +1,181 @@
+// Lockstep SoA envelope engine versus the serial EnvelopeSimulator
+// reference, plus the building blocks (BatchedState, device banks).
+// Every comparison here is EXACT equality: the batched engine's contract
+// is bit-identity with the serial path, not closeness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "devices/batched_blocks.h"
+#include "devices/lowpass.h"
+#include "numeric/batched_state.h"
+#include "system/batched_envelope.h"
+#include "system/envelope_simulator.h"
+
+namespace lcosc::system {
+namespace {
+
+using namespace lcosc::literals;
+
+EnvelopeSimConfig base_config() {
+  EnvelopeSimConfig cfg;
+  cfg.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  cfg.regulation.tick_period = 0.25e-3;
+  return cfg;
+}
+
+TEST(BatchedState, ChannelsAreZeroInitializedSpans) {
+  BatchedState state(3, 5);
+  EXPECT_EQ(state.channels(), 3u);
+  EXPECT_EQ(state.lanes(), 5u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto span = state.channel(c);
+    ASSERT_EQ(span.size(), 5u);
+    for (const double v : span) EXPECT_EQ(v, 0.0);
+  }
+  state.at(1, 2) = 42.0;
+  EXPECT_EQ(state.channel(1)[2], 42.0);
+  EXPECT_EQ(state.channel(0)[2], 0.0);
+}
+
+TEST(BatchedState, DeactivationTracksActiveLanes) {
+  BatchedState state(1, 3);
+  EXPECT_TRUE(state.any_active());
+  EXPECT_EQ(state.active_count(), 3u);
+  state.deactivate(1);
+  state.deactivate(1);  // idempotent
+  EXPECT_EQ(state.active_count(), 2u);
+  EXPECT_TRUE(state.active(0));
+  EXPECT_FALSE(state.active(1));
+  state.deactivate(0);
+  state.deactivate(2);
+  EXPECT_FALSE(state.any_active());
+}
+
+TEST(BatchedState, InvalidShapesRejected) {
+  EXPECT_THROW(BatchedState(0, 4), Error);
+  EXPECT_THROW(BatchedState(2, 0), Error);
+}
+
+TEST(DeviceBanks, LowPassBankMatchesScalarFilterExactly) {
+  const double tau = 20e-6;
+  constexpr std::size_t kLanes = 7;
+  devices::LowPassBank bank(tau, kLanes);
+  std::vector<devices::LowPassFilter> scalars(kLanes, devices::LowPassFilter(tau));
+
+  std::vector<double> x(kLanes);
+  for (int step = 0; step < 200; ++step) {
+    // Mid-run dt change exercises the memoized alpha.
+    const double dt = step < 120 ? 2e-6 : 1e-6;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      x[i] = std::sin(0.1 * step + 0.37 * static_cast<double>(i));
+      scalars[i].step(dt, x[i]);
+    }
+    bank.step(dt, x);
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      EXPECT_EQ(bank.output(i), scalars[i].output()) << "lane " << i << " step " << step;
+    }
+  }
+}
+
+TEST(DeviceBanks, RectifiedMeanBankMatchesScalarExpression) {
+  const std::vector<double> amps = {0.05, 1.0, 2.7, 3.3};
+  std::vector<double> out(amps.size());
+  devices::rectified_mean_bank(amps, out);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    EXPECT_EQ(out[i], amps[i] / kPi);
+  }
+}
+
+TEST(DeviceBanks, WindowVerdictBankMatchesSerialClassification) {
+  const std::vector<double> vdc1 = {0.5, 0.8, 1.2, 0.8600000000000001, 0.86};
+  const std::vector<double> vr3 = {0.86, 0.86, 0.86, 0.86, 0.86};
+  const std::vector<double> vr4 = {0.94, 0.94, 0.94, 0.94, 0.94};
+  std::vector<devices::WindowState> out(vdc1.size());
+  devices::window_verdict_bank(vdc1, vr3, vr4, out);
+  for (std::size_t i = 0; i < vdc1.size(); ++i) {
+    devices::WindowState expected = devices::WindowState::Inside;
+    if (vdc1[i] < vr3[i]) expected = devices::WindowState::Below;
+    else if (vdc1[i] > vr4[i]) expected = devices::WindowState::Above;
+    EXPECT_EQ(out[i], expected) << "lane " << i;
+  }
+}
+
+TEST(BatchedEnvelope, MatchesSerialSimulatorExactly) {
+  // Heterogeneous lanes: component spread plus one mismatched DAC.
+  std::vector<BatchedEnvelopeLane> lanes;
+  const double scale[4] = {1.0, 0.93, 1.08, 1.02};
+  for (int i = 0; i < 4; ++i) {
+    BatchedEnvelopeLane lane;
+    lane.config = base_config();
+    lane.config.tank.inductance *= scale[i];
+    lane.config.tank.capacitance1 *= scale[(i + 1) % 4];
+    lane.config.tank.series_resistance *= scale[(i + 2) % 4];
+    if (i == 2) {
+      dac::MismatchConfig mismatch;
+      lane.mismatch_dac = std::make_shared<const dac::CurrentLimitationDac>(
+          lane.config.driver.unit_current, mismatch, 77u);
+    }
+    lanes.push_back(lane);
+  }
+
+  const double duration = 20e-3;
+  const auto batched = run_batched_envelope(lanes, duration);
+  ASSERT_EQ(batched.size(), lanes.size());
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    EnvelopeSimulator sim(lanes[i].config);
+    if (lanes[i].mismatch_dac != nullptr) {
+      sim.driver().use_mismatched_dac(lanes[i].mismatch_dac);
+    }
+    const EnvelopeRunResult serial = sim.run(duration);
+
+    EXPECT_FALSE(batched[i].setup_failed) << "lane " << i;
+    EXPECT_FALSE(batched[i].diverged) << "lane " << i;
+    EXPECT_EQ(batched[i].final_code, serial.final_code) << "lane " << i;
+    EXPECT_EQ(batched[i].settled_amplitude, serial.settled_amplitude()) << "lane " << i;
+    ASSERT_FALSE(serial.ticks.empty());
+    EXPECT_EQ(batched[i].supply_current, serial.ticks.back().supply_current)
+        << "lane " << i;
+    EXPECT_EQ(batched[i].substeps, serial.substeps) << "lane " << i;
+  }
+}
+
+TEST(BatchedEnvelope, BadLaneIsFlaggedNotFatal) {
+  // A lane with a nonsense tank must not poison its batch mates.
+  std::vector<BatchedEnvelopeLane> lanes(2);
+  lanes[0].config = base_config();
+  lanes[1].config = base_config();
+  lanes[1].config.tank.inductance = -1.0;  // RlcTank construction throws
+  const auto results = run_batched_envelope(lanes, 5e-3);
+  EXPECT_FALSE(results[0].setup_failed);
+  EXPECT_TRUE(results[1].setup_failed);
+
+  EnvelopeSimulator reference(lanes[0].config);
+  const auto serial = reference.run(5e-3);
+  EXPECT_EQ(results[0].final_code, serial.final_code);
+  EXPECT_EQ(results[0].settled_amplitude, serial.settled_amplitude());
+}
+
+TEST(BatchedEnvelope, SharedGridIsRequired) {
+  EXPECT_THROW((void)run_batched_envelope({}, 1e-3), Error);
+
+  std::vector<BatchedEnvelopeLane> lanes(2);
+  lanes[0].config = base_config();
+  lanes[1].config = base_config();
+  EXPECT_THROW((void)run_batched_envelope(lanes, 0.0), Error);
+
+  lanes[1].config.dt *= 2.0;  // mismatched step grid
+  EXPECT_THROW((void)run_batched_envelope(lanes, 1e-3), Error);
+
+  lanes[1].config = base_config();
+  lanes[1].config.adaptive = true;  // lockstep engine is fixed-step only
+  EXPECT_THROW((void)run_batched_envelope(lanes, 1e-3), Error);
+}
+
+}  // namespace
+}  // namespace lcosc::system

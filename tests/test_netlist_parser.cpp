@@ -266,6 +266,62 @@ TEST(NetlistParser, SubcircuitErrors) {
       NetlistError);  // port count mismatch
 }
 
+TEST(NetlistParser, CrlfLineEndingsParse) {
+  // A netlist written on Windows: every line ends "\r\n", including the
+  // directives.  Must parse identically to the Unix spelling.
+  const auto circuit =
+      parse_netlist("V1 in 0 10\r\nR1 in mid 1k\r\nR2 mid 0 3k\r\n.end\r\n");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "mid"), 7.5, 1e-6);
+}
+
+TEST(NetlistParser, TrailingWhitespaceIgnored) {
+  const auto circuit = parse_netlist("V1 in 0 5   \t\nR1 in 0 1k \t \n.end  \n");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "in"), 5.0, 1e-9);
+}
+
+TEST(NetlistParser, GroundAliasIsCaseInsensitive) {
+  // "GND" used to silently create a floating node named GND instead of
+  // connecting to ground.
+  const auto circuit = parse_netlist("V1 in GND 2\nR1 in Gnd 1k\n");
+  const DcSolution s = solve_dc(*circuit);
+  ASSERT_TRUE(s.converged);
+  EXPECT_NEAR(s.voltage(*circuit, "in"), 2.0, 1e-9);
+}
+
+TEST(NetlistParser, CaseAliasedNodesRejected) {
+  // "N1" after "n1" is a typo creating a second floating node, not a
+  // second spelling of the same net.
+  try {
+    (void)parse_netlist("V1 n1 0 5\nR1 N1 0 1k\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("case"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(NetlistParser, UnknownDotDirectiveRejected) {
+  // ".endsx" is not ".ends"; prefix matching used to swallow it.
+  EXPECT_THROW((void)parse_netlist(".subckt s a\nR1 a 0 1k\n.endsx\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("R1 a 0 1k\n.tran 1u 1m\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("R1 a 0 1k\n.endx\n"), NetlistError);
+}
+
+TEST(NetlistParser, DuplicateSubcircuitPortsRejected) {
+  EXPECT_THROW((void)parse_netlist(".subckt s in In\nR1 in 0 1k\n.ends\n"), NetlistError);
+}
+
+TEST(NetlistParser, ExtraTokensOnFixedArityCardsRejected) {
+  EXPECT_THROW((void)parse_netlist("R1 a 0 1k extra\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("K1 L1 L2 0.5 junk\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("Vin in 0 1\nG1 0 out in 0 1m trailing\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("Vin in 0 1\nE1 o 0 in 0 2 trailing\n"), NetlistError);
+}
+
 TEST(NetlistParser, Fig10aTopologyFromText) {
   // The standard CMOS output stage as a netlist file would express it.
   const auto circuit = parse_netlist(R"(

@@ -121,5 +121,36 @@ TEST(Rng, ReseedResetsStream) {
   EXPECT_EQ(rng(), first);
 }
 
+TEST(Rng, ReseedClearsCachedNormalDeviate) {
+  // Regression guard: the Marsaglia polar method caches a second deviate;
+  // reseed() must drop it, or the first normal() after a reseed would be
+  // leftover history instead of the fresh-seed value.
+  Rng rng(5);
+  (void)rng.normal();  // leaves the partner deviate cached
+  rng.reseed(5);
+  Rng fresh(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.normal(), fresh.normal());
+}
+
+TEST(Rng, ReseedMidStreamReproducesFreshSequence) {
+  // The whole mixed-draw sequence after a mid-stream reseed must be
+  // byte-identical to a fresh generator -- raw, uniform, and normal draws
+  // interleaved, regardless of how much (and what) was consumed before.
+  Rng rng(1234);
+  for (int i = 0; i < 7; ++i) {
+    (void)rng();
+    (void)rng.uniform();
+    (void)rng.normal();  // odd normal count: cache left hot
+  }
+  rng.reseed(1234);
+  Rng fresh(1234);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(rng(), fresh());
+    EXPECT_EQ(rng.uniform(), fresh.uniform());
+    EXPECT_EQ(rng.normal(), fresh.normal());
+    EXPECT_EQ(rng.uniform_int(0, 1000), fresh.uniform_int(0, 1000));
+  }
+}
+
 }  // namespace
 }  // namespace lcosc

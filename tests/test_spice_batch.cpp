@@ -1,0 +1,188 @@
+// Batched lockstep transient: run_transient_batch must produce results
+// bit-identical to N independent run_transient calls, while sharing LU
+// factors across variants whose linear base system matches byte for byte.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "spice/circuit.h"
+#include "spice/transient_solver.h"
+
+namespace lcosc::spice {
+namespace {
+
+constexpr double kDt = 1.0 / (4e6 * 64.0);
+
+// RLC divider variant: `scale` perturbs the series loss the way a
+// Monte-Carlo draw would, changing the linear base matrix.
+void build_rlc(Circuit& c, double scale) {
+  VoltageSource& vs = c.voltage_source("Vs", "in", "0", 0.0);
+  vs.set_sine({.offset = 0.0, .amplitude = 1.0, .frequency = 4e6, .phase_deg = 0.0});
+  c.resistor("Rs", "in", "a", 5.0 * scale);
+  c.inductor("L", "a", "b", 3.3e-6);
+  c.resistor("Rl", "b", "0", 2.0);
+  c.capacitor("C1", "a", "0", 1e-9);
+}
+
+void build_nonlinear(Circuit& c, double scale) {
+  build_rlc(c, scale);
+  c.diode("Dclamp", "a", "0");
+}
+
+TransientOptions base_options() {
+  TransientOptions options;
+  options.dt = kDt;
+  options.t_stop = 200.0 * kDt;
+  options.start_from_dc = false;
+  return options;
+}
+
+void expect_identical(const TransientResult& a, const TransientResult& b) {
+  ASSERT_EQ(a.steps, b.steps);
+  ASSERT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t p = 0; p < a.traces.size(); ++p) {
+    ASSERT_EQ(a.traces[p].size(), b.traces[p].size());
+    for (std::size_t i = 0; i < a.traces[p].size(); ++i) {
+      // Bit-identity, not tolerance: shared factors must not change a
+      // single operation.
+      ASSERT_EQ(a.traces[p].time(i), b.traces[p].time(i)) << "sample " << i;
+      ASSERT_EQ(a.traces[p].value(i), b.traces[p].value(i)) << "sample " << i;
+    }
+  }
+}
+
+TEST(TransientBatch, MatchesIndependentRunsBitForBit) {
+  // Mixed batch: three identical variants and two perturbed ones.
+  const std::vector<double> scales = {1.0, 1.0, 1.07, 1.0, 0.93};
+  const TransientOptions options = base_options();
+
+  std::vector<Circuit> circuits(scales.size());
+  std::vector<Circuit*> pointers;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    build_rlc(circuits[i], scales[i]);
+    pointers.push_back(&circuits[i]);
+  }
+  const auto batched = run_transient_batch(pointers, options, {"a"});
+  ASSERT_EQ(batched.size(), scales.size());
+
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    Circuit reference;
+    build_rlc(reference, scales[i]);
+    const TransientResult serial = run_transient(reference, options, {"a"});
+    expect_identical(batched[i], serial);
+  }
+}
+
+TEST(TransientBatch, SharesFactorsAcrossIdenticalVariants) {
+  // 3 variants share a base with variant 0; 2 have distinct bases.
+  const std::vector<double> scales = {1.0, 1.0, 1.07, 1.0, 0.93};
+  const TransientOptions options = base_options();
+
+  std::vector<Circuit> circuits(scales.size());
+  std::vector<Circuit*> pointers;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    build_rlc(circuits[i], scales[i]);
+    pointers.push_back(&circuits[i]);
+  }
+  const auto results = run_transient_batch(pointers, options, {"a"});
+
+  std::size_t factorizations = 0;
+  std::size_t shared_hits = 0;
+  for (const auto& r : results) {
+    factorizations += r.stats.factorizations;
+    shared_hits += r.stats.shared_factor_hits;
+  }
+
+  // A standalone run tells us how many (dt, base) factorizations one
+  // variant needs (the final partial step adds a second dt key).
+  Circuit reference;
+  build_rlc(reference, 1.0);
+  const std::size_t per_variant =
+      run_transient(reference, options, {"a"}).stats.factorizations;
+  ASSERT_GT(per_variant, 0u);
+
+  // The batch factors each system once per DISTINCT base (3: nominal,
+  // 1.07, 0.93); the two duplicate-nominal variants hit the pool instead.
+  EXPECT_EQ(factorizations, 3u * per_variant);
+  EXPECT_EQ(shared_hits, 2u * per_variant);
+}
+
+TEST(TransientBatch, ReferencePathNeverShares) {
+  const std::vector<double> scales = {1.0, 1.0, 1.0};
+  TransientOptions options = base_options();
+  options.reuse_lu = false;
+
+  std::vector<Circuit> circuits(scales.size());
+  std::vector<Circuit*> pointers;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    build_rlc(circuits[i], scales[i]);
+    pointers.push_back(&circuits[i]);
+  }
+  const auto results = run_transient_batch(pointers, options, {"a"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].stats.shared_factor_hits, 0u) << "variant " << i;
+
+    Circuit reference;
+    build_rlc(reference, scales[i]);
+    const TransientResult serial = run_transient(reference, options, {"a"});
+    expect_identical(results[i], serial);
+  }
+}
+
+TEST(TransientBatch, NonlinearVariantsMatchSerial) {
+  // Nonlinear circuits never take the shared-factor path (their system
+  // changes every Newton iteration) but must still batch correctly.
+  const std::vector<double> scales = {1.0, 1.1};
+  const TransientOptions options = base_options();
+
+  std::vector<Circuit> circuits(scales.size());
+  std::vector<Circuit*> pointers;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    build_nonlinear(circuits[i], scales[i]);
+    pointers.push_back(&circuits[i]);
+  }
+  const auto batched = run_transient_batch(pointers, options, {"a"});
+
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    EXPECT_EQ(batched[i].stats.shared_factor_hits, 0u);
+    Circuit reference;
+    build_nonlinear(reference, scales[i]);
+    const TransientResult serial = run_transient(reference, options, {"a"});
+    expect_identical(batched[i], serial);
+  }
+}
+
+TEST(TransientBatch, SingleVariantMatchesRunTransient) {
+  const TransientOptions options = base_options();
+  Circuit batched_circuit;
+  build_rlc(batched_circuit, 1.0);
+  const auto batched =
+      run_transient_batch({&batched_circuit}, options, {"a"});
+  ASSERT_EQ(batched.size(), 1u);
+
+  Circuit serial_circuit;
+  build_rlc(serial_circuit, 1.0);
+  const TransientResult serial = run_transient(serial_circuit, options, {"a"});
+  expect_identical(batched[0], serial);
+  // A one-variant batch has nobody to share with.
+  EXPECT_EQ(batched[0].stats.shared_factor_hits, 0u);
+}
+
+TEST(TransientBatch, InvalidBatchesRejected) {
+  TransientOptions options = base_options();
+  Circuit c;
+  build_rlc(c, 1.0);
+
+  options.adaptive = true;
+  EXPECT_THROW((void)run_transient_batch({&c}, options, {"a"}), Error);
+
+  options = base_options();
+  EXPECT_THROW((void)run_transient_batch({nullptr}, options, {"a"}), Error);
+
+  EXPECT_TRUE(run_transient_batch({}, options, {"a"}).empty());
+}
+
+}  // namespace
+}  // namespace lcosc::spice

@@ -122,6 +122,128 @@ TEST(Tolerance, SingleSampleAccessorsAgree) {
   EXPECT_DOUBLE_EQ(report.max_supply_current(), report.samples[0].supply_current);
 }
 
+TEST(Tolerance, AllFailedReportAccessorsThrow) {
+  // A zero-yield report (every sample errored out) has no completed
+  // sample to take an extremum over: accessors must throw, not fold the
+  // zero-initialized result fields of the failed samples.
+  ToleranceReport report;
+  report.samples.resize(3);
+  for (auto& s : report.samples) {
+    s.status.outcome = CaseOutcome::SimulationError;
+    s.settled_amplitude = 0.0;
+    s.settled_code = 0;
+  }
+  EXPECT_DOUBLE_EQ(report.yield(), 0.0);
+  EXPECT_EQ(report.error_count(), 3u);
+  EXPECT_THROW((void)report.min_amplitude(), Error);
+  EXPECT_THROW((void)report.max_amplitude(), Error);
+  EXPECT_THROW((void)report.min_code(), Error);
+  EXPECT_THROW((void)report.max_code(), Error);
+  EXPECT_THROW((void)report.max_supply_current(), Error);
+  EXPECT_THROW((void)report.amplitude_statistics(), Error);
+  EXPECT_THROW((void)report.supply_statistics(), Error);
+}
+
+TEST(Tolerance, AccessorsSkipFailedSamples) {
+  // Mixed report: one good sample between two failures.  The extrema
+  // must come from the completed sample alone.
+  ToleranceReport report;
+  report.samples.resize(3);
+  report.samples[0].status.outcome = CaseOutcome::SimulationError;
+  report.samples[2].status.outcome = CaseOutcome::Timeout;
+  report.samples[1].settled_amplitude = 2.71;
+  report.samples[1].settled_code = 42;
+  report.samples[1].supply_current = 1.3e-3;
+  EXPECT_DOUBLE_EQ(report.min_amplitude(), 2.71);
+  EXPECT_DOUBLE_EQ(report.max_amplitude(), 2.71);
+  EXPECT_EQ(report.min_code(), 42);
+  EXPECT_EQ(report.max_code(), 42);
+  EXPECT_DOUBLE_EQ(report.max_supply_current(), 1.3e-3);
+  EXPECT_EQ(report.amplitude_statistics().count, 1u);
+}
+
+void expect_reports_byte_identical(const ToleranceReport& a, const ToleranceReport& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const ToleranceSample& x = a.samples[i];
+    const ToleranceSample& y = b.samples[i];
+    // Exact equality throughout -- the two engines must perform the same
+    // floating-point operations, not merely agree to a tolerance.
+    EXPECT_EQ(x.tank.inductance, y.tank.inductance) << "sample " << i;
+    EXPECT_EQ(x.tank.capacitance1, y.tank.capacitance1) << "sample " << i;
+    EXPECT_EQ(x.tank.capacitance2, y.tank.capacitance2) << "sample " << i;
+    EXPECT_EQ(x.tank.series_resistance, y.tank.series_resistance) << "sample " << i;
+    EXPECT_EQ(x.resonance_frequency, y.resonance_frequency) << "sample " << i;
+    EXPECT_EQ(x.quality_factor, y.quality_factor) << "sample " << i;
+    EXPECT_EQ(x.settled_code, y.settled_code) << "sample " << i;
+    EXPECT_EQ(x.settled_amplitude, y.settled_amplitude) << "sample " << i;
+    EXPECT_EQ(x.supply_current, y.supply_current) << "sample " << i;
+    EXPECT_EQ(x.in_window, y.in_window) << "sample " << i;
+    EXPECT_EQ(x.status.outcome, y.status.outcome) << "sample " << i;
+    EXPECT_EQ(x.status.retries, y.status.retries) << "sample " << i;
+  }
+}
+
+TEST(ToleranceBatched, BatchedMatchesSerialByteForByte) {
+  // The headline contract of DESIGN.md §12: same seed, same report, to
+  // the last bit, whichever engine ran.
+  ToleranceConfig cfg = base_config(24);
+  cfg.engine = ToleranceEngine::Serial;
+  const ToleranceReport serial = run_tolerance_analysis(cfg);
+  cfg.engine = ToleranceEngine::Batched;
+  const ToleranceReport batched = run_tolerance_analysis(cfg);
+  expect_reports_byte_identical(serial, batched);
+}
+
+TEST(ToleranceBatched, WorkerCountInvariant) {
+  ToleranceConfig cfg = base_config(12);
+  cfg.workers = 1;
+  const ToleranceReport one = run_tolerance_analysis(cfg);
+  cfg.workers = 8;
+  const ToleranceReport eight = run_tolerance_analysis(cfg);
+  expect_reports_byte_identical(one, eight);
+}
+
+TEST(ToleranceBatched, AdaptiveNominalFallsBackToSerial) {
+  // The lockstep engine is fixed-step only; an adaptive nominal config
+  // must silently take the serial path and still produce a full report.
+  ToleranceConfig cfg = base_config(4);
+  cfg.nominal.adaptive = true;
+  const ToleranceReport report = run_tolerance_analysis(cfg);
+  EXPECT_EQ(report.samples.size(), 4u);
+  EXPECT_GT(report.yield(), 0.0);
+}
+
+TEST(ToleranceSeeding, SampledParametersDependOnlyOnSeedAndIndex) {
+  // The sampled (L, C, Rs) for case i must be a pure function of
+  // (campaign seed, i): identical across engines and worker counts.
+  ToleranceConfig cfg = base_config(16);
+  cfg.run_duration = 5e-3;  // parameters are drawn before the run; keep it short
+
+  std::vector<ToleranceReport> reports;
+  for (const auto [engine, workers] :
+       {std::pair{ToleranceEngine::Serial, std::size_t{1}},
+        std::pair{ToleranceEngine::Serial, std::size_t{8}},
+        std::pair{ToleranceEngine::Batched, std::size_t{1}},
+        std::pair{ToleranceEngine::Batched, std::size_t{8}}}) {
+    cfg.engine = engine;
+    cfg.workers = workers;
+    reports.push_back(run_tolerance_analysis(cfg));
+  }
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    ASSERT_EQ(reports[r].samples.size(), reports[0].samples.size());
+    for (std::size_t i = 0; i < reports[0].samples.size(); ++i) {
+      const auto& base = reports[0].samples[i].tank;
+      const auto& other = reports[r].samples[i].tank;
+      EXPECT_EQ(other.inductance, base.inductance) << "report " << r << " sample " << i;
+      EXPECT_EQ(other.capacitance1, base.capacitance1) << "report " << r << " sample " << i;
+      EXPECT_EQ(other.capacitance2, base.capacitance2) << "report " << r << " sample " << i;
+      EXPECT_EQ(other.series_resistance, base.series_resistance)
+          << "report " << r << " sample " << i;
+    }
+  }
+}
+
 TEST(Tolerance, InvalidConfigRejected) {
   ToleranceConfig cfg = base_config(0);
   EXPECT_THROW(run_tolerance_analysis(cfg), ConfigError);
