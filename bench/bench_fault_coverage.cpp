@@ -8,11 +8,12 @@
 // case that throws or exceeds its step budget is recorded as a
 // simulation-error / timeout row instead of aborting the campaign.
 // Writes a machine-readable BENCH_fault_coverage.json.
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/si_format.h"
 #include "common/table_printer.h"
 #include "common/units.h"
@@ -53,7 +54,7 @@ std::string json_escape(const std::string& s) {
 
 void write_json(const std::string& path, const InternalFmeaReport& report,
                 const std::vector<InternalFmeaRow>& hardening) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"bench_fault_coverage\",\n"
       << "  \"faults\": " << report.rows.size() << ",\n"
@@ -116,6 +117,12 @@ void write_json(const std::string& path, const InternalFmeaReport& report,
       << "    \"trace_events\": " << obs::trace_event_count() << ",\n"
       << "    \"metrics\": " << obs::MetricsRegistry::instance().snapshot().to_json(4)
       << "\n  }\n}\n";
+
+  // Atomic write (temp + rename): a bench killed mid-emit must never
+  // leave a truncated BENCH_*.json for the drift checker to trip over.
+  if (!write_file_atomic(path, out.str())) {
+    std::cerr << "warning: cannot write " << path << "\n";
+  }
 }
 
 }  // namespace

@@ -8,18 +8,22 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <fstream>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/parallel.h"
 #include "common/si_format.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
+#include "service/supervisor.h"
 #include "spice/ac_solver.h"
 #include "spice/circuit.h"
 #include "spice/sweep.h"
@@ -465,11 +469,62 @@ BatchedTiming bench_transient_batch() {
   return t;
 }
 
+// 1-process vs N-process sharding through the crash-resilient campaign
+// service (DESIGN.md §13).  `identical` demands byte equality of the two
+// rendered reports -- the service's core determinism contract.  The
+// sharded run pays the fork/exec + checkpoint-fsync tax, so its speedup
+// is below the in-process engines' on the same workload; the row exists
+// to keep that overhead visible and bounded.
+struct ServiceTiming {
+  std::string name;
+  std::size_t items = 0;
+  int shards = 1;
+  double single_ms = 0.0;
+  double sharded_ms = 0.0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return sharded_ms > 0.0 ? single_ms / sharded_ms : 0.0;
+  }
+};
+
+ServiceTiming bench_service_sharding() {
+  namespace fs = std::filesystem;
+  service::CampaignSpec spec;
+  spec.kind = service::CampaignKind::Tolerance;
+  spec.samples = 48;
+  spec.run_duration = 20e-3;
+
+  ServiceTiming t;
+  t.name = "tolerance_service";
+  t.items = static_cast<std::size_t>(spec.samples);
+  t.shards = std::thread::hardware_concurrency() > 1 ? 2 : 1;
+
+  auto run_with = [&](int shards, const std::string& dir) {
+    fs::remove_all(dir);
+    spec.shards = shards;
+    spec.checkpoint_dir = dir;
+    service::ServiceResult result;
+    const double ms = time_ms([&] { result = run_campaign_service(spec); });
+    fs::remove_all(dir);
+    return std::pair<double, std::string>(ms, std::move(result.report));
+  };
+
+  const auto [single_ms, single_report] = run_with(1, "artifacts/bench_service_1");
+  const auto [sharded_ms, sharded_report] =
+      run_with(t.shards, "artifacts/bench_service_n");
+  t.single_ms = single_ms;
+  t.sharded_ms = sharded_ms;
+  t.identical = single_report == sharded_report;
+  return t;
+}
+
 void write_json(const std::string& path, const std::vector<CampaignTiming>& timings,
                 const std::vector<TransientTiming>& transients,
                 const std::vector<AdaptiveTiming>& adaptives,
-                const std::vector<BatchedTiming>& batched) {
-  std::ofstream out(path);
+                const std::vector<BatchedTiming>& batched,
+                const std::vector<ServiceTiming>& services) {
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"bench_perf_campaigns\",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
@@ -547,6 +602,19 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"shared_factor_hits\": " << t.shared_factor_hits << "\n"
         << "    }" << (i + 1 < batched.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"service\": [\n";
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    const ServiceTiming& t = services[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"items\": " << t.items << ",\n"
+        << "      \"shards\": " << t.shards << ",\n"
+        << "      \"single_process_ms\": " << t.single_ms << ",\n"
+        << "      \"sharded_ms\": " << t.sharded_ms << ",\n"
+        << "      \"speedup\": " << t.speedup() << ",\n"
+        << "      \"identical_reports\": " << (t.identical ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < services.size() ? "," : "") << "\n";
+  }
   out << "  ],\n";
 
   // Telemetry: a flat phase->milliseconds map (the drift checker's
@@ -576,6 +644,10 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
     phase(t.name + ".serial_ref", t.serial_ms);
     phase(t.name + ".batched", t.batched_ms);
   }
+  for (const ServiceTiming& t : services) {
+    phase(t.name + ".single_process", t.single_ms);
+    phase(t.name + ".sharded", t.sharded_ms);
+  }
   out << "\n    },\n"
       << "    \"metrics_enabled\": " << (obs::metrics_enabled() ? "true" : "false") << ",\n"
       << "    \"trace_enabled\": " << (obs::trace_enabled() ? "true" : "false") << ",\n"
@@ -583,11 +655,20 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
       << "    \"trace_dropped\": " << obs::trace_dropped_count() << ",\n"
       << "    \"metrics\": " << obs::MetricsRegistry::instance().snapshot().to_json(4)
       << "\n  }\n}\n";
+
+  // Atomic write (temp + rename): a bench killed mid-emit must never
+  // leave a truncated BENCH_*.json for the drift checker to trip over.
+  if (!write_file_atomic(path, out.str())) {
+    std::cerr << "warning: cannot write " << path << "\n";
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // The service bench re-execs this binary as its shard worker.
+  if (const auto shard_exit = service::maybe_run_shard(argc, argv)) return *shard_exit;
+
   // Telemetry defaults for the bench: metrics on (they cost one relaxed
   // atomic per event and feed the "telemetry" JSON section), tracing off
   // (opt in with LCOSC_TRACE=1 to get a Perfetto-loadable span file).
@@ -636,6 +717,17 @@ int main() {
   }
   btable.print(std::cout);
 
+  std::cout << "\n=== Campaign service: 1 process vs sharded subprocesses ===\n\n";
+  const std::vector<ServiceTiming> services = {bench_service_sharding()};
+  TablePrinter stable({"workload", "items", "shards", "1-proc [ms]", "sharded [ms]",
+                       "speedup", "identical"});
+  for (const ServiceTiming& t : services) {
+    stable.add_values(t.name, t.items, t.shards, format_significant(t.single_ms, 4),
+                      format_significant(t.sharded_ms, 4), format_significant(t.speedup(), 3),
+                      t.identical);
+  }
+  stable.print(std::cout);
+
   // Fixed-vs-adaptive A/B (skip with LCOSC_ADAPTIVE=0, e.g. to time the
   // classic sections alone; the drift checker tolerates missing phases).
   std::vector<AdaptiveTiming> adaptives;
@@ -655,7 +747,7 @@ int main() {
     atable.print(std::cout);
   }
 
-  write_json("BENCH_campaigns.json", timings, transients, adaptives, batched);
+  write_json("BENCH_campaigns.json", timings, transients, adaptives, batched, services);
   if (obs::trace_enabled()) {
     obs::write_chrome_trace("artifacts/trace_campaigns.json");
     std::cout << "\n(trace: artifacts/trace_campaigns.json, "
@@ -673,6 +765,9 @@ int main() {
             << "    the accepted-step count (>= 3x on the startup and regulation rows);\n"
             << "  - identical=true on every batched row at >= 3x speedup on the\n"
             << "    tolerance campaign: the lockstep engines return byte-identical\n"
-            << "    results while sharing work across variants.\n";
+            << "    results while sharing work across variants;\n"
+            << "  - identical=true on the service row: sharding the campaign across\n"
+            << "    worker subprocesses (fork/exec + checkpoint fsync per case)\n"
+            << "    reproduces the single-process report byte for byte.\n";
   return 0;
 }

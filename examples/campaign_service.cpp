@@ -1,0 +1,134 @@
+// Sharded campaign service CLI (DESIGN.md §13, README "Running
+// campaigns as a service").  Runs a campaign spec across worker
+// subprocesses with checkpointed resume: kill it (or its workers) at any
+// point, re-run the same command, and the finished report is
+// byte-identical to an uninterrupted single-process run.
+//
+//   campaign_service --spec job.json            # run / resume from a spec file
+//   campaign_service --kind tolerance --samples 96 --shards 4
+//       --checkpoint-dir /tmp/tol --report /tmp/tol/report.txt
+//
+// The same binary doubles as the shard worker: the coordinator re-execs
+// it with --lcosc-shard flags, which maybe_run_shard() intercepts first
+// thing in main().
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/supervisor.h"
+
+using namespace lcosc;
+using namespace lcosc::service;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--spec FILE] [--kind tolerance|fmea|internal_fmea]\n"
+               "          [--samples N] [--seed N] [--shards N] [--workers-per-shard N]\n"
+               "          [--max-restarts N] [--shard-timeout-ms MS]\n"
+               "          --checkpoint-dir DIR [--report FILE] [--quiet]\n"
+               "\nFlags override values from --spec.  Re-running with the same\n"
+               "checkpoint directory resumes: finished cases are never recomputed.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Worker mode: the coordinator re-execs this binary with --lcosc-shard.
+  if (const auto shard_exit = maybe_run_shard(argc, argv)) return *shard_exit;
+
+  CampaignSpec spec;
+  ServiceOptions options;
+  options.verbose = true;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--spec") {
+        std::ifstream in(value());
+        if (!in) throw ConfigError("cannot read spec file");
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        spec = parse_campaign_spec(buffer.str());
+      } else if (arg == "--kind") {
+        const std::string kind = value();
+        if (kind == "tolerance") {
+          spec.kind = CampaignKind::Tolerance;
+        } else if (kind == "fmea") {
+          spec.kind = CampaignKind::ExternalFmea;
+        } else if (kind == "internal_fmea") {
+          spec.kind = CampaignKind::InternalFmea;
+        } else {
+          throw ConfigError("unknown campaign kind " + kind);
+        }
+      } else if (arg == "--samples") {
+        spec.samples = std::atoi(value().c_str());
+      } else if (arg == "--seed") {
+        spec.seed = std::strtoull(value().c_str(), nullptr, 10);
+      } else if (arg == "--shards") {
+        spec.shards = std::atoi(value().c_str());
+      } else if (arg == "--workers-per-shard") {
+        spec.workers_per_shard = std::atoi(value().c_str());
+      } else if (arg == "--max-restarts") {
+        spec.max_restarts = std::atoi(value().c_str());
+      } else if (arg == "--shard-timeout-ms") {
+        spec.shard_timeout_ms = std::atof(value().c_str());
+      } else if (arg == "--checkpoint-dir") {
+        spec.checkpoint_dir = value();
+      } else if (arg == "--report") {
+        spec.report_path = value();
+      } else if (arg == "--quiet") {
+        options.verbose = false;
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(argv[0]);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+    if (spec.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--checkpoint-dir is required\n");
+      return usage(argv[0]);
+    }
+
+    const ServiceResult result = run_campaign_service(spec, options);
+
+    std::cout << result.report;
+    std::cout << "\n--- service summary ---\n";
+    std::cout << "campaign       : " << to_string(spec.kind) << " (" << result.cases_total
+              << " cases, " << spec.shards << " shard" << (spec.shards == 1 ? "" : "s")
+              << ")\n";
+    std::cout << "resumed        : " << result.cases_resumed << " cases from checkpoints\n";
+    for (const ShardStatus& shard : result.shards) {
+      std::cout << "shard " << shard.index << "        : cases [" << shard.range.begin << ", "
+                << shard.range.end << "), " << shard.cases_computed << " computed, "
+                << shard.spawns << " spawn(s), " << shard.restarts << " restart(s), "
+                << shard.timeouts << " timeout(s), "
+                << (shard.ok ? "ok" : "FAILED PERMANENTLY") << "\n";
+    }
+    if (result.degraded()) {
+      std::cout << "DEGRADED       : " << result.cases_failed
+                << " case(s) reported as SimulationError rows\n";
+      return 1;
+    }
+    std::cout << "status         : complete\n";
+    if (!spec.report_path.empty()) {
+      std::cout << "report written : " << spec.report_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_service: %s\n", e.what());
+    return 2;
+  }
+}

@@ -22,9 +22,22 @@ import sys
 def load_phases(path: str) -> dict[str, float]:
     try:
         with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as err:
+            text = fh.read()
+    except OSError as err:
         sys.exit(f"error: cannot read {path}: {err}")
+    if not text.strip():
+        sys.exit(
+            f"error: {path} is empty -- the bench was killed before writing it "
+            "(benches write atomically via temp+rename, so a zero-byte file "
+            "predates this PR or was created by hand); re-run bench_perf_campaigns"
+        )
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        sys.exit(
+            f"error: {path} is not valid JSON ({err}) -- partial or corrupt "
+            "bench artifact; re-run bench_perf_campaigns to regenerate it"
+        )
     phases = doc.get("telemetry", {}).get("phases")
     if not isinstance(phases, dict) or not phases:
         sys.exit(

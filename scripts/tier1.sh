@@ -49,7 +49,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   # the fault-injection, campaign and batched-lockstep binaries.  (-R must
   # precede the bare -j or ctest parses it as the job count.)
   ctest --output-on-failure \
-    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks)' -j
+    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|Service)' -j
   exit 0
 fi
 
@@ -65,7 +65,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure \
-    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System)' -j
+    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|Service)' -j
   exit 0
 fi
 
@@ -89,3 +89,40 @@ cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-f
 ./tests/test_tolerance --gtest_filter='ToleranceBatched.*:ToleranceSeeding.*'
 ./tests/test_spice_batch
 ./tests/test_batched_envelope --gtest_filter='BatchedEnvelope.*'
+
+# Smoke step: crash-resilient campaign service (DESIGN.md §13).  Start a
+# sharded campaign, kill -9 a worker mid-run and then the coordinator
+# itself, resume from the checkpoints, and require the finished report to
+# be byte-identical to the uninterrupted single-process run.  (If the
+# campaign outruns the kill on a fast host the resume is a no-op and the
+# diff still gates the determinism contract.)
+svc=./examples/campaign_service
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+"$svc" --kind tolerance --samples 96 --shards 1 \
+  --checkpoint-dir "$smoke_dir/ref" --report "$smoke_dir/ref_report.txt" --quiet >/dev/null
+
+"$svc" --kind tolerance --samples 96 --shards 2 \
+  --checkpoint-dir "$smoke_dir/run" --report "$smoke_dir/run_report.txt" --quiet \
+  >/dev/null 2>&1 &
+coord=$!
+# Kill the first worker that appears (workers are identifiable by the
+# --lcosc-spec path inside our private smoke dir), then the coordinator.
+for _ in $(seq 1 100); do
+  worker=$(pgrep -f -- "--lcosc-spec $smoke_dir/run" | head -n1 || true)
+  if [[ -n "${worker}" ]]; then
+    kill -9 "$worker" 2>/dev/null || true
+    break
+  fi
+  sleep 0.01
+done
+kill -9 "$coord" 2>/dev/null || true
+wait "$coord" 2>/dev/null || true
+# Reap any orphaned worker before resuming.
+pkill -9 -f -- "--lcosc-spec $smoke_dir/run" 2>/dev/null || true
+rm -f "$smoke_dir/run_report.txt"
+
+"$svc" --kind tolerance --samples 96 --shards 2 \
+  --checkpoint-dir "$smoke_dir/run" --report "$smoke_dir/run_report.txt" --quiet >/dev/null
+cmp "$smoke_dir/ref_report.txt" "$smoke_dir/run_report.txt"
+echo "service kill/resume smoke: report byte-identical to the single-process run"

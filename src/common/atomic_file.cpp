@@ -1,0 +1,52 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace lcosc {
+
+bool write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+
+  // Same-directory temp name so the final rename() never crosses a
+  // filesystem boundary; the pid suffix keeps concurrent writers (e.g.
+  // campaign shards refreshing their own artifacts) from colliding.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  bool ok = true;
+  while (ok && remaining > 0) {
+    const ::ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // The data must be durable before the rename makes it visible, or a
+  // power cut could expose a complete-looking but empty file.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+}  // namespace lcosc

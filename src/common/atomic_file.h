@@ -1,0 +1,18 @@
+// Crash-safe artifact writes: write the whole contents to a sibling
+// temporary file, fsync it, and rename() it into place.  A process killed
+// at any instant leaves either the previous file or the complete new one
+// -- never a truncated JSON/report that a downstream consumer (the bench
+// drift checker, the campaign service merge step) would misparse.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lcosc {
+
+// Atomically replace `path` with `contents`.  Parent directories are
+// created.  Returns false (leaving any previous file untouched) when the
+// temporary file cannot be written or renamed.
+bool write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace lcosc

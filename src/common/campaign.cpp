@@ -1,6 +1,45 @@
 #include "common/campaign.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.h"
+
 namespace lcosc {
+
+int retry_backoff_delay_ms(const RetryBackoff& backoff, int attempt) {
+  if (!backoff.enabled() || attempt < 1) return 0;
+  double delay = backoff.initial_ms;
+  for (int k = 1; k < attempt; ++k) {
+    delay *= backoff.multiplier;
+    if (delay >= backoff.max_ms) break;  // saturated; stop before overflow
+  }
+  return static_cast<int>(std::min<double>(delay, backoff.max_ms));
+}
+
+namespace detail {
+
+void note_case_retry(const RetryBackoff& backoff, int attempt) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& retries =
+        obs::MetricsRegistry::instance().counter("campaign.case.retries");
+    retries.add(1);
+  }
+  const int delay_ms = retry_backoff_delay_ms(backoff, attempt);
+  if (delay_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+void note_case_timeout() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& timeouts =
+        obs::MetricsRegistry::instance().counter("campaign.case.timeouts");
+    timeouts.add(1);
+  }
+}
+
+}  // namespace detail
 
 std::string to_string(CaseOutcome outcome) {
   switch (outcome) {

@@ -7,8 +7,10 @@
 // complete and the report stays index-stable for any worker count.
 #pragma once
 
+#include <cstddef>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 
@@ -35,15 +37,44 @@ struct CampaignCase {
   friend bool operator==(const CampaignCase&, const CampaignCase&) = default;
 };
 
+// Bounded exponential backoff between case retries.  The default
+// (initial_ms == 0) never sleeps, so the retry policy -- attempt count,
+// recorded outcomes, report bytes -- is exactly the pre-backoff one;
+// enabling it only spaces the re-runs out in wall time (the campaign
+// service uses it so a wedged solver does not spin a shard hot).
+struct RetryBackoff {
+  int initial_ms = 0;       // delay before the first re-run; 0 disables
+  double multiplier = 2.0;  // growth per further re-run
+  int max_ms = 2000;        // ceiling on any single delay
+
+  [[nodiscard]] bool enabled() const { return initial_ms > 0; }
+  friend bool operator==(const RetryBackoff&, const RetryBackoff&) = default;
+};
+
+// Delay, in milliseconds, slept before re-run `attempt` (1-based: the
+// first re-run is attempt 1).  Pure: initial_ms * multiplier^(attempt-1)
+// clamped to max_ms; 0 when backoff is disabled.
+[[nodiscard]] int retry_backoff_delay_ms(const RetryBackoff& backoff, int attempt);
+
+namespace detail {
+// Counts campaign.case.retries and sleeps the backoff delay (if any)
+// before re-run `attempt`.
+void note_case_retry(const RetryBackoff& backoff, int attempt);
+// Counts campaign.case.timeouts.
+void note_case_timeout();
+}  // namespace detail
+
 // Run `attempt(k)` with graceful degradation.  k is the attempt index:
 // 0 is the nominal run; on ConvergenceError the case is re-run with
 // k+1 (the caller tightens its solver options per k) up to `max_retries`
-// times.  BudgetExceededError maps to Timeout (no retry: budgets are
+// times, sleeping the (bounded exponential) backoff delay between
+// re-runs.  BudgetExceededError maps to Timeout (no retry: budgets are
 // deterministic).  Any other exception fails the case immediately.  The
 // returned status is Ok on success; fault campaigns may downgrade it to
 // Undetected after inspecting the result.
 template <typename Fn>
-[[nodiscard]] CampaignCase run_guarded_case(Fn&& attempt, int max_retries = 1) {
+[[nodiscard]] CampaignCase run_guarded_case(Fn&& attempt, int max_retries = 1,
+                                            const RetryBackoff& backoff = {}) {
   CampaignCase status;
   for (int k = 0;; ++k) {
     status.retries = k;
@@ -53,6 +84,7 @@ template <typename Fn>
     } catch (const BudgetExceededError& e) {
       status.outcome = CaseOutcome::Timeout;
       status.error = e.what();
+      detail::note_case_timeout();
       return status;
     } catch (const ConvergenceError& e) {
       if (k >= max_retries) {
@@ -61,6 +93,7 @@ template <typename Fn>
         return status;
       }
       // Retry with tightened options.
+      detail::note_case_retry(backoff, k + 1);
     } catch (const std::exception& e) {
       status.outcome = CaseOutcome::SimulationError;
       status.error = e.what();
@@ -68,5 +101,35 @@ template <typename Fn>
     }
   }
 }
+
+// --- sharded campaign service interface ------------------------------------
+//
+// A campaign exposed to the crash-resilient service (src/service/): a
+// fixed case count, a per-index runner whose serialized record is a PURE
+// function of the index -- never of execution order, shard layout, or
+// restart count -- and a renderer producing the final report from the
+// records in case-index order.  That purity contract is what makes the
+// merged report byte-identical for any shard count and any kill/resume
+// schedule: a record replayed from a checkpoint is indistinguishable from
+// one computed fresh.  Records must round-trip doubles exactly (the
+// adapters use hexfloat), so report() sees bit-identical values either
+// way.
+class ShardableCampaign {
+ public:
+  virtual ~ShardableCampaign() = default;
+
+  [[nodiscard]] virtual std::size_t case_count() const = 0;
+  // Stable human-readable label for logs/events, e.g. "fmea:open-coil".
+  [[nodiscard]] virtual std::string case_label(std::size_t index) const = 0;
+  // Run case `index` and serialize its row exactly.
+  [[nodiscard]] virtual std::string run_case(std::size_t index) const = 0;
+  // Record standing in for a case a permanently-failed shard never
+  // delivered (graceful degradation: a SimulationError row, not an
+  // abort).  `message` must be deterministic.
+  [[nodiscard]] virtual std::string error_record(std::size_t index,
+                                                 const std::string& message) const = 0;
+  // Render the final report from case_count() records in index order.
+  [[nodiscard]] virtual std::string report(const std::vector<std::string>& records) const = 0;
+};
 
 }  // namespace lcosc

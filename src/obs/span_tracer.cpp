@@ -178,7 +178,11 @@ bool write_chrome_trace(const std::string& path) {
     std::error_code ec;
     std::filesystem::create_directories(target.parent_path(), ec);
   }
-  std::ofstream out(path);
+  // Write-to-temp + rename so a process killed mid-emit never leaves a
+  // truncated trace file (inline here: the obs layer sits below
+  // common/atomic_file.h in the link order).
+  const std::string temp = path + ".tmp";
+  std::ofstream out(temp, std::ios::binary | std::ios::trunc);
   if (!out) return false;
 
   const std::vector<TraceEventRecord> events = trace_snapshot();
@@ -198,7 +202,20 @@ bool write_chrome_trace(const std::string& path) {
     out << "\"name\": \"" << name << "\"}";
   }
   out << "\n  ]\n}\n";
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    out.close();
+    std::filesystem::remove(temp);
+    return false;
+  }
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace lcosc::obs

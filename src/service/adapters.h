@@ -1,0 +1,24 @@
+// ShardableCampaign adapters for the three campaign runners (external
+// FMEA, internal FMEA, Monte-Carlo tolerance).  Each adapter maps a case
+// index onto the runner's per-index function (system/fmea_campaign.h,
+// system/internal_fmea.h, system/tolerance_analysis.h), serializes the
+// resulting row with an exact field codec (hexfloat doubles, escaped
+// strings), and renders the final report from the records in index
+// order.  Because both the case result and its serialization are pure
+// functions of the index, a record replayed from a checkpoint is
+// byte-identical to one computed fresh -- the determinism the service's
+// kill/resume contract rests on.
+#pragma once
+
+#include <memory>
+
+#include "common/campaign.h"
+#include "service/spec.h"
+
+namespace lcosc::service {
+
+// Build the campaign a spec describes (bench-default system configs with
+// the spec's knobs applied).
+[[nodiscard]] std::unique_ptr<ShardableCampaign> make_campaign(const CampaignSpec& spec);
+
+}  // namespace lcosc::service

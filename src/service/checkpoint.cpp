@@ -1,0 +1,154 @@
+#include "service/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/error.h"
+
+namespace lcosc::service {
+
+namespace {
+
+// Sanity bound on one record: a length field above this is treated as
+// corruption (it would otherwise make the reader attempt a huge
+// allocation from a few flipped bits).
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+constexpr std::size_t kHeaderBytes = 12;  // len + index + crc
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v & 0xFF);
+  out[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+  out[2] = static_cast<unsigned char>((v >> 16) & 0xFF);
+  out[3] = static_cast<unsigned char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) | (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+// CRC covers the index field and the payload, so a bit flip in either is
+// caught; the length field is implicitly validated by frame alignment
+// (a wrong length misplaces the payload under the CRC, which then fails).
+std::uint32_t frame_crc(std::uint32_t index, std::string_view payload) {
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.resize(4);
+  put_u32(reinterpret_cast<unsigned char*>(buf.data()), index);
+  buf.append(payload.data(), payload.size());
+  return crc32(buf.data(), buf.size());
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+CheckpointReadResult read_checkpoint(const std::string& path) {
+  CheckpointReadResult result;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // missing file: fresh shard, empty and clean
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::uint64_t pos = 0;
+  while (bytes.size() - pos >= kHeaderBytes) {
+    const std::uint32_t len = get_u32(data + pos);
+    const std::uint32_t index = get_u32(data + pos + 4);
+    const std::uint32_t crc = get_u32(data + pos + 8);
+    if (len > kMaxPayloadBytes) break;                       // corrupt length
+    if (bytes.size() - pos - kHeaderBytes < len) break;      // short read (torn tail)
+    const std::string_view payload(bytes.data() + pos + kHeaderBytes, len);
+    if (frame_crc(index, payload) != crc) break;             // CRC mismatch
+    result.records.push_back({index, std::string(payload)});
+    pos += kHeaderBytes + len;
+  }
+  result.valid_bytes = pos;
+  result.clean = pos == bytes.size();
+  return result;
+}
+
+CheckpointWriter::CheckpointWriter(std::string path) : path_(std::move(path)) {
+  const std::filesystem::path target(path_);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+
+  CheckpointReadResult prior = read_checkpoint(path_);
+  existing_ = std::move(prior.records);
+
+  // Discard a torn tail before appending: an O_APPEND write after a
+  // partial record would otherwise leave the stream permanently
+  // desynchronized at that offset.
+  if (!prior.clean) {
+    if (::truncate(path_.c_str(), static_cast<off_t>(prior.valid_bytes)) != 0) {
+      throw Error("checkpoint: cannot truncate torn tail of " + path_ + ": " +
+                  std::strerror(errno));
+    }
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw Error("checkpoint: cannot open " + path_ + ": " + std::strerror(errno));
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CheckpointWriter::append(std::uint32_t index, std::string_view payload) {
+  LCOSC_REQUIRE(payload.size() <= kMaxPayloadBytes, "checkpoint record too large");
+
+  std::string frame;
+  frame.resize(kHeaderBytes);
+  auto* header = reinterpret_cast<unsigned char*>(frame.data());
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 4, index);
+  put_u32(header + 8, frame_crc(index, payload));
+  frame.append(payload.data(), payload.size());
+
+  // One write() per record: O_APPEND makes the offset atomic, so even a
+  // superseded twin writer (coordinator killed and resumed while the old
+  // worker drains) interleaves whole frames, never bytes.
+  const char* data = frame.data();
+  std::size_t remaining = frame.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("checkpoint: write to " + path_ + " failed: " + std::strerror(errno));
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw Error("checkpoint: fsync of " + path_ + " failed: " + std::strerror(errno));
+  }
+}
+
+}  // namespace lcosc::service

@@ -1,0 +1,71 @@
+// Crash-safe per-shard checkpoint stream for the campaign service.
+//
+// A checkpoint file is a flat sequence of self-delimiting records:
+//
+//   [u32 payload_len][u32 case_index][u32 crc32(payload)][payload bytes]
+//
+// (all little-endian).  Each append is one write() to an O_APPEND fd
+// followed by fsync(), so a `kill -9` at any instant leaves a file whose
+// longest valid prefix is exactly the set of fully-committed records: a
+// torn tail either stops short of a full header, promises more payload
+// than the file holds, or fails its CRC.  read_checkpoint() returns that
+// valid prefix and its byte length; CheckpointWriter truncates to the
+// valid prefix before appending, so a resumed shard continues a torn
+// file cleanly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcosc::service {
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib convention).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+struct CheckpointRecord {
+  std::uint32_t index = 0;  // absolute case index within the campaign
+  std::string payload;      // serialized case row (adapter codec)
+  friend bool operator==(const CheckpointRecord&, const CheckpointRecord&) = default;
+};
+
+struct CheckpointReadResult {
+  std::vector<CheckpointRecord> records;
+  // Length of the valid prefix; bytes past it (a torn or corrupt tail)
+  // are ignored by readers and truncated away by CheckpointWriter.
+  std::uint64_t valid_bytes = 0;
+  // False when trailing bytes had to be discarded.
+  bool clean = true;
+};
+
+// Read every fully-committed record of `path`.  A missing file reads as
+// empty-and-clean (a fresh shard).  Corruption is not an error: reading
+// stops at the first bad frame and reports what survived.
+[[nodiscard]] CheckpointReadResult read_checkpoint(const std::string& path);
+
+// Append-only record writer.  Opening truncates the file to its valid
+// prefix (discarding any torn tail from a killed predecessor) and
+// positions at its end; append() commits one record durably (write +
+// fsync) before returning.  Throws lcosc::Error on I/O failure.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string path);
+  ~CheckpointWriter();
+
+  // Records already committed when the writer opened (resume set).
+  [[nodiscard]] const std::vector<CheckpointRecord>& existing() const { return existing_; }
+
+  void append(std::uint32_t index, std::string_view payload);
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::vector<CheckpointRecord> existing_;
+};
+
+}  // namespace lcosc::service

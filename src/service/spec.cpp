@@ -1,0 +1,278 @@
+#include "service/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace lcosc::service {
+
+std::string to_string(CampaignKind kind) {
+  switch (kind) {
+    case CampaignKind::Tolerance:
+      return "tolerance";
+    case CampaignKind::ExternalFmea:
+      return "fmea";
+    case CampaignKind::InternalFmea:
+      return "internal_fmea";
+  }
+  return "?";
+}
+
+namespace {
+
+// Minimal single-pass parser for the flat JSON object a spec is: string,
+// number and boolean values only.  Strings support \" \\ \/ \n \t
+// escapes -- enough to round-trip filesystem paths.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  // Calls visit(key, raw_value, is_string) per member.
+  template <typename Visit>
+  void parse_object(Visit&& visit) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        skip_ws();
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        bool is_string = false;
+        std::string value;
+        const char c = peek();
+        if (c == '"') {
+          value = parse_string();
+          is_string = true;
+        } else if (c == 't' || c == 'f') {
+          value = parse_keyword();
+        } else if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+          value = parse_number();
+        } else {
+          fail("expected a string, number or boolean value");
+        }
+        visit(key, value, is_string);
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after the spec object");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("campaign spec: " + why + " (at byte " + std::to_string(pos_) + ")");
+  }
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw ConfigError("campaign spec: unexpected end of input (truncated file?)");
+    }
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: fail("unsupported string escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+  std::string parse_keyword() {
+    for (const std::string_view kw : {"true", "false"}) {
+      if (text_.substr(pos_, kw.size()) == kw) {
+        pos_ += kw.size();
+        return std::string(kw);
+      }
+    }
+    fail("expected true or false");
+  }
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double to_number(const std::string& key, const std::string& raw) {
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+    throw ConfigError("campaign spec: key '" + key + "' is not a finite number");
+  }
+  return v;
+}
+
+int to_int(const std::string& key, const std::string& raw) {
+  const double v = to_number(key, raw);
+  if (v != std::floor(v)) {
+    throw ConfigError("campaign spec: key '" + key + "' must be an integer");
+  }
+  return static_cast<int>(v);
+}
+
+bool to_bool(const std::string& key, const std::string& raw, bool is_string) {
+  if (is_string || (raw != "true" && raw != "false")) {
+    throw ConfigError("campaign spec: key '" + key + "' must be true or false");
+  }
+  return raw == "true";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignSpec parse_campaign_spec(const std::string& json_text) {
+  CampaignSpec spec;
+  FlatJsonParser parser(json_text);
+  parser.parse_object([&](const std::string& key, const std::string& raw, bool is_string) {
+    auto num = [&] { return to_number(key, raw); };
+    auto integer = [&] { return to_int(key, raw); };
+    if (key == "campaign") {
+      if (raw == "tolerance") spec.kind = CampaignKind::Tolerance;
+      else if (raw == "fmea") spec.kind = CampaignKind::ExternalFmea;
+      else if (raw == "internal_fmea") spec.kind = CampaignKind::InternalFmea;
+      else throw ConfigError("campaign spec: unknown campaign kind '" + raw + "'");
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(num());
+    } else if (key == "samples") {
+      spec.samples = integer();
+    } else if (key == "run_duration_ms") {
+      spec.run_duration = num() * 1e-3;
+    } else if (key == "settle_ms") {
+      spec.settle_time = num() * 1e-3;
+    } else if (key == "observe_ms") {
+      spec.observe_time = num() * 1e-3;
+    } else if (key == "max_retries") {
+      spec.max_retries = integer();
+    } else if (key == "shards") {
+      spec.shards = integer();
+    } else if (key == "workers_per_shard") {
+      spec.workers_per_shard = integer();
+    } else if (key == "max_restarts") {
+      spec.max_restarts = integer();
+    } else if (key == "shard_timeout_ms") {
+      spec.shard_timeout_ms = num();
+    } else if (key == "restart_backoff_initial_ms") {
+      spec.restart_backoff.initial_ms = integer();
+    } else if (key == "restart_backoff_multiplier") {
+      spec.restart_backoff.multiplier = num();
+    } else if (key == "restart_backoff_max_ms") {
+      spec.restart_backoff.max_ms = integer();
+    } else if (key == "case_backoff_initial_ms") {
+      spec.case_backoff.initial_ms = integer();
+    } else if (key == "case_backoff_multiplier") {
+      spec.case_backoff.multiplier = num();
+    } else if (key == "case_backoff_max_ms") {
+      spec.case_backoff.max_ms = integer();
+    } else if (key == "checkpoint_dir") {
+      spec.checkpoint_dir = raw;
+    } else if (key == "report_path") {
+      spec.report_path = raw;
+    } else if (key == "test_kill_after_cases") {
+      spec.test_kill_after_cases = integer();
+    } else if (key == "test_stall_once") {
+      spec.test_stall_once = to_bool(key, raw, is_string);
+    } else {
+      throw ConfigError("campaign spec: unknown key '" + key + "'");
+    }
+  });
+
+  if (spec.samples <= 0) throw ConfigError("campaign spec: samples must be positive");
+  if (spec.shards < 1) throw ConfigError("campaign spec: shards must be >= 1");
+  if (spec.max_restarts < 0) throw ConfigError("campaign spec: max_restarts must be >= 0");
+  if (spec.max_retries < 0) throw ConfigError("campaign spec: max_retries must be >= 0");
+  if (spec.shard_timeout_ms < 0) {
+    throw ConfigError("campaign spec: shard_timeout_ms must be >= 0");
+  }
+  return spec;
+}
+
+std::string to_json(const CampaignSpec& spec) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n"
+      << "  \"campaign\": \"" << to_string(spec.kind) << "\",\n"
+      << "  \"seed\": " << spec.seed << ",\n"
+      << "  \"samples\": " << spec.samples << ",\n"
+      << "  \"run_duration_ms\": " << spec.run_duration * 1e3 << ",\n"
+      << "  \"settle_ms\": " << spec.settle_time * 1e3 << ",\n"
+      << "  \"observe_ms\": " << spec.observe_time * 1e3 << ",\n"
+      << "  \"max_retries\": " << spec.max_retries << ",\n"
+      << "  \"shards\": " << spec.shards << ",\n"
+      << "  \"workers_per_shard\": " << spec.workers_per_shard << ",\n"
+      << "  \"max_restarts\": " << spec.max_restarts << ",\n"
+      << "  \"shard_timeout_ms\": " << spec.shard_timeout_ms << ",\n"
+      << "  \"restart_backoff_initial_ms\": " << spec.restart_backoff.initial_ms << ",\n"
+      << "  \"restart_backoff_multiplier\": " << spec.restart_backoff.multiplier << ",\n"
+      << "  \"restart_backoff_max_ms\": " << spec.restart_backoff.max_ms << ",\n"
+      << "  \"case_backoff_initial_ms\": " << spec.case_backoff.initial_ms << ",\n"
+      << "  \"case_backoff_multiplier\": " << spec.case_backoff.multiplier << ",\n"
+      << "  \"case_backoff_max_ms\": " << spec.case_backoff.max_ms << ",\n"
+      << "  \"checkpoint_dir\": \"" << json_escape(spec.checkpoint_dir) << "\",\n"
+      << "  \"report_path\": \"" << json_escape(spec.report_path) << "\",\n"
+      << "  \"test_kill_after_cases\": " << spec.test_kill_after_cases << ",\n"
+      << "  \"test_stall_once\": " << (spec.test_stall_once ? "true" : "false") << "\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace lcosc::service

@@ -1,0 +1,426 @@
+#include "service/supervisor.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/atomic_file.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "service/adapters.h"
+#include "service/checkpoint.h"
+
+namespace lcosc::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+std::string shard_checkpoint_path(const CampaignSpec& spec, int shard_index,
+                                  int shard_count) {
+  return spec.checkpoint_dir + "/shard_" + std::to_string(shard_index) + "_of_" +
+         std::to_string(shard_count) + ".ckpt";
+}
+
+std::string spec_file_path(const CampaignSpec& spec) {
+  return spec.checkpoint_dir + "/spec.json";
+}
+
+// All committed records in the checkpoint directory, first-wins by
+// sorted file name.  Scanning every *.ckpt (not just the current shard
+// layout's files) lets a resume with a different shard count inherit all
+// prior work: records carry absolute case indices, so the shard layout
+// that produced them is irrelevant.
+std::map<std::uint32_t, std::string> scan_checkpoints(const std::string& dir) {
+  std::map<std::uint32_t, std::string> merged;
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".ckpt") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    for (CheckpointRecord& record : read_checkpoint(file).records) {
+      merged.emplace(record.index, std::move(record.payload));
+    }
+  }
+  return merged;
+}
+
+void emit_shard_event(const char* action, int shard, long long pid, int detail = 0) {
+  if (!obs::events_enabled()) return;
+  obs::Event event("service.shard");
+  event.str("action", action).integer("shard", shard).integer("pid", pid);
+  if (detail != 0) event.integer("detail", detail);
+}
+
+void count_metric(const char* name, std::uint64_t delta = 1) {
+  if (obs::metrics_enabled()) obs::MetricsRegistry::instance().counter(name).add(delta);
+}
+
+}  // namespace
+
+CaseRange shard_case_range(std::size_t total, int shard_index, int shard_count) {
+  LCOSC_REQUIRE(shard_count >= 1 && shard_index >= 0 && shard_index < shard_count,
+                "shard index out of range");
+  const auto count = static_cast<std::size_t>(shard_count);
+  const auto index = static_cast<std::size_t>(shard_index);
+  const std::size_t base = total / count;
+  const std::size_t remainder = total % count;
+  CaseRange range;
+  range.begin = index * base + std::min(index, remainder);
+  range.end = range.begin + base + (index < remainder ? 1 : 0);
+  return range;
+}
+
+void run_shard(const CampaignSpec& spec, int shard_index, int shard_count) {
+  LCOSC_REQUIRE(!spec.checkpoint_dir.empty(), "spec.checkpoint_dir is required");
+  const std::unique_ptr<ShardableCampaign> campaign = make_campaign(spec);
+  const CaseRange range = shard_case_range(campaign->case_count(), shard_index, shard_count);
+
+  // Test hook: the first spawn of each shard wedges forever so the
+  // coordinator's timeout -> SIGKILL -> restart path runs; the sentinel
+  // disarms every later spawn.
+  if (spec.test_stall_once) {
+    const std::string sentinel =
+        spec.checkpoint_dir + "/stall_" + std::to_string(shard_index) + ".flag";
+    if (!fs::exists(sentinel)) {
+      write_file_atomic(sentinel, "armed\n");
+      while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  }
+
+  // Skip set: every case already committed by ANY checkpoint in the
+  // directory (prior runs may have used a different shard count).
+  const std::map<std::uint32_t, std::string> done = scan_checkpoints(spec.checkpoint_dir);
+
+  CheckpointWriter writer(shard_checkpoint_path(spec, shard_index, shard_count));
+
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    if (done.find(static_cast<std::uint32_t>(i)) == done.end()) remaining.push_back(i);
+  }
+
+  std::mutex append_mutex;
+  int fresh = 0;
+  auto run_one = [&](std::size_t slot) {
+    const std::size_t index = remaining[slot];
+    const std::string record = campaign->run_case(index);
+    {
+      const std::lock_guard<std::mutex> lock(append_mutex);
+      writer.append(static_cast<std::uint32_t>(index), record);
+      count_metric("service.cases.computed");
+      ++fresh;
+      // Test hook: die abruptly (no atexit, like a kill -9 landing just
+      // after the fsync) once this spawn has committed its quota.
+      if (spec.test_kill_after_cases > 0 && fresh >= spec.test_kill_after_cases) {
+        std::_Exit(137);
+      }
+    }
+    return 0;
+  };
+
+  const auto workers = static_cast<std::size_t>(std::max(0, spec.workers_per_shard));
+  if (workers == 1 || remaining.size() <= 1) {
+    for (std::size_t slot = 0; slot < remaining.size(); ++slot) run_one(slot);
+  } else {
+    // In-shard thread parallelism: append order becomes completion
+    // order, which is safe -- records carry their case index, and the
+    // merge step orders by index, never by file position.
+    (void)parallel_map(remaining.size(), run_one, workers);
+  }
+}
+
+std::optional<int> maybe_run_shard(int argc, char** argv) {
+  int shard_index = -1;
+  int shard_count = -1;
+  std::string spec_path;
+  bool is_shard = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--lcosc-shard") {
+      is_shard = true;
+      if (const char* v = value()) shard_index = std::atoi(v);
+    } else if (arg == "--lcosc-shard-count") {
+      if (const char* v = value()) shard_count = std::atoi(v);
+    } else if (arg == "--lcosc-spec") {
+      if (const char* v = value()) spec_path = v;
+    }
+  }
+  if (!is_shard) return std::nullopt;
+
+  try {
+    if (shard_index < 0 || shard_count < 1 || spec_path.empty()) {
+      throw ConfigError("shard mode needs --lcosc-shard N --lcosc-shard-count M --lcosc-spec F");
+    }
+    std::ifstream in(spec_path);
+    if (!in) throw ConfigError("cannot read spec file " + spec_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    run_shard(parse_campaign_spec(buffer.str()), shard_index, shard_count);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lcosc shard worker: %s\n", e.what());
+    return 3;
+  }
+}
+
+namespace {
+
+enum class ShardPhase { Pending, Running, Backoff, Done, Failed };
+
+struct ShardRuntime {
+  ShardStatus status;
+  ShardPhase phase = ShardPhase::Pending;
+  pid_t pid = -1;
+  Clock::time_point spawned_at{};
+  Clock::time_point next_spawn{};
+  std::size_t checkpoint_records_before = 0;
+};
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  LCOSC_REQUIRE(n > 0, "cannot resolve /proc/self/exe");
+  buf[n] = '\0';
+  return buf;
+}
+
+pid_t spawn_worker(const std::string& exe, int shard_index, int shard_count,
+                   const std::string& spec_path) {
+  const std::string idx = std::to_string(shard_index);
+  const std::string count = std::to_string(shard_count);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const char* argv[] = {exe.c_str(),    "--lcosc-shard",       idx.c_str(),
+                          "--lcosc-shard-count", count.c_str(),  "--lcosc-spec",
+                          spec_path.c_str(),     nullptr};
+    ::execv(exe.c_str(), const_cast<char* const*>(argv));
+    std::_Exit(127);  // exec failed
+  }
+  return pid;
+}
+
+}  // namespace
+
+ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOptions& options) {
+  LCOSC_REQUIRE(!spec.checkpoint_dir.empty(), "spec.checkpoint_dir is required");
+  std::error_code ec;
+  fs::create_directories(spec.checkpoint_dir, ec);
+
+  const std::unique_ptr<ShardableCampaign> campaign = make_campaign(spec);
+  const std::size_t total = campaign->case_count();
+  const int shard_count = spec.shards;
+
+  // Persist the effective spec next to the checkpoints: the shard
+  // workers re-exec from it, and a later resume invocation can point at
+  // the directory alone.
+  const std::string spec_path = spec_file_path(spec);
+  LCOSC_REQUIRE(write_file_atomic(spec_path, to_json(spec)),
+                "cannot write effective spec to " + spec_path);
+
+  const std::string exe = options.worker_exe.empty() ? self_exe_path() : options.worker_exe;
+
+  ServiceResult result;
+  result.cases_total = total;
+
+  // Resume set: work inherited from any prior run of this directory.
+  const std::map<std::uint32_t, std::string> prior = scan_checkpoints(spec.checkpoint_dir);
+  for (const auto& [index, payload] : prior) {
+    (void)payload;
+    if (index < total) ++result.cases_resumed;
+  }
+
+  std::vector<ShardRuntime> shards(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    ShardRuntime& shard = shards[static_cast<std::size_t>(i)];
+    shard.status.index = i;
+    shard.status.range = shard_case_range(total, i, shard_count);
+    shard.checkpoint_records_before =
+        read_checkpoint(shard_checkpoint_path(spec, i, shard_count)).records.size();
+
+    bool complete = true;
+    for (std::size_t c = shard.status.range.begin; complete && c < shard.status.range.end;
+         ++c) {
+      complete = prior.find(static_cast<std::uint32_t>(c)) != prior.end();
+    }
+    if (complete) {
+      // Nothing left for this shard (fully checkpointed, or empty range).
+      shard.phase = ShardPhase::Done;
+      shard.status.ok = true;
+    } else {
+      shard.next_spawn = Clock::now();
+    }
+  }
+
+  auto& registry = obs::MetricsRegistry::instance();
+  auto live_gauge = [&]() -> obs::Gauge& { return registry.gauge("service.shards.live"); };
+
+  auto note = [&](const char* fmt, int shard, long long a = 0, long long b = 0) {
+    if (options.verbose) {
+      std::fprintf(stderr, "[campaign_service] shard %d: ", shard);
+      std::fprintf(stderr, fmt, a, b);
+      std::fputc('\n', stderr);
+    }
+  };
+
+  try {
+    while (true) {
+      bool all_terminal = true;
+      const Clock::time_point now = Clock::now();
+
+      for (ShardRuntime& shard : shards) {
+        const int i = shard.status.index;
+        switch (shard.phase) {
+          case ShardPhase::Done:
+          case ShardPhase::Failed:
+            continue;
+          case ShardPhase::Pending:
+          case ShardPhase::Backoff: {
+            all_terminal = false;
+            if (now < shard.next_spawn) break;
+            shard.pid = spawn_worker(exe, i, shard_count, spec_path);
+            shard.spawned_at = now;
+            shard.phase = ShardPhase::Running;
+            ++shard.status.spawns;
+            count_metric("service.shard.spawned");
+            if (obs::metrics_enabled()) live_gauge().add(1.0);
+            emit_shard_event("spawn", i, shard.pid);
+            note("spawned pid %lld (attempt %lld)", i, shard.pid, shard.status.spawns);
+            break;
+          }
+          case ShardPhase::Running: {
+            all_terminal = false;
+            int wait_status = 0;
+            const pid_t r = ::waitpid(shard.pid, &wait_status, WNOHANG);
+            const double up_ms =
+                std::chrono::duration<double, std::milli>(now - shard.spawned_at).count();
+
+            bool exited = r == shard.pid;
+            bool timed_out = false;
+            if (!exited && spec.shard_timeout_ms > 0 && up_ms > spec.shard_timeout_ms) {
+              // Wedged (or just too slow): kill and account it as a
+              // timeout-restart, backoff included.
+              ::kill(shard.pid, SIGKILL);
+              ::waitpid(shard.pid, &wait_status, 0);
+              exited = true;
+              timed_out = true;
+              ++shard.status.timeouts;
+              count_metric("service.shard.timeouts");
+              emit_shard_event("timeout", i, shard.pid);
+              note("timed out after %lld ms, killed", i, static_cast<long long>(up_ms));
+            }
+            if (!exited) break;
+
+            if (obs::metrics_enabled()) live_gauge().add(-1.0);
+            shard.status.active_seconds += up_ms * 1e-3;
+            const int exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status)
+                                  : WIFSIGNALED(wait_status)
+                                      ? 128 + WTERMSIG(wait_status)
+                                      : -1;
+            shard.status.last_exit_code = exit_code;
+
+            if (exit_code == 0 && !timed_out) {
+              shard.phase = ShardPhase::Done;
+              shard.status.ok = true;
+              count_metric("service.shard.completed");
+              emit_shard_event("exit", i, shard.pid, exit_code);
+              note("completed (pid %lld)", i, shard.pid);
+              break;
+            }
+
+            emit_shard_event(timed_out ? "killed" : "crashed", i, shard.pid, exit_code);
+            if (shard.status.restarts >= spec.max_restarts) {
+              // Restart budget exhausted: degrade instead of aborting --
+              // the merge step fills this shard's missing cases with
+              // SimulationError rows.
+              shard.phase = ShardPhase::Failed;
+              count_metric("service.shard.failed");
+              emit_shard_event("failed", i, shard.pid, exit_code);
+              note("permanently failed (exit %lld)", i, exit_code);
+              break;
+            }
+            ++shard.status.restarts;
+            count_metric("service.shard.restarts");
+            const int delay_ms =
+                retry_backoff_delay_ms(spec.restart_backoff, shard.status.restarts);
+            shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
+            shard.phase = ShardPhase::Backoff;
+            emit_shard_event("restart", i, shard.pid, delay_ms);
+            note("restarting in %lld ms (exit %lld)", i, delay_ms, exit_code);
+            break;
+          }
+        }
+      }
+
+      if (all_terminal) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+    }
+  } catch (...) {
+    // Never leak workers past a coordinator failure.
+    for (ShardRuntime& shard : shards) {
+      if (shard.phase == ShardPhase::Running && shard.pid > 0) {
+        ::kill(shard.pid, SIGKILL);
+        ::waitpid(shard.pid, nullptr, 0);
+      }
+    }
+    throw;
+  }
+
+  // Merge in case-index order.  Every record is a pure function of its
+  // index, so first-wins over any mix of shard layouts and restart
+  // generations yields the same bytes as an uninterrupted run.
+  const std::map<std::uint32_t, std::string> merged = scan_checkpoints(spec.checkpoint_dir);
+  std::vector<std::string> records;
+  records.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto it = merged.find(static_cast<std::uint32_t>(i));
+    if (it != merged.end()) {
+      records.push_back(it->second);
+    } else {
+      records.push_back(campaign->error_record(i, "shard failed permanently"));
+      ++result.cases_failed;
+      count_metric("service.cases.synthesized");
+    }
+  }
+
+  for (ShardRuntime& shard : shards) {
+    const std::size_t after =
+        read_checkpoint(shard_checkpoint_path(spec, shard.status.index, shard_count))
+            .records.size();
+    shard.status.cases_computed = after - std::min(after, shard.checkpoint_records_before);
+    if (obs::metrics_enabled() && shard.status.active_seconds > 0.0) {
+      registry
+          .gauge("service.shard." + std::to_string(shard.status.index) + ".cases_per_s")
+          .set(static_cast<double>(shard.status.cases_computed) /
+               shard.status.active_seconds);
+    }
+    result.shards.push_back(shard.status);
+  }
+
+  result.report = campaign->report(records);
+  if (!spec.report_path.empty()) {
+    LCOSC_REQUIRE(write_file_atomic(spec.report_path, result.report),
+                  "cannot write report to " + spec.report_path);
+  }
+  return result;
+}
+
+}  // namespace lcosc::service

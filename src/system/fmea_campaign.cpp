@@ -105,7 +105,7 @@ FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
           }
         }
       },
-      config.max_retries);
+      config.max_retries, config.retry_backoff);
 
   if (row.status.outcome == CaseOutcome::Ok &&
       row.expected != tank::DetectionChannel::NoneExpected && !row.expected_channel_hit) {
@@ -140,14 +140,21 @@ FmeaRow run_fmea_case(const FmeaCampaignConfig& config, tank::TankFault fault) {
   return row;
 }
 
+std::size_t fmea_case_count() { return fmea_fault_list().size(); }
+
+FmeaRow run_fmea_case_at(const FmeaCampaignConfig& config, std::size_t index) {
+  const std::vector<tank::TankFault> faults = fmea_fault_list();
+  LCOSC_REQUIRE(index < faults.size(), "FMEA case index out of range");
+  return run_fmea_case(config, faults[index]);
+}
+
 FmeaReport run_fmea_campaign(const FmeaCampaignConfig& config) {
   // Each fault case builds its own OscillatorSystem from the shared
   // const config, so the per-fault work is independent and the report is
   // identical for any worker count.
-  const std::vector<tank::TankFault> faults = fmea_fault_list();
   FmeaReport report;
   report.rows = parallel_map(
-      faults.size(), [&](std::size_t i) { return run_fmea_case(config, faults[i]); },
+      fmea_case_count(), [&](std::size_t i) { return run_fmea_case_at(config, i); },
       config.workers);
   return report;
 }

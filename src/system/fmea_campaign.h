@@ -50,6 +50,9 @@ struct FmeaCampaignConfig {
   // tightened solver options (doubled steps_per_period) before the row is
   // recorded as SimulationError.
   int max_retries = 1;
+  // Exponential backoff between those re-runs; disabled by default, which
+  // keeps the retry policy (and report bytes) identical to no-backoff.
+  RetryBackoff retry_backoff{};
   // Per-case integration step budget; 0 = auto (4x the nominal step count
   // of the run, so a tightened retry still fits).
   std::size_t step_budget = 0;
@@ -64,5 +67,11 @@ struct FmeaCampaignConfig {
 
 // All injectable fault classes (paper Section 7 list).
 [[nodiscard]] std::vector<tank::TankFault> fmea_fault_list();
+
+// Case-index view for the sharded campaign service (common/campaign.h):
+// case i is fmea_fault_list()[i], so the enumeration order -- and with it
+// every checkpointed record -- is a pure function of the index.
+[[nodiscard]] std::size_t fmea_case_count();
+[[nodiscard]] FmeaRow run_fmea_case_at(const FmeaCampaignConfig& config, std::size_t index);
 
 }  // namespace lcosc::system

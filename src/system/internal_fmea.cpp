@@ -150,7 +150,7 @@ InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
           }
         }
       },
-      config.max_retries);
+      config.max_retries, config.retry_backoff);
 
   if (row.status.outcome == CaseOutcome::Ok &&
       row.expected != faults::DetectionChannel::None && !row.expected_channel_hit) {
@@ -185,9 +185,19 @@ InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
   return row;
 }
 
+std::vector<faults::InternalFault> internal_fmea_case_list(const InternalFmeaConfig& config) {
+  return config.faults.empty() ? faults::internal_fault_list() : config.faults;
+}
+
+InternalFmeaRow run_internal_fmea_case_at(const InternalFmeaConfig& config,
+                                          std::size_t index) {
+  const std::vector<faults::InternalFault> faults = internal_fmea_case_list(config);
+  LCOSC_REQUIRE(index < faults.size(), "internal FMEA case index out of range");
+  return run_internal_fmea_case(config, faults[index]);
+}
+
 InternalFmeaReport run_internal_fmea_campaign(const InternalFmeaConfig& config) {
-  const std::vector<faults::InternalFault> faults =
-      config.faults.empty() ? faults::internal_fault_list() : config.faults;
+  const std::vector<faults::InternalFault> faults = internal_fmea_case_list(config);
   InternalFmeaReport report;
   report.rows = parallel_map(
       faults.size(),

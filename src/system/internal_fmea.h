@@ -79,6 +79,9 @@ struct InternalFmeaConfig {
   std::size_t workers = 0;
   // Bounded retry for ConvergenceError cases (tightened integrator).
   int max_retries = 1;
+  // Exponential backoff between those re-runs; disabled by default, which
+  // keeps the retry policy (and report bytes) identical to no-backoff.
+  RetryBackoff retry_backoff{};
   // Per-case integration step budget; 0 = auto (4x nominal step count).
   std::size_t step_budget = 0;
 };
@@ -87,5 +90,13 @@ struct InternalFmeaConfig {
 
 [[nodiscard]] InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
                                                      const faults::InternalFault& fault);
+
+// Case-index view for the sharded campaign service (common/campaign.h):
+// the effective fault list (config.faults, or the standard taxonomy list
+// when empty) indexed in campaign order.
+[[nodiscard]] std::vector<faults::InternalFault> internal_fmea_case_list(
+    const InternalFmeaConfig& config);
+[[nodiscard]] InternalFmeaRow run_internal_fmea_case_at(const InternalFmeaConfig& config,
+                                                        std::size_t index);
 
 }  // namespace lcosc::system

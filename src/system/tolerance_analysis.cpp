@@ -199,7 +199,7 @@ ToleranceSample run_serial_sample(const Rng& master, int i, const ToleranceConfi
         sample.in_window = std::abs(sample.settled_amplitude - target) <=
                            config.amplitude_tolerance * target;
       },
-      config.max_retries);
+      config.max_retries, config.retry_backoff);
   if (!sample.status.completed()) sample.in_window = false;
   record_sample_telemetry(i, sample);
   return sample;
@@ -279,6 +279,12 @@ std::vector<ToleranceSample> run_batched_sweep(const Rng& master, const Toleranc
 }
 
 }  // namespace
+
+ToleranceSample run_tolerance_sample(const ToleranceConfig& config, int index) {
+  LCOSC_REQUIRE(index >= 0 && index < config.samples, "sample index out of range");
+  const Rng master(config.seed);
+  return run_serial_sample(master, index, config, config.nominal.detector.target_amplitude);
+}
 
 ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
   LCOSC_REQUIRE(config.samples > 0, "sample count must be positive");

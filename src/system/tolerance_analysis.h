@@ -54,6 +54,9 @@ struct ToleranceConfig {
   // with a halved envelope time step before the sample is recorded as
   // SimulationError instead of aborting the whole sweep.
   int max_retries = 1;
+  // Exponential backoff between those re-runs; disabled by default, which
+  // keeps the retry policy (and report bytes) identical to no-backoff.
+  RetryBackoff retry_backoff{};
   ToleranceEngine engine = ToleranceEngine::Batched;
 };
 
@@ -95,5 +98,13 @@ struct ToleranceReport {
 };
 
 [[nodiscard]] ToleranceReport run_tolerance_analysis(const ToleranceConfig& config);
+
+// Case-index view for the sharded campaign service (common/campaign.h):
+// run sample `index` of the sweep through the serial reference engine.
+// Pure in (config, index) -- the per-sample Rng stream is forked from the
+// campaign seed by index -- and byte-identical to the sample the full
+// sweep produces at that index under either engine (the batched engine
+// is locked to the serial one by the ToleranceBatched tests).
+[[nodiscard]] ToleranceSample run_tolerance_sample(const ToleranceConfig& config, int index);
 
 }  // namespace lcosc::system

@@ -1,9 +1,10 @@
 #include "waveform/csv_io.h"
 
 #include <algorithm>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/error.h"
 
 namespace lcosc {
@@ -40,15 +41,19 @@ void write_traces_csv(std::ostream& os, const std::vector<Trace>& traces) {
 }
 
 void write_trace_csv_file(const std::string& path, const Trace& trace) {
-  std::ofstream os(path);
-  if (!os) throw Error("cannot open file for writing: " + path);
+  std::ostringstream os;
   write_trace_csv(os, trace);
+  if (!write_file_atomic(path, os.str())) {
+    throw Error("cannot open file for writing: " + path);
+  }
 }
 
 void write_traces_csv_file(const std::string& path, const std::vector<Trace>& traces) {
-  std::ofstream os(path);
-  if (!os) throw Error("cannot open file for writing: " + path);
+  std::ostringstream os;
   write_traces_csv(os, traces);
+  if (!write_file_atomic(path, os.str())) {
+    throw Error("cannot open file for writing: " + path);
+  }
 }
 
 }  // namespace lcosc

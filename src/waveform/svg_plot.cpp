@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/error.h"
 
 namespace lcosc {
@@ -181,14 +180,9 @@ std::string render_svg_plot(const std::vector<SvgSeries>& series,
 
 void write_svg_plot(const std::string& path, const std::vector<SvgSeries>& series,
                     const SvgPlotOptions& options) {
-  const std::filesystem::path file(path);
-  if (file.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(file.parent_path(), ec);
+  if (!write_file_atomic(path, render_svg_plot(series, options))) {
+    throw Error("cannot open SVG file for writing: " + path);
   }
-  std::ofstream os(path);
-  if (!os) throw Error("cannot open SVG file for writing: " + path);
-  os << render_svg_plot(series, options);
 }
 
 }  // namespace lcosc

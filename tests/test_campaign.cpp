@@ -7,6 +7,7 @@
 
 #include "common/campaign.h"
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace lcosc {
 namespace {
@@ -84,6 +85,63 @@ TEST(Campaign, OutcomeLabels) {
   EXPECT_EQ(to_string(CaseOutcome::Undetected), "undetected");
   EXPECT_EQ(to_string(CaseOutcome::SimulationError), "simulation-error");
   EXPECT_EQ(to_string(CaseOutcome::Timeout), "timeout");
+}
+
+TEST(Campaign, BackoffDelaySequenceIsExponentialAndCapped) {
+  const RetryBackoff backoff{.initial_ms = 100, .multiplier = 2.0, .max_ms = 2000};
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 0), 0);  // no delay before attempt 1
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 1), 100);
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 2), 200);
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 3), 400);
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 5), 1600);
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 6), 2000);   // cap reached
+  EXPECT_EQ(retry_backoff_delay_ms(backoff, 50), 2000);  // no overflow past the cap
+}
+
+TEST(Campaign, DisabledBackoffAlwaysYieldsZeroDelay) {
+  const RetryBackoff disabled{};
+  EXPECT_FALSE(disabled.enabled());
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(retry_backoff_delay_ms(disabled, attempt), 0);
+  }
+}
+
+// The policy contract of the satellite: backoff only changes when a
+// retry runs, never whether it runs -- the recorded status (the thing
+// that ends up in a report) must match the no-backoff run exactly.
+TEST(Campaign, BackoffDoesNotChangeRecordedStatus) {
+  auto run = [](const RetryBackoff& backoff) {
+    return run_guarded_case(
+        [&](int attempt) {
+          if (attempt < 2) throw ConvergenceError("diverged");
+        },
+        3, backoff);
+  };
+  const CampaignCase plain = run(RetryBackoff{});
+  const CampaignCase delayed = run(RetryBackoff{.initial_ms = 1, .multiplier = 2.0,
+                                                .max_ms = 4});
+  EXPECT_EQ(plain.outcome, delayed.outcome);
+  EXPECT_EQ(plain.retries, delayed.retries);
+  EXPECT_EQ(plain.error, delayed.error);
+}
+
+TEST(Campaign, RetryAndTimeoutCountersTrackGuardedCases) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& registry = obs::MetricsRegistry::instance();
+  const std::uint64_t retries_before = registry.counter("campaign.case.retries").total();
+  const std::uint64_t timeouts_before = registry.counter("campaign.case.timeouts").total();
+
+  (void)run_guarded_case(
+      [&](int attempt) {
+        if (attempt < 2) throw ConvergenceError("diverged");
+      },
+      3);
+  (void)run_guarded_case([&](int) { throw BudgetExceededError("over budget"); }, 3);
+
+  EXPECT_EQ(registry.counter("campaign.case.retries").total(), retries_before + 2);
+  EXPECT_EQ(registry.counter("campaign.case.timeouts").total(), timeouts_before + 1);
+  obs::set_metrics_enabled(was_enabled);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Crash-safety contract of the checkpoint record stream
+// (service/checkpoint.h): every byte-level truncation of a valid file --
+// the on-disk state a kill -9 can leave behind -- must read back as a
+// clean prefix of fully-committed records, and a writer reopening the
+// torn file must continue it seamlessly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/checkpoint.h"
+
+namespace lcosc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("lcosc_ckpt_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "shard.ckpt").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string file_bytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  void write_file_bytes(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVectors) {
+  // The zlib/IEEE check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+}
+
+TEST_F(CheckpointTest, MissingFileReadsEmptyAndClean) {
+  const CheckpointReadResult r = read_checkpoint(path_);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(CheckpointTest, EmptyFileReadsEmptyAndClean) {
+  write_file_bytes("");
+  const CheckpointReadResult r = read_checkpoint(path_);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(CheckpointTest, RoundTripsRecordsInOrder) {
+  const std::vector<CheckpointRecord> written = {
+      {0, "alpha"},
+      {7, std::string("\x00\x01|\xff\npipe|newline", 17)},  // binary-safe payload
+      {3, ""},                                              // empty payload is legal
+  };
+  {
+    CheckpointWriter writer(path_);
+    EXPECT_TRUE(writer.existing().empty());
+    for (const CheckpointRecord& r : written) writer.append(r.index, r.payload);
+  }
+  const CheckpointReadResult r = read_checkpoint(path_);
+  EXPECT_TRUE(r.clean);
+  EXPECT_EQ(r.records, written);
+  EXPECT_EQ(r.valid_bytes, file_bytes().size());
+}
+
+TEST_F(CheckpointTest, CrcCorruptionStopsAtTheBadFrame) {
+  {
+    CheckpointWriter writer(path_);
+    writer.append(1, "first");
+    writer.append(2, "second");
+  }
+  std::string bytes = file_bytes();
+  // Flip one payload bit of the second record (last byte of the file).
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  write_file_bytes(bytes);
+
+  const CheckpointReadResult r = read_checkpoint(path_);
+  EXPECT_FALSE(r.clean);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], (CheckpointRecord{1, "first"}));
+}
+
+TEST_F(CheckpointTest, AbsurdLengthHeaderIsTreatedAsCorruption) {
+  {
+    CheckpointWriter writer(path_);
+    writer.append(1, "first");
+  }
+  // A torn header whose length field decodes as ~4 GiB must not make the
+  // reader try to allocate it.
+  std::string bytes = file_bytes();
+  bytes += std::string("\xff\xff\xff\xff", 4);
+  bytes += std::string(8, '\x00');
+  write_file_bytes(bytes);
+
+  const CheckpointReadResult r = read_checkpoint(path_);
+  EXPECT_FALSE(r.clean);
+  ASSERT_EQ(r.records.size(), 1u);
+}
+
+// The exhaustive kill-point sweep: truncating a valid two-record file at
+// EVERY byte offset must yield the longest record prefix that fits --
+// never garbage, never an error.
+TEST_F(CheckpointTest, EveryTruncationOffsetReadsAValidPrefix) {
+  {
+    CheckpointWriter writer(path_);
+    writer.append(10, "payload-a");
+    writer.append(11, "pb");
+  }
+  const std::string full = file_bytes();
+  const std::size_t first_frame = 12 + 9;  // header + "payload-a"
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    write_file_bytes(full.substr(0, cut));
+    const CheckpointReadResult r = read_checkpoint(path_);
+
+    std::size_t expect_records = 0;
+    if (cut >= full.size()) {
+      expect_records = 2;
+    } else if (cut >= first_frame) {
+      expect_records = 1;
+    }
+    EXPECT_EQ(r.records.size(), expect_records) << "cut at byte " << cut;
+    EXPECT_EQ(r.clean, cut == full.size() || cut == first_frame || cut == 0)
+        << "cut at byte " << cut;
+    EXPECT_EQ(r.valid_bytes, expect_records == 2   ? full.size()
+                             : expect_records == 1 ? first_frame
+                                                   : 0u)
+        << "cut at byte " << cut;
+    if (expect_records >= 1) {
+      EXPECT_EQ(r.records[0], (CheckpointRecord{10, "payload-a"}));
+    }
+  }
+}
+
+TEST_F(CheckpointTest, WriterTruncatesTornTailAndContinues) {
+  {
+    CheckpointWriter writer(path_);
+    writer.append(1, "first");
+    writer.append(2, "second");
+  }
+  const std::string full = file_bytes();
+  // Tear the file mid-way through the second record's payload.
+  write_file_bytes(full.substr(0, full.size() - 3));
+
+  {
+    CheckpointWriter writer(path_);
+    ASSERT_EQ(writer.existing().size(), 1u);
+    EXPECT_EQ(writer.existing()[0], (CheckpointRecord{1, "first"}));
+    writer.append(2, "second");  // the resumed shard recomputes case 2
+    writer.append(3, "third");
+  }
+  const CheckpointReadResult r = read_checkpoint(path_);
+  EXPECT_TRUE(r.clean);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[2], (CheckpointRecord{3, "third"}));
+  // The rewritten file is exactly the uninterrupted prefix plus the new
+  // record: truncation left no gap and no stray bytes.
+  EXPECT_EQ(file_bytes().substr(0, full.size()), full);
+}
+
+}  // namespace
+}  // namespace lcosc::service

@@ -1,0 +1,262 @@
+// End-to-end contract of the sharded campaign service (DESIGN.md §13):
+// the merged report is byte-identical to the uninterrupted
+// single-process run for any shard count, any kill/resume schedule, any
+// checkpoint truncation, and any restart count.  This binary defines its
+// own main(): the coordinator re-execs the test executable itself as the
+// shard worker, so maybe_run_shard() must run before gtest does.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "service/supervisor.h"
+
+namespace lcosc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignSpec small_tolerance_spec() {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Tolerance;
+  spec.samples = 6;
+  spec.seed = 7;
+  // Keep supervision snappy: restarts in tests should wait milliseconds.
+  spec.restart_backoff = RetryBackoff{.initial_ms = 5, .multiplier = 2.0, .max_ms = 50};
+  return spec;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("lcosc_svc_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // A fresh checkpoint directory under this test's root.
+  [[nodiscard]] std::string subdir(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // The uninterrupted single-process reference all other runs must match.
+  [[nodiscard]] std::string reference_report(CampaignSpec spec) {
+    spec.shards = 1;
+    spec.checkpoint_dir = subdir("reference");
+    fs::remove_all(spec.checkpoint_dir);
+    return run_campaign_service(spec).report;
+  }
+
+  fs::path dir_;
+};
+
+TEST(ServiceSpec, JsonRoundTripsIncludingNonDefaults) {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::InternalFmea;
+  spec.seed = 99;
+  spec.samples = 17;
+  spec.shards = 4;
+  spec.workers_per_shard = 3;
+  spec.max_restarts = 5;
+  spec.shard_timeout_ms = 1500;
+  spec.case_backoff = RetryBackoff{.initial_ms = 2, .multiplier = 3.0, .max_ms = 20};
+  spec.checkpoint_dir = "/tmp/with|pipe and \"quote\"";
+  spec.report_path = "/tmp/report.txt";
+  spec.test_kill_after_cases = 2;
+  spec.test_stall_once = true;
+
+  const CampaignSpec parsed = parse_campaign_spec(to_json(spec));
+  EXPECT_EQ(to_json(parsed), to_json(spec));
+  EXPECT_EQ(parsed.kind, CampaignKind::InternalFmea);
+  EXPECT_EQ(parsed.case_backoff, spec.case_backoff);
+  EXPECT_EQ(parsed.checkpoint_dir, spec.checkpoint_dir);
+}
+
+TEST(ServiceSpec, MissingKeysKeepDefaults) {
+  const CampaignSpec spec = parse_campaign_spec(R"({"campaign": "fmea"})");
+  EXPECT_EQ(spec.kind, CampaignKind::ExternalFmea);
+  EXPECT_EQ(spec.shards, 1);
+  EXPECT_EQ(spec.max_restarts, 2);
+  EXPECT_EQ(spec.restart_backoff.initial_ms, 100);
+}
+
+TEST(ServiceSpec, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW((void)parse_campaign_spec(R"({"campain": "fmea"})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"campaign": "fme"})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"samples": 0})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"shards": -1})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"samples": 1.5})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"test_stall_once": "yes"})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"samples": 4)"), ConfigError);  // truncated
+  EXPECT_THROW((void)parse_campaign_spec(R"({"samples": 4} trailing)"), ConfigError);
+}
+
+TEST(ServiceSharding, RangesPartitionTheCampaign) {
+  for (const std::size_t total : {0u, 1u, 7u, 48u}) {
+    for (const int shards : {1, 2, 3, 5}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (int s = 0; s < shards; ++s) {
+        const CaseRange range = shard_case_range(total, s, shards);
+        EXPECT_EQ(range.begin, expected_begin);
+        EXPECT_LE(range.size(), total / static_cast<std::size_t>(shards) + 1);
+        expected_begin = range.end;
+        covered += range.size();
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(expected_begin, total);
+    }
+  }
+  EXPECT_THROW((void)shard_case_range(10, 2, 2), Error);
+  EXPECT_THROW((void)shard_case_range(10, -1, 2), Error);
+}
+
+TEST_F(ServiceTest, ReportIsByteIdenticalForAnyShardCount) {
+  CampaignSpec spec = small_tolerance_spec();
+  const std::string reference = reference_report(spec);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int shards : {2, 3}) {
+    spec.shards = shards;
+    spec.checkpoint_dir = subdir("shards_" + std::to_string(shards));
+    const ServiceResult result = run_campaign_service(spec);
+    EXPECT_EQ(result.report, reference) << shards << " shards";
+    EXPECT_FALSE(result.degraded());
+    EXPECT_EQ(result.cases_total, 6u);
+    EXPECT_EQ(result.cases_resumed, 0u);
+  }
+}
+
+TEST_F(ServiceTest, WorkersKilledAfterEveryCaseStillDeliverTheReferenceReport) {
+  CampaignSpec spec = small_tolerance_spec();
+  const std::string reference = reference_report(spec);
+
+  // Every spawn commits exactly one fresh case, then dies like a kill -9
+  // (_exit, no cleanup).  Progress is one case per life, so the restart
+  // budget must cover cases-per-shard deaths.
+  spec.shards = 2;
+  spec.max_restarts = 8;
+  spec.test_kill_after_cases = 1;
+  spec.checkpoint_dir = subdir("killed");
+  const ServiceResult result = run_campaign_service(spec);
+
+  EXPECT_EQ(result.report, reference);
+  EXPECT_FALSE(result.degraded());
+  for (const ShardStatus& shard : result.shards) {
+    EXPECT_GE(shard.restarts, 2);  // 3 cases per shard, one per life
+    EXPECT_TRUE(shard.ok);
+  }
+}
+
+TEST_F(ServiceTest, ExhaustedRestartBudgetDegradesInsteadOfAborting) {
+  CampaignSpec spec = small_tolerance_spec();
+  spec.shards = 2;
+  spec.max_restarts = 0;
+  spec.test_kill_after_cases = 1;
+  spec.checkpoint_dir = subdir("degraded");
+  const ServiceResult result = run_campaign_service(spec);
+
+  // One case per shard survived; the rest are synthesized error rows.
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.cases_failed, 4u);
+  EXPECT_NE(result.report.find("simulation-error"), std::string::npos);
+  EXPECT_NE(result.report.find("shard failed permanently"), std::string::npos);
+
+  // Resuming the same directory with the hook disarmed -- and a
+  // different shard count -- completes the campaign and converges to the
+  // reference bytes.
+  spec.test_kill_after_cases = 0;
+  spec.max_restarts = 2;
+  spec.shards = 3;
+  const ServiceResult resumed = run_campaign_service(spec);
+  EXPECT_FALSE(resumed.degraded());
+  EXPECT_EQ(resumed.cases_resumed, 2u);
+  EXPECT_EQ(resumed.report, reference_report(spec));
+}
+
+TEST_F(ServiceTest, TruncatedCheckpointsResumeToTheReferenceReport) {
+  CampaignSpec spec = small_tolerance_spec();
+  const std::string reference = reference_report(spec);
+
+  spec.shards = 2;
+  spec.checkpoint_dir = subdir("torn");
+  ASSERT_EQ(run_campaign_service(spec).report, reference);
+
+  const std::string ckpt = spec.checkpoint_dir + "/shard_0_of_2.ckpt";
+  std::string bytes;
+  {
+    std::ifstream in(ckpt, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 20u);
+
+  // Tear the shard-0 stream at assorted offsets, including mid-record
+  // and mid-header, and resume each time: the service must recompute
+  // exactly the lost cases and land on the same bytes.
+  for (const std::size_t cut :
+       {bytes.size() - 1, bytes.size() - 7, bytes.size() / 2, std::size_t{5}, std::size_t{0}}) {
+    std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+
+    const ServiceResult resumed = run_campaign_service(spec);
+    EXPECT_EQ(resumed.report, reference) << "cut at byte " << cut;
+    EXPECT_FALSE(resumed.degraded());
+  }
+}
+
+TEST_F(ServiceTest, StalledWorkerIsKilledOnTimeoutAndRestartDelivers) {
+  CampaignSpec spec = small_tolerance_spec();
+  const std::string reference = reference_report(spec);
+
+  // First spawn of each shard wedges forever; the watchdog must SIGKILL
+  // it and the restart (disarmed by the sentinel) must finish the work.
+  spec.shards = 2;
+  spec.shard_timeout_ms = 250;
+  spec.test_stall_once = true;
+  spec.checkpoint_dir = subdir("stalled");
+  const ServiceResult result = run_campaign_service(spec);
+
+  EXPECT_EQ(result.report, reference);
+  EXPECT_FALSE(result.degraded());
+  for (const ShardStatus& shard : result.shards) {
+    EXPECT_GE(shard.timeouts, 1);
+    EXPECT_GE(shard.spawns, 2);
+  }
+}
+
+TEST_F(ServiceTest, ReportFileIsWrittenAtomicallyAtTheConfiguredPath) {
+  CampaignSpec spec = small_tolerance_spec();
+  spec.checkpoint_dir = subdir("report");
+  spec.report_path = subdir("report") + "/final_report.txt";
+  spec.shards = 2;
+  const ServiceResult result = run_campaign_service(spec);
+
+  std::ifstream in(spec.report_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), result.report);
+  // No temp litter from the atomic write.
+  for (const auto& entry : fs::directory_iterator(spec.checkpoint_dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos) << entry.path();
+  }
+}
+
+}  // namespace
+}  // namespace lcosc::service
+
+int main(int argc, char** argv) {
+  // Shard-worker mode: the coordinator under test re-execs this binary.
+  if (const auto shard_exit = lcosc::service::maybe_run_shard(argc, argv)) return *shard_exit;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

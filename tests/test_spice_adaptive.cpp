@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/atomic_file.h"
 #include "spice/circuit.h"
 #include "spice/netlist_parser.h"
 #include "spice/transient_solver.h"
@@ -73,9 +74,8 @@ TEST(TransientAdaptive, FixedPathMatchesPrePrGoldenTrace) {
   const std::string rendered = render_reference(r);
 
   if (std::getenv("LCOSC_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(golden_path(), std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
-    out << rendered;
+    ASSERT_TRUE(lcosc::write_file_atomic(golden_path(), rendered))
+        << "cannot write " << golden_path();
     GTEST_SKIP() << "regenerated " << golden_path();
   }
 
