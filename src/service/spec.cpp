@@ -1,7 +1,9 @@
 #include "service/spec.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string_view>
@@ -109,11 +111,42 @@ class FlatJsonParser {
           case '/': out.push_back('/'); break;
           case 'n': out.push_back('\n'); break;
           case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': append_codepoint(out, parse_hex4()); break;
           default: fail("unsupported string escape");
         }
       } else {
         out.push_back(c);
       }
+    }
+  }
+  unsigned parse_hex4() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else fail("expected four hex digits after \\u");
+      cp = cp * 16 + digit;
+    }
+    return cp;
+  }
+  void append_codepoint(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      // BMP only: surrogate pairs never appear in the specs we emit.
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
   }
   std::string parse_keyword() {
@@ -158,6 +191,21 @@ int to_int(const std::string& key, const std::string& raw) {
   return static_cast<int>(v);
 }
 
+// Exact 64-bit parse: routing a seed through double would silently round
+// values above 2^53 (and cast UB above 2^63), giving re-parsing workers a
+// different seed than the coordinator.
+std::uint64_t to_u64(const std::string& key, const std::string& raw) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (raw.empty() || raw[0] == '-' || end == raw.c_str() || *end != '\0' ||
+      errno == ERANGE) {
+    throw ConfigError("campaign spec: key '" + key +
+                      "' must be a non-negative integer (64-bit)");
+  }
+  return v;
+}
+
 bool to_bool(const std::string& key, const std::string& raw, bool is_string) {
   if (is_string || (raw != "true" && raw != "false")) {
     throw ConfigError("campaign spec: key '" + key + "' must be true or false");
@@ -168,12 +216,24 @@ bool to_bool(const std::string& key, const std::string& raw, bool is_string) {
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
-    out.push_back(c);
   }
   return out;
 }
@@ -192,7 +252,7 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
       else if (raw == "internal_fmea") spec.kind = CampaignKind::InternalFmea;
       else throw ConfigError("campaign spec: unknown campaign kind '" + raw + "'");
     } else if (key == "seed") {
-      spec.seed = static_cast<std::uint64_t>(num());
+      spec.seed = to_u64(key, raw);
     } else if (key == "samples") {
       spec.samples = integer();
     } else if (key == "run_duration_ms") {
@@ -244,6 +304,18 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
     throw ConfigError("campaign spec: shard_timeout_ms must be >= 0");
   }
   return spec;
+}
+
+std::string determinism_signature(const CampaignSpec& spec) {
+  char run_d[32], settle[32], observe[32];
+  std::snprintf(run_d, sizeof run_d, "%a", spec.run_duration);
+  std::snprintf(settle, sizeof settle, "%a", spec.settle_time);
+  std::snprintf(observe, sizeof observe, "%a", spec.observe_time);
+  std::ostringstream out;
+  out << to_string(spec.kind) << "|seed=" << spec.seed << "|samples=" << spec.samples
+      << "|run=" << run_d << "|settle=" << settle << "|observe=" << observe
+      << "|retries=" << spec.max_retries;
+  return out.str();
 }
 
 std::string to_json(const CampaignSpec& spec) {

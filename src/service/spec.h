@@ -60,4 +60,12 @@ struct CampaignSpec {
 // Serialize (round-trips through parse_campaign_spec).
 [[nodiscard]] std::string to_json(const CampaignSpec& spec);
 
+// The subset of the spec that determines record content: campaign kind,
+// seed, sample count, durations, per-case retry limit.  Two specs with
+// equal signatures produce byte-identical records for every case index,
+// so checkpoints written under one may be resumed under the other;
+// sharding/supervision/artifact knobs are deliberately excluded (resume
+// with a different shard count is a supported workflow).
+[[nodiscard]] std::string determinism_signature(const CampaignSpec& spec);
+
 }  // namespace lcosc::service

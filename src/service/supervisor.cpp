@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -148,18 +150,31 @@ void run_shard(const CampaignSpec& spec, int shard_index, int shard_count) {
 }
 
 std::optional<int> maybe_run_shard(int argc, char** argv) {
+  // Strict integer parse: '--lcosc-shard garbage' must fail loudly, not
+  // silently become shard 0 and duplicate shard 0's work.
+  auto parse_shard_int = [](const char* s) -> int {
+    if (s == nullptr || *s == '\0') return -1;
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v < 0 || v > INT_MAX) return -1;
+    return static_cast<int>(v);
+  };
   int shard_index = -1;
   int shard_count = -1;
   std::string spec_path;
   bool is_shard = false;
+  bool bad_value = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (arg == "--lcosc-shard") {
       is_shard = true;
-      if (const char* v = value()) shard_index = std::atoi(v);
+      shard_index = parse_shard_int(value());
+      bad_value |= shard_index < 0;
     } else if (arg == "--lcosc-shard-count") {
-      if (const char* v = value()) shard_count = std::atoi(v);
+      shard_count = parse_shard_int(value());
+      bad_value |= shard_count < 0;
     } else if (arg == "--lcosc-spec") {
       if (const char* v = value()) spec_path = v;
     }
@@ -167,7 +182,7 @@ std::optional<int> maybe_run_shard(int argc, char** argv) {
   if (!is_shard) return std::nullopt;
 
   try {
-    if (shard_index < 0 || shard_count < 1 || spec_path.empty()) {
+    if (bad_value || shard_index < 0 || shard_count < 1 || spec_path.empty()) {
       throw ConfigError("shard mode needs --lcosc-shard N --lcosc-shard-count M --lcosc-spec F");
     }
     std::ifstream in(spec_path);
@@ -231,8 +246,31 @@ ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOption
 
   // Persist the effective spec next to the checkpoints: the shard
   // workers re-exec from it, and a later resume invocation can point at
-  // the directory alone.
+  // the directory alone.  If the directory already holds a spec, the
+  // record-content fields must match: resuming checkpoints computed
+  // under a different seed/samples/durations would silently merge stale
+  // records into the new report.  (Sharding/supervision knobs may
+  // change freely -- records carry absolute case indices.)
   const std::string spec_path = spec_file_path(spec);
+  if (std::ifstream existing{spec_path}) {
+    std::stringstream buffer;
+    buffer << existing.rdbuf();
+    std::string prior_signature;
+    try {
+      prior_signature = determinism_signature(parse_campaign_spec(buffer.str()));
+    } catch (const std::exception& e) {
+      throw ConfigError("checkpoint_dir holds an unreadable spec (" + spec_path +
+                        "): " + e.what() +
+                        "; delete the directory to start this campaign fresh");
+    }
+    if (prior_signature != determinism_signature(spec)) {
+      throw ConfigError(
+          "checkpoint_dir was written under a different campaign spec (" +
+          prior_signature + " vs " + determinism_signature(spec) +
+          "); resuming would merge stale records -- use a fresh checkpoint_dir "
+          "or delete " + spec.checkpoint_dir);
+    }
+  }
   LCOSC_REQUIRE(write_file_atomic(spec_path, to_json(spec)),
                 "cannot write effective spec to " + spec_path);
 
@@ -296,7 +334,32 @@ ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOption
           case ShardPhase::Backoff: {
             all_terminal = false;
             if (now < shard.next_spawn) break;
-            shard.pid = spawn_worker(exe, i, shard_count, spec_path);
+            const pid_t pid = spawn_worker(exe, i, shard_count, spec_path);
+            if (pid < 0) {
+              // fork() failed (EAGAIN/ENOMEM).  A -1 pid must never reach
+              // the Running phase: waitpid(-1) would reap arbitrary
+              // children and kill(-1) would SIGKILL everything we can
+              // signal.  Retry on the restart budget like a crash.
+              shard.pid = -1;
+              count_metric("service.shard.spawn_errors");
+              emit_shard_event("spawn_error", i, -1, errno);
+              if (shard.status.restarts >= spec.max_restarts) {
+                shard.phase = ShardPhase::Failed;
+                count_metric("service.shard.failed");
+                emit_shard_event("failed", i, -1, errno);
+                note("permanently failed (fork errno %lld)", i, errno);
+                break;
+              }
+              ++shard.status.restarts;
+              count_metric("service.shard.restarts");
+              const int delay_ms =
+                  retry_backoff_delay_ms(spec.restart_backoff, shard.status.restarts);
+              shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
+              shard.phase = ShardPhase::Backoff;
+              note("fork failed (errno %lld), retrying in %lld ms", i, errno, delay_ms);
+              break;
+            }
+            shard.pid = pid;
             shard.spawned_at = now;
             shard.phase = ShardPhase::Running;
             ++shard.status.spawns;
@@ -308,6 +371,14 @@ ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOption
           }
           case ShardPhase::Running: {
             all_terminal = false;
+            if (shard.pid <= 0) {
+              // Defensive: cannot happen after the spawn guard above, but
+              // waitpid/kill on pid <= 0 address process groups, not a
+              // child -- never risk it.  Fall back to a respawn.
+              shard.phase = ShardPhase::Backoff;
+              shard.next_spawn = now;
+              break;
+            }
             int wait_status = 0;
             const pid_t r = ::waitpid(shard.pid, &wait_status, WNOHANG);
             const double up_ms =

@@ -97,6 +97,73 @@ TEST(ServiceSpec, RejectsUnknownKeysAndBadValues) {
   EXPECT_THROW((void)parse_campaign_spec(R"({"samples": 4} trailing)"), ConfigError);
 }
 
+TEST(ServiceSpec, SeedRoundTripsExactlyAbove53Bits) {
+  // Seeds above 2^53 are not representable as doubles; a strtod-based
+  // parse would hand re-parsing workers a different seed than the
+  // coordinator and silently break the byte-identical-report contract.
+  CampaignSpec spec;
+  spec.seed = 9007199254740993ULL;  // 2^53 + 1
+  EXPECT_EQ(parse_campaign_spec(to_json(spec)).seed, 9007199254740993ULL);
+  spec.seed = 18446744073709551615ULL;  // 2^64 - 1
+  EXPECT_EQ(parse_campaign_spec(to_json(spec)).seed, 18446744073709551615ULL);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"seed": -1})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"seed": 1.5})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"seed": 99999999999999999999})"),
+               ConfigError);  // > 2^64 - 1
+}
+
+TEST(ServiceSpec, PathsWithControlCharactersRoundTrip) {
+  CampaignSpec spec;
+  spec.checkpoint_dir = "/tmp/tab\there\rand\x01" "ctl";
+  spec.report_path = "bell\b_feed\f_line\n";
+  const std::string json = to_json(spec);
+  // Valid JSON for external tooling: no raw control characters inside
+  // string values (the newlines between members are outside strings).
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  const CampaignSpec parsed = parse_campaign_spec(json);
+  EXPECT_EQ(parsed.checkpoint_dir, spec.checkpoint_dir);
+  EXPECT_EQ(parsed.report_path, spec.report_path);
+}
+
+TEST(ServiceSpec, DeterminismSignatureIgnoresSupervisionKnobs) {
+  CampaignSpec a;
+  CampaignSpec b = a;
+  b.shards = 7;
+  b.workers_per_shard = 3;
+  b.max_restarts = 9;
+  b.shard_timeout_ms = 123;
+  b.checkpoint_dir = "/somewhere/else";
+  b.report_path = "/report";
+  b.test_kill_after_cases = 1;
+  EXPECT_EQ(determinism_signature(a), determinism_signature(b));
+  b.seed = a.seed + 1;
+  EXPECT_NE(determinism_signature(a), determinism_signature(b));
+  b.seed = a.seed;
+  b.samples = a.samples + 1;
+  EXPECT_NE(determinism_signature(a), determinism_signature(b));
+}
+
+TEST(ServiceShardCli, GarbageShardValuesFailInsteadOfBecomingShardZero) {
+  // atoi("garbage") == 0 would silently duplicate shard 0's work; the
+  // worker must instead exit with its config-error status.
+  const char* argv[] = {"prog",          "--lcosc-shard",       "garbage",
+                        "--lcosc-shard-count", "2",             "--lcosc-spec",
+                        "/nonexistent"};
+  const auto exit_code = maybe_run_shard(7, const_cast<char**>(argv));
+  ASSERT_TRUE(exit_code.has_value());
+  EXPECT_EQ(*exit_code, 3);
+
+  const char* argv2[] = {"prog",          "--lcosc-shard",       "1x",
+                         "--lcosc-shard-count", "2",             "--lcosc-spec",
+                         "/nonexistent"};
+  const auto exit_code2 = maybe_run_shard(7, const_cast<char**>(argv2));
+  ASSERT_TRUE(exit_code2.has_value());
+  EXPECT_EQ(*exit_code2, 3);
+}
+
 TEST(ServiceSharding, RangesPartitionTheCampaign) {
   for (const std::size_t total : {0u, 1u, 7u, 48u}) {
     for (const int shards : {1, 2, 3, 5}) {
@@ -177,6 +244,30 @@ TEST_F(ServiceTest, ExhaustedRestartBudgetDegradesInsteadOfAborting) {
   const ServiceResult resumed = run_campaign_service(spec);
   EXPECT_FALSE(resumed.degraded());
   EXPECT_EQ(resumed.cases_resumed, 2u);
+  EXPECT_EQ(resumed.report, reference_report(spec));
+}
+
+TEST_F(ServiceTest, ResumeUnderADifferentSpecIsRefused) {
+  CampaignSpec spec = small_tolerance_spec();
+  spec.checkpoint_dir = subdir("mismatch");
+  ASSERT_FALSE(run_campaign_service(spec).report.empty());
+
+  // Changing any record-content field must refuse the directory: merging
+  // checkpoints computed under the old seed/samples would silently
+  // corrupt the report.
+  CampaignSpec changed = spec;
+  changed.seed += 1;
+  EXPECT_THROW((void)run_campaign_service(changed), ConfigError);
+  changed = spec;
+  changed.samples += 2;
+  EXPECT_THROW((void)run_campaign_service(changed), ConfigError);
+
+  // Supervision/sharding knobs may change freely between resumes.
+  CampaignSpec resharded = spec;
+  resharded.shards = 2;
+  resharded.max_restarts = 5;
+  const ServiceResult resumed = run_campaign_service(resharded);
+  EXPECT_EQ(resumed.cases_resumed, 6u);
   EXPECT_EQ(resumed.report, reference_report(spec));
 }
 
