@@ -23,6 +23,7 @@
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
+#include "service/queue.h"
 #include "service/supervisor.h"
 #include "spice/ac_solver.h"
 #include "spice/circuit.h"
@@ -519,11 +520,81 @@ ServiceTiming bench_service_sharding() {
   return t;
 }
 
+// Multi-job queue throughput (DESIGN.md §14): N campaigns run back-to-
+// back directly vs submitted to the job queue and drained by one
+// coordinator with a shared worker fleet.  `identical` demands byte
+// equality of every queued report against its direct run -- fleet
+// sharing must not leak into results.  The queued side overlaps the
+// campaigns, so it gains roughly the parallelism the fleet cap allows,
+// minus the queue's claim/fsync bookkeeping.
+struct QueueTiming {
+  std::string name;
+  std::size_t jobs = 0;
+  double direct_ms = 0.0;
+  double queued_ms = 0.0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return queued_ms > 0.0 ? direct_ms / queued_ms : 0.0;
+  }
+};
+
+QueueTiming bench_queue_throughput() {
+  namespace fs = std::filesystem;
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  auto spec_for = [](std::uint64_t seed) {
+    service::CampaignSpec spec;
+    spec.kind = service::CampaignKind::Tolerance;
+    spec.samples = 24;
+    spec.seed = seed;
+    return spec;
+  };
+
+  QueueTiming t;
+  t.name = "tolerance_queue";
+  t.jobs = seeds.size();
+  const int fleet = std::thread::hardware_concurrency() > 1 ? 2 : 1;
+
+  fs::remove_all("artifacts/bench_queue_direct");
+  std::vector<std::string> direct_reports;
+  t.direct_ms = time_ms([&] {
+    for (const std::uint64_t seed : seeds) {
+      service::CampaignSpec spec = spec_for(seed);
+      spec.checkpoint_dir = "artifacts/bench_queue_direct/" + std::to_string(seed);
+      direct_reports.push_back(run_campaign_service(spec).report);
+    }
+  });
+
+  fs::remove_all("artifacts/bench_queue");
+  service::JobQueue queue("artifacts/bench_queue");
+  t.queued_ms = time_ms([&] {
+    for (const std::uint64_t seed : seeds) {
+      (void)queue.submit(spec_for(seed), 0, "s" + std::to_string(seed));
+    }
+    service::QueueCoordinatorOptions options;
+    options.max_parallel_jobs = fleet;
+    options.shard_slots = fleet;
+    options.poll_ms = 5;
+    (void)run_queue_coordinator(queue, options);
+  });
+
+  const std::vector<service::JobRecord> jobs = queue.list();
+  t.identical = jobs.size() == seeds.size();
+  for (std::size_t i = 0; i < jobs.size() && t.identical; ++i) {
+    const std::optional<std::string> report = queue.report(jobs[i]);
+    t.identical = report.has_value() && *report == direct_reports[i];
+  }
+  fs::remove_all("artifacts/bench_queue_direct");
+  fs::remove_all("artifacts/bench_queue");
+  return t;
+}
+
 void write_json(const std::string& path, const std::vector<CampaignTiming>& timings,
                 const std::vector<TransientTiming>& transients,
                 const std::vector<AdaptiveTiming>& adaptives,
                 const std::vector<BatchedTiming>& batched,
-                const std::vector<ServiceTiming>& services) {
+                const std::vector<ServiceTiming>& services,
+                const std::vector<QueueTiming>& queues) {
   std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"bench_perf_campaigns\",\n"
@@ -615,6 +686,18 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"identical_reports\": " << (t.identical ? "true" : "false") << "\n"
         << "    }" << (i + 1 < services.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"queue\": [\n";
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const QueueTiming& t = queues[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"jobs\": " << t.jobs << ",\n"
+        << "      \"direct_ms\": " << t.direct_ms << ",\n"
+        << "      \"queued_ms\": " << t.queued_ms << ",\n"
+        << "      \"speedup\": " << t.speedup() << ",\n"
+        << "      \"identical_reports\": " << (t.identical ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < queues.size() ? "," : "") << "\n";
+  }
   out << "  ],\n";
 
   // Telemetry: a flat phase->milliseconds map (the drift checker's
@@ -647,6 +730,10 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
   for (const ServiceTiming& t : services) {
     phase(t.name + ".single_process", t.single_ms);
     phase(t.name + ".sharded", t.sharded_ms);
+  }
+  for (const QueueTiming& t : queues) {
+    phase(t.name + ".direct", t.direct_ms);
+    phase(t.name + ".queued", t.queued_ms);
   }
   out << "\n    },\n"
       << "    \"metrics_enabled\": " << (obs::metrics_enabled() ? "true" : "false") << ",\n"
@@ -728,6 +815,17 @@ int main(int argc, char** argv) {
   }
   stable.print(std::cout);
 
+  std::cout << "\n=== Job queue: direct back-to-back vs shared-fleet drain ===\n\n";
+  const std::vector<QueueTiming> queues = {bench_queue_throughput()};
+  TablePrinter qtable({"workload", "jobs", "direct [ms]", "queued [ms]", "speedup",
+                       "identical"});
+  for (const QueueTiming& t : queues) {
+    qtable.add_values(t.name, t.jobs, format_significant(t.direct_ms, 4),
+                      format_significant(t.queued_ms, 4), format_significant(t.speedup(), 3),
+                      t.identical);
+  }
+  qtable.print(std::cout);
+
   // Fixed-vs-adaptive A/B (skip with LCOSC_ADAPTIVE=0, e.g. to time the
   // classic sections alone; the drift checker tolerates missing phases).
   std::vector<AdaptiveTiming> adaptives;
@@ -747,7 +845,8 @@ int main(int argc, char** argv) {
     atable.print(std::cout);
   }
 
-  write_json("BENCH_campaigns.json", timings, transients, adaptives, batched, services);
+  write_json("BENCH_campaigns.json", timings, transients, adaptives, batched, services,
+             queues);
   if (obs::trace_enabled()) {
     obs::write_chrome_trace("artifacts/trace_campaigns.json");
     std::cout << "\n(trace: artifacts/trace_campaigns.json, "
@@ -768,6 +867,9 @@ int main(int argc, char** argv) {
             << "    results while sharing work across variants;\n"
             << "  - identical=true on the service row: sharding the campaign across\n"
             << "    worker subprocesses (fork/exec + checkpoint fsync per case)\n"
-            << "    reproduces the single-process report byte for byte.\n";
+            << "    reproduces the single-process report byte for byte;\n"
+            << "  - identical=true on the queue row: draining prioritized jobs\n"
+            << "    through the shared-fleet coordinator reproduces each job's\n"
+            << "    back-to-back direct report byte for byte.\n";
   return 0;
 }

@@ -1,24 +1,37 @@
-// Sharded campaign service CLI (DESIGN.md §13, README "Running
-// campaigns as a service").  Runs a campaign spec across worker
-// subprocesses with checkpointed resume: kill it (or its workers) at any
-// point, re-run the same command, and the finished report is
-// byte-identical to an uninterrupted single-process run.
+// Sharded campaign service CLI (DESIGN.md §13–14, README "Running
+// campaigns as a service" / "Submitting jobs to the queue").
+//
+// Direct mode (no subcommand) runs one spec to completion with
+// checkpointed resume, exactly as before:
 //
 //   campaign_service --spec job.json            # run / resume from a spec file
 //   campaign_service --kind tolerance --samples 96 --shards 4
 //       --checkpoint-dir /tmp/tol --report /tmp/tol/report.txt
 //
+// Queue mode layers a persistent multi-job queue on the same supervisor:
+//
+//   campaign_service submit --queue Q --kind tolerance --samples 96 --shards 2
+//   campaign_service submit --queue Q --spec tmpl.json --sweep seed=1,2,3 --priority 5
+//   campaign_service serve  --queue Q --shard-slots 4      # run until drained
+//   campaign_service list   --queue Q
+//   campaign_service status --queue Q 000001
+//   campaign_service result --queue Q 000001 > report.txt
+//   campaign_service cancel --queue Q 000002
+//
 // The same binary doubles as the shard worker: the coordinator re-execs
 // it with --lcosc-shard flags, which maybe_run_shard() intercepts first
 // thing in main().
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/cli_parse.h"
+#include "service/queue.h"
 #include "service/supervisor.h"
 
 using namespace lcosc;
@@ -27,15 +40,289 @@ using namespace lcosc::service;
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--spec FILE] [--kind tolerance|fmea|internal_fmea]\n"
-               "          [--samples N] [--seed N] [--shards N] [--workers-per-shard N]\n"
-               "          [--max-restarts N] [--shard-timeout-ms MS]\n"
-               "          --checkpoint-dir DIR [--report FILE] [--quiet]\n"
-               "\nFlags override values from --spec.  Re-running with the same\n"
-               "checkpoint directory resumes: finished cases are never recomputed.\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--spec FILE] [--kind tolerance|fmea|internal_fmea]\n"
+      "          [--samples N] [--seed N] [--shards N] [--workers-per-shard N]\n"
+      "          [--max-restarts N] [--shard-timeout-ms MS]\n"
+      "          --checkpoint-dir DIR [--report FILE] [--quiet]\n"
+      "   or: %s submit --queue DIR [spec flags] [--priority N] [--name S]\n"
+      "          [--sweep KEY=V1,V2,...]\n"
+      "   or: %s serve --queue DIR [--shard-slots N] [--max-parallel-jobs N]\n"
+      "          [--follow] [--quiet]\n"
+      "   or: %s list|status|result|cancel --queue DIR [JOB]\n"
+      "\nFlags override values from --spec.  Re-running with the same\n"
+      "checkpoint directory resumes: finished cases are never recomputed.\n",
+      argv0, argv0, argv0, argv0);
   return 2;
+}
+
+// Spec flags shared by direct mode and `submit`; returns false when the
+// flag is not a spec flag (so each mode layers its own flags on top).
+bool handle_spec_flag(CampaignSpec& spec, const std::string& arg,
+                      const std::function<std::string()>& value) {
+  if (arg == "--spec") {
+    std::ifstream in(value());
+    if (!in) throw ConfigError("cannot read spec file");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    spec = parse_campaign_spec(buffer.str());
+  } else if (arg == "--kind") {
+    spec.kind = parse_campaign_kind(value());
+  } else if (arg == "--samples") {
+    spec.samples = parse_cli_int(arg, value());
+  } else if (arg == "--seed") {
+    spec.seed = parse_cli_u64(arg, value());
+  } else if (arg == "--shards") {
+    spec.shards = parse_cli_int(arg, value());
+  } else if (arg == "--workers-per-shard") {
+    spec.workers_per_shard = parse_cli_int(arg, value());
+  } else if (arg == "--max-restarts") {
+    spec.max_restarts = parse_cli_int(arg, value());
+  } else if (arg == "--shard-timeout-ms") {
+    spec.shard_timeout_ms = parse_cli_double(arg, value());
+  } else if (arg == "--checkpoint-dir") {
+    spec.checkpoint_dir = value();
+  } else if (arg == "--report") {
+    spec.report_path = value();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void print_progress(const JobQueue& queue, const JobRecord& job) {
+  try {
+    const JobProgress progress = queue.progress(job);
+    std::cout << "progress : " << progress.cases_done << "/" << progress.cases_total
+              << " cases checkpointed\n";
+    for (const JobProgress::Shard& shard : progress.shards) {
+      std::cout << "shard " << shard.index << "  : [" << shard.range.begin << ", "
+                << shard.range.end << ") " << shard.done << "/" << shard.range.size()
+                << " done\n";
+    }
+  } catch (const std::exception& e) {
+    std::cout << "progress : unavailable (" << e.what() << ")\n";
+  }
+}
+
+int cmd_submit(JobQueue& queue, CampaignSpec& spec, int priority, const std::string& name,
+               const std::string& sweep) {
+  std::vector<JobRecord> jobs;
+  if (sweep.empty()) {
+    jobs.push_back(queue.submit(spec, priority, name));
+  } else {
+    const std::size_t eq = sweep.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= sweep.size()) {
+      throw ConfigError("--sweep wants KEY=V1,V2,... , got '" + sweep + "'");
+    }
+    const std::string key = sweep.substr(0, eq);
+    std::vector<std::string> values;
+    std::stringstream list(sweep.substr(eq + 1));
+    std::string value;
+    while (std::getline(list, value, ',')) {
+      if (!value.empty()) values.push_back(value);
+    }
+    if (values.empty()) throw ConfigError("--sweep has no values");
+    jobs = queue.submit_sweep(spec, key, values, priority, name);
+  }
+  for (const JobRecord& job : jobs) {
+    std::cout << "submitted " << job.id << " (priority " << job.priority << ")\n";
+  }
+  return 0;
+}
+
+int cmd_list(const JobQueue& queue) {
+  const std::vector<JobRecord> jobs = queue.list();
+  if (jobs.empty()) {
+    std::cout << "queue is empty\n";
+    return 0;
+  }
+  std::printf("%-24s %-10s %8s %5s %6s  %s\n", "JOB", "STATE", "PRIORITY", "RUNS",
+              "CANCEL", "ERROR");
+  for (const JobRecord& job : jobs) {
+    std::printf("%-24s %-10s %8d %5d %6s  %s\n", job.id.c_str(),
+                to_string(job.state).c_str(), job.priority, job.runs,
+                job.cancel_requested ? "yes" : "", job.error.c_str());
+  }
+  return 0;
+}
+
+int cmd_status(const JobQueue& queue, const std::string& id) {
+  const std::optional<JobRecord> job = queue.find(id);
+  if (!job) {
+    std::fprintf(stderr, "no job '%s'\n", id.c_str());
+    return 1;
+  }
+  std::cout << "job      : " << job->id << "\n"
+            << "state    : " << to_string(job->state)
+            << (job->cancel_requested && !job->terminal() ? " (cancel requested)" : "")
+            << "\n"
+            << "priority : " << job->priority << "\n"
+            << "runs     : " << job->runs << "\n";
+  if (job->run_order >= 0) std::cout << "run order: " << job->run_order << "\n";
+  if (!job->error.empty()) std::cout << "error    : " << job->error << "\n";
+  print_progress(queue, *job);
+  std::ifstream stream(job->progress_path);
+  if (stream) {
+    std::cout << "last coordinator snapshot (progress.json):\n" << stream.rdbuf();
+  }
+  return 0;
+}
+
+int cmd_result(const JobQueue& queue, const std::string& id) {
+  const std::optional<JobRecord> job = queue.find(id);
+  if (!job) {
+    std::fprintf(stderr, "no job '%s'\n", id.c_str());
+    return 1;
+  }
+  const std::optional<std::string> report = queue.report(*job);
+  if (!report) {
+    std::fprintf(stderr, "job %s has no report yet (state %s)\n", job->id.c_str(),
+                 to_string(job->state).c_str());
+    return 1;
+  }
+  std::cout << *report;
+  return 0;
+}
+
+int cmd_cancel(JobQueue& queue, const std::string& id) {
+  if (!queue.cancel(id)) {
+    std::fprintf(stderr, "cannot cancel '%s' (unknown or already terminal)\n", id.c_str());
+    return 1;
+  }
+  std::cout << "cancel requested for " << id << "\n";
+  return 0;
+}
+
+int cmd_serve(JobQueue& queue, const QueueCoordinatorOptions& options) {
+  const QueueCoordinatorResult result = run_queue_coordinator(queue, options);
+  std::cout << "queue drained: " << result.jobs_done << " done, " << result.jobs_failed
+            << " failed, " << result.jobs_cancelled << " cancelled\n";
+  return result.jobs_failed > 0 ? 1 : 0;
+}
+
+int run_queue_command(int argc, char** argv) {
+  const std::string command = argv[1];
+  CampaignSpec spec;
+  QueueCoordinatorOptions serve_options;
+  serve_options.verbose = true;
+  std::string queue_root;
+  std::string job_id;
+  std::string name;
+  std::string sweep;
+  int priority = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--queue") {
+      queue_root = value();
+    } else if (arg == "--quiet") {
+      serve_options.verbose = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (command == "submit" && handle_spec_flag(spec, arg, value)) {
+      // spec flag consumed
+    } else if (command == "submit" && arg == "--priority") {
+      priority = parse_cli_int(arg, value());
+    } else if (command == "submit" && arg == "--name") {
+      name = value();
+    } else if (command == "submit" && arg == "--sweep") {
+      sweep = value();
+    } else if (command == "serve" && arg == "--shard-slots") {
+      serve_options.shard_slots = parse_cli_int(arg, value());
+    } else if (command == "serve" && arg == "--max-parallel-jobs") {
+      serve_options.max_parallel_jobs = parse_cli_int(arg, value());
+    } else if (command == "serve" && arg == "--poll-ms") {
+      serve_options.poll_ms = parse_cli_int(arg, value());
+    } else if (command == "serve" && arg == "--follow") {
+      serve_options.drain_and_exit = false;
+    } else if (arg[0] != '-' && job_id.empty()) {
+      job_id = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag %s for '%s'\n", arg.c_str(), command.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (queue_root.empty()) {
+    std::fprintf(stderr, "--queue is required\n");
+    return usage(argv[0]);
+  }
+
+  JobQueue queue(queue_root);
+  if (command == "submit") return cmd_submit(queue, spec, priority, name, sweep);
+  if (command == "list") return cmd_list(queue);
+  if (command == "serve") return cmd_serve(queue, serve_options);
+  if (command == "status" || command == "result" || command == "cancel") {
+    if (job_id.empty()) {
+      std::fprintf(stderr, "'%s' needs a job id\n", command.c_str());
+      return usage(argv[0]);
+    }
+    if (command == "status") return cmd_status(queue, job_id);
+    if (command == "result") return cmd_result(queue, job_id);
+    return cmd_cancel(queue, job_id);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return usage(argv[0]);
+}
+
+int run_direct(int argc, char** argv) {
+  CampaignSpec spec;
+  ServiceOptions options;
+  options.verbose = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
+      return argv[++i];
+    };
+    if (handle_spec_flag(spec, arg, value)) {
+      continue;
+    }
+    if (arg == "--quiet") {
+      options.verbose = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (spec.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--checkpoint-dir is required\n");
+    return usage(argv[0]);
+  }
+
+  const ServiceResult result = run_campaign_service(spec, options);
+
+  std::cout << result.report;
+  std::cout << "\n--- service summary ---\n";
+  std::cout << "campaign       : " << to_string(spec.kind) << " (" << result.cases_total
+            << " cases, " << spec.shards << " shard" << (spec.shards == 1 ? "" : "s")
+            << ")\n";
+  std::cout << "resumed        : " << result.cases_resumed << " cases from checkpoints\n";
+  for (const ShardStatus& shard : result.shards) {
+    std::cout << "shard " << shard.index << "        : cases [" << shard.range.begin << ", "
+              << shard.range.end << "), " << shard.cases_computed << " computed, "
+              << shard.spawns << " spawn(s), " << shard.restarts << " restart(s), "
+              << shard.timeouts << " timeout(s), "
+              << (shard.ok ? "ok" : "FAILED PERMANENTLY") << "\n";
+  }
+  if (result.degraded()) {
+    std::cout << "DEGRADED       : " << result.cases_failed
+              << " case(s) reported as SimulationError rows\n";
+    return 1;
+  }
+  std::cout << "status         : complete\n";
+  if (!spec.report_path.empty()) {
+    std::cout << "report written : " << spec.report_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -44,89 +331,10 @@ int main(int argc, char** argv) {
   // Worker mode: the coordinator re-execs this binary with --lcosc-shard.
   if (const auto shard_exit = maybe_run_shard(argc, argv)) return *shard_exit;
 
-  CampaignSpec spec;
-  ServiceOptions options;
-  options.verbose = true;
-
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto value = [&]() -> std::string {
-        if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
-        return argv[++i];
-      };
-      if (arg == "--spec") {
-        std::ifstream in(value());
-        if (!in) throw ConfigError("cannot read spec file");
-        std::stringstream buffer;
-        buffer << in.rdbuf();
-        spec = parse_campaign_spec(buffer.str());
-      } else if (arg == "--kind") {
-        const std::string kind = value();
-        if (kind == "tolerance") {
-          spec.kind = CampaignKind::Tolerance;
-        } else if (kind == "fmea") {
-          spec.kind = CampaignKind::ExternalFmea;
-        } else if (kind == "internal_fmea") {
-          spec.kind = CampaignKind::InternalFmea;
-        } else {
-          throw ConfigError("unknown campaign kind " + kind);
-        }
-      } else if (arg == "--samples") {
-        spec.samples = std::atoi(value().c_str());
-      } else if (arg == "--seed") {
-        spec.seed = std::strtoull(value().c_str(), nullptr, 10);
-      } else if (arg == "--shards") {
-        spec.shards = std::atoi(value().c_str());
-      } else if (arg == "--workers-per-shard") {
-        spec.workers_per_shard = std::atoi(value().c_str());
-      } else if (arg == "--max-restarts") {
-        spec.max_restarts = std::atoi(value().c_str());
-      } else if (arg == "--shard-timeout-ms") {
-        spec.shard_timeout_ms = std::atof(value().c_str());
-      } else if (arg == "--checkpoint-dir") {
-        spec.checkpoint_dir = value();
-      } else if (arg == "--report") {
-        spec.report_path = value();
-      } else if (arg == "--quiet") {
-        options.verbose = false;
-      } else if (arg == "--help" || arg == "-h") {
-        return usage(argv[0]);
-      } else {
-        std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
-        return usage(argv[0]);
-      }
-    }
-    if (spec.checkpoint_dir.empty()) {
-      std::fprintf(stderr, "--checkpoint-dir is required\n");
-      return usage(argv[0]);
-    }
-
-    const ServiceResult result = run_campaign_service(spec, options);
-
-    std::cout << result.report;
-    std::cout << "\n--- service summary ---\n";
-    std::cout << "campaign       : " << to_string(spec.kind) << " (" << result.cases_total
-              << " cases, " << spec.shards << " shard" << (spec.shards == 1 ? "" : "s")
-              << ")\n";
-    std::cout << "resumed        : " << result.cases_resumed << " cases from checkpoints\n";
-    for (const ShardStatus& shard : result.shards) {
-      std::cout << "shard " << shard.index << "        : cases [" << shard.range.begin << ", "
-                << shard.range.end << "), " << shard.cases_computed << " computed, "
-                << shard.spawns << " spawn(s), " << shard.restarts << " restart(s), "
-                << shard.timeouts << " timeout(s), "
-                << (shard.ok ? "ok" : "FAILED PERMANENTLY") << "\n";
-    }
-    if (result.degraded()) {
-      std::cout << "DEGRADED       : " << result.cases_failed
-                << " case(s) reported as SimulationError rows\n";
-      return 1;
-    }
-    std::cout << "status         : complete\n";
-    if (!spec.report_path.empty()) {
-      std::cout << "report written : " << spec.report_path << "\n";
-    }
-    return 0;
+    // A first argument that is not a flag selects queue mode.
+    if (argc > 1 && argv[1][0] != '-') return run_queue_command(argc, argv);
+    return run_direct(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_service: %s\n", e.what());
     return 2;

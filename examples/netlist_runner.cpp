@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli_parse.h"
 #include "common/error.h"
 #include "common/si_format.h"
 #include "common/table_printer.h"
@@ -138,20 +139,27 @@ int main(int argc, char** argv) {
     const std::string& mode = args[1];
     if (mode == "dc") return run_dc(*circuit);
     if (mode == "sweep" && args.size() >= 6) {
-      return run_sweep(*circuit, args[2], std::stod(args[3]), std::stod(args[4]),
-                       std::stoi(args[5]), {args.begin() + 6, args.end()});
+      return run_sweep(*circuit, args[2], parse_cli_double("<from>", args[3]),
+                       parse_cli_double("<to>", args[4]), parse_cli_int("<points>", args[5]),
+                       {args.begin() + 6, args.end()});
     }
     if (mode == "ac" && args.size() >= 6) {
-      return run_ac(*circuit, std::stod(args[2]), std::stod(args[3]), std::stoi(args[4]),
+      return run_ac(*circuit, parse_cli_double("<f_lo>", args[2]),
+                    parse_cli_double("<f_hi>", args[3]), parse_cli_int("<points>", args[4]),
                     args[5]);
     }
     if (mode == "tran" && args.size() >= 5) {
-      return run_tran(*circuit, std::stod(args[2]), std::stod(args[3]),
-                      {args.begin() + 4, args.end()});
+      return run_tran(*circuit, parse_cli_double("<t_stop>", args[2]),
+                      parse_cli_double("<dt>", args[3]), {args.begin() + 4, args.end()});
     }
     std::cerr << "unrecognized or incomplete command\n";
     return 2;
-  } catch (const Error& e) {
+  } catch (const ConfigError& e) {
+    // Mistyped command-line numbers and netlist syntax errors are usage
+    // errors, not solver failures.
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

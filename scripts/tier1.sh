@@ -49,7 +49,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   # the fault-injection, campaign and batched-lockstep binaries.  (-R must
   # precede the bare -j or ctest parses it as the job count.)
   ctest --output-on-failure \
-    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|Service)' -j
+    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|NumericNameLess|Service|Queue)' -j
   exit 0
 fi
 
@@ -65,7 +65,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure \
-    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|Service)' -j
+    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|NumericNameLess|Service|Queue)' -j
   exit 0
 fi
 
@@ -126,3 +126,35 @@ rm -f "$smoke_dir/run_report.txt"
   --checkpoint-dir "$smoke_dir/run" --report "$smoke_dir/run_report.txt" --quiet >/dev/null
 cmp "$smoke_dir/ref_report.txt" "$smoke_dir/run_report.txt"
 echo "service kill/resume smoke: report byte-identical to the single-process run"
+
+# Smoke step: multi-job campaign queue (DESIGN.md §14).  Submit two jobs
+# at different priorities, kill -9 the draining coordinator mid-run,
+# re-serve to drain the queue, and require both finished reports to be
+# byte-identical to solo runs of the same specs.  (On a fast host the
+# first drain may finish before the kill; the resume is then a no-op and
+# the byte comparison still gates the contract.)
+qdir="$smoke_dir/queue"
+"$svc" submit --queue "$qdir" --kind tolerance --samples 48 --seed 5 --shards 2 \
+  --name a --priority 1 >/dev/null
+"$svc" submit --queue "$qdir" --kind tolerance --samples 48 --seed 6 --shards 2 \
+  --name b --priority 5 >/dev/null
+"$svc" serve --queue "$qdir" --quiet >/dev/null 2>&1 &
+coord=$!
+# Wait until some checkpointed work exists, so the kill lands mid-queue.
+for _ in $(seq 1 200); do
+  if ls "$qdir"/jobs/*/checkpoints/*.ckpt >/dev/null 2>&1; then break; fi
+  sleep 0.01
+done
+kill -9 "$coord" 2>/dev/null || true
+wait "$coord" 2>/dev/null || true
+# Reap any orphaned worker before resuming.
+pkill -9 -f -- "--lcosc-spec $qdir" 2>/dev/null || true
+
+"$svc" serve --queue "$qdir" --quiet >/dev/null
+"$svc" --kind tolerance --samples 48 --seed 5 --shards 1 \
+  --checkpoint-dir "$smoke_dir/qref_a" --report "$smoke_dir/qref_a.txt" --quiet >/dev/null
+"$svc" --kind tolerance --samples 48 --seed 6 --shards 1 \
+  --checkpoint-dir "$smoke_dir/qref_b" --report "$smoke_dir/qref_b.txt" --quiet >/dev/null
+"$svc" result --queue "$qdir" 000001-a | cmp - "$smoke_dir/qref_a.txt"
+"$svc" result --queue "$qdir" 000002-b | cmp - "$smoke_dir/qref_b.txt"
+echo "queue kill/resume smoke: both reports byte-identical to solo runs"

@@ -130,6 +130,16 @@ class ShardableCampaign {
                                                  const std::string& message) const = 0;
   // Render the final report from case_count() records in index order.
   [[nodiscard]] virtual std::string report(const std::vector<std::string>& records) const = 0;
+
+  // True when `record` carries a degraded SimulationError row (the shape
+  // error_record() synthesizes).  The checkpoint merge uses this to let a
+  // real record supersede a degraded one for the same case index when
+  // both survive in the checkpoint directory (e.g. a shard that recorded
+  // the failure before a resumed layout computed the case for real).
+  [[nodiscard]] virtual bool is_error_record(const std::string& record) const {
+    (void)record;
+    return false;
+  }
 };
 
 }  // namespace lcosc

@@ -1,0 +1,69 @@
+#include "common/cli_parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.h"
+
+namespace lcosc {
+
+namespace {
+
+// Shared shape of every strict parse: non-empty, whole-string consumption
+// (strtol* skip leading whitespace; trailing bytes are the typo we are
+// here to catch), and no range overflow.
+template <typename Value, typename Parse>
+Value parse_whole(const std::string& what, const std::string& text, Parse&& parse,
+                  const char* kind) {
+  errno = 0;
+  char* end = nullptr;
+  const Value value = parse(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0') {
+    throw ConfigError(what + ": '" + text + "' is not " + kind);
+  }
+  if (errno == ERANGE) {
+    throw ConfigError(what + ": '" + text + "' is out of range");
+  }
+  return value;
+}
+
+}  // namespace
+
+long long parse_cli_ll(const std::string& what, const std::string& text) {
+  return parse_whole<long long>(
+      what, text, [](const char* s, char** end) { return std::strtoll(s, end, 10); },
+      "an integer");
+}
+
+int parse_cli_int(const std::string& what, const std::string& text) {
+  const long long value = parse_cli_ll(what, text);
+  if (value < std::numeric_limits<int>::min() || value > std::numeric_limits<int>::max()) {
+    throw ConfigError(what + ": '" + text + "' is out of range");
+  }
+  return static_cast<int>(value);
+}
+
+std::uint64_t parse_cli_u64(const std::string& what, const std::string& text) {
+  // strtoull silently wraps negative input ("-1" -> 2^64-1); reject the
+  // sign up front.
+  if (!text.empty() && text.find('-') != std::string::npos) {
+    throw ConfigError(what + ": '" + text + "' is not a non-negative integer");
+  }
+  return parse_whole<unsigned long long>(
+      what, text, [](const char* s, char** end) { return std::strtoull(s, end, 10); },
+      "a non-negative integer");
+}
+
+double parse_cli_double(const std::string& what, const std::string& text) {
+  const double value = parse_whole<double>(
+      what, text, [](const char* s, char** end) { return std::strtod(s, end); },
+      "a number");
+  if (!std::isfinite(value)) {
+    throw ConfigError(what + ": '" + text + "' is not a finite number");
+  }
+  return value;
+}
+
+}  // namespace lcosc

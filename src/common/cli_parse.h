@@ -1,0 +1,23 @@
+// Strict command-line number parsing.  atoi/atof and bare strtoull turn
+// a typo ("--samples 4B") into a silent 0, and std::stod/std::stoi throw
+// std::invalid_argument straight through main (std::terminate on an
+// uncaught path) -- either way a mistyped flag becomes a wrong run or a
+// crash instead of a usage error.  These helpers accept a value only when
+// the WHOLE string parses (endptr at the terminator, errno clear, value
+// in range, doubles finite) and throw lcosc::ConfigError naming the flag
+// otherwise, so every CLI rejects garbage with a readable message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lcosc {
+
+// `what` names the value in error messages, e.g. "--samples" or "t_stop".
+[[nodiscard]] int parse_cli_int(const std::string& what, const std::string& text);
+[[nodiscard]] long long parse_cli_ll(const std::string& what, const std::string& text);
+[[nodiscard]] std::uint64_t parse_cli_u64(const std::string& what, const std::string& text);
+// Finite doubles only (rejects "nan"/"inf": no CLI knob here wants them).
+[[nodiscard]] double parse_cli_double(const std::string& what, const std::string& text);
+
+}  // namespace lcosc

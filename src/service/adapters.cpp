@@ -157,6 +157,10 @@ class ToleranceCampaign final : public ShardableCampaign {
     return encode(sample);
   }
 
+  [[nodiscard]] bool is_error_record(const std::string& record) const override {
+    return decode(record).status.outcome == CaseOutcome::SimulationError;
+  }
+
   [[nodiscard]] std::string report(const std::vector<std::string>& records) const override {
     system::ToleranceReport rep;
     rep.samples.reserve(records.size());
@@ -323,6 +327,10 @@ class ExternalFmeaCampaign final : public ShardableCampaign {
     return encode_fmea_fields(f);
   }
 
+  [[nodiscard]] bool is_error_record(const std::string& record) const override {
+    return decode_fmea_fields(record).status.outcome == CaseOutcome::SimulationError;
+  }
+
   [[nodiscard]] std::string report(const std::vector<std::string>& records) const override {
     const std::vector<tank::TankFault> faults = system::fmea_fault_list();
     system::FmeaReport rep;
@@ -407,6 +415,10 @@ class InternalFmeaCampaign final : public ShardableCampaign {
     f.status.outcome = CaseOutcome::SimulationError;
     f.status.error = message;
     return encode_fmea_fields(f);
+  }
+
+  [[nodiscard]] bool is_error_record(const std::string& record) const override {
+    return decode_fmea_fields(record).status.outcome == CaseOutcome::SimulationError;
   }
 
   [[nodiscard]] std::string report(const std::vector<std::string>& records) const override {

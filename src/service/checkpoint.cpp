@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -64,6 +66,66 @@ std::uint32_t crc32(const void* data, std::size_t size) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < size; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   return crc ^ 0xFFFFFFFFu;
+}
+
+bool numeric_name_less(std::string_view a, std::string_view b) {
+  const auto is_digit = [](char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (is_digit(a[i]) && is_digit(b[j])) {
+      // Compare the two digit runs by value: strip leading zeros, then a
+      // longer run is larger, and equal-length runs compare bytewise.
+      std::size_t ia = i;
+      std::size_t jb = j;
+      while (ia < a.size() && a[ia] == '0') ++ia;
+      while (jb < b.size() && b[jb] == '0') ++jb;
+      std::size_t ea = ia;
+      std::size_t eb = jb;
+      while (ea < a.size() && is_digit(a[ea])) ++ea;
+      while (eb < b.size() && is_digit(b[eb])) ++eb;
+      const std::string_view da = a.substr(ia, ea - ia);
+      const std::string_view db = b.substr(jb, eb - jb);
+      if (da.size() != db.size()) return da.size() < db.size();
+      if (da != db) return da < db;
+      i = ea;
+      j = eb;
+    } else {
+      if (a[i] != b[j]) return a[i] < b[j];
+      ++i;
+      ++j;
+    }
+  }
+  if (a.size() - i != b.size() - j) return a.size() - i < b.size() - j;
+  // Numerically-equal names (leading zeros): bytewise compare keeps the
+  // order total so a merge is deterministic for any directory layout.
+  return a < b;
+}
+
+std::map<std::uint32_t, std::string> scan_checkpoint_dir(
+    const std::string& dir, const std::function<bool(const std::string&)>& is_degraded) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".ckpt") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end(), [](const std::string& a, const std::string& b) {
+    return numeric_name_less(a, b);
+  });
+
+  std::map<std::uint32_t, std::string> merged;
+  for (const std::string& file : files) {
+    for (CheckpointRecord& record : read_checkpoint(file).records) {
+      const auto it = merged.find(record.index);
+      if (it == merged.end()) {
+        merged.emplace(record.index, std::move(record.payload));
+      } else if (is_degraded && is_degraded(it->second) && !is_degraded(record.payload)) {
+        it->second = std::move(record.payload);
+      }
+    }
+  }
+  return merged;
 }
 
 CheckpointReadResult read_checkpoint(const std::string& path) {

@@ -16,6 +16,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +46,26 @@ struct CheckpointReadResult {
 // empty-and-clean (a fresh shard).  Corruption is not an error: reading
 // stops at the first bad frame and reports what survived.
 [[nodiscard]] CheckpointReadResult read_checkpoint(const std::string& path);
+
+// Numeric-aware file-name ordering: runs of digits compare by value, so
+// "shard_2_of_12.ckpt" sorts before "shard_10_of_12.ckpt" (a plain
+// lexical sort puts 10 before 2, which made first-wins resume merges
+// depend on the shard layout).  Non-digit runs compare bytewise; a full
+// bytewise compare breaks exact ties (e.g. leading zeros) so the order
+// is total and deterministic.
+[[nodiscard]] bool numeric_name_less(std::string_view a, std::string_view b);
+
+// Merge every fully-committed record of every *.ckpt file in `dir`,
+// keyed by absolute case index.  Files are visited in numeric_name_less
+// order of their names; within the resulting stream the FIRST record for
+// an index wins, EXCEPT that a later record replaces an earlier one the
+// `is_degraded` predicate flags (a shard that once recorded a degraded
+// SimulationError row must not shadow the real record another layout's
+// shard committed for the same index).  A null predicate means plain
+// first-wins.
+[[nodiscard]] std::map<std::uint32_t, std::string> scan_checkpoint_dir(
+    const std::string& dir,
+    const std::function<bool(const std::string&)>& is_degraded = {});
 
 // Append-only record writer.  Opening truncates the file to its valid
 // prefix (discarding any torn tail from a killed predecessor) and

@@ -1,0 +1,101 @@
+// Minimal single-pass parser for the flat JSON objects the service
+// persists (campaign specs, queue job records): string, number and
+// boolean values only, no nesting.  Strings support the full JSON escape
+// set (\" \\ \/ \n \t \r \b \f \uXXXX), enough to round-trip filesystem
+// paths with control characters; json_escape() is the matching emitter.
+// Shared by service/spec.cpp and service/queue.cpp so both sides of the
+// on-disk format agree on one grammar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lcosc::service {
+
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  // Calls visit(key, raw_value, is_string) per member.  Throws
+  // lcosc::ConfigError (prefixed with `context`) on malformed input or
+  // trailing bytes after the closing brace.
+  template <typename Visit>
+  void parse_object(Visit&& visit) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        skip_ws();
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        bool is_string = false;
+        std::string value;
+        const char c = peek();
+        if (c == '"') {
+          value = parse_string();
+          is_string = true;
+        } else if (c == 't' || c == 'f') {
+          value = parse_keyword();
+        } else if (c == '-' || is_digit(c)) {
+          value = parse_number();
+        } else {
+          fail("expected a string, number or boolean value");
+        }
+        visit(key, value, is_string);
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after the object");
+  }
+
+  // Error-message prefix, e.g. "campaign spec" or "queue job".
+  FlatJsonParser& context(std::string label) {
+    context_ = std::move(label);
+    return *this;
+  }
+
+ private:
+  static bool is_digit(char c);
+  [[noreturn]] void fail(const std::string& why) const;
+  char peek() const;
+  void expect(char c);
+  void skip_ws();
+  std::string parse_string();
+  unsigned parse_hex4();
+  void append_codepoint(std::string& out, unsigned cp);
+  std::string parse_keyword();
+  std::string parse_number();
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string context_ = "flat json";
+};
+
+// Escape `s` for embedding in a JSON string literal: quotes, backslash,
+// and every control character (so emitted files are valid JSON for
+// external tooling).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+// Strict scalar conversions shared by the spec and queue parsers; each
+// throws lcosc::ConfigError naming `key` on mismatch.
+[[nodiscard]] double json_to_number(const std::string& key, const std::string& raw);
+[[nodiscard]] int json_to_int(const std::string& key, const std::string& raw);
+[[nodiscard]] std::uint64_t json_to_u64(const std::string& key, const std::string& raw);
+[[nodiscard]] bool json_to_bool(const std::string& key, const std::string& raw,
+                                bool is_string);
+
+}  // namespace lcosc::service

@@ -1,14 +1,10 @@
 #include "service/spec.h"
 
-#include <cctype>
-#include <cerrno>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
-#include <string_view>
 
 #include "common/error.h"
+#include "service/flat_json.h"
 
 namespace lcosc::service {
 
@@ -24,235 +20,24 @@ std::string to_string(CampaignKind kind) {
   return "?";
 }
 
-namespace {
-
-// Minimal single-pass parser for the flat JSON object a spec is: string,
-// number and boolean values only.  Strings support \" \\ \/ \n \t
-// escapes -- enough to round-trip filesystem paths.
-class FlatJsonParser {
- public:
-  explicit FlatJsonParser(std::string_view text) : text_(text) {}
-
-  // Calls visit(key, raw_value, is_string) per member.
-  template <typename Visit>
-  void parse_object(Visit&& visit) {
-    skip_ws();
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-    } else {
-      while (true) {
-        skip_ws();
-        const std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        skip_ws();
-        bool is_string = false;
-        std::string value;
-        const char c = peek();
-        if (c == '"') {
-          value = parse_string();
-          is_string = true;
-        } else if (c == 't' || c == 'f') {
-          value = parse_keyword();
-        } else if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
-          value = parse_number();
-        } else {
-          fail("expected a string, number or boolean value");
-        }
-        visit(key, value, is_string);
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        break;
-      }
-    }
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after the spec object");
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw ConfigError("campaign spec: " + why + " (at byte " + std::to_string(pos_) + ")");
-  }
-  char peek() const {
-    if (pos_ >= text_.size()) {
-      throw ConfigError("campaign spec: unexpected end of input (truncated file?)");
-    }
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c == '\\') {
-        const char e = peek();
-        ++pos_;
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': append_codepoint(out, parse_hex4()); break;
-          default: fail("unsupported string escape");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-  }
-  unsigned parse_hex4() {
-    unsigned cp = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char c = peek();
-      ++pos_;
-      unsigned digit = 0;
-      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
-      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
-      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
-      else fail("expected four hex digits after \\u");
-      cp = cp * 16 + digit;
-    }
-    return cp;
-  }
-  void append_codepoint(std::string& out, unsigned cp) {
-    if (cp < 0x80) {
-      out.push_back(static_cast<char>(cp));
-    } else if (cp < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
-      // BMP only: surrogate pairs never appear in the specs we emit.
-      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    }
-  }
-  std::string parse_keyword() {
-    for (const std::string_view kw : {"true", "false"}) {
-      if (text_.substr(pos_, kw.size()) == kw) {
-        pos_ += kw.size();
-        return std::string(kw);
-      }
-    }
-    fail("expected true or false");
-  }
-  std::string parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a number");
-    return std::string(text_.substr(start, pos_ - start));
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-double to_number(const std::string& key, const std::string& raw) {
-  char* end = nullptr;
-  const double v = std::strtod(raw.c_str(), &end);
-  if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
-    throw ConfigError("campaign spec: key '" + key + "' is not a finite number");
-  }
-  return v;
+CampaignKind parse_campaign_kind(const std::string& name) {
+  if (name == "tolerance") return CampaignKind::Tolerance;
+  if (name == "fmea") return CampaignKind::ExternalFmea;
+  if (name == "internal_fmea") return CampaignKind::InternalFmea;
+  throw ConfigError("unknown campaign kind '" + name + "'");
 }
-
-int to_int(const std::string& key, const std::string& raw) {
-  const double v = to_number(key, raw);
-  if (v != std::floor(v)) {
-    throw ConfigError("campaign spec: key '" + key + "' must be an integer");
-  }
-  return static_cast<int>(v);
-}
-
-// Exact 64-bit parse: routing a seed through double would silently round
-// values above 2^53 (and cast UB above 2^63), giving re-parsing workers a
-// different seed than the coordinator.
-std::uint64_t to_u64(const std::string& key, const std::string& raw) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
-  if (raw.empty() || raw[0] == '-' || end == raw.c_str() || *end != '\0' ||
-      errno == ERANGE) {
-    throw ConfigError("campaign spec: key '" + key +
-                      "' must be a non-negative integer (64-bit)");
-  }
-  return v;
-}
-
-bool to_bool(const std::string& key, const std::string& raw, bool is_string) {
-  if (is_string || (raw != "true" && raw != "false")) {
-    throw ConfigError("campaign spec: key '" + key + "' must be true or false");
-  }
-  return raw == "true";
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 CampaignSpec parse_campaign_spec(const std::string& json_text) {
   CampaignSpec spec;
   FlatJsonParser parser(json_text);
+  parser.context("campaign spec");
   parser.parse_object([&](const std::string& key, const std::string& raw, bool is_string) {
-    auto num = [&] { return to_number(key, raw); };
-    auto integer = [&] { return to_int(key, raw); };
+    auto num = [&] { return json_to_number(key, raw); };
+    auto integer = [&] { return json_to_int(key, raw); };
     if (key == "campaign") {
-      if (raw == "tolerance") spec.kind = CampaignKind::Tolerance;
-      else if (raw == "fmea") spec.kind = CampaignKind::ExternalFmea;
-      else if (raw == "internal_fmea") spec.kind = CampaignKind::InternalFmea;
-      else throw ConfigError("campaign spec: unknown campaign kind '" + raw + "'");
+      spec.kind = parse_campaign_kind(raw);
     } else if (key == "seed") {
-      spec.seed = to_u64(key, raw);
+      spec.seed = json_to_u64(key, raw);
     } else if (key == "samples") {
       spec.samples = integer();
     } else if (key == "run_duration_ms") {
@@ -290,7 +75,7 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
     } else if (key == "test_kill_after_cases") {
       spec.test_kill_after_cases = integer();
     } else if (key == "test_stall_once") {
-      spec.test_stall_once = to_bool(key, raw, is_string);
+      spec.test_stall_once = json_to_bool(key, raw, is_string);
     } else {
       throw ConfigError("campaign spec: unknown key '" + key + "'");
     }

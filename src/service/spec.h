@@ -16,6 +16,8 @@ namespace lcosc::service {
 enum class CampaignKind { Tolerance, ExternalFmea, InternalFmea };
 
 [[nodiscard]] std::string to_string(CampaignKind kind);
+// Inverse of to_string; throws lcosc::ConfigError on an unknown name.
+[[nodiscard]] CampaignKind parse_campaign_kind(const std::string& name);
 
 struct CampaignSpec {
   CampaignKind kind = CampaignKind::Tolerance;

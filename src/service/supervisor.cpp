@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <climits>
@@ -20,6 +21,7 @@
 #include <thread>
 
 #include "common/atomic_file.h"
+#include "common/campaign.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "obs/event_log.h"
@@ -44,25 +46,16 @@ std::string spec_file_path(const CampaignSpec& spec) {
   return spec.checkpoint_dir + "/spec.json";
 }
 
-// All committed records in the checkpoint directory, first-wins by
-// sorted file name.  Scanning every *.ckpt (not just the current shard
-// layout's files) lets a resume with a different shard count inherit all
-// prior work: records carry absolute case indices, so the shard layout
-// that produced them is irrelevant.
-std::map<std::uint32_t, std::string> scan_checkpoints(const std::string& dir) {
-  std::map<std::uint32_t, std::string> merged;
-  std::error_code ec;
-  std::vector<std::string> files;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.path().extension() == ".ckpt") files.push_back(entry.path().string());
-  }
-  std::sort(files.begin(), files.end());
-  for (const std::string& file : files) {
-    for (CheckpointRecord& record : read_checkpoint(file).records) {
-      merged.emplace(record.index, std::move(record.payload));
-    }
-  }
-  return merged;
+// All committed records in the checkpoint directory.  Scanning every
+// *.ckpt (not just the current shard layout's files) lets a resume with
+// a different shard count inherit all prior work: records carry absolute
+// case indices, so the shard layout that produced them is irrelevant.
+// Files merge in numeric-aware name order with real records preferred
+// over degraded SimulationError rows (scan_checkpoint_dir).
+std::map<std::uint32_t, std::string> scan_checkpoints(const std::string& dir,
+                                                      const ShardableCampaign& campaign) {
+  return scan_checkpoint_dir(
+      dir, [&campaign](const std::string& record) { return campaign.is_error_record(record); });
 }
 
 void emit_shard_event(const char* action, int shard, long long pid, int detail = 0) {
@@ -74,6 +67,12 @@ void emit_shard_event(const char* action, int shard, long long pid, int detail =
 
 void count_metric(const char* name, std::uint64_t delta = 1) {
   if (obs::metrics_enabled()) obs::MetricsRegistry::instance().counter(name).add(delta);
+}
+
+void live_gauge_add(double delta) {
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::instance().gauge("service.shards.live").add(delta);
+  }
 }
 
 }  // namespace
@@ -110,7 +109,8 @@ void run_shard(const CampaignSpec& spec, int shard_index, int shard_count) {
 
   // Skip set: every case already committed by ANY checkpoint in the
   // directory (prior runs may have used a different shard count).
-  const std::map<std::uint32_t, std::string> done = scan_checkpoints(spec.checkpoint_dir);
+  const std::map<std::uint32_t, std::string> done =
+      scan_checkpoints(spec.checkpoint_dir, *campaign);
 
   CheckpointWriter writer(shard_checkpoint_path(spec, shard_index, shard_count));
 
@@ -199,17 +199,6 @@ std::optional<int> maybe_run_shard(int argc, char** argv) {
 
 namespace {
 
-enum class ShardPhase { Pending, Running, Backoff, Done, Failed };
-
-struct ShardRuntime {
-  ShardStatus status;
-  ShardPhase phase = ShardPhase::Pending;
-  pid_t pid = -1;
-  Clock::time_point spawned_at{};
-  Clock::time_point next_spawn{};
-  std::size_t checkpoint_records_before = 0;
-};
-
 std::string self_exe_path() {
   char buf[4096];
   const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
@@ -235,14 +224,15 @@ pid_t spawn_worker(const std::string& exe, int shard_index, int shard_count,
 
 }  // namespace
 
-ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOptions& options) {
-  LCOSC_REQUIRE(!spec.checkpoint_dir.empty(), "spec.checkpoint_dir is required");
+CampaignSupervisor::CampaignSupervisor(const CampaignSpec& spec, const ServiceOptions& options,
+                                       ShardSlotPool* slots)
+    : spec_(spec), options_(options), slots_(slots != nullptr ? slots : &unbounded_) {
+  LCOSC_REQUIRE(!spec_.checkpoint_dir.empty(), "spec.checkpoint_dir is required");
   std::error_code ec;
-  fs::create_directories(spec.checkpoint_dir, ec);
+  fs::create_directories(spec_.checkpoint_dir, ec);
 
-  const std::unique_ptr<ShardableCampaign> campaign = make_campaign(spec);
-  const std::size_t total = campaign->case_count();
-  const int shard_count = spec.shards;
+  campaign_ = make_campaign(spec_);
+  total_ = campaign_->case_count();
 
   // Persist the effective spec next to the checkpoints: the shard
   // workers re-exec from it, and a later resume invocation can point at
@@ -251,48 +241,46 @@ ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOption
   // under a different seed/samples/durations would silently merge stale
   // records into the new report.  (Sharding/supervision knobs may
   // change freely -- records carry absolute case indices.)
-  const std::string spec_path = spec_file_path(spec);
-  if (std::ifstream existing{spec_path}) {
+  spec_path_ = spec_file_path(spec_);
+  if (std::ifstream existing{spec_path_}) {
     std::stringstream buffer;
     buffer << existing.rdbuf();
     std::string prior_signature;
     try {
       prior_signature = determinism_signature(parse_campaign_spec(buffer.str()));
     } catch (const std::exception& e) {
-      throw ConfigError("checkpoint_dir holds an unreadable spec (" + spec_path +
+      throw ConfigError("checkpoint_dir holds an unreadable spec (" + spec_path_ +
                         "): " + e.what() +
                         "; delete the directory to start this campaign fresh");
     }
-    if (prior_signature != determinism_signature(spec)) {
+    if (prior_signature != determinism_signature(spec_)) {
       throw ConfigError(
           "checkpoint_dir was written under a different campaign spec (" +
-          prior_signature + " vs " + determinism_signature(spec) +
+          prior_signature + " vs " + determinism_signature(spec_) +
           "); resuming would merge stale records -- use a fresh checkpoint_dir "
-          "or delete " + spec.checkpoint_dir);
+          "or delete " + spec_.checkpoint_dir);
     }
   }
-  LCOSC_REQUIRE(write_file_atomic(spec_path, to_json(spec)),
-                "cannot write effective spec to " + spec_path);
+  LCOSC_REQUIRE(write_file_atomic(spec_path_, to_json(spec_)),
+                "cannot write effective spec to " + spec_path_);
 
-  const std::string exe = options.worker_exe.empty() ? self_exe_path() : options.worker_exe;
-
-  ServiceResult result;
-  result.cases_total = total;
+  exe_ = options_.worker_exe.empty() ? self_exe_path() : options_.worker_exe;
 
   // Resume set: work inherited from any prior run of this directory.
-  const std::map<std::uint32_t, std::string> prior = scan_checkpoints(spec.checkpoint_dir);
+  const std::map<std::uint32_t, std::string> prior =
+      scan_checkpoints(spec_.checkpoint_dir, *campaign_);
   for (const auto& [index, payload] : prior) {
     (void)payload;
-    if (index < total) ++result.cases_resumed;
+    if (index < total_) ++cases_resumed_;
   }
 
-  std::vector<ShardRuntime> shards(static_cast<std::size_t>(shard_count));
-  for (int i = 0; i < shard_count; ++i) {
-    ShardRuntime& shard = shards[static_cast<std::size_t>(i)];
+  shards_.resize(static_cast<std::size_t>(spec_.shards));
+  for (int i = 0; i < spec_.shards; ++i) {
+    ShardRuntime& shard = shards_[static_cast<std::size_t>(i)];
     shard.status.index = i;
-    shard.status.range = shard_case_range(total, i, shard_count);
+    shard.status.range = shard_case_range(total_, i, spec_.shards);
     shard.checkpoint_records_before =
-        read_checkpoint(shard_checkpoint_path(spec, i, shard_count)).records.size();
+        read_checkpoint(shard_checkpoint_path(spec_, i, spec_.shards)).records.size();
 
     bool complete = true;
     for (std::size_t c = shard.status.range.begin; complete && c < shard.status.range.end;
@@ -307,174 +295,218 @@ ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOption
       shard.next_spawn = Clock::now();
     }
   }
+}
 
-  auto& registry = obs::MetricsRegistry::instance();
-  auto live_gauge = [&]() -> obs::Gauge& { return registry.gauge("service.shards.live"); };
+CampaignSupervisor::~CampaignSupervisor() {
+  // Never leak workers past the supervisor's lifetime: an error unwind
+  // or a coordinator shutdown mid-run must not orphan subprocesses.
+  kill_all();
+}
 
-  auto note = [&](const char* fmt, int shard, long long a = 0, long long b = 0) {
-    if (options.verbose) {
-      std::fprintf(stderr, "[campaign_service] shard %d: ", shard);
-      std::fprintf(stderr, fmt, a, b);
-      std::fputc('\n', stderr);
-    }
-  };
+void CampaignSupervisor::note(const char* fmt, int shard, long long a, long long b) const {
+  if (!options_.verbose) return;
+  std::fprintf(stderr, "[campaign_service] shard %d: ", shard);
+  std::fprintf(stderr, fmt, a, b);
+  std::fputc('\n', stderr);
+}
 
-  try {
-    while (true) {
-      bool all_terminal = true;
-      const Clock::time_point now = Clock::now();
-
-      for (ShardRuntime& shard : shards) {
-        const int i = shard.status.index;
-        switch (shard.phase) {
-          case ShardPhase::Done:
-          case ShardPhase::Failed:
-            continue;
-          case ShardPhase::Pending:
-          case ShardPhase::Backoff: {
-            all_terminal = false;
-            if (now < shard.next_spawn) break;
-            const pid_t pid = spawn_worker(exe, i, shard_count, spec_path);
-            if (pid < 0) {
-              // fork() failed (EAGAIN/ENOMEM).  A -1 pid must never reach
-              // the Running phase: waitpid(-1) would reap arbitrary
-              // children and kill(-1) would SIGKILL everything we can
-              // signal.  Retry on the restart budget like a crash.
-              shard.pid = -1;
-              count_metric("service.shard.spawn_errors");
-              emit_shard_event("spawn_error", i, -1, errno);
-              if (shard.status.restarts >= spec.max_restarts) {
-                shard.phase = ShardPhase::Failed;
-                count_metric("service.shard.failed");
-                emit_shard_event("failed", i, -1, errno);
-                note("permanently failed (fork errno %lld)", i, errno);
-                break;
-              }
-              ++shard.status.restarts;
-              count_metric("service.shard.restarts");
-              const int delay_ms =
-                  retry_backoff_delay_ms(spec.restart_backoff, shard.status.restarts);
-              shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
-              shard.phase = ShardPhase::Backoff;
-              note("fork failed (errno %lld), retrying in %lld ms", i, errno, delay_ms);
-              break;
-            }
-            shard.pid = pid;
-            shard.spawned_at = now;
-            shard.phase = ShardPhase::Running;
-            ++shard.status.spawns;
-            count_metric("service.shard.spawned");
-            if (obs::metrics_enabled()) live_gauge().add(1.0);
-            emit_shard_event("spawn", i, shard.pid);
-            note("spawned pid %lld (attempt %lld)", i, shard.pid, shard.status.spawns);
-            break;
-          }
-          case ShardPhase::Running: {
-            all_terminal = false;
-            if (shard.pid <= 0) {
-              // Defensive: cannot happen after the spawn guard above, but
-              // waitpid/kill on pid <= 0 address process groups, not a
-              // child -- never risk it.  Fall back to a respawn.
-              shard.phase = ShardPhase::Backoff;
-              shard.next_spawn = now;
-              break;
-            }
-            int wait_status = 0;
-            const pid_t r = ::waitpid(shard.pid, &wait_status, WNOHANG);
-            const double up_ms =
-                std::chrono::duration<double, std::milli>(now - shard.spawned_at).count();
-
-            bool exited = r == shard.pid;
-            bool timed_out = false;
-            if (!exited && spec.shard_timeout_ms > 0 && up_ms > spec.shard_timeout_ms) {
-              // Wedged (or just too slow): kill and account it as a
-              // timeout-restart, backoff included.
-              ::kill(shard.pid, SIGKILL);
-              ::waitpid(shard.pid, &wait_status, 0);
-              exited = true;
-              timed_out = true;
-              ++shard.status.timeouts;
-              count_metric("service.shard.timeouts");
-              emit_shard_event("timeout", i, shard.pid);
-              note("timed out after %lld ms, killed", i, static_cast<long long>(up_ms));
-            }
-            if (!exited) break;
-
-            if (obs::metrics_enabled()) live_gauge().add(-1.0);
-            shard.status.active_seconds += up_ms * 1e-3;
-            const int exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status)
-                                  : WIFSIGNALED(wait_status)
-                                      ? 128 + WTERMSIG(wait_status)
-                                      : -1;
-            shard.status.last_exit_code = exit_code;
-
-            if (exit_code == 0 && !timed_out) {
-              shard.phase = ShardPhase::Done;
-              shard.status.ok = true;
-              count_metric("service.shard.completed");
-              emit_shard_event("exit", i, shard.pid, exit_code);
-              note("completed (pid %lld)", i, shard.pid);
-              break;
-            }
-
-            emit_shard_event(timed_out ? "killed" : "crashed", i, shard.pid, exit_code);
-            if (shard.status.restarts >= spec.max_restarts) {
-              // Restart budget exhausted: degrade instead of aborting --
-              // the merge step fills this shard's missing cases with
-              // SimulationError rows.
-              shard.phase = ShardPhase::Failed;
-              count_metric("service.shard.failed");
-              emit_shard_event("failed", i, shard.pid, exit_code);
-              note("permanently failed (exit %lld)", i, exit_code);
-              break;
-            }
-            ++shard.status.restarts;
-            count_metric("service.shard.restarts");
-            const int delay_ms =
-                retry_backoff_delay_ms(spec.restart_backoff, shard.status.restarts);
-            shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
-            shard.phase = ShardPhase::Backoff;
-            emit_shard_event("restart", i, shard.pid, delay_ms);
-            note("restarting in %lld ms (exit %lld)", i, delay_ms, exit_code);
-            break;
-          }
-        }
-      }
-
-      if (all_terminal) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
-    }
-  } catch (...) {
-    // Never leak workers past a coordinator failure.
-    for (ShardRuntime& shard : shards) {
-      if (shard.phase == ShardPhase::Running && shard.pid > 0) {
-        ::kill(shard.pid, SIGKILL);
-        ::waitpid(shard.pid, nullptr, 0);
-      }
-    }
-    throw;
+void CampaignSupervisor::release_slot(ShardRuntime& shard) {
+  if (shard.holds_slot) {
+    slots_->release();
+    shard.holds_slot = false;
   }
+}
+
+void CampaignSupervisor::step_spawn(ShardRuntime& shard, Clock::time_point now) {
+  const int i = shard.status.index;
+  if (now < shard.next_spawn) return;
+  // The shared fleet is full: stay Pending/Backoff and retry next poll.
+  if (!slots_->try_acquire()) return;
+  shard.holds_slot = true;
+  const pid_t pid = spawn_worker(exe_, i, spec_.shards, spec_path_);
+  if (pid < 0) {
+    // fork() failed (EAGAIN/ENOMEM).  A -1 pid must never reach the
+    // Running phase: waitpid(-1) would reap arbitrary children and
+    // kill(-1) would SIGKILL everything we can signal.  Retry on the
+    // restart budget like a crash.
+    shard.pid = -1;
+    release_slot(shard);
+    count_metric("service.shard.spawn_errors");
+    emit_shard_event("spawn_error", i, -1, errno);
+    if (shard.status.restarts >= spec_.max_restarts) {
+      shard.phase = ShardPhase::Failed;
+      count_metric("service.shard.failed");
+      emit_shard_event("failed", i, -1, errno);
+      note("permanently failed (fork errno %lld)", i, errno);
+      return;
+    }
+    ++shard.status.restarts;
+    count_metric("service.shard.restarts");
+    const int delay_ms = retry_backoff_delay_ms(spec_.restart_backoff, shard.status.restarts);
+    shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
+    shard.phase = ShardPhase::Backoff;
+    note("fork failed (errno %lld), retrying in %lld ms", i, errno, delay_ms);
+    return;
+  }
+  shard.pid = pid;
+  shard.spawned_at = now;
+  shard.phase = ShardPhase::Running;
+  ++shard.status.spawns;
+  count_metric("service.shard.spawned");
+  live_gauge_add(1.0);
+  emit_shard_event("spawn", i, shard.pid);
+  note("spawned pid %lld (attempt %lld)", i, shard.pid, shard.status.spawns);
+}
+
+void CampaignSupervisor::step_running(ShardRuntime& shard, Clock::time_point now) {
+  const int i = shard.status.index;
+  if (shard.pid <= 0) {
+    // Defensive: cannot happen after the spawn guard above, but
+    // waitpid/kill on pid <= 0 address process groups, not a child --
+    // never risk it.  Fall back to a respawn.
+    release_slot(shard);
+    shard.phase = ShardPhase::Backoff;
+    shard.next_spawn = now;
+    return;
+  }
+  int wait_status = 0;
+  const pid_t r = ::waitpid(shard.pid, &wait_status, WNOHANG);
+  const double up_ms =
+      std::chrono::duration<double, std::milli>(now - shard.spawned_at).count();
+
+  bool exited = r == shard.pid;
+  bool timed_out = false;
+  if (!exited && spec_.shard_timeout_ms > 0 && up_ms > spec_.shard_timeout_ms) {
+    // Wedged (or just too slow): kill and account it as a
+    // timeout-restart, backoff included.
+    ::kill(shard.pid, SIGKILL);
+    ::waitpid(shard.pid, &wait_status, 0);
+    exited = true;
+    timed_out = true;
+    ++shard.status.timeouts;
+    count_metric("service.shard.timeouts");
+    emit_shard_event("timeout", i, shard.pid);
+    note("timed out after %lld ms, killed", i, static_cast<long long>(up_ms));
+  }
+  if (!exited) return;
+
+  live_gauge_add(-1.0);
+  release_slot(shard);
+  shard.status.active_seconds += up_ms * 1e-3;
+  const int exit_code = WIFEXITED(wait_status)    ? WEXITSTATUS(wait_status)
+                        : WIFSIGNALED(wait_status) ? 128 + WTERMSIG(wait_status)
+                                                   : -1;
+  shard.status.last_exit_code = exit_code;
+
+  if (exit_code == 0 && !timed_out) {
+    shard.phase = ShardPhase::Done;
+    shard.status.ok = true;
+    count_metric("service.shard.completed");
+    emit_shard_event("exit", i, shard.pid, exit_code);
+    note("completed (pid %lld)", i, shard.pid);
+    return;
+  }
+
+  emit_shard_event(timed_out ? "killed" : "crashed", i, shard.pid, exit_code);
+  if (shard.status.restarts >= spec_.max_restarts) {
+    // Restart budget exhausted: degrade instead of aborting -- the merge
+    // step fills this shard's missing cases with SimulationError rows.
+    shard.phase = ShardPhase::Failed;
+    count_metric("service.shard.failed");
+    emit_shard_event("failed", i, shard.pid, exit_code);
+    note("permanently failed (exit %lld)", i, exit_code);
+    return;
+  }
+  ++shard.status.restarts;
+  count_metric("service.shard.restarts");
+  const int delay_ms = retry_backoff_delay_ms(spec_.restart_backoff, shard.status.restarts);
+  shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
+  shard.phase = ShardPhase::Backoff;
+  emit_shard_event("restart", i, shard.pid, delay_ms);
+  note("restarting in %lld ms (exit %lld)", i, delay_ms, exit_code);
+}
+
+bool CampaignSupervisor::step() {
+  bool all_terminal = true;
+  const Clock::time_point now = Clock::now();
+  for (ShardRuntime& shard : shards_) {
+    switch (shard.phase) {
+      case ShardPhase::Done:
+      case ShardPhase::Failed:
+        continue;
+      case ShardPhase::Pending:
+      case ShardPhase::Backoff:
+        all_terminal = false;
+        step_spawn(shard, now);
+        break;
+      case ShardPhase::Running:
+        all_terminal = false;
+        step_running(shard, now);
+        break;
+    }
+  }
+  return all_terminal;
+}
+
+bool CampaignSupervisor::finished() const {
+  for (const ShardRuntime& shard : shards_) {
+    if (shard.phase != ShardPhase::Done && shard.phase != ShardPhase::Failed) return false;
+  }
+  return true;
+}
+
+void CampaignSupervisor::kill_all() {
+  for (ShardRuntime& shard : shards_) {
+    if (shard.phase != ShardPhase::Running || shard.pid <= 0) continue;
+    ::kill(shard.pid, SIGKILL);
+    ::waitpid(shard.pid, nullptr, 0);
+    live_gauge_add(-1.0);
+    release_slot(shard);
+    emit_shard_event("shutdown", shard.status.index, shard.pid);
+    shard.status.active_seconds +=
+        std::chrono::duration<double>(Clock::now() - shard.spawned_at).count();
+    // Resumable, not failed: the checkpoints the worker committed stay
+    // inherited by the next run of this directory.
+    shard.phase = ShardPhase::Pending;
+    shard.pid = -1;
+    shard.next_spawn = Clock::now();
+  }
+}
+
+std::vector<ShardStatus> CampaignSupervisor::shard_statuses() const {
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const ShardRuntime& shard : shards_) out.push_back(shard.status);
+  return out;
+}
+
+ServiceResult CampaignSupervisor::finish() {
+  ServiceResult result;
+  result.cases_total = total_;
+  result.cases_resumed = cases_resumed_;
 
   // Merge in case-index order.  Every record is a pure function of its
   // index, so first-wins over any mix of shard layouts and restart
   // generations yields the same bytes as an uninterrupted run.
-  const std::map<std::uint32_t, std::string> merged = scan_checkpoints(spec.checkpoint_dir);
+  const std::map<std::uint32_t, std::string> merged =
+      scan_checkpoints(spec_.checkpoint_dir, *campaign_);
   std::vector<std::string> records;
-  records.reserve(total);
-  for (std::size_t i = 0; i < total; ++i) {
+  records.reserve(total_);
+  for (std::size_t i = 0; i < total_; ++i) {
     const auto it = merged.find(static_cast<std::uint32_t>(i));
     if (it != merged.end()) {
       records.push_back(it->second);
     } else {
-      records.push_back(campaign->error_record(i, "shard failed permanently"));
+      records.push_back(campaign_->error_record(i, "shard failed permanently"));
       ++result.cases_failed;
       count_metric("service.cases.synthesized");
     }
   }
 
-  for (ShardRuntime& shard : shards) {
+  auto& registry = obs::MetricsRegistry::instance();
+  for (ShardRuntime& shard : shards_) {
     const std::size_t after =
-        read_checkpoint(shard_checkpoint_path(spec, shard.status.index, shard_count))
+        read_checkpoint(shard_checkpoint_path(spec_, shard.status.index, spec_.shards))
             .records.size();
     shard.status.cases_computed = after - std::min(after, shard.checkpoint_records_before);
     if (obs::metrics_enabled() && shard.status.active_seconds > 0.0) {
@@ -486,12 +518,81 @@ ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOption
     result.shards.push_back(shard.status);
   }
 
-  result.report = campaign->report(records);
-  if (!spec.report_path.empty()) {
-    LCOSC_REQUIRE(write_file_atomic(spec.report_path, result.report),
-                  "cannot write report to " + spec.report_path);
+  result.report = campaign_->report(records);
+  if (!spec_.report_path.empty()) {
+    LCOSC_REQUIRE(write_file_atomic(spec_.report_path, result.report),
+                  "cannot write report to " + spec_.report_path);
   }
   return result;
+}
+
+// --- SIGINT/SIGTERM capture -------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_pending_signal{0};
+
+void record_signal(int sig) { g_pending_signal.store(sig, std::memory_order_relaxed); }
+
+struct SavedAction {
+  int sig;
+  struct sigaction action;
+};
+
+// Nested captures (queue coordinator around run_campaign_service) share
+// the flag; only the outermost scope saves/restores dispositions.
+int g_capture_depth = 0;
+SavedAction g_saved[2];
+
+}  // namespace
+
+ScopedSignalCapture::ScopedSignalCapture() {
+  if (g_capture_depth++ == 0) {
+    g_pending_signal.store(0, std::memory_order_relaxed);
+    struct sigaction action {};
+    action.sa_handler = record_signal;
+    sigemptyset(&action.sa_mask);
+    const int signals[] = {SIGINT, SIGTERM};
+    for (int k = 0; k < 2; ++k) {
+      g_saved[k].sig = signals[k];
+      ::sigaction(signals[k], &action, &g_saved[k].action);
+    }
+  }
+}
+
+ScopedSignalCapture::~ScopedSignalCapture() {
+  if (--g_capture_depth == 0) {
+    for (const SavedAction& saved : g_saved) {
+      ::sigaction(saved.sig, &saved.action, nullptr);
+    }
+  }
+}
+
+int ScopedSignalCapture::pending() const {
+  return g_pending_signal.load(std::memory_order_relaxed);
+}
+
+void ScopedSignalCapture::exit_via(int sig) {
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+  std::_Exit(128 + sig);  // unreachable unless the signal is blocked
+}
+
+ServiceResult run_campaign_service(const CampaignSpec& spec, const ServiceOptions& options) {
+  CampaignSupervisor supervisor(spec, options);
+  // A coordinator killed by Ctrl-C / SIGTERM must take its workers with
+  // it: kill and reap every live shard, then die with the conventional
+  // signal status.  (The checkpoints keep the run resumable.)
+  ScopedSignalCapture signals;
+  while (!supervisor.step()) {
+    if (const int sig = signals.pending()) {
+      supervisor.kill_all();
+      count_metric("service.coordinator.interrupted");
+      ScopedSignalCapture::exit_via(sig);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+  }
+  return supervisor.finish();
 }
 
 }  // namespace lcosc::service

@@ -180,5 +180,69 @@ TEST_F(CheckpointTest, WriterTruncatesTornTailAndContinues) {
   EXPECT_EQ(file_bytes().substr(0, full.size()), full);
 }
 
+TEST(NumericNameLess, OrdersDigitRunsByValueNotLexically) {
+  // The regression: a lexical sort puts shard_10 before shard_2, so a
+  // first-wins merge preferred the wrong file for overlapping indices.
+  EXPECT_TRUE(numeric_name_less("shard_2_of_12.ckpt", "shard_10_of_12.ckpt"));
+  EXPECT_FALSE(numeric_name_less("shard_10_of_12.ckpt", "shard_2_of_12.ckpt"));
+  EXPECT_TRUE(numeric_name_less("shard_9_of_12.ckpt", "shard_10_of_12.ckpt"));
+  EXPECT_TRUE(numeric_name_less("shard_0_of_2.ckpt", "shard_1_of_2.ckpt"));
+
+  // Non-digit runs still compare bytewise.
+  EXPECT_TRUE(numeric_name_less("alpha.ckpt", "beta.ckpt"));
+  EXPECT_TRUE(numeric_name_less("a2x.ckpt", "a2y.ckpt"));
+
+  // Equal numeric values with different spellings (leading zeros) stay
+  // distinct and totally ordered: exactly one direction holds.
+  const bool ab = numeric_name_less("a02", "a2");
+  const bool ba = numeric_name_less("a2", "a02");
+  EXPECT_NE(ab, ba);
+  EXPECT_FALSE(numeric_name_less("a2", "a2"));
+}
+
+TEST_F(CheckpointTest, MergeVisitsFilesInNumericOrder) {
+  // Both shard files claim case 5 (a layout change mid-resume can do
+  // this).  First-wins must follow numeric shard order: shard_2's record
+  // wins over shard_10's, even though "shard_10..." sorts first lexically.
+  {
+    CheckpointWriter low((dir_ / "shard_2_of_12.ckpt").string());
+    low.append(5, "from-shard-2");
+  }
+  {
+    CheckpointWriter high((dir_ / "shard_10_of_12.ckpt").string());
+    high.append(5, "from-shard-10");
+    high.append(6, "six");
+  }
+  const auto merged = scan_checkpoint_dir(dir_.string());
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.at(5), "from-shard-2");
+  EXPECT_EQ(merged.at(6), "six");
+}
+
+TEST_F(CheckpointTest, RealRecordsReplaceDegradedOnesInTheMerge) {
+  // A shard that once synthesized a degraded row for case 3 must not
+  // shadow the real record a later layout's shard committed.
+  {
+    CheckpointWriter first((dir_ / "shard_0_of_1.ckpt").string());
+    first.append(3, "DEGRADED:3");
+  }
+  {
+    CheckpointWriter second((dir_ / "shard_1_of_2.ckpt").string());
+    second.append(3, "real-three");
+  }
+  const auto is_degraded = [](const std::string& record) {
+    return record.rfind("DEGRADED:", 0) == 0;
+  };
+  EXPECT_EQ(scan_checkpoint_dir(dir_.string(), is_degraded).at(3), "real-three");
+  // Plain first-wins without the predicate keeps the earlier record.
+  EXPECT_EQ(scan_checkpoint_dir(dir_.string()).at(3), "DEGRADED:3");
+  // A degraded record never replaces a real one, whatever the order.
+  {
+    CheckpointWriter third((dir_ / "shard_2_of_3.ckpt").string());
+    third.append(3, "DEGRADED:late");
+  }
+  EXPECT_EQ(scan_checkpoint_dir(dir_.string(), is_degraded).at(3), "real-three");
+}
+
 }  // namespace
 }  // namespace lcosc::service

@@ -5,13 +5,21 @@
 // own main(): the coordinator re-execs the test executable itself as the
 // shard worker, so maybe_run_shard() must run before gtest does.
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "common/campaign.h"
 #include "common/error.h"
+#include "service/adapters.h"
 #include "service/supervisor.h"
 
 namespace lcosc::service {
@@ -340,6 +348,89 @@ TEST_F(ServiceTest, ReportFileIsWrittenAtomicallyAtTheConfiguredPath) {
   for (const auto& entry : fs::directory_iterator(spec.checkpoint_dir)) {
     EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos) << entry.path();
   }
+}
+
+// Count live processes whose command line mentions `marker` -- the shard
+// workers of a run are identifiable by the --lcosc-spec path inside the
+// test's private checkpoint directory.
+int processes_mentioning(const std::string& marker) {
+  int found = 0;
+  for (const auto& entry : fs::directory_iterator("/proc")) {
+    const std::string name = entry.path().filename().string();
+    if (name.empty() || name.find_first_not_of("0123456789") != std::string::npos) continue;
+    std::ifstream in(entry.path() / "cmdline", std::ios::binary);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (buf.str().find(marker) != std::string::npos) ++found;
+  }
+  return found;
+}
+
+bool wait_until(const std::function<bool()>& done, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done();
+}
+
+TEST_F(ServiceTest, SignalledCoordinatorKillsAndReapsItsWorkers) {
+  // The regression: a coordinator hit by SIGINT/SIGTERM died without
+  // forwarding anything to its fork/exec'd workers, leaving them running
+  // (here: stalled forever) with nobody left to reap or merge them.
+  for (const int sig : {SIGTERM, SIGINT}) {
+    CampaignSpec spec = small_tolerance_spec();
+    spec.shards = 1;
+    spec.test_stall_once = true;  // worker wedges forever; no timeout set
+    spec.checkpoint_dir = subdir("sig" + std::to_string(sig));
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      ServiceOptions options;
+      options.poll_ms = 5;
+      try {
+        (void)run_campaign_service(spec, options);
+      } catch (...) {
+      }
+      _exit(99);  // the signal must terminate the child before this
+    }
+
+    // The stalled worker drops its sentinel first thing, then wedges.
+    ASSERT_TRUE(wait_until(
+        [&] { return processes_mentioning(spec.checkpoint_dir) >= 1; }, 15000))
+        << "worker never appeared";
+    ASSERT_EQ(kill(child, sig), 0);
+
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status)) << "coordinator exited instead of dying by signal";
+    EXPECT_EQ(WTERMSIG(status), sig);
+
+    // No orphan: the worker is gone (not just zombied -- a reaped child
+    // has no /proc entry at all).
+    EXPECT_TRUE(wait_until(
+        [&] { return processes_mentioning(spec.checkpoint_dir) == 0; }, 5000))
+        << "shard worker outlived the coordinator";
+  }
+}
+
+TEST(ServiceAdapters, ErrorRecordsAreDetectedByEveryCampaignKind) {
+  for (const CampaignKind kind :
+       {CampaignKind::Tolerance, CampaignKind::ExternalFmea, CampaignKind::InternalFmea}) {
+    CampaignSpec spec = small_tolerance_spec();
+    spec.kind = kind;
+    const auto campaign = make_campaign(spec);
+    EXPECT_TRUE(campaign->is_error_record(campaign->error_record(0, "injected failure")))
+        << to_string(kind);
+  }
+  // A genuinely computed record must not look degraded, or the merge
+  // would keep replacing it.
+  const auto tolerance = make_campaign(small_tolerance_spec());
+  EXPECT_FALSE(tolerance->is_error_record(tolerance->run_case(0)));
 }
 
 }  // namespace
