@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -25,6 +26,7 @@
 #include "obs/span_tracer.h"
 #include "service/queue.h"
 #include "service/supervisor.h"
+#include "service/telemetry_merge.h"
 #include "spice/ac_solver.h"
 #include "spice/circuit.h"
 #include "spice/sweep.h"
@@ -589,12 +591,88 @@ QueueTiming bench_queue_throughput() {
   return t;
 }
 
+// Telemetry tax on the sharded service (DESIGN.md §15): the same
+// campaign with the fleet observability pipeline off vs on.  The LCOSC_*
+// toggles travel through the environment across the coordinator's
+// fork/exec, so the on-run's workers flush metrics + trace snapshots and
+// the coordinator merges them.  `identical` demands byte equality of the
+// two reports -- telemetry must never leak into results -- and the
+// "fleet_obs" phases feed the check_bench_drift.py gate, which keeps the
+// overhead bounded.
+struct FleetObsTiming {
+  std::string name;
+  std::size_t items = 0;
+  int shards = 1;
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  bool identical = false;    // telemetry-on report == telemetry-off report
+  bool artifacts_ok = false;  // merged metrics/trace/summary all present
+
+  [[nodiscard]] double overhead() const { return off_ms > 0.0 ? on_ms / off_ms : 0.0; }
+};
+
+FleetObsTiming bench_fleet_obs() {
+  namespace fs = std::filesystem;
+  service::CampaignSpec spec;
+  spec.kind = service::CampaignKind::Tolerance;
+  spec.samples = 48;
+  spec.run_duration = 20e-3;
+  spec.shards = std::thread::hardware_concurrency() > 1 ? 2 : 1;
+
+  FleetObsTiming t;
+  t.name = "tolerance_fleet_obs";
+  t.items = static_cast<std::size_t>(spec.samples);
+  t.shards = spec.shards;
+
+  // Remember the caller's toggles; this process's own latched obs flags
+  // are unaffected (env is read once at first use), only the exec'd
+  // workers see these changes.
+  const char* saved_metrics = std::getenv("LCOSC_METRICS");
+  const char* saved_trace = std::getenv("LCOSC_TRACE");
+  const std::string old_metrics = saved_metrics ? saved_metrics : "";
+  const std::string old_trace = saved_trace ? saved_trace : "";
+
+  auto run_with = [&](bool telemetry, const std::string& dir) {
+    if (telemetry) {
+      ::setenv("LCOSC_METRICS", "1", 1);
+      ::setenv("LCOSC_TRACE", "1", 1);
+    } else {
+      ::unsetenv("LCOSC_METRICS");
+      ::unsetenv("LCOSC_TRACE");
+    }
+    fs::remove_all(dir);
+    spec.checkpoint_dir = dir;
+    service::ServiceResult result;
+    const double ms = time_ms([&] { result = run_campaign_service(spec); });
+    return std::pair<double, std::string>(ms, std::move(result.report));
+  };
+
+  const auto [off_ms, off_report] = run_with(false, "artifacts/bench_fleet_obs_off");
+  const auto [on_ms, on_report] = run_with(true, "artifacts/bench_fleet_obs_on");
+  t.off_ms = off_ms;
+  t.on_ms = on_ms;
+  t.identical = off_report == on_report;
+
+  const std::string tdir = service::telemetry_dir("artifacts/bench_fleet_obs_on");
+  t.artifacts_ok = fs::exists(tdir + "/metrics.json") && fs::exists(tdir + "/trace.json") &&
+                   fs::exists(tdir + "/summary.json");
+
+  if (saved_metrics) ::setenv("LCOSC_METRICS", old_metrics.c_str(), 1);
+  else ::unsetenv("LCOSC_METRICS");
+  if (saved_trace) ::setenv("LCOSC_TRACE", old_trace.c_str(), 1);
+  else ::unsetenv("LCOSC_TRACE");
+  fs::remove_all("artifacts/bench_fleet_obs_off");
+  fs::remove_all("artifacts/bench_fleet_obs_on");
+  return t;
+}
+
 void write_json(const std::string& path, const std::vector<CampaignTiming>& timings,
                 const std::vector<TransientTiming>& transients,
                 const std::vector<AdaptiveTiming>& adaptives,
                 const std::vector<BatchedTiming>& batched,
                 const std::vector<ServiceTiming>& services,
-                const std::vector<QueueTiming>& queues) {
+                const std::vector<QueueTiming>& queues,
+                const std::vector<FleetObsTiming>& fleet_obs) {
   std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"bench_perf_campaigns\",\n"
@@ -698,6 +776,20 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"identical_reports\": " << (t.identical ? "true" : "false") << "\n"
         << "    }" << (i + 1 < queues.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"fleet_obs\": [\n";
+  for (std::size_t i = 0; i < fleet_obs.size(); ++i) {
+    const FleetObsTiming& t = fleet_obs[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"items\": " << t.items << ",\n"
+        << "      \"shards\": " << t.shards << ",\n"
+        << "      \"telemetry_off_ms\": " << t.off_ms << ",\n"
+        << "      \"telemetry_on_ms\": " << t.on_ms << ",\n"
+        << "      \"overhead\": " << t.overhead() << ",\n"
+        << "      \"identical_reports\": " << (t.identical ? "true" : "false") << ",\n"
+        << "      \"artifacts_present\": " << (t.artifacts_ok ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < fleet_obs.size() ? "," : "") << "\n";
+  }
   out << "  ],\n";
 
   // Telemetry: a flat phase->milliseconds map (the drift checker's
@@ -734,6 +826,12 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
   for (const QueueTiming& t : queues) {
     phase(t.name + ".direct", t.direct_ms);
     phase(t.name + ".queued", t.queued_ms);
+  }
+  // The drift gate holds these two phases together: telemetry-on wall
+  // time regressing against its own baseline is the overhead signal.
+  for (const FleetObsTiming& t : fleet_obs) {
+    phase("fleet_obs.telemetry_off", t.off_ms);
+    phase("fleet_obs.telemetry_on", t.on_ms);
   }
   out << "\n    },\n"
       << "    \"metrics_enabled\": " << (obs::metrics_enabled() ? "true" : "false") << ",\n"
@@ -826,6 +924,17 @@ int main(int argc, char** argv) {
   }
   qtable.print(std::cout);
 
+  std::cout << "\n=== Fleet observability: telemetry off vs on ===\n\n";
+  const std::vector<FleetObsTiming> fleet_obs = {bench_fleet_obs()};
+  TablePrinter otable({"workload", "items", "shards", "telemetry off [ms]",
+                       "telemetry on [ms]", "overhead", "identical", "artifacts"});
+  for (const FleetObsTiming& t : fleet_obs) {
+    otable.add_values(t.name, t.items, t.shards, format_significant(t.off_ms, 4),
+                      format_significant(t.on_ms, 4), format_significant(t.overhead(), 3),
+                      t.identical, t.artifacts_ok);
+  }
+  otable.print(std::cout);
+
   // Fixed-vs-adaptive A/B (skip with LCOSC_ADAPTIVE=0, e.g. to time the
   // classic sections alone; the drift checker tolerates missing phases).
   std::vector<AdaptiveTiming> adaptives;
@@ -846,7 +955,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_campaigns.json", timings, transients, adaptives, batched, services,
-             queues);
+             queues, fleet_obs);
   if (obs::trace_enabled()) {
     obs::write_chrome_trace("artifacts/trace_campaigns.json");
     std::cout << "\n(trace: artifacts/trace_campaigns.json, "
@@ -870,6 +979,10 @@ int main(int argc, char** argv) {
             << "    reproduces the single-process report byte for byte;\n"
             << "  - identical=true on the queue row: draining prioritized jobs\n"
             << "    through the shared-fleet coordinator reproduces each job's\n"
-            << "    back-to-back direct report byte for byte.\n";
+            << "    back-to-back direct report byte for byte;\n"
+            << "  - identical=true and artifacts=true on the fleet_obs row: turning\n"
+            << "    the telemetry pipeline on changes no report byte, produces the\n"
+            << "    merged metrics/trace/summary artifacts, and its overhead stays\n"
+            << "    inside the bench drift gate.\n";
   return 0;
 }

@@ -49,7 +49,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   # the fault-injection, campaign and batched-lockstep binaries.  (-R must
   # precede the bare -j or ctest parses it as the job count.)
   ctest --output-on-failure \
-    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|NumericNameLess|Service|Queue)' -j
+    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|NumericNameLess|Service|Queue|FleetObs)' -j
   exit 0
 fi
 
@@ -65,7 +65,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure \
-    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|NumericNameLess|Service|Queue)' -j
+    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|NumericNameLess|Service|Queue|FleetObs)' -j
   exit 0
 fi
 
@@ -158,3 +158,42 @@ pkill -9 -f -- "--lcosc-spec $qdir" 2>/dev/null || true
 "$svc" result --queue "$qdir" 000001-a | cmp - "$smoke_dir/qref_a.txt"
 "$svc" result --queue "$qdir" 000002-b | cmp - "$smoke_dir/qref_b.txt"
 echo "queue kill/resume smoke: both reports byte-identical to solo runs"
+
+# Smoke step: fleet observability (DESIGN.md §15).  With telemetry on,
+# the coordinator must merge the shard flush files into one metrics.json
+# that is byte-identical for every shard layout, plus a schema-valid
+# fleet Chrome trace and forensics log.
+for shards in 2 3; do
+  LCOSC_METRICS=1 LCOSC_TRACE=1 "$svc" --kind tolerance --samples 48 --shards "$shards" \
+    --checkpoint-dir "$smoke_dir/obs$shards" \
+    --report "$smoke_dir/obs${shards}_report.txt" --quiet >/dev/null
+done
+cmp "$smoke_dir/obs2/telemetry/metrics.json" "$smoke_dir/obs3/telemetry/metrics.json"
+../scripts/validate_trace.py "$smoke_dir/obs2/telemetry/trace.json" \
+  --forensics "$smoke_dir/obs2/telemetry/forensics.jsonl" \
+  --metrics "$smoke_dir/obs2/telemetry/metrics.json"
+
+# kill -9 a worker mid-run: the supervisor restarts the shard, the run
+# still completes, and the forensics log names the signal.  (If the
+# campaign outruns the kill on a fast host, the signal check is skipped
+# but the forensics schema is still validated.)
+"$svc" --kind tolerance --samples 96 --shards 2 --max-restarts 4 \
+  --checkpoint-dir "$smoke_dir/obskill" \
+  --report "$smoke_dir/obskill_report.txt" --quiet >/dev/null 2>&1 &
+coord=$!
+killed=0
+for _ in $(seq 1 200); do
+  worker=$(pgrep -f -- "--lcosc-spec $smoke_dir/obskill" | head -n1 || true)
+  if [[ -n "${worker}" ]]; then
+    if kill -9 "$worker" 2>/dev/null; then killed=1; fi
+    break
+  fi
+  sleep 0.01
+done
+wait "$coord"
+if [[ "$killed" == 1 ]]; then
+  grep -q '"event": "crash"' "$smoke_dir/obskill/telemetry/forensics.jsonl"
+  grep -q '"signal_name": "SIGKILL"' "$smoke_dir/obskill/telemetry/forensics.jsonl"
+fi
+../scripts/validate_trace.py --forensics "$smoke_dir/obskill/telemetry/forensics.jsonl"
+echo "fleet observability smoke: merged metrics byte-identical across shard counts"

@@ -15,6 +15,7 @@ namespace {
 
 std::atomic<bool> g_events_enabled{false};
 std::atomic<std::uint64_t> g_sequence{0};
+std::atomic<int> g_event_shard{-1};
 
 // Innermost context label of the calling thread (nullptr = none).
 thread_local const std::string* t_context = nullptr;
@@ -122,6 +123,10 @@ void close_event_log() {
   update_enabled_locked(s);
 }
 
+void set_event_shard(int shard) {
+  g_event_shard.store(shard, std::memory_order_relaxed);
+}
+
 void set_event_capture(std::vector<std::string>* capture) {
   (void)events_enabled();
   Sink& s = sink();
@@ -136,6 +141,11 @@ Event::Event(std::string_view type) {
   append_escaped(line_, type);
   line_ += "\", \"seq\": ";
   line_ += std::to_string(g_sequence.fetch_add(1, std::memory_order_relaxed));
+  const int shard = g_event_shard.load(std::memory_order_relaxed);
+  if (shard >= 0) {
+    line_ += ", \"shard\": ";
+    line_ += std::to_string(shard);
+  }
 }
 
 Event& Event::num(std::string_view key, double value) {

@@ -36,6 +36,11 @@ void close_event_log();
 // alongside the file sink; nullptr detaches.  Test hook.
 void set_event_capture(std::vector<std::string>* sink);
 
+// Tag every subsequent event line with a `"shard": n` field so lines
+// stay attributable after the coordinator concatenates per-shard logs
+// into one fleet file (DESIGN.md §15).  Pass -1 (the default) to omit.
+void set_event_shard(int shard);
+
 // Builder for one event; the destructor serializes and emits the line.
 // Construct only behind an events_enabled() check to keep disabled paths
 // allocation-free.

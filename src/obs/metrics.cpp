@@ -242,6 +242,28 @@ std::string MetricsSnapshot::to_json(int indent) const {
   return out.str();
 }
 
+double histogram_quantile(const HistogramSnapshot& histogram, double q) {
+  if (histogram.count == 0 || histogram.counts.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(histogram.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(histogram.counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lo = (i == 0) ? histogram.min : histogram.bounds[i - 1];
+    const double hi = (i < histogram.bounds.size()) ? histogram.bounds[i] : histogram.max;
+    const double fraction = std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+    return std::clamp(lo + fraction * (hi - lo), histogram.min, histogram.max);
+  }
+  return histogram.max;  // q == 1 landing past the last occupied bucket
+}
+
 // --- registry -------------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::instance() {

@@ -194,6 +194,20 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json(int indent = 0) const;
 };
 
+// Quantile estimate from a fixed-bucket histogram snapshot, q in [0, 1]
+// (clamped).  Interpolation is documented and deterministic:
+//  - the target rank is q * count; the answer lies in the first bucket
+//    whose cumulative count reaches it;
+//  - within that bucket the value is linearly interpolated between the
+//    bucket's edges by (rank - cumulative_before) / bucket_count;
+//  - bucket 0's lower edge is the observed min, the overflow bucket's
+//    upper edge is the observed max (the only finite edges available);
+//  - the result is clamped to [min, max], so a single-valued histogram
+//    returns that value exactly and a fully saturated overflow bucket
+//    interpolates between bounds.back() and max instead of diverging.
+// Returns quiet NaN for an empty histogram.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& histogram, double q);
+
 // --- registry -------------------------------------------------------------
 
 class MetricsRegistry {

@@ -343,8 +343,8 @@ long long JobQueue::max_run_order() const {
   return max_order;
 }
 
-void JobQueue::write_progress(const JobRecord& job,
-                              const std::vector<ShardStatus>& shards) const {
+void JobQueue::write_progress(const JobRecord& job, const std::vector<ShardStatus>& shards,
+                              int slots_in_use, int slots_capacity) const {
   const std::map<std::uint32_t, std::string> merged = scan_checkpoint_dir(job.checkpoint_dir);
   std::size_t total = 0;
   for (const ShardStatus& shard : shards) total = std::max(total, shard.range.end);
@@ -366,19 +366,34 @@ void JobQueue::write_progress(const JobRecord& job,
     fleet_computed = counter->value;
   }
 
+  // Wall clock, not steady: external tooling compares the heartbeat to
+  // its own clock to tell a slow job from a dead coordinator.
+  const long long heartbeat_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     std::chrono::system_clock::now().time_since_epoch())
+                                     .count();
+
   std::ostringstream out;
   out << "{\n"
       << "  \"job\": \"" << json_escape(job.id) << "\",\n"
       << "  \"state\": \"" << to_string(job.state) << "\",\n"
+      << "  \"heartbeat_unix_ms\": " << heartbeat_ms << ",\n"
       << "  \"cases_total\": " << total << ",\n"
       << "  \"cases_done\": " << done << ",\n"
       << "  \"fleet_shards_live\": " << static_cast<long long>(fleet_live) << ",\n"
-      << "  \"fleet_cases_computed\": " << fleet_computed;
+      << "  \"fleet_cases_computed\": " << fleet_computed << ",\n"
+      << "  \"fleet_slots_in_use\": " << slots_in_use << ",\n"
+      << "  \"fleet_slots_capacity\": " << slots_capacity << ",\n"
+      << "  \"shards\": " << shards.size();
+  // Flat numeric keys per shard so FlatJsonParser consumers (`top`) read
+  // them without string-splitting.
   for (const ShardStatus& shard : shards) {
-    out << ",\n  \"shard_" << shard.index << "\": \"begin=" << shard.range.begin
-        << " end=" << shard.range.end << " done=" << count_in_range(merged, shard.range)
-        << " spawns=" << shard.spawns << " restarts=" << shard.restarts
-        << " timeouts=" << shard.timeouts << "\"";
+    const std::string prefix = "\n  \"shard_" + std::to_string(shard.index) + "_";
+    out << "," << prefix << "begin\": " << shard.range.begin
+        << "," << prefix << "end\": " << shard.range.end
+        << "," << prefix << "done\": " << count_in_range(merged, shard.range)
+        << "," << prefix << "spawns\": " << shard.spawns
+        << "," << prefix << "restarts\": " << shard.restarts
+        << "," << prefix << "timeouts\": " << shard.timeouts;
   }
   out << "\n}\n";
   write_file_atomic(job.progress_path, out.str());  // best-effort stream
@@ -481,7 +496,8 @@ QueueCoordinatorResult run_queue_coordinator(JobQueue& queue,
       const auto now = Clock::now();
       if (finished || now - entry.last_progress >= progress_period) {
         entry.last_progress = now;
-        queue.write_progress(entry.job, entry.supervisor->shard_statuses());
+        queue.write_progress(entry.job, entry.supervisor->shard_statuses(), slots.in_use(),
+                             slots.capacity());
       }
       if (finished) {
         try {
@@ -539,7 +555,8 @@ QueueCoordinatorResult run_queue_coordinator(JobQueue& queue,
         entry.job = job;
         entry.supervisor = std::make_unique<CampaignSupervisor>(spec, service_options, &slots);
         entry.last_progress = Clock::now();
-        queue.write_progress(entry.job, entry.supervisor->shard_statuses());
+        queue.write_progress(entry.job, entry.supervisor->shard_statuses(), slots.in_use(),
+                             slots.capacity());
         active.push_back(std::move(entry));
       } catch (const std::exception& e) {
         settle(job, JobState::Failed, e.what());

@@ -156,9 +156,14 @@ class JobQueue {
   // continues the global claim sequence from here.
   [[nodiscard]] long long max_run_order() const;
 
-  // Stream the coordinator's live view into progress.json (atomic):
-  // per-shard checkpoint completion plus supervision counters.
-  void write_progress(const JobRecord& job, const std::vector<ShardStatus>& shards) const;
+  // Stream the coordinator's live view into progress.json (atomic): a
+  // flat JSON object (FlatJsonParser-compatible, so `campaign_service
+  // top` and external tooling can poll it) with per-shard checkpoint
+  // completion and supervision counters, a `heartbeat_unix_ms` wall
+  // clock (distinguishes a slow job from a dead coordinator), and fleet
+  // slot utilization when the caller knows it (pass -1 when not).
+  void write_progress(const JobRecord& job, const std::vector<ShardStatus>& shards,
+                      int slots_in_use = -1, int slots_capacity = -1) const;
 
  private:
   [[nodiscard]] std::string jobs_dir() const { return root_ + "/jobs"; }

@@ -1,6 +1,8 @@
 #include "service/supervisor.h"
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -28,6 +30,7 @@
 #include "obs/metrics.h"
 #include "service/adapters.h"
 #include "service/checkpoint.h"
+#include "service/telemetry_merge.h"
 
 namespace lcosc::service {
 
@@ -123,7 +126,19 @@ void run_shard(const CampaignSpec& spec, int shard_index, int shard_count) {
   int fresh = 0;
   auto run_one = [&](std::size_t slot) {
     const std::size_t index = remaining[slot];
+    const Clock::time_point case_start = Clock::now();
     const std::string record = campaign->run_case(index);
+    if (obs::metrics_enabled()) {
+      // Wall-clock per-case latency.  The ".wall_ms" suffix keeps this
+      // histogram out of the deterministic fleet metrics.json merge; the
+      // coordinator surfaces its p50/p95/p99 through summary.json.
+      static const std::vector<double> bounds{0.5,  1,    2,    5,    10,   20,  50,
+                                              100,  200,  500,  1000, 2000, 5000, 10000};
+      obs::MetricsRegistry::instance()
+          .histogram("service.case.wall_ms", bounds)
+          .record(std::chrono::duration<double, std::milli>(Clock::now() - case_start)
+                      .count());
+    }
     {
       const std::lock_guard<std::mutex> lock(append_mutex);
       writer.append(static_cast<std::uint32_t>(index), record);
@@ -162,6 +177,7 @@ std::optional<int> maybe_run_shard(int argc, char** argv) {
   };
   int shard_index = -1;
   int shard_count = -1;
+  int attempt = 1;
   std::string spec_path;
   bool is_shard = false;
   bool bad_value = false;
@@ -177,6 +193,9 @@ std::optional<int> maybe_run_shard(int argc, char** argv) {
       bad_value |= shard_count < 0;
     } else if (arg == "--lcosc-spec") {
       if (const char* v = value()) spec_path = v;
+    } else if (arg == "--lcosc-shard-attempt") {
+      attempt = parse_shard_int(value());
+      bad_value |= attempt < 1;
     }
   }
   if (!is_shard) return std::nullopt;
@@ -189,7 +208,20 @@ std::optional<int> maybe_run_shard(int argc, char** argv) {
     if (!in) throw ConfigError("cannot read spec file " + spec_path);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    run_shard(parse_campaign_spec(buffer.str()), shard_index, shard_count);
+    const CampaignSpec spec = parse_campaign_spec(buffer.str());
+
+    // Per-shard telemetry (DESIGN.md §15): tag event lines with this
+    // shard, re-route the event log into the job's telemetry directory
+    // and flush metrics/trace snapshots periodically + at exit, so this
+    // process's counters and spans survive _exit for the coordinator to
+    // merge.  All of it is inert when the LCOSC_* toggles are off.
+    obs::set_event_shard(shard_index);
+    const std::string dir = telemetry_dir(spec.checkpoint_dir);
+    const std::string base = shard_telemetry_base(shard_index, shard_count, attempt);
+    if (obs::events_enabled()) obs::open_event_log(dir + "/" + base + ".events.jsonl");
+    TelemetryFlusher flusher(dir, base);
+
+    run_shard(spec, shard_index, shard_count);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lcosc shard worker: %s\n", e.what());
@@ -207,19 +239,51 @@ std::string self_exe_path() {
   return buf;
 }
 
-pid_t spawn_worker(const std::string& exe, int shard_index, int shard_count,
-                   const std::string& spec_path) {
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int stderr_fd = -1;   // nonblocking read end of the worker's stderr pipe
+  int fork_errno = 0;   // errno of a failed fork (pid < 0)
+};
+
+SpawnedWorker spawn_worker(const std::string& exe, int shard_index, int shard_count,
+                           const std::string& spec_path, int attempt) {
+  SpawnedWorker out;
+  // Give the worker its own stderr: several shards crashing or retrying
+  // at once must not interleave on the coordinator's stderr.  The parent
+  // drains the read end into a bounded tail (forensics + verbose
+  // diagnostics).  A failed pipe() degrades to the inherited stderr.
+  int fds[2] = {-1, -1};
+  const bool piped = ::pipe(fds) == 0;
   const std::string idx = std::to_string(shard_index);
   const std::string count = std::to_string(shard_count);
+  const std::string att = std::to_string(attempt);
   const pid_t pid = ::fork();
   if (pid == 0) {
+    if (piped) {
+      ::close(fds[0]);
+      ::dup2(fds[1], 2);
+      if (fds[1] != 2) ::close(fds[1]);
+    }
     const char* argv[] = {exe.c_str(),    "--lcosc-shard",       idx.c_str(),
                           "--lcosc-shard-count", count.c_str(),  "--lcosc-spec",
-                          spec_path.c_str(),     nullptr};
+                          spec_path.c_str(),     "--lcosc-shard-attempt", att.c_str(),
+                          nullptr};
     ::execv(exe.c_str(), const_cast<char* const*>(argv));
     std::_Exit(127);  // exec failed
   }
-  return pid;
+  out.fork_errno = pid < 0 ? errno : 0;
+  if (piped) {
+    ::close(fds[1]);
+    if (pid < 0) {
+      ::close(fds[0]);
+    } else {
+      const int flags = ::fcntl(fds[0], F_GETFL, 0);
+      ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+      out.stderr_fd = fds[0];
+    }
+  }
+  out.pid = pid;
+  return out;
 }
 
 }  // namespace
@@ -323,8 +387,9 @@ void CampaignSupervisor::step_spawn(ShardRuntime& shard, Clock::time_point now) 
   // The shared fleet is full: stay Pending/Backoff and retry next poll.
   if (!slots_->try_acquire()) return;
   shard.holds_slot = true;
-  const pid_t pid = spawn_worker(exe_, i, spec_.shards, spec_path_);
-  if (pid < 0) {
+  const SpawnedWorker worker =
+      spawn_worker(exe_, i, spec_.shards, spec_path_, shard.status.spawns + 1);
+  if (worker.pid < 0) {
     // fork() failed (EAGAIN/ENOMEM).  A -1 pid must never reach the
     // Running phase: waitpid(-1) would reap arbitrary children and
     // kill(-1) would SIGKILL everything we can signal.  Retry on the
@@ -332,12 +397,13 @@ void CampaignSupervisor::step_spawn(ShardRuntime& shard, Clock::time_point now) 
     shard.pid = -1;
     release_slot(shard);
     count_metric("service.shard.spawn_errors");
-    emit_shard_event("spawn_error", i, -1, errno);
+    emit_shard_event("spawn_error", i, -1, worker.fork_errno);
+    record_forensics(shard, "spawn_error", worker.fork_errno, 0, 0.0, nullptr);
     if (shard.status.restarts >= spec_.max_restarts) {
       shard.phase = ShardPhase::Failed;
       count_metric("service.shard.failed");
-      emit_shard_event("failed", i, -1, errno);
-      note("permanently failed (fork errno %lld)", i, errno);
+      emit_shard_event("failed", i, -1, worker.fork_errno);
+      note("permanently failed (fork errno %lld)", i, worker.fork_errno);
       return;
     }
     ++shard.status.restarts;
@@ -345,10 +411,12 @@ void CampaignSupervisor::step_spawn(ShardRuntime& shard, Clock::time_point now) 
     const int delay_ms = retry_backoff_delay_ms(spec_.restart_backoff, shard.status.restarts);
     shard.next_spawn = now + std::chrono::milliseconds(delay_ms);
     shard.phase = ShardPhase::Backoff;
-    note("fork failed (errno %lld), retrying in %lld ms", i, errno, delay_ms);
+    note("fork failed (errno %lld), retrying in %lld ms", i, worker.fork_errno, delay_ms);
     return;
   }
-  shard.pid = pid;
+  shard.pid = worker.pid;
+  shard.stderr_fd = worker.stderr_fd;
+  shard.stderr_tail.clear();
   shard.spawned_at = now;
   shard.phase = ShardPhase::Running;
   ++shard.status.spawns;
@@ -369,8 +437,10 @@ void CampaignSupervisor::step_running(ShardRuntime& shard, Clock::time_point now
     shard.next_spawn = now;
     return;
   }
+  drain_stderr(shard);
   int wait_status = 0;
-  const pid_t r = ::waitpid(shard.pid, &wait_status, WNOHANG);
+  struct ::rusage usage {};
+  const pid_t r = ::wait4(shard.pid, &wait_status, WNOHANG, &usage);
   const double up_ms =
       std::chrono::duration<double, std::milli>(now - shard.spawned_at).count();
 
@@ -380,7 +450,7 @@ void CampaignSupervisor::step_running(ShardRuntime& shard, Clock::time_point now
     // Wedged (or just too slow): kill and account it as a
     // timeout-restart, backoff included.
     ::kill(shard.pid, SIGKILL);
-    ::waitpid(shard.pid, &wait_status, 0);
+    ::wait4(shard.pid, &wait_status, 0, &usage);
     exited = true;
     timed_out = true;
     ++shard.status.timeouts;
@@ -392,11 +462,22 @@ void CampaignSupervisor::step_running(ShardRuntime& shard, Clock::time_point now
 
   live_gauge_add(-1.0);
   release_slot(shard);
+  drain_stderr(shard);
+  close_stderr(shard);
   shard.status.active_seconds += up_ms * 1e-3;
   const int exit_code = WIFEXITED(wait_status)    ? WEXITSTATUS(wait_status)
                         : WIFSIGNALED(wait_status) ? 128 + WTERMSIG(wait_status)
                                                    : -1;
+  const int term_signal = WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
   shard.status.last_exit_code = exit_code;
+  record_forensics(shard,
+                   timed_out ? "timeout" : (exit_code == 0 ? "exit" : "crash"),
+                   exit_code, term_signal, up_ms * 1e-3, &usage);
+  if (options_.verbose && (timed_out || exit_code != 0) && !shard.stderr_tail.empty()) {
+    std::fprintf(stderr, "[campaign_service] shard %d stderr tail:\n%s%s", i,
+                 shard.stderr_tail.c_str(),
+                 shard.stderr_tail.back() == '\n' ? "" : "\n");
+  }
 
   if (exit_code == 0 && !timed_out) {
     shard.phase = ShardPhase::Done;
@@ -458,19 +539,81 @@ bool CampaignSupervisor::finished() const {
 void CampaignSupervisor::kill_all() {
   for (ShardRuntime& shard : shards_) {
     if (shard.phase != ShardPhase::Running || shard.pid <= 0) continue;
+    drain_stderr(shard);
     ::kill(shard.pid, SIGKILL);
-    ::waitpid(shard.pid, nullptr, 0);
+    int wait_status = 0;
+    struct ::rusage usage {};
+    ::wait4(shard.pid, &wait_status, 0, &usage);
     live_gauge_add(-1.0);
     release_slot(shard);
+    drain_stderr(shard);
+    close_stderr(shard);
     emit_shard_event("shutdown", shard.status.index, shard.pid);
-    shard.status.active_seconds +=
+    const double wall_s =
         std::chrono::duration<double>(Clock::now() - shard.spawned_at).count();
+    shard.status.active_seconds += wall_s;
+    record_forensics(shard, "shutdown", 128 + SIGKILL, SIGKILL, wall_s, &usage);
     // Resumable, not failed: the checkpoints the worker committed stay
     // inherited by the next run of this directory.
     shard.phase = ShardPhase::Pending;
     shard.pid = -1;
     shard.next_spawn = Clock::now();
   }
+}
+
+void CampaignSupervisor::drain_stderr(ShardRuntime& shard) {
+  if (shard.stderr_fd < 0) return;
+  // Bounded ring tail: keep the newest bytes, drop the oldest.  4 KiB is
+  // enough for the exception + a few context lines a dying worker prints.
+  constexpr std::size_t kTailMax = 4096;
+  char buf[1024];
+  while (true) {
+    const ::ssize_t n = ::read(shard.stderr_fd, buf, sizeof buf);
+    if (n <= 0) break;  // 0 = EOF, -1 = would-block or error
+    shard.stderr_tail.append(buf, static_cast<std::size_t>(n));
+    if (shard.stderr_tail.size() > kTailMax) {
+      shard.stderr_tail.erase(0, shard.stderr_tail.size() - kTailMax);
+    }
+  }
+}
+
+void CampaignSupervisor::close_stderr(ShardRuntime& shard) {
+  if (shard.stderr_fd >= 0) {
+    ::close(shard.stderr_fd);
+    shard.stderr_fd = -1;
+  }
+}
+
+void CampaignSupervisor::record_forensics(const ShardRuntime& shard, const char* event,
+                                          int exit_code, int signal, double wall_s,
+                                          const struct ::rusage* usage) const {
+  ForensicsRow row;
+  row.ts_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  row.shard = shard.status.index;
+  row.attempt = std::max(1, shard.status.spawns);
+  row.pid = shard.pid;
+  row.event = event;
+  row.exit_code = exit_code;
+  row.signal = signal;
+  row.wall_s = wall_s;
+  if (usage != nullptr) {
+    row.cpu_user_s = static_cast<double>(usage->ru_utime.tv_sec) +
+                     static_cast<double>(usage->ru_utime.tv_usec) * 1e-6;
+    row.cpu_sys_s = static_cast<double>(usage->ru_stime.tv_sec) +
+                    static_cast<double>(usage->ru_stime.tv_usec) * 1e-6;
+    row.max_rss_kb = usage->ru_maxrss;
+  }
+  const CheckpointReadResult ckpt =
+      read_checkpoint(shard_checkpoint_path(spec_, shard.status.index, spec_.shards));
+  row.checkpoint_records = ckpt.records.size();
+  for (const CheckpointRecord& record : ckpt.records) {
+    row.last_checkpoint_index =
+        std::max(row.last_checkpoint_index, static_cast<long long>(record.index));
+  }
+  row.stderr_tail = shard.stderr_tail;
+  append_forensics_row(forensics_path(spec_.checkpoint_dir), row);
 }
 
 std::vector<ShardStatus> CampaignSupervisor::shard_statuses() const {
@@ -517,6 +660,23 @@ ServiceResult CampaignSupervisor::finish() {
     }
     result.shards.push_back(shard.status);
   }
+
+  // Fold whatever per-shard telemetry the workers flushed into the
+  // per-job artifacts (metrics.json / trace.json / events.jsonl /
+  // summary.json).  A telemetry-off run has no shard files and this is
+  // a no-op, so campaign artifacts stay exactly as before.
+  FleetSummaryInfo fleet;
+  fleet.campaign = to_string(spec_.kind);
+  fleet.cases_total = result.cases_total;
+  fleet.cases_resumed = result.cases_resumed;
+  fleet.cases_failed = result.cases_failed;
+  fleet.shards = spec_.shards;
+  for (const ShardStatus& shard : result.shards) {
+    fleet.per_shard.push_back({shard.index, shard.range.begin, shard.range.end,
+                               shard.spawns, shard.restarts, shard.timeouts,
+                               shard.cases_computed, shard.active_seconds, shard.ok});
+  }
+  merge_fleet_telemetry(spec_.checkpoint_dir, fleet);
 
   result.report = campaign_->report(records);
   if (!spec_.report_path.empty()) {

@@ -18,6 +18,7 @@
 // so concurrent campaigns share the worker fleet.
 #pragma once
 
+#include <sys/resource.h>
 #include <sys/types.h>
 
 #include <chrono>
@@ -153,11 +154,22 @@ class CampaignSupervisor {
     std::chrono::steady_clock::time_point spawned_at{};
     std::chrono::steady_clock::time_point next_spawn{};
     std::size_t checkpoint_records_before = 0;
+    // Worker stderr capture: nonblocking read end of the worker's stderr
+    // pipe, drained each poll into a bounded tail for forensics.
+    int stderr_fd = -1;
+    std::string stderr_tail;
   };
 
   void step_spawn(ShardRuntime& shard, std::chrono::steady_clock::time_point now);
   void step_running(ShardRuntime& shard, std::chrono::steady_clock::time_point now);
   void release_slot(ShardRuntime& shard);
+  void drain_stderr(ShardRuntime& shard);
+  void close_stderr(ShardRuntime& shard);
+  // One forensics.jsonl row per worker exit (exit/crash/timeout/shutdown/
+  // spawn_error): decoded status, rusage, last checkpoint index, stderr
+  // tail.  Always on -- forensics never touches the report bytes.
+  void record_forensics(const ShardRuntime& shard, const char* event, int exit_code,
+                        int signal, double wall_s, const struct ::rusage* usage) const;
   void note(const char* fmt, int shard, long long a = 0, long long b = 0) const;
 
   CampaignSpec spec_;
@@ -205,7 +217,10 @@ class ScopedSignalCapture {
 
 // Worker-mode guard: when argv carries --lcosc-shard, runs that shard to
 // completion and returns the process exit code; std::nullopt otherwise.
-// Call first thing in main() of any binary used as a coordinator.
+// Call first thing in main() of any binary used as a coordinator.  The
+// optional --lcosc-shard-attempt N (1-based spawn number, default 1)
+// names this attempt's telemetry flush files so a restarted worker never
+// overwrites what a killed predecessor already flushed (DESIGN.md §15).
 [[nodiscard]] std::optional<int> maybe_run_shard(int argc, char** argv);
 
 // In-process body of one shard (exposed for tests): runs the cases of

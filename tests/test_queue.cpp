@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "service/flat_json.h"
 #include "service/queue.h"
 #include "service/supervisor.h"
 
@@ -360,7 +362,30 @@ TEST_F(QueueTest, ProgressCountsCheckpointedCasesPerShard) {
     EXPECT_EQ(shard.done, shard.range.size()) << shard.index;
   }
   // The coordinator streamed a progress snapshot for external tooling.
-  EXPECT_TRUE(fs::exists(queue.find(job.id)->progress_path));
+  const std::string progress_path = queue.find(job.id)->progress_path;
+  ASSERT_TRUE(fs::exists(progress_path));
+
+  // The snapshot is one flat JSON object a poller (`campaign_service
+  // top`) reads with FlatJsonParser: a wall-clock heartbeat to tell a
+  // slow job from a dead coordinator, fleet slot utilization, and flat
+  // per-shard keys.
+  std::map<std::string, std::string> fields;
+  FlatJsonParser(file_bytes(progress_path)).context("progress").parse_object(
+      [&](const std::string& key, const std::string& value, bool) { fields[key] = value; });
+  ASSERT_TRUE(fields.count("heartbeat_unix_ms"));
+  EXPECT_GT(std::stoll(fields.at("heartbeat_unix_ms")), 1700000000000LL)
+      << "heartbeat must be unix wall-clock milliseconds";
+  EXPECT_EQ(fields.at("job"), job.id);
+  EXPECT_EQ(fields.at("cases_total"), "6");
+  EXPECT_EQ(fields.at("shards"), "2");
+  EXPECT_TRUE(fields.count("fleet_slots_in_use"));
+  EXPECT_TRUE(fields.count("fleet_slots_capacity"));
+  for (const int shard : {0, 1}) {
+    for (const char* suffix : {"begin", "end", "done", "spawns", "restarts", "timeouts"}) {
+      const std::string key = "shard_" + std::to_string(shard) + "_" + suffix;
+      EXPECT_TRUE(fields.count(key)) << key;
+    }
+  }
 }
 
 }  // namespace

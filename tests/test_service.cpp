@@ -10,22 +10,78 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/campaign.h"
 #include "common/error.h"
+#include "json_validator.h"
 #include "service/adapters.h"
+#include "service/flat_json.h"
 #include "service/supervisor.h"
+#include "service/telemetry_merge.h"
 
 namespace lcosc::service {
 namespace {
 
 namespace fs = std::filesystem;
+using lcosc::testutil::JsonValidator;
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Save/restore one environment variable so telemetry toggles set for the
+// exec'd shard workers never leak into later tests.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    if (const char* value = std::getenv(name)) saved_ = value;
+  }
+  ~EnvGuard() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// Parse every forensics row under `checkpoint_dir` into key -> raw-value
+// maps (one per line).
+std::vector<std::map<std::string, std::string>> forensics_rows(
+    const std::string& checkpoint_dir) {
+  std::vector<std::map<std::string, std::string>> rows;
+  std::ifstream in(forensics_path(checkpoint_dir));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, std::string> fields;
+    FlatJsonParser(line).context("forensics").parse_object(
+        [&](const std::string& key, const std::string& value, bool) {
+          fields[key] = value;
+        });
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
 
 CampaignSpec small_tolerance_spec() {
   CampaignSpec spec;
@@ -330,6 +386,182 @@ TEST_F(ServiceTest, StalledWorkerIsKilledOnTimeoutAndRestartDelivers) {
     EXPECT_GE(shard.timeouts, 1);
     EXPECT_GE(shard.spawns, 2);
   }
+
+  // The watchdog kill left a forensics row naming the signal: event
+  // "timeout", SIGKILL, and per-row attempt/rusage fields present.
+  int timeout_rows = 0;
+  for (const auto& row : forensics_rows(spec.checkpoint_dir)) {
+    if (row.at("event") != "timeout") continue;
+    ++timeout_rows;
+    EXPECT_EQ(row.at("signal_name"), "SIGKILL");
+    EXPECT_EQ(row.at("attempt"), "1");  // only the first spawn stalls
+    EXPECT_TRUE(row.count("max_rss_kb"));
+    EXPECT_TRUE(row.count("wall_s"));
+  }
+  EXPECT_EQ(timeout_rows, 2);
+}
+
+TEST_F(ServiceTest, FleetTelemetryArtifactsMergeDeterministicallyAcrossShardCounts) {
+  // Workers are fork/exec'd, so telemetry toggles reach them through the
+  // environment; the guards restore whatever the test runner had.
+  EnvGuard metrics_env("LCOSC_METRICS");
+  EnvGuard trace_env("LCOSC_TRACE");
+  EnvGuard events_env("LCOSC_EVENTS");
+  ::setenv("LCOSC_METRICS", "1", 1);
+  ::setenv("LCOSC_TRACE", "1", 1);
+
+  CampaignSpec spec = small_tolerance_spec();
+  std::map<int, std::string> metrics_bytes;
+  for (const int shards : {1, 2, 3}) {
+    spec.shards = shards;
+    spec.checkpoint_dir = subdir("fleet_" + std::to_string(shards));
+    // Exercise the event-log path too: the env seed file is replaced by
+    // the per-shard flush file as soon as the worker opens it.
+    ::setenv("LCOSC_EVENTS", (spec.checkpoint_dir + "/events_seed.jsonl").c_str(), 1);
+    const ServiceResult result = run_campaign_service(spec);
+    ASSERT_FALSE(result.degraded());
+
+    const std::string tdir = telemetry_dir(spec.checkpoint_dir);
+    ASSERT_TRUE(fs::exists(tdir + "/metrics.json")) << shards << " shards";
+    metrics_bytes[shards] = file_bytes(tdir + "/metrics.json");
+
+    // The merged fleet trace: valid JSON, one pid per shard, and
+    // timestamps monotone non-decreasing within every pid.
+    const std::string trace = file_bytes(tdir + "/trace.json");
+    EXPECT_TRUE(JsonValidator(trace).valid()) << shards << " shards";
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+    std::map<int, double> last_ts;
+    std::istringstream lines(trace);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t pid_at = line.find("\"pid\": ");
+      const std::size_t ts_at = line.find("\"ts\": ");
+      if (pid_at == std::string::npos || ts_at == std::string::npos) continue;
+      const int pid = std::stoi(line.substr(pid_at + 7));
+      const double ts = std::stod(line.substr(ts_at + 6));
+      EXPECT_LT(pid, shards);
+      const auto it = last_ts.find(pid);
+      if (it != last_ts.end()) {
+        EXPECT_GE(ts, it->second) << line;
+      }
+      last_ts[pid] = ts;
+    }
+    EXPECT_FALSE(last_ts.empty());
+
+    // summary.json carries the wall-clock case-latency quantiles.
+    const std::string summary = file_bytes(tdir + "/summary.json");
+    EXPECT_TRUE(JsonValidator(summary).valid());
+    EXPECT_NE(summary.find("\"service.case.wall_ms\""), std::string::npos);
+    EXPECT_NE(summary.find("\"p50\""), std::string::npos);
+    EXPECT_NE(summary.find("\"p95\""), std::string::npos);
+    EXPECT_NE(summary.find("\"p99\""), std::string::npos);
+
+    // Events concatenated in shard order, each line a flat object
+    // tagged with its shard.
+    const std::string events = file_bytes(tdir + "/events.jsonl");
+    ASSERT_FALSE(events.empty());
+    EXPECT_NE(events.find("\"shard\": 0"), std::string::npos);
+  }
+
+  // The deterministic artifact: byte-identical for every shard layout
+  // (wall-clock histograms and gauges are excluded by design).
+  EXPECT_FALSE(metrics_bytes[1].empty());
+  EXPECT_EQ(metrics_bytes[1], metrics_bytes[2]);
+  EXPECT_EQ(metrics_bytes[1], metrics_bytes[3]);
+  EXPECT_EQ(metrics_bytes[1].find("wall_ms"), std::string::npos);
+  EXPECT_NE(metrics_bytes[1].find("\"service.cases.computed\": 6"), std::string::npos)
+      << metrics_bytes[1];
+}
+
+TEST_F(ServiceTest, ForensicsRecordsCrashedAndCleanWorkerExits) {
+  CampaignSpec spec = small_tolerance_spec();
+  spec.shards = 2;
+  spec.max_restarts = 8;
+  spec.test_kill_after_cases = 1;  // every spawn dies hard after one case
+  spec.checkpoint_dir = subdir("forensics");
+  const ServiceResult result = run_campaign_service(spec);
+  ASSERT_FALSE(result.degraded());
+
+  int crashes = 0;
+  int clean_exits = 0;
+  long long best_checkpoint = -1;
+  for (const auto& row : forensics_rows(spec.checkpoint_dir)) {
+    if (row.at("event") == "crash") {
+      ++crashes;
+      EXPECT_EQ(row.at("exit_code"), "137");
+      EXPECT_EQ(row.at("signal"), "0");  // _exit(137), not a real signal
+      best_checkpoint =
+          std::max(best_checkpoint, std::stoll(row.at("last_checkpoint_index")));
+    } else if (row.at("event") == "exit") {
+      ++clean_exits;
+      EXPECT_EQ(row.at("exit_code"), "0");
+    }
+    EXPECT_TRUE(row.count("pid"));
+    EXPECT_TRUE(row.count("cpu_user_s"));
+    EXPECT_TRUE(row.count("checkpoint_records"));
+  }
+  // 3 cases per shard, one per life: at least two crashes per shard
+  // before the last life finishes cleanly.
+  EXPECT_GE(crashes, 4);
+  EXPECT_EQ(clean_exits, 2);
+  // The crash rows point at real committed progress.
+  EXPECT_GE(best_checkpoint, 0);
+}
+
+TEST_F(ServiceTest, WorkerStderrTailIsCapturedInForensics) {
+  // A worker binary that only complains and fails: its stderr must come
+  // back through the supervisor's capture pipe into the forensics row.
+  const std::string script = subdir("worker.sh");
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\necho 'boom from worker' >&2\nexit 7\n";
+  }
+  fs::permissions(script, fs::perms::owner_all);
+
+  CampaignSpec spec = small_tolerance_spec();
+  spec.shards = 1;
+  spec.max_restarts = 0;
+  spec.checkpoint_dir = subdir("stderr");
+  ServiceOptions options;
+  options.worker_exe = script;
+  const ServiceResult result = run_campaign_service(spec, options);
+  EXPECT_TRUE(result.degraded());
+
+  bool found = false;
+  for (const auto& row : forensics_rows(spec.checkpoint_dir)) {
+    if (row.at("event") != "crash") continue;
+    found = true;
+    EXPECT_EQ(row.at("exit_code"), "7");
+    EXPECT_NE(row.at("stderr_tail").find("boom from worker"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ServiceTest, TelemetryOffLeavesReportsByteIdenticalAndNoArtifacts) {
+  EnvGuard metrics_env("LCOSC_METRICS");
+  EnvGuard trace_env("LCOSC_TRACE");
+  EnvGuard events_env("LCOSC_EVENTS");
+  ::unsetenv("LCOSC_METRICS");
+  ::unsetenv("LCOSC_TRACE");
+  ::unsetenv("LCOSC_EVENTS");
+
+  CampaignSpec spec = small_tolerance_spec();
+  const std::string reference = reference_report(spec);
+  spec.shards = 2;
+  spec.checkpoint_dir = subdir("dark");
+  const ServiceResult result = run_campaign_service(spec);
+  EXPECT_EQ(result.report, reference);
+
+  // Forensics is always on; everything else must be absent so a
+  // telemetry-free run leaves the checkpoint directory exactly as the
+  // pre-telemetry service did (plus the forensics log).
+  const std::string tdir = telemetry_dir(spec.checkpoint_dir);
+  EXPECT_TRUE(fs::exists(forensics_path(spec.checkpoint_dir)));
+  EXPECT_FALSE(fs::exists(tdir + "/metrics.json"));
+  EXPECT_FALSE(fs::exists(tdir + "/trace.json"));
+  EXPECT_FALSE(fs::exists(tdir + "/events.jsonl"));
+  EXPECT_FALSE(fs::exists(tdir + "/summary.json"));
 }
 
 TEST_F(ServiceTest, ReportFileIsWrittenAtomicallyAtTheConfiguredPath) {

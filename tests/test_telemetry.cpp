@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "json_validator.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
@@ -43,140 +44,9 @@ InternalFmeaConfig small_campaign() {
   return cfg;
 }
 
-// --- minimal JSON well-formedness validator -------------------------------
-
-class JsonValidator {
- public:
-  explicit JsonValidator(std::string text) : text_(std::move(text)) {}
-
-  bool valid() {
-    pos_ = 0;
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word) {
-    const std::size_t n = std::string_view(word).size();
-    if (text_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool string() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    bool digits = false;
-    auto eat_digits = [&] {
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-        digits = true;
-      }
-    };
-    eat_digits();
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      eat_digits();
-    }
-    if (digits && pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-      eat_digits();
-    }
-    return digits && pos_ > start;
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (pos_ < text_.size()) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-    return false;
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (pos_ < text_.size()) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-    return false;
-  }
-
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string();
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    return number();
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
+// JSON well-formedness validation lives in tests/json_validator.h,
+// shared with test_fleet_obs.cpp and test_service.cpp.
+using lcosc::testutil::JsonValidator;
 
 TEST(JsonValidatorSelfTest, AcceptsAndRejects) {
   EXPECT_TRUE(JsonValidator(R"({"a": [1, -2.5e3, "x\"y"], "b": {"c": true}})").valid());
