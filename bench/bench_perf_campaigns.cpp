@@ -5,12 +5,21 @@
 // writes a machine-readable BENCH_campaigns.json so later PRs can track
 // the perf trajectory (speedup is ~1x on single-core hosts; the JSON
 // records the hardware concurrency so runs are comparable).
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,6 +33,7 @@
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
+#include "service/adapters.h"
 #include "service/queue.h"
 #include "service/supervisor.h"
 #include "service/telemetry_merge.h"
@@ -31,6 +41,7 @@
 #include "spice/circuit.h"
 #include "spice/sweep.h"
 #include "spice/transient_solver.h"
+#include "system/batched_envelope.h"
 #include "system/envelope_simulator.h"
 #include "system/fmea_campaign.h"
 #include "system/tolerance_analysis.h"
@@ -522,6 +533,199 @@ ServiceTiming bench_service_sharding() {
   return t;
 }
 
+// Chunked shard drain vs per-case shard drain (DESIGN.md §16).  The
+// timed loops are exactly what a shard worker executes per checkpoint
+// record: the pre-chunk worker called run_case (one EnvelopeSimulator
+// per case) for every remaining index; the chunked worker calls
+// run_cases once per chunk-aligned group and commits the same
+// one-record-per-case checkpoints.  The fork/exec + fsync tax is
+// identical on both sides (the "service" row keeps it visible), so it is
+// excluded here.  `identical` demands (a) record-for-record equality of
+// the two drains and (b) byte equality of full service reports run with
+// chunk_lanes=1 vs 64 -- chunking must never move a result bit.
+struct BatchedServiceTiming {
+  std::string name;
+  std::size_t items = 0;
+  int chunk_lanes = 1;
+  double per_case_ms = 0.0;
+  double chunked_ms = 0.0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return chunked_ms > 0.0 ? per_case_ms / chunked_ms : 0.0;
+  }
+};
+
+BatchedServiceTiming bench_batched_service() {
+  namespace fs = std::filesystem;
+  service::CampaignSpec spec;
+  spec.kind = service::CampaignKind::Tolerance;
+  spec.samples = 48;
+  spec.run_duration = 20e-3;
+
+  BatchedServiceTiming t;
+  t.name = "tolerance_shard_drain";
+  t.items = static_cast<std::size_t>(spec.samples);
+  t.chunk_lanes = 64;
+  spec.chunk_lanes = t.chunk_lanes;
+
+  const std::unique_ptr<ShardableCampaign> campaign = service::make_campaign(spec);
+  const std::size_t n = campaign->case_count();
+  const std::size_t stride = campaign->chunk_stride();
+
+  std::vector<std::string> per_case_records;
+  t.per_case_ms = time_ms([&] {
+    for (std::size_t i = 0; i < n; ++i) per_case_records.push_back(campaign->run_case(i));
+  });
+
+  std::vector<std::string> chunked_records;
+  t.chunked_ms = time_ms([&] {
+    for (std::size_t first = 0; first < n; first += stride) {
+      const std::size_t count = std::min(stride, n - first);
+      for (std::string& r : campaign->run_cases(first, count)) {
+        chunked_records.push_back(std::move(r));
+      }
+    }
+  });
+  t.identical = per_case_records == chunked_records;
+
+  // Full-service cross-check: the rendered report must not depend on the
+  // chunk layout either.
+  auto report_with = [&](int chunk_lanes, const std::string& dir) {
+    fs::remove_all(dir);
+    spec.chunk_lanes = chunk_lanes;
+    spec.checkpoint_dir = dir;
+    std::string report = run_campaign_service(spec).report;
+    fs::remove_all(dir);
+    return report;
+  };
+  t.identical = t.identical && report_with(1, "artifacts/bench_chunk_1") ==
+                                   report_with(t.chunk_lanes, "artifacts/bench_chunk_n");
+  return t;
+}
+
+// Streaming sweep memory (DESIGN.md §16): the same 10,000-variant
+// envelope sweep once through the bounded rolling window and once as a
+// single materialized batch, each in a forked child so wait4's ru_maxrss
+// isolates that path's peak RSS.  Both children fork from the same
+// parent image back to back, so the delta is the path's own footprint:
+// the one-shot side holds every lane's config + SoA state at once, the
+// streaming side only chunk_lanes of them.
+struct StreamingTiming {
+  std::string name;
+  std::size_t lanes = 0;
+  std::size_t chunk = 0;
+  double streaming_ms = 0.0;
+  double one_shot_ms = 0.0;
+  long streaming_rss_kb = 0;
+  long one_shot_rss_kb = 0;
+  bool identical = false;    // per-lane result checksums match
+  bool rss_bounded = false;  // streaming peak RSS <= one-shot peak RSS
+};
+
+system::BatchedEnvelopeLane streaming_lane(std::size_t i) {
+  static const double scale[5] = {1.0, 0.94, 1.07, 1.02, 0.98};
+  system::BatchedEnvelopeLane lane;
+  lane.config.tank = tank::design_tank(4.0_MHz, 40.0, 3.3_uH);
+  lane.config.regulation.tick_period = 0.25e-3;
+  lane.config.tank.inductance *= scale[i % 5];
+  lane.config.tank.series_resistance *= scale[(i + 2) % 5];
+  lane.config.tank.capacitance1 *= scale[(i + 3) % 5];
+  return lane;
+}
+
+// Order-sensitive checksum over the fields campaign code consumes; equal
+// sums across the two paths is the bit-identity check without shipping
+// 10k results through a pipe.
+std::uint64_t mix_result(std::uint64_t h, std::size_t index,
+                         const system::BatchedLaneResult& r) {
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  std::uint64_t amp = 0;
+  std::uint64_t supply = 0;
+  std::memcpy(&amp, &r.settled_amplitude, sizeof(amp));
+  std::memcpy(&supply, &r.supply_current, sizeof(supply));
+  mix(static_cast<std::uint64_t>(index));
+  mix(static_cast<std::uint64_t>(r.final_code));
+  mix(amp);
+  mix(supply);
+  mix(r.substeps);
+  return h;
+}
+
+// Runs `body` in a forked child: the child writes "<checksum> <ms>" to
+// `result_path` and exits 0; the parent reads the child's peak RSS from
+// wait4 (ru_maxrss, kilobytes on Linux).
+bool run_rss_child(const std::string& result_path,
+                   const std::function<std::pair<std::uint64_t, double>()>& body,
+                   std::uint64_t& checksum, double& ms, long& rss_kb) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    const std::pair<std::uint64_t, double> r = body();
+    std::ostringstream line;
+    line << r.first << " " << r.second << "\n";
+    (void)write_file_atomic(result_path, line.str());
+    std::_Exit(0);
+  }
+  int status = 0;
+  struct rusage usage {};
+  if (::wait4(pid, &status, 0, &usage) != pid) return false;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return false;
+  std::ifstream in(result_path);
+  if (!(in >> checksum >> ms)) return false;
+  rss_kb = usage.ru_maxrss;
+  return true;
+}
+
+StreamingTiming bench_streaming_sweep() {
+  namespace fs = std::filesystem;
+  StreamingTiming t;
+  t.name = "streaming_sweep_10k";
+  t.lanes = 10000;
+  t.chunk = 64;
+  const double duration = 2e-3;
+  std::error_code ec;
+  fs::create_directories("artifacts", ec);
+
+  auto streaming_body = [&] {
+    std::uint64_t sum = 0;
+    const system::BatchedEnvelopeEngine engine(t.chunk);
+    const double ms = time_ms([&] {
+      engine.run(t.lanes, duration, streaming_lane,
+                 [&](std::size_t index, const system::BatchedLaneResult& r) {
+                   sum = mix_result(sum, index, r);
+                 });
+    });
+    return std::pair<std::uint64_t, double>(sum, ms);
+  };
+  auto one_shot_body = [&] {
+    std::uint64_t sum = 0;
+    std::vector<system::BatchedLaneResult> results;
+    const double ms = time_ms([&] {
+      std::vector<system::BatchedEnvelopeLane> lanes;
+      lanes.reserve(t.lanes);
+      for (std::size_t i = 0; i < t.lanes; ++i) lanes.push_back(streaming_lane(i));
+      results = system::run_batched_envelope(lanes, duration);
+    });
+    for (std::size_t i = 0; i < results.size(); ++i) sum = mix_result(sum, i, results[i]);
+    return std::pair<std::uint64_t, double>(sum, ms);
+  };
+
+  std::uint64_t stream_sum = 0;
+  std::uint64_t one_shot_sum = 0;
+  const bool stream_ok = run_rss_child("artifacts/bench_stream_windowed.txt", streaming_body,
+                                       stream_sum, t.streaming_ms, t.streaming_rss_kb);
+  const bool one_ok = run_rss_child("artifacts/bench_stream_one_shot.txt", one_shot_body,
+                                    one_shot_sum, t.one_shot_ms, t.one_shot_rss_kb);
+  t.identical = stream_ok && one_ok && stream_sum == one_shot_sum;
+  t.rss_bounded = stream_ok && one_ok && t.streaming_rss_kb <= t.one_shot_rss_kb;
+  fs::remove("artifacts/bench_stream_windowed.txt", ec);
+  fs::remove("artifacts/bench_stream_one_shot.txt", ec);
+  return t;
+}
+
 // Multi-job queue throughput (DESIGN.md §14): N campaigns run back-to-
 // back directly vs submitted to the job queue and drained by one
 // coordinator with a shared worker fleet.  `identical` demands byte
@@ -671,6 +875,8 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
                 const std::vector<AdaptiveTiming>& adaptives,
                 const std::vector<BatchedTiming>& batched,
                 const std::vector<ServiceTiming>& services,
+                const std::vector<BatchedServiceTiming>& batched_services,
+                const std::vector<StreamingTiming>& streams,
                 const std::vector<QueueTiming>& queues,
                 const std::vector<FleetObsTiming>& fleet_obs) {
   std::ostringstream out;
@@ -764,6 +970,34 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
         << "      \"identical_reports\": " << (t.identical ? "true" : "false") << "\n"
         << "    }" << (i + 1 < services.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"batched_service\": [\n";
+  for (std::size_t i = 0; i < batched_services.size(); ++i) {
+    const BatchedServiceTiming& t = batched_services[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"items\": " << t.items << ",\n"
+        << "      \"chunk_lanes\": " << t.chunk_lanes << ",\n"
+        << "      \"per_case_ms\": " << t.per_case_ms << ",\n"
+        << "      \"chunked_ms\": " << t.chunked_ms << ",\n"
+        << "      \"speedup\": " << t.speedup() << ",\n"
+        << "      \"identical_reports\": " << (t.identical ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < batched_services.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"streaming\": [\n";
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const StreamingTiming& t = streams[i];
+    out << "    {\n"
+        << "      \"name\": \"" << t.name << "\",\n"
+        << "      \"lanes\": " << t.lanes << ",\n"
+        << "      \"chunk_lanes\": " << t.chunk << ",\n"
+        << "      \"streaming_ms\": " << t.streaming_ms << ",\n"
+        << "      \"one_shot_ms\": " << t.one_shot_ms << ",\n"
+        << "      \"streaming_peak_rss_kb\": " << t.streaming_rss_kb << ",\n"
+        << "      \"one_shot_peak_rss_kb\": " << t.one_shot_rss_kb << ",\n"
+        << "      \"identical_results\": " << (t.identical ? "true" : "false") << ",\n"
+        << "      \"rss_bounded\": " << (t.rss_bounded ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < streams.size() ? "," : "") << "\n";
+  }
   out << "  ],\n  \"queue\": [\n";
   for (std::size_t i = 0; i < queues.size(); ++i) {
     const QueueTiming& t = queues[i];
@@ -822,6 +1056,14 @@ void write_json(const std::string& path, const std::vector<CampaignTiming>& timi
   for (const ServiceTiming& t : services) {
     phase(t.name + ".single_process", t.single_ms);
     phase(t.name + ".sharded", t.sharded_ms);
+  }
+  for (const BatchedServiceTiming& t : batched_services) {
+    phase(t.name + ".per_case", t.per_case_ms);
+    phase(t.name + ".chunked", t.chunked_ms);
+  }
+  for (const StreamingTiming& t : streams) {
+    phase(t.name + ".windowed", t.streaming_ms);
+    phase(t.name + ".one_shot", t.one_shot_ms);
   }
   for (const QueueTiming& t : queues) {
     phase(t.name + ".direct", t.direct_ms);
@@ -913,6 +1155,29 @@ int main(int argc, char** argv) {
   }
   stable.print(std::cout);
 
+  std::cout << "\n=== Shard worker: per-case drain vs chunked drain ===\n\n";
+  const std::vector<BatchedServiceTiming> batched_services = {bench_batched_service()};
+  TablePrinter cstable({"workload", "items", "chunk", "per-case [ms]", "chunked [ms]",
+                        "speedup", "identical"});
+  for (const BatchedServiceTiming& t : batched_services) {
+    cstable.add_values(t.name, t.items, t.chunk_lanes,
+                       format_significant(t.per_case_ms, 4),
+                       format_significant(t.chunked_ms, 4),
+                       format_significant(t.speedup(), 3), t.identical);
+  }
+  cstable.print(std::cout);
+
+  std::cout << "\n=== Streaming sweep: rolling window vs one-shot batch (peak RSS) ===\n\n";
+  const std::vector<StreamingTiming> streams = {bench_streaming_sweep()};
+  TablePrinter wtable({"workload", "lanes", "chunk", "windowed [ms]", "one-shot [ms]",
+                       "windowed RSS [kB]", "one-shot RSS [kB]", "identical", "bounded"});
+  for (const StreamingTiming& t : streams) {
+    wtable.add_values(t.name, t.lanes, t.chunk, format_significant(t.streaming_ms, 4),
+                      format_significant(t.one_shot_ms, 4), t.streaming_rss_kb,
+                      t.one_shot_rss_kb, t.identical, t.rss_bounded);
+  }
+  wtable.print(std::cout);
+
   std::cout << "\n=== Job queue: direct back-to-back vs shared-fleet drain ===\n\n";
   const std::vector<QueueTiming> queues = {bench_queue_throughput()};
   TablePrinter qtable({"workload", "jobs", "direct [ms]", "queued [ms]", "speedup",
@@ -955,7 +1220,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_campaigns.json", timings, transients, adaptives, batched, services,
-             queues, fleet_obs);
+             batched_services, streams, queues, fleet_obs);
   if (obs::trace_enabled()) {
     obs::write_chrome_trace("artifacts/trace_campaigns.json");
     std::cout << "\n(trace: artifacts/trace_campaigns.json, "
@@ -977,6 +1242,14 @@ int main(int argc, char** argv) {
             << "  - identical=true on the service row: sharding the campaign across\n"
             << "    worker subprocesses (fork/exec + checkpoint fsync per case)\n"
             << "    reproduces the single-process report byte for byte;\n"
+            << "  - identical=true on the batched_service row at >= 2x speedup: the\n"
+            << "    chunked shard drain (lockstep chunks per run_cases call, one\n"
+            << "    checkpoint record per case) reproduces the per-case drain's report\n"
+            << "    byte for byte while amortizing the envelope time loop;\n"
+            << "  - identical=true and bounded=true on the streaming row: the 10k-lane\n"
+            << "    rolling-window sweep matches the one-shot batch checksum for\n"
+            << "    checksum while its peak RSS stays at the O(chunk_lanes) floor\n"
+            << "    instead of the one-shot side's O(total);\n"
             << "  - identical=true on the queue row: draining prioritized jobs\n"
             << "    through the shared-fleet coordinator reproduces each job's\n"
             << "    back-to-back direct report byte for byte;\n"

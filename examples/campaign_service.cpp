@@ -31,6 +31,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -56,7 +57,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--spec FILE] [--kind tolerance|fmea|internal_fmea]\n"
       "          [--samples N] [--seed N] [--shards N] [--workers-per-shard N]\n"
-      "          [--max-restarts N] [--shard-timeout-ms MS]\n"
+      "          [--max-restarts N] [--shard-timeout-ms MS] [--chunk-lanes N]\n"
       "          --checkpoint-dir DIR [--report FILE] [--quiet]\n"
       "   or: %s submit --queue DIR [spec flags] [--priority N] [--name S]\n"
       "          [--sweep KEY=V1,V2,...]\n"
@@ -93,6 +94,8 @@ bool handle_spec_flag(CampaignSpec& spec, const std::string& arg,
     spec.workers_per_shard = parse_cli_int(arg, value());
   } else if (arg == "--max-restarts") {
     spec.max_restarts = parse_cli_int(arg, value());
+  } else if (arg == "--chunk-lanes") {
+    spec.chunk_lanes = parse_cli_int(arg, value());
   } else if (arg == "--shard-timeout-ms") {
     spec.shard_timeout_ms = parse_cli_double(arg, value());
   } else if (arg == "--checkpoint-dir") {
@@ -248,14 +251,19 @@ long long flat_ll(const std::map<std::string, std::string>& obj, const std::stri
   }
 }
 
-// Case throughput between polls, keyed by job id.
+// One poll's view of a job's committed-case count.  The CASES/S column
+// averages over a sliding window of these, never a single poll-to-poll
+// delta: a chunked shard drain commits up to chunk_lanes cases in one
+// burst, so adjacent-poll deltas whipsaw between 0 and hundreds while
+// the true throughput is steady.
 struct TopSample {
-  long long cases_done = -1;
+  long long cases_done = 0;
   std::chrono::steady_clock::time_point at{};
 };
+constexpr double kTopRateWindowSeconds = 10.0;
 
 int cmd_top(const JobQueue& queue, int interval_ms, bool once) {
-  std::map<std::string, TopSample> history;
+  std::map<std::string, std::deque<TopSample>> history;
   const bool live = !once;
   while (true) {
     const auto poll_at = std::chrono::steady_clock::now();
@@ -327,21 +335,25 @@ int cmd_top(const JobQueue& queue, int interval_ms, bool once) {
         slots_capacity = static_cast<int>(flat_ll(progress, "fleet_slots_capacity", -1));
       }
 
-      // Throughput from cases_done deltas across our own polls.
+      // Throughput over the trailing sample window (burst-tolerant).
       std::string rate = "-";
-      TopSample& prev = history[job.id];
+      std::deque<TopSample>& window = history[job.id];
       if (done >= 0) {
-        if (prev.cases_done >= 0 && done >= prev.cases_done) {
-          const double dt = std::chrono::duration<double>(poll_at - prev.at).count();
-          if (dt > 0.0) {
-            char buf[32];
-            std::snprintf(buf, sizeof(buf), "%.1f",
-                          static_cast<double>(done - prev.cases_done) / dt);
-            rate = buf;
-          }
+        window.push_back({done, poll_at});
+        // Trim samples whose removal still leaves the full window span.
+        while (window.size() > 2 &&
+               std::chrono::duration<double>(poll_at - window[1].at).count() >=
+                   kTopRateWindowSeconds) {
+          window.pop_front();
         }
-        prev.cases_done = done;
-        prev.at = poll_at;
+        const TopSample& oldest = window.front();
+        const double dt = std::chrono::duration<double>(poll_at - oldest.at).count();
+        if (dt > 0.0 && done >= oldest.cases_done) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.1f",
+                        static_cast<double>(done - oldest.cases_done) / dt);
+          rate = buf;
+        }
       }
 
       std::string beat = "-";

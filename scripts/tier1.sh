@@ -49,7 +49,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   # the fault-injection, campaign and batched-lockstep binaries.  (-R must
   # precede the bare -j or ctest parses it as the job count.)
   ctest --output-on-failure \
-    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|NumericNameLess|Service|Queue|FleetObs)' -j
+    -R '^(Campaign|Internal|Fault|Fmea|Parallel|System|Tolerance|TransientBatch|Batched|DeviceBanks|Checkpoint|NumericNameLess|Service|Queue|FleetObs|RunSession)' -j
   exit 0
 fi
 
@@ -65,7 +65,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure \
-    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|NumericNameLess|Service|Queue|FleetObs)' -j
+    -R '^(Obs|Telemetry|JsonValidator|Campaign|Internal|Fault|Fmea|Parallel|System|Checkpoint|NumericNameLess|Service|Queue|FleetObs|RunSession)' -j
   exit 0
 fi
 
@@ -126,6 +126,15 @@ rm -f "$smoke_dir/run_report.txt"
   --checkpoint-dir "$smoke_dir/run" --report "$smoke_dir/run_report.txt" --quiet >/dev/null
 cmp "$smoke_dir/ref_report.txt" "$smoke_dir/run_report.txt"
 echo "service kill/resume smoke: report byte-identical to the single-process run"
+
+# Smoke step: batch-aware shard drain (DESIGN.md §16).  The same campaign
+# drained case by case (--chunk-lanes 1) across 3 shards must render the
+# byte-identical report to the single-process lockstep-chunked reference
+# above -- the chunk layout is a performance knob, never a result bit.
+"$svc" --kind tolerance --samples 96 --shards 3 --chunk-lanes 1 \
+  --checkpoint-dir "$smoke_dir/chunk1" --report "$smoke_dir/chunk1_report.txt" --quiet >/dev/null
+cmp "$smoke_dir/ref_report.txt" "$smoke_dir/chunk1_report.txt"
+echo "chunked drain smoke: per-case and lockstep-chunked reports byte-identical"
 
 # Smoke step: multi-job campaign queue (DESIGN.md §14).  Submit two jobs
 # at different priorities, kill -9 the draining coordinator mid-run,

@@ -128,6 +128,29 @@ class ShardableCampaign {
   // abort).  `message` must be deterministic.
   [[nodiscard]] virtual std::string error_record(std::size_t index,
                                                  const std::string& message) const = 0;
+  // Run the contiguous case span [first, first + count) and serialize the
+  // rows in index order.  The default loops run_case; campaigns with a
+  // lockstep batched engine override it to advance the whole span at
+  // once.  Overrides MUST keep every record a pure function of its global
+  // case index: record i of the returned vector is byte-identical to
+  // run_case(first + i) no matter how the caller slices the span (the
+  // service's checkpoint/resume machinery interleaves chunked and
+  // per-case execution freely).
+  [[nodiscard]] virtual std::vector<std::string> run_cases(std::size_t first,
+                                                           std::size_t count) const {
+    std::vector<std::string> records;
+    records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) records.push_back(run_case(first + i));
+    return records;
+  }
+
+  // Preferred batch granularity for run_cases, in cases.  The service's
+  // shard loop cuts its drain groups at multiples of this stride in
+  // GLOBAL case index (never shard-relative offset), so a chunk straddles
+  // shard boundaries identically for every layout.  1 (the default)
+  // means per-case execution.
+  [[nodiscard]] virtual std::size_t chunk_stride() const { return 1; }
+
   // Render the final report from case_count() records in index order.
   [[nodiscard]] virtual std::string report(const std::vector<std::string>& records) const = 0;
 

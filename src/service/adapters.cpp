@@ -135,6 +135,7 @@ class ToleranceCampaign final : public ShardableCampaign {
     config_.run_duration = spec.run_duration;
     config_.max_retries = spec.max_retries;
     config_.retry_backoff = spec.case_backoff;
+    config_.chunk_lanes = static_cast<std::size_t>(spec.chunk_lanes);
   }
 
   [[nodiscard]] std::size_t case_count() const override {
@@ -148,6 +149,25 @@ class ToleranceCampaign final : public ShardableCampaign {
   [[nodiscard]] std::string run_case(std::size_t index) const override {
     return encode(system::run_tolerance_sample(config_, static_cast<int>(index)));
   }
+
+  // Chunked drain: the span goes through the lockstep batched engine
+  // (run_tolerance_samples cuts it at global chunk_lanes boundaries), so
+  // a shard worker advances up to chunk_lanes cases in one SoA time loop
+  // instead of one EnvelopeSimulator per case.  Lane arithmetic is
+  // independent and the serial fallback replays diverging lanes through
+  // run_tolerance_sample, so record i is byte-identical to
+  // run_case(first + i) for every span slicing.
+  [[nodiscard]] std::vector<std::string> run_cases(std::size_t first,
+                                                   std::size_t count) const override {
+    const std::vector<system::ToleranceSample> samples =
+        system::run_tolerance_samples(config_, first, count);
+    std::vector<std::string> records;
+    records.reserve(samples.size());
+    for (const system::ToleranceSample& sample : samples) records.push_back(encode(sample));
+    return records;
+  }
+
+  [[nodiscard]] std::size_t chunk_stride() const override { return config_.chunk_lanes; }
 
   [[nodiscard]] std::string error_record(std::size_t /*index*/,
                                          const std::string& message) const override {
@@ -387,6 +407,7 @@ class InternalFmeaCampaign final : public ShardableCampaign {
     config_.observe_time = spec.observe_time;
     config_.max_retries = spec.max_retries;
     config_.retry_backoff = spec.case_backoff;
+    chunk_stride_ = static_cast<std::size_t>(spec.chunk_lanes);
     faults_ = system::internal_fmea_case_list(config_);
   }
 
@@ -397,17 +418,25 @@ class InternalFmeaCampaign final : public ShardableCampaign {
   }
 
   [[nodiscard]] std::string run_case(std::size_t index) const override {
-    const system::InternalFmeaRow row = system::run_internal_fmea_case_at(config_, index);
-    FmeaCaseFields f;
-    f.observed = row.observed;
-    f.detected = row.detected;
-    f.expected_channel_hit = row.expected_channel_hit;
-    f.safe_state_entered = row.safe_state_entered;
-    f.detection_latency = row.detection_latency;
-    f.final_code = row.final_code;
-    f.status = row.status;
-    return encode_fmea_fields(f);
+    return encode_row(system::run_internal_fmea_case_at(config_, index));
   }
+
+  // Chunked drain: a contiguous span shares one healthy settle prefix (a
+  // paused RunSession copied per fault), skipping the re-simulated
+  // startup that dominates each case.  Rows are byte-identical to
+  // per-case execution -- diverging continuations fall back to the full
+  // serial case inside run_internal_fmea_cases.
+  [[nodiscard]] std::vector<std::string> run_cases(std::size_t first,
+                                                   std::size_t count) const override {
+    const std::vector<system::InternalFmeaRow> rows =
+        system::run_internal_fmea_cases(config_, first, count);
+    std::vector<std::string> records;
+    records.reserve(rows.size());
+    for (const system::InternalFmeaRow& row : rows) records.push_back(encode_row(row));
+    return records;
+  }
+
+  [[nodiscard]] std::size_t chunk_stride() const override { return chunk_stride_; }
 
   [[nodiscard]] std::string error_record(std::size_t /*index*/,
                                          const std::string& message) const override {
@@ -461,13 +490,32 @@ class InternalFmeaCampaign final : public ShardableCampaign {
   }
 
  private:
+  [[nodiscard]] static std::string encode_row(const system::InternalFmeaRow& row) {
+    FmeaCaseFields f;
+    f.observed = row.observed;
+    f.detected = row.detected;
+    f.expected_channel_hit = row.expected_channel_hit;
+    f.safe_state_entered = row.safe_state_entered;
+    f.detection_latency = row.detection_latency;
+    f.final_code = row.final_code;
+    f.status = row.status;
+    return encode_fmea_fields(f);
+  }
+
   system::InternalFmeaConfig config_;
   std::vector<faults::InternalFault> faults_;
+  std::size_t chunk_stride_ = 64;
 };
 
 }  // namespace
 
 std::unique_ptr<ShardableCampaign> make_campaign(const CampaignSpec& spec) {
+  // Same bound parse_spec_json enforces; flag-built specs (--chunk-lanes)
+  // reach here without passing through the JSON parser, and an
+  // out-of-range value must be a crisp up-front refusal, not a shard
+  // worker crash-looping into degraded rows.
+  LCOSC_REQUIRE(spec.chunk_lanes >= 1 && spec.chunk_lanes <= 4096,
+                "campaign spec: chunk_lanes must be in [1, 4096]");
   switch (spec.kind) {
     case CampaignKind::Tolerance:
       return std::make_unique<ToleranceCampaign>(spec);

@@ -372,13 +372,39 @@ void JobQueue::write_progress(const JobRecord& job, const std::vector<ShardStatu
                                      std::chrono::system_clock::now().time_since_epoch())
                                      .count();
 
+  // Windowed throughput: average the committed-case delta over a
+  // trailing ~10 s of snapshots.  A chunked shard drain commits up to
+  // chunk_lanes cases in one fsync burst, so the delta between adjacent
+  // snapshots (250 ms apart) alternates between 0 and a whole chunk; the
+  // window smooths the bursts into the true rate.
+  constexpr double kRateWindowSeconds = 10.0;
+  const std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now();
+  std::deque<ProgressSample>& window = rate_history_[job.id];
+  window.push_back({done, now});
+  while (window.size() > 2 &&
+         std::chrono::duration<double>(now - window[1].at).count() >= kRateWindowSeconds) {
+    window.pop_front();
+  }
+  double cases_per_s = -1.0;
+  const ProgressSample& oldest = window.front();
+  const double window_s = std::chrono::duration<double>(now - oldest.at).count();
+  if (window_s > 0.0 && done >= oldest.cases_done) {
+    cases_per_s = static_cast<double>(done - oldest.cases_done) / window_s;
+  }
+
   std::ostringstream out;
   out << "{\n"
       << "  \"job\": \"" << json_escape(job.id) << "\",\n"
       << "  \"state\": \"" << to_string(job.state) << "\",\n"
       << "  \"heartbeat_unix_ms\": " << heartbeat_ms << ",\n"
       << "  \"cases_total\": " << total << ",\n"
-      << "  \"cases_done\": " << done << ",\n"
+      << "  \"cases_done\": " << done << ",\n";
+  if (cases_per_s >= 0.0) {
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.3f", cases_per_s);
+    out << "  \"cases_per_s\": " << rate_buf << ",\n";
+  }
+  out
       << "  \"fleet_shards_live\": " << static_cast<long long>(fleet_live) << ",\n"
       << "  \"fleet_cases_computed\": " << fleet_computed << ",\n"
       << "  \"fleet_slots_in_use\": " << slots_in_use << ",\n"

@@ -37,7 +37,10 @@
 // list()/claim and harmless.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -160,8 +163,11 @@ class JobQueue {
   // flat JSON object (FlatJsonParser-compatible, so `campaign_service
   // top` and external tooling can poll it) with per-shard checkpoint
   // completion and supervision counters, a `heartbeat_unix_ms` wall
-  // clock (distinguishes a slow job from a dead coordinator), and fleet
-  // slot utilization when the caller knows it (pass -1 when not).
+  // clock (distinguishes a slow job from a dead coordinator), fleet
+  // slot utilization when the caller knows it (pass -1 when not), and a
+  // `cases_per_s` throughput averaged over a trailing ~10 s window --
+  // chunked shard drains commit up to chunk_lanes cases per burst, so a
+  // snapshot-to-snapshot delta would whipsaw between 0 and hundreds.
   void write_progress(const JobRecord& job, const std::vector<ShardStatus>& shards,
                       int slots_in_use = -1, int slots_capacity = -1) const;
 
@@ -171,6 +177,15 @@ class JobQueue {
   void write_job(const JobRecord& job) const;
 
   std::string root_;
+
+  // Trailing completion samples per job id, feeding the windowed
+  // cases_per_s in write_progress (live telemetry only -- never part of
+  // the deterministic artifacts).
+  struct ProgressSample {
+    std::size_t cases_done = 0;
+    std::chrono::steady_clock::time_point at{};
+  };
+  mutable std::map<std::string, std::deque<ProgressSample>> rate_history_;
 };
 
 struct QueueCoordinatorOptions {

@@ -48,6 +48,8 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
       spec.observe_time = num() * 1e-3;
     } else if (key == "max_retries") {
       spec.max_retries = integer();
+    } else if (key == "chunk_lanes") {
+      spec.chunk_lanes = integer();
     } else if (key == "shards") {
       spec.shards = integer();
     } else if (key == "workers_per_shard") {
@@ -85,6 +87,9 @@ CampaignSpec parse_campaign_spec(const std::string& json_text) {
   if (spec.shards < 1) throw ConfigError("campaign spec: shards must be >= 1");
   if (spec.max_restarts < 0) throw ConfigError("campaign spec: max_restarts must be >= 0");
   if (spec.max_retries < 0) throw ConfigError("campaign spec: max_retries must be >= 0");
+  if (spec.chunk_lanes < 1 || spec.chunk_lanes > 4096) {
+    throw ConfigError("campaign spec: chunk_lanes must be in [1, 4096]");
+  }
   if (spec.shard_timeout_ms < 0) {
     throw ConfigError("campaign spec: shard_timeout_ms must be >= 0");
   }
@@ -114,6 +119,7 @@ std::string to_json(const CampaignSpec& spec) {
       << "  \"settle_ms\": " << spec.settle_time * 1e3 << ",\n"
       << "  \"observe_ms\": " << spec.observe_time * 1e3 << ",\n"
       << "  \"max_retries\": " << spec.max_retries << ",\n"
+      << "  \"chunk_lanes\": " << spec.chunk_lanes << ",\n"
       << "  \"shards\": " << spec.shards << ",\n"
       << "  \"workers_per_shard\": " << spec.workers_per_shard << ",\n"
       << "  \"max_restarts\": " << spec.max_restarts << ",\n"

@@ -122,45 +122,78 @@ void run_shard(const CampaignSpec& spec, int shard_index, int shard_count) {
     if (done.find(static_cast<std::uint32_t>(i)) == done.end()) remaining.push_back(i);
   }
 
+  // Chunk-group drain (DESIGN.md §16): contiguous runs of missing cases,
+  // cut at multiples of the campaign's chunk stride in GLOBAL case
+  // index, drain through run_cases() -- the tolerance adapter advances a
+  // whole group in one lockstep batched sweep instead of one simulator
+  // per case.  Cutting at global boundaries keeps the lane grouping a
+  // pure function of the case indices themselves, so the record bytes
+  // cannot depend on the shard layout or on which cases a killed worker
+  // had already committed.
+  const std::size_t stride = std::max<std::size_t>(1, campaign->chunk_stride());
+  struct CaseGroup {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<CaseGroup> groups;
+  for (std::size_t k = 0; k < remaining.size();) {
+    const std::size_t first = remaining[k];
+    const std::size_t boundary = (first / stride + 1) * stride;
+    std::size_t count = 1;
+    while (k + count < remaining.size() && remaining[k + count] == first + count &&
+           first + count < boundary) {
+      ++count;
+    }
+    groups.push_back({first, count});
+    k += count;
+  }
+
   std::mutex append_mutex;
   int fresh = 0;
-  auto run_one = [&](std::size_t slot) {
-    const std::size_t index = remaining[slot];
-    const Clock::time_point case_start = Clock::now();
-    const std::string record = campaign->run_case(index);
+  auto run_group = [&](std::size_t slot) {
+    const CaseGroup group = groups[slot];
+    const Clock::time_point group_start = Clock::now();
+    const std::vector<std::string> records = campaign->run_cases(group.first, group.count);
+    LCOSC_REQUIRE(records.size() == group.count, "run_cases returned a short batch");
     if (obs::metrics_enabled()) {
-      // Wall-clock per-case latency.  The ".wall_ms" suffix keeps this
-      // histogram out of the deterministic fleet metrics.json merge; the
-      // coordinator surfaces its p50/p95/p99 through summary.json.
+      // Wall-clock per-case latency; a chunked group is timed as a whole
+      // and amortized evenly over its cases.  The ".wall_ms" suffix keeps
+      // this histogram out of the deterministic fleet metrics.json merge;
+      // the coordinator surfaces its p50/p95/p99 through summary.json.
       static const std::vector<double> bounds{0.5,  1,    2,    5,    10,   20,  50,
                                               100,  200,  500,  1000, 2000, 5000, 10000};
-      obs::MetricsRegistry::instance()
-          .histogram("service.case.wall_ms", bounds)
-          .record(std::chrono::duration<double, std::milli>(Clock::now() - case_start)
-                      .count());
+      const double per_case =
+          std::chrono::duration<double, std::milli>(Clock::now() - group_start).count() /
+          static_cast<double>(group.count);
+      auto& histogram =
+          obs::MetricsRegistry::instance().histogram("service.case.wall_ms", bounds);
+      for (std::size_t c = 0; c < group.count; ++c) histogram.record(per_case);
     }
     {
       const std::lock_guard<std::mutex> lock(append_mutex);
-      writer.append(static_cast<std::uint32_t>(index), record);
-      count_metric("service.cases.computed");
-      ++fresh;
-      // Test hook: die abruptly (no atexit, like a kill -9 landing just
-      // after the fsync) once this spawn has committed its quota.
-      if (spec.test_kill_after_cases > 0 && fresh >= spec.test_kill_after_cases) {
-        std::_Exit(137);
+      for (std::size_t c = 0; c < group.count; ++c) {
+        writer.append(static_cast<std::uint32_t>(group.first + c), records[c]);
+        count_metric("service.cases.computed");
+        ++fresh;
+        // Test hook: die abruptly (no atexit, like a kill -9 landing just
+        // after the fsync) once this spawn has committed its quota --
+        // possibly mid-group, leaving the chunk partially checkpointed.
+        if (spec.test_kill_after_cases > 0 && fresh >= spec.test_kill_after_cases) {
+          std::_Exit(137);
+        }
       }
     }
     return 0;
   };
 
   const auto workers = static_cast<std::size_t>(std::max(0, spec.workers_per_shard));
-  if (workers == 1 || remaining.size() <= 1) {
-    for (std::size_t slot = 0; slot < remaining.size(); ++slot) run_one(slot);
+  if (workers == 1 || groups.size() <= 1) {
+    for (std::size_t slot = 0; slot < groups.size(); ++slot) run_group(slot);
   } else {
-    // In-shard thread parallelism: append order becomes completion
-    // order, which is safe -- records carry their case index, and the
-    // merge step orders by index, never by file position.
-    (void)parallel_map(remaining.size(), run_one, workers);
+    // In-shard thread parallelism over chunk groups: append order becomes
+    // completion order, which is safe -- records carry their case index,
+    // and the merge step orders by index, never by file position.
+    (void)parallel_map(groups.size(), run_group, workers);
   }
 }
 

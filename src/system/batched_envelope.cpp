@@ -1,5 +1,6 @@
 #include "system/batched_envelope.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -32,6 +33,8 @@ struct Lane {
   // constructs per call (refreshed on every code change).
   std::optional<driver::GmStage> port;
   std::uint64_t substeps = 0;
+  std::uint64_t steps = 0;  // macro steps advanced while the lane was active
+  std::uint64_t ticks = 0;  // regulation ticks taken while the lane was active
   double tail_acc = 0.0;
   std::uint64_t tail_n = 0;
   double last_tick_amp = 0.0;
@@ -130,9 +133,6 @@ std::vector<BatchedLaneResult> run_batched_envelope(
   const double trace_end = static_cast<double>(steps) * dt;
   const double t0 = trace_end - kTailFraction * (trace_end - trace_start);
 
-  std::uint64_t macro_steps = 0;
-  std::uint64_t tick_count = 0;
-
   for (std::int64_t step = 0; step < steps && soa.any_active(); ++step) {
     const double t_step = static_cast<double>(step) * dt;
     if (!nvm_applied && t_step >= nvm_delay) {
@@ -159,6 +159,7 @@ std::vector<BatchedLaneResult> run_batched_envelope(
         return (n_eff - 1.0 / rp) / (2.0 * ceff);
       };
       amp[l] = advance_envelope_guarded(lambda_of, amp[l], dt, lane.substeps);
+      ++lane.steps;
       if (!std::isfinite(amp[l])) {
         // The serial path throws ConvergenceError here; the lane drops
         // out and the caller replays it serially (retries included).
@@ -166,7 +167,6 @@ std::vector<BatchedLaneResult> run_batched_envelope(
         soa.deactivate(l);
       }
     }
-    ++macro_steps;
     const double t = static_cast<double>(step + 1) * dt;
 
     // Detector chain in bank form: rectified mean then the shared-tau
@@ -193,18 +193,22 @@ std::vector<BatchedLaneResult> run_batched_envelope(
         lane.last_tick_amp = amp[l];
         lane.last_tick_code = lane.fsm->code();
         lane.has_tick = true;
+        ++lane.ticks;
       }
       ++tick_index;
-      ++tick_count;
     }
   }
 
   std::uint64_t total_substeps = 0;
+  std::uint64_t total_lane_steps = 0;
+  std::uint64_t total_lane_ticks = 0;
   for (std::size_t l = 0; l < n; ++l) {
     Lane& lane = state[l];
     BatchedLaneResult& r = results[l];
     r.substeps = lane.substeps;
     total_substeps += lane.substeps;
+    total_lane_steps += lane.steps;
+    total_lane_ticks += lane.ticks;
     if (!lane.ok || r.diverged) continue;
     r.final_code = lane.fsm->code();
     r.settled_amplitude =
@@ -220,15 +224,43 @@ std::vector<BatchedLaneResult> run_batched_envelope(
     }
   }
 
+  // All envelope.batched.* counters are PURE PER LANE: a lane contributes
+  // the same increments no matter how the sweep is sliced into engine
+  // invocations (chunk size, shard layout, resume schedule).  That purity
+  // is what keeps the fleet's deterministic metrics.json byte-identical
+  // across shard counts once the service drains chunks -- a chunk
+  // straddling a shard boundary splits into two invocations, so
+  // per-invocation counters (a "runs" count, a macro-step total gated on
+  // any_active()) would be layout-dependent.
   if (obs::metrics_enabled()) {
     auto& registry = obs::MetricsRegistry::instance();
-    registry.counter("envelope.batched.runs").add(1);
     registry.counter("envelope.batched.lanes").add(n);
-    registry.counter("envelope.batched.steps").add(macro_steps);
+    registry.counter("envelope.batched.lane_steps").add(total_lane_steps);
     registry.counter("envelope.batched.substeps").add(total_substeps);
-    registry.counter("envelope.batched.ticks").add(tick_count);
+    registry.counter("envelope.batched.lane_ticks").add(total_lane_ticks);
   }
   return results;
+}
+
+BatchedEnvelopeEngine::BatchedEnvelopeEngine(std::size_t chunk_lanes)
+    : chunk_lanes_(chunk_lanes) {
+  LCOSC_REQUIRE(chunk_lanes > 0, "chunk_lanes must be positive");
+}
+
+void BatchedEnvelopeEngine::run(std::size_t total, double duration,
+                                const LaneFactory& factory, const ResultSink& sink) const {
+  LCOSC_SPAN("envelope.batched_stream");
+  std::vector<BatchedEnvelopeLane> window;
+  for (std::size_t lo = 0; lo < total; lo += chunk_lanes_) {
+    const std::size_t hi = std::min(total, lo + chunk_lanes_);
+    window.clear();
+    window.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) window.push_back(factory(i));
+    const std::vector<BatchedLaneResult> results = run_batched_envelope(window, duration);
+    for (std::size_t i = lo; i < hi; ++i) sink(i, results[i - lo]);
+    // The window's lane configs (and any mismatch DACs they own) die
+    // here; only the caller's folded outputs survive the next window.
+  }
 }
 
 }  // namespace lcosc::system

@@ -17,7 +17,9 @@
 // detector thresholds, initial amplitude) varies per lane.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -58,5 +60,36 @@ struct BatchedLaneResult {
 
 [[nodiscard]] std::vector<BatchedLaneResult> run_batched_envelope(
     const std::vector<BatchedEnvelopeLane>& lanes, double duration);
+
+// Streaming front-end for sweeps too large to materialize: lanes are
+// pulled from a factory and pushed to a sink in bounded chunk_lanes-sized
+// windows, so a 10,000-variant sweep holds O(chunk_lanes) lane state --
+// one window's configs, SoA channels, and online tail/verdict
+// accumulators -- never O(total).  Within a window the arithmetic is the
+// run_batched_envelope lockstep loop, so every lane's numbers are
+// bit-identical to a one-shot batch and to the serial reference
+// (DESIGN.md §16).
+class BatchedEnvelopeEngine {
+ public:
+  // Builds lane `index` (called once, just before its window runs).
+  using LaneFactory = std::function<BatchedEnvelopeLane(std::size_t index)>;
+  // Consumes lane `index`'s result (called once, right after its window
+  // finishes, in ascending index order).
+  using ResultSink = std::function<void(std::size_t index, const BatchedLaneResult&)>;
+
+  explicit BatchedEnvelopeEngine(std::size_t chunk_lanes);
+
+  [[nodiscard]] std::size_t chunk_lanes() const { return chunk_lanes_; }
+
+  // Stream `total` lanes through the lockstep engine for `duration`
+  // seconds of simulated time.  Windows are cut at multiples of
+  // chunk_lanes in lane index; the grouping changes peak memory and wall
+  // time, never a result bit (lanes are arithmetically independent).
+  void run(std::size_t total, double duration, const LaneFactory& factory,
+           const ResultSink& sink) const;
+
+ private:
+  std::size_t chunk_lanes_;
+};
 
 }  // namespace lcosc::system

@@ -38,6 +38,61 @@ bool channel_hit(const safety::FaultFlags& flags, faults::DetectionChannel expec
   return false;
 }
 
+// Result fields of one completed simulation -> row; shared verbatim by
+// the serial per-case path and the shared-prefix batched path so the two
+// agree bit for bit.
+void fill_row(InternalFmeaRow& row, const SimulationResult& sim,
+              const InternalFmeaConfig& config) {
+  row.observed = sim.final_faults;
+  row.detected = sim.final_faults.any();
+  row.expected_channel_hit = channel_hit(sim.final_faults, row.expected);
+  row.safe_state_entered = sim.final_mode == regulation::RegulationMode::SafeState;
+  row.final_code = sim.final_code;
+
+  row.detection_latency.reset();
+  for (const auto& tick : sim.ticks) {
+    if (tick.time >= config.settle_time && tick.faults.any()) {
+      row.detection_latency = tick.time - config.settle_time;
+      break;
+    }
+  }
+}
+
+// Undetected downgrade + per-case telemetry, applied once per finished
+// row on either execution path.
+void finalize_row(InternalFmeaRow& row, const faults::InternalFault& fault) {
+  if (row.status.outcome == CaseOutcome::Ok &&
+      row.expected != faults::DetectionChannel::None && !row.expected_channel_hit) {
+    row.status.outcome = CaseOutcome::Undetected;
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("campaign.cases").add(1);
+    registry.counter("campaign.cases." + to_string(row.status.outcome)).add(1);
+    if (row.status.retries > 0) {
+      registry.counter("campaign.retries")
+          .add(static_cast<std::uint64_t>(row.status.retries));
+    }
+    if (row.detection_latency.has_value()) {
+      static obs::Histogram& latency = registry.histogram(
+          "internal_fmea.detection_latency_ms", {0.5, 1, 2, 3, 4, 5, 7.5, 10, 15, 20});
+      latency.record(*row.detection_latency * 1e3);
+    }
+  }
+  if (obs::events_enabled()) {
+    obs::Event event("campaign.case");
+    event.str("campaign", "internal_fmea")
+        .str("fault", faults::to_string(fault))
+        .str("outcome", to_string(row.status.outcome))
+        .integer("retries", row.status.retries)
+        .boolean("detected", row.detected);
+    if (row.detection_latency.has_value()) {
+      event.num("detection_latency_ms", *row.detection_latency * 1e3);
+    }
+  }
+}
+
 }  // namespace
 
 faults::DetectionChannel InternalFmeaRow::observed_channel() const {
@@ -135,53 +190,11 @@ InternalFmeaRow run_internal_fmea_case(const InternalFmeaConfig& config,
         OscillatorSystem sys(sys_cfg);
         sys.schedule_internal_fault(fault, config.settle_time);
         const SimulationResult sim = sys.run(duration);
-
-        row.observed = sim.final_faults;
-        row.detected = sim.final_faults.any();
-        row.expected_channel_hit = channel_hit(sim.final_faults, row.expected);
-        row.safe_state_entered = sim.final_mode == regulation::RegulationMode::SafeState;
-        row.final_code = sim.final_code;
-
-        row.detection_latency.reset();
-        for (const auto& tick : sim.ticks) {
-          if (tick.time >= config.settle_time && tick.faults.any()) {
-            row.detection_latency = tick.time - config.settle_time;
-            break;
-          }
-        }
+        fill_row(row, sim, config);
       },
       config.max_retries, config.retry_backoff);
 
-  if (row.status.outcome == CaseOutcome::Ok &&
-      row.expected != faults::DetectionChannel::None && !row.expected_channel_hit) {
-    row.status.outcome = CaseOutcome::Undetected;
-  }
-
-  if (obs::metrics_enabled()) {
-    auto& registry = obs::MetricsRegistry::instance();
-    registry.counter("campaign.cases").add(1);
-    registry.counter("campaign.cases." + to_string(row.status.outcome)).add(1);
-    if (row.status.retries > 0) {
-      registry.counter("campaign.retries")
-          .add(static_cast<std::uint64_t>(row.status.retries));
-    }
-    if (row.detection_latency.has_value()) {
-      static obs::Histogram& latency = registry.histogram(
-          "internal_fmea.detection_latency_ms", {0.5, 1, 2, 3, 4, 5, 7.5, 10, 15, 20});
-      latency.record(*row.detection_latency * 1e3);
-    }
-  }
-  if (obs::events_enabled()) {
-    obs::Event event("campaign.case");
-    event.str("campaign", "internal_fmea")
-        .str("fault", faults::to_string(fault))
-        .str("outcome", to_string(row.status.outcome))
-        .integer("retries", row.status.retries)
-        .boolean("detected", row.detected);
-    if (row.detection_latency.has_value()) {
-      event.num("detection_latency_ms", *row.detection_latency * 1e3);
-    }
-  }
+  finalize_row(row, fault);
   return row;
 }
 
@@ -194,6 +207,69 @@ InternalFmeaRow run_internal_fmea_case_at(const InternalFmeaConfig& config,
   const std::vector<faults::InternalFault> faults = internal_fmea_case_list(config);
   LCOSC_REQUIRE(index < faults.size(), "internal FMEA case index out of range");
   return run_internal_fmea_case(config, faults[index]);
+}
+
+std::vector<InternalFmeaRow> run_internal_fmea_cases(const InternalFmeaConfig& config,
+                                                     std::size_t first, std::size_t count) {
+  const std::vector<faults::InternalFault> faults = internal_fmea_case_list(config);
+  LCOSC_REQUIRE(first <= faults.size() && count <= faults.size() - first,
+                "internal FMEA case span out of range");
+  const double duration = config.settle_time + config.observe_time;
+
+  std::vector<InternalFmeaRow> rows;
+  rows.reserve(count);
+  if (count == 0) return rows;
+
+  // One healthy settle prefix for the whole span: the attempt-0 system
+  // (no events) advanced to the exact loop-top position where a fault
+  // scheduled at settle_time would fire.  Every variant then continues on
+  // a copy.  If the shared prefix itself cannot be built (invalid system
+  // config, divergence or budget exhaustion before settle), every case of
+  // the span would fail the same way serially -- run them all through the
+  // serial path so status/retries/messages match byte for byte.
+  OscillatorSystemConfig sys_cfg = config.system;
+  sys_cfg.step_budget = config.step_budget > 0
+                            ? config.step_budget
+                            : auto_step_budget(config.system, duration);
+  std::optional<RunSession> prefix;
+  try {
+    const obs::Span span("internal_fmea:settle_prefix");
+    OscillatorSystem base(sys_cfg);
+    prefix.emplace(base, duration);
+    prefix->advance_until(config.settle_time);
+  } catch (const std::exception&) {
+    prefix.reset();
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const faults::InternalFault& fault = faults[first + i];
+    bool done = false;
+    if (prefix.has_value()) {
+      const std::string label = "internal_fmea:" + faults::to_string(fault);
+      const obs::EventContext event_ctx(label);
+      const obs::Span span(label);
+
+      InternalFmeaRow row;
+      row.fault = fault;
+      row.expected = faults::expected_detection(fault);
+      try {
+        RunSession session(*prefix);
+        session.inject_internal_fault(fault);
+        const SimulationResult sim = session.finish();
+        fill_row(row, sim, config);
+        finalize_row(row, fault);
+        rows.push_back(std::move(row));
+        done = true;
+      } catch (const std::exception&) {
+        // Structural divergence on this lane (self-test throw/stall,
+        // budget, non-finite state): fall back to the full serial case,
+        // which reproduces the guarded retry/timeout handling -- and its
+        // telemetry -- exactly.
+      }
+    }
+    if (!done) rows.push_back(run_internal_fmea_case(config, fault));
+  }
+  return rows;
 }
 
 InternalFmeaReport run_internal_fmea_campaign(const InternalFmeaConfig& config) {

@@ -99,4 +99,15 @@ struct InternalFmeaConfig {
 [[nodiscard]] InternalFmeaRow run_internal_fmea_case_at(const InternalFmeaConfig& config,
                                                         std::size_t index);
 
+// Contiguous case span [first, first + count) through the batched path:
+// the variants share one healthy settle prefix (an
+// RunSession advanced to settle_time once), and each
+// fault runs on a copy of that paused session -- per-copy FaultBus, no
+// re-simulated startup.  A case whose continuation throws (self-test
+// faults, budget/stall, divergence) falls back to the full serial
+// run_internal_fmea_case, so every row -- status, retries, error message
+// -- is byte-identical to per-case execution.
+[[nodiscard]] std::vector<InternalFmeaRow> run_internal_fmea_cases(
+    const InternalFmeaConfig& config, std::size_t first, std::size_t count);
+
 }  // namespace lcosc::system

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/constants.h"
 #include "common/error.h"
@@ -116,12 +117,14 @@ OscillatorSystem::TankState OscillatorSystem::derivatives(const TankState& s,
   return d;
 }
 
-SimulationResult OscillatorSystem::run(double duration) {
-  LCOSC_SPAN("system.run");
+OscillatorSystem::RunState OscillatorSystem::begin_run(double duration) {
   LCOSC_REQUIRE(duration > 0.0, "duration must be positive");
 
   const tank::RlcTank healthy(config_.tank);
-  const double dt = 1.0 / (healthy.resonance_frequency() * config_.steps_per_period);
+
+  RunState rs;
+  rs.duration = duration;
+  rs.dt = 1.0 / (healthy.resonance_frequency() * config_.steps_per_period);
 
   // Re-attach and clear the fault bus (a copied system would otherwise
   // still observe the bus of the instance it was copied from).
@@ -143,39 +146,36 @@ SimulationResult OscillatorSystem::run(double duration) {
   driver_.set_code(fsm_.code());
   driver_.set_enabled(true);
 
-  ActiveTank active;
-  active.config = config_.tank;
+  rs.active.config = config_.tank;
 
-  TankState s;
-  s.v1 = 0.5 * config_.startup_kick;
-  s.v2 = -0.5 * config_.startup_kick;
-  s.il = 0.0;
+  rs.s.v1 = 0.5 * config_.startup_kick;
+  rs.s.v2 = -0.5 * config_.startup_kick;
+  rs.s.il = 0.0;
 
-  SimulationResult result;
-  result.differential.set_name("v_diff");
-  result.v_lc1.set_name("v_lc1");
-  result.v_lc2.set_name("v_lc2");
-  result.envelope.set_name("envelope");
+  rs.result.differential.set_name("v_diff");
+  rs.result.v_lc1.set_name("v_lc1");
+  rs.result.v_lc2.set_name("v_lc2");
+  rs.result.envelope.set_name("envelope");
 
-  const bool record = config_.waveform_decimation > 0;
-  const std::size_t total_steps = static_cast<std::size_t>(std::ceil(duration / dt));
-  if (record) {
+  rs.record = config_.waveform_decimation > 0;
+  rs.total_steps = static_cast<std::size_t>(std::ceil(duration / rs.dt));
+  if (rs.record) {
     const std::size_t samples =
-        total_steps / static_cast<std::size_t>(config_.waveform_decimation) + 2;
-    result.differential.reserve(samples);
-    result.v_lc1.reserve(samples);
-    result.v_lc2.reserve(samples);
+        rs.total_steps / static_cast<std::size_t>(config_.waveform_decimation) + 2;
+    rs.result.differential.reserve(samples);
+    rs.result.v_lc1.reserve(samples);
+    rs.result.v_lc2.reserve(samples);
   }
 
-  bool nvm_applied = false;
-  std::size_t next_event = 0;
-  double next_tick = fsm_.config().tick_period;
+  rs.next_tick = fsm_.config().tick_period;
+  rs.env_last_positive = rs.s.v1 - rs.s.v2 >= 0.0;
+  return rs;
+}
 
-  // Inline envelope tracker (per-half-cycle peak of |v_diff|).
-  double env_peak = 0.0;
-  double env_peak_time = 0.0;
-  bool env_have = false;
-  bool env_last_positive = s.v1 - s.v2 >= 0.0;
+void OscillatorSystem::advance_run(RunState& rs, double stop_time) {
+  const double dt = rs.dt;
+  TankState& s = rs.s;
+  SimulationResult& result = rs.result;
 
   auto advance = [&](const TankState& base, double h, const TankState& k) {
     return TankState{base.v1 + h * k.v1, base.v2 + h * k.v2, base.il + h * k.il,
@@ -193,41 +193,42 @@ SimulationResult OscillatorSystem::run(double duration) {
     s.i2 += dt / 6.0 * (k1.i2 + 2.0 * k2.i2 + 2.0 * k3.i2 + k4.i2);
   };
 
-  double t = 0.0;
-  std::size_t steps_taken = 0;
-  for (std::size_t step = 0; step < total_steps; ++step) {
-    ++steps_taken;
-    if (config_.step_budget > 0 && steps_taken > config_.step_budget) {
+  while (rs.step < rs.total_steps) {
+    // Pause at the loop top: exactly the position where an event
+    // scheduled at stop_time would fire on the next iteration.
+    if (rs.t >= stop_time) return;
+    ++rs.steps_taken;
+    if (config_.step_budget > 0 && rs.steps_taken > config_.step_budget) {
       throw BudgetExceededError("integration step budget exceeded (" +
                                 std::to_string(config_.step_budget) + " steps)");
     }
     // Discrete events at the step boundary.
-    if (!nvm_applied && t >= fsm_.config().nvm_delay) {
+    if (!rs.nvm_applied && rs.t >= fsm_.config().nvm_delay) {
       fsm_.apply_nvm_preset();
       driver_.set_code(fsm_.code());
-      nvm_applied = true;
+      rs.nvm_applied = true;
     }
-    while (next_event < events_.size() && t >= events_[next_event].time) {
-      const ScenarioAction& action = events_[next_event].action;
+    while (rs.next_event < events_.size() && rs.t >= events_[rs.next_event].time) {
+      const ScenarioAction& action = events_[rs.next_event].action;
       if (const auto* fe = std::get_if<FaultEvent>(&action)) {
         const tank::FaultedTank faulted =
             tank::apply_fault(config_.tank, fe->fault, fe->severity);
-        active.config = faulted.config;
-        active.loop_open = faulted.loop_open;
-        active.pin1_grounded = faulted.pin1_grounded;
-        active.pin2_grounded = faulted.pin2_grounded;
-        active.pin1_to_supply = faulted.pin1_to_supply;
-        if (active.loop_open) s.il = 0.0;
-        if (active.pin1_grounded) s.v1 = -config_.vref_dc;
-        if (active.pin1_to_supply) s.v1 = config_.vdd - config_.vref_dc;
-        if (active.pin2_grounded) s.v2 = -config_.vref_dc;
+        rs.active.config = faulted.config;
+        rs.active.loop_open = faulted.loop_open;
+        rs.active.pin1_grounded = faulted.pin1_grounded;
+        rs.active.pin2_grounded = faulted.pin2_grounded;
+        rs.active.pin1_to_supply = faulted.pin1_to_supply;
+        if (rs.active.loop_open) s.il = 0.0;
+        if (rs.active.pin1_grounded) s.v1 = -config_.vref_dc;
+        if (rs.active.pin1_to_supply) s.v1 = config_.vdd - config_.vref_dc;
+        if (rs.active.pin2_grounded) s.v2 = -config_.vref_dc;
       } else if (std::get_if<RecoveryEvent>(&action)) {
         // Components repaired + diagnostic reset: healthy tank back,
         // detectors cleared, safe-state latch released.  Re-kick the
         // oscillation in case it had fully collapsed.
-        active = ActiveTank{};
-        active.config = config_.tank;
-        safety_.reset(t);
+        rs.active = ActiveTank{};
+        rs.active.config = config_.tank;
+        safety_.reset(rs.t);
         fsm_.clear_safe_state();
         driver_.set_code(fsm_.code());
         if (std::abs(s.v1 - s.v2) < config_.startup_kick) {
@@ -241,53 +242,55 @@ SimulationResult OscillatorSystem::run(double duration) {
         fault_bus_.inject(ie->fault);
         if (ie->fault.kind == faults::InternalFaultKind::SelfTestThrow) {
           throw ConvergenceError("self-test fault: injected convergence failure at t=" +
-                                 std::to_string(t));
+                                 std::to_string(rs.t));
         }
       }
-      ++next_event;
+      ++rs.next_event;
     }
 
     if (fault_bus_.stalled()) {
       // Frozen simulation clock: t no longer advances, so the loop can
       // only end through the step budget (enforced above).
-      --step;
       continue;
     }
 
-    rk4_step(active);
-    t += dt;
+    rk4_step(rs.active);
+    rs.t += dt;
 
     const double vd = s.v1 - s.v2;
     if (!std::isfinite(vd) || !std::isfinite(s.il)) {
-      throw ConvergenceError("tank state diverged (non-finite) at t=" + std::to_string(t));
+      throw ConvergenceError("tank state diverged (non-finite) at t=" +
+                             std::to_string(rs.t));
     }
     detector_.step(dt, s.v1, s.v2);
-    safety_.step(t, dt, s.v1, s.v2);
+    safety_.step(rs.t, dt, s.v1, s.v2);
 
     // Envelope tracking.
     const bool positive = vd >= 0.0;
-    if (positive != env_last_positive) {
-      if (env_have && (result.envelope.empty() || env_peak_time > result.envelope.end_time())) {
-        result.envelope.append(env_peak_time, env_peak);
+    if (positive != rs.env_last_positive) {
+      if (rs.env_have &&
+          (result.envelope.empty() || rs.env_peak_time > result.envelope.end_time())) {
+        result.envelope.append(rs.env_peak_time, rs.env_peak);
       }
-      env_peak = 0.0;
-      env_have = false;
-      env_last_positive = positive;
+      rs.env_peak = 0.0;
+      rs.env_have = false;
+      rs.env_last_positive = positive;
     }
-    if (std::abs(vd) >= env_peak) {
-      env_peak = std::abs(vd);
-      env_peak_time = t;
-      env_have = true;
+    if (std::abs(vd) >= rs.env_peak) {
+      rs.env_peak = std::abs(vd);
+      rs.env_peak_time = rs.t;
+      rs.env_have = true;
     }
 
-    if (record && step % static_cast<std::size_t>(config_.waveform_decimation) == 0) {
-      result.differential.append(t, vd);
-      result.v_lc1.append(t, s.v1);
-      result.v_lc2.append(t, s.v2);
+    if (rs.record &&
+        rs.step % static_cast<std::size_t>(config_.waveform_decimation) == 0) {
+      result.differential.append(rs.t, vd);
+      result.v_lc1.append(rs.t, s.v1);
+      result.v_lc2.append(rs.t, s.v2);
     }
 
     // Regulation tick every 1 ms.
-    if (t >= next_tick) {
+    if (rs.t >= rs.next_tick) {
       if (safety_.safe_state_requested()) {
         fsm_.enter_safe_state();
       } else {
@@ -296,7 +299,7 @@ SimulationResult OscillatorSystem::run(double duration) {
       driver_.set_code(fsm_.code());
 
       TickRecord tick;
-      tick.time = t;
+      tick.time = rs.t;
       tick.code = fsm_.code();
       tick.vdc1 = detector_.vdc1();
       tick.window = detector_.window_state();
@@ -306,23 +309,62 @@ SimulationResult OscillatorSystem::run(double duration) {
       tick.supply_current = driver_.supply_current(amplitude);
       result.ticks.push_back(tick);
 
-      next_tick += fsm_.config().tick_period;
+      rs.next_tick += fsm_.config().tick_period;
     }
+    ++rs.step;
   }
+}
 
-  result.final_faults = safety_.flags();
-  result.final_code = fsm_.code();
-  result.final_mode = fsm_.mode();
+SimulationResult OscillatorSystem::finish_run(RunState& rs) {
+  rs.result.final_faults = safety_.flags();
+  rs.result.final_code = fsm_.code();
+  rs.result.final_mode = fsm_.mode();
   if (obs::metrics_enabled()) {
     auto& registry = obs::MetricsRegistry::instance();
     static obs::Counter& runs = registry.counter("system.runs");
     static obs::Counter& steps = registry.counter("system.steps");
     static obs::Counter& ticks = registry.counter("system.ticks");
     runs.add(1);
-    steps.add(total_steps);
-    ticks.add(result.ticks.size());
+    steps.add(rs.total_steps);
+    ticks.add(rs.result.ticks.size());
   }
-  return result;
+  return std::move(rs.result);
+}
+
+SimulationResult OscillatorSystem::run(double duration) {
+  LCOSC_SPAN("system.run");
+  RunState rs = begin_run(duration);
+  advance_run(rs, std::numeric_limits<double>::infinity());
+  return finish_run(rs);
+}
+
+RunSession::RunSession(const OscillatorSystem& system, double duration)
+    : system_(system), state_(system_.begin_run(duration)) {}
+
+RunSession::RunSession(const RunSession& other)
+    : system_(other.system_), state_(other.state_) {
+  // The copied subsystems still observe the source session's fault bus;
+  // repoint them at the copy's own (bit-identical) bus.
+  system_.attach_fault_bus();
+}
+
+void RunSession::advance_until(double stop_time) {
+  system_.advance_run(state_, stop_time);
+}
+
+void RunSession::inject_internal_fault(const faults::InternalFault& fault) {
+  LCOSC_REQUIRE(state_.next_event >= system_.events_.size(),
+                "inject_internal_fault requires a session with no pending events");
+  LCOSC_REQUIRE(fault.kind != faults::InternalFaultKind::SelfTestStall ||
+                    system_.config_.step_budget > 0,
+                "a stall fault needs a positive step_budget to terminate the run");
+  system_.events_.push_back({state_.t, InternalFaultEvent{fault}});
+}
+
+SimulationResult RunSession::finish() {
+  LCOSC_SPAN("system.run_session");
+  system_.advance_run(state_, std::numeric_limits<double>::infinity());
+  return system_.finish_run(state_);
 }
 
 }  // namespace lcosc::system

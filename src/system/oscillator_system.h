@@ -152,7 +152,39 @@ class OscillatorSystem {
     bool pin1_to_supply = false;
   };
 
+  // Everything run()'s integration loop carries between steps.  Kept in
+  // one value so a paused run can be copied (RunSession) and resumed with
+  // the exact state a straight-through run would have had at that point.
+  struct RunState {
+    double duration = 0.0;
+    double dt = 0.0;
+    std::size_t total_steps = 0;
+    std::size_t step = 0;
+    std::size_t steps_taken = 0;
+    bool nvm_applied = false;
+    std::size_t next_event = 0;
+    double next_tick = 0.0;
+    double t = 0.0;
+    TankState s{};
+    ActiveTank active{};
+    bool record = false;
+    // Inline envelope tracker (per-half-cycle peak of |v_diff|).
+    double env_peak = 0.0;
+    double env_peak_time = 0.0;
+    bool env_have = false;
+    bool env_last_positive = false;
+    SimulationResult result{};
+  };
+
+  friend class RunSession;
+
   [[nodiscard]] TankState derivatives(const TankState& s, const ActiveTank& t) const;
+
+  // run() split at pausable boundaries: preamble, loop, epilogue.  The
+  // loop pauses (returns) when the loop-top time reaches stop_time.
+  [[nodiscard]] RunState begin_run(double duration);
+  void advance_run(RunState& rs, double stop_time);
+  [[nodiscard]] SimulationResult finish_run(RunState& rs);
 
   // Subsystems observe the bus through const pointers; run() re-attaches
   // them so copied systems never alias another instance's bus.
@@ -170,6 +202,41 @@ class OscillatorSystem {
     ScenarioAction action;
   };
   std::vector<TimedEvent> events_;
+};
+
+// Resumable run: owns a private copy of the system plus the loop state,
+// pausable at step boundaries.  advance_until(T) stops at the exact
+// loop-top position where an event scheduled at time T would fire, so a
+// session paused there, copied, injected into, and run to completion is
+// bit-identical to a fresh system with that event scheduled up front.
+// The internal-FMEA batched path shares one healthy settle prefix
+// across all fault variants this way (DESIGN.md §16).
+class RunSession {
+ public:
+  // Copies `system` and performs run()'s preamble (resets, bus clear).
+  RunSession(const OscillatorSystem& system, double duration);
+  // Deep copy; the copy re-attaches its subsystems to its own fault
+  // bus (never aliasing the source session's).
+  RunSession(const RunSession& other);
+  RunSession& operator=(const RunSession&) = delete;
+
+  // Advance until the loop-top time reaches stop_time (or the run
+  // ends).  Throws exactly what run() would (ConvergenceError,
+  // BudgetExceededError).
+  void advance_until(double stop_time);
+  // Inject an internal fault firing at the next loop top -- equivalent
+  // to scheduling it at the current pause time before the run.  Only
+  // valid while the session has no pending scheduled events.
+  void inject_internal_fault(const faults::InternalFault& fault);
+  // Run to the end and produce the result; emits the same run metrics
+  // a straight run() emits.  The session is spent afterwards.
+  [[nodiscard]] SimulationResult finish();
+
+  [[nodiscard]] double time() const { return state_.t; }
+
+ private:
+  OscillatorSystem system_;
+  OscillatorSystem::RunState state_;
 };
 
 }  // namespace lcosc::system

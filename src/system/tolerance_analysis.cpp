@@ -205,68 +205,83 @@ ToleranceSample run_serial_sample(const Rng& master, int i, const ToleranceConfi
   return sample;
 }
 
-// Lockstep sweep: contiguous fixed-size chunks of cases go through the
-// batched envelope engine.  The chunk size is a constant of the engine
-// (never derived from the worker count) and every lane's numbers are pure
-// in the case index, so the report is byte-identical for any `workers` --
-// and to the serial engine.
+// One contiguous span [lo, hi) through a single batched-engine
+// invocation.  The caller cuts spans at global chunk boundaries; the
+// lanes are arithmetically independent, so the numbers of a lane depend
+// only on its global case index -- never on which other lanes share the
+// invocation.
+std::vector<ToleranceSample> run_batched_span(const Rng& master, const ToleranceConfig& config,
+                                              double target, std::size_t lo, std::size_t hi) {
+  const std::string label = "tolerance:batch_" + std::to_string(lo / config.chunk_lanes);
+  const obs::EventContext event_ctx(label);
+  const obs::Span span(label);
+
+  std::vector<CaseDraw> draws;
+  std::vector<BatchedEnvelopeLane> lanes;
+  draws.reserve(hi - lo);
+  lanes.reserve(hi - lo);
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    draws.push_back(draw_case(master, static_cast<int>(idx), config));
+    BatchedEnvelopeLane lane;
+    lane.config = draws.back().cfg;
+    if (config.include_dac_mismatch) {
+      lane.mismatch_dac = std::make_shared<const dac::CurrentLimitationDac>(
+          lane.config.driver.unit_current, config.mismatch, draws.back().dac_seed);
+    }
+    lanes.push_back(std::move(lane));
+  }
+  const std::vector<BatchedLaneResult> results =
+      run_batched_envelope(lanes, config.run_duration);
+
+  std::vector<ToleranceSample> out(hi - lo);
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::size_t l = idx - lo;
+    const BatchedLaneResult& r = results[l];
+    if (r.setup_failed || r.diverged) {
+      // The serial path throws here (invalid config / divergence):
+      // replay the case serially so the recorded outcome -- error
+      // message, retries, halved-dt re-runs -- matches byte for
+      // byte.
+      out[l] = run_serial_sample(master, static_cast<int>(idx), config, target);
+      continue;
+    }
+    ToleranceSample& sample = out[l];
+    const tank::RlcTank tk(draws[l].cfg.tank);
+    sample.tank = draws[l].cfg.tank;
+    sample.resonance_frequency = tk.resonance_frequency();
+    sample.quality_factor = tk.quality_factor();
+    sample.settled_code = r.final_code;
+    sample.settled_amplitude = r.settled_amplitude;
+    sample.supply_current = r.supply_current;
+    sample.in_window = std::abs(sample.settled_amplitude - target) <=
+                       config.amplitude_tolerance * target;
+    record_sample_telemetry(static_cast<int>(idx), sample);
+  }
+  return out;
+}
+
+void require_chunk_lanes(const ToleranceConfig& config) {
+  LCOSC_REQUIRE(config.chunk_lanes >= kMinChunkLanes && config.chunk_lanes <= kMaxChunkLanes,
+                "chunk_lanes must be in [1, 4096]");
+}
+
+// Lockstep sweep: contiguous chunk_lanes-sized chunks of cases go through
+// the batched envelope engine.  The chunk grid is anchored at global case
+// index 0 (never derived from the worker count or a shard offset) and
+// every lane's numbers are pure in the case index, so the report is
+// byte-identical for any `workers`, any `chunk_lanes` -- and to the
+// serial engine.
 std::vector<ToleranceSample> run_batched_sweep(const Rng& master, const ToleranceConfig& config,
                                                double target) {
-  constexpr std::size_t kLanesPerBatch = 64;
   const auto n = static_cast<std::size_t>(config.samples);
-  const std::size_t batches = (n + kLanesPerBatch - 1) / kLanesPerBatch;
+  const std::size_t batches = (n + config.chunk_lanes - 1) / config.chunk_lanes;
 
   auto chunks = parallel_map(
       batches,
       [&](std::size_t b) {
-        const std::size_t lo = b * kLanesPerBatch;
-        const std::size_t hi = std::min(n, lo + kLanesPerBatch);
-        const std::string label = "tolerance:batch_" + std::to_string(b);
-        const obs::EventContext event_ctx(label);
-        const obs::Span span(label);
-
-        std::vector<CaseDraw> draws;
-        std::vector<BatchedEnvelopeLane> lanes;
-        draws.reserve(hi - lo);
-        lanes.reserve(hi - lo);
-        for (std::size_t idx = lo; idx < hi; ++idx) {
-          draws.push_back(draw_case(master, static_cast<int>(idx), config));
-          BatchedEnvelopeLane lane;
-          lane.config = draws.back().cfg;
-          if (config.include_dac_mismatch) {
-            lane.mismatch_dac = std::make_shared<const dac::CurrentLimitationDac>(
-                lane.config.driver.unit_current, config.mismatch, draws.back().dac_seed);
-          }
-          lanes.push_back(std::move(lane));
-        }
-        const std::vector<BatchedLaneResult> results =
-            run_batched_envelope(lanes, config.run_duration);
-
-        std::vector<ToleranceSample> out(hi - lo);
-        for (std::size_t idx = lo; idx < hi; ++idx) {
-          const std::size_t l = idx - lo;
-          const BatchedLaneResult& r = results[l];
-          if (r.setup_failed || r.diverged) {
-            // The serial path throws here (invalid config / divergence):
-            // replay the case serially so the recorded outcome -- error
-            // message, retries, halved-dt re-runs -- matches byte for
-            // byte.
-            out[l] = run_serial_sample(master, static_cast<int>(idx), config, target);
-            continue;
-          }
-          ToleranceSample& sample = out[l];
-          const tank::RlcTank tk(draws[l].cfg.tank);
-          sample.tank = draws[l].cfg.tank;
-          sample.resonance_frequency = tk.resonance_frequency();
-          sample.quality_factor = tk.quality_factor();
-          sample.settled_code = r.final_code;
-          sample.settled_amplitude = r.settled_amplitude;
-          sample.supply_current = r.supply_current;
-          sample.in_window = std::abs(sample.settled_amplitude - target) <=
-                             config.amplitude_tolerance * target;
-          record_sample_telemetry(static_cast<int>(idx), sample);
-        }
-        return out;
+        const std::size_t lo = b * config.chunk_lanes;
+        const std::size_t hi = std::min(n, lo + config.chunk_lanes);
+        return run_batched_span(master, config, target, lo, hi);
       },
       config.workers);
 
@@ -286,6 +301,42 @@ ToleranceSample run_tolerance_sample(const ToleranceConfig& config, int index) {
   return run_serial_sample(master, index, config, config.nominal.detector.target_amplitude);
 }
 
+std::vector<ToleranceSample> run_tolerance_samples(const ToleranceConfig& config,
+                                                   std::size_t first, std::size_t count) {
+  const auto n = static_cast<std::size_t>(config.samples);
+  LCOSC_REQUIRE(config.samples > 0, "sample count must be positive");
+  LCOSC_REQUIRE(first <= n && count <= n - first, "sample span out of range");
+  require_chunk_lanes(config);
+
+  const Rng master(config.seed);
+  const double target = config.nominal.detector.target_amplitude;
+  const bool batched =
+      config.engine == ToleranceEngine::Batched && !config.nominal.adaptive;
+
+  std::vector<ToleranceSample> samples;
+  samples.reserve(count);
+  if (!batched) {
+    for (std::size_t i = 0; i < count; ++i) {
+      samples.push_back(run_serial_sample(master, static_cast<int>(first + i), config, target));
+    }
+    return samples;
+  }
+  // Cut the span at GLOBAL chunk boundaries (sample i belongs to chunk
+  // i / chunk_lanes): a span that starts mid-chunk -- e.g. a resumed
+  // shard whose predecessor checkpointed half a chunk -- still advances
+  // through the same chunk grid as the full sweep.
+  std::size_t lo = first;
+  const std::size_t end = first + count;
+  while (lo < end) {
+    const std::size_t chunk_end = (lo / config.chunk_lanes + 1) * config.chunk_lanes;
+    const std::size_t hi = std::min(end, chunk_end);
+    std::vector<ToleranceSample> piece = run_batched_span(master, config, target, lo, hi);
+    for (auto& sample : piece) samples.push_back(std::move(sample));
+    lo = hi;
+  }
+  return samples;
+}
+
 ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
   LCOSC_REQUIRE(config.samples > 0, "sample count must be positive");
   LCOSC_REQUIRE(config.inductance_tolerance >= 0.0 && config.inductance_tolerance < 1.0 &&
@@ -293,6 +344,7 @@ ToleranceReport run_tolerance_analysis(const ToleranceConfig& config) {
                     config.capacitance_tolerance < 1.0 &&
                     config.resistance_tolerance >= 0.0 && config.resistance_tolerance < 1.0,
                 "tolerances must be in [0,1)");
+  require_chunk_lanes(config);
 
   const Rng master(config.seed);
   const double target = config.nominal.detector.target_amplitude;

@@ -58,7 +58,16 @@ struct ToleranceConfig {
   // keeps the retry policy (and report bytes) identical to no-backoff.
   RetryBackoff retry_backoff{};
   ToleranceEngine engine = ToleranceEngine::Batched;
+  // Lanes advanced per lockstep chunk of the batched engine.  Chunk
+  // boundaries are fixed by GLOBAL sample index (sample i belongs to
+  // chunk i / chunk_lanes), and the lanes are arithmetically independent,
+  // so the value changes wall time and peak memory -- never a report
+  // byte.  Bounds [1, 4096] enforced by the run paths.
+  std::size_t chunk_lanes = 64;
 };
+
+inline constexpr std::size_t kMinChunkLanes = 1;
+inline constexpr std::size_t kMaxChunkLanes = 4096;
 
 struct ToleranceSample {
   tank::TankConfig tank{};
@@ -106,5 +115,17 @@ struct ToleranceReport {
 // sweep produces at that index under either engine (the batched engine
 // is locked to the serial one by the ToleranceBatched tests).
 [[nodiscard]] ToleranceSample run_tolerance_sample(const ToleranceConfig& config, int index);
+
+// Contiguous span [first, first + count) of the sweep, honouring
+// config.engine: the batched engine splits the span at global
+// chunk_lanes boundaries and drives each piece through the lockstep SoA
+// engine (per-lane serial fallback on setup failure / divergence), the
+// serial engine (or an adaptive nominal) loops run_tolerance_sample.
+// Sample i of the returned vector is byte-identical to
+// run_tolerance_sample(config, first + i) for any span slicing -- this
+// is the entry point the sharded campaign service drains chunks through.
+[[nodiscard]] std::vector<ToleranceSample> run_tolerance_samples(const ToleranceConfig& config,
+                                                                 std::size_t first,
+                                                                 std::size_t count);
 
 }  // namespace lcosc::system

@@ -161,6 +161,56 @@ TEST(BatchedEnvelope, BadLaneIsFlaggedNotFatal) {
   EXPECT_EQ(results[0].settled_amplitude, serial.settled_amplitude());
 }
 
+TEST(BatchedEnvelope, StreamingEngineMatchesOneShotBatch) {
+  // The rolling-window engine must produce, lane for lane, exactly the
+  // result a single all-lanes-at-once batch produces -- lanes are
+  // arithmetically independent, so grouping is invisible.  chunk sizes
+  // that do not divide the total exercise the ragged final window.
+  constexpr std::size_t kTotal = 11;
+  const double scale[4] = {1.0, 0.93, 1.08, 1.02};
+  auto make_lane = [&](std::size_t i) {
+    BatchedEnvelopeLane lane;
+    lane.config = base_config();
+    lane.config.tank.inductance *= scale[i % 4];
+    lane.config.tank.series_resistance *= scale[(i + 2) % 4];
+    return lane;
+  };
+
+  std::vector<BatchedEnvelopeLane> all;
+  for (std::size_t i = 0; i < kTotal; ++i) all.push_back(make_lane(i));
+  const double duration = 5e-3;
+  const std::vector<BatchedLaneResult> one_shot = run_batched_envelope(all, duration);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+    const BatchedEnvelopeEngine engine(chunk);
+    EXPECT_EQ(engine.chunk_lanes(), chunk);
+    std::vector<BatchedLaneResult> streamed(kTotal);
+    std::vector<std::size_t> order;
+    engine.run(kTotal, duration, make_lane,
+               [&](std::size_t index, const BatchedLaneResult& result) {
+                 order.push_back(index);
+                 streamed[index] = result;
+               });
+    // Sink fires once per lane, in lane order.
+    ASSERT_EQ(order.size(), kTotal) << "chunk " << chunk;
+    for (std::size_t i = 0; i < kTotal; ++i) EXPECT_EQ(order[i], i) << "chunk " << chunk;
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      EXPECT_EQ(streamed[i].final_code, one_shot[i].final_code)
+          << "chunk " << chunk << " lane " << i;
+      EXPECT_EQ(streamed[i].settled_amplitude, one_shot[i].settled_amplitude)
+          << "chunk " << chunk << " lane " << i;
+      EXPECT_EQ(streamed[i].supply_current, one_shot[i].supply_current)
+          << "chunk " << chunk << " lane " << i;
+      EXPECT_EQ(streamed[i].substeps, one_shot[i].substeps)
+          << "chunk " << chunk << " lane " << i;
+    }
+  }
+}
+
+TEST(BatchedEnvelope, StreamingEngineRejectsZeroChunk) {
+  EXPECT_THROW(BatchedEnvelopeEngine(0), Error);
+}
+
 TEST(BatchedEnvelope, SharedGridIsRequired) {
   EXPECT_THROW((void)run_batched_envelope({}, 1e-3), Error);
 

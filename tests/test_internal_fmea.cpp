@@ -96,6 +96,24 @@ TEST(InternalFmea, ThrowingAndStallingCasesDegradeGracefully) {
   EXPECT_EQ(report.error_count(), 2u);
 }
 
+void expect_rows_identical(const std::vector<InternalFmeaRow>& as,
+                           const std::vector<InternalFmeaRow>& bs) {
+  ASSERT_EQ(as.size(), bs.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    const InternalFmeaRow& a = as[i];
+    const InternalFmeaRow& b = bs[i];
+    EXPECT_EQ(a.fault, b.fault) << "row " << i;
+    EXPECT_EQ(a.expected, b.expected) << "row " << i;
+    EXPECT_EQ(a.observed, b.observed) << "row " << i;
+    EXPECT_EQ(a.detected, b.detected) << "row " << i;
+    EXPECT_EQ(a.expected_channel_hit, b.expected_channel_hit) << "row " << i;
+    EXPECT_EQ(a.safe_state_entered, b.safe_state_entered) << "row " << i;
+    EXPECT_EQ(a.detection_latency, b.detection_latency) << "row " << i;
+    EXPECT_EQ(a.final_code, b.final_code) << "row " << i;
+    EXPECT_EQ(a.status, b.status) << "row " << i;
+  }
+}
+
 TEST(InternalFmea, ReportIdenticalForAnyWorkerCount) {
   InternalFmeaConfig cfg = fast_config();
   cfg.observe_time = 2e-3;
@@ -109,21 +127,35 @@ TEST(InternalFmea, ReportIdenticalForAnyWorkerCount) {
   const InternalFmeaReport serial = run_internal_fmea_campaign(cfg);
   cfg.workers = 4;
   const InternalFmeaReport parallel = run_internal_fmea_campaign(cfg);
+  expect_rows_identical(serial.rows, parallel.rows);
+}
 
-  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
-  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
-    const InternalFmeaRow& a = serial.rows[i];
-    const InternalFmeaRow& b = parallel.rows[i];
-    EXPECT_EQ(a.fault, b.fault);
-    EXPECT_EQ(a.expected, b.expected);
-    EXPECT_EQ(a.observed, b.observed);
-    EXPECT_EQ(a.detected, b.detected);
-    EXPECT_EQ(a.expected_channel_hit, b.expected_channel_hit);
-    EXPECT_EQ(a.safe_state_entered, b.safe_state_entered);
-    EXPECT_EQ(a.detection_latency, b.detection_latency);
-    EXPECT_EQ(a.final_code, b.final_code);
-    EXPECT_EQ(a.status, b.status);
+TEST(InternalFmea, SharedPrefixSpanMatchesPerCaseRows) {
+  // The batched span path (one shared healthy settle prefix, one session
+  // copy per fault) must reproduce the per-case rows exactly -- including
+  // the degraded ones, whose continuations throw and fall back to the
+  // full serial case with its retry accounting and error text.
+  InternalFmeaConfig cfg = fast_config();
+  cfg.observe_time = 2e-3;
+  cfg.faults = {faults::make_fault(faults::InternalFaultKind::SelfTestThrow),
+                faults::make_gm_collapse(),
+                faults::make_fault(faults::InternalFaultKind::SelfTestStall),
+                faults::make_fault(faults::InternalFaultKind::None),
+                faults::make_line_stuck(faults::DacBus::OscF, 3, true)};
+
+  std::vector<InternalFmeaRow> per_case;
+  for (std::size_t i = 0; i < cfg.faults.size(); ++i) {
+    per_case.push_back(run_internal_fmea_case_at(cfg, i));
   }
+
+  expect_rows_identical(per_case, run_internal_fmea_cases(cfg, 0, cfg.faults.size()));
+
+  // A mid-list span (as a shard or a mid-chunk resume would request).
+  const std::vector<InternalFmeaRow> middle = run_internal_fmea_cases(cfg, 1, 3);
+  expect_rows_identical({per_case[1], per_case[2], per_case[3]}, middle);
+
+  EXPECT_TRUE(run_internal_fmea_cases(cfg, 2, 0).empty());
+  EXPECT_THROW((void)run_internal_fmea_cases(cfg, 4, 2), ConfigError);
 }
 
 TEST(InternalFmea, CoverageMatrixBucketsEveryRow) {

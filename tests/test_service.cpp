@@ -9,6 +9,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -648,6 +649,104 @@ TEST_F(ServiceTest, SignalledCoordinatorKillsAndReapsItsWorkers) {
         [&] { return processes_mentioning(spec.checkpoint_dir) == 0; }, 5000))
         << "shard worker outlived the coordinator";
   }
+}
+
+TEST_F(ServiceTest, ChunkedDrainMatchesPerCaseDrainForAnyShardCount) {
+  // chunk_lanes=1 forces per-case execution; chunk_lanes=4 drains whole
+  // lockstep chunks.  With 10 cases over 3 shards the ranges are [0,4),
+  // [4,7), [7,10): shard boundaries fall mid-chunk, so this exercises
+  // spans that start and end away from global chunk boundaries.
+  CampaignSpec spec = small_tolerance_spec();
+  spec.samples = 10;
+  spec.chunk_lanes = 1;
+  const std::string per_case = reference_report(spec);
+  ASSERT_FALSE(per_case.empty());
+
+  spec.chunk_lanes = 4;
+  for (const int shards : {1, 2, 3}) {
+    spec.shards = shards;
+    spec.checkpoint_dir = subdir("chunked_" + std::to_string(shards));
+    const ServiceResult result = run_campaign_service(spec);
+    EXPECT_EQ(result.report, per_case) << shards << " shards";
+    EXPECT_FALSE(result.degraded());
+  }
+}
+
+TEST_F(ServiceTest, WorkerKilledMidChunkResumesToTheReferenceReport) {
+  CampaignSpec spec = small_tolerance_spec();
+  spec.samples = 10;
+  spec.chunk_lanes = 1;
+  const std::string per_case = reference_report(spec);
+
+  // Chunks of 4, but every spawn dies hard after committing 3 cases: the
+  // chunk is checkpointed partially, and the respawn's first group is a
+  // mid-chunk span clipped at the next global boundary.  First-wins
+  // merge must still reproduce the per-case report byte for byte.
+  spec.chunk_lanes = 4;
+  spec.shards = 2;
+  spec.max_restarts = 8;
+  spec.test_kill_after_cases = 3;
+  spec.checkpoint_dir = subdir("kill_mid_chunk");
+  const ServiceResult killed = run_campaign_service(spec);
+  EXPECT_EQ(killed.report, per_case);
+  EXPECT_FALSE(killed.degraded());
+
+  // And a clean rerun of the same directory resumes everything.
+  spec.test_kill_after_cases = 0;
+  const ServiceResult resumed = run_campaign_service(spec);
+  EXPECT_EQ(resumed.report, per_case);
+  EXPECT_EQ(resumed.cases_resumed, 10u);
+}
+
+TEST(ServiceAdapters, RunCasesSpanMatchesPerCaseRecords) {
+  // The chunked drain feeds run_cases() where the per-case drain feeds
+  // run_case(); for every campaign kind the two must emit identical
+  // record bytes for any span (tolerance routes through the lockstep
+  // batched engine, internal FMEA through the shared settle prefix).
+  for (const CampaignKind kind :
+       {CampaignKind::Tolerance, CampaignKind::ExternalFmea, CampaignKind::InternalFmea}) {
+    CampaignSpec spec = small_tolerance_spec();
+    spec.kind = kind;
+    spec.chunk_lanes = 2;
+    const auto campaign = make_campaign(spec);
+    EXPECT_EQ(campaign->chunk_stride(),
+              kind == CampaignKind::ExternalFmea ? std::size_t{1} : std::size_t{2})
+        << to_string(kind);
+
+    const std::size_t first = 1;
+    const std::size_t count = std::min<std::size_t>(3, campaign->case_count() - first);
+    const std::vector<std::string> batch = campaign->run_cases(first, count);
+    ASSERT_EQ(batch.size(), count) << to_string(kind);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(batch[i], campaign->run_case(first + i))
+          << to_string(kind) << " case " << (first + i);
+    }
+  }
+}
+
+TEST(ServiceSpec, ChunkLanesParsesValidatesAndStaysOutOfTheSignature) {
+  CampaignSpec spec;
+  spec.chunk_lanes = 7;
+  EXPECT_EQ(parse_campaign_spec(to_json(spec)).chunk_lanes, 7);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"chunk_lanes": 0})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"chunk_lanes": 4097})"), ConfigError);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"chunk_lanes": 1.5})"), ConfigError);
+
+  // Flag-built specs (--chunk-lanes) never pass through the JSON parser;
+  // make_campaign enforces the same bound up front, so an out-of-range
+  // value is refused before any shard worker spawns.
+  CampaignSpec flags;
+  flags.chunk_lanes = 0;
+  EXPECT_THROW((void)make_campaign(flags), ConfigError);
+  flags.chunk_lanes = 4097;
+  EXPECT_THROW((void)make_campaign(flags), ConfigError);
+
+  // Changing chunk_lanes never changes record bytes, so a resume across
+  // a chunk_lanes change is legal: it must NOT invalidate checkpoints.
+  CampaignSpec a;
+  CampaignSpec b = a;
+  b.chunk_lanes = 4096;
+  EXPECT_EQ(determinism_signature(a), determinism_signature(b));
 }
 
 TEST(ServiceAdapters, ErrorRecordsAreDetectedByEveryCampaignKind) {

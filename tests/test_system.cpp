@@ -152,6 +152,71 @@ TEST(System, SlowDriverWastesCurrent) {
 
 // --- fault injection ---------------------------------------------------------
 
+void expect_results_identical(const SimulationResult& a, const SimulationResult& b) {
+  ASSERT_EQ(a.ticks.size(), b.ticks.size());
+  for (std::size_t i = 0; i < a.ticks.size(); ++i) {
+    EXPECT_EQ(a.ticks[i].time, b.ticks[i].time) << "tick " << i;
+    EXPECT_EQ(a.ticks[i].code, b.ticks[i].code) << "tick " << i;
+    EXPECT_EQ(a.ticks[i].vdc1, b.ticks[i].vdc1) << "tick " << i;
+    EXPECT_EQ(a.ticks[i].window, b.ticks[i].window) << "tick " << i;
+    EXPECT_EQ(a.ticks[i].faults, b.ticks[i].faults) << "tick " << i;
+    EXPECT_EQ(a.ticks[i].supply_current, b.ticks[i].supply_current) << "tick " << i;
+  }
+  ASSERT_EQ(a.envelope.size(), b.envelope.size());
+  for (std::size_t i = 0; i < a.envelope.size(); ++i) {
+    EXPECT_EQ(a.envelope.time(i), b.envelope.time(i)) << "envelope " << i;
+    EXPECT_EQ(a.envelope.value(i), b.envelope.value(i)) << "envelope " << i;
+  }
+  EXPECT_EQ(a.final_faults, b.final_faults);
+  EXPECT_EQ(a.final_code, b.final_code);
+  EXPECT_EQ(a.final_mode, b.final_mode);
+}
+
+TEST(RunSession, FinishMatchesStraightRunExactly) {
+  OscillatorSystem reference(default_config());
+  const SimulationResult straight = reference.run(10e-3);
+
+  OscillatorSystem base(default_config());
+  RunSession session(base, 10e-3);
+  session.advance_until(4e-3);
+  EXPECT_GE(session.time(), 4e-3);
+  expect_results_identical(straight, session.finish());
+}
+
+TEST(RunSession, CopyInjectMatchesScheduledFault) {
+  // The batched internal-FMEA recipe: pause a healthy run at the
+  // injection time, copy the session per fault, inject, finish.  The
+  // result must be bit-identical to a fresh system with the fault
+  // scheduled up front -- and one prefix must serve several variants.
+  const double settle = 6e-3;
+  const double duration = 10e-3;
+
+  OscillatorSystem base(default_config());
+  RunSession prefix(base, duration);
+  prefix.advance_until(settle);
+
+  for (const auto& fault :
+       {faults::make_gm_collapse(),
+        faults::make_fault(faults::InternalFaultKind::WindowStuckHigh)}) {
+    OscillatorSystem reference(default_config());
+    reference.schedule_internal_fault(fault, settle);
+    const SimulationResult scheduled = reference.run(duration);
+
+    RunSession variant(prefix);
+    variant.inject_internal_fault(fault);
+    expect_results_identical(scheduled, variant.finish());
+  }
+}
+
+TEST(RunSession, InjectionRequiresNoPendingEvents) {
+  // A session carrying scheduled events cannot also take a late
+  // injection: the combined ordering would be ambiguous.
+  OscillatorSystem sys(default_config());
+  sys.schedule_internal_fault(faults::make_gm_collapse(), 8e-3);
+  RunSession session(sys, 10e-3);
+  EXPECT_THROW(session.inject_internal_fault(faults::make_gm_collapse()), ConfigError);
+}
+
 TEST(FaultInjection, OpenCoilTripsWatchdogAndSafeState) {
   OscillatorSystem sys(default_config());
   sys.schedule_fault(tank::TankFault::OpenCoil, 8e-3);

@@ -162,11 +162,12 @@ TEST(Tolerance, AccessorsSkipFailedSamples) {
   EXPECT_EQ(report.amplitude_statistics().count, 1u);
 }
 
-void expect_reports_byte_identical(const ToleranceReport& a, const ToleranceReport& b) {
-  ASSERT_EQ(a.samples.size(), b.samples.size());
-  for (std::size_t i = 0; i < a.samples.size(); ++i) {
-    const ToleranceSample& x = a.samples[i];
-    const ToleranceSample& y = b.samples[i];
+void expect_samples_byte_identical(const std::vector<ToleranceSample>& a,
+                                   const std::vector<ToleranceSample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ToleranceSample& x = a[i];
+    const ToleranceSample& y = b[i];
     // Exact equality throughout -- the two engines must perform the same
     // floating-point operations, not merely agree to a tolerance.
     EXPECT_EQ(x.tank.inductance, y.tank.inductance) << "sample " << i;
@@ -182,6 +183,10 @@ void expect_reports_byte_identical(const ToleranceReport& a, const ToleranceRepo
     EXPECT_EQ(x.status.outcome, y.status.outcome) << "sample " << i;
     EXPECT_EQ(x.status.retries, y.status.retries) << "sample " << i;
   }
+}
+
+void expect_reports_byte_identical(const ToleranceReport& a, const ToleranceReport& b) {
+  expect_samples_byte_identical(a.samples, b.samples);
 }
 
 TEST(ToleranceBatched, BatchedMatchesSerialByteForByte) {
@@ -242,6 +247,58 @@ TEST(ToleranceSeeding, SampledParametersDependOnlyOnSeedAndIndex) {
           << "report " << r << " sample " << i;
     }
   }
+}
+
+TEST(ToleranceChunked, SpanMatchesFullSweepForAnySlicing) {
+  // run_tolerance_samples cuts a span at GLOBAL chunk_lanes boundaries,
+  // so every slicing -- aligned, mid-chunk start, straddling a boundary
+  // -- yields exactly the samples the full sweep yields at those
+  // indices.  This is what makes shard boundaries and mid-chunk resume
+  // invisible in the report bytes.
+  ToleranceConfig cfg = base_config(20);
+  cfg.run_duration = 5e-3;
+  cfg.chunk_lanes = 8;
+  const std::vector<ToleranceSample> full = run_tolerance_samples(cfg, 0, 20);
+  expect_samples_byte_identical(full, run_tolerance_analysis(cfg).samples);
+
+  const std::pair<std::size_t, std::size_t> spans[] = {
+      {0, 20}, {0, 7}, {7, 6}, {13, 7}, {5, 11}, {8, 8}, {19, 1}, {4, 0}};
+  for (const auto& [first, count] : spans) {
+    const std::vector<ToleranceSample> span = run_tolerance_samples(cfg, first, count);
+    const std::vector<ToleranceSample> expected(full.begin() + static_cast<long>(first),
+                                                full.begin() + static_cast<long>(first + count));
+    expect_samples_byte_identical(expected, span);
+  }
+}
+
+TEST(ToleranceChunked, ChunkLanesNeverChangesSampleBytes) {
+  // chunk_lanes is a wall-time/memory knob only: 20 samples through
+  // chunks of 1, 7 (non-divisible) and 64 (single chunk) must all match
+  // the serial engine bit for bit.
+  ToleranceConfig cfg = base_config(20);
+  cfg.run_duration = 5e-3;
+  cfg.engine = ToleranceEngine::Serial;
+  const std::vector<ToleranceSample> serial = run_tolerance_samples(cfg, 0, 20);
+  cfg.engine = ToleranceEngine::Batched;
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    cfg.chunk_lanes = lanes;
+    expect_samples_byte_identical(serial, run_tolerance_samples(cfg, 0, 20));
+  }
+}
+
+TEST(ToleranceChunked, ChunkLanesBoundsValidated) {
+  ToleranceConfig cfg = base_config(5);
+  cfg.chunk_lanes = 0;
+  EXPECT_THROW(run_tolerance_analysis(cfg), ConfigError);
+  EXPECT_THROW(run_tolerance_samples(cfg, 0, 5), ConfigError);
+  cfg.chunk_lanes = kMaxChunkLanes + 1;
+  EXPECT_THROW(run_tolerance_analysis(cfg), ConfigError);
+  cfg.chunk_lanes = 64;
+  // Span outside [0, samples] is rejected, including overflow-prone
+  // first/count combinations.
+  EXPECT_THROW((void)run_tolerance_samples(cfg, 0, 6), ConfigError);
+  EXPECT_THROW((void)run_tolerance_samples(cfg, 6, 0), ConfigError);
+  EXPECT_THROW((void)run_tolerance_samples(cfg, 3, 3), ConfigError);
 }
 
 TEST(Tolerance, InvalidConfigRejected) {
